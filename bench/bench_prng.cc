@@ -1,0 +1,54 @@
+// E11: ξ-generation cost ablation (ref [17]).
+//
+// Per-key Sign() latency of every implemented scheme. The ordering the
+// reference predicts: BCH3 < EH3 ≈ Tabulation < CW2 < CW4 << BCH5 (the
+// GF(2^64) cube is the expensive step in this portable build).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/prng/hash.h"
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+namespace {
+
+void BM_XiSign(benchmark::State& state) {
+  const auto scheme = static_cast<XiScheme>(state.range(0));
+  const auto xi = MakeXiFamily(scheme, 1234567);
+  uint64_t key = 0x12345678;
+  int64_t sum = 0;
+  for (auto _ : state) {
+    // Vary the key so the compiler cannot hoist the hash.
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    sum += xi->Sign(key);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(XiSchemeName(scheme));
+}
+BENCHMARK(BM_XiSign)
+    ->Arg(static_cast<int>(XiScheme::kBch3))
+    ->Arg(static_cast<int>(XiScheme::kEh3))
+    ->Arg(static_cast<int>(XiScheme::kBch5))
+    ->Arg(static_cast<int>(XiScheme::kCw2))
+    ->Arg(static_cast<int>(XiScheme::kCw4))
+    ->Arg(static_cast<int>(XiScheme::kTabulation));
+
+void BM_PairwiseBucketHash(benchmark::State& state) {
+  PairwiseHash hash(9, 5000);
+  uint64_t key = 0xabcdef;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    sum += hash.Bucket(key);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairwiseBucketHash);
+
+}  // namespace
+}  // namespace sketchsample
+
+BENCHMARK_MAIN();

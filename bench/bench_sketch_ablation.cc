@@ -1,0 +1,139 @@
+// E10: sketch-family ablation at equal space (the ref [4] comparison that
+// motivates the paper's choice of F-AGMS for all experiments).
+//
+// Compares AGMS (n basic estimators), F-AGMS (1 row × n buckets), Count-Min
+// (rows × buckets at the same total counters), and FastCount on self-join
+// and join accuracy across skew. Expected shape: F-AGMS dominates across
+// skews (especially high skew); Count-Min collapses at low skew (its
+// additive overestimate is huge for flat distributions); AGMS is accurate
+// but orders of magnitude slower per update (see bench_update_throughput).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/countmin.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace sketchsample {
+namespace {
+
+template <typename SketchT>
+SketchT Build(const std::vector<uint64_t>& stream, const SketchParams& p) {
+  SketchT sketch(p);
+  for (uint64_t v : stream) sketch.Update(v);
+  return sketch;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  bench::ExperimentConfig defaults;
+  defaults.domain = 50000;
+  defaults.tuples = 200000;
+  defaults.buckets = 1024;  // total space budget per sketch (counters)
+  defaults.reps = 15;
+  bench::DefineCommonFlags(flags, defaults);
+  flags.Define("skews", "0,0.5,1,1.5,2,3", "Zipf coefficients");
+  flags.Define("agms_rows", "64",
+               "basic AGMS estimators (kept smaller: updates are O(rows))");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto config = bench::ReadCommonFlags(flags);
+  const auto skews = flags.GetDoubleList("skews");
+  const size_t agms_rows = static_cast<size_t>(flags.GetInt("agms_rows"));
+
+  std::printf(
+      "Sketch ablation: mean relative error at equal space "
+      "(%zu counters; AGMS uses %zu estimators)\n"
+      "domain=%zu tuples=%llu reps=%d\n\n",
+      config.buckets, agms_rows, config.domain,
+      static_cast<unsigned long long>(config.tuples), config.reps);
+
+  for (const bool self_join : {true, false}) {
+    std::printf("%s\n", self_join ? "SELF-JOIN SIZE" : "SIZE OF JOIN");
+    TablePrinter table({"skew", "AGMS", "F-AGMS", "CountMin", "FastCount"});
+    for (double skew : skews) {
+      const FrequencyVector f = ZipfMultinomialFrequencies(
+          config.domain, config.tuples, skew, MixSeed(config.seed, 0xda7af));
+      const FrequencyVector g = ZipfMultinomialFrequencies(
+          config.domain, config.tuples, skew, MixSeed(config.seed, 0xda7a9));
+      const double truth =
+          self_join ? ExactSelfJoinSize(f) : ExactJoinSize(f, g);
+      const auto sf = f.ToTupleStream();
+      const auto sg = g.ToTupleStream();
+
+      auto run = [&](auto maker, const SketchParams& params) {
+        return bench::RunTrials(config.reps, truth, [&](int rep) {
+                 SketchParams p = params;
+                 p.seed = MixSeed(config.seed, 0xab1a + rep);
+                 return maker(p);
+               })
+            .mean_error;
+      };
+
+      SketchParams agms;
+      agms.rows = agms_rows;
+      agms.scheme = XiScheme::kEh3;
+      const double agms_err = run(
+          [&](const SketchParams& p) {
+            auto a = Build<AgmsSketch>(sf, p);
+            if (self_join) return a.EstimateSelfJoin();
+            auto b = Build<AgmsSketch>(sg, p);
+            return a.EstimateJoin(b);
+          },
+          agms);
+
+      SketchParams hashed;
+      hashed.rows = 1;
+      hashed.buckets = config.buckets;
+      hashed.scheme = XiScheme::kEh3;
+      const double fagms_err = run(
+          [&](const SketchParams& p) {
+            auto a = Build<FagmsSketch>(sf, p);
+            if (self_join) return a.EstimateSelfJoin();
+            auto b = Build<FagmsSketch>(sg, p);
+            return a.EstimateJoin(b);
+          },
+          hashed);
+
+      SketchParams cm;
+      cm.rows = 4;
+      cm.buckets = config.buckets / 4;  // same total counters
+      const double cm_err = run(
+          [&](const SketchParams& p) {
+            auto a = Build<CountMinSketch>(sf, p);
+            if (self_join) return a.EstimateSelfJoin();
+            auto b = Build<CountMinSketch>(sg, p);
+            return a.EstimateJoin(b);
+          },
+          cm);
+
+      SketchParams fc;
+      fc.rows = 1;
+      fc.buckets = config.buckets;
+      const double fc_err = run(
+          [&](const SketchParams& p) {
+            auto a = Build<FastCountSketch>(sf, p);
+            if (self_join) return a.EstimateSelfJoin();
+            auto b = Build<FastCountSketch>(sg, p);
+            return a.EstimateJoin(b);
+          },
+          fc);
+
+      table.AddRow({skew, agms_err, fagms_err, cm_err, fc_err});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

@@ -1,0 +1,104 @@
+// Update-cost micro-benchmarks for the auxiliary structures: KMV distinct
+// counting, dyadic range sketches, tumbling windows, and heavy-hitter
+// extraction. These quantify what an online-aggregation engine pays to
+// collect planner statistics during a scan (§VI-C "with little
+// computational overhead").
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/sketch/dyadic.h"
+#include "src/sketch/heavy_hitters.h"
+#include "src/sketch/kmv.h"
+#include "src/stream/window.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+constexpr size_t kDomain = 1 << 16;
+constexpr size_t kStream = 1 << 16;
+
+const std::vector<uint64_t>& Stream() {
+  static const std::vector<uint64_t> stream = [] {
+    ZipfSampler sampler(kDomain, 1.0);
+    Xoshiro256 rng(3);
+    return sampler.Stream(kStream, rng);
+  }();
+  return stream;
+}
+
+SketchParams Params() {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = 4096;
+  p.scheme = XiScheme::kEh3;
+  p.seed = 5;
+  return p;
+}
+
+void BM_KmvUpdate(benchmark::State& state) {
+  KmvSketch sketch(static_cast<size_t>(state.range(0)), 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(Stream()[i]);
+    i = (i + 1) % Stream().size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmvUpdate)->Arg(256)->Arg(4096);
+
+void BM_DyadicUpdate(benchmark::State& state) {
+  DyadicRangeSketch sketch(static_cast<int>(state.range(0)), Params());
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(Stream()[i]);
+    i = (i + 1) % Stream().size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DyadicUpdate)->Arg(16)->Arg(32);
+
+void BM_DyadicRangeQuery(benchmark::State& state) {
+  DyadicRangeSketch sketch(16, Params());
+  for (uint64_t key : Stream()) sketch.Update(key);
+  Xoshiro256 rng(9);
+  double sink = 0;
+  for (auto _ : state) {
+    const uint64_t lo = rng.NextBounded(kDomain / 2);
+    sink += sketch.EstimateRange(lo, lo + kDomain / 4);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DyadicRangeQuery);
+
+void BM_TumblingWindowUpdate(benchmark::State& state) {
+  TumblingWindowSketch window(/*window_size=*/8192,
+                              static_cast<size_t>(state.range(0)), Params());
+  size_t i = 0;
+  for (auto _ : state) {
+    window.Update(Stream()[i]);
+    i = (i + 1) % Stream().size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TumblingWindowUpdate)->Arg(2)->Arg(8);
+
+void BM_TopKExtraction(benchmark::State& state) {
+  SketchParams p = Params();
+  p.rows = 5;
+  FagmsSketch sketch(p);
+  for (uint64_t key : Stream()) sketch.Update(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopKFrequent(sketch, kDomain, 100));
+  }
+  state.SetItemsProcessed(state.iterations() * kDomain);
+}
+BENCHMARK(BM_TopKExtraction);
+
+}  // namespace
+}  // namespace sketchsample
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// E9: sketch-update throughput — the speed-up claim of §VI-A / §VII-E.
+//
+// Measures the per-arriving-tuple cost of:
+//   * full F-AGMS sketching (p = 1 baseline),
+//   * coin-flip Bernoulli shedding in front of the sketch,
+//   * geometric-skip shedding (Olken skips, ref [18]).
+//
+// The paper's claim: with skip-based sampling the work is proportional to
+// the number of *kept* tuples, so throughput improves by ≈ 1/p (10x for a
+// 10% sample, up to 1000x for p = 0.001). Coin-flip shedding still pays one
+// RNG draw per tuple and saturates well below that.
+//
+// google-benchmark reports time per processed stream chunk; the per-tuple
+// figure is time / kTuplesPerIteration.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/sketch_over_sample.h"
+#include "src/data/zipf.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/fagms.h"
+#include "src/stream/parallel.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+constexpr size_t kTuplesPerIteration = 1 << 16;
+constexpr size_t kDomain = 100000;
+
+SketchParams Params() {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = 5000;
+  p.scheme = XiScheme::kEh3;
+  p.seed = 42;
+  return p;
+}
+
+const std::vector<uint64_t>& Stream() {
+  static const std::vector<uint64_t> stream = [] {
+    ZipfSampler sampler(kDomain, 1.0);
+    Xoshiro256 rng(7);
+    return sampler.Stream(kTuplesPerIteration, rng);
+  }();
+  return stream;
+}
+
+void BM_FullSketching(benchmark::State& state) {
+  FagmsSketch sketch(Params());
+  for (auto _ : state) {
+    for (uint64_t v : Stream()) sketch.Update(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+}
+BENCHMARK(BM_FullSketching);
+
+void BM_CoinFlipShedding(benchmark::State& state) {
+  const double p =
+      1.0 / static_cast<double>(state.range(0));  // range = 1/p
+  BernoulliSketchEstimator<FagmsSketch> est(p, Params(), 3);
+  for (auto _ : state) {
+    for (uint64_t v : Stream()) est.Update(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+  state.counters["p"] = p;
+}
+BENCHMARK(BM_CoinFlipShedding)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GeometricSkipShedding(benchmark::State& state) {
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  BernoulliSketchEstimator<FagmsSketch> est(p, Params(), 5);
+  for (auto _ : state) {
+    est.ProcessStreamWithSkips(Stream());
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+  state.counters["p"] = p;
+}
+BENCHMARK(BM_GeometricSkipShedding)->Arg(10)->Arg(100)->Arg(1000);
+
+// AGMS update cost: the motivation for F-AGMS. Each update touches every
+// row, so per-tuple cost grows linearly with rows; materialized sign tables
+// (one bit per domain value per row) recover most of the CW4 evaluation
+// cost on bounded domains.
+void BM_AgmsUpdate(benchmark::State& state) {
+  SketchParams p;
+  p.rows = static_cast<size_t>(state.range(0));
+  p.scheme = XiScheme::kCw4;
+  p.seed = 9;
+  if (state.range(1)) p.materialize_domain = kDomain;
+  AgmsSketch sketch(p);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(Stream()[i]);
+    i = (i + 1) % Stream().size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(1) ? "materialized" : "direct_cw4");
+}
+BENCHMARK(BM_AgmsUpdate)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+// Parallel sharded sketching (§VI-C): wall-clock scaling across threads.
+void BM_ParallelFagmsBuild(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ParallelBuildFagms(Stream(), Params(), threads));
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+}
+BENCHMARK(BM_ParallelFagmsBuild)->Arg(1)->Arg(2)->Arg(4);
+
+// The pure sampling front-end without any sketch, to separate sampling cost
+// from sketching cost.
+void BM_SkipSamplingOnly(benchmark::State& state) {
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  GeometricSkipSampler sampler(p, 11);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    size_t pos = sampler.NextSkip();
+    while (pos < Stream().size()) {
+      sink += Stream()[pos];
+      pos += 1 + sampler.NextSkip();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+}
+BENCHMARK(BM_SkipSamplingOnly)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace sketchsample
+
+BENCHMARK_MAIN();

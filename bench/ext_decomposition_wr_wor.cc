@@ -1,0 +1,78 @@
+// Extension: the Figure 1/2 variance decompositions for WITH-REPLACEMENT
+// and WITHOUT-REPLACEMENT sampling (the paper plots them only for
+// Bernoulli). Size-of-join uses the closed forms (Eq 27/28 with the
+// corrected coefficients); self-join uses the generic engine (the formulas
+// the paper omits).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/decomposition.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace sketchsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  bench::ExperimentConfig defaults;
+  defaults.domain = 100000;
+  defaults.tuples = 1000000;
+  defaults.buckets = 5000;
+  bench::DefineCommonFlags(flags, defaults);
+  flags.Define("fractions", "0.01,0.1,0.5", "sample fractions");
+  flags.Define("skews", "0,0.25,0.5,0.75,1,1.5,2,3,5", "Zipf coefficients");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto config = bench::ReadCommonFlags(flags);
+  const auto fractions = flags.GetDoubleList("fractions");
+  const auto skews = flags.GetDoubleList("skews");
+
+  std::printf(
+      "Extension: WR/WOR variance decompositions (Figures 1-2 for the "
+      "other sampling schemes)\n"
+      "domain=%zu tuples=%llu n=%zu\n\n",
+      config.domain, static_cast<unsigned long long>(config.tuples),
+      config.buckets);
+
+  for (const SamplingScheme scheme : {SamplingScheme::kWithReplacement,
+                                      SamplingScheme::kWithoutReplacement}) {
+    for (const bool self_join : {false, true}) {
+      std::printf("%s %s\n", SamplingSchemeName(scheme),
+                  self_join ? "SELF-JOIN" : "SIZE OF JOIN");
+      for (double fraction : fractions) {
+        std::printf("sample fraction = %g\n", fraction);
+        TablePrinter table({"skew", "sampling%", "sketch%", "interaction%",
+                            "total_variance"});
+        for (double skew : skews) {
+          const FrequencyVector f =
+              ZipfFrequencies(config.domain, config.tuples, skew);
+          SamplingSpec spec;
+          spec.scheme = scheme;
+          spec.sample_size_f = std::max<uint64_t>(
+              2, static_cast<uint64_t>(
+                     fraction * static_cast<double>(config.tuples)));
+          spec.sample_size_g = spec.sample_size_f;
+          const VarianceTerms v =
+              self_join
+                  ? CombinedSelfJoinVariance(spec, f, config.buckets)
+                  : CombinedJoinVariance(spec, f, f, config.buckets);
+          table.AddRow({skew, 100.0 * v.SamplingFraction(),
+                        100.0 * v.SketchFraction(),
+                        100.0 * v.InteractionFraction(), v.Total()});
+        }
+        table.Print();
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

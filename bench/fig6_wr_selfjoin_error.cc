@@ -1,0 +1,77 @@
+// Figure 6 reproduction: self-join size relative error vs the WR sample
+// fraction, one curve per Zipf skew.
+//
+// Expected shape: decreasing, then stable past a fraction of ~0.1.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace sketchsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  bench::ExperimentConfig defaults;
+  defaults.domain = 100000;
+  defaults.tuples = 1000000;
+  defaults.buckets = 5000;
+  defaults.reps = 25;
+  bench::DefineCommonFlags(flags, defaults);
+  flags.Define("fractions", "0.001,0.005,0.01,0.05,0.1,0.25,0.5,1",
+               "sample size as a fraction of the population size");
+  flags.Define("skews", "0.5,1,2", "Zipf coefficients (one curve each)");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto config = bench::ReadCommonFlags(flags);
+  const auto fractions = flags.GetDoubleList("fractions");
+  const auto skews = flags.GetDoubleList("skews");
+
+  std::printf(
+      "Figure 6: self-join size relative error vs WR sample fraction\n"
+      "domain=%zu tuples=%llu buckets=%zu reps=%d\n\n",
+      config.domain, static_cast<unsigned long long>(config.tuples),
+      config.buckets, config.reps);
+
+  std::vector<std::string> header = {"fraction"};
+  for (double skew : skews) header.push_back("skew=" + FormatG(skew));
+  TablePrinter table(header);
+
+  std::vector<std::vector<uint64_t>> streams;
+  std::vector<double> truths;
+  for (double skew : skews) {
+    const FrequencyVector f = ZipfMultinomialFrequencies(
+        config.domain, config.tuples, skew, MixSeed(config.seed, 0xda7af));
+    truths.push_back(ExactSelfJoinSize(f));
+    streams.push_back(f.ToTupleStream());
+  }
+
+  for (double fraction : fractions) {
+    std::vector<double> row = {fraction};
+    for (size_t k = 0; k < skews.size(); ++k) {
+      const uint64_t m = std::max<uint64_t>(
+          2, static_cast<uint64_t>(fraction *
+                                   static_cast<double>(streams[k].size())));
+      const ErrorSummary summary = bench::RunTrials(
+          config.reps, truths[k], [&](int rep) {
+            return bench::WrSelfJoinTrial(
+                streams[k], m, bench::TrialSketchParams(config, rep),
+                MixSeed(config.seed, 0xf6000 + rep));
+          });
+      row.push_back(summary.mean_error);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

@@ -1,0 +1,67 @@
+// Figure 8 reproduction: second frequency moment of lineitem.l_orderkey on
+// TPC-H-lite data vs the WOR sampling rate.
+//
+// Expected shape (§VII-C): error decreases with the sampling rate and
+// stabilizes for rates above ~10%.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/tpch_lite.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace sketchsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  bench::ExperimentConfig defaults;
+  defaults.buckets = 1000;
+  defaults.reps = 40;
+  bench::DefineCommonFlags(flags, defaults);
+  flags.Define("scale_factor", "0.2",
+               "TPC-H scale factor (1.0 = paper's SF-1)");
+  flags.Define("rates", "0.01,0.02,0.05,0.1,0.2,0.4,0.6,0.8,1",
+               "WOR sampling rates (scan fractions)");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto config = bench::ReadCommonFlags(flags);
+  const double scale_factor = flags.GetDouble("scale_factor");
+  const auto rates = flags.GetDoubleList("rates");
+
+  const TpchLiteData data = GenerateTpchLite(scale_factor, config.seed);
+  const double truth = ExactSelfJoinSize(data.lineitem_freq);
+
+  std::printf(
+      "Figure 8: F2(lineitem.l_orderkey) relative error vs WOR sampling "
+      "rate (TPC-H-lite)\n"
+      "scale_factor=%g lineitems=%zu buckets=%zu reps=%d true_f2=%.0f\n\n",
+      scale_factor, data.lineitem.size(), config.buckets, config.reps,
+      truth);
+
+  TablePrinter table({"rate", "mean_error", "median_error", "p90_error"});
+  for (double rate : rates) {
+    const uint64_t m = std::max<uint64_t>(
+        2,
+        static_cast<uint64_t>(rate *
+                              static_cast<double>(data.lineitem.size())));
+    const ErrorSummary summary = bench::RunTrials(
+        config.reps, truth, [&](int rep) {
+          return bench::WorSelfJoinTrial(
+              data.lineitem, m, bench::TrialSketchParams(config, rep),
+              MixSeed(config.seed, 0xf8000 + rep));
+        });
+    table.AddRow(
+        {rate, summary.mean_error, summary.median_error, summary.p90_error});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

@@ -1,0 +1,127 @@
+#include "bench/harness.h"
+
+#include "src/core/corrections.h"
+#include "src/core/sketch_estimators.h"
+#include "src/core/sketch_over_sample.h"
+#include "src/data/zipf.h"
+#include "src/sampling/coefficients.h"
+#include "src/sampling/with_replacement.h"
+#include "src/sampling/without_replacement.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace bench {
+
+void DefineCommonFlags(Flags& flags, const ExperimentConfig& defaults) {
+  flags.Define("domain", std::to_string(defaults.domain),
+               "join-attribute domain size |I|");
+  flags.Define("tuples", std::to_string(defaults.tuples),
+               "tuples per relation");
+  flags.Define("buckets", std::to_string(defaults.buckets),
+               "F-AGMS buckets per row");
+  flags.Define("rows", std::to_string(defaults.rows), "F-AGMS rows");
+  flags.Define("reps", std::to_string(defaults.reps),
+               "independent trials per point");
+  flags.Define("seed", std::to_string(defaults.seed), "master seed");
+  flags.Define("scheme", defaults.scheme,
+               "xi scheme: eh3|bch3|bch5|cw2|cw4|tabulation");
+}
+
+ExperimentConfig ReadCommonFlags(const Flags& flags) {
+  ExperimentConfig c;
+  c.domain = static_cast<size_t>(flags.GetInt("domain"));
+  c.tuples = static_cast<uint64_t>(flags.GetInt("tuples"));
+  c.buckets = static_cast<size_t>(flags.GetInt("buckets"));
+  c.rows = static_cast<size_t>(flags.GetInt("rows"));
+  c.reps = static_cast<int>(flags.GetInt("reps"));
+  c.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  c.scheme = flags.GetString("scheme");
+  return c;
+}
+
+SketchParams TrialSketchParams(const ExperimentConfig& config, int rep) {
+  SketchParams p;
+  p.rows = config.rows;
+  p.buckets = config.buckets;
+  p.scheme = XiSchemeFromName(config.scheme);
+  p.seed = MixSeed(config.seed, 0xbe11c000 + static_cast<uint64_t>(rep));
+  return p;
+}
+
+ErrorSummary RunTrials(int reps, double truth,
+                       const std::function<double(int)>& trial) {
+  std::vector<double> estimates;
+  estimates.reserve(reps);
+  for (int rep = 0; rep < reps; ++rep) estimates.push_back(trial(rep));
+  return SummarizeErrors(estimates, truth);
+}
+
+double BernoulliJoinTrial(const std::vector<uint64_t>& stream_f,
+                          const std::vector<uint64_t>& stream_g, double p,
+                          double q, const SketchParams& params,
+                          uint64_t trial_seed) {
+  BernoulliSketchEstimator<FagmsSketch> ef(p, params, MixSeed(trial_seed, 1));
+  BernoulliSketchEstimator<FagmsSketch> eg(q, params, MixSeed(trial_seed, 2));
+  ef.ProcessStreamWithSkips(stream_f);
+  eg.ProcessStreamWithSkips(stream_g);
+  return ef.EstimateJoin(eg);
+}
+
+double BernoulliSelfJoinTrial(const std::vector<uint64_t>& stream_f, double p,
+                              const SketchParams& params,
+                              uint64_t trial_seed) {
+  BernoulliSketchEstimator<FagmsSketch> ef(p, params, MixSeed(trial_seed, 3));
+  ef.ProcessStreamWithSkips(stream_f);
+  return ef.EstimateSelfJoin();
+}
+
+double WrJoinTrial(const std::vector<uint64_t>& relation_f,
+                   const std::vector<uint64_t>& relation_g,
+                   uint64_t sample_f, uint64_t sample_g,
+                   const SketchParams& params, uint64_t trial_seed) {
+  Xoshiro256 rng(MixSeed(trial_seed, 4));
+  SampledStreamEstimator<FagmsSketch> ef(SamplingScheme::kWithReplacement,
+                                         relation_f.size(), params);
+  SampledStreamEstimator<FagmsSketch> eg(SamplingScheme::kWithReplacement,
+                                         relation_g.size(), params);
+  ef.UpdateAll(SampleWithReplacement(relation_f, sample_f, rng));
+  eg.UpdateAll(SampleWithReplacement(relation_g, sample_g, rng));
+  return ef.EstimateJoin(eg);
+}
+
+double WrSelfJoinTrial(const std::vector<uint64_t>& relation_f,
+                       uint64_t sample_size, const SketchParams& params,
+                       uint64_t trial_seed) {
+  Xoshiro256 rng(MixSeed(trial_seed, 5));
+  SampledStreamEstimator<FagmsSketch> ef(SamplingScheme::kWithReplacement,
+                                         relation_f.size(), params);
+  ef.UpdateAll(SampleWithReplacement(relation_f, sample_size, rng));
+  return ef.EstimateSelfJoin();
+}
+
+double WorJoinTrial(const std::vector<uint64_t>& relation_f,
+                    const std::vector<uint64_t>& relation_g,
+                    uint64_t sample_f, uint64_t sample_g,
+                    const SketchParams& params, uint64_t trial_seed) {
+  Xoshiro256 rng(MixSeed(trial_seed, 6));
+  SampledStreamEstimator<FagmsSketch> ef(SamplingScheme::kWithoutReplacement,
+                                         relation_f.size(), params);
+  SampledStreamEstimator<FagmsSketch> eg(SamplingScheme::kWithoutReplacement,
+                                         relation_g.size(), params);
+  ef.UpdateAll(SampleWithoutReplacement(relation_f, sample_f, rng));
+  eg.UpdateAll(SampleWithoutReplacement(relation_g, sample_g, rng));
+  return ef.EstimateJoin(eg);
+}
+
+double WorSelfJoinTrial(const std::vector<uint64_t>& relation_f,
+                        uint64_t sample_size, const SketchParams& params,
+                        uint64_t trial_seed) {
+  Xoshiro256 rng(MixSeed(trial_seed, 7));
+  SampledStreamEstimator<FagmsSketch> ef(SamplingScheme::kWithoutReplacement,
+                                         relation_f.size(), params);
+  ef.UpdateAll(SampleWithoutReplacement(relation_f, sample_size, rng));
+  return ef.EstimateSelfJoin();
+}
+
+}  // namespace bench
+}  // namespace sketchsample

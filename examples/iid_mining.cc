@@ -1,0 +1,70 @@
+// Data-mining over i.i.d. samples (§VI-B): a generative model draws samples
+// with replacement from a hidden population; the stream of samples is all we
+// see, and it is too large to store. Sketching the sample stream and
+// applying the WR corrections recovers properties of the hidden population:
+// its second frequency moment and its correlation (size of join) with a
+// second generative model.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/sketch_over_sample.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+using namespace sketchsample;
+
+int main() {
+  // Two hidden populations the miner never materializes.
+  const size_t kDomain = 30000;
+  const uint64_t kPopulation = 1000000;
+  const FrequencyVector pop_a = ZipfFrequencies(kDomain, kPopulation, 1.2);
+  const FrequencyVector pop_b = ZipfFrequencies(kDomain, kPopulation, 0.8);
+  const double true_f2 = ExactSelfJoinSize(pop_a);
+  const double true_join = ExactJoinSize(pop_a, pop_b);
+  std::printf("hidden population A: F2 = %.0f\n", true_f2);
+  std::printf("hidden correlation |A JOIN B| = %.0f\n\n", true_join);
+
+  SketchParams params;
+  params.rows = 1;
+  params.buckets = 8192;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 5;
+
+  // The generative models: i.i.d. draws from the populations (materialized
+  // here only to drive the simulation; the miner sees just the draws).
+  const auto relation_a = pop_a.ToTupleStream();
+  const auto relation_b = pop_b.ToTupleStream();
+  Xoshiro256 rng(77);
+
+  TablePrinter table({"samples seen", "fraction", "F2 estimate", "F2 err",
+                      "join estimate", "join err"});
+  SampledStreamEstimator<FagmsSketch> est_a(
+      SamplingScheme::kWithReplacement, kPopulation, params);
+  SampledStreamEstimator<FagmsSketch> est_b(
+      SamplingScheme::kWithReplacement, kPopulation, params);
+
+  const std::vector<uint64_t> checkpoints = {1000,  5000,   20000,
+                                             50000, 100000, 200000};
+  uint64_t emitted = 0;
+  for (uint64_t checkpoint : checkpoints) {
+    // Stream more i.i.d. samples until the checkpoint.
+    while (emitted < checkpoint) {
+      est_a.Update(relation_a[rng.NextBounded(relation_a.size())]);
+      est_b.Update(relation_b[rng.NextBounded(relation_b.size())]);
+      ++emitted;
+    }
+    const double f2 = est_a.EstimateSelfJoin();
+    const double join = est_a.EstimateJoin(est_b);
+    table.AddRow({static_cast<double>(checkpoint), est_a.SampleFraction(),
+                  f2, std::abs(f2 - true_f2) / true_f2, join,
+                  std::abs(join - true_join) / true_join});
+  }
+  table.Print();
+  std::printf(
+      "\nThe error stabilizes once the sample captures the distribution —\n"
+      "streaming more i.i.d. samples past ~10%% of the population size\n"
+      "does not improve the estimate (Fig 5/6 of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Network monitoring — the paper's §I motivation ("networking data ...
+// arrival rates of billions of tuples per second"): a packet stream too
+// fast to sketch in full is Bernoulli-shed at 1%, and from the single
+// sketch hierarchy the monitor answers, continuously over a tumbling
+// window:
+//   * the self-join size (a standard DDoS indicator: traffic concentration),
+//   * the current heavy-hitter flows,
+//   * the number of active flows (via KMV),
+// all scaled back to full-stream units by 1/p.
+#include <cstdio>
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/sampling/bernoulli.h"
+#include "src/sketch/heavy_hitters.h"
+#include "src/sketch/kmv.h"
+#include "src/stream/window.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+using namespace sketchsample;
+
+int main() {
+  constexpr size_t kFlows = 60000;       // flow-id domain
+  constexpr double kShedP = 0.01;        // keep 1% of packets
+  constexpr uint64_t kWindowSize = 20000;  // ~ kept packets per phase
+  constexpr int kPhases = 6;
+  constexpr uint64_t kPacketsPerPhase = 2000000;
+
+  SketchParams params;
+  params.rows = 5;
+  params.buckets = 4096;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 2026;
+
+  TumblingWindowSketch window(kWindowSize, /*window_count=*/2, params);
+  KmvSketch flows(2048, 7);
+  BernoulliSampler shedder(kShedP, 99);
+  Xoshiro256 rng(13);
+
+  std::printf(
+      "monitoring %d phases x %llu packets, shedding to %.0f%%...\n"
+      "phases 2-3 contain a simulated hot flow (id 42)\n\n",
+      kPhases, static_cast<unsigned long long>(kPacketsPerPhase),
+      100 * kShedP);
+
+  TablePrinter table({"phase", "est F2 (x1e9)", "active flows",
+                      "top flow", "top flow pkts"});
+  for (int phase = 0; phase < kPhases; ++phase) {
+    const bool attack = phase == 2 || phase == 3;
+    // Background traffic: Zipf(1.1) over flow ids; during the "attack"
+    // phases one flow carries an extra 30% of all packets.
+    ZipfSampler background(kFlows, 1.1);
+    for (uint64_t pkt = 0; pkt < kPacketsPerPhase; ++pkt) {
+      uint64_t flow = attack && rng.NextDouble() < 0.3
+                          ? 42
+                          : background.Next(rng);
+      if (shedder.Keep()) {
+        window.Update(flow);
+        flows.Update(flow);
+      }
+    }
+    // Read the dashboard: correct for shedding with 1/p (frequencies) and
+    // 1/p² (second moment), as in Prop 13/14 with the shift term dropped —
+    // the monitor wants trends, not unbiased absolutes.
+    const double f2_scaled =
+        window.EstimateSelfJoin() / (kShedP * kShedP) / 1e9;
+    const auto top = TopKFrequent(window.WindowSketch(), kFlows, 1,
+                                  1.0 / kShedP);
+    table.AddRow({static_cast<double>(phase), f2_scaled,
+                  flows.EstimateDistinct(),
+                  static_cast<double>(top[0].key),
+                  top[0].estimated_frequency});
+  }
+  table.Print();
+  std::printf(
+      "\nDuring the attack phases the windowed F2 jumps and flow 42\n"
+      "surfaces as the top talker; after the attack the window expires the\n"
+      "hot traffic and the dashboard returns to baseline — all computed\n"
+      "from 1%% of the packets.\n");
+  return 0;
+}

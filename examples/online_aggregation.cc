@@ -1,0 +1,64 @@
+// Online aggregation (§VI-C): while a TPC-H-lite warehouse is scanned in
+// random order, sketches of the scanned prefixes provide progressively
+// tighter estimates of |lineitem ⋈ orders| and F2(lineitem.l_orderkey) —
+// long before the scan completes, and without storing any sample.
+//
+// This is the WOR deployment: the prefix of a random-order scan is a sample
+// without replacement of the whole relation.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/sketch_over_sample.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/tpch_lite.h"
+#include "src/util/table.h"
+
+using namespace sketchsample;
+
+int main() {
+  std::printf("generating TPC-H-lite (scale 0.05: 75K orders)...\n");
+  const TpchLiteData data = GenerateTpchLite(0.05, 2026);
+  const double true_join =
+      ExactJoinSize(data.lineitem_freq, data.orders_freq);
+  const double true_f2 = ExactSelfJoinSize(data.lineitem_freq);
+  std::printf("exact |lineitem JOIN orders| = %.0f\n", true_join);
+  std::printf("exact F2(l_orderkey)         = %.0f\n\n", true_f2);
+
+  SketchParams params;
+  params.rows = 1;
+  params.buckets = 10000;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 31;
+
+  SampledStreamEstimator<FagmsSketch> lineitem(
+      SamplingScheme::kWithoutReplacement, data.lineitem.size(), params);
+  SampledStreamEstimator<FagmsSketch> orders(
+      SamplingScheme::kWithoutReplacement, data.orders.size(), params);
+
+  TablePrinter table({"scan %", "join estimate", "join err", "F2 estimate",
+                      "F2 err"});
+  size_t pos_l = 0, pos_o = 0;
+  for (double fraction : {0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00}) {
+    const size_t target_l =
+        static_cast<size_t>(fraction *
+                            static_cast<double>(data.lineitem.size()));
+    const size_t target_o = static_cast<size_t>(
+        fraction * static_cast<double>(data.orders.size()));
+    for (; pos_l < target_l; ++pos_l) lineitem.Update(data.lineitem[pos_l]);
+    for (; pos_o < target_o; ++pos_o) orders.Update(data.orders[pos_o]);
+
+    const double join = lineitem.EstimateJoin(orders);
+    const double f2 = lineitem.EstimateSelfJoin();
+    table.AddRow({100.0 * fraction, join,
+                  std::abs(join - true_join) / true_join, f2,
+                  std::abs(f2 - true_f2) / true_f2});
+  }
+  table.Print();
+  std::printf(
+      "\nAfter ~10%% of the scan the estimates are already stable; at 100%%\n"
+      "the WOR correction becomes the identity and only sketch error\n"
+      "remains. An online-aggregation engine reads these numbers (plus the\n"
+      "Eq 28 confidence bounds) to answer long scans early.\n");
+  return 0;
+}

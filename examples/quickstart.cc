@@ -1,0 +1,92 @@
+// Quickstart: sketch a stream, sketch a 10% sample of the same stream, and
+// compare both against the exact answers.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the three core objects of the library:
+//   1. FagmsSketch             — the sketch itself (full-data baseline)
+//   2. BernoulliSketchEstimator — sketch over a Bernoulli sample
+//   3. CombinedJoinVariance     — the paper's error prediction (Eq 25)
+#include <cstdio>
+
+#include "src/core/confidence.h"
+#include "src/core/decomposition.h"
+#include "src/core/sketch_estimators.h"
+#include "src/core/sketch_over_sample.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+
+using namespace sketchsample;
+
+int main() {
+  // --- Generate a synthetic workload: two Zipf(1.0) relations. -----------
+  const size_t kDomain = 20000;
+  const uint64_t kTuples = 500000;
+  const FrequencyVector f = ZipfFrequencies(kDomain, kTuples, 1.0);
+  const FrequencyVector g = ZipfFrequencies(kDomain, kTuples, 1.0);
+  auto stream_f = f.ToTupleStream();
+  auto stream_g = g.ToTupleStream();
+  Xoshiro256 shuffler(1);
+  Shuffle(stream_f, shuffler);
+  Shuffle(stream_g, shuffler);
+
+  const double true_join = ExactJoinSize(f, g);
+  const double true_f2 = ExactSelfJoinSize(f);
+  std::printf("true size of join : %.0f\n", true_join);
+  std::printf("true self-join    : %.0f\n\n", true_f2);
+
+  // --- Full-stream sketching (the §IV baseline). -------------------------
+  SketchParams params;
+  params.rows = 1;
+  params.buckets = 5000;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 42;
+
+  const FagmsSketch sketch_f = BuildFagmsSketch(stream_f, params);
+  const FagmsSketch sketch_g = BuildFagmsSketch(stream_g, params);
+  std::printf("full sketch join estimate      : %.0f  (%.2f%% error)\n",
+              sketch_f.EstimateJoin(sketch_g),
+              100.0 * std::abs(sketch_f.EstimateJoin(sketch_g) - true_join) /
+                  true_join);
+
+  // --- Sketch over a 10%% Bernoulli sample (the paper's contribution). ---
+  const double p = 0.1;
+  BernoulliSketchEstimator<FagmsSketch> est_f(p, params, /*sampler_seed=*/7);
+  BernoulliSketchEstimator<FagmsSketch> est_g(p, params, /*sampler_seed=*/8);
+  est_f.ProcessStreamWithSkips(stream_f);  // work only for kept tuples
+  est_g.ProcessStreamWithSkips(stream_g);
+
+  const double sampled_join = est_f.EstimateJoin(est_g);
+  std::printf("10%%-sample sketch join estimate: %.0f  (%.2f%% error)\n",
+              sampled_join,
+              100.0 * std::abs(sampled_join - true_join) / true_join);
+  std::printf("tuples sketched                : %llu of %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(est_f.tuples_sampled()),
+              static_cast<unsigned long long>(est_f.tuples_seen()),
+              100.0 * static_cast<double>(est_f.tuples_sampled()) /
+                  static_cast<double>(est_f.tuples_seen()));
+
+  const double sampled_f2 = est_f.EstimateSelfJoin();
+  std::printf("10%%-sample self-join estimate  : %.0f  (%.2f%% error)\n\n",
+              sampled_f2,
+              100.0 * std::abs(sampled_f2 - true_f2) / true_f2);
+
+  // --- Predicted error (Eq 25) and a 95% confidence interval. ------------
+  SamplingSpec spec;
+  spec.scheme = SamplingScheme::kBernoulli;
+  spec.p = p;
+  spec.q = p;
+  const VarianceTerms v = CombinedJoinVariance(spec, f, g, params.buckets);
+  const auto ci = CltInterval(sampled_join, v.Total(), 0.95);
+  std::printf("predicted variance (Eq 25)     : %.3g\n", v.Total());
+  std::printf("  sampling/sketch/interaction  : %.1f%% / %.1f%% / %.1f%%\n",
+              100 * v.SamplingFraction(), 100 * v.SketchFraction(),
+              100 * v.InteractionFraction());
+  std::printf("95%% CI for the join           : [%.0f, %.0f]%s\n", ci.low,
+              ci.high,
+              (ci.low <= true_join && true_join <= ci.high)
+                  ? "  (covers the truth)"
+                  : "");
+  return 0;
+}

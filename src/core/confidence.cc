@@ -1,0 +1,74 @@
+#include "src/core/confidence.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sketchsample {
+
+double NormalQuantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("NormalQuantile needs p in (0, 1)");
+  }
+  // Acklam's algorithm: piecewise rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double u = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double u = p - 0.5;
+    const double t = u * u;
+    x = (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5]) *
+        u /
+        (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0);
+  } else {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+          c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  // One Halley refinement using the normal CDF error.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+ConfidenceInterval CltInterval(double estimate, double variance,
+                               double level) {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("confidence level must be in (0, 1)");
+  }
+  if (variance < 0.0) {
+    throw std::invalid_argument("variance must be non-negative");
+  }
+  const double z = NormalQuantile(0.5 + level / 2.0);
+  const double half = z * std::sqrt(variance);
+  return ConfidenceInterval{estimate - half, estimate + half, level};
+}
+
+ConfidenceInterval ChebyshevInterval(double estimate, double variance,
+                                     double level) {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("confidence level must be in (0, 1)");
+  }
+  if (variance < 0.0) {
+    throw std::invalid_argument("variance must be non-negative");
+  }
+  const double half = std::sqrt(variance / (1.0 - level));
+  return ConfidenceInterval{estimate - half, estimate + half, level};
+}
+
+}  // namespace sketchsample

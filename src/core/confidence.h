@@ -1,0 +1,38 @@
+// Confidence intervals from (estimate, variance) pairs (§II of the paper).
+//
+// The paper reports expected values and variances and notes that error
+// guarantees follow either from distribution-free bounds (Chebyshev) or
+// from a CLT/normal approximation. Both conversions live here.
+#ifndef SKETCHSAMPLE_CORE_CONFIDENCE_H_
+#define SKETCHSAMPLE_CORE_CONFIDENCE_H_
+
+namespace sketchsample {
+
+/// A two-sided confidence interval [low, high] at the stated level.
+struct ConfidenceInterval {
+  double low = 0;
+  double high = 0;
+  double level = 0;  ///< e.g. 0.95
+
+  double HalfWidth() const { return (high - low) / 2.0; }
+};
+
+/// Quantile of the standard normal distribution (inverse Φ), |p| in (0, 1).
+/// Acklam's rational approximation refined by one Halley step; absolute
+/// error below 1e-9 over the full range.
+double NormalQuantile(double p);
+
+/// CLT-based interval: estimate ± z_{(1+level)/2} · sqrt(variance).
+/// Appropriate for averaged estimators (Prop 11/12) where the CLT applies.
+ConfidenceInterval CltInterval(double estimate, double variance,
+                               double level);
+
+/// Distribution-free Chebyshev interval:
+/// estimate ± sqrt(variance / (1 − level)). Wider, but requires nothing
+/// beyond the first two moments.
+ConfidenceInterval ChebyshevInterval(double estimate, double variance,
+                                     double level);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_CONFIDENCE_H_

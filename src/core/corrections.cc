@@ -1,0 +1,77 @@
+#include "src/core/corrections.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+const char* SamplingSchemeName(SamplingScheme scheme) {
+  switch (scheme) {
+    case SamplingScheme::kBernoulli:
+      return "bernoulli";
+    case SamplingScheme::kWithReplacement:
+      return "wr";
+    case SamplingScheme::kWithoutReplacement:
+      return "wor";
+  }
+  return "unknown";
+}
+
+namespace {
+void CheckProbability(double p, const char* name) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument(std::string(name) +
+                                " must be in (0, 1] for an unbiased scaling");
+  }
+}
+}  // namespace
+
+Correction BernoulliJoinCorrection(double p, double q) {
+  CheckProbability(p, "p");
+  CheckProbability(q, "q");
+  return Correction{1.0 / (p * q), 0.0};
+}
+
+Correction BernoulliSelfJoinCorrection(double p, uint64_t sample_size) {
+  CheckProbability(p, "p");
+  const double scale = 1.0 / (p * p);
+  const double shift =
+      (1.0 - p) / (p * p) * static_cast<double>(sample_size);
+  return Correction{scale, shift};
+}
+
+Correction WrJoinCorrection(const SamplingCoefficients& f,
+                            const SamplingCoefficients& g) {
+  if (f.alpha <= 0.0 || g.alpha <= 0.0) {
+    throw std::invalid_argument("WR join correction needs non-empty samples");
+  }
+  return Correction{1.0 / (f.alpha * g.alpha), 0.0};
+}
+
+Correction WrSelfJoinCorrection(const SamplingCoefficients& f) {
+  if (f.sample < 2) {
+    throw std::invalid_argument(
+        "WR self-join correction needs a sample of at least 2 tuples");
+  }
+  return Correction{1.0 / (f.alpha * f.alpha2),
+                    static_cast<double>(f.population) / f.alpha2};
+}
+
+Correction WorJoinCorrection(const SamplingCoefficients& f,
+                             const SamplingCoefficients& g) {
+  if (f.alpha <= 0.0 || g.alpha <= 0.0) {
+    throw std::invalid_argument("WOR join correction needs non-empty samples");
+  }
+  return Correction{1.0 / (f.alpha * g.alpha), 0.0};
+}
+
+Correction WorSelfJoinCorrection(const SamplingCoefficients& f) {
+  if (f.sample < 2 || f.alpha1 <= 0.0) {
+    throw std::invalid_argument(
+        "WOR self-join correction needs a sample of at least 2 tuples");
+  }
+  return Correction{1.0 / (f.alpha * f.alpha1),
+                    (1.0 - f.alpha1) / f.alpha1 *
+                        static_cast<double>(f.population)};
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,71 @@
+// Bias corrections that turn raw (sketch or sample) aggregates into unbiased
+// estimators of the full-data aggregates (§III, §V-A of the paper).
+//
+// Every estimator in the paper has the shape
+//
+//   X = scale · RAW − shift
+//
+// where RAW is the uncorrected aggregate over the sample (Σ f'_i g'_i for
+// sampling, S·T or S² for sketches — the ξ expectations make the sketch case
+// reduce to the sampling case). Because scale > 0 the correction is a
+// monotone affine map, so it commutes with the mean/median combining used by
+// averaged AGMS and F-AGMS rows and can be applied once to the combined raw
+// estimate.
+//
+// The self-join corrections subtract a term proportional to the sample size:
+// random (Σ f'_i = |F'|) for Bernoulli, deterministic for WR/WOR.
+#ifndef SKETCHSAMPLE_CORE_CORRECTIONS_H_
+#define SKETCHSAMPLE_CORE_CORRECTIONS_H_
+
+#include <cstdint>
+
+#include "src/sampling/coefficients.h"
+
+namespace sketchsample {
+
+/// The three sampling processes the paper instantiates (§III-B/D/E).
+enum class SamplingScheme {
+  kBernoulli,
+  kWithReplacement,
+  kWithoutReplacement,
+};
+
+/// Name for diagnostics: "bernoulli", "wr", "wor".
+const char* SamplingSchemeName(SamplingScheme scheme);
+
+/// Affine correction X = scale·raw − shift.
+struct Correction {
+  double scale = 1.0;
+  double shift = 0.0;
+
+  double Apply(double raw) const { return scale * raw - shift; }
+};
+
+/// Size-of-join over Bernoulli samples (Prop 3/13): X = raw/(p·q).
+/// Requires p, q in (0, 1].
+Correction BernoulliJoinCorrection(double p, double q);
+
+/// Self-join over a Bernoulli sample (Prop 4/14):
+/// X = raw/p² − (1−p)/p² · |F'| where |F'| is the observed sample size.
+/// Requires p in (0, 1].
+Correction BernoulliSelfJoinCorrection(double p, uint64_t sample_size);
+
+/// Size-of-join over WR samples (Prop 5/15): X = raw/(α·β).
+Correction WrJoinCorrection(const SamplingCoefficients& f,
+                            const SamplingCoefficients& g);
+
+/// Self-join over a WR sample (§III-D): X = raw/(α·α₂) − |F|/α₂.
+/// Requires a sample of at least 2 tuples (α₂ > 0).
+Correction WrSelfJoinCorrection(const SamplingCoefficients& f);
+
+/// Size-of-join over WOR samples (Prop 6/16): X = raw/(α·β).
+Correction WorJoinCorrection(const SamplingCoefficients& f,
+                             const SamplingCoefficients& g);
+
+/// Self-join over a WOR sample (§III-E): X = raw/(α·α₁) − (1−α₁)/α₁ · |F|.
+/// Requires a sample of at least 2 tuples (α₁ > 0).
+Correction WorSelfJoinCorrection(const SamplingCoefficients& f);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_CORRECTIONS_H_

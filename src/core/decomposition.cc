@@ -1,0 +1,123 @@
+#include "src/core/decomposition.h"
+
+#include <stdexcept>
+
+#include "src/core/generic_variance.h"
+
+namespace sketchsample {
+
+VarianceTerms CombinedJoinVariance(const SamplingSpec& spec,
+                                   const FrequencyVector& f,
+                                   const FrequencyVector& g, size_t n) {
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  switch (spec.scheme) {
+    case SamplingScheme::kBernoulli:
+      return BernoulliJoinVariance(s, spec.p, spec.q, n);
+    case SamplingScheme::kWithReplacement: {
+      const auto cf = ComputeCoefficients(static_cast<uint64_t>(s.f1),
+                                          spec.sample_size_f);
+      const auto cg = ComputeCoefficients(static_cast<uint64_t>(s.g1),
+                                          spec.sample_size_g);
+      return WrJoinVariance(s, cf, cg, n);
+    }
+    case SamplingScheme::kWithoutReplacement: {
+      const auto cf = ComputeCoefficients(static_cast<uint64_t>(s.f1),
+                                          spec.sample_size_f);
+      const auto cg = ComputeCoefficients(static_cast<uint64_t>(s.g1),
+                                          spec.sample_size_g);
+      return WorJoinVariance(s, cf, cg, n);
+    }
+  }
+  throw std::invalid_argument("unknown sampling scheme");
+}
+
+VarianceTerms CombinedSelfJoinVariance(const SamplingSpec& spec,
+                                       const FrequencyVector& f, size_t n) {
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  if (spec.scheme == SamplingScheme::kBernoulli) {
+    return BernoulliSelfJoinVariance(s, spec.p, n);
+  }
+
+  // WR / WOR: exact total from the generic engine, canonical split.
+  const auto coef = ComputeCoefficients(static_cast<uint64_t>(s.f1),
+                                        spec.sample_size_f);
+  FrequencyMomentModel model =
+      spec.scheme == SamplingScheme::kWithReplacement
+          ? FrequencyMomentModel::WithReplacement(f, spec.sample_size_f)
+          : FrequencyMomentModel::WithoutReplacement(f, spec.sample_size_f);
+  const Correction correction =
+      spec.scheme == SamplingScheme::kWithReplacement
+          ? WrSelfJoinCorrection(coef)
+          : WorSelfJoinCorrection(coef);
+  const GenericSelfJoinVariance gv = ComputeGenericSelfJoinVariance(
+      model, correction.scale, correction.shift, /*random_shift=*/false);
+
+  VarianceTerms v;
+  v.n = n;
+  const double dn = static_cast<double>(n);
+  v.sampling = gv.sampling_term;
+  const double sketch_coef = spec.scheme == SamplingScheme::kWithReplacement
+                                 ? coef.alpha2 / coef.alpha
+                                 : coef.alpha1 / coef.alpha;
+  v.sketch = sketch_coef * sketch_coef * AgmsSelfJoinVariance(s) / dn;
+  v.interaction = gv.bracket / dn - v.sketch;
+  return v;
+}
+
+namespace {
+
+FrequencyMomentModel MakeModel(const FrequencyVector& freq,
+                               const RelationSampling& sampling) {
+  switch (sampling.scheme) {
+    case SamplingScheme::kBernoulli:
+      return FrequencyMomentModel::Bernoulli(freq, sampling.p);
+    case SamplingScheme::kWithReplacement:
+      return FrequencyMomentModel::WithReplacement(freq,
+                                                   sampling.sample_size);
+    case SamplingScheme::kWithoutReplacement:
+      return FrequencyMomentModel::WithoutReplacement(freq,
+                                                      sampling.sample_size);
+  }
+  throw std::invalid_argument("unknown sampling scheme");
+}
+
+}  // namespace
+
+double RelationSamplingScale(const RelationSampling& sampling,
+                             uint64_t population) {
+  if (sampling.scheme == SamplingScheme::kBernoulli) {
+    if (!(sampling.p > 0.0) || sampling.p > 1.0) {
+      throw std::invalid_argument("Bernoulli p must be in (0, 1]");
+    }
+    return sampling.p;
+  }
+  if (population == 0 || sampling.sample_size == 0) {
+    throw std::invalid_argument(
+        "WR/WOR sampling scale needs positive population and sample size");
+  }
+  return static_cast<double>(sampling.sample_size) /
+         static_cast<double>(population);
+}
+
+Correction HybridJoinCorrection(const RelationSampling& sampling_f,
+                                uint64_t population_f,
+                                const RelationSampling& sampling_g,
+                                uint64_t population_g) {
+  return Correction{1.0 / (RelationSamplingScale(sampling_f, population_f) *
+                           RelationSamplingScale(sampling_g, population_g)),
+                    0.0};
+}
+
+GenericJoinVariance HybridJoinVariance(const FrequencyVector& f,
+                                       const RelationSampling& sampling_f,
+                                       const FrequencyVector& g,
+                                       const RelationSampling& sampling_g) {
+  const double scale =
+      HybridJoinCorrection(sampling_f, static_cast<uint64_t>(f.F1()),
+                           sampling_g, static_cast<uint64_t>(g.F1()))
+          .scale;
+  return ComputeGenericJoinVariance(MakeModel(f, sampling_f),
+                                    MakeModel(g, sampling_g), scale);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,81 @@
+// Unified variance decomposition across schemes and aggregates.
+//
+// Figures 1-2 of the paper plot the relative contribution of the sampling /
+// sketch / interaction variance terms. For Bernoulli and both join kinds,
+// and for the WR/WOR size-of-join, closed forms exist (src/core/variance.h).
+// For the WR/WOR *self-join*, the paper omits the formula; here the total is
+// computed exactly by the generic factorial-moment engine and split using
+// the same canonical pattern as Eqs 27/28: the sketch term is
+// (coef²/n)·Eq 16 with coef = α₂/α (WR) or α₁/α (WOR), and the interaction
+// term is the remainder of the 1/n bracket.
+#ifndef SKETCHSAMPLE_CORE_DECOMPOSITION_H_
+#define SKETCHSAMPLE_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+
+#include "src/core/corrections.h"
+#include "src/core/generic_variance.h"
+#include "src/core/variance.h"
+#include "src/data/frequency_vector.h"
+
+namespace sketchsample {
+
+/// Parameters of the sampling process for variance evaluation: p is used by
+/// Bernoulli; sample_size_f/g by WR and WOR.
+struct SamplingSpec {
+  SamplingScheme scheme = SamplingScheme::kBernoulli;
+  double p = 1.0;              ///< Bernoulli keep-probability for F
+  double q = 1.0;              ///< Bernoulli keep-probability for G
+  uint64_t sample_size_f = 0;  ///< WR/WOR fixed sample size from F
+  uint64_t sample_size_g = 0;  ///< WR/WOR fixed sample size from G
+};
+
+/// Variance decomposition of the averaged sketch-over-sample size-of-join
+/// estimator for any scheme (closed forms; Eqs 25/27/28).
+VarianceTerms CombinedJoinVariance(const SamplingSpec& spec,
+                                   const FrequencyVector& f,
+                                   const FrequencyVector& g, size_t n);
+
+/// Variance decomposition of the averaged corrected self-join estimator.
+/// Bernoulli uses the closed form (Eq 26); WR/WOR use the generic engine
+/// (the formulas the paper omits).
+VarianceTerms CombinedSelfJoinVariance(const SamplingSpec& spec,
+                                       const FrequencyVector& f, size_t n);
+
+// ---------------------------------------------------------------------------
+// Hybrid sampling: each relation may use a different sampling process —
+// e.g. a Bernoulli-shed live stream joined against a WOR scan of a stored
+// relation. The paper analyzes homogeneous pairs only; the generic
+// factorial-moment engine handles the mixed case because the two sampling
+// processes are independent.
+// ---------------------------------------------------------------------------
+
+/// Sampling description of one relation.
+struct RelationSampling {
+  SamplingScheme scheme = SamplingScheme::kBernoulli;
+  double p = 1.0;            ///< Bernoulli keep-probability
+  uint64_t sample_size = 0;  ///< WR/WOR fixed sample size
+};
+
+/// The per-relation unbiasing factor c with E[f'_i] = c·f_i (p for
+/// Bernoulli, α = m/|F| for WR/WOR). Join estimates over independently
+/// sampled relations are corrected by 1/(c_f·c_g) even across schemes.
+double RelationSamplingScale(const RelationSampling& sampling,
+                             uint64_t population);
+
+/// Correction for the hybrid size-of-join estimator.
+Correction HybridJoinCorrection(const RelationSampling& sampling_f,
+                                uint64_t population_f,
+                                const RelationSampling& sampling_g,
+                                uint64_t population_g);
+
+/// Exact moments of the averaged hybrid sketch-over-sample join estimator
+/// (sampling term + 1/n bracket), via the generic engine.
+GenericJoinVariance HybridJoinVariance(const FrequencyVector& f,
+                                       const RelationSampling& sampling_f,
+                                       const FrequencyVector& g,
+                                       const RelationSampling& sampling_g);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_DECOMPOSITION_H_

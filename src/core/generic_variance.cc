@@ -1,0 +1,223 @@
+#include "src/core/generic_variance.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+namespace {
+// Stirling numbers of the second kind S(k, r) for k, r in 1..4:
+// x^k = Σ_r S(k, r) (x)_(r).
+constexpr double kStirling[5][5] = {
+    {0, 0, 0, 0, 0},
+    {0, 1, 0, 0, 0},
+    {0, 1, 1, 0, 0},
+    {0, 1, 3, 1, 0},
+    {0, 1, 7, 6, 1},
+};
+
+void CheckOrder(int r, int lo, int hi, const char* what) {
+  if (r < lo || r > hi) {
+    throw std::out_of_range(std::string(what) + " order out of range");
+  }
+}
+}  // namespace
+
+double FallingFactorial(double x, int r) {
+  double result = 1.0;
+  for (int k = 0; k < r; ++k) result *= (x - static_cast<double>(k));
+  return result;
+}
+
+FrequencyMomentModel FrequencyMomentModel::Bernoulli(
+    const FrequencyVector& freq, double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("Bernoulli moment model needs p in (0, 1]");
+  }
+  return FrequencyMomentModel(Kind::kBernoulli, freq, p, 0);
+}
+
+FrequencyMomentModel FrequencyMomentModel::WithReplacement(
+    const FrequencyVector& freq, uint64_t sample_size) {
+  if (sample_size == 0) {
+    throw std::invalid_argument("WR moment model needs a non-empty sample");
+  }
+  return FrequencyMomentModel(Kind::kMultinomial, freq, 1.0, sample_size);
+}
+
+FrequencyMomentModel FrequencyMomentModel::WithoutReplacement(
+    const FrequencyVector& freq, uint64_t sample_size) {
+  if (sample_size == 0 ||
+      static_cast<double>(sample_size) > freq.F1()) {
+    throw std::invalid_argument(
+        "WOR moment model needs 1 <= sample size <= |F|");
+  }
+  return FrequencyMomentModel(Kind::kHypergeometric, freq, 1.0, sample_size);
+}
+
+FrequencyMomentModel::FrequencyMomentModel(Kind kind,
+                                           const FrequencyVector& freq,
+                                           double p, uint64_t sample_size)
+    : kind_(kind),
+      population_(freq.F1()),
+      sample_(static_cast<double>(sample_size)),
+      p_(p) {
+  const size_t dom = freq.domain_size();
+  for (int r = 1; r <= 4; ++r) phi_[r].resize(dom);
+  for (size_t i = 0; i < dom; ++i) {
+    const double fi = static_cast<double>(freq.count(i));
+    for (int r = 1; r <= 4; ++r) {
+      double value = 0;
+      switch (kind_) {
+        case Kind::kBernoulli: {
+          double pr = 1.0;
+          for (int k = 0; k < r; ++k) pr *= p_;
+          value = FallingFactorial(fi, r) * pr;
+          break;
+        }
+        case Kind::kMultinomial: {
+          const double pi = fi / population_;
+          value = 1.0;
+          for (int k = 0; k < r; ++k) value *= pi;
+          break;
+        }
+        case Kind::kHypergeometric:
+          value = FallingFactorial(fi, r);
+          break;
+      }
+      phi_[r][i] = value;
+      sum_phi_[r] += value;
+    }
+  }
+}
+
+double FrequencyMomentModel::Kappa(int r, int s) const {
+  CheckOrder(r, 1, 4, "kappa r");
+  CheckOrder(s, 0, 4, "kappa s");
+  switch (kind_) {
+    case Kind::kBernoulli:
+      return 1.0;
+    case Kind::kMultinomial:
+      return FallingFactorial(sample_, r + s);
+    case Kind::kHypergeometric:
+      return FallingFactorial(sample_, r + s) /
+             FallingFactorial(population_, r + s);
+  }
+  return 0.0;
+}
+
+double FrequencyMomentModel::SumPhiPhi(int r, int s) const {
+  CheckOrder(r, 1, 4, "phi r");
+  CheckOrder(s, 1, 4, "phi s");
+  double sum = 0;
+  const auto& a = phi_[r];
+  const auto& b = phi_[s];
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double FrequencyMomentModel::RawMoment(size_t i, int k) const {
+  CheckOrder(k, 1, 4, "raw moment");
+  double moment = 0;
+  for (int r = 1; r <= k; ++r) {
+    moment += kStirling[k][r] * Kappa(r) * phi_[r][i];
+  }
+  return moment;
+}
+
+double FrequencyMomentModel::RawMomentSum(int k) const {
+  CheckOrder(k, 1, 4, "raw moment");
+  double moment = 0;
+  for (int r = 1; r <= k; ++r) {
+    moment += kStirling[k][r] * Kappa(r) * sum_phi_[r];
+  }
+  return moment;
+}
+
+GenericJoinVariance ComputeGenericJoinVariance(const FrequencyMomentModel& f,
+                                               const FrequencyMomentModel& g,
+                                               double scale) {
+  if (f.domain_size() != g.domain_size()) {
+    throw std::invalid_argument(
+        "join variance needs matching domains (zero-pad the shorter vector)");
+  }
+  const size_t dom = f.domain_size();
+
+  // Cross-relation diagonal sums of raw moments.
+  double e1e1 = 0;    // Σ E[f'_i] E[g'_i]
+  double e2e2 = 0;    // Σ E[f'_i²] E[g'_i²]
+  double w_sum = 0;   // Σ φf1(i) φg1(i)
+  double w2_sum = 0;  // Σ (φf1 φg1)²(i)
+  for (size_t i = 0; i < dom; ++i) {
+    e1e1 += f.RawMoment(i, 1) * g.RawMoment(i, 1);
+    e2e2 += f.RawMoment(i, 2) * g.RawMoment(i, 2);
+    const double w = f.Phi(i, 1) * g.Phi(i, 1);
+    w_sum += w;
+    w2_sum += w * w;
+  }
+
+  const double sum_e2f = f.RawMomentSum(2);
+  const double sum_e2g = g.RawMomentSum(2);
+
+  // ΣΣ_{i,j} E[f'_i f'_j] E[g'_i g'_j]:
+  //   off-diagonal: κf(1,1) κg(1,1) ((Σw)² − Σw²), diagonal: Σ E[f²]E[g²].
+  const double cross_all =
+      f.Kappa(1, 1) * g.Kappa(1, 1) * (w_sum * w_sum - w2_sum) + e2e2;
+
+  GenericJoinVariance out;
+  out.expectation = scale * e1e1;
+  const double scale2 = scale * scale;
+  out.sampling_term = scale2 * (cross_all - e1e1 * e1e1);
+  out.bracket = scale2 * (sum_e2f * sum_e2g + cross_all - 2.0 * e2e2);
+  return out;
+}
+
+GenericSelfJoinVariance ComputeGenericSelfJoinVariance(
+    const FrequencyMomentModel& f, double scale_a, double shift_coefficient,
+    bool random_shift) {
+  const double sum_e1 = f.RawMomentSum(1);
+  const double sum_e2 = f.RawMomentSum(2);
+  const double sum_e3 = f.RawMomentSum(3);
+  const double sum_e4 = f.RawMomentSum(4);
+
+  // ΣΣ_{i,j} E[f'_i² f'_j²]: expand squares via (x² = (x)₂ + x), using the
+  // separable joint factorial moments off-diagonal and E[f'_i⁴] on-diagonal.
+  double cross22 = sum_e4;
+  for (int r = 1; r <= 2; ++r) {
+    for (int s = 1; s <= 2; ++s) {
+      cross22 += f.Kappa(r, s) *
+                 (f.SumPhi(r) * f.SumPhi(s) - f.SumPhiPhi(r, s));
+    }
+  }
+
+  // ΣΣ_{i,j} E[f'_i² f'_j]: off-diagonal via factorials, diagonal E[f'_i³].
+  double cross21 = sum_e3;
+  for (int r = 1; r <= 2; ++r) {
+    cross21 += f.Kappa(r, 1) * (f.SumPhi(r) * f.SumPhi(1) -
+                                f.SumPhiPhi(r, 1));
+  }
+
+  // ΣΣ_{i,j} E[f'_i f'_j].
+  const double cross11 =
+      f.Kappa(1, 1) * (f.SumPhi(1) * f.SumPhi(1) - f.SumPhiPhi(1, 1)) +
+      sum_e2;
+
+  const double var_avg_s2_sampling = cross22 - sum_e2 * sum_e2;
+  const double var_m = cross11 - sum_e1 * sum_e1;
+  const double cov_s2_m = cross21 - sum_e2 * sum_e1;
+
+  GenericSelfJoinVariance out;
+  const double a2 = scale_a * scale_a;
+  if (random_shift) {
+    const double b = shift_coefficient;
+    out.expectation = scale_a * sum_e2 - b * sum_e1;
+    out.sampling_term = a2 * var_avg_s2_sampling + b * b * var_m -
+                        2.0 * scale_a * b * cov_s2_m;
+  } else {
+    out.expectation = scale_a * sum_e2 - shift_coefficient;
+    out.sampling_term = a2 * var_avg_s2_sampling;
+  }
+  out.bracket = 2.0 * a2 * (cross22 - sum_e4);
+  return out;
+}
+
+}  // namespace sketchsample

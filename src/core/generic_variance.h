@@ -1,0 +1,130 @@
+// Generic variance engine: Props 9-12 evaluated exactly for ANY of the three
+// sampling processes via factorial moments.
+//
+// The paper's generic analysis expresses the combined estimator's variance
+// through moments of the sampling frequency random variables f'_i:
+// E[f'_i], E[f'_i²], E[f'_i⁴], E[f'_i f'_j], E[f'_i² f'_j²], E[f'_i² f'_j].
+// For all three sampling processes those joint moments factor through
+// *falling-factorial* moments with a separable structure,
+//
+//     E[(f'_i)_(r) (f'_j)_(s)] = κ(r, s) · φ_r(i) · φ_s(j)    (i ≠ j),
+//
+//   Bernoulli(p):      φ_r(i) = (f_i)_(r) p^r,            κ(r,s) = 1
+//   multinomial (WR):  φ_r(i) = (f_i/|F|)^r,              κ(r,s) = (m)_(r+s)
+//   hypergeom. (WOR):  φ_r(i) = (f_i)_(r),                κ(r,s) = (m)_(r+s)/(|F|)_(r+s)
+//
+// so every double sum in Props 9-12 collapses to O(|I|) work. Raw moments
+// follow from the Stirling expansion x^k = Σ_r S(k,r)(x)_(r).
+//
+// This engine serves three purposes:
+//   1. an independent implementation that property tests check against the
+//      paper's closed forms (Eqs 25-28);
+//   2. the exact variance of the WR/WOR *self-join* estimators, which the
+//      paper omits "due to lack of space";
+//   3. exact variances for hybrid cases (different schemes per relation).
+#ifndef SKETCHSAMPLE_CORE_GENERIC_VARIANCE_H_
+#define SKETCHSAMPLE_CORE_GENERIC_VARIANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+
+namespace sketchsample {
+
+/// Falling factorial x·(x−1)·…·(x−r+1); r = 0 gives 1.
+double FallingFactorial(double x, int r);
+
+/// Precomputed factorial-moment structure of one sampled relation.
+/// Supports r, s up to 4 (r + s up to 8).
+class FrequencyMomentModel {
+ public:
+  /// Bernoulli sampling with keep-probability p ∈ (0, 1].
+  static FrequencyMomentModel Bernoulli(const FrequencyVector& freq,
+                                        double p);
+  /// Sampling with replacement, fixed sample size m ≥ 1.
+  static FrequencyMomentModel WithReplacement(const FrequencyVector& freq,
+                                              uint64_t sample_size);
+  /// Sampling without replacement, fixed sample size 1 ≤ m ≤ |F|.
+  static FrequencyMomentModel WithoutReplacement(const FrequencyVector& freq,
+                                                 uint64_t sample_size);
+
+  /// κ(r, s) coupling constant; s = 0 gives the marginal constant.
+  double Kappa(int r, int s = 0) const;
+
+  /// Σ_i φ_r(i).
+  double SumPhi(int r) const { return sum_phi_[r]; }
+  /// φ_r(i) for one value (r ∈ 1..4).
+  double Phi(size_t i, int r) const { return phi_[r][i]; }
+  /// Σ_i φ_r(i) φ_s(i) (diagonal of the separable double sums).
+  double SumPhiPhi(int r, int s) const;
+
+  /// Per-value raw moment E[f'_i^k], k ∈ 1..4.
+  double RawMoment(size_t i, int k) const;
+  /// Σ_i E[f'_i^k].
+  double RawMomentSum(int k) const;
+
+  size_t domain_size() const { return phi_[1].size(); }
+
+ private:
+  enum class Kind { kBernoulli, kMultinomial, kHypergeometric };
+
+  FrequencyMomentModel(Kind kind, const FrequencyVector& freq, double p,
+                       uint64_t sample_size);
+
+  Kind kind_;
+  double population_ = 0;  // |F|
+  double sample_ = 0;      // m (unused for Bernoulli)
+  double p_ = 1.0;         // Bernoulli only
+  // phi_[r][i], r in 1..4 (index 0 unused).
+  std::vector<double> phi_[5];
+  double sum_phi_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Variance of the (averaged) sketch-over-sample size-of-join estimator
+/// X = C · (1/n) Σ_k S_k T_k, decomposed into the n-independent sampling
+/// part and the 1/n bracket (sketch + interaction), per Prop 11.
+struct GenericJoinVariance {
+  double expectation = 0;    ///< E[X] (should equal the true join size)
+  double sampling_term = 0;  ///< C²(ΣΣ E[ff]E[gg] − E[X/C]²) — Eq 3
+  double bracket = 0;        ///< C²(Σ E[f²] Σ E[g²] + ΣΣ − 2 Σ diag)
+
+  /// Var of the n-way averaged estimator (Prop 11).
+  double VarianceAveraged(size_t n) const {
+    return sampling_term + bracket / static_cast<double>(n);
+  }
+  /// Var of the basic estimator (Prop 9; equals VarianceAveraged(1)).
+  double VarianceBasic() const { return VarianceAveraged(1); }
+};
+
+/// Evaluates Prop 9/11 for independently sampled relations f and g.
+/// `scale` is the unbiasing constant C (1/(pq) or 1/(αβ)).
+GenericJoinVariance ComputeGenericJoinVariance(const FrequencyMomentModel& f,
+                                               const FrequencyMomentModel& g,
+                                               double scale);
+
+/// Variance of the corrected self-join estimator
+/// X = A · (1/n) Σ_k S_k² − shift, where the shift is B·|F'| with random
+/// |F'| = Σ_i f'_i for Bernoulli (random_shift = true, B = shift_coefficient)
+/// or a deterministic constant for WR/WOR (random_shift = false,
+/// shift_coefficient = the constant itself).
+struct GenericSelfJoinVariance {
+  double expectation = 0;    ///< E[X] (should equal the true self-join size)
+  double sampling_term = 0;  ///< n-independent part (incl. shift (co)variances)
+  double bracket = 0;        ///< coefficient of 1/n: 2A²(ΣΣ E[f²f²] − Σ E[f⁴])
+
+  double VarianceAveraged(size_t n) const {
+    return sampling_term + bracket / static_cast<double>(n);
+  }
+  double VarianceBasic() const { return VarianceAveraged(1); }
+};
+
+/// Evaluates Prop 10/12 extended with the additive bias correction.
+GenericSelfJoinVariance ComputeGenericSelfJoinVariance(
+    const FrequencyMomentModel& f, double scale_a, double shift_coefficient,
+    bool random_shift);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_GENERIC_VARIANCE_H_

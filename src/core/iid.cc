@@ -1,0 +1,46 @@
+#include "src/core/iid.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+IidStreamEstimator::IidStreamEstimator(const SketchParams& params)
+    : sketch_(params) {}
+
+void IidStreamEstimator::Update(uint64_t key) {
+  ++samples_;
+  sketch_.Update(key);
+}
+
+double IidStreamEstimator::EstimateCollisionProbability() const {
+  if (samples_ < 2) {
+    throw std::logic_error(
+        "collision probability needs at least 2 i.i.d. samples");
+  }
+  const double m = static_cast<double>(samples_);
+  // E[raw] = Σ E[f'²] = m(m−1) Σp² + m.
+  return (sketch_.EstimateSelfJoin() - m) / (m * (m - 1.0));
+}
+
+double IidStreamEstimator::EstimateMatchProbability(
+    const IidStreamEstimator& other) const {
+  if (samples_ == 0 || other.samples_ == 0) {
+    throw std::logic_error("match probability needs samples on both sides");
+  }
+  // Independent samples: E[Σ f'g'] = m_f m_g Σ p q.
+  return sketch_.EstimateJoin(other.sketch_) /
+         (static_cast<double>(samples_) *
+          static_cast<double>(other.samples_));
+}
+
+double IidStreamEstimator::EstimateEffectiveSupport() const {
+  const double kappa = EstimateCollisionProbability();
+  if (kappa <= 0.0) {
+    throw std::logic_error(
+        "collision probability estimate is non-positive; sketch too small "
+        "or sample too short for a support estimate");
+  }
+  return 1.0 / kappa;
+}
+
+}  // namespace sketchsample

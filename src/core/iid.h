@@ -1,0 +1,65 @@
+// Estimators for i.i.d. sample streams from UNKNOWN populations (§V's
+// limiting case: "if the population is infinite, the entire process can be
+// seen as sketching i.i.d. samples from an unknown distribution ... the
+// frequencies in the original unknown population become densities").
+//
+// When the population size |F| is unknown (or infinite), absolute
+// aggregates like Σ f_i² are undefined, but their normalized limits are
+// not:
+//
+//   collision probability   κ(F)    = Σ_i p_i²      (self-join density)
+//   match probability       κ(F,G)  = Σ_i p_i q_i   (join density)
+//
+// For an m-tuple i.i.d. sample with per-value counts f'_i (multinomial),
+//   E[Σ f'_i (f'_i − 1)] = m(m−1) Σ p_i²,
+// so (Σf'² − m) / (m(m−1)) is unbiased for κ — and because
+// E[S²] = Σ E[f'²] for AGMS-style sketches, replacing Σf'² with the sketch
+// estimate keeps the estimator unbiased with no stored sample. The match
+// probability follows from the join estimate divided by m_f · m_g.
+//
+// These are the quantities online data-mining over sample streams actually
+// needs (e.g. self-similarity of a generative model, cross-correlation of
+// two models) without ever learning the population size.
+#ifndef SKETCHSAMPLE_CORE_IID_H_
+#define SKETCHSAMPLE_CORE_IID_H_
+
+#include <cstdint>
+
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Sketches an i.i.d. sample stream from an unknown distribution and
+/// estimates its collision probability κ = Σ p_i² and, against another
+/// estimator, the match probability Σ p_i q_i.
+class IidStreamEstimator {
+ public:
+  explicit IidStreamEstimator(const SketchParams& params);
+
+  /// Consumes one i.i.d. sample.
+  void Update(uint64_t key);
+
+  /// Unbiased estimate of Σ p_i² (needs at least 2 samples; throws
+  /// std::logic_error earlier).
+  double EstimateCollisionProbability() const;
+
+  /// Unbiased estimate of Σ p_i q_i against another i.i.d. stream sketched
+  /// with compatible params (each side needs at least 1 sample).
+  double EstimateMatchProbability(const IidStreamEstimator& other) const;
+
+  /// 1 / κ — the "effective support size" of the distribution (equals the
+  /// domain size for a uniform distribution).
+  double EstimateEffectiveSupport() const;
+
+  uint64_t samples_seen() const { return samples_; }
+  const FagmsSketch& sketch() const { return sketch_; }
+
+ private:
+  FagmsSketch sketch_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_IID_H_

@@ -1,0 +1,175 @@
+#include "src/core/progressive.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/corrections.h"
+#include "src/sampling/coefficients.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+
+namespace {
+
+// Merges a set of same-seed block sketches into one sketch holding all
+// scanned tuples.
+FagmsSketch MergeBlocks(const std::vector<FagmsSketch>& blocks) {
+  FagmsSketch merged = blocks.front();
+  for (size_t b = 1; b < blocks.size(); ++b) merged.Merge(blocks[b]);
+  return merged;
+}
+
+// Batch-means interval around `center` from per-block estimates.
+ConfidenceInterval BatchMeansInterval(double center,
+                                      const std::vector<double>& block_est,
+                                      double level) {
+  RunningStats spread;
+  for (double x : block_est) spread.Add(x);
+  const double se = spread.StdError();
+  const double z = NormalQuantile(0.5 + level / 2.0);
+  return ConfidenceInterval{center - z * se, center + z * se, level};
+}
+
+}  // namespace
+
+ProgressiveF2Estimator::ProgressiveF2Estimator(uint64_t population,
+                                               size_t num_blocks,
+                                               const SketchParams& params)
+    : population_(population) {
+  if (population == 0) {
+    throw std::invalid_argument("population must be positive");
+  }
+  if (num_blocks < 2) {
+    throw std::invalid_argument("batch means needs at least 2 blocks");
+  }
+  blocks_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) blocks_.emplace_back(params);
+  block_counts_.assign(num_blocks, 0);
+}
+
+void ProgressiveF2Estimator::Update(uint64_t key) {
+  const size_t block = scanned_ % blocks_.size();
+  blocks_[block].Update(key);
+  ++block_counts_[block];
+  ++scanned_;
+}
+
+ProgressiveReport ProgressiveF2Estimator::Report(double level) const {
+  for (uint64_t count : block_counts_) {
+    if (count < 2) {
+      throw std::logic_error(
+          "progressive report needs at least 2 tuples per block");
+    }
+  }
+  ProgressiveReport report;
+  report.tuples_scanned = scanned_;
+  report.fraction_scanned =
+      static_cast<double>(scanned_) / static_cast<double>(population_);
+
+  const FagmsSketch merged = MergeBlocks(blocks_);
+  report.estimate =
+      WorSelfJoinCorrection(ComputeCoefficients(population_, scanned_))
+          .Apply(merged.EstimateSelfJoin());
+
+  std::vector<double> block_estimates;
+  block_estimates.reserve(blocks_.size());
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    block_estimates.push_back(
+        WorSelfJoinCorrection(
+            ComputeCoefficients(population_, block_counts_[b]))
+            .Apply(blocks_[b].EstimateSelfJoin()));
+  }
+  report.ci = BatchMeansInterval(report.estimate, block_estimates, level);
+  return report;
+}
+
+bool ProgressiveF2Estimator::HasConverged(double relative_halfwidth,
+                                          double level) const {
+  for (uint64_t count : block_counts_) {
+    if (count < 2) return false;
+  }
+  const ProgressiveReport report = Report(level);
+  if (report.estimate == 0) return false;
+  return report.ci.HalfWidth() <=
+         relative_halfwidth * std::abs(report.estimate);
+}
+
+ProgressiveJoinEstimator::ProgressiveJoinEstimator(uint64_t population_f,
+                                                   uint64_t population_g,
+                                                   size_t num_blocks,
+                                                   const SketchParams& params)
+    : population_f_(population_f), population_g_(population_g) {
+  if (population_f == 0 || population_g == 0) {
+    throw std::invalid_argument("populations must be positive");
+  }
+  if (num_blocks < 2) {
+    throw std::invalid_argument("batch means needs at least 2 blocks");
+  }
+  blocks_f_.reserve(num_blocks);
+  blocks_g_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    blocks_f_.emplace_back(params);
+    blocks_g_.emplace_back(params);
+  }
+  block_counts_f_.assign(num_blocks, 0);
+  block_counts_g_.assign(num_blocks, 0);
+}
+
+void ProgressiveJoinEstimator::UpdateF(uint64_t key) {
+  const size_t block = scanned_f_ % blocks_f_.size();
+  blocks_f_[block].Update(key);
+  ++block_counts_f_[block];
+  ++scanned_f_;
+}
+
+void ProgressiveJoinEstimator::UpdateG(uint64_t key) {
+  const size_t block = scanned_g_ % blocks_g_.size();
+  blocks_g_[block].Update(key);
+  ++block_counts_g_[block];
+  ++scanned_g_;
+}
+
+ProgressiveReport ProgressiveJoinEstimator::Report(double level) const {
+  for (size_t b = 0; b < blocks_f_.size(); ++b) {
+    if (block_counts_f_[b] < 1 || block_counts_g_[b] < 1) {
+      throw std::logic_error(
+          "progressive report needs at least 1 tuple per block per side");
+    }
+  }
+  ProgressiveReport report;
+  report.tuples_scanned = scanned_f_ + scanned_g_;
+  report.fraction_scanned =
+      static_cast<double>(scanned_f_) / static_cast<double>(population_f_);
+
+  const FagmsSketch merged_f = MergeBlocks(blocks_f_);
+  const FagmsSketch merged_g = MergeBlocks(blocks_g_);
+  report.estimate =
+      WorJoinCorrection(ComputeCoefficients(population_f_, scanned_f_),
+                        ComputeCoefficients(population_g_, scanned_g_))
+          .Apply(merged_f.EstimateJoin(merged_g));
+
+  std::vector<double> block_estimates;
+  block_estimates.reserve(blocks_f_.size());
+  for (size_t b = 0; b < blocks_f_.size(); ++b) {
+    block_estimates.push_back(
+        WorJoinCorrection(
+            ComputeCoefficients(population_f_, block_counts_f_[b]),
+            ComputeCoefficients(population_g_, block_counts_g_[b]))
+            .Apply(blocks_f_[b].EstimateJoin(blocks_g_[b])));
+  }
+  report.ci = BatchMeansInterval(report.estimate, block_estimates, level);
+  return report;
+}
+
+bool ProgressiveJoinEstimator::HasConverged(double relative_halfwidth,
+                                            double level) const {
+  for (size_t b = 0; b < blocks_f_.size(); ++b) {
+    if (block_counts_f_[b] < 1 || block_counts_g_[b] < 1) return false;
+  }
+  const ProgressiveReport report = Report(level);
+  if (report.estimate == 0) return false;
+  return report.ci.HalfWidth() <=
+         relative_halfwidth * std::abs(report.estimate);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,111 @@
+// Progressive estimators for online aggregation (§VI-C), with confidence
+// intervals and a stopping rule.
+//
+// An online-aggregation engine scans a relation in random order and wants,
+// at any point during the scan, (estimate, confidence interval) pairs that
+// tighten as the scan proceeds — stopping early once the interval is tight
+// enough. The scanned prefix is a WOR sample, so the §V corrections apply;
+// the remaining question is how to attach an interval without knowing the
+// frequency statistics the closed-form variances need.
+//
+// The classic batch-means construction is used: arriving tuples are dealt
+// round-robin into K block sketches (over a random-order scan, round-robin
+// assignment makes every block an independent-ish WOR sample). Each block
+// yields a corrected estimate; the spread of the K block estimates gives a
+// standard error. The reported point estimate comes from the *merged*
+// sketch (all scanned tuples — strictly more accurate than any block), and
+// the interval is centered on it:
+//
+//   CI = merged_estimate ± z_level · sd(block estimates) / sqrt(K)
+//
+// Because each block sketch carries the sketch error of a K-times-smaller
+// sample while the merged sketch averages it away, this interval is
+// conservative (it over-covers); tests verify coverage stays at or above
+// the nominal level. This mirrors how online-aggregation engines trade a
+// little interval width for assumption-free error tracking.
+#ifndef SKETCHSAMPLE_CORE_PROGRESSIVE_H_
+#define SKETCHSAMPLE_CORE_PROGRESSIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/confidence.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// A progress snapshot from a progressive estimator.
+struct ProgressiveReport {
+  double estimate = 0;        ///< merged-sketch corrected estimate
+  ConfidenceInterval ci;      ///< batch-means interval around it
+  double fraction_scanned = 0;  ///< α of the (first) relation
+  uint64_t tuples_scanned = 0;  ///< total tuples consumed so far
+};
+
+/// Progressive second-frequency-moment (self-join size) estimator over a
+/// random-order scan of a relation with known size.
+class ProgressiveF2Estimator {
+ public:
+  /// `population` is |F| (the relation being scanned); `num_blocks` K >= 2
+  /// controls the batch-means variance estimate; `params` shapes each block
+  /// sketch (all blocks share seeds so they can be merged).
+  ProgressiveF2Estimator(uint64_t population, size_t num_blocks,
+                         const SketchParams& params);
+
+  /// Consumes the next scanned tuple.
+  void Update(uint64_t key);
+
+  /// Current snapshot at the given confidence level. Requires at least 2
+  /// tuples per block (throws std::logic_error earlier in the scan).
+  ProgressiveReport Report(double level) const;
+
+  /// True once the interval half-width is below
+  /// `relative_halfwidth` × |estimate| at the given level.
+  bool HasConverged(double relative_halfwidth, double level) const;
+
+  uint64_t tuples_scanned() const { return scanned_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  uint64_t population_;
+  uint64_t scanned_ = 0;
+  std::vector<FagmsSketch> blocks_;
+  std::vector<uint64_t> block_counts_;
+};
+
+/// Progressive size-of-join estimator over synchronized random-order scans
+/// of two relations with known sizes.
+class ProgressiveJoinEstimator {
+ public:
+  ProgressiveJoinEstimator(uint64_t population_f, uint64_t population_g,
+                           size_t num_blocks, const SketchParams& params);
+
+  /// Consumes the next scanned tuple of F (resp. G).
+  void UpdateF(uint64_t key);
+  void UpdateG(uint64_t key);
+
+  /// Current snapshot; fraction_scanned reports the F-side fraction.
+  /// Requires at least 1 tuple per block on both sides.
+  ProgressiveReport Report(double level) const;
+
+  bool HasConverged(double relative_halfwidth, double level) const;
+
+  uint64_t tuples_scanned_f() const { return scanned_f_; }
+  uint64_t tuples_scanned_g() const { return scanned_g_; }
+
+ private:
+  uint64_t population_f_;
+  uint64_t population_g_;
+  uint64_t scanned_f_ = 0;
+  uint64_t scanned_g_ = 0;
+  std::vector<FagmsSketch> blocks_f_;
+  std::vector<FagmsSketch> blocks_g_;
+  std::vector<uint64_t> block_counts_f_;
+  std::vector<uint64_t> block_counts_g_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_PROGRESSIVE_H_

@@ -1,0 +1,56 @@
+#include "src/core/sampling_estimators.h"
+
+#include "src/core/corrections.h"
+#include "src/sampling/coefficients.h"
+
+namespace sketchsample {
+
+double BernoulliJoinSampleEstimate(const FrequencyVector& sample_f,
+                                   const FrequencyVector& sample_g, double p,
+                                   double q) {
+  return BernoulliJoinCorrection(p, q).Apply(
+      ExactJoinSize(sample_f, sample_g));
+}
+
+double BernoulliSelfJoinSampleEstimate(const FrequencyVector& sample_f,
+                                       double p) {
+  const uint64_t sample_size = static_cast<uint64_t>(sample_f.F1());
+  return BernoulliSelfJoinCorrection(p, sample_size)
+      .Apply(sample_f.F2());
+}
+
+double WrJoinSampleEstimate(const FrequencyVector& sample_f,
+                            const FrequencyVector& sample_g,
+                            uint64_t population_f, uint64_t population_g) {
+  const auto cf = ComputeCoefficients(
+      population_f, static_cast<uint64_t>(sample_f.F1()));
+  const auto cg = ComputeCoefficients(
+      population_g, static_cast<uint64_t>(sample_g.F1()));
+  return WrJoinCorrection(cf, cg).Apply(ExactJoinSize(sample_f, sample_g));
+}
+
+double WrSelfJoinSampleEstimate(const FrequencyVector& sample_f,
+                                uint64_t population_f) {
+  const auto cf = ComputeCoefficients(
+      population_f, static_cast<uint64_t>(sample_f.F1()));
+  return WrSelfJoinCorrection(cf).Apply(sample_f.F2());
+}
+
+double WorJoinSampleEstimate(const FrequencyVector& sample_f,
+                             const FrequencyVector& sample_g,
+                             uint64_t population_f, uint64_t population_g) {
+  const auto cf = ComputeCoefficients(
+      population_f, static_cast<uint64_t>(sample_f.F1()));
+  const auto cg = ComputeCoefficients(
+      population_g, static_cast<uint64_t>(sample_g.F1()));
+  return WorJoinCorrection(cf, cg).Apply(ExactJoinSize(sample_f, sample_g));
+}
+
+double WorSelfJoinSampleEstimate(const FrequencyVector& sample_f,
+                                 uint64_t population_f) {
+  const auto cf = ComputeCoefficients(
+      population_f, static_cast<uint64_t>(sample_f.F1()));
+  return WorSelfJoinCorrection(cf).Apply(sample_f.F2());
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,49 @@
+// Sampling-only estimators (Props 3-6): the baseline the combined
+// sketch-over-sample estimator is compared against.
+//
+// These operate on the *sampled* frequency vectors (exact aggregation over
+// the sample, then the correction of src/core/corrections.h). They are what
+// an approximate-query engine that stores samples — instead of sketching
+// them — would compute.
+#ifndef SKETCHSAMPLE_CORE_SAMPLING_ESTIMATORS_H_
+#define SKETCHSAMPLE_CORE_SAMPLING_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+
+namespace sketchsample {
+
+/// Prop 3: X = (1/pq) Σ f'_i g'_i over Bernoulli samples.
+double BernoulliJoinSampleEstimate(const FrequencyVector& sample_f,
+                                   const FrequencyVector& sample_g, double p,
+                                   double q);
+
+/// Prop 4: X = (1/p²) Σ f'_i² − ((1−p)/p²) Σ f'_i over a Bernoulli sample.
+double BernoulliSelfJoinSampleEstimate(const FrequencyVector& sample_f,
+                                       double p);
+
+/// Prop 5: X = (1/αβ) Σ f'_i g'_i over WR samples; sample sizes are read
+/// from the sampled vectors, population sizes are passed in.
+double WrJoinSampleEstimate(const FrequencyVector& sample_f,
+                            const FrequencyVector& sample_g,
+                            uint64_t population_f, uint64_t population_g);
+
+/// §III-D: X = (1/αα₂) Σ f'_i² − |F|/α₂ over a WR sample (needs ≥2 tuples).
+double WrSelfJoinSampleEstimate(const FrequencyVector& sample_f,
+                                uint64_t population_f);
+
+/// Prop 6: X = (1/αβ) Σ f'_i g'_i over WOR samples.
+double WorJoinSampleEstimate(const FrequencyVector& sample_f,
+                             const FrequencyVector& sample_g,
+                             uint64_t population_f, uint64_t population_g);
+
+/// §III-E: X = (1/αα₁) Σ f'_i² − ((1−α₁)/α₁)|F| over a WOR sample
+/// (needs ≥2 tuples).
+double WorSelfJoinSampleEstimate(const FrequencyVector& sample_f,
+                                 uint64_t population_f);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_SAMPLING_ESTIMATORS_H_

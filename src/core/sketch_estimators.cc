@@ -1,0 +1,32 @@
+#include "src/core/sketch_estimators.h"
+
+namespace sketchsample {
+
+AgmsSketch BuildAgmsSketch(const std::vector<uint64_t>& stream,
+                           const SketchParams& params) {
+  AgmsSketch sketch(params);
+  for (uint64_t key : stream) sketch.Update(key);
+  return sketch;
+}
+
+FagmsSketch BuildFagmsSketch(const std::vector<uint64_t>& stream,
+                             const SketchParams& params) {
+  FagmsSketch sketch(params);
+  for (uint64_t key : stream) sketch.Update(key);
+  return sketch;
+}
+
+double FagmsJoinEstimate(const std::vector<uint64_t>& stream_f,
+                         const std::vector<uint64_t>& stream_g,
+                         const SketchParams& params) {
+  const FagmsSketch sf = BuildFagmsSketch(stream_f, params);
+  const FagmsSketch sg = BuildFagmsSketch(stream_g, params);
+  return sf.EstimateJoin(sg);
+}
+
+double FagmsSelfJoinEstimate(const std::vector<uint64_t>& stream,
+                             const SketchParams& params) {
+  return BuildFagmsSketch(stream, params).EstimateSelfJoin();
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,39 @@
+// Plain sketch estimators (§IV) and one-shot builders.
+//
+// These are the no-sampling baselines (p = 1 / full-data sketching) that the
+// combined estimators of src/core/sketch_over_sample.h are compared against,
+// plus convenience builders used by tests, examples, and benches.
+#ifndef SKETCHSAMPLE_CORE_SKETCH_ESTIMATORS_H_
+#define SKETCHSAMPLE_CORE_SKETCH_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/agms.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Builds an AGMS sketch over a materialized stream.
+AgmsSketch BuildAgmsSketch(const std::vector<uint64_t>& stream,
+                           const SketchParams& params);
+
+/// Builds an F-AGMS sketch over a materialized stream.
+FagmsSketch BuildFagmsSketch(const std::vector<uint64_t>& stream,
+                             const SketchParams& params);
+
+/// One-shot size-of-join estimate: sketches both streams with compatible
+/// F-AGMS sketches and returns the median-of-rows estimate (Prop 7 applied
+/// per bucket row).
+double FagmsJoinEstimate(const std::vector<uint64_t>& stream_f,
+                         const std::vector<uint64_t>& stream_g,
+                         const SketchParams& params);
+
+/// One-shot self-join size estimate over an F-AGMS sketch (Prop 8).
+double FagmsSelfJoinEstimate(const std::vector<uint64_t>& stream,
+                             const SketchParams& params);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_SKETCH_ESTIMATORS_H_

@@ -1,0 +1,122 @@
+#include "src/core/sketch_over_sample.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+template <typename SketchT>
+BernoulliSketchEstimator<SketchT>::BernoulliSketchEstimator(
+    double p, const SketchParams& params, uint64_t sampler_seed)
+    : p_(p),
+      coin_(p, sampler_seed),
+      skipper_(p, sampler_seed ^ 0x9e3779b97f4a7c15ULL),
+      sketch_(params) {}
+
+template <typename SketchT>
+void BernoulliSketchEstimator<SketchT>::Update(uint64_t key) {
+  ++seen_;
+  if (coin_.Keep()) {
+    ++sampled_;
+    sketch_.Update(key);
+  }
+}
+
+template <typename SketchT>
+size_t BernoulliSketchEstimator<SketchT>::ProcessStreamWithSkips(
+    const std::vector<uint64_t>& stream) {
+  seen_ += stream.size();
+  size_t kept = 0;
+  size_t pos = skipper_.NextSkip();
+  while (pos < stream.size()) {
+    sketch_.Update(stream[pos]);
+    ++kept;
+    pos += 1 + skipper_.NextSkip();
+  }
+  sampled_ += kept;
+  return kept;
+}
+
+template <typename SketchT>
+double BernoulliSketchEstimator<SketchT>::EstimateSelfJoin() const {
+  return BernoulliSelfJoinCorrection(p_, sampled_)
+      .Apply(sketch_.EstimateSelfJoin());
+}
+
+template <typename SketchT>
+double BernoulliSketchEstimator<SketchT>::EstimateJoin(
+    const BernoulliSketchEstimator& other) const {
+  return BernoulliJoinCorrection(p_, other.p_)
+      .Apply(sketch_.EstimateJoin(other.sketch_));
+}
+
+template <typename SketchT>
+SampledStreamEstimator<SketchT>::SampledStreamEstimator(
+    SamplingScheme scheme, uint64_t population_size,
+    const SketchParams& params)
+    : scheme_(scheme), population_(population_size), sketch_(params) {
+  if (scheme == SamplingScheme::kBernoulli) {
+    throw std::invalid_argument(
+        "use BernoulliSketchEstimator for Bernoulli sampling");
+  }
+  if (population_size == 0) {
+    throw std::invalid_argument("population size must be positive");
+  }
+}
+
+template <typename SketchT>
+void SampledStreamEstimator<SketchT>::Update(uint64_t key) {
+  ++sampled_;
+  sketch_.Update(key);
+}
+
+template <typename SketchT>
+void SampledStreamEstimator<SketchT>::UpdateAll(
+    const std::vector<uint64_t>& sample) {
+  for (uint64_t key : sample) Update(key);
+}
+
+template <typename SketchT>
+SamplingCoefficients SampledStreamEstimator<SketchT>::Coefficients() const {
+  return ComputeCoefficients(population_, sampled_);
+}
+
+template <typename SketchT>
+double SampledStreamEstimator<SketchT>::SampleFraction() const {
+  return static_cast<double>(sampled_) / static_cast<double>(population_);
+}
+
+template <typename SketchT>
+double SampledStreamEstimator<SketchT>::EstimateSelfJoin() const {
+  const auto coef = Coefficients();
+  const Correction correction =
+      scheme_ == SamplingScheme::kWithReplacement
+          ? WrSelfJoinCorrection(coef)
+          : WorSelfJoinCorrection(coef);
+  return correction.Apply(sketch_.EstimateSelfJoin());
+}
+
+template <typename SketchT>
+double SampledStreamEstimator<SketchT>::EstimateJoin(
+    const SampledStreamEstimator& other) const {
+  if (scheme_ != other.scheme_) {
+    throw std::invalid_argument(
+        "join of estimators with different sampling schemes");
+  }
+  const auto cf = Coefficients();
+  const auto cg = other.Coefficients();
+  const Correction correction = scheme_ == SamplingScheme::kWithReplacement
+                                    ? WrJoinCorrection(cf, cg)
+                                    : WorJoinCorrection(cf, cg);
+  return correction.Apply(sketch_.EstimateJoin(other.sketch_));
+}
+
+template class BernoulliSketchEstimator<AgmsSketch>;
+template class BernoulliSketchEstimator<FagmsSketch>;
+template class BernoulliSketchEstimator<CountMinSketch>;
+template class BernoulliSketchEstimator<FastCountSketch>;
+template class SampledStreamEstimator<AgmsSketch>;
+template class SampledStreamEstimator<FagmsSketch>;
+template class SampledStreamEstimator<CountMinSketch>;
+template class SampledStreamEstimator<FastCountSketch>;
+
+}  // namespace sketchsample

@@ -1,0 +1,143 @@
+// The sketch-over-samples estimators (§V) — the paper's contribution.
+//
+// Three deployment shapes, matching §VI:
+//
+//   * BernoulliSketchEstimator<SketchT> — load shedding: the estimator owns a
+//     Bernoulli sampler that drops tuples *before* they reach the sketch;
+//     supports both the coin-flip and the geometric-skip update paths.
+//   * SampledStreamEstimator<SketchT> — WR / WOR: the input stream *is* the
+//     sample (an i.i.d. generative stream, or the prefix of a random-order
+//     scan); every tuple is sketched and only the estimation step changes.
+//
+// Both are templates over the sketch type; AgmsSketch and FagmsSketch are
+// the supported instantiations (explicitly instantiated in the .cc).
+// Because all corrections are monotone affine maps (scale > 0), they commute
+// with the mean/median row-combining inside the sketches and are applied to
+// the combined raw estimate.
+#ifndef SKETCHSAMPLE_CORE_SKETCH_OVER_SAMPLE_H_
+#define SKETCHSAMPLE_CORE_SKETCH_OVER_SAMPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/corrections.h"
+#include "src/sampling/bernoulli.h"
+#include "src/sampling/coefficients.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/countmin.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Sketch over a Bernoulli sample (load shedding, §VI-A).
+///
+/// Estimates are corrected per Props 13/14. Two estimators participating in
+/// a join must be built with the same SketchParams (so their sketches are
+/// compatible) but may use different sampling probabilities p and q.
+template <typename SketchT>
+class BernoulliSketchEstimator {
+ public:
+  /// `p` in (0, 1]: the probability each tuple survives shedding.
+  /// `sampler_seed` drives the sampling coins, independent of the sketch
+  /// randomness in `params.seed`.
+  BernoulliSketchEstimator(double p, const SketchParams& params,
+                           uint64_t sampler_seed);
+
+  /// Coin-flip path: one uniform draw per arriving tuple.
+  void Update(uint64_t key);
+
+  /// Skip path: processes a whole stream chunk doing work only for kept
+  /// tuples (Olken skips). Statistically identical to calling Update() per
+  /// tuple. Returns the number of tuples kept.
+  size_t ProcessStreamWithSkips(const std::vector<uint64_t>& stream);
+
+  /// Self-join size estimate of the *full* stream (Prop 14 correction).
+  double EstimateSelfJoin() const;
+
+  /// Size-of-join estimate of the full streams (Prop 13 correction with
+  /// this->p() as p and other.p() as q).
+  double EstimateJoin(const BernoulliSketchEstimator& other) const;
+
+  double p() const { return p_; }
+  /// Tuples that arrived (kept + shed). Only the coin-flip path counts the
+  /// shed tuples; the skip path adds the chunk sizes it was given.
+  uint64_t tuples_seen() const { return seen_; }
+  /// Tuples that survived shedding and were sketched (= |F'|).
+  uint64_t tuples_sampled() const { return sampled_; }
+  const SketchT& sketch() const { return sketch_; }
+
+ private:
+  double p_;
+  BernoulliSampler coin_;
+  GeometricSkipSampler skipper_;
+  SketchT sketch_;
+  uint64_t seen_ = 0;
+  uint64_t sampled_ = 0;
+};
+
+/// Sketch of a stream that is itself a sample (WR: §VI-B, WOR: §VI-C).
+///
+/// Every arriving tuple is sketched; the population size |F| must be known
+/// (WR: the generative model's population; WOR: the relation being scanned).
+/// For WOR online aggregation, call Estimate* at any point during the scan —
+/// the prefix seen so far is the sample and the corrections use the current
+/// sample size.
+template <typename SketchT>
+class SampledStreamEstimator {
+ public:
+  /// `scheme` must be kWithReplacement or kWithoutReplacement.
+  SampledStreamEstimator(SamplingScheme scheme, uint64_t population_size,
+                         const SketchParams& params);
+
+  /// Sketches one sample tuple.
+  void Update(uint64_t key);
+
+  /// Sketches a chunk of sample tuples.
+  void UpdateAll(const std::vector<uint64_t>& sample);
+
+  /// Self-join size estimate of the population (§III-D/E corrections).
+  /// Requires at least 2 tuples seen.
+  double EstimateSelfJoin() const;
+
+  /// Size-of-join estimate of the populations (Prop 15/16 corrections).
+  /// Schemes of the two estimators may differ only in population size, not
+  /// in kind.
+  double EstimateJoin(const SampledStreamEstimator& other) const;
+
+  SamplingScheme scheme() const { return scheme_; }
+  uint64_t population_size() const { return population_; }
+  uint64_t sample_size() const { return sampled_; }
+  /// Fraction of the population sampled so far (α).
+  double SampleFraction() const;
+  const SketchT& sketch() const { return sketch_; }
+
+ private:
+  SamplingCoefficients Coefficients() const;
+
+  SamplingScheme scheme_;
+  uint64_t population_;
+  SketchT sketch_;
+  uint64_t sampled_ = 0;
+};
+
+// Instantiated for all four sketch families. AGMS and F-AGMS are the
+// analysis-backed choices; FastCount's raw estimates are also unbiased so
+// the corrections carry over; Count-Min estimates are one-sided upper
+// bounds, and the scale corrections preserve that property (the additive
+// self-join shift does not, so treat corrected Count-Min self-joins as
+// heuristics).
+extern template class BernoulliSketchEstimator<AgmsSketch>;
+extern template class BernoulliSketchEstimator<FagmsSketch>;
+extern template class BernoulliSketchEstimator<CountMinSketch>;
+extern template class BernoulliSketchEstimator<FastCountSketch>;
+extern template class SampledStreamEstimator<AgmsSketch>;
+extern template class SampledStreamEstimator<FagmsSketch>;
+extern template class SampledStreamEstimator<CountMinSketch>;
+extern template class SampledStreamEstimator<FastCountSketch>;
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_SKETCH_OVER_SAMPLE_H_

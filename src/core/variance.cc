@@ -1,0 +1,125 @@
+#include "src/core/variance.h"
+
+namespace sketchsample {
+
+namespace {
+double OffDiag(double sum_a, double sum_b, double diagonal) {
+  return JoinStatistics::OffDiagonal(sum_a, sum_b, diagonal);
+}
+}  // namespace
+
+double BernoulliJoinSamplingVariance(const JoinStatistics& s, double p,
+                                     double q) {
+  return (1.0 - p) / p * s.fg2 + (1.0 - q) / q * s.f2g +
+         (1.0 - p) * (1.0 - q) / (p * q) * s.fg;
+}
+
+double BernoulliSelfJoinSamplingVariance(const JoinStatistics& s, double p) {
+  return (1.0 - p) / (p * p * p) *
+         (4.0 * p * p * s.f3 + 2.0 * p * (1.0 - 3.0 * p) * s.f2 -
+          p * (2.0 - 3.0 * p) * s.f1);
+}
+
+// NOTE: the paper prints the middle coefficients of Eq 10 as |F|αβ₂ and
+// |G|α₂β. Deriving from the multinomial moments (and validating against
+// exact enumeration of the sample space — see tests/generic_variance_test.cc
+// — and Monte-Carlo runs of the real pipeline) gives β₂ and α₂ instead; the
+// printed versions are off by a factor of |F|α = |F'| (resp. |G|β = |G'|)
+// and explode for full-size samples. The corrected coefficients also match
+// the structure of the WOR formula (Eq 11) and the Bernoulli formula (Eq 6)
+// in the small-fraction limit. The same correction applies to the
+// interaction term of Eq 27 below.
+double WrJoinSamplingVariance(const JoinStatistics& s,
+                              const SamplingCoefficients& f,
+                              const SamplingCoefficients& g) {
+  return 1.0 / (f.alpha * g.alpha) *
+         (s.fg + g.alpha2 * s.fg2 + f.alpha2 * s.f2g +
+          (f.alpha2 * g.alpha2 - f.alpha * g.alpha) * s.fg * s.fg);
+}
+
+double WorJoinSamplingVariance(const JoinStatistics& s,
+                               const SamplingCoefficients& f,
+                               const SamplingCoefficients& g) {
+  return 1.0 / (f.alpha * g.alpha) *
+         ((1.0 - f.alpha1) * (1.0 - g.alpha1) * s.fg +
+          (1.0 - f.alpha1) * g.alpha1 * s.fg2 +
+          f.alpha1 * (1.0 - g.alpha1) * s.f2g +
+          (f.alpha1 * g.alpha1 - f.alpha * g.alpha) * s.fg * s.fg);
+}
+
+double AgmsJoinVariance(const JoinStatistics& s) {
+  return s.f2 * s.g2 + s.fg * s.fg - 2.0 * s.f2g2;
+}
+
+double AgmsSelfJoinVariance(const JoinStatistics& s) {
+  return 2.0 * (s.f2 * s.f2 - s.f4);
+}
+
+VarianceTerms BernoulliJoinVariance(const JoinStatistics& s, double p,
+                                    double q, size_t n) {
+  VarianceTerms v;
+  v.n = n;
+  const double dn = static_cast<double>(n);
+  v.sampling = BernoulliJoinSamplingVariance(s, p, q);
+  v.sketch = AgmsJoinVariance(s) / dn;
+  // Interaction: the off-diagonal analogue of the sampling variance (Eq 25,
+  // third bracket).
+  v.interaction =
+      ((1.0 - p) / p * OffDiag(s.f1, s.g2, s.fg2) +
+       (1.0 - q) / q * OffDiag(s.f2, s.g1, s.f2g) +
+       (1.0 - p) * (1.0 - q) / (p * q) * OffDiag(s.f1, s.g1, s.fg)) /
+      dn;
+  return v;
+}
+
+VarianceTerms BernoulliSelfJoinVariance(const JoinStatistics& s, double p,
+                                        size_t n) {
+  VarianceTerms v;
+  v.n = n;
+  const double dn = static_cast<double>(n);
+  v.sampling = BernoulliSelfJoinSamplingVariance(s, p);
+  v.sketch = AgmsSelfJoinVariance(s) / dn;
+  const double one_m_p = 1.0 - p;
+  v.interaction = 2.0 / dn *
+                  (one_m_p * one_m_p / (p * p) * OffDiag(s.f1, s.f1, s.f2) +
+                   2.0 * one_m_p / p * OffDiag(s.f2, s.f1, s.f3));
+  return v;
+}
+
+VarianceTerms WrJoinVariance(const JoinStatistics& s,
+                             const SamplingCoefficients& f,
+                             const SamplingCoefficients& g, size_t n) {
+  VarianceTerms v;
+  v.n = n;
+  const double dn = static_cast<double>(n);
+  v.sampling = WrJoinSamplingVariance(s, f, g);
+  v.sketch = (f.alpha2 / f.alpha) * (g.alpha2 / g.alpha) *
+             AgmsJoinVariance(s) / dn;
+  // Interaction coefficients corrected as in WrJoinSamplingVariance above.
+  v.interaction = 1.0 / (f.alpha * g.alpha) *
+                  (OffDiag(s.f1, s.g1, s.fg) +
+                   g.alpha2 * OffDiag(s.f1, s.g2, s.fg2) +
+                   f.alpha2 * OffDiag(s.f2, s.g1, s.f2g)) /
+                  dn;
+  return v;
+}
+
+VarianceTerms WorJoinVariance(const JoinStatistics& s,
+                              const SamplingCoefficients& f,
+                              const SamplingCoefficients& g, size_t n) {
+  VarianceTerms v;
+  v.n = n;
+  const double dn = static_cast<double>(n);
+  v.sampling = WorJoinSamplingVariance(s, f, g);
+  v.sketch = (f.alpha1 / f.alpha) * (g.alpha1 / g.alpha) *
+             AgmsJoinVariance(s) / dn;
+  v.interaction =
+      1.0 / (f.alpha * g.alpha) *
+      ((1.0 - f.alpha1) * (1.0 - g.alpha1) * OffDiag(s.f1, s.g1, s.fg) +
+       (1.0 - f.alpha1) * g.alpha1 * OffDiag(s.f1, s.g2, s.fg2) +
+       f.alpha1 * (1.0 - g.alpha1) * OffDiag(s.f2, s.g1, s.f2g)) /
+      dn;
+  return v;
+}
+
+}  // namespace sketchsample

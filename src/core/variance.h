@@ -1,0 +1,91 @@
+// Closed-form variance formulas from the paper, evaluated exactly on
+// frequency statistics (Eqs 6, 7, 10, 11, 14, 16 and the combined-estimator
+// decompositions 25, 26, 27, 28).
+//
+// All functions take the JoinStatistics of the ORIGINAL (pre-sampling)
+// frequency vectors; the sampling parameters enter through p/q or the
+// α/β coefficient structs. Self-join formulas use the f-side moments only.
+#ifndef SKETCHSAMPLE_CORE_VARIANCE_H_
+#define SKETCHSAMPLE_CORE_VARIANCE_H_
+
+#include <cstddef>
+
+#include "src/data/frequency_vector.h"
+#include "src/sampling/coefficients.h"
+
+namespace sketchsample {
+
+// ---------------------------------------------------------------------------
+// Sampling-only estimator variances (§III).
+// ---------------------------------------------------------------------------
+
+/// Eq 6: Var of the Bernoulli-sample size-of-join estimator (Prop 3).
+double BernoulliJoinSamplingVariance(const JoinStatistics& s, double p,
+                                     double q);
+
+/// Eq 7: Var of the Bernoulli-sample self-join estimator (Prop 4).
+double BernoulliSelfJoinSamplingVariance(const JoinStatistics& s, double p);
+
+/// Eq 10: Var of the WR-sample size-of-join estimator (Prop 5).
+double WrJoinSamplingVariance(const JoinStatistics& s,
+                              const SamplingCoefficients& f,
+                              const SamplingCoefficients& g);
+
+/// Eq 11: Var of the WOR-sample size-of-join estimator (Prop 6).
+double WorJoinSamplingVariance(const JoinStatistics& s,
+                               const SamplingCoefficients& f,
+                               const SamplingCoefficients& g);
+
+// ---------------------------------------------------------------------------
+// Sketch-only estimator variances (§IV). These are per-basic-estimator;
+// averaging n independent basic estimators divides them by n.
+// ---------------------------------------------------------------------------
+
+/// Eq 14: Var of the basic AGMS size-of-join estimator (Prop 7).
+double AgmsJoinVariance(const JoinStatistics& s);
+
+/// Eq 16: Var of the basic AGMS self-join estimator (Prop 8).
+double AgmsSelfJoinVariance(const JoinStatistics& s);
+
+// ---------------------------------------------------------------------------
+// Combined sketch-over-sample estimator variances (§V). The paper's key
+// structural result: Var = sampling + (1/n)·sketch + (1/n)·interaction.
+// The struct stores each term with its 1/n factor already applied, so
+// Total() is the actual estimator variance and the relative contributions
+// plotted in Figs 1-2 are term / Total().
+// ---------------------------------------------------------------------------
+
+/// One evaluated decomposition of the averaged combined estimator variance.
+struct VarianceTerms {
+  double sampling = 0;     ///< sampling-estimator variance (n-independent)
+  double sketch = 0;       ///< (1/n) × sketch-estimator variance
+  double interaction = 0;  ///< (1/n) × interaction term
+  size_t n = 1;            ///< number of averaged basic estimators
+
+  double Total() const { return sampling + sketch + interaction; }
+  double SamplingFraction() const { return sampling / Total(); }
+  double SketchFraction() const { return sketch / Total(); }
+  double InteractionFraction() const { return interaction / Total(); }
+};
+
+/// Eq 25 (Prop 13): averaged sketch over Bernoulli samples, size of join.
+VarianceTerms BernoulliJoinVariance(const JoinStatistics& s, double p,
+                                    double q, size_t n);
+
+/// Eq 26 (Prop 14): averaged sketch over a Bernoulli sample, self-join size.
+VarianceTerms BernoulliSelfJoinVariance(const JoinStatistics& s, double p,
+                                        size_t n);
+
+/// Eq 27 (Prop 15): averaged sketch over WR samples, size of join.
+VarianceTerms WrJoinVariance(const JoinStatistics& s,
+                             const SamplingCoefficients& f,
+                             const SamplingCoefficients& g, size_t n);
+
+/// Eq 28 (Prop 16): averaged sketch over WOR samples, size of join.
+VarianceTerms WorJoinVariance(const JoinStatistics& s,
+                              const SamplingCoefficients& f,
+                              const SamplingCoefficients& g, size_t n);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_CORE_VARIANCE_H_

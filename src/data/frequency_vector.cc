@@ -1,0 +1,104 @@
+#include "src/data/frequency_vector.h"
+
+#include <algorithm>
+
+namespace sketchsample {
+
+FrequencyVector FrequencyVector::FromStream(
+    const std::vector<uint64_t>& values, size_t domain_size) {
+  size_t needed = domain_size;
+  for (uint64_t v : values) {
+    needed = std::max(needed, static_cast<size_t>(v) + 1);
+  }
+  FrequencyVector fv(needed);
+  for (uint64_t v : values) fv.Add(v);
+  return fv;
+}
+
+double FrequencyVector::F1() const {
+  double s = 0;
+  for (uint64_t c : counts_) s += static_cast<double>(c);
+  return s;
+}
+
+double FrequencyVector::F2() const {
+  double s = 0;
+  for (uint64_t c : counts_) {
+    const double d = static_cast<double>(c);
+    s += d * d;
+  }
+  return s;
+}
+
+double FrequencyVector::F3() const {
+  double s = 0;
+  for (uint64_t c : counts_) {
+    const double d = static_cast<double>(c);
+    s += d * d * d;
+  }
+  return s;
+}
+
+double FrequencyVector::F4() const {
+  double s = 0;
+  for (uint64_t c : counts_) {
+    const double d = static_cast<double>(c);
+    s += d * d * d * d;
+  }
+  return s;
+}
+
+size_t FrequencyVector::DistinctValues() const {
+  size_t n = 0;
+  for (uint64_t c : counts_) n += (c > 0);
+  return n;
+}
+
+std::vector<uint64_t> FrequencyVector::ToTupleStream() const {
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(F1()));
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    for (uint64_t k = 0; k < counts_[i]; ++k) out.push_back(i);
+  }
+  return out;
+}
+
+JoinStatistics ComputeJoinStatistics(const FrequencyVector& f,
+                                     const FrequencyVector& g) {
+  JoinStatistics s;
+  const size_t dom = std::max(f.domain_size(), g.domain_size());
+  for (size_t i = 0; i < dom; ++i) {
+    const double fi =
+        i < f.domain_size() ? static_cast<double>(f.count(i)) : 0.0;
+    const double gi =
+        i < g.domain_size() ? static_cast<double>(g.count(i)) : 0.0;
+    const double fi2 = fi * fi;
+    const double gi2 = gi * gi;
+    s.f1 += fi;
+    s.f2 += fi2;
+    s.f3 += fi2 * fi;
+    s.f4 += fi2 * fi2;
+    s.g1 += gi;
+    s.g2 += gi2;
+    s.g3 += gi2 * gi;
+    s.g4 += gi2 * gi2;
+    s.fg += fi * gi;
+    s.fg2 += fi * gi2;
+    s.f2g += fi2 * gi;
+    s.f2g2 += fi2 * gi2;
+  }
+  return s;
+}
+
+double ExactJoinSize(const FrequencyVector& f, const FrequencyVector& g) {
+  const size_t dom = std::min(f.domain_size(), g.domain_size());
+  double s = 0;
+  for (size_t i = 0; i < dom; ++i) {
+    s += static_cast<double>(f.count(i)) * static_cast<double>(g.count(i));
+  }
+  return s;
+}
+
+double ExactSelfJoinSize(const FrequencyVector& f) { return f.F2(); }
+
+}  // namespace sketchsample

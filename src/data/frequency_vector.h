@@ -1,0 +1,93 @@
+// Frequency vectors and the frequency-domain statistics the analysis needs.
+//
+// The paper's entire analysis lives in the frequency domain: a relation F
+// with join attribute A over domain I is summarized by the vector (f_i), the
+// number of tuples with A = i. Every closed-form variance in the paper
+// (Eqs 6-28) is a polynomial in a small set of frequency statistics; this
+// module computes all of them in one pass.
+#ifndef SKETCHSAMPLE_DATA_FREQUENCY_VECTOR_H_
+#define SKETCHSAMPLE_DATA_FREQUENCY_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sketchsample {
+
+/// Dense frequency vector over domain [0, domain_size).
+///
+/// Frequencies are stored as uint64 counts. The class also materializes the
+/// relation as a tuple stream (the multiset {i repeated f_i times}) for
+/// driving samplers and sketches.
+class FrequencyVector {
+ public:
+  FrequencyVector() = default;
+
+  /// Zero vector over a domain.
+  explicit FrequencyVector(size_t domain_size) : counts_(domain_size, 0) {}
+
+  /// Adopts explicit counts.
+  explicit FrequencyVector(std::vector<uint64_t> counts)
+      : counts_(std::move(counts)) {}
+
+  /// Builds the vector by counting a stream of values; the domain becomes
+  /// max(value)+1 unless `domain_size` is larger.
+  static FrequencyVector FromStream(const std::vector<uint64_t>& values,
+                                    size_t domain_size = 0);
+
+  size_t domain_size() const { return counts_.size(); }
+  uint64_t count(size_t i) const { return counts_[i]; }
+  void set_count(size_t i, uint64_t c) { counts_[i] = c; }
+  void Add(size_t i, uint64_t c = 1) { counts_[i] += c; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Total number of tuples, Σ f_i (a.k.a. F1, the relation size |F|).
+  double F1() const;
+  /// Second frequency moment Σ f_i² — the self-join size.
+  double F2() const;
+  /// Third frequency moment Σ f_i³.
+  double F3() const;
+  /// Fourth frequency moment Σ f_i⁴.
+  double F4() const;
+  /// Number of distinct values with f_i > 0 (F0).
+  size_t DistinctValues() const;
+
+  /// Expands to the tuple stream {i repeated f_i times}, in value order.
+  /// Use Shuffle on the result (or tpch/zipf helpers) for random-order scans.
+  std::vector<uint64_t> ToTupleStream() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+/// All cross statistics of a pair (f, g) that appear in the size-of-join
+/// variance formulas, computed in one pass over the common domain (the
+/// shorter vector is implicitly zero-padded).
+struct JoinStatistics {
+  double f1 = 0, f2 = 0, f3 = 0, f4 = 0;  ///< moments of f
+  double g1 = 0, g2 = 0, g3 = 0, g4 = 0;  ///< moments of g
+  double fg = 0;      ///< Σ f_i g_i — the size of join
+  double fg2 = 0;     ///< Σ f_i g_i²
+  double f2g = 0;     ///< Σ f_i² g_i
+  double f2g2 = 0;    ///< Σ f_i² g_i²
+
+  /// Σ_i Σ_{j≠i} a_i b_j = (Σa)(Σb) − Σ a_i b_i, for the off-diagonal double
+  /// sums in Eqs 25, 27, 28.
+  static double OffDiagonal(double sum_a, double sum_b, double diag) {
+    return sum_a * sum_b - diag;
+  }
+};
+
+/// Computes JoinStatistics for a pair of frequency vectors.
+JoinStatistics ComputeJoinStatistics(const FrequencyVector& f,
+                                     const FrequencyVector& g);
+
+/// Exact size of join Σ f_i g_i.
+double ExactJoinSize(const FrequencyVector& f, const FrequencyVector& g);
+
+/// Exact self-join size Σ f_i² (equals f.F2()).
+double ExactSelfJoinSize(const FrequencyVector& f);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_DATA_FREQUENCY_VECTOR_H_

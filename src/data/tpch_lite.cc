@@ -1,0 +1,35 @@
+#include "src/data/tpch_lite.h"
+
+#include <algorithm>
+
+#include "src/data/zipf.h"
+
+namespace sketchsample {
+
+uint64_t TpchLiteOrderCount(double scale_factor) {
+  const double orders = 1500000.0 * scale_factor;
+  return orders < 1.0 ? 1 : static_cast<uint64_t>(orders);
+}
+
+TpchLiteData GenerateTpchLite(double scale_factor, uint64_t seed) {
+  const uint64_t num_orders = TpchLiteOrderCount(scale_factor);
+  Xoshiro256 rng(MixSeed(seed, 0x7c9));
+
+  TpchLiteData data;
+  data.orders_freq = FrequencyVector(num_orders);
+  data.lineitem_freq = FrequencyVector(num_orders);
+  data.orders.reserve(num_orders);
+  for (uint64_t key = 0; key < num_orders; ++key) {
+    data.orders_freq.set_count(key, 1);
+    const uint64_t multiplicity = 1 + rng.NextBounded(7);  // uniform 1..7
+    data.lineitem_freq.set_count(key, multiplicity);
+    data.orders.push_back(key);
+  }
+  data.lineitem = data.lineitem_freq.ToTupleStream();
+
+  Shuffle(data.orders, rng);
+  Shuffle(data.lineitem, rng);
+  return data;
+}
+
+}  // namespace sketchsample

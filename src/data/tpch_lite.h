@@ -1,0 +1,50 @@
+// TPC-H-lite: a from-scratch substitute for the TPC-H scale-1 dataset.
+//
+// The paper's without-replacement experiments (Figs 7-8) run on TPC-H:
+// the join lineitem ⋈ orders on orderkey and the second frequency moment of
+// lineitem.l_orderkey. We do not ship the TPC-H generator; instead this
+// module reproduces the only property those experiments depend on — the
+// frequency vector of the join key:
+//
+//   * orders has exactly one row per orderkey (frequency 1);
+//   * lineitem has between 1 and 7 rows per orderkey, uniformly distributed
+//     (this is dbgen's l_orderkey multiplicity law; SF-1 yields 1.5M orders
+//     and ~6M lineitems, average multiplicity 4).
+//
+// Orderkeys are densely numbered here; dbgen's sparse numbering is
+// irrelevant in the frequency domain. The substitution is recorded in
+// DESIGN.md §2.
+#ifndef SKETCHSAMPLE_DATA_TPCH_LITE_H_
+#define SKETCHSAMPLE_DATA_TPCH_LITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// The two generated relations, reduced to their join-key columns, plus the
+/// corresponding frequency vectors.
+struct TpchLiteData {
+  /// orders.o_orderkey tuple stream, shuffled into random order.
+  std::vector<uint64_t> orders;
+  /// lineitem.l_orderkey tuple stream, shuffled into random order.
+  std::vector<uint64_t> lineitem;
+  FrequencyVector orders_freq;
+  FrequencyVector lineitem_freq;
+};
+
+/// Number of orders at a given scale factor (TPC-H: 1.5M at SF 1).
+uint64_t TpchLiteOrderCount(double scale_factor);
+
+/// Generates the dataset. `scale_factor` 1.0 matches the paper's SF-1 run
+/// (1.5M orders, ~6M lineitems); the bench defaults use ~0.05 for speed.
+/// The tuple streams come pre-shuffled because the WOR estimators assume a
+/// random scan order (§VI-C).
+TpchLiteData GenerateTpchLite(double scale_factor, uint64_t seed);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_DATA_TPCH_LITE_H_

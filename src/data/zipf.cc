@@ -1,0 +1,107 @@
+#include "src/data/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sketchsample {
+
+std::vector<double> ZipfProbabilities(size_t domain_size, double skew) {
+  if (domain_size == 0) {
+    throw std::invalid_argument("Zipf domain must be non-empty");
+  }
+  std::vector<double> p(domain_size);
+  double norm = 0;
+  for (size_t i = 0; i < domain_size; ++i) {
+    p[i] = std::pow(static_cast<double>(i + 1), -skew);
+    norm += p[i];
+  }
+  for (double& x : p) x /= norm;
+  return p;
+}
+
+FrequencyVector ZipfFrequencies(size_t domain_size, uint64_t total_tuples,
+                                double skew) {
+  const std::vector<double> p = ZipfProbabilities(domain_size, skew);
+  std::vector<uint64_t> counts(domain_size);
+  std::vector<std::pair<double, size_t>> remainders;
+  remainders.reserve(domain_size);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < domain_size; ++i) {
+    const double exact = p[i] * static_cast<double>(total_tuples);
+    counts[i] = static_cast<uint64_t>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  // Hand the leftover tuples to the values with the largest remainders.
+  uint64_t leftover = total_tuples - assigned;
+  std::partial_sort(
+      remainders.begin(),
+      remainders.begin() +
+          std::min<size_t>(leftover, remainders.size()),
+      remainders.end(), std::greater<>());
+  for (uint64_t k = 0; k < leftover; ++k) {
+    ++counts[remainders[k % remainders.size()].second];
+  }
+  return FrequencyVector(std::move(counts));
+}
+
+FrequencyVector ZipfMultinomialFrequencies(size_t domain_size,
+                                           uint64_t total_tuples, double skew,
+                                           uint64_t seed) {
+  ZipfSampler sampler(domain_size, skew);
+  Xoshiro256 rng(seed);
+  FrequencyVector fv(domain_size);
+  for (uint64_t k = 0; k < total_tuples; ++k) fv.Add(sampler.Next(rng));
+  return fv;
+}
+
+ZipfSampler::ZipfSampler(size_t domain_size, double skew) {
+  const std::vector<double> p = ZipfProbabilities(domain_size, skew);
+  const size_t n = p.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Walker/Vose alias construction.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = p[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+uint64_t ZipfSampler::Next(Xoshiro256& rng) const {
+  const uint64_t column = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<uint64_t> ZipfSampler::Stream(size_t n, Xoshiro256& rng) const {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next(rng));
+  return out;
+}
+
+void Shuffle(std::vector<uint64_t>& values, Xoshiro256& rng) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,68 @@
+// Zipfian data generation (the paper's synthetic workload, §VII).
+//
+// The experiments use streams of 10M-100M tuples drawn from a Zipf
+// distribution over a 1M-value domain with coefficient z in [0, 5]. Two
+// construction modes are provided:
+//
+//   * deterministic expected-frequency vectors (ZipfFrequencies): the true
+//     aggregate values are then exact functions of z, which is what the
+//     variance-decomposition experiments (Figs 1-2) need;
+//   * a tuple-at-a-time sampler (ZipfSampler, alias method): what the
+//     stream-facing experiments and examples use.
+#ifndef SKETCHSAMPLE_DATA_ZIPF_H_
+#define SKETCHSAMPLE_DATA_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// Normalized Zipf probabilities p_i ∝ 1/(i+1)^skew over [0, domain_size).
+/// skew = 0 is uniform. domain_size must be >= 1.
+std::vector<double> ZipfProbabilities(size_t domain_size, double skew);
+
+/// Deterministic frequency vector with counts ≈ total_tuples · p_i, rounded
+/// by the largest-remainder method so the counts sum to exactly
+/// total_tuples. Rank order is by value (value 0 is the most frequent).
+FrequencyVector ZipfFrequencies(size_t domain_size, uint64_t total_tuples,
+                                double skew);
+
+/// Frequency vector of `total_tuples` i.i.d. Zipf draws (multinomial
+/// counts). This matches the paper's §VII setup where the two join relations
+/// are "generated completely independent": two calls with different seeds
+/// give independent relations with the same marginal distribution, unlike
+/// the deterministic ZipfFrequencies which always returns the same vector.
+FrequencyVector ZipfMultinomialFrequencies(size_t domain_size,
+                                           uint64_t total_tuples, double skew,
+                                           uint64_t seed);
+
+/// O(1)-per-draw sampler from a Zipf distribution via Walker's alias method.
+/// Construction is O(domain_size).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t domain_size, double skew);
+
+  /// Draws one value in [0, domain_size).
+  uint64_t Next(Xoshiro256& rng) const;
+
+  /// Draws a stream of `n` i.i.d. values.
+  std::vector<uint64_t> Stream(size_t n, Xoshiro256& rng) const;
+
+  size_t domain_size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;     // alias-method acceptance probabilities
+  std::vector<uint32_t> alias_;  // alias targets
+};
+
+/// Fisher-Yates shuffle of a tuple stream (used to realize random-order
+/// scans, the WOR prerequisite of §VI-C).
+void Shuffle(std::vector<uint64_t>& values, Xoshiro256& rng);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_DATA_ZIPF_H_

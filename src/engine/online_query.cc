@@ -1,0 +1,143 @@
+#include "src/engine/online_query.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/corrections.h"
+#include "src/sampling/coefficients.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+OnlineJoinQuery::OnlineJoinQuery(const Table& f, const std::string& column_f,
+                                 const Table& g, const std::string& column_g,
+                                 const OnlineQueryOptions& options)
+    : table_f_(f),
+      table_g_(g),
+      column_f_(f.ColumnIndex(column_f)),
+      column_g_(g.ColumnIndex(column_g)),
+      level_(options.level),
+      scan_f_(f, MixSeed(options.scan_seed, 0xf)),
+      scan_g_(g, MixSeed(options.scan_seed, 0x9)),
+      estimator_(f.num_rows(), g.num_rows(), options.num_blocks,
+                 options.sketch) {
+  if (f.num_rows() == 0 || g.num_rows() == 0) {
+    throw std::invalid_argument("online join needs non-empty tables");
+  }
+}
+
+size_t OnlineJoinQuery::Step(size_t rows) {
+  size_t consumed = 0;
+  // Pace G against F so both scans complete at the same progress fraction.
+  const double ratio = static_cast<double>(table_g_.num_rows()) /
+                       static_cast<double>(table_f_.num_rows());
+  for (size_t i = 0; i < rows; ++i) {
+    const auto row_f = scan_f_.NextRow();
+    if (row_f) {
+      estimator_.UpdateF(table_f_.value(*row_f, column_f_));
+      ++consumed;
+    }
+    const size_t target_g = std::min<size_t>(
+        table_g_.num_rows(),
+        static_cast<size_t>(ratio *
+                            static_cast<double>(scan_f_.rows_scanned())));
+    while (scan_g_.rows_scanned() < target_g) {
+      const auto row_g = scan_g_.NextRow();
+      if (!row_g) break;
+      estimator_.UpdateG(table_g_.value(*row_g, column_g_));
+      ++consumed;
+    }
+    if (!row_f && scan_g_.Done()) break;
+  }
+  // Drain G when F finishes first (e.g. |G| > |F| with rounding).
+  if (scan_f_.Done()) {
+    while (auto row_g = scan_g_.NextRow()) {
+      estimator_.UpdateG(table_g_.value(*row_g, column_g_));
+      ++consumed;
+    }
+  }
+  return consumed;
+}
+
+ProgressiveReport OnlineJoinQuery::Report() const {
+  return estimator_.Report(level_);
+}
+
+ProgressiveReport OnlineJoinQuery::RunToConvergence(
+    double relative_halfwidth, size_t step_rows) {
+  while (!Done()) {
+    Step(step_rows);
+    if (estimator_.HasConverged(relative_halfwidth, level_)) break;
+  }
+  return Report();
+}
+
+OnlineSelfJoinQuery::OnlineSelfJoinQuery(const Table& f,
+                                         const std::string& column,
+                                         const OnlineQueryOptions& options)
+    : table_(f),
+      column_(f.ColumnIndex(column)),
+      level_(options.level),
+      scan_(f, MixSeed(options.scan_seed, 0x2)),
+      estimator_(f.num_rows(), options.num_blocks, options.sketch) {
+  if (f.num_rows() == 0) {
+    throw std::invalid_argument("online self-join needs a non-empty table");
+  }
+}
+
+size_t OnlineSelfJoinQuery::Step(size_t rows) {
+  size_t consumed = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const auto row = scan_.NextRow();
+    if (!row) break;
+    estimator_.Update(table_.value(*row, column_));
+    ++consumed;
+  }
+  return consumed;
+}
+
+ProgressiveReport OnlineSelfJoinQuery::Report() const {
+  return estimator_.Report(level_);
+}
+
+ProgressiveReport OnlineSelfJoinQuery::RunToConvergence(
+    double relative_halfwidth, size_t step_rows) {
+  while (!Done()) {
+    Step(step_rows);
+    if (estimator_.HasConverged(relative_halfwidth, level_)) break;
+  }
+  return Report();
+}
+
+ScanStatisticsCollector::ScanStatisticsCollector(const Table& table,
+                                                 const SketchParams& params,
+                                                 size_t kmv_k)
+    : table_(table) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    distinct_.emplace_back(kmv_k, MixSeed(params.seed, 0xd15 + c));
+    SketchParams column_params = params;
+    column_params.seed = MixSeed(params.seed, 0xf2c + c);
+    f2_.emplace_back(column_params);
+  }
+}
+
+void ScanStatisticsCollector::ConsumeRow(size_t row) {
+  for (size_t c = 0; c < table_.num_columns(); ++c) {
+    const uint64_t value = table_.value(row, c);
+    distinct_[c].Update(value);
+    f2_[c].Update(value);
+  }
+  ++rows_;
+}
+
+double ScanStatisticsCollector::EstimateDistinct(size_t column) const {
+  return distinct_.at(column).EstimateDistinct();
+}
+
+double ScanStatisticsCollector::EstimateSelfJoin(size_t column) const {
+  const auto coef = ComputeCoefficients(table_.num_rows(), rows_);
+  return WorSelfJoinCorrection(coef).Apply(
+      f2_.at(column).EstimateSelfJoin());
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,118 @@
+// Online-aggregation queries: progressive answers over random-order scans.
+//
+// The executable shape of §VI-C: a query owns random-order scans of its
+// input tables and a progressive sketch-over-WOR estimator; Step(k)
+// advances the scans, Report() returns (estimate, CI, progress), and
+// RunToConvergence drives the scan until the interval is tight enough —
+// typically well before the scan completes. Alongside the query estimate,
+// a per-column statistics collector (KMV distinct counts + F-AGMS F2)
+// gathers the numbers a planner needs "with little computational overhead".
+#ifndef SKETCHSAMPLE_ENGINE_ONLINE_QUERY_H_
+#define SKETCHSAMPLE_ENGINE_ONLINE_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/progressive.h"
+#include "src/engine/scan.h"
+#include "src/engine/table.h"
+#include "src/sketch/kmv.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Tuning knobs shared by the online queries.
+struct OnlineQueryOptions {
+  SketchParams sketch;        ///< per-block F-AGMS shape
+  size_t num_blocks = 8;      ///< batch-means blocks
+  double level = 0.95;        ///< confidence level for reports
+  uint64_t scan_seed = 1;     ///< randomness of the scan order
+};
+
+/// Progressive SELECT |F ⋈_{F.a = G.b} G| (size of join).
+class OnlineJoinQuery {
+ public:
+  OnlineJoinQuery(const Table& f, const std::string& column_f,
+                  const Table& g, const std::string& column_g,
+                  const OnlineQueryOptions& options);
+
+  /// Advances both scans by up to `rows` rows each (paced proportionally so
+  /// both sides finish together). Returns the number of rows consumed.
+  size_t Step(size_t rows);
+
+  /// Current snapshot (estimate, CI at options.level, scan progress).
+  ProgressiveReport Report() const;
+
+  /// Steps until the CI half-width falls below `relative_halfwidth` ×
+  /// |estimate| or the scans finish; returns the final report.
+  ProgressiveReport RunToConvergence(double relative_halfwidth,
+                                     size_t step_rows = 1024);
+
+  bool Done() const { return scan_f_.Done() && scan_g_.Done(); }
+  double Progress() const { return scan_f_.Progress(); }
+
+ private:
+  const Table& table_f_;
+  const Table& table_g_;
+  size_t column_f_;
+  size_t column_g_;
+  double level_;
+  RandomOrderScan scan_f_;
+  RandomOrderScan scan_g_;
+  ProgressiveJoinEstimator estimator_;
+};
+
+/// Progressive SELECT F2(F.a) (self-join size / second frequency moment).
+class OnlineSelfJoinQuery {
+ public:
+  OnlineSelfJoinQuery(const Table& f, const std::string& column,
+                      const OnlineQueryOptions& options);
+
+  size_t Step(size_t rows);
+  ProgressiveReport Report() const;
+  ProgressiveReport RunToConvergence(double relative_halfwidth,
+                                     size_t step_rows = 1024);
+
+  bool Done() const { return scan_.Done(); }
+  double Progress() const { return scan_.Progress(); }
+
+ private:
+  const Table& table_;
+  size_t column_;
+  double level_;
+  RandomOrderScan scan_;
+  ProgressiveF2Estimator estimator_;
+};
+
+/// Planner statistics gathered during a single scan of a table: per-column
+/// distinct-count (KMV) and self-join size (F-AGMS + WOR correction at the
+/// current scan position) — the §VI-C "statistics used by an online
+/// aggregation engine to take decisions".
+class ScanStatisticsCollector {
+ public:
+  ScanStatisticsCollector(const Table& table, const SketchParams& params,
+                          size_t kmv_k = 1024);
+
+  /// Consumes one row (all columns).
+  void ConsumeRow(size_t row);
+
+  /// Estimated number of distinct values in a column (over the rows seen).
+  double EstimateDistinct(size_t column) const;
+
+  /// Estimated full-table self-join size of a column, corrected for the
+  /// fraction scanned so far (needs ≥ 2 rows).
+  double EstimateSelfJoin(size_t column) const;
+
+  uint64_t rows_seen() const { return rows_; }
+
+ private:
+  const Table& table_;
+  uint64_t rows_ = 0;
+  std::vector<KmvSketch> distinct_;
+  std::vector<FagmsSketch> f2_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_ENGINE_ONLINE_QUERY_H_

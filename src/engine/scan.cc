@@ -1,0 +1,33 @@
+#include "src/engine/scan.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sketchsample {
+
+RandomOrderScan::RandomOrderScan(const Table& table, uint64_t seed)
+    : rng_(seed) {
+  if (table.num_rows() > 0xffffffffull) {
+    throw std::invalid_argument("scan supports up to 2^32 rows");
+  }
+  order_.resize(table.num_rows());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+std::optional<size_t> RandomOrderScan::NextRow() {
+  if (scanned_ == order_.size()) return std::nullopt;
+  // Incremental Fisher-Yates: pick a uniform element of the unscanned
+  // suffix and swap it into position. The emitted prefix is a uniform WOR
+  // sample at every step, without shuffling the whole table up front.
+  const size_t remaining = order_.size() - scanned_;
+  const size_t pick = scanned_ + rng_.NextBounded(remaining);
+  std::swap(order_[scanned_], order_[pick]);
+  return order_[scanned_++];
+}
+
+double RandomOrderScan::Progress() const {
+  if (order_.empty()) return 1.0;
+  return static_cast<double>(scanned_) / static_cast<double>(order_.size());
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,45 @@
+// Random-order scans: the fundamental requirement of online aggregation.
+//
+// §VI-C: "the portions of the data the equivalent queries are executed on
+// [must] represent random samples without replacement from the entire data
+// as long as the order of the tuples is random." RandomOrderScan visits
+// every row of a table exactly once in a seeded uniform random permutation
+// (lazily generated Fisher-Yates), so the prefix seen at any point is a
+// uniform WOR sample of the table.
+#ifndef SKETCHSAMPLE_ENGINE_SCAN_H_
+#define SKETCHSAMPLE_ENGINE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/engine/table.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// One-pass random-permutation row scan over a table.
+class RandomOrderScan {
+ public:
+  RandomOrderScan(const Table& table, uint64_t seed);
+
+  /// The next row index, or nullopt when the scan is complete. Over the
+  /// whole scan, every permutation of row indices is equally likely.
+  std::optional<size_t> NextRow();
+
+  /// Rows emitted so far.
+  size_t rows_scanned() const { return scanned_; }
+  /// Fraction of the table scanned, in [0, 1].
+  double Progress() const;
+  bool Done() const { return scanned_ == order_.size(); }
+
+ private:
+  std::vector<uint32_t> order_;  // lazily shuffled row indices
+  size_t scanned_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_ENGINE_SCAN_H_

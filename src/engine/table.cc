@@ -1,0 +1,57 @@
+#include "src/engine/table.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+Table::Table(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {
+  if (names_.empty()) {
+    throw std::invalid_argument("a table needs at least one column");
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    for (size_t j = i + 1; j < names_.size(); ++j) {
+      if (names_[i] == names_[j]) {
+        throw std::invalid_argument("duplicate column name: " + names_[i]);
+      }
+    }
+  }
+  columns_.resize(names_.size());
+}
+
+void Table::AppendRow(const std::vector<uint64_t>& values) {
+  if (values.size() != names_.size()) {
+    throw std::invalid_argument("row arity mismatch");
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendColumns(
+    const std::vector<std::vector<uint64_t>>& columns) {
+  if (columns.size() != names_.size()) {
+    throw std::invalid_argument("column count mismatch");
+  }
+  const size_t added = columns.empty() ? 0 : columns.front().size();
+  for (const auto& column : columns) {
+    if (column.size() != added) {
+      throw std::invalid_argument("ragged column append");
+    }
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), columns[c].begin(),
+                       columns[c].end());
+  }
+  num_rows_ += added;
+}
+
+size_t Table::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return c;
+  }
+  throw std::out_of_range("unknown column: " + name);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,60 @@
+// A minimal column-store table: the relation substrate for the
+// online-aggregation engine of §VI-C.
+//
+// Relations are append-only collections of fixed-arity rows of 64-bit
+// attribute values (join attributes are categorical keys in this library's
+// domain model). Storage is columnar so scans touch only the attributes a
+// query needs.
+#ifndef SKETCHSAMPLE_ENGINE_TABLE_H_
+#define SKETCHSAMPLE_ENGINE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sketchsample {
+
+/// Append-only columnar table of uint64 attributes.
+class Table {
+ public:
+  /// Creates an empty table with named columns (at least one).
+  explicit Table(std::vector<std::string> column_names);
+
+  /// Appends one row; `values` must match the column count.
+  void AppendRow(const std::vector<uint64_t>& values);
+
+  /// Bulk-appends a whole column-shaped relation: `columns[c]` holds the
+  /// values of column c; all columns must have equal length.
+  void AppendColumns(const std::vector<std::vector<uint64_t>>& columns);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return names_.size(); }
+  const std::string& column_name(size_t index) const {
+    return names_[index];
+  }
+
+  /// Index of a named column; throws std::out_of_range for unknown names.
+  size_t ColumnIndex(const std::string& name) const;
+
+  /// Raw column values (size() == num_rows()).
+  const std::vector<uint64_t>& column(size_t index) const {
+    return columns_[index];
+  }
+  const std::vector<uint64_t>& column(const std::string& name) const {
+    return columns_[ColumnIndex(name)];
+  }
+
+  uint64_t value(size_t row, size_t column_index) const {
+    return columns_[column_index][row];
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<uint64_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_ENGINE_TABLE_H_

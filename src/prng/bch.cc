@@ -1,0 +1,53 @@
+#include "src/prng/bch.h"
+
+#include <bit>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+Bch3Xi::Bch3Xi(uint64_t seed) {
+  uint64_t sm = seed;
+  s_ = SplitMix64(&sm);
+  s0_ = static_cast<int>(SplitMix64(&sm) & 1);
+}
+
+int Bch3Xi::Sign(uint64_t key) const {
+  int bit = (std::popcount(s_ & key) & 1) ^ s0_;
+  return bit ? -1 : +1;
+}
+
+uint64_t Gf64Mul(uint64_t a, uint64_t b) {
+  // Carry-less 64x64 -> 128 multiplication.
+  uint64_t lo = 0, hi = 0;
+  while (b != 0) {
+    int k = std::countr_zero(b);
+    b &= b - 1;
+    lo ^= a << k;
+    if (k != 0) hi ^= a >> (64 - k);
+  }
+  // Reduce modulo x^64 + x^4 + x^3 + x + 1. A bit at position 64+k equals
+  // x^(64+k) = x^(k+4) + x^(k+3) + x^(k+1) + x^k.
+  uint64_t t = hi;
+  uint64_t over = (t >> 63) ^ (t >> 61) ^ (t >> 60);  // bits pushed past 63
+  lo ^= t ^ (t << 1) ^ (t << 3) ^ (t << 4);
+  lo ^= over ^ (over << 1) ^ (over << 3) ^ (over << 4);
+  return lo;
+}
+
+Bch5Xi::Bch5Xi(uint64_t seed) {
+  uint64_t sm = seed;
+  s1_ = SplitMix64(&sm);
+  s2_ = SplitMix64(&sm);
+  s0_ = static_cast<int>(SplitMix64(&sm) & 1);
+}
+
+int Bch5Xi::Sign(uint64_t key) const {
+  uint64_t cube = Gf64Mul(Gf64Mul(key, key), key);
+  int bit = std::popcount(s1_ & key) & 1;
+  bit ^= std::popcount(s2_ & cube) & 1;
+  bit ^= s0_;
+  return bit ? -1 : +1;
+}
+
+}  // namespace sketchsample

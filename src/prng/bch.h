@@ -1,0 +1,57 @@
+// BCH-code-based ±1 families: BCH3 (3-wise) and BCH5 (5-wise).
+#ifndef SKETCHSAMPLE_PRNG_BCH_H_
+#define SKETCHSAMPLE_PRNG_BCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+/// BCH3: ξ_i = (-1)^(s0 ⊕ <S,i>). The affine GF(2) scheme; any three entries
+/// are independent (four are not: ξ_i ξ_j ξ_k ξ_l is constant whenever
+/// i⊕j⊕k⊕l = 0). The cheapest usable generator.
+class Bch3Xi final : public XiFamily {
+ public:
+  explicit Bch3Xi(uint64_t seed);
+
+  int Sign(uint64_t key) const override;
+  int IndependenceLevel() const override { return 3; }
+  XiScheme Scheme() const override { return XiScheme::kBch3; }
+  std::unique_ptr<XiFamily> Clone() const override {
+    return std::make_unique<Bch3Xi>(*this);
+  }
+
+ private:
+  uint64_t s_ = 0;
+  int s0_ = 0;
+};
+
+/// Multiplies two elements of GF(2^64) represented as bit-vectors, reducing
+/// modulo the irreducible polynomial x^64 + x^4 + x^3 + x + 1. Portable
+/// (shift-and-xor) implementation; exposed for testing.
+uint64_t Gf64Mul(uint64_t a, uint64_t b);
+
+/// BCH5: ξ_i = (-1)^(s0 ⊕ <S1,i> ⊕ <S2,i³>) with the cube taken in GF(2^64).
+/// The dual of a distance-5 BCH code; any five entries are independent.
+class Bch5Xi final : public XiFamily {
+ public:
+  explicit Bch5Xi(uint64_t seed);
+
+  int Sign(uint64_t key) const override;
+  int IndependenceLevel() const override { return 5; }
+  XiScheme Scheme() const override { return XiScheme::kBch5; }
+  std::unique_ptr<XiFamily> Clone() const override {
+    return std::make_unique<Bch5Xi>(*this);
+  }
+
+ private:
+  uint64_t s1_ = 0;
+  uint64_t s2_ = 0;
+  int s0_ = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_BCH_H_

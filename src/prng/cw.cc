@@ -1,0 +1,39 @@
+#include "src/prng/cw.h"
+
+#include "src/prng/mersenne61.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+Cw2Xi::Cw2Xi(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  do {
+    a_ = UniformMod61(rng);
+  } while (a_ == 0);
+  b_ = UniformMod61(rng);
+}
+
+int Cw2Xi::Sign(uint64_t key) const {
+  uint64_t h = AddMod61(MulMod61(a_, Mod61(key)), b_);
+  return (h & 1) ? -1 : +1;
+}
+
+Cw4Xi::Cw4Xi(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& c : c_) c = UniformMod61(rng);
+  // A zero leading coefficient only lowers the polynomial degree for this
+  // seed; 4-wise independence over random coefficient vectors is preserved,
+  // so no rejection is needed.
+}
+
+int Cw4Xi::Sign(uint64_t key) const {
+  // Horner evaluation: ((c3 x + c2) x + c1) x + c0.
+  uint64_t x = Mod61(key);
+  uint64_t h = c_[3];
+  h = AddMod61(MulMod61(h, x), c_[2]);
+  h = AddMod61(MulMod61(h, x), c_[1]);
+  h = AddMod61(MulMod61(h, x), c_[0]);
+  return (h & 1) ? -1 : +1;
+}
+
+}  // namespace sketchsample

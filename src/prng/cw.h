@@ -1,0 +1,50 @@
+// Carter-Wegman polynomial ±1 families over GF(2^61 - 1).
+#ifndef SKETCHSAMPLE_PRNG_CW_H_
+#define SKETCHSAMPLE_PRNG_CW_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+/// CW2: ξ_i = sign of the low bit of (a·i + b) mod p. Exactly 2-wise
+/// independent (up to the 2^-61 parity bias of the odd field size).
+class Cw2Xi final : public XiFamily {
+ public:
+  explicit Cw2Xi(uint64_t seed);
+
+  int Sign(uint64_t key) const override;
+  int IndependenceLevel() const override { return 2; }
+  XiScheme Scheme() const override { return XiScheme::kCw2; }
+  std::unique_ptr<XiFamily> Clone() const override {
+    return std::make_unique<Cw2Xi>(*this);
+  }
+
+ private:
+  uint64_t a_ = 1, b_ = 0;
+};
+
+/// CW4: ξ_i from the low bit of a random degree-3 polynomial evaluated at i
+/// over GF(2^61 - 1). Exactly 4-wise independent — the family the AGMS
+/// variance analysis (Props 7-16 of the paper) assumes. Keys are reduced
+/// modulo p, which is injective for domains below 2^61 - 1.
+class Cw4Xi final : public XiFamily {
+ public:
+  explicit Cw4Xi(uint64_t seed);
+
+  int Sign(uint64_t key) const override;
+  int IndependenceLevel() const override { return 4; }
+  XiScheme Scheme() const override { return XiScheme::kCw4; }
+  std::unique_ptr<XiFamily> Clone() const override {
+    return std::make_unique<Cw4Xi>(*this);
+  }
+
+ private:
+  uint64_t c_[4] = {0, 0, 0, 1};  // c0 + c1 x + c2 x^2 + c3 x^3
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_CW_H_

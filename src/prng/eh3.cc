@@ -1,0 +1,25 @@
+#include "src/prng/eh3.h"
+
+#include <bit>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+Eh3Xi::Eh3Xi(uint64_t seed) {
+  uint64_t sm = seed;
+  s_ = SplitMix64(&sm);
+  s0_ = static_cast<int>(SplitMix64(&sm) & 1);
+}
+
+int Eh3Xi::Sign(uint64_t key) const {
+  // Linear part: parity of S AND key.
+  int bit = std::popcount(s_ & key) & 1;
+  // Non-linear part: XOR over adjacent bit pairs of (b_{2k} OR b_{2k+1}).
+  uint64_t pair_or = (key | (key >> 1)) & 0x5555555555555555ULL;
+  bit ^= std::popcount(pair_or) & 1;
+  bit ^= s0_;
+  return bit ? -1 : +1;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,36 @@
+// EH3: 3-wise independent ±1 family from an extended Hamming code.
+#ifndef SKETCHSAMPLE_PRNG_EH3_H_
+#define SKETCHSAMPLE_PRNG_EH3_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+/// EH3 scheme of ref [17]: ξ_i = (-1)^(s0 ⊕ <S,i> ⊕ h(i)) where <S,i> is the
+/// GF(2) inner product of the random seed word S with the key bits, and h is
+/// the fixed non-linear part XOR-ing together the ORs of adjacent key-bit
+/// pairs. The non-linear part upgrades the 2-wise-independent affine scheme
+/// to 3-wise independence at the cost of two extra bit operations.
+class Eh3Xi final : public XiFamily {
+ public:
+  /// Derives (s0, S) from `seed`.
+  explicit Eh3Xi(uint64_t seed);
+
+  int Sign(uint64_t key) const override;
+  int IndependenceLevel() const override { return 3; }
+  XiScheme Scheme() const override { return XiScheme::kEh3; }
+  std::unique_ptr<XiFamily> Clone() const override {
+    return std::make_unique<Eh3Xi>(*this);
+  }
+
+ private:
+  uint64_t s_ = 0;  // linear part
+  int s0_ = 0;      // constant bit
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_EH3_H_

@@ -1,0 +1,26 @@
+#include "src/prng/hash.h"
+
+#include <stdexcept>
+
+#include "src/prng/mersenne61.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+PairwiseHash::PairwiseHash(uint64_t seed, uint64_t num_buckets)
+    : num_buckets_(num_buckets) {
+  if (num_buckets == 0) {
+    throw std::invalid_argument("PairwiseHash needs at least one bucket");
+  }
+  Xoshiro256 rng(seed);
+  do {
+    a_ = UniformMod61(rng);
+  } while (a_ == 0);
+  b_ = UniformMod61(rng);
+}
+
+uint64_t PairwiseHash::Bucket(uint64_t key) const {
+  return AddMod61(MulMod61(a_, Mod61(key)), b_) % num_buckets_;
+}
+
+}  // namespace sketchsample

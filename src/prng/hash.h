@@ -1,0 +1,32 @@
+// Pairwise-independent bucket hashing for hash-based sketches.
+#ifndef SKETCHSAMPLE_PRNG_HASH_H_
+#define SKETCHSAMPLE_PRNG_HASH_H_
+
+#include <cstdint>
+
+namespace sketchsample {
+
+/// 2-universal hash h: uint64 -> [0, num_buckets), the bucket selector used
+/// by F-AGMS (Count-Sketch), Count-Min, and FastCount. Implemented as a
+/// Carter-Wegman degree-1 polynomial over GF(2^61 - 1) followed by a modulo
+/// on the bucket count.
+class PairwiseHash {
+ public:
+  /// Constructs a hash into `num_buckets` buckets (must be >= 1), with the
+  /// random coefficients derived from `seed`.
+  PairwiseHash(uint64_t seed, uint64_t num_buckets);
+
+  /// Bucket for `key`, in [0, num_buckets()).
+  uint64_t Bucket(uint64_t key) const;
+
+  uint64_t num_buckets() const { return num_buckets_; }
+
+ private:
+  uint64_t a_ = 1;
+  uint64_t b_ = 0;
+  uint64_t num_buckets_ = 1;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_HASH_H_

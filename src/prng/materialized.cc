@@ -1,0 +1,33 @@
+#include "src/prng/materialized.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+MaterializedXi::MaterializedXi(std::unique_ptr<XiFamily> base,
+                               size_t domain_size)
+    : base_(std::move(base)), domain_size_(domain_size) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("materialized xi needs a base family");
+  }
+  bits_.assign((domain_size + 63) / 64, 0);
+  for (size_t key = 0; key < domain_size; ++key) {
+    if (base_->Sign(key) < 0) {
+      bits_[key >> 6] |= uint64_t{1} << (key & 63);
+    }
+  }
+}
+
+MaterializedXi::MaterializedXi(const MaterializedXi& other)
+    : base_(other.base_->Clone()),
+      domain_size_(other.domain_size_),
+      bits_(other.bits_) {}
+
+std::unique_ptr<XiFamily> MakeMaterializedXiFamily(XiScheme scheme,
+                                                   uint64_t seed,
+                                                   size_t domain_size) {
+  return std::make_unique<MaterializedXi>(MakeXiFamily(scheme, seed),
+                                          domain_size);
+}
+
+}  // namespace sketchsample

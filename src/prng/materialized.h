@@ -1,0 +1,66 @@
+// Materialized ξ families: precomputed sign tables for bounded domains.
+//
+// Evaluating CW4 costs three 61-bit modular multiplications per key; an
+// AGMS sketch with hundreds of rows pays that per row per tuple. When the
+// key domain is known and bounded (the paper's experiments use |I| = 1M),
+// the whole family can be materialized once into a packed bit table —
+// 1 bit per domain value — turning Sign() into a load + shift. The paper's
+// ref [17] calls this the scheme that "trades space for generation time".
+//
+// A materialized family is observationally identical to its base family on
+// [0, domain_size); keys outside the table fall back to the base family.
+#ifndef SKETCHSAMPLE_PRNG_MATERIALIZED_H_
+#define SKETCHSAMPLE_PRNG_MATERIALIZED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+/// Wraps any ξ family with a precomputed sign table over [0, domain_size).
+class MaterializedXi final : public XiFamily {
+ public:
+  /// Evaluates `base` on every key in [0, domain_size) (O(domain) time,
+  /// domain/8 bytes of space) and keeps `base` for out-of-table keys.
+  MaterializedXi(std::unique_ptr<XiFamily> base, size_t domain_size);
+
+  MaterializedXi(const MaterializedXi& other);
+  MaterializedXi& operator=(const MaterializedXi& other) = delete;
+
+  int Sign(uint64_t key) const override {
+    if (key < domain_size_) {
+      return (bits_[key >> 6] >> (key & 63)) & 1 ? -1 : +1;
+    }
+    return base_->Sign(key);
+  }
+
+  int IndependenceLevel() const override {
+    return base_->IndependenceLevel();
+  }
+  XiScheme Scheme() const override { return base_->Scheme(); }
+  std::unique_ptr<XiFamily> Clone() const override {
+    return std::make_unique<MaterializedXi>(*this);
+  }
+
+  size_t domain_size() const { return domain_size_; }
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+ private:
+  std::unique_ptr<XiFamily> base_;
+  size_t domain_size_;
+  std::vector<uint64_t> bits_;  // 1 bit per key; set bit means -1
+};
+
+/// Convenience: builds scheme-`scheme` family seeded with `seed` and
+/// materializes it over [0, domain_size).
+std::unique_ptr<XiFamily> MakeMaterializedXiFamily(XiScheme scheme,
+                                                   uint64_t seed,
+                                                   size_t domain_size);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_MATERIALIZED_H_

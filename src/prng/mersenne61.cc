@@ -1,0 +1,25 @@
+#include "src/prng/mersenne61.h"
+
+namespace sketchsample {
+
+uint64_t PowMod61(uint64_t a, uint64_t e) {
+  uint64_t result = 1;
+  uint64_t base = Mod61(a);
+  while (e > 0) {
+    if (e & 1) result = MulMod61(result, base);
+    base = MulMod61(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint64_t UniformMod61(Xoshiro256& rng) {
+  // Draw 61 random bits; reject the single value p (2^61 - 1) so the result
+  // is exactly uniform over the field.
+  for (;;) {
+    uint64_t x = rng() >> 3;  // 61 bits
+    if (x != kMersenne61) return x;
+  }
+}
+
+}  // namespace sketchsample

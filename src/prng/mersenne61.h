@@ -1,0 +1,53 @@
+// Arithmetic modulo the Mersenne prime p = 2^61 - 1.
+//
+// Carter-Wegman polynomial hash families (src/prng/cw.h) need a prime field
+// larger than the 32/64-bit key domain; 2^61 - 1 admits a branch-light
+// reduction (fold high bits into low bits) and fits products in __uint128_t.
+#ifndef SKETCHSAMPLE_PRNG_MERSENNE61_H_
+#define SKETCHSAMPLE_PRNG_MERSENNE61_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// The Mersenne prime 2^61 - 1.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduces an arbitrary 64-bit value into [0, p). Input may be >= p.
+inline uint64_t Mod61(uint64_t x) {
+  x = (x & kMersenne61) + (x >> 61);
+  if (x >= kMersenne61) x -= kMersenne61;
+  return x;
+}
+
+/// Reduces a 128-bit value (e.g. a product of two field elements) mod p.
+inline uint64_t Mod61Wide(__uint128_t x) {
+  // Fold twice: 128 -> 67 bits -> 61 bits.
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  return Mod61(lo + Mod61(hi));
+}
+
+/// (a * b) mod p for a, b in [0, p).
+inline uint64_t MulMod61(uint64_t a, uint64_t b) {
+  return Mod61Wide(static_cast<__uint128_t>(a) * b);
+}
+
+/// (a + b) mod p for a, b in [0, p).
+inline uint64_t AddMod61(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+/// a^e mod p by square-and-multiply.
+uint64_t PowMod61(uint64_t a, uint64_t e);
+
+/// Draws a uniform element of [0, p) from a driver RNG (rejection sampling).
+uint64_t UniformMod61(Xoshiro256& rng);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_MERSENNE61_H_

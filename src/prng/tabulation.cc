@@ -1,0 +1,23 @@
+#include "src/prng/tabulation.h"
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+TabulationXi::TabulationXi(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& table : tables_) {
+    for (auto& word : table) word = rng();
+  }
+}
+
+int TabulationXi::Sign(uint64_t key) const {
+  int bit = 0;
+  for (int pos = 0; pos < 8; ++pos) {
+    const unsigned byte = static_cast<unsigned>(key >> (8 * pos)) & 0xff;
+    bit ^= static_cast<int>(tables_[pos][byte >> 6] >> (byte & 63)) & 1;
+  }
+  return bit ? -1 : +1;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,79 @@
+// The ξ families: limited-independence {+1, -1} random variables.
+//
+// An AGMS sketch (Eq 12 of the paper) adds ξ_{t.A} for every tuple t, where ξ
+// is a family of 4-wise independent ±1 random variables indexed by the join
+// attribute's domain. A "family" here is a seeded hash object: the seed fixes
+// the whole (conceptually huge) vector of signs, and Sign(i) evaluates entry
+// i on demand in O(1) without materializing the vector.
+//
+// The schemes implemented (following Rusu & Dobra, "Pseudo-Random Number
+// Generation for Sketch-Based Estimations", TODS 2007 — the paper's ref [17]):
+//
+//   scheme      independence   generator cost      notes
+//   ----------  -------------  ------------------  --------------------------
+//   BCH3        3-wise         1 AND + parity      linear code, cheapest
+//   EH3         3-wise         parity + pair-ORs   extended Hamming code
+//   BCH5        5-wise         GF(2^64) cube       x + x^3 over GF(2^64)
+//   CW2         2-wise         1 mulmod            degree-1 CW polynomial
+//   CW4         exactly 4-wise 3 mulmod            degree-3 CW polynomial;
+//                                                  the reference family for
+//                                                  the AGMS variance bounds
+//   Tabulation  3-wise         8 table lookups     simple tabulation hashing
+//
+// CW2/CW4 map a field element to a sign via its low bit; since |field| is
+// odd this carries a bias of 2^-61 which is ignored (standard practice).
+#ifndef SKETCHSAMPLE_PRNG_XI_H_
+#define SKETCHSAMPLE_PRNG_XI_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sketchsample {
+
+/// Identifies a ξ-generation scheme; see the table in the file comment.
+enum class XiScheme {
+  kBch3,
+  kEh3,
+  kBch5,
+  kCw2,
+  kCw4,
+  kTabulation,
+};
+
+/// Returns a human-readable name ("CW4", "EH3", ...).
+std::string XiSchemeName(XiScheme scheme);
+
+/// Parses a name as accepted by XiSchemeName (case-insensitive).
+/// Throws std::invalid_argument for unknown names.
+XiScheme XiSchemeFromName(const std::string& name);
+
+/// Abstract seeded family of ±1 random variables over 64-bit keys.
+///
+/// Implementations are immutable after construction and safe to share across
+/// threads. Equality of seeds implies equality of the whole family.
+class XiFamily {
+ public:
+  virtual ~XiFamily() = default;
+
+  /// ξ_key ∈ {+1, -1}.
+  virtual int Sign(uint64_t key) const = 0;
+
+  /// Wise-ness of the family: k such that any k entries are independent.
+  virtual int IndependenceLevel() const = 0;
+
+  /// Scheme identifier for diagnostics.
+  virtual XiScheme Scheme() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<XiFamily> Clone() const = 0;
+};
+
+/// Creates a fresh family of the given scheme, seeding all internal
+/// parameters from `seed`. Distinct seeds give (statistically) independent
+/// families, which is how averaged AGMS estimators are built.
+std::unique_ptr<XiFamily> MakeXiFamily(XiScheme scheme, uint64_t seed);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_PRNG_XI_H_

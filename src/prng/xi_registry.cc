@@ -1,0 +1,62 @@
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "src/prng/bch.h"
+#include "src/prng/cw.h"
+#include "src/prng/eh3.h"
+#include "src/prng/tabulation.h"
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+std::string XiSchemeName(XiScheme scheme) {
+  switch (scheme) {
+    case XiScheme::kBch3:
+      return "BCH3";
+    case XiScheme::kEh3:
+      return "EH3";
+    case XiScheme::kBch5:
+      return "BCH5";
+    case XiScheme::kCw2:
+      return "CW2";
+    case XiScheme::kCw4:
+      return "CW4";
+    case XiScheme::kTabulation:
+      return "Tabulation";
+  }
+  return "unknown";
+}
+
+XiScheme XiSchemeFromName(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "bch3") return XiScheme::kBch3;
+  if (lower == "eh3") return XiScheme::kEh3;
+  if (lower == "bch5") return XiScheme::kBch5;
+  if (lower == "cw2") return XiScheme::kCw2;
+  if (lower == "cw4") return XiScheme::kCw4;
+  if (lower == "tabulation" || lower == "tab") return XiScheme::kTabulation;
+  throw std::invalid_argument("unknown xi scheme: " + name);
+}
+
+std::unique_ptr<XiFamily> MakeXiFamily(XiScheme scheme, uint64_t seed) {
+  switch (scheme) {
+    case XiScheme::kBch3:
+      return std::make_unique<Bch3Xi>(seed);
+    case XiScheme::kEh3:
+      return std::make_unique<Eh3Xi>(seed);
+    case XiScheme::kBch5:
+      return std::make_unique<Bch5Xi>(seed);
+    case XiScheme::kCw2:
+      return std::make_unique<Cw2Xi>(seed);
+    case XiScheme::kCw4:
+      return std::make_unique<Cw4Xi>(seed);
+    case XiScheme::kTabulation:
+      return std::make_unique<TabulationXi>(seed);
+  }
+  throw std::invalid_argument("unknown xi scheme enum value");
+}
+
+}  // namespace sketchsample

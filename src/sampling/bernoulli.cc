@@ -1,0 +1,56 @@
+#include "src/sampling/bernoulli.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sketchsample {
+
+BernoulliSampler::BernoulliSampler(double p, uint64_t seed)
+    : p_(p), rng_(seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Bernoulli p must be in [0, 1]");
+  }
+}
+
+std::vector<uint64_t> BernoulliSampler::Sample(
+    const std::vector<uint64_t>& stream) {
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(p_ * static_cast<double>(stream.size())));
+  for (uint64_t v : stream) {
+    if (Keep()) out.push_back(v);
+  }
+  return out;
+}
+
+GeometricSkipSampler::GeometricSkipSampler(double p, uint64_t seed)
+    : p_(p), rng_(seed) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("skip sampler needs p in (0, 1]");
+  }
+  log1mp_ = p == 1.0 ? -std::numeric_limits<double>::infinity()
+                     : std::log1p(-p);
+}
+
+uint64_t GeometricSkipSampler::NextSkip() {
+  if (p_ == 1.0) return 0;
+  // Inverse-transform sample of Geometric(p) on {0, 1, 2, ...}: the count of
+  // failures before the first success is floor(log(U)/log(1-p)).
+  double u = rng_.NextDouble();
+  while (u <= 0.0) u = rng_.NextDouble();  // guard log(0)
+  return static_cast<uint64_t>(std::log(u) / log1mp_);
+}
+
+std::vector<uint64_t> GeometricSkipSampler::Sample(
+    const std::vector<uint64_t>& stream) {
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(p_ * static_cast<double>(stream.size())));
+  size_t pos = NextSkip();
+  while (pos < stream.size()) {
+    out.push_back(stream[pos]);
+    pos += 1 + NextSkip();
+  }
+  return out;
+}
+
+}  // namespace sketchsample

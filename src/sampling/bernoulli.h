@@ -1,0 +1,64 @@
+// Bernoulli sampling — the load-shedding sampler (§III-B, §VI-A).
+//
+// Each tuple is kept independently with probability p. Two implementations:
+//
+//   * BernoulliSampler: one uniform draw per tuple (the textbook algorithm);
+//   * GeometricSkipSampler: draws the *gap* to the next kept tuple from a
+//     geometric distribution (Olken's skip technique, the paper's ref [18]),
+//     so work is done only for tuples that are actually kept. This is what
+//     makes the sketch-update speed-up proportional to 1/p (§VI-A).
+#ifndef SKETCHSAMPLE_SAMPLING_BERNOULLI_H_
+#define SKETCHSAMPLE_SAMPLING_BERNOULLI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// Per-tuple coin-flip Bernoulli sampler.
+class BernoulliSampler {
+ public:
+  /// p must lie in [0, 1].
+  BernoulliSampler(double p, uint64_t seed);
+
+  /// Returns true when the current tuple should be kept.
+  bool Keep() { return rng_.NextDouble() < p_; }
+
+  double p() const { return p_; }
+
+  /// Filters a materialized stream; keeps order.
+  std::vector<uint64_t> Sample(const std::vector<uint64_t>& stream);
+
+ private:
+  double p_;
+  Xoshiro256 rng_;
+};
+
+/// Skip-based Bernoulli sampler: identical sampling law, O(1) work per
+/// *kept* tuple. NextSkip() returns how many tuples to discard before the
+/// next kept one (possibly 0).
+class GeometricSkipSampler {
+ public:
+  /// p must lie in (0, 1]. (p == 0 would skip forever; callers handle it.)
+  GeometricSkipSampler(double p, uint64_t seed);
+
+  /// Number of tuples to skip before the next accepted tuple.
+  uint64_t NextSkip();
+
+  double p() const { return p_; }
+
+  /// Filters a materialized stream using skips; keeps order. Produces a
+  /// sample with exactly the Bernoulli(p) law of BernoulliSampler.
+  std::vector<uint64_t> Sample(const std::vector<uint64_t>& stream);
+
+ private:
+  double p_;
+  double log1mp_;  // log(1 - p); -inf for p == 1
+  Xoshiro256 rng_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SAMPLING_BERNOULLI_H_

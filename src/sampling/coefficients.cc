@@ -1,0 +1,23 @@
+#include "src/sampling/coefficients.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+SamplingCoefficients ComputeCoefficients(uint64_t population,
+                                         uint64_t sample) {
+  if (population == 0) {
+    throw std::invalid_argument("population must be non-empty");
+  }
+  SamplingCoefficients c;
+  c.population = population;
+  c.sample = sample;
+  const double n = static_cast<double>(population);
+  const double m = static_cast<double>(sample);
+  c.alpha = m / n;
+  c.alpha1 = population > 1 ? (m - 1.0) / (n - 1.0) : 1.0;
+  c.alpha2 = (m - 1.0) / n;
+  return c;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,31 @@
+// Sampling-fraction coefficients (Eq 8 of the paper).
+#ifndef SKETCHSAMPLE_SAMPLING_COEFFICIENTS_H_
+#define SKETCHSAMPLE_SAMPLING_COEFFICIENTS_H_
+
+#include <cstdint>
+
+namespace sketchsample {
+
+/// The α coefficients of Eq 8 for one relation:
+///   α  = |F'| / |F|          (the sampling fraction)
+///   α₁ = (|F'| − 1)/(|F| − 1)
+///   α₂ = (|F'| − 1)/|F|
+/// These appear throughout the with/without-replacement estimator scalings
+/// and variance formulas. β, β₁, β₂ are the same object for the second
+/// relation.
+struct SamplingCoefficients {
+  double alpha = 1.0;
+  double alpha1 = 1.0;
+  double alpha2 = 1.0;
+  uint64_t population = 0;  ///< |F|
+  uint64_t sample = 0;      ///< |F'|
+};
+
+/// Computes the coefficients. Requires population >= 1 and sample >= 1
+/// (the estimators divide by α and α₁/α₂; a 0- or 1-element edge is handled
+/// by the callers). population == 1 sets α₁ = 1 by convention.
+SamplingCoefficients ComputeCoefficients(uint64_t population, uint64_t sample);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SAMPLING_COEFFICIENTS_H_

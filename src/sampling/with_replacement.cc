@@ -1,0 +1,45 @@
+#include "src/sampling/with_replacement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sketchsample {
+
+std::vector<uint64_t> SampleWithReplacement(
+    const std::vector<uint64_t>& relation, uint64_t sample_size,
+    Xoshiro256& rng) {
+  if (relation.empty()) {
+    throw std::invalid_argument("cannot sample from an empty relation");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(sample_size);
+  for (uint64_t k = 0; k < sample_size; ++k) {
+    out.push_back(relation[rng.NextBounded(relation.size())]);
+  }
+  return out;
+}
+
+std::vector<uint64_t> SampleWithReplacementFromFrequencies(
+    const FrequencyVector& freq, uint64_t sample_size, Xoshiro256& rng) {
+  std::vector<uint64_t> cumulative;
+  cumulative.reserve(freq.domain_size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < freq.domain_size(); ++i) {
+    total += freq.count(i);
+    cumulative.push_back(total);
+  }
+  if (total == 0) {
+    throw std::invalid_argument("cannot sample from an empty relation");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(sample_size);
+  for (uint64_t k = 0; k < sample_size; ++k) {
+    const uint64_t r = rng.NextBounded(total);  // picks tuple index r
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    out.push_back(static_cast<uint64_t>(it - cumulative.begin()));
+  }
+  return out;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,32 @@
+// Sampling with replacement (§III-D): fixed-size i.i.d. draws.
+//
+// In the paper's second application (§VI-B) the *stream itself* is a
+// with-replacement sample from a finite population or an i.i.d. sample from
+// an unknown distribution; the utilities here both realize that generative
+// model (for experiments) and draw WR samples from materialized relations.
+#ifndef SKETCHSAMPLE_SAMPLING_WITH_REPLACEMENT_H_
+#define SKETCHSAMPLE_SAMPLING_WITH_REPLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// Draws `sample_size` tuples uniformly with replacement from a materialized
+/// relation. The resulting per-value frequencies are the components of a
+/// Multinomial(sample_size, f_i/|F|) vector, as the analysis assumes.
+std::vector<uint64_t> SampleWithReplacement(
+    const std::vector<uint64_t>& relation, uint64_t sample_size,
+    Xoshiro256& rng);
+
+/// Same, but draws directly from a frequency vector without materializing
+/// the relation (inverse-CDF over the cumulative counts; O(log |I|)/draw).
+std::vector<uint64_t> SampleWithReplacementFromFrequencies(
+    const FrequencyVector& freq, uint64_t sample_size, Xoshiro256& rng);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SAMPLING_WITH_REPLACEMENT_H_

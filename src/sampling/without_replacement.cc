@@ -1,0 +1,41 @@
+#include "src/sampling/without_replacement.h"
+
+#include <algorithm>
+
+namespace sketchsample {
+
+std::vector<uint64_t> SampleWithoutReplacement(
+    const std::vector<uint64_t>& relation, uint64_t sample_size,
+    Xoshiro256& rng) {
+  const uint64_t n = relation.size();
+  uint64_t m = std::min(sample_size, n);
+  std::vector<uint64_t> out;
+  out.reserve(m);
+  // Selection sampling: position t is chosen with probability
+  // (remaining needed) / (remaining scanned), which yields a uniform subset.
+  uint64_t needed = m;
+  for (uint64_t t = 0; t < n && needed > 0; ++t) {
+    if (rng.NextBounded(n - t) < needed) {
+      out.push_back(relation[t]);
+      --needed;
+    }
+  }
+  return out;
+}
+
+ReservoirSampler::ReservoirSampler(uint64_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  reservoir_.reserve(capacity);
+}
+
+void ReservoirSampler::Offer(uint64_t value) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(value);
+    return;
+  }
+  const uint64_t j = rng_.NextBounded(seen_);
+  if (j < capacity_) reservoir_[j] = value;
+}
+
+}  // namespace sketchsample

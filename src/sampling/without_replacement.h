@@ -1,0 +1,54 @@
+// Sampling without replacement (§III-E): random subsets.
+//
+// The paper's third application (§VI-C) is online aggregation: the prefix of
+// a random-order scan is a WOR sample of the whole relation. Three
+// realizations are provided:
+//
+//   * SampleWithoutReplacement — selection sampling (Fan et al. / Knuth's
+//     Algorithm S): one sequential pass, exact sample size, no copy;
+//   * ReservoirSampler — Waterman/Vitter Algorithm R for streams of unknown
+//     length;
+//   * random-order prefixes — callers Shuffle() the relation once and take
+//     prefixes, which is exactly what an online-aggregation scan sees.
+#ifndef SKETCHSAMPLE_SAMPLING_WITHOUT_REPLACEMENT_H_
+#define SKETCHSAMPLE_SAMPLING_WITHOUT_REPLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// Draws a uniform random subset of `sample_size` tuples (by position) from
+/// the relation in one sequential pass. sample_size is clamped to the
+/// relation size. Every size-m subset of positions is equally likely.
+std::vector<uint64_t> SampleWithoutReplacement(
+    const std::vector<uint64_t>& relation, uint64_t sample_size,
+    Xoshiro256& rng);
+
+/// Reservoir sampling (Algorithm R): maintains a uniform WOR sample of a
+/// stream whose length is not known in advance.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(uint64_t capacity, uint64_t seed);
+
+  /// Offers the next stream element.
+  void Offer(uint64_t value);
+
+  /// The current reservoir (a uniform WOR sample of everything offered).
+  const std::vector<uint64_t>& sample() const { return reservoir_; }
+
+  /// Total number of elements offered so far (the population size |F|).
+  uint64_t seen() const { return seen_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<uint64_t> reservoir_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SAMPLING_WITHOUT_REPLACEMENT_H_

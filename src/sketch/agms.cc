@@ -1,0 +1,138 @@
+#include "src/sketch/agms.h"
+
+#include <stdexcept>
+
+#include "src/prng/materialized.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+
+namespace {
+// Domain separator so AGMS ξ seeds never collide with bucket-hash seeds
+// derived from the same master seed elsewhere.
+constexpr uint64_t kXiSeedStream = 0x5153;
+}  // namespace
+
+AgmsSketch::AgmsSketch(const SketchParams& params) : params_(params) {
+  if (params.rows == 0) {
+    throw std::invalid_argument("AGMS sketch needs at least one estimator");
+  }
+  xis_.reserve(params.rows);
+  for (size_t k = 0; k < params.rows; ++k) {
+    const uint64_t seed = MixSeed(params.seed, kXiSeedStream + k);
+    xis_.push_back(params.materialize_domain > 0
+                       ? MakeMaterializedXiFamily(params.scheme, seed,
+                                                  params.materialize_domain)
+                       : MakeXiFamily(params.scheme, seed));
+  }
+  counters_.assign(params.rows, 0.0);
+}
+
+AgmsSketch::AgmsSketch(const AgmsSketch& other)
+    : params_(other.params_), counters_(other.counters_) {
+  xis_.reserve(other.xis_.size());
+  for (const auto& xi : other.xis_) xis_.push_back(xi->Clone());
+}
+
+AgmsSketch& AgmsSketch::operator=(const AgmsSketch& other) {
+  if (this == &other) return *this;
+  params_ = other.params_;
+  counters_ = other.counters_;
+  xis_.clear();
+  xis_.reserve(other.xis_.size());
+  for (const auto& xi : other.xis_) xis_.push_back(xi->Clone());
+  return *this;
+}
+
+void AgmsSketch::Update(uint64_t key, double weight) {
+  for (size_t k = 0; k < counters_.size(); ++k) {
+    counters_[k] += weight * static_cast<double>(xis_[k]->Sign(key));
+  }
+}
+
+std::vector<double> AgmsSketch::SelfJoinEstimates() const {
+  std::vector<double> est;
+  est.reserve(counters_.size());
+  for (double s : counters_) est.push_back(s * s);
+  return est;
+}
+
+std::vector<double> AgmsSketch::JoinEstimates(const AgmsSketch& other) const {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("join of incompatible AGMS sketches");
+  }
+  std::vector<double> est;
+  est.reserve(counters_.size());
+  for (size_t k = 0; k < counters_.size(); ++k) {
+    est.push_back(counters_[k] * other.counters_[k]);
+  }
+  return est;
+}
+
+double AgmsSketch::EstimateSelfJoin() const {
+  return Mean(SelfJoinEstimates());
+}
+
+double AgmsSketch::EstimateJoin(const AgmsSketch& other) const {
+  return Mean(JoinEstimates(other));
+}
+
+namespace {
+double MedianOfGroupMeans(const std::vector<double>& values, size_t groups) {
+  if (groups == 0 || values.empty()) {
+    throw std::invalid_argument("median-of-means needs >= 1 group");
+  }
+  const size_t per_group = values.size() / groups;
+  if (per_group == 0) {
+    throw std::invalid_argument("more groups than estimators");
+  }
+  std::vector<double> means;
+  means.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    double sum = 0;
+    for (size_t k = g * per_group; k < (g + 1) * per_group; ++k) {
+      sum += values[k];
+    }
+    means.push_back(sum / static_cast<double>(per_group));
+  }
+  return Median(std::move(means));
+}
+}  // namespace
+
+double AgmsSketch::EstimateSelfJoinMedianOfMeans(size_t groups) const {
+  return MedianOfGroupMeans(SelfJoinEstimates(), groups);
+}
+
+double AgmsSketch::EstimateJoinMedianOfMeans(const AgmsSketch& other,
+                                             size_t groups) const {
+  return MedianOfGroupMeans(JoinEstimates(other), groups);
+}
+
+void AgmsSketch::Merge(const AgmsSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible AGMS sketches");
+  }
+  for (size_t k = 0; k < counters_.size(); ++k) {
+    counters_[k] += other.counters_[k];
+  }
+}
+
+bool AgmsSketch::CompatibleWith(const AgmsSketch& other) const {
+  return params_.rows == other.params_.rows &&
+         params_.scheme == other.params_.scheme &&
+         params_.seed == other.params_.seed;
+}
+
+}  // namespace sketchsample
+
+namespace sketchsample {
+
+void AgmsSketch::LoadCounters(std::vector<double> counters) {
+  if (counters.size() != counters_.size()) {
+    throw std::invalid_argument("counter payload size mismatch");
+  }
+  counters_ = std::move(counters);
+}
+
+}  // namespace sketchsample

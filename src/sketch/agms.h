@@ -1,0 +1,78 @@
+// AGMS ("tug-of-war") sketches — Alon, Matias, Szegedy; the paper's §IV.
+#ifndef SKETCHSAMPLE_SKETCH_AGMS_H_
+#define SKETCHSAMPLE_SKETCH_AGMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/prng/xi.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Basic AGMS sketch: `rows` independent counters S_k = Σ_i f_i ξ^k_i, one
+/// 4-wise-independent ±1 family per counter (Eq 12).
+///
+/// Estimates:
+///   * self-join: average (or median-of-means) of S_k²        (Prop 8)
+///   * join:      average (or median-of-means) of S_k · T_k   (Prop 7)
+///
+/// Per-update cost is O(rows) sign evaluations, which is why the paper's
+/// experiments use the hash-partitioned F-AGMS variant instead; AGMS is the
+/// reference estimator the analysis is stated for.
+class AgmsSketch {
+ public:
+  /// `params.buckets` is ignored; `params.rows` basic estimators are built.
+  explicit AgmsSketch(const SketchParams& params);
+
+  AgmsSketch(const AgmsSketch& other);
+  AgmsSketch& operator=(const AgmsSketch& other);
+  AgmsSketch(AgmsSketch&&) = default;
+  AgmsSketch& operator=(AgmsSketch&&) = default;
+
+  /// Adds `weight` copies of `key` (negative weight deletes).
+  void Update(uint64_t key, double weight = 1.0);
+
+  /// Raw per-estimator self-join estimates S_k².
+  std::vector<double> SelfJoinEstimates() const;
+  /// Raw per-estimator join estimates S_k · T_k. Requires compatibility.
+  std::vector<double> JoinEstimates(const AgmsSketch& other) const;
+
+  /// Mean of SelfJoinEstimates() — the averaged estimator of §IV.
+  double EstimateSelfJoin() const;
+  /// Mean of JoinEstimates().
+  double EstimateJoin(const AgmsSketch& other) const;
+
+  /// Median of `groups` group-means (standard AGMS boosting). groups must
+  /// divide rows() evenly or the trailing partial group is dropped.
+  double EstimateSelfJoinMedianOfMeans(size_t groups) const;
+  double EstimateJoinMedianOfMeans(const AgmsSketch& other,
+                                   size_t groups) const;
+
+  /// Adds another sketch built with the same params (stream union).
+  void Merge(const AgmsSketch& other);
+
+  /// True when the two sketches share shape, scheme, and seed (and hence
+  /// their ξ families), so cross estimates are meaningful.
+  bool CompatibleWith(const AgmsSketch& other) const;
+
+  size_t rows() const { return counters_.size(); }
+  const std::vector<double>& counters() const { return counters_; }
+
+  /// Replaces the counter state (deserialization support). `counters` must
+  /// have exactly rows() entries.
+  void LoadCounters(std::vector<double> counters);
+  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  const SketchParams& params() const { return params_; }
+
+ private:
+  SketchParams params_;
+  std::vector<std::unique_ptr<XiFamily>> xis_;
+  std::vector<double> counters_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_AGMS_H_

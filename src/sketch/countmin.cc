@@ -1,0 +1,106 @@
+#include "src/sketch/countmin.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+namespace {
+constexpr uint64_t kHashSeedStream = 0xc311;
+}  // namespace
+
+CountMinSketch::CountMinSketch(const SketchParams& params) : params_(params) {
+  if (params.rows == 0 || params.buckets == 0) {
+    throw std::invalid_argument(
+        "Count-Min sketch needs rows >= 1, buckets >= 1");
+  }
+  hashes_.reserve(params.rows);
+  for (size_t r = 0; r < params.rows; ++r) {
+    hashes_.emplace_back(MixSeed(params.seed, kHashSeedStream + r),
+                         params.buckets);
+  }
+  counters_.assign(params.rows * params.buckets, 0.0);
+}
+
+void CountMinSketch::Update(uint64_t key, double weight) {
+  for (size_t r = 0; r < params_.rows; ++r) {
+    Row(r)[hashes_[r].Bucket(key)] += weight;
+  }
+}
+
+void CountMinSketch::UpdateConservative(uint64_t key, double weight) {
+  if (weight < 0.0) {
+    throw std::invalid_argument(
+        "conservative update does not support deletions");
+  }
+  const double target = EstimateFrequency(key) + weight;
+  for (size_t r = 0; r < params_.rows; ++r) {
+    double& counter = Row(r)[hashes_[r].Bucket(key)];
+    counter = std::max(counter, target);
+  }
+}
+
+double CountMinSketch::EstimateFrequency(uint64_t key) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < params_.rows; ++r) {
+    best = std::min(best, Row(r)[hashes_[r].Bucket(key)]);
+  }
+  return best;
+}
+
+double CountMinSketch::EstimateSelfJoin() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const double* row = Row(r);
+    double sum = 0;
+    for (size_t k = 0; k < params_.buckets; ++k) sum += row[k] * row[k];
+    best = std::min(best, sum);
+  }
+  return best;
+}
+
+double CountMinSketch::EstimateJoin(const CountMinSketch& other) const {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("join of incompatible Count-Min sketches");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const double* a = Row(r);
+    const double* b = other.Row(r);
+    double sum = 0;
+    for (size_t k = 0; k < params_.buckets; ++k) sum += a[k] * b[k];
+    best = std::min(best, sum);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible Count-Min sketches");
+  }
+  for (size_t k = 0; k < counters_.size(); ++k) {
+    counters_[k] += other.counters_[k];
+  }
+}
+
+bool CountMinSketch::CompatibleWith(const CountMinSketch& other) const {
+  return params_.rows == other.params_.rows &&
+         params_.buckets == other.params_.buckets &&
+         params_.seed == other.params_.seed;
+}
+
+}  // namespace sketchsample
+
+namespace sketchsample {
+
+void CountMinSketch::LoadCounters(std::vector<double> counters) {
+  if (counters.size() != counters_.size()) {
+    throw std::invalid_argument("counter payload size mismatch");
+  }
+  counters_ = std::move(counters);
+}
+
+}  // namespace sketchsample

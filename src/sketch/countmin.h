@@ -1,0 +1,72 @@
+// Count-Min sketch — Cormode & Muthukrishnan; extension baseline (ref [4]).
+#ifndef SKETCHSAMPLE_SKETCH_COUNTMIN_H_
+#define SKETCHSAMPLE_SKETCH_COUNTMIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/prng/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Count-Min sketch: rows × buckets of non-negative counters,
+/// c[r][h_r(i)] += weight. Point, self-join, and join queries take a MIN
+/// across rows, so the estimates are one-sided (always over-estimates for
+/// non-negative streams). Included as the comparison baseline used by the
+/// sketch-ablation bench (ref [4] compares AGMS-family sketches against it).
+class CountMinSketch {
+ public:
+  /// `params.scheme` is ignored (Count-Min uses no ξ family).
+  explicit CountMinSketch(const SketchParams& params);
+
+  /// Adds `weight` copies of `key`. Count-Min's guarantees assume
+  /// non-negative weights.
+  void Update(uint64_t key, double weight = 1.0);
+
+  /// Conservative update (Estan–Varghese): increments only the counters
+  /// that currently define the key's minimum, raising them just enough to
+  /// reach min + weight. Point-query error drops substantially on skewed
+  /// streams; the trade-offs are that the sketch stops being linear (no
+  /// Merge of conservatively-updated sketches, no deletions) and self-join
+  /// and join estimates are no longer upper bounds of anything meaningful —
+  /// use it for frequency queries only. Requires weight >= 0.
+  void UpdateConservative(uint64_t key, double weight = 1.0);
+
+  /// Point frequency upper-estimate: min over rows of c[r][h_r(key)].
+  double EstimateFrequency(uint64_t key) const;
+
+  /// Self-join size estimate: min over rows of Σ_k c².
+  double EstimateSelfJoin() const;
+
+  /// Join size estimate: min over rows of Σ_k c_F c_G.
+  double EstimateJoin(const CountMinSketch& other) const;
+
+  void Merge(const CountMinSketch& other);
+  bool CompatibleWith(const CountMinSketch& other) const;
+
+  size_t rows() const { return params_.rows; }
+  size_t buckets() const { return params_.buckets; }
+  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  const SketchParams& params() const { return params_; }
+  const std::vector<double>& counters() const { return counters_; }
+
+  /// Replaces the counter state (deserialization support). `counters` must
+  /// have exactly rows() × buckets() entries.
+  void LoadCounters(std::vector<double> counters);
+
+ private:
+  double* Row(size_t r) { return counters_.data() + r * params_.buckets; }
+  const double* Row(size_t r) const {
+    return counters_.data() + r * params_.buckets;
+  }
+
+  SketchParams params_;
+  std::vector<PairwiseHash> hashes_;
+  std::vector<double> counters_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_COUNTMIN_H_

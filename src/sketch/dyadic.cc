@@ -1,0 +1,111 @@
+#include "src/sketch/dyadic.h"
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+DyadicRangeSketch::DyadicRangeSketch(int log_universe,
+                                     const SketchParams& params)
+    : log_universe_(log_universe) {
+  if (log_universe < 1 || log_universe > 63) {
+    throw std::invalid_argument("log_universe must be in [1, 63]");
+  }
+  levels_.reserve(log_universe + 1);
+  for (int level = 0; level <= log_universe; ++level) {
+    SketchParams level_params = params;
+    // Independent randomness per level, derived from the master seed.
+    level_params.seed = MixSeed(params.seed, 0xd7ad1c00 + level);
+    levels_.emplace_back(level_params);
+  }
+}
+
+void DyadicRangeSketch::Update(uint64_t key, double weight) {
+  if (log_universe_ < 64 && (key >> log_universe_) != 0) {
+    throw std::invalid_argument("key outside the dyadic universe");
+  }
+  for (int level = 0; level <= log_universe_; ++level) {
+    levels_[level].Update(key >> level, weight);
+  }
+  total_weight_ += weight;
+}
+
+double DyadicRangeSketch::EstimateFrequency(uint64_t key) const {
+  return levels_[0].EstimateFrequency(key);
+}
+
+double DyadicRangeSketch::EstimateRange(uint64_t lo, uint64_t hi) const {
+  if (lo > hi || (hi >> log_universe_) != 0) {
+    throw std::invalid_argument("invalid dyadic range");
+  }
+  // Canonical dyadic decomposition: greedily take the largest aligned
+  // block starting at lo that fits in [lo, hi].
+  double total = 0;
+  uint64_t cursor = lo;
+  while (cursor <= hi) {
+    int level = 0;
+    // Grow the block while it stays aligned and inside the range.
+    while (level < log_universe_) {
+      const int next = level + 1;
+      const uint64_t block = uint64_t{1} << next;
+      if ((cursor & (block - 1)) != 0) break;            // alignment
+      if (cursor + block - 1 > hi) break;                // fit
+      level = next;
+    }
+    total += levels_[level].EstimateFrequency(cursor >> level);
+    const uint64_t advance = uint64_t{1} << level;
+    if (cursor > hi - advance + 1) break;  // avoid overflow at universe end
+    cursor += advance;
+  }
+  return total;
+}
+
+uint64_t DyadicRangeSketch::EstimateQuantile(double fraction) const {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument("quantile fraction must be in (0, 1]");
+  }
+  const double target = fraction * total_weight_;
+  // Descend the dyadic tree: at each level choose the child whose left
+  // subtree mass crosses the remaining target.
+  uint64_t prefix = 0;  // node id at the current level
+  double remaining = target;
+  for (int level = log_universe_ - 1; level >= 0; --level) {
+    const uint64_t left_child = prefix << 1;
+    const double left_mass =
+        std::max(0.0, levels_[level].EstimateFrequency(left_child));
+    if (remaining <= left_mass) {
+      prefix = left_child;
+    } else {
+      remaining -= left_mass;
+      prefix = left_child + 1;
+    }
+  }
+  return prefix;
+}
+
+void DyadicRangeSketch::Merge(const DyadicRangeSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible dyadic sketches");
+  }
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    levels_[level].Merge(other.levels_[level]);
+  }
+  total_weight_ += other.total_weight_;
+}
+
+bool DyadicRangeSketch::CompatibleWith(const DyadicRangeSketch& other) const {
+  if (log_universe_ != other.log_universe_) return false;
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    if (!levels_[level].CompatibleWith(other.levels_[level])) return false;
+  }
+  return true;
+}
+
+size_t DyadicRangeSketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.MemoryBytes();
+  return total;
+}
+
+}  // namespace sketchsample

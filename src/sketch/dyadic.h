@@ -1,0 +1,62 @@
+// Dyadic range sketches: range-frequency queries from Count-Sketch levels.
+//
+// A point-queryable sketch extends to range queries by sketching the
+// stream at every dyadic resolution: level ℓ maps key x to its dyadic
+// ancestor x >> ℓ. Any range [lo, hi] decomposes into at most 2·log₂(domain)
+// dyadic intervals, each answered by a point query at its level; the range
+// frequency estimate is their sum. This is the standard construction for
+// quantile/range analytics over turnstile streams, and it composes with the
+// sampling front-ends of this library exactly like the flat sketch does
+// (scale range estimates by 1/p under Bernoulli shedding).
+#ifndef SKETCHSAMPLE_SKETCH_DYADIC_H_
+#define SKETCHSAMPLE_SKETCH_DYADIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Hierarchy of F-AGMS sketches over dyadic aggregates of a bounded key
+/// universe [0, 2^log_universe).
+class DyadicRangeSketch {
+ public:
+  /// `log_universe` in [1, 63]: keys must be < 2^log_universe. One F-AGMS
+  /// sketch per level (log_universe + 1 levels), each shaped by `params`.
+  DyadicRangeSketch(int log_universe, const SketchParams& params);
+
+  /// Adds `weight` copies of `key` at every dyadic level.
+  void Update(uint64_t key, double weight = 1.0);
+
+  /// Point frequency estimate (level-0 query).
+  double EstimateFrequency(uint64_t key) const;
+
+  /// Estimated total frequency of keys in [lo, hi] (inclusive). Requires
+  /// lo <= hi < 2^log_universe.
+  double EstimateRange(uint64_t lo, uint64_t hi) const;
+
+  /// Smallest key q such that the estimated mass of [0, q] is at least
+  /// `fraction` of the estimated total mass — an approximate quantile.
+  /// fraction must be in (0, 1].
+  uint64_t EstimateQuantile(double fraction) const;
+
+  void Merge(const DyadicRangeSketch& other);
+  bool CompatibleWith(const DyadicRangeSketch& other) const;
+
+  int log_universe() const { return log_universe_; }
+  size_t MemoryBytes() const;
+  /// Total stream weight consumed (Σ weights).
+  double total_weight() const { return total_weight_; }
+
+ private:
+  int log_universe_;
+  double total_weight_ = 0;
+  std::vector<FagmsSketch> levels_;  // levels_[l] sketches key >> l
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_DYADIC_H_

@@ -1,0 +1,134 @@
+#include "src/sketch/fagms.h"
+
+#include <stdexcept>
+
+#include "src/prng/materialized.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+
+namespace {
+constexpr uint64_t kHashSeedStream = 0xfa11;
+constexpr uint64_t kXiSeedStream = 0xfa22;
+}  // namespace
+
+FagmsSketch::FagmsSketch(const SketchParams& params) : params_(params) {
+  if (params.rows == 0 || params.buckets == 0) {
+    throw std::invalid_argument("F-AGMS sketch needs rows >= 1, buckets >= 1");
+  }
+  hashes_.reserve(params.rows);
+  xis_.reserve(params.rows);
+  for (size_t r = 0; r < params.rows; ++r) {
+    hashes_.emplace_back(MixSeed(params.seed, kHashSeedStream + r),
+                         params.buckets);
+    const uint64_t seed = MixSeed(params.seed, kXiSeedStream + r);
+    xis_.push_back(params.materialize_domain > 0
+                       ? MakeMaterializedXiFamily(params.scheme, seed,
+                                                  params.materialize_domain)
+                       : MakeXiFamily(params.scheme, seed));
+  }
+  counters_.assign(params.rows * params.buckets, 0.0);
+}
+
+FagmsSketch::FagmsSketch(const FagmsSketch& other)
+    : params_(other.params_),
+      hashes_(other.hashes_),
+      counters_(other.counters_) {
+  xis_.reserve(other.xis_.size());
+  for (const auto& xi : other.xis_) xis_.push_back(xi->Clone());
+}
+
+FagmsSketch& FagmsSketch::operator=(const FagmsSketch& other) {
+  if (this == &other) return *this;
+  params_ = other.params_;
+  hashes_ = other.hashes_;
+  counters_ = other.counters_;
+  xis_.clear();
+  xis_.reserve(other.xis_.size());
+  for (const auto& xi : other.xis_) xis_.push_back(xi->Clone());
+  return *this;
+}
+
+void FagmsSketch::Update(uint64_t key, double weight) {
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const uint64_t bucket = hashes_[r].Bucket(key);
+    Row(r)[bucket] += weight * static_cast<double>(xis_[r]->Sign(key));
+  }
+}
+
+std::vector<double> FagmsSketch::SelfJoinRowEstimates() const {
+  std::vector<double> est;
+  est.reserve(params_.rows);
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const double* row = Row(r);
+    double sum = 0;
+    for (size_t k = 0; k < params_.buckets; ++k) sum += row[k] * row[k];
+    est.push_back(sum);
+  }
+  return est;
+}
+
+std::vector<double> FagmsSketch::JoinRowEstimates(
+    const FagmsSketch& other) const {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("join of incompatible F-AGMS sketches");
+  }
+  std::vector<double> est;
+  est.reserve(params_.rows);
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const double* a = Row(r);
+    const double* b = other.Row(r);
+    double sum = 0;
+    for (size_t k = 0; k < params_.buckets; ++k) sum += a[k] * b[k];
+    est.push_back(sum);
+  }
+  return est;
+}
+
+double FagmsSketch::EstimateSelfJoin() const {
+  return Median(SelfJoinRowEstimates());
+}
+
+double FagmsSketch::EstimateJoin(const FagmsSketch& other) const {
+  return Median(JoinRowEstimates(other));
+}
+
+double FagmsSketch::EstimateFrequency(uint64_t key) const {
+  std::vector<double> est;
+  est.reserve(params_.rows);
+  for (size_t r = 0; r < params_.rows; ++r) {
+    est.push_back(static_cast<double>(xis_[r]->Sign(key)) *
+                  Row(r)[hashes_[r].Bucket(key)]);
+  }
+  return Median(std::move(est));
+}
+
+void FagmsSketch::Merge(const FagmsSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible F-AGMS sketches");
+  }
+  for (size_t k = 0; k < counters_.size(); ++k) {
+    counters_[k] += other.counters_[k];
+  }
+}
+
+bool FagmsSketch::CompatibleWith(const FagmsSketch& other) const {
+  return params_.rows == other.params_.rows &&
+         params_.buckets == other.params_.buckets &&
+         params_.scheme == other.params_.scheme &&
+         params_.seed == other.params_.seed;
+}
+
+}  // namespace sketchsample
+
+namespace sketchsample {
+
+void FagmsSketch::LoadCounters(std::vector<double> counters) {
+  if (counters.size() != counters_.size()) {
+    throw std::invalid_argument("counter payload size mismatch");
+  }
+  counters_ = std::move(counters);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,106 @@
+#include "src/sketch/fastcount.h"
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+
+namespace {
+constexpr uint64_t kHashSeedStream = 0xfc77;
+}  // namespace
+
+FastCountSketch::FastCountSketch(const SketchParams& params)
+    : params_(params) {
+  if (params.rows == 0 || params.buckets < 2) {
+    throw std::invalid_argument(
+        "FastCount sketch needs rows >= 1, buckets >= 2");
+  }
+  hashes_.reserve(params.rows);
+  for (size_t r = 0; r < params.rows; ++r) {
+    hashes_.emplace_back(MixSeed(params.seed, kHashSeedStream + r),
+                         params.buckets);
+  }
+  counters_.assign(params.rows * params.buckets, 0.0);
+}
+
+void FastCountSketch::Update(uint64_t key, double weight) {
+  for (size_t r = 0; r < params_.rows; ++r) {
+    Row(r)[hashes_[r].Bucket(key)] += weight;
+  }
+}
+
+std::vector<double> FastCountSketch::SelfJoinRowEstimates() const {
+  std::vector<double> est;
+  est.reserve(params_.rows);
+  const double b = static_cast<double>(params_.buckets);
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const double* row = Row(r);
+    double sum = 0, sum_sq = 0;
+    for (size_t k = 0; k < params_.buckets; ++k) {
+      sum += row[k];
+      sum_sq += row[k] * row[k];
+    }
+    est.push_back((b * sum_sq - sum * sum) / (b - 1.0));
+  }
+  return est;
+}
+
+std::vector<double> FastCountSketch::JoinRowEstimates(
+    const FastCountSketch& other) const {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("join of incompatible FastCount sketches");
+  }
+  std::vector<double> est;
+  est.reserve(params_.rows);
+  const double b = static_cast<double>(params_.buckets);
+  for (size_t r = 0; r < params_.rows; ++r) {
+    const double* x = Row(r);
+    const double* y = other.Row(r);
+    double sum_x = 0, sum_y = 0, dot = 0;
+    for (size_t k = 0; k < params_.buckets; ++k) {
+      sum_x += x[k];
+      sum_y += y[k];
+      dot += x[k] * y[k];
+    }
+    est.push_back((b * dot - sum_x * sum_y) / (b - 1.0));
+  }
+  return est;
+}
+
+double FastCountSketch::EstimateSelfJoin() const {
+  return Mean(SelfJoinRowEstimates());
+}
+
+double FastCountSketch::EstimateJoin(const FastCountSketch& other) const {
+  return Mean(JoinRowEstimates(other));
+}
+
+void FastCountSketch::Merge(const FastCountSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible FastCount sketches");
+  }
+  for (size_t k = 0; k < counters_.size(); ++k) {
+    counters_[k] += other.counters_[k];
+  }
+}
+
+bool FastCountSketch::CompatibleWith(const FastCountSketch& other) const {
+  return params_.rows == other.params_.rows &&
+         params_.buckets == other.params_.buckets &&
+         params_.seed == other.params_.seed;
+}
+
+}  // namespace sketchsample
+
+namespace sketchsample {
+
+void FastCountSketch::LoadCounters(std::vector<double> counters) {
+  if (counters.size() != counters_.size()) {
+    throw std::invalid_argument("counter payload size mismatch");
+  }
+  counters_ = std::move(counters);
+}
+
+}  // namespace sketchsample

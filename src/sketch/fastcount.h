@@ -1,0 +1,66 @@
+// FastCount sketch — Thorup & Zhang style hash-bucket F2 estimator (ref [4]).
+#ifndef SKETCHSAMPLE_SKETCH_FASTCOUNT_H_
+#define SKETCHSAMPLE_SKETCH_FASTCOUNT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/prng/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// FastCount sketch: like Count-Min, each row keeps plain bucket counts
+/// c[r][h_r(i)] += weight, but the estimator removes the collision bias
+/// analytically instead of taking a min:
+///
+///   self-join row estimate:  (b·Σc² − (Σc)²) / (b − 1)
+///   join row estimate:       (b·Σ c_F c_G − (Σc_F)(Σc_G)) / (b − 1)
+///
+/// With pairwise-independent bucket hashes these row estimates are unbiased;
+/// rows are combined by averaging. One of the four sketch families compared
+/// in the paper's ref [4]; used by the sketch-ablation bench.
+class FastCountSketch {
+ public:
+  /// `params.scheme` is ignored (no ξ family). buckets must be >= 2.
+  explicit FastCountSketch(const SketchParams& params);
+
+  void Update(uint64_t key, double weight = 1.0);
+
+  /// Per-row unbiased self-join estimates.
+  std::vector<double> SelfJoinRowEstimates() const;
+  /// Per-row unbiased join estimates. Requires compatibility.
+  std::vector<double> JoinRowEstimates(const FastCountSketch& other) const;
+
+  /// Mean across rows.
+  double EstimateSelfJoin() const;
+  double EstimateJoin(const FastCountSketch& other) const;
+
+  void Merge(const FastCountSketch& other);
+  bool CompatibleWith(const FastCountSketch& other) const;
+
+  size_t rows() const { return params_.rows; }
+  size_t buckets() const { return params_.buckets; }
+  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  const SketchParams& params() const { return params_; }
+  const std::vector<double>& counters() const { return counters_; }
+
+  /// Replaces the counter state (deserialization support). `counters` must
+  /// have exactly rows() × buckets() entries.
+  void LoadCounters(std::vector<double> counters);
+
+ private:
+  double* Row(size_t r) { return counters_.data() + r * params_.buckets; }
+  const double* Row(size_t r) const {
+    return counters_.data() + r * params_.buckets;
+  }
+
+  SketchParams params_;
+  std::vector<PairwiseHash> hashes_;
+  std::vector<double> counters_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_FASTCOUNT_H_

@@ -1,0 +1,51 @@
+#include "src/sketch/heavy_hitters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sketchsample {
+
+namespace {
+bool Heavier(const HeavyHitter& a, const HeavyHitter& b) {
+  if (a.estimated_frequency != b.estimated_frequency) {
+    return a.estimated_frequency > b.estimated_frequency;
+  }
+  return a.key < b.key;
+}
+}  // namespace
+
+std::vector<HeavyHitter> FindHeavyHitters(const FagmsSketch& sketch,
+                                          size_t domain_size,
+                                          double threshold, double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("heavy-hitter scale must be positive");
+  }
+  std::vector<HeavyHitter> hitters;
+  for (uint64_t key = 0; key < domain_size; ++key) {
+    const double estimate = scale * sketch.EstimateFrequency(key);
+    if (estimate >= threshold) {
+      hitters.push_back({key, estimate});
+    }
+  }
+  std::sort(hitters.begin(), hitters.end(), Heavier);
+  return hitters;
+}
+
+std::vector<HeavyHitter> TopKFrequent(const FagmsSketch& sketch,
+                                      size_t domain_size, size_t k,
+                                      double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("heavy-hitter scale must be positive");
+  }
+  std::vector<HeavyHitter> all;
+  all.reserve(domain_size);
+  for (uint64_t key = 0; key < domain_size; ++key) {
+    all.push_back({key, scale * sketch.EstimateFrequency(key)});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + k, all.end(), Heavier);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace sketchsample

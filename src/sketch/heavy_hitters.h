@@ -1,0 +1,45 @@
+// Heavy-hitter extraction from Count-Sketch (F-AGMS) point queries.
+//
+// F-AGMS answers point-frequency queries (median over rows of
+// ξ_r(i)·c[r][h_r(i)]), so for a bounded, enumerable key domain the heavy
+// hitters — values whose frequency exceeds a threshold — can be read
+// directly out of the sketch. This is the classic Count-Sketch application
+// and a natural companion to load shedding: the same sketch built over a
+// Bernoulli sample yields frequency estimates scaled by 1/p.
+#ifndef SKETCHSAMPLE_SKETCH_HEAVY_HITTERS_H_
+#define SKETCHSAMPLE_SKETCH_HEAVY_HITTERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/fagms.h"
+
+namespace sketchsample {
+
+/// One extracted heavy hitter.
+struct HeavyHitter {
+  uint64_t key = 0;
+  double estimated_frequency = 0;
+};
+
+/// Scans [0, domain_size) and returns every key whose estimated frequency
+/// is at least `threshold`, sorted by estimated frequency (descending; ties
+/// by key). `scale` multiplies the raw estimates — pass 1/p when the sketch
+/// was built over a Bernoulli(p) sample so the threshold applies to the
+/// full-stream frequencies.
+std::vector<HeavyHitter> FindHeavyHitters(const FagmsSketch& sketch,
+                                          size_t domain_size,
+                                          double threshold,
+                                          double scale = 1.0);
+
+/// Returns the k keys of [0, domain_size) with the largest estimated
+/// frequencies, sorted descending (ties by key). k is clamped to the
+/// domain size.
+std::vector<HeavyHitter> TopKFrequent(const FagmsSketch& sketch,
+                                      size_t domain_size, size_t k,
+                                      double scale = 1.0);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_HEAVY_HITTERS_H_

@@ -1,0 +1,56 @@
+#include "src/sketch/kmv.h"
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+KmvSketch::KmvSketch(size_t k, uint64_t seed) : k_(k), seed_(seed) {
+  if (k < 2) {
+    throw std::invalid_argument("KMV needs k >= 2");
+  }
+}
+
+uint64_t KmvSketch::Hash(uint64_t key) const {
+  // Strong 64-bit mixing of (seed, key); collision probability 2^-64 is
+  // negligible against the estimator's own ~1/sqrt(k) error.
+  return MixSeed(seed_, key);
+}
+
+void KmvSketch::Update(uint64_t key) {
+  const uint64_t h = Hash(key);
+  if (minima_.size() < k_) {
+    minima_.insert(h);
+    return;
+  }
+  const auto largest = std::prev(minima_.end());
+  if (h < *largest && minima_.insert(h).second) {
+    minima_.erase(std::prev(minima_.end()));
+  }
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (minima_.size() < k_) {
+    // Fewer than k distinct hashes: the retained count is exact.
+    return static_cast<double>(minima_.size());
+  }
+  // u = normalized k-th minimum; (k-1)/u is the unbiased estimator.
+  const double kth = static_cast<double>(*std::prev(minima_.end()));
+  const double u = (kth + 1.0) / 18446744073709551616.0;  // / 2^64
+  return static_cast<double>(k_ - 1) / u;
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible KMV sketches");
+  }
+  for (uint64_t h : other.minima_) {
+    minima_.insert(h);
+  }
+  while (minima_.size() > k_) {
+    minima_.erase(std::prev(minima_.end()));
+  }
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,57 @@
+// KMV (k-minimum values) distinct-count estimator.
+//
+// Online aggregation engines pair the join/F2 statistics of this library
+// with distinct-value counts (F0) when choosing plans (§VI-C "statistics
+// used by an online aggregation engine to take decisions"). KMV keeps the
+// k smallest hash values seen; if the k-th smallest maps to fraction u of
+// the hash space, about k/u distinct values exist. The estimator
+// (k−1)/u is unbiased for F0 under a uniform hash.
+//
+// KMV sketches built with the same seed support union (merge the value
+// sets, keep the k smallest), giving distinct counts over unions of
+// streams — the same shard-then-merge deployment as the linear sketches.
+#ifndef SKETCHSAMPLE_SKETCH_KMV_H_
+#define SKETCHSAMPLE_SKETCH_KMV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+
+namespace sketchsample {
+
+/// k-minimum-values distinct counter over 64-bit keys.
+class KmvSketch {
+ public:
+  /// `k` >= 2 minimum values retained; `seed` fixes the hash.
+  KmvSketch(size_t k, uint64_t seed);
+
+  /// Observes one stream value (duplicates are free).
+  void Update(uint64_t key);
+
+  /// Estimated number of distinct values seen. Exact (the current retained
+  /// count) while fewer than k distinct hashes have been seen.
+  double EstimateDistinct() const;
+
+  /// Merges another sketch built with the same (k, seed): the result
+  /// estimates the distinct count of the union of the two streams.
+  void Merge(const KmvSketch& other);
+
+  bool CompatibleWith(const KmvSketch& other) const {
+    return k_ == other.k_ && seed_ == other.seed_;
+  }
+
+  size_t k() const { return k_; }
+  /// Number of hash values currently retained (≤ k).
+  size_t retained() const { return minima_.size(); }
+
+ private:
+  uint64_t Hash(uint64_t key) const;
+
+  size_t k_;
+  uint64_t seed_;
+  std::set<uint64_t> minima_;  // the retained smallest hash values
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_KMV_H_

@@ -1,0 +1,131 @@
+#include "src/sketch/multiway.h"
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+namespace {
+// Seed stream separator for slot families; each (slot, row) pair gets an
+// independent family, identical across relations sharing (scheme, seed).
+uint64_t SlotRowSeed(uint64_t seed, size_t slot, size_t row) {
+  return MixSeed(seed, 0x3717000000ULL + slot * 100003ULL + row);
+}
+}  // namespace
+
+MultiwayAgmsSketch::MultiwayAgmsSketch(std::vector<size_t> slots, size_t rows,
+                                       XiScheme scheme, uint64_t seed)
+    : slots_(std::move(slots)), scheme_(scheme), seed_(seed) {
+  if (slots_.empty()) {
+    throw std::invalid_argument("multiway sketch needs at least one slot");
+  }
+  if (rows == 0) {
+    throw std::invalid_argument("multiway sketch needs at least one row");
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    for (size_t j = i + 1; j < slots_.size(); ++j) {
+      if (slots_[i] == slots_[j]) {
+        throw std::invalid_argument("duplicate slot in multiway sketch");
+      }
+    }
+  }
+  xis_.resize(slots_.size());
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    xis_[s].reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      xis_[s].push_back(
+          MakeXiFamily(scheme, SlotRowSeed(seed, slots_[s], r)));
+    }
+  }
+  counters_.assign(rows, 0.0);
+}
+
+MultiwayAgmsSketch::MultiwayAgmsSketch(const MultiwayAgmsSketch& other)
+    : slots_(other.slots_),
+      scheme_(other.scheme_),
+      seed_(other.seed_),
+      counters_(other.counters_) {
+  xis_.resize(other.xis_.size());
+  for (size_t s = 0; s < other.xis_.size(); ++s) {
+    xis_[s].reserve(other.xis_[s].size());
+    for (const auto& xi : other.xis_[s]) xis_[s].push_back(xi->Clone());
+  }
+}
+
+MultiwayAgmsSketch& MultiwayAgmsSketch::operator=(
+    const MultiwayAgmsSketch& other) {
+  if (this == &other) return *this;
+  MultiwayAgmsSketch copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void MultiwayAgmsSketch::Update(const std::vector<uint64_t>& keys,
+                                double weight) {
+  if (keys.size() != slots_.size()) {
+    throw std::invalid_argument("multiway update arity mismatch");
+  }
+  for (size_t r = 0; r < counters_.size(); ++r) {
+    double sign = 1.0;
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      sign *= static_cast<double>(xis_[s][r]->Sign(keys[s]));
+    }
+    counters_[r] += weight * sign;
+  }
+}
+
+void MultiwayAgmsSketch::Merge(const MultiwayAgmsSketch& other) {
+  if (!CompatibleWith(other) || slots_ != other.slots_) {
+    throw std::invalid_argument("merge of incompatible multiway sketches");
+  }
+  for (size_t r = 0; r < counters_.size(); ++r) {
+    counters_[r] += other.counters_[r];
+  }
+}
+
+bool MultiwayAgmsSketch::CompatibleWith(
+    const MultiwayAgmsSketch& other) const {
+  return rows() == other.rows() && scheme_ == other.scheme_ &&
+         seed_ == other.seed_;
+}
+
+double EstimateMultiwayJoin(
+    const std::vector<const MultiwayAgmsSketch*>& sketches) {
+  if (sketches.empty()) {
+    throw std::invalid_argument("multiway join needs at least one sketch");
+  }
+  const size_t rows = sketches.front()->rows();
+  for (const auto* sketch : sketches) {
+    if (!sketch->CompatibleWith(*sketches.front())) {
+      throw std::invalid_argument(
+          "multiway join of incompatible sketches (rows/scheme/seed)");
+    }
+  }
+  double sum = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    double product = 1.0;
+    for (const auto* sketch : sketches) product *= sketch->counters()[r];
+    sum += product;
+  }
+  return sum / static_cast<double>(rows);
+}
+
+double EstimateMultiwayJoinOverSamples(
+    const std::vector<const MultiwayAgmsSketch*>& sketches,
+    const std::vector<double>& keep_probabilities) {
+  if (keep_probabilities.size() != sketches.size()) {
+    throw std::invalid_argument(
+        "one keep-probability per sketched relation is required");
+  }
+  double scale = 1.0;
+  for (double p : keep_probabilities) {
+    if (!(p > 0.0) || p > 1.0) {
+      throw std::invalid_argument("keep probabilities must be in (0, 1]");
+    }
+    scale /= p;
+  }
+  return scale * EstimateMultiwayJoin(sketches);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,94 @@
+// Multi-way join AGMS sketches — the extension of §IV to joins of more than
+// two relations (the direction the paper's ref [9] analyzes for sampling).
+//
+// For an acyclic chain join such as
+//
+//   R1(a) ⋈_a R2(a, b) ⋈_b R3(b),
+//
+// associate one independent ±1 family with every *join attribute* (a "slot";
+// slot 0 for a, slot 1 for b above) and sketch each relation with the
+// product of the families of the slots it carries:
+//
+//   S1 = Σ f1(a) ξ_a           (slots {0})
+//   S2 = Σ f2(a,b) ξ_a ψ_b     (slots {0, 1})
+//   S3 = Σ f3(b) ψ_b           (slots {1})
+//
+// Then E[S1 S2 S3] = Σ_{a,b} f1(a) f2(a,b) f3(b) — the chain-join size —
+// because each ξ factor appears exactly twice per surviving term. This
+// generalizes: the product of the sketches of all relations is an unbiased
+// estimator whenever every slot is shared by exactly two relations (an
+// acyclic join). Averaging across rows reduces variance as usual.
+//
+// Sketching samples works here too: Bernoulli-sample each relation at rate
+// p_j, sketch the samples, and scale the product by Π_j 1/p_j (the §V
+// scaling argument goes through unchanged because the sampling processes
+// are independent of the ξ families and of each other).
+#ifndef SKETCHSAMPLE_SKETCH_MULTIWAY_H_
+#define SKETCHSAMPLE_SKETCH_MULTIWAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+/// AGMS sketch of one relation participating in a multi-way join.
+///
+/// `slots` lists the global join-attribute slots this relation carries, in
+/// the order Update() expects its keys. Sketches participating in the same
+/// join must be constructed with the same (scheme, seed, rows) so slot
+/// families match across relations.
+class MultiwayAgmsSketch {
+ public:
+  MultiwayAgmsSketch(std::vector<size_t> slots, size_t rows, XiScheme scheme,
+                     uint64_t seed);
+
+  MultiwayAgmsSketch(const MultiwayAgmsSketch& other);
+  MultiwayAgmsSketch& operator=(const MultiwayAgmsSketch& other);
+  MultiwayAgmsSketch(MultiwayAgmsSketch&&) = default;
+  MultiwayAgmsSketch& operator=(MultiwayAgmsSketch&&) = default;
+
+  /// Adds a tuple; `keys` holds one join-attribute value per slot, in the
+  /// order passed to the constructor. Throws if the arity mismatches.
+  void Update(const std::vector<uint64_t>& keys, double weight = 1.0);
+
+  size_t rows() const { return counters_.size(); }
+  size_t arity() const { return slots_.size(); }
+  const std::vector<size_t>& slots() const { return slots_; }
+  const std::vector<double>& counters() const { return counters_; }
+
+  /// Adds another sketch of the same relation schema (stream union).
+  void Merge(const MultiwayAgmsSketch& other);
+
+  /// True when shapes, schemes, seeds, and slot lists match.
+  bool CompatibleWith(const MultiwayAgmsSketch& other) const;
+
+ private:
+  std::vector<size_t> slots_;
+  XiScheme scheme_;
+  uint64_t seed_ = 0;
+  // xis_[slot_index][row]
+  std::vector<std::vector<std::unique_ptr<XiFamily>>> xis_;
+  std::vector<double> counters_;
+};
+
+/// Estimates the size of the acyclic multi-way join of the sketched
+/// relations: the average over rows of the product of the relations' row
+/// counters. Unbiased when every slot appears in exactly two of the
+/// sketches. All sketches must be mutually compatible in rows/scheme/seed.
+double EstimateMultiwayJoin(
+    const std::vector<const MultiwayAgmsSketch*>& sketches);
+
+/// Same, scaled for independently Bernoulli-sampled relations: the estimate
+/// is divided by Π_j p_j (one keep-probability per relation, matching the
+/// order of `sketches`).
+double EstimateMultiwayJoinOverSamples(
+    const std::vector<const MultiwayAgmsSketch*>& sketches,
+    const std::vector<double>& keep_probabilities);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_MULTIWAY_H_

@@ -1,0 +1,201 @@
+#include "src/sketch/serialize.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sketchsample {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'S', 'K', 'S', 'A'};
+constexpr uint32_t kVersion = 1;
+
+// FNV-1a over a byte range; cheap integrity check (not cryptographic).
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+class Writer {
+ public:
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  void PutDoubles(const std::vector<double>& values) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(double));
+    std::memcpy(bytes_.data() + offset, values.data(),
+                values.size() * sizeof(double));
+  }
+
+  std::vector<uint8_t> Finish() {
+    const uint64_t checksum = Fnv1a(bytes_.data(), bytes_.size());
+    Put(checksum);
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {
+    if (bytes.size() < sizeof(kMagic) + sizeof(uint64_t)) {
+      throw std::invalid_argument("sketch buffer too small");
+    }
+    uint64_t stored;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+                sizeof(stored));
+    if (Fnv1a(bytes.data(), bytes.size() - sizeof(stored)) != stored) {
+      throw std::invalid_argument("sketch buffer checksum mismatch");
+    }
+    end_ = bytes.size() - sizeof(stored);
+  }
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > end_) {
+      throw std::invalid_argument("sketch buffer truncated");
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::vector<double> GetDoubles(uint64_t count) {
+    if (pos_ + count * sizeof(double) > end_) {
+      throw std::invalid_argument("sketch buffer truncated");
+    }
+    std::vector<double> values(count);
+    std::memcpy(values.data(), bytes_.data() + pos_,
+                count * sizeof(double));
+    pos_ += count * sizeof(double);
+    return values;
+  }
+
+  void ExpectConsumed() const {
+    if (pos_ != end_) {
+      throw std::invalid_argument("sketch buffer has trailing bytes");
+    }
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+};
+
+struct Header {
+  SketchKind kind;
+  SketchParams params;
+  uint64_t counter_count;
+};
+
+void WriteHeader(Writer& writer, SketchKind kind, const SketchParams& params,
+                 uint64_t counter_count) {
+  for (uint8_t b : kMagic) writer.Put(b);
+  writer.Put(kVersion);
+  writer.Put(static_cast<uint32_t>(kind));
+  writer.Put(static_cast<uint64_t>(params.rows));
+  writer.Put(static_cast<uint64_t>(params.buckets));
+  writer.Put(static_cast<uint32_t>(params.scheme));
+  writer.Put(params.seed);
+  writer.Put(counter_count);
+}
+
+Header ReadHeader(Reader& reader) {
+  for (uint8_t expected : kMagic) {
+    if (reader.Get<uint8_t>() != expected) {
+      throw std::invalid_argument("not a sketch buffer (bad magic)");
+    }
+  }
+  const uint32_t version = reader.Get<uint32_t>();
+  if (version != kVersion) {
+    throw std::invalid_argument("unsupported sketch format version");
+  }
+  Header h;
+  h.kind = static_cast<SketchKind>(reader.Get<uint32_t>());
+  h.params.rows = static_cast<size_t>(reader.Get<uint64_t>());
+  h.params.buckets = static_cast<size_t>(reader.Get<uint64_t>());
+  const uint32_t scheme = reader.Get<uint32_t>();
+  if (scheme > static_cast<uint32_t>(XiScheme::kTabulation)) {
+    throw std::invalid_argument("unknown xi scheme in sketch buffer");
+  }
+  h.params.scheme = static_cast<XiScheme>(scheme);
+  h.params.seed = reader.Get<uint64_t>();
+  h.counter_count = reader.Get<uint64_t>();
+  return h;
+}
+
+template <typename SketchT>
+std::vector<uint8_t> SerializeImpl(SketchKind kind, const SketchT& sketch) {
+  Writer writer;
+  WriteHeader(writer, kind, sketch.params(), sketch.counters().size());
+  writer.PutDoubles(sketch.counters());
+  return writer.Finish();
+}
+
+template <typename SketchT>
+SketchT DeserializeImpl(SketchKind expected,
+                        const std::vector<uint8_t>& buffer) {
+  Reader reader(buffer);
+  const Header h = ReadHeader(reader);
+  if (h.kind != expected) {
+    throw std::invalid_argument("sketch buffer holds a different kind");
+  }
+  SketchT sketch(h.params);
+  if (h.counter_count != sketch.counters().size()) {
+    throw std::invalid_argument("sketch buffer counter count mismatch");
+  }
+  std::vector<double> counters = reader.GetDoubles(h.counter_count);
+  reader.ExpectConsumed();
+  sketch.LoadCounters(std::move(counters));
+  return sketch;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeSketch(const AgmsSketch& sketch) {
+  return SerializeImpl(SketchKind::kAgms, sketch);
+}
+std::vector<uint8_t> SerializeSketch(const FagmsSketch& sketch) {
+  return SerializeImpl(SketchKind::kFagms, sketch);
+}
+std::vector<uint8_t> SerializeSketch(const CountMinSketch& sketch) {
+  return SerializeImpl(SketchKind::kCountMin, sketch);
+}
+std::vector<uint8_t> SerializeSketch(const FastCountSketch& sketch) {
+  return SerializeImpl(SketchKind::kFastCount, sketch);
+}
+
+SketchKind PeekSketchKind(const std::vector<uint8_t>& buffer) {
+  Reader reader(buffer);
+  return ReadHeader(reader).kind;
+}
+
+AgmsSketch DeserializeAgms(const std::vector<uint8_t>& buffer) {
+  return DeserializeImpl<AgmsSketch>(SketchKind::kAgms, buffer);
+}
+FagmsSketch DeserializeFagms(const std::vector<uint8_t>& buffer) {
+  return DeserializeImpl<FagmsSketch>(SketchKind::kFagms, buffer);
+}
+CountMinSketch DeserializeCountMin(const std::vector<uint8_t>& buffer) {
+  return DeserializeImpl<CountMinSketch>(SketchKind::kCountMin, buffer);
+}
+FastCountSketch DeserializeFastCount(const std::vector<uint8_t>& buffer) {
+  return DeserializeImpl<FastCountSketch>(SketchKind::kFastCount, buffer);
+}
+
+}  // namespace sketchsample

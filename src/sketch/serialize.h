@@ -1,0 +1,58 @@
+// Binary serialization for sketches.
+//
+// Sketches are tiny compared to the streams they summarize, which makes
+// them natural objects to ship across processes: partial sketches built on
+// shards are serialized, collected, deserialized, and Merge()d (sketches
+// are linear). The format is:
+//
+//   magic (4 bytes) | version (u32) | kind (u32) | rows (u64) |
+//   buckets (u64) | scheme (u32) | seed (u64) | counter_count (u64) |
+//   counters (f64 × count) | checksum (u64, FNV-1a over everything above)
+//
+// Only the seed is stored for the randomness: ξ families and bucket hashes
+// are deterministic functions of (scheme, seed), so two endpoints that share
+// the code reconstruct identical families. Deserialization validates the
+// magic, version, kind, declared sizes, and checksum and throws
+// std::invalid_argument on any mismatch.
+#ifndef SKETCHSAMPLE_SKETCH_SERIALIZE_H_
+#define SKETCHSAMPLE_SKETCH_SERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/agms.h"
+#include "src/sketch/countmin.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+
+namespace sketchsample {
+
+/// Serialized sketch kind tags (stable on-wire values).
+enum class SketchKind : uint32_t {
+  kAgms = 1,
+  kFagms = 2,
+  kCountMin = 3,
+  kFastCount = 4,
+};
+
+/// Serializes a sketch into a self-describing byte buffer.
+std::vector<uint8_t> SerializeSketch(const AgmsSketch& sketch);
+std::vector<uint8_t> SerializeSketch(const FagmsSketch& sketch);
+std::vector<uint8_t> SerializeSketch(const CountMinSketch& sketch);
+std::vector<uint8_t> SerializeSketch(const FastCountSketch& sketch);
+
+/// Reads the kind tag without deserializing the full sketch.
+/// Throws std::invalid_argument if the buffer is not a sketch.
+SketchKind PeekSketchKind(const std::vector<uint8_t>& buffer);
+
+/// Deserializes a sketch of the expected concrete type. Throws
+/// std::invalid_argument on format errors, checksum mismatch, or a kind tag
+/// that does not match the requested type.
+AgmsSketch DeserializeAgms(const std::vector<uint8_t>& buffer);
+FagmsSketch DeserializeFagms(const std::vector<uint8_t>& buffer);
+CountMinSketch DeserializeCountMin(const std::vector<uint8_t>& buffer);
+FastCountSketch DeserializeFastCount(const std::vector<uint8_t>& buffer);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_SERIALIZE_H_

@@ -1,0 +1,49 @@
+// Common sketch vocabulary.
+//
+// All sketches in this library summarize a stream of (key, weight) updates
+// over a 64-bit key domain and answer two queries:
+//
+//   * self-join size (second frequency moment)  Σ f_i²
+//   * size of join with another sketch          Σ f_i g_i
+//
+// Join queries require the two sketches to be *compatible*: built with the
+// same shape, scheme, and seed, so they share the same random ξ families and
+// bucket hashes. Sketches are linear: Merge() adds two sketches of the same
+// stream partitions, and negative weights implement deletions (turnstile
+// updates).
+#ifndef SKETCHSAMPLE_SKETCH_SKETCH_H_
+#define SKETCHSAMPLE_SKETCH_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+
+/// Shape + randomness parameters shared by the sketch constructors.
+struct SketchParams {
+  /// Independent repetitions. For AGMS this is the number of basic
+  /// estimators averaged; for the hash sketches it is the number of rows
+  /// whose estimates are combined by a median (F-AGMS, FastCount) or a
+  /// min (Count-Min).
+  size_t rows = 1;
+  /// Buckets per row (hash sketches only; ignored by AGMS).
+  size_t buckets = 5000;
+  /// ξ sign-family scheme. EH3 matches the paper's speed-oriented setup;
+  /// CW4 provides the exactly-4-wise guarantees of the variance analysis.
+  XiScheme scheme = XiScheme::kEh3;
+  /// Master seed; all per-row families/hashes are derived from it.
+  uint64_t seed = 0;
+  /// When > 0, ξ families are materialized into packed sign tables over
+  /// [0, materialize_domain) at construction (src/prng/materialized.h):
+  /// O(domain) build time and domain/8 bytes per row buy O(1) table-lookup
+  /// signs, which makes many-row AGMS sketches practical on bounded
+  /// domains. Signs are unchanged, so sketches with and without
+  /// materialization are interchangeable.
+  size_t materialize_domain = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_SKETCH_H_

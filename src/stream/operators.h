@@ -1,0 +1,76 @@
+// Stream operators: the processing stages of a pipeline.
+//
+// Operators receive tuples via OnTuple and may forward them to a downstream
+// operator. The two stages the paper composes are a Bernoulli shedding
+// stage in front of a sketching stage (§VI-A).
+#ifndef SKETCHSAMPLE_STREAM_OPERATORS_H_
+#define SKETCHSAMPLE_STREAM_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sampling/bernoulli.h"
+
+namespace sketchsample {
+
+/// Push-based operator interface.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Consumes one tuple.
+  virtual void OnTuple(uint64_t value) = 0;
+
+  /// Signals end of stream (default: no-op).
+  virtual void OnEnd() {}
+};
+
+/// Load-shedding stage: forwards each tuple with probability p.
+class ShedOperator final : public Operator {
+ public:
+  ShedOperator(double p, uint64_t seed, Operator* downstream)
+      : sampler_(p, seed), downstream_(downstream) {}
+
+  void OnTuple(uint64_t value) override {
+    ++seen_;
+    if (sampler_.Keep()) {
+      ++forwarded_;
+      downstream_->OnTuple(value);
+    }
+  }
+
+  void OnEnd() override { downstream_->OnEnd(); }
+
+  uint64_t seen() const { return seen_; }
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  BernoulliSampler sampler_;
+  Operator* downstream_;
+  uint64_t seen_ = 0;
+  uint64_t forwarded_ = 0;
+};
+
+/// Terminal stage feeding any sketch (or other consumer) through a callback.
+/// Using std::function keeps the pipeline type-erased; the hot benches drive
+/// sketches directly instead.
+class SinkOperator final : public Operator {
+ public:
+  explicit SinkOperator(std::function<void(uint64_t)> consume)
+      : consume_(std::move(consume)) {}
+
+  void OnTuple(uint64_t value) override {
+    ++count_;
+    consume_(value);
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  std::function<void(uint64_t)> consume_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_OPERATORS_H_

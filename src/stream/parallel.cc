@@ -1,0 +1,37 @@
+#include "src/stream/parallel.h"
+
+#include <thread>
+
+namespace sketchsample {
+
+FagmsSketch ParallelBuildFagms(const std::vector<uint64_t>& stream,
+                               const SketchParams& params,
+                               size_t num_threads) {
+  if (num_threads <= 1 || stream.size() < 2 * num_threads) {
+    FagmsSketch sketch(params);
+    for (uint64_t key : stream) sketch.Update(key);
+    return sketch;
+  }
+
+  std::vector<FagmsSketch> partials;
+  partials.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) partials.emplace_back(params);
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const size_t chunk = (stream.size() + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(stream.size(), begin + chunk);
+    workers.emplace_back([&stream, &partials, t, begin, end] {
+      for (size_t i = begin; i < end; ++i) partials[t].Update(stream[i]);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  FagmsSketch merged = std::move(partials.front());
+  for (size_t t = 1; t < num_threads; ++t) merged.Merge(partials[t]);
+  return merged;
+}
+
+}  // namespace sketchsample

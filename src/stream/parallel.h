@@ -1,0 +1,32 @@
+// Parallel sharded sketching (§VI-C: "on the modern multi-core processors,
+// sketching can be done essentially for free").
+//
+// Sketches are linear, so a stream can be partitioned across worker threads
+// that each maintain a private sketch built with the SAME params (hence the
+// same ξ families), and the per-thread sketches Merge() into a result
+// identical to serial sketching — bit-for-bit, since each tuple's
+// contribution is an exact double increment and addition order only matters
+// below the ulp level for integer-weight updates.
+#ifndef SKETCHSAMPLE_STREAM_PARALLEL_H_
+#define SKETCHSAMPLE_STREAM_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// Builds an F-AGMS sketch of `stream` using `num_threads` workers, each
+/// sketching a contiguous chunk, then merging. `num_threads` == 0 or 1 runs
+/// serially. The result equals BuildFagmsSketch(stream, params) exactly for
+/// integer-weight updates.
+FagmsSketch ParallelBuildFagms(const std::vector<uint64_t>& stream,
+                               const SketchParams& params,
+                               size_t num_threads);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_PARALLEL_H_

@@ -1,0 +1,19 @@
+#include "src/stream/pipeline.h"
+
+#include "src/util/timer.h"
+
+namespace sketchsample {
+
+PipelineStats RunPipeline(StreamSource& source, Operator& head) {
+  PipelineStats stats;
+  Timer timer;
+  while (auto value = source.Next()) {
+    head.OnTuple(*value);
+    ++stats.tuples;
+  }
+  head.OnEnd();
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,28 @@
+// Pipeline driver: pumps a source through an operator chain and measures
+// throughput.
+#ifndef SKETCHSAMPLE_STREAM_PIPELINE_H_
+#define SKETCHSAMPLE_STREAM_PIPELINE_H_
+
+#include <cstdint>
+
+#include "src/stream/operators.h"
+#include "src/stream/source.h"
+
+namespace sketchsample {
+
+/// Result of one pipeline run.
+struct PipelineStats {
+  uint64_t tuples = 0;         ///< tuples pulled from the source
+  double seconds = 0;          ///< wall-clock time of the pump loop
+  double TuplesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0;
+  }
+};
+
+/// Pulls every tuple from `source`, pushes it into `head`, calls OnEnd, and
+/// reports counts and wall-clock throughput.
+PipelineStats RunPipeline(StreamSource& source, Operator& head);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_PIPELINE_H_

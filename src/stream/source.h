@@ -1,0 +1,66 @@
+// Stream sources: where tuples come from.
+//
+// A minimal streaming substrate in the shape §VI describes: a source emits
+// join-attribute values, operators (src/stream/operators.h) consume them.
+// Sources are pull-based single-pass iterators so unbounded synthetic
+// streams never materialize.
+#ifndef SKETCHSAMPLE_STREAM_SOURCE_H_
+#define SKETCHSAMPLE_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+/// Pull-based tuple source. Next() yields values until exhaustion.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// The next tuple's join-attribute value, or nullopt at end of stream.
+  virtual std::optional<uint64_t> Next() = 0;
+};
+
+/// Source over a materialized vector (e.g. a relation scan).
+class VectorSource final : public StreamSource {
+ public:
+  explicit VectorSource(std::vector<uint64_t> values)
+      : values_(std::move(values)) {}
+
+  std::optional<uint64_t> Next() override {
+    if (pos_ >= values_.size()) return std::nullopt;
+    return values_[pos_++];
+  }
+
+ private:
+  std::vector<uint64_t> values_;
+  size_t pos_ = 0;
+};
+
+/// Synthetic source emitting `count` i.i.d. Zipf values — the generative
+/// stream of §VI-B without materialization.
+class ZipfSource final : public StreamSource {
+ public:
+  ZipfSource(size_t domain_size, double skew, uint64_t count, uint64_t seed)
+      : sampler_(domain_size, skew), remaining_(count), rng_(seed) {}
+
+  std::optional<uint64_t> Next() override {
+    if (remaining_ == 0) return std::nullopt;
+    --remaining_;
+    return sampler_.Next(rng_);
+  }
+
+ private:
+  ZipfSampler sampler_;
+  uint64_t remaining_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_SOURCE_H_

@@ -1,0 +1,52 @@
+#include "src/stream/window.h"
+
+#include <stdexcept>
+
+namespace sketchsample {
+
+namespace {
+// Negative merge: subtracts `expired` from `sum` using sketch linearity.
+void Subtract(FagmsSketch& sum, const FagmsSketch& expired) {
+  FagmsSketch negated = expired;
+  std::vector<double> counters = negated.counters();
+  for (double& c : counters) c = -c;
+  negated.LoadCounters(std::move(counters));
+  sum.Merge(negated);
+}
+}  // namespace
+
+TumblingWindowSketch::TumblingWindowSketch(uint64_t window_size,
+                                           size_t window_count,
+                                           const SketchParams& params)
+    : window_size_(window_size), sum_(params) {
+  if (window_size == 0 || window_count == 0) {
+    throw std::invalid_argument(
+        "tumbling window needs positive window size and count");
+  }
+  windows_.reserve(window_count);
+  for (size_t w = 0; w < window_count; ++w) windows_.emplace_back(params);
+  window_fill_.assign(window_count, 0);
+}
+
+void TumblingWindowSketch::Update(uint64_t key) {
+  if (current_fill_ == window_size_) {
+    // Roll over: the next slot becomes current; whatever it held expires.
+    current_ = (current_ + 1) % windows_.size();
+    if (window_fill_[current_] > 0) {
+      Subtract(sum_, windows_[current_]);
+      in_window_ -= window_fill_[current_];
+      FagmsSketch fresh(windows_[current_].params());
+      windows_[current_] = std::move(fresh);
+      window_fill_[current_] = 0;
+    }
+    current_fill_ = 0;
+  }
+  windows_[current_].Update(key);
+  sum_.Update(key);
+  ++current_fill_;
+  window_fill_[current_] = current_fill_;
+  ++in_window_;
+  ++seen_;
+}
+
+}  // namespace sketchsample

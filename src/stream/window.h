@@ -1,0 +1,64 @@
+// Tumbling-window sketching: aggregates over the most recent W windows.
+//
+// Streams are usually queried over recent data, not the whole history.
+// Because sketches are linear, a window abstraction costs only counter
+// arithmetic: keep one sub-sketch per active window plus a running sum; on
+// window rollover, subtract the expired sub-sketch from the sum (negative
+// merge) and recycle it. Estimates over "the last W windows" come from the
+// running sum at O(1) query cost; no rescan, no re-sketch.
+#ifndef SKETCHSAMPLE_STREAM_WINDOW_H_
+#define SKETCHSAMPLE_STREAM_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+
+/// F-AGMS sketch over a tumbling window of the last `window_count` windows
+/// of `window_size` tuples each.
+class TumblingWindowSketch {
+ public:
+  /// `window_size` tuples per window, `window_count` >= 1 active windows.
+  TumblingWindowSketch(uint64_t window_size, size_t window_count,
+                       const SketchParams& params);
+
+  /// Consumes the next stream tuple; expires the oldest window when the
+  /// current one fills up.
+  void Update(uint64_t key);
+
+  /// Sketch of everything currently inside the window (for joins against
+  /// other windowed sketches with compatible params).
+  const FagmsSketch& WindowSketch() const { return sum_; }
+
+  /// Self-join size of the tuples inside the window.
+  double EstimateSelfJoin() const { return sum_.EstimateSelfJoin(); }
+
+  /// Point frequency inside the window.
+  double EstimateFrequency(uint64_t key) const {
+    return sum_.EstimateFrequency(key);
+  }
+
+  /// Tuples currently covered (grows to window_size × window_count, then
+  /// oscillates as whole windows expire).
+  uint64_t tuples_in_window() const { return in_window_; }
+  /// Total tuples ever consumed.
+  uint64_t tuples_seen() const { return seen_; }
+
+ private:
+  uint64_t window_size_;
+  uint64_t seen_ = 0;
+  uint64_t in_window_ = 0;
+  uint64_t current_fill_ = 0;
+  size_t current_ = 0;  // index of the window being filled
+  std::vector<FagmsSketch> windows_;
+  std::vector<uint64_t> window_fill_;
+  FagmsSketch sum_;  // sum of all active windows
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_WINDOW_H_

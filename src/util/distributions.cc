@@ -1,0 +1,119 @@
+#include "src/util/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sketchsample {
+
+double LogGamma(double x) {
+  if (!(x > 0.0)) {
+    throw std::invalid_argument("LogGamma needs x > 0");
+  }
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static const double kCoefficients[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6,
+      1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoefficients[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoefficients[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+namespace {
+
+// Series representation of P(a, x), converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued-fraction representation of Q(a, x) = 1 − P(a, x), for
+// x >= a + 1 (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument("RegularizedGammaP needs a > 0, x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double dof) {
+  if (!(dof > 0.0)) {
+    throw std::invalid_argument("chi-square needs dof > 0");
+  }
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<double>& observed,
+                                       const std::vector<double>& expected) {
+  if (observed.size() != expected.size() || observed.size() < 2) {
+    throw std::invalid_argument(
+        "chi-square needs matching category vectors of size >= 2");
+  }
+  ChiSquareResult result;
+  size_t used = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] < 1e-12) {
+      if (observed[i] > 0) {
+        result.statistic = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    const double diff = observed[i] - expected[i];
+    result.statistic += diff * diff / expected[i];
+    ++used;
+  }
+  if (used < 2) {
+    throw std::invalid_argument("chi-square needs >= 2 usable categories");
+  }
+  result.dof = static_cast<double>(used - 1);
+  result.p_value =
+      std::isinf(result.statistic)
+          ? 0.0
+          : 1.0 - ChiSquareCdf(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,37 @@
+// Special functions and goodness-of-fit testing used by the statistical
+// test suites (sampler laws, ξ balance) and available to library users for
+// calibrating their own estimator runs.
+#ifndef SKETCHSAMPLE_UTIL_DISTRIBUTIONS_H_
+#define SKETCHSAMPLE_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sketchsample {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, ~1e-10 absolute accuracy).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom.
+double ChiSquareCdf(double x, double dof);
+
+/// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0;  ///< Σ (observed − expected)² / expected
+  double dof = 0;        ///< categories − 1
+  double p_value = 0;    ///< upper tail: P[X² >= statistic]
+};
+
+/// Pearson chi-square test of observed counts against expected counts.
+/// Categories with expected < 1e-12 are skipped (and must have 0 observed,
+/// else the statistic is infinite). Sizes must match and be >= 2.
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<double>& observed,
+                                       const std::vector<double>& expected);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_DISTRIBUTIONS_H_

@@ -1,0 +1,103 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sketchsample {
+
+Flags& Flags::Define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  flags_[name] = FlagInfo{default_value, default_value, help};
+  return *this;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
+        PrintUsage(argv[0]);
+        return false;
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("undefined flag: " + name);
+  }
+  return it->second.value;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::stoll(GetString(name));
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::stod(GetString(name));
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<double> Flags::GetDoubleList(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(GetString(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+std::vector<int64_t> Flags::GetIntList(const std::string& name) const {
+  std::vector<int64_t> out;
+  std::stringstream ss(GetString(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+void Flags::PrintUsage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program.c_str());
+  for (const auto& [name, info] : flags_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 info.help.c_str(), info.default_value.c_str());
+  }
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Flags are of the form --name=value or --name value. Unknown flags are an
+// error (caught early so experiment sweeps never silently ignore a typo'd
+// parameter). Every bench binary registers its parameters through this class
+// so that paper-scale runs are a flag away from the fast defaults.
+#ifndef SKETCHSAMPLE_UTIL_FLAGS_H_
+#define SKETCHSAMPLE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sketchsample {
+
+/// Registry + parser for a binary's command-line flags.
+class Flags {
+ public:
+  /// Registers a flag with a default value and help text. Must be called
+  /// before Parse(). Returns *this for chaining.
+  Flags& Define(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (and prints usage to stderr) on any unknown
+  /// flag, malformed argument, or --help.
+  bool Parse(int argc, char** argv);
+
+  /// Typed accessors; the flag must have been defined.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Parses a comma-separated list of doubles ("0.1,0.5,1").
+  std::vector<double> GetDoubleList(const std::string& name) const;
+  /// Parses a comma-separated list of integers.
+  std::vector<int64_t> GetIntList(const std::string& name) const;
+
+  /// Prints flag names, defaults, and help text to stderr.
+  void PrintUsage(const std::string& program) const;
+
+ private:
+  struct FlagInfo {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, FlagInfo> flags_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_FLAGS_H_

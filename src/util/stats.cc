@@ -1,0 +1,96 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace sketchsample {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::StdError() const {
+  if (count_ == 0) return 0.0;
+  return StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) *
+                          static_cast<double>(other.count_) / total);
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return std::abs(estimate);
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Quantile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ErrorSummary SummarizeErrors(const std::vector<double>& estimates,
+                             double truth) {
+  ErrorSummary s;
+  s.trials = estimates.size();
+  if (estimates.empty()) return s;
+  std::vector<double> errors;
+  errors.reserve(estimates.size());
+  RunningStats raw;
+  for (double e : estimates) {
+    errors.push_back(RelativeError(e, truth));
+    raw.Add(e);
+  }
+  s.mean_error = Mean(errors);
+  s.median_error = Median(errors);
+  s.p90_error = Quantile(errors, 0.9);
+  s.mean_estimate = raw.Mean();
+  s.estimate_variance = raw.Variance();
+  return s;
+}
+
+}  // namespace sketchsample

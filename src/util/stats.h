@@ -1,0 +1,69 @@
+// Summary statistics over repeated experiment trials.
+#ifndef SKETCHSAMPLE_UTIL_STATS_H_
+#define SKETCHSAMPLE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sketchsample {
+
+/// Welford-style online accumulator for mean and (unbiased) variance.
+/// Numerically stable for long runs of trials.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations seen so far.
+  size_t count() const { return count_; }
+  /// Sample mean; 0 when empty.
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance (divides by n-1); 0 when count < 2.
+  double Variance() const;
+  /// Square root of Variance().
+  double StdDev() const;
+  /// Standard error of the mean: StdDev()/sqrt(n).
+  double StdError() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Relative error |estimate - truth| / |truth|; if truth == 0, returns
+/// |estimate| so the metric stays finite and monotone in the error.
+double RelativeError(double estimate, double truth);
+
+/// Median of a vector (by copy); averages the middle two for even sizes.
+/// Returns 0 for an empty input.
+double Median(std::vector<double> values);
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Empirical p-quantile (linear interpolation between order statistics).
+/// p is clamped to [0, 1]. Returns 0 for an empty input.
+double Quantile(std::vector<double> values, double p);
+
+/// Summary of the relative-error distribution over repeated trials of an
+/// estimator. This is the unit every experiment in bench/ reports.
+struct ErrorSummary {
+  size_t trials = 0;
+  double mean_error = 0.0;    ///< average relative error (paper's metric)
+  double median_error = 0.0;  ///< robust central tendency
+  double p90_error = 0.0;     ///< tail behaviour
+  double mean_estimate = 0.0; ///< average of the raw estimates
+  double estimate_variance = 0.0;  ///< empirical variance of raw estimates
+};
+
+/// Builds an ErrorSummary from raw per-trial estimates and the true value.
+ErrorSummary SummarizeErrors(const std::vector<double>& estimates,
+                             double truth);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_STATS_H_

@@ -1,0 +1,59 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sketchsample {
+
+std::string FormatG(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::vector<double>& row) {
+  std::vector<std::string> formatted;
+  formatted.reserve(row.size());
+  for (double v : row) formatted.push_back(FormatG(v));
+  AddRow(std::move(formatted));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::vector<std::string> sep;
+  sep.reserve(header_.size());
+  for (size_t w : widths) sep.push_back(std::string(w, '-'));
+  emit_row(sep);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,43 @@
+// ASCII table printing for experiment output.
+//
+// Every bench binary prints the series a paper figure plots as a plain table:
+// one row per x-axis point, one column per plotted curve. Keeping the output
+// format uniform lets EXPERIMENTS.md quote bench output directly.
+#ifndef SKETCHSAMPLE_UTIL_TABLE_H_
+#define SKETCHSAMPLE_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sketchsample {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Sets the header row; defines the column count.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row. Rows shorter than the header are right-padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g.
+  void AddRow(const std::vector<double>& row);
+
+  /// Renders to a string (header, separator, rows).
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like printf("%.6g").
+std::string FormatG(double value);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_TABLE_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helper for throughput measurements.
+#ifndef SKETCHSAMPLE_UTIL_TIMER_H_
+#define SKETCHSAMPLE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sketchsample {
+
+/// Monotonic stopwatch. Start() resets; ElapsedSeconds() reads without
+/// stopping, so one timer can bracket several phases.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_TIMER_H_

@@ -1,0 +1,126 @@
+// Tests for confidence-interval machinery (§II error-guarantee conventions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/confidence.h"
+#include "src/core/sketch_estimators.h"
+#include "src/core/variance.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.84134474), 1.0, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.99865010), 3.0, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.001), -3.090232306, 1e-5);
+}
+
+TEST(NormalQuantileTest, Symmetry) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-8);
+  }
+}
+
+TEST(NormalQuantileTest, RoundTripsThroughCdf) {
+  for (double p : {0.001, 0.05, 0.2, 0.5, 0.8, 0.95, 0.999}) {
+    const double x = NormalQuantile(p);
+    const double cdf = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-8) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantileTest, DomainChecked) {
+  EXPECT_THROW(NormalQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(NormalQuantile(1.0), std::invalid_argument);
+  EXPECT_THROW(NormalQuantile(-0.5), std::invalid_argument);
+}
+
+TEST(CltIntervalTest, WidthMatchesZScore) {
+  const auto ci = CltInterval(100.0, 4.0, 0.95);
+  EXPECT_NEAR(ci.HalfWidth(), 1.959963985 * 2.0, 1e-5);
+  EXPECT_NEAR((ci.low + ci.high) / 2.0, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ci.level, 0.95);
+}
+
+TEST(CltIntervalTest, ZeroVarianceCollapses) {
+  const auto ci = CltInterval(42.0, 0.0, 0.9);
+  EXPECT_DOUBLE_EQ(ci.low, 42.0);
+  EXPECT_DOUBLE_EQ(ci.high, 42.0);
+}
+
+TEST(ChebyshevIntervalTest, WiderThanClt) {
+  const auto clt = CltInterval(0.0, 1.0, 0.95);
+  const auto cheb = ChebyshevInterval(0.0, 1.0, 0.95);
+  EXPECT_GT(cheb.HalfWidth(), clt.HalfWidth());
+  EXPECT_NEAR(cheb.HalfWidth(), std::sqrt(1.0 / 0.05), 1e-9);
+}
+
+TEST(IntervalTest, InvalidInputsThrow) {
+  EXPECT_THROW(CltInterval(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(CltInterval(0, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(CltInterval(0, -1, 0.5), std::invalid_argument);
+  EXPECT_THROW(ChebyshevInterval(0, 1, 1.5), std::invalid_argument);
+  EXPECT_THROW(ChebyshevInterval(0, -2, 0.5), std::invalid_argument);
+}
+
+// Empirical coverage: the CLT interval built from the *analytic* AGMS
+// variance should cover the true self-join size in roughly `level` of the
+// trials (the averaged estimator is approximately normal).
+TEST(CoverageTest, CltIntervalCoversAtNominalRate) {
+  const FrequencyVector f = ZipfFrequencies(40, 600, 0.8);
+  const double truth = f.F2();
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  const auto stream = f.ToTupleStream();
+  constexpr size_t kRows = 64;
+  const double variance = AgmsSelfJoinVariance(s) / kRows;
+
+  int covered = 0;
+  constexpr int kTrials = 800;
+  for (int t = 0; t < kTrials; ++t) {
+    SketchParams params;
+    params.rows = kRows;
+    params.scheme = XiScheme::kCw4;
+    params.seed = MixSeed(777, t);
+    const double est =
+        BuildAgmsSketch(stream, params).EstimateSelfJoin();
+    const auto ci = CltInterval(est, variance, 0.95);
+    covered += (ci.low <= truth && truth <= ci.high);
+  }
+  const double rate = static_cast<double>(covered) / kTrials;
+  EXPECT_GT(rate, 0.90);
+  EXPECT_LE(rate, 1.0);
+}
+
+// Chebyshev must cover at least at the nominal rate (it is conservative).
+TEST(CoverageTest, ChebyshevIsConservative) {
+  const FrequencyVector f = ZipfFrequencies(40, 600, 1.2);
+  const double truth = f.F2();
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  const auto stream = f.ToTupleStream();
+  constexpr size_t kRows = 32;
+  const double variance = AgmsSelfJoinVariance(s) / kRows;
+
+  int covered = 0;
+  constexpr int kTrials = 500;
+  for (int t = 0; t < kTrials; ++t) {
+    SketchParams params;
+    params.rows = kRows;
+    params.scheme = XiScheme::kCw4;
+    params.seed = MixSeed(888, t);
+    const double est =
+        BuildAgmsSketch(stream, params).EstimateSelfJoin();
+    const auto ci = ChebyshevInterval(est, variance, 0.9);
+    covered += (ci.low <= truth && truth <= ci.high);
+  }
+  EXPECT_GT(static_cast<double>(covered) / kTrials, 0.9);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,132 @@
+// Unit tests for src/core/corrections.h — the unbiasing scale/shift math.
+#include <gtest/gtest.h>
+
+#include "src/core/corrections.h"
+#include "src/sampling/coefficients.h"
+
+namespace sketchsample {
+namespace {
+
+TEST(CorrectionTest, ApplyIsAffine) {
+  const Correction c{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(c.Apply(10.0), 17.0);
+  EXPECT_DOUBLE_EQ(c.Apply(0.0), -3.0);
+}
+
+TEST(SchemeNameTest, AllNamed) {
+  EXPECT_STREQ(SamplingSchemeName(SamplingScheme::kBernoulli), "bernoulli");
+  EXPECT_STREQ(SamplingSchemeName(SamplingScheme::kWithReplacement), "wr");
+  EXPECT_STREQ(SamplingSchemeName(SamplingScheme::kWithoutReplacement),
+               "wor");
+}
+
+TEST(BernoulliCorrectionTest, JoinScale) {
+  const Correction c = BernoulliJoinCorrection(0.1, 0.5);
+  EXPECT_DOUBLE_EQ(c.scale, 20.0);
+  EXPECT_DOUBLE_EQ(c.shift, 0.0);
+}
+
+TEST(BernoulliCorrectionTest, FullSamplingIsIdentity) {
+  const Correction join = BernoulliJoinCorrection(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(join.Apply(123.0), 123.0);
+  const Correction self = BernoulliSelfJoinCorrection(1.0, 1000);
+  EXPECT_DOUBLE_EQ(self.Apply(123.0), 123.0);
+}
+
+TEST(BernoulliCorrectionTest, SelfJoinShiftUsesSampleSize) {
+  const Correction c = BernoulliSelfJoinCorrection(0.5, 100);
+  EXPECT_DOUBLE_EQ(c.scale, 4.0);
+  EXPECT_DOUBLE_EQ(c.shift, 0.5 / 0.25 * 100);
+}
+
+TEST(BernoulliCorrectionTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(BernoulliJoinCorrection(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BernoulliJoinCorrection(0.5, 1.5), std::invalid_argument);
+  EXPECT_THROW(BernoulliSelfJoinCorrection(-0.1, 10), std::invalid_argument);
+}
+
+TEST(WrCorrectionTest, JoinScaleIsInverseAlphaBeta) {
+  const auto cf = ComputeCoefficients(1000, 100);
+  const auto cg = ComputeCoefficients(500, 250);
+  const Correction c = WrJoinCorrection(cf, cg);
+  EXPECT_DOUBLE_EQ(c.scale, 1.0 / (0.1 * 0.5));
+}
+
+TEST(WrCorrectionTest, SelfJoinMatchesPaperFormula) {
+  const auto cf = ComputeCoefficients(1000, 100);
+  const Correction c = WrSelfJoinCorrection(cf);
+  EXPECT_DOUBLE_EQ(c.scale, 1.0 / (cf.alpha * cf.alpha2));
+  EXPECT_DOUBLE_EQ(c.shift, 1000.0 / cf.alpha2);
+}
+
+TEST(WrCorrectionTest, TinySampleThrows) {
+  const auto cf = ComputeCoefficients(1000, 1);
+  EXPECT_THROW(WrSelfJoinCorrection(cf), std::invalid_argument);
+}
+
+TEST(WorCorrectionTest, SelfJoinMatchesPaperFormula) {
+  const auto cf = ComputeCoefficients(100, 20);
+  const Correction c = WorSelfJoinCorrection(cf);
+  EXPECT_DOUBLE_EQ(c.scale, 1.0 / (cf.alpha * cf.alpha1));
+  EXPECT_DOUBLE_EQ(c.shift, (1.0 - cf.alpha1) / cf.alpha1 * 100.0);
+}
+
+TEST(WorCorrectionTest, FullScanIsExact) {
+  // When the whole relation is scanned (α = α₁ = 1) the correction is the
+  // identity: online aggregation converges to the exact answer.
+  const auto cf = ComputeCoefficients(100, 100);
+  const Correction c = WorSelfJoinCorrection(cf);
+  EXPECT_DOUBLE_EQ(c.Apply(777.0), 777.0);
+}
+
+TEST(WorCorrectionTest, TinySampleThrows) {
+  const auto cf = ComputeCoefficients(1000, 1);
+  EXPECT_THROW(WorSelfJoinCorrection(cf), std::invalid_argument);
+}
+
+// Exactness at the sampling level: applying the self-join correction to the
+// *expected* raw value must return the true self-join size. The expectations
+// are computed symbolically here for a tiny frequency vector.
+TEST(CorrectionExactnessTest, BernoulliSelfJoinUnbiasedInExpectation) {
+  // f = {3, 2}: F2 = 13, F1 = 5. E[Σf'²] = Σ p²f² + p(1−p)f = 13p² + 5p(1−p).
+  // E[|F'|] = 5p. Corrected: (13p² + 5p(1−p))/p² − (1−p)/p²·5p = 13. ✓
+  const double p = 0.3;
+  const double raw_expect = 13 * p * p + 5 * p * (1 - p);
+  const double sample_size_expect = 5 * p;
+  const Correction c = BernoulliSelfJoinCorrection(p, 1);
+  // Apply with the shift recomputed for the expected sample size:
+  const double est =
+      c.scale * raw_expect - (1 - p) / (p * p) * sample_size_expect;
+  EXPECT_NEAR(est, 13.0, 1e-12);
+}
+
+TEST(CorrectionExactnessTest, WrSelfJoinUnbiasedInExpectation) {
+  // f = {3, 2}, N = 5, m = 4. E[Σf'²] = Σ m p_i(1−p_i) + (m p_i)² with
+  // p_i = f_i/N.
+  const double m = 4, n = 5;
+  double raw_expect = 0;
+  for (double fi : {3.0, 2.0}) {
+    const double pi = fi / n;
+    raw_expect += m * pi * (1 - pi) + m * pi * m * pi;
+  }
+  const auto coef = ComputeCoefficients(5, 4);
+  const double est = WrSelfJoinCorrection(coef).Apply(raw_expect);
+  EXPECT_NEAR(est, 13.0, 1e-12);
+}
+
+TEST(CorrectionExactnessTest, WorSelfJoinUnbiasedInExpectation) {
+  // Multivariate hypergeometric: E[f'(f'−1)] = m(m−1) f(f−1)/(N(N−1)).
+  const double m = 3, n = 5;
+  double raw_expect = 0;
+  for (double fi : {3.0, 2.0}) {
+    const double mean = m * fi / n;
+    const double fact2 = m * (m - 1) * fi * (fi - 1) / (n * (n - 1));
+    raw_expect += fact2 + mean;  // E[f'²] = E[f'(f'−1)] + E[f']
+  }
+  const auto coef = ComputeCoefficients(5, 3);
+  const double est = WorSelfJoinCorrection(coef).Apply(raw_expect);
+  EXPECT_NEAR(est, 13.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,262 @@
+// Unit tests for src/data: Zipf generation, frequency vectors, TPC-H-lite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/data/tpch_lite.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FrequencyVector.
+// ---------------------------------------------------------------------------
+
+TEST(FrequencyVectorTest, MomentsMatchBruteForce) {
+  FrequencyVector f(std::vector<uint64_t>{3, 0, 2, 5, 1});
+  EXPECT_DOUBLE_EQ(f.F1(), 11.0);
+  EXPECT_DOUBLE_EQ(f.F2(), 9 + 4 + 25 + 1);
+  EXPECT_DOUBLE_EQ(f.F3(), 27 + 8 + 125 + 1);
+  EXPECT_DOUBLE_EQ(f.F4(), 81 + 16 + 625 + 1);
+  EXPECT_EQ(f.DistinctValues(), 4u);
+}
+
+TEST(FrequencyVectorTest, EmptyVector) {
+  FrequencyVector f(4);
+  EXPECT_DOUBLE_EQ(f.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(f.F2(), 0.0);
+  EXPECT_EQ(f.DistinctValues(), 0u);
+  EXPECT_TRUE(f.ToTupleStream().empty());
+}
+
+TEST(FrequencyVectorTest, FromStreamCountsValues) {
+  const std::vector<uint64_t> stream = {0, 2, 2, 5, 0, 0};
+  const FrequencyVector f = FrequencyVector::FromStream(stream);
+  EXPECT_EQ(f.domain_size(), 6u);
+  EXPECT_EQ(f.count(0), 3u);
+  EXPECT_EQ(f.count(2), 2u);
+  EXPECT_EQ(f.count(5), 1u);
+  EXPECT_EQ(f.count(1), 0u);
+}
+
+TEST(FrequencyVectorTest, FromStreamRespectsMinimumDomain) {
+  const FrequencyVector f = FrequencyVector::FromStream({1}, 10);
+  EXPECT_EQ(f.domain_size(), 10u);
+}
+
+TEST(FrequencyVectorTest, TupleStreamRoundTrips) {
+  FrequencyVector f(std::vector<uint64_t>{2, 0, 3});
+  const auto stream = f.ToTupleStream();
+  EXPECT_EQ(stream.size(), 5u);
+  const FrequencyVector back = FrequencyVector::FromStream(stream, 3);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(back.count(i), f.count(i));
+}
+
+TEST(JoinStatisticsTest, MatchesBruteForce) {
+  FrequencyVector f(std::vector<uint64_t>{1, 2, 0, 4});
+  FrequencyVector g(std::vector<uint64_t>{3, 0, 5, 2});
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  EXPECT_DOUBLE_EQ(s.fg, 1 * 3 + 2 * 0 + 0 * 5 + 4 * 2);
+  EXPECT_DOUBLE_EQ(s.fg2, 1 * 9 + 0 + 0 + 4 * 4);
+  EXPECT_DOUBLE_EQ(s.f2g, 1 * 3 + 0 + 0 + 16 * 2);
+  EXPECT_DOUBLE_EQ(s.f2g2, 1 * 9 + 0 + 0 + 16 * 4);
+  EXPECT_DOUBLE_EQ(s.f1, 7.0);
+  EXPECT_DOUBLE_EQ(s.g2, 9 + 25 + 4);
+}
+
+TEST(JoinStatisticsTest, HandlesMismatchedDomains) {
+  FrequencyVector f(std::vector<uint64_t>{1, 2});
+  FrequencyVector g(std::vector<uint64_t>{3, 1, 7});
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  EXPECT_DOUBLE_EQ(s.fg, 1 * 3 + 2 * 1);
+  EXPECT_DOUBLE_EQ(s.g2, 9 + 1 + 49);
+}
+
+TEST(JoinStatisticsTest, OffDiagonalIdentity) {
+  // Σ_{i≠j} a_i b_j over explicit double loop equals the identity.
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, 5, 6};
+  double brute = 0, sum_a = 0, sum_b = 0, diag = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    sum_a += a[i];
+    sum_b += b[i];
+    diag += a[i] * b[i];
+    for (size_t j = 0; j < 3; ++j) {
+      if (i != j) brute += a[i] * b[j];
+    }
+  }
+  EXPECT_DOUBLE_EQ(JoinStatistics::OffDiagonal(sum_a, sum_b, diag), brute);
+}
+
+TEST(ExactAggregatesTest, JoinAndSelfJoin) {
+  FrequencyVector f(std::vector<uint64_t>{2, 3});
+  FrequencyVector g(std::vector<uint64_t>{4, 1});
+  EXPECT_DOUBLE_EQ(ExactJoinSize(f, g), 8 + 3);
+  EXPECT_DOUBLE_EQ(ExactSelfJoinSize(f), 4 + 9);
+}
+
+// ---------------------------------------------------------------------------
+// Zipf generation.
+// ---------------------------------------------------------------------------
+
+TEST(ZipfTest, ProbabilitiesNormalizeAndDecay) {
+  const auto p = ZipfProbabilities(100, 1.0);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  for (size_t i = 1; i < p.size(); ++i) EXPECT_LE(p[i], p[i - 1]);
+  EXPECT_NEAR(p[0] / p[1], 2.0, 1e-12);  // 1/1 vs 1/2 at skew 1
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  const auto p = ZipfProbabilities(10, 0.0);
+  for (double x : p) EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+TEST(ZipfTest, EmptyDomainThrows) {
+  EXPECT_THROW(ZipfProbabilities(0, 1.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, FrequenciesSumExactly) {
+  for (double skew : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const FrequencyVector f = ZipfFrequencies(1000, 123457, skew);
+    EXPECT_DOUBLE_EQ(f.F1(), 123457.0) << "skew " << skew;
+  }
+}
+
+TEST(ZipfTest, FrequenciesTrackProbabilities) {
+  const FrequencyVector f = ZipfFrequencies(100, 1000000, 1.0);
+  const auto p = ZipfProbabilities(100, 1.0);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(static_cast<double>(f.count(i)), 1e6 * p[i], 1.0);
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesMass) {
+  const FrequencyVector f = ZipfFrequencies(1000, 100000, 5.0);
+  EXPECT_GT(static_cast<double>(f.count(0)) / f.F1(), 0.9);
+}
+
+TEST(ZipfSamplerTest, DrawsMatchProbabilities) {
+  constexpr size_t kDomain = 50;
+  constexpr size_t kDraws = 200000;
+  ZipfSampler sampler(kDomain, 1.0);
+  Xoshiro256 rng(17);
+  std::vector<size_t> hist(kDomain, 0);
+  for (size_t i = 0; i < kDraws; ++i) ++hist[sampler.Next(rng)];
+  const auto p = ZipfProbabilities(kDomain, 1.0);
+  for (size_t i = 0; i < kDomain; ++i) {
+    const double expected = p[i] * kDraws;
+    // 5-sigma binomial tolerance.
+    const double tol = 5.0 * std::sqrt(expected * (1.0 - p[i])) + 1.0;
+    EXPECT_NEAR(static_cast<double>(hist[i]), expected, tol) << "value " << i;
+  }
+}
+
+TEST(ZipfSamplerTest, StreamHasRequestedLength) {
+  ZipfSampler sampler(10, 2.0);
+  Xoshiro256 rng(3);
+  EXPECT_EQ(sampler.Stream(1234, rng).size(), 1234u);
+}
+
+TEST(ZipfSamplerTest, SingleValueDomain) {
+  ZipfSampler sampler(1, 3.0);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Next(rng), 0u);
+}
+
+TEST(ShuffleTest, IsAPermutation) {
+  std::vector<uint64_t> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  Xoshiro256 rng(5);
+  Shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ShuffleTest, HandlesTinyInputs) {
+  std::vector<uint64_t> empty;
+  std::vector<uint64_t> one = {7};
+  Xoshiro256 rng(6);
+  Shuffle(empty, rng);
+  Shuffle(one, rng);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one[0], 7u);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H-lite.
+// ---------------------------------------------------------------------------
+
+TEST(TpchLiteTest, OrderCountScales) {
+  EXPECT_EQ(TpchLiteOrderCount(1.0), 1500000u);
+  EXPECT_EQ(TpchLiteOrderCount(0.01), 15000u);
+  EXPECT_EQ(TpchLiteOrderCount(0.0), 1u);  // floor at one order
+}
+
+TEST(TpchLiteTest, OrdersHaveUnitFrequency) {
+  const TpchLiteData data = GenerateTpchLite(0.001, 42);
+  EXPECT_EQ(data.orders.size(), 1500u);
+  for (size_t i = 0; i < data.orders_freq.domain_size(); ++i) {
+    EXPECT_EQ(data.orders_freq.count(i), 1u);
+  }
+}
+
+TEST(TpchLiteTest, LineitemMultiplicityInOneToSeven) {
+  const TpchLiteData data = GenerateTpchLite(0.001, 42);
+  double total = 0;
+  for (size_t i = 0; i < data.lineitem_freq.domain_size(); ++i) {
+    const uint64_t m = data.lineitem_freq.count(i);
+    EXPECT_GE(m, 1u);
+    EXPECT_LE(m, 7u);
+    total += static_cast<double>(m);
+  }
+  EXPECT_EQ(static_cast<double>(data.lineitem.size()), total);
+  // Average multiplicity is 4 (uniform on 1..7).
+  EXPECT_NEAR(total / 1500.0, 4.0, 0.25);
+}
+
+TEST(TpchLiteTest, StreamsMatchFrequencies) {
+  const TpchLiteData data = GenerateTpchLite(0.002, 7);
+  const FrequencyVector from_stream = FrequencyVector::FromStream(
+      data.lineitem, data.lineitem_freq.domain_size());
+  for (size_t i = 0; i < from_stream.domain_size(); ++i) {
+    EXPECT_EQ(from_stream.count(i), data.lineitem_freq.count(i));
+  }
+}
+
+TEST(TpchLiteTest, StreamsAreShuffled) {
+  const TpchLiteData data = GenerateTpchLite(0.01, 9);
+  // A sorted scan would be monotonically non-decreasing; a shuffled one has
+  // many descents.
+  size_t descents = 0;
+  for (size_t i = 1; i < data.orders.size(); ++i) {
+    descents += (data.orders[i] < data.orders[i - 1]);
+  }
+  EXPECT_GT(descents, data.orders.size() / 4);
+}
+
+TEST(TpchLiteTest, JoinSizeEqualsLineitemCount) {
+  // Because every orderkey appears exactly once in orders, the join size is
+  // exactly |lineitem|.
+  const TpchLiteData data = GenerateTpchLite(0.005, 11);
+  EXPECT_DOUBLE_EQ(ExactJoinSize(data.lineitem_freq, data.orders_freq),
+                   static_cast<double>(data.lineitem.size()));
+}
+
+TEST(TpchLiteTest, DeterministicUnderSeed) {
+  const TpchLiteData a = GenerateTpchLite(0.001, 3);
+  const TpchLiteData b = GenerateTpchLite(0.001, 3);
+  EXPECT_EQ(a.lineitem, b.lineitem);
+  EXPECT_EQ(a.orders, b.orders);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,132 @@
+// Tests for special functions and the chi-square goodness-of-fit utility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Γ(n) = (n−1)!
+  EXPECT_NEAR(LogGamma(1), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5), std::log(24.0), 1e-9);
+  EXPECT_NEAR(LogGamma(11), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-9);
+}
+
+TEST(LogGammaTest, DomainChecked) {
+  EXPECT_THROW(LogGamma(0.0), std::invalid_argument);
+  EXPECT_THROW(LogGamma(-1.0), std::invalid_argument);
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 − e^−x.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaTest, DomainChecked) {
+  EXPECT_THROW(RegularizedGammaP(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RegularizedGammaP(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquareCdfTest, KnownQuantiles) {
+  // Standard chi-square table values.
+  EXPECT_NEAR(ChiSquareCdf(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(5.991, 2), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(18.307, 10), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(2.706, 1), 0.90, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 3), 0.0);
+}
+
+TEST(ChiSquareCdfTest, MedianNearDof) {
+  // The chi-square median is approximately dof(1 − 2/(9 dof))³.
+  const double dof = 20;
+  const double median = dof * std::pow(1.0 - 2.0 / (9.0 * dof), 3);
+  EXPECT_NEAR(ChiSquareCdf(median, dof), 0.5, 0.01);
+}
+
+TEST(GoodnessOfFitTest, PerfectFitHasHighPValue) {
+  const std::vector<double> expected = {100, 200, 300};
+  const auto result = ChiSquareGoodnessOfFit(expected, expected);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+}
+
+TEST(GoodnessOfFitTest, GrossMisfitHasLowPValue) {
+  const std::vector<double> observed = {300, 100, 200};
+  const std::vector<double> expected = {100, 200, 300};
+  const auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(GoodnessOfFitTest, ZeroExpectedCategoriesHandled) {
+  const std::vector<double> observed = {100, 0, 200};
+  const std::vector<double> expected = {100, 0, 200};
+  const auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_DOUBLE_EQ(result.dof, 1.0);  // one category dropped
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+
+  const std::vector<double> impossible = {100, 5, 200};
+  EXPECT_DOUBLE_EQ(
+      ChiSquareGoodnessOfFit(impossible, expected).p_value, 0.0);
+}
+
+TEST(GoodnessOfFitTest, InvalidInputsThrow) {
+  EXPECT_THROW(ChiSquareGoodnessOfFit({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(ChiSquareGoodnessOfFit({1, 2}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+// End-to-end statistical use: the Zipf alias sampler passes a chi-square
+// goodness-of-fit test against its target distribution.
+TEST(GoodnessOfFitTest, ZipfSamplerPassesChiSquare) {
+  constexpr size_t kDomain = 20;
+  constexpr size_t kDraws = 100000;
+  ZipfSampler sampler(kDomain, 1.0);
+  Xoshiro256 rng(3);
+  std::vector<double> observed(kDomain, 0);
+  for (size_t i = 0; i < kDraws; ++i) observed[sampler.Next(rng)] += 1;
+  const auto probs = ZipfProbabilities(kDomain, 1.0);
+  std::vector<double> expected;
+  expected.reserve(kDomain);
+  for (double p : probs) expected.push_back(p * kDraws);
+  const auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_GT(result.p_value, 0.001);
+}
+
+// Conversely the test has power: a skew-0.8 sampler against skew-1.0
+// expectations must fail decisively at this sample size.
+TEST(GoodnessOfFitTest, DetectsWrongSkew) {
+  constexpr size_t kDomain = 20;
+  constexpr size_t kDraws = 100000;
+  ZipfSampler sampler(kDomain, 0.8);
+  Xoshiro256 rng(4);
+  std::vector<double> observed(kDomain, 0);
+  for (size_t i = 0; i < kDraws; ++i) observed[sampler.Next(rng)] += 1;
+  const auto probs = ZipfProbabilities(kDomain, 1.0);
+  std::vector<double> expected;
+  expected.reserve(kDomain);
+  for (double p : probs) expected.push_back(p * kDraws);
+  EXPECT_LT(ChiSquareGoodnessOfFit(observed, expected).p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace sketchsample

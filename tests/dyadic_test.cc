@@ -1,0 +1,143 @@
+// Tests for dyadic range sketches.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/sketch/dyadic.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed) {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 1024;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+TEST(DyadicTest, ConstructionValidation) {
+  EXPECT_THROW(DyadicRangeSketch(0, Params(1)), std::invalid_argument);
+  EXPECT_THROW(DyadicRangeSketch(64, Params(1)), std::invalid_argument);
+  EXPECT_NO_THROW(DyadicRangeSketch(16, Params(1)));
+}
+
+TEST(DyadicTest, RejectsOutOfUniverseKeysAndRanges) {
+  DyadicRangeSketch sketch(8, Params(2));  // universe [0, 256)
+  EXPECT_THROW(sketch.Update(256), std::invalid_argument);
+  EXPECT_NO_THROW(sketch.Update(255));
+  EXPECT_THROW(sketch.EstimateRange(10, 5), std::invalid_argument);
+  EXPECT_THROW(sketch.EstimateRange(0, 256), std::invalid_argument);
+}
+
+TEST(DyadicTest, ExactOnSparseData) {
+  // With far fewer distinct keys than buckets, all estimates are exact.
+  DyadicRangeSketch sketch(10, Params(3));  // universe [0, 1024)
+  sketch.Update(5, 10.0);
+  sketch.Update(100, 20.0);
+  sketch.Update(1000, 30.0);
+
+  EXPECT_NEAR(sketch.EstimateFrequency(5), 10.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateFrequency(6), 0.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(0, 1023), 60.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(0, 99), 10.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(5, 100), 30.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(101, 1023), 30.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(5, 5), 10.0, 1e-9);
+}
+
+TEST(DyadicTest, RangeMatchesBruteForceOnDenseData) {
+  constexpr int kLogU = 10;  // universe 1024
+  constexpr size_t kU = 1 << kLogU;
+  DyadicRangeSketch sketch(kLogU, Params(4));
+  std::vector<double> exact(kU, 0.0);
+  ZipfSampler sampler(kU, 1.0);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t key = sampler.Next(rng);
+    sketch.Update(key);
+    exact[key] += 1.0;
+  }
+  // Several ranges of different shapes.
+  const std::vector<std::pair<uint64_t, uint64_t>> ranges = {
+      {0, 1023}, {0, 511}, {512, 1023}, {3, 700}, {100, 101}, {1, 1}};
+  for (const auto& [lo, hi] : ranges) {
+    double truth = 0;
+    for (uint64_t v = lo; v <= hi; ++v) truth += exact[v];
+    const double estimate = sketch.EstimateRange(lo, hi);
+    EXPECT_NEAR(estimate, truth, std::max(0.06 * truth, 600.0))
+        << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(DyadicTest, QuantilesTrackDistribution) {
+  constexpr int kLogU = 10;
+  constexpr size_t kU = 1 << kLogU;
+  DyadicRangeSketch sketch(kLogU, Params(6));
+  std::vector<double> exact(kU, 0.0);
+  ZipfSampler sampler(kU, 1.0);
+  Xoshiro256 rng(7);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const uint64_t key = sampler.Next(rng);
+    sketch.Update(key);
+    exact[key] += 1.0;
+  }
+  for (double q : {0.25, 0.5, 0.9}) {
+    // True quantile from the exact histogram.
+    double cum = 0;
+    uint64_t truth = 0;
+    for (uint64_t v = 0; v < kU; ++v) {
+      cum += exact[v];
+      if (cum >= q * kN) {
+        truth = v;
+        break;
+      }
+    }
+    const uint64_t estimate = sketch.EstimateQuantile(q);
+    // Compare by rank mass rather than key distance (keys are skewed):
+    double mass_at_estimate = 0;
+    for (uint64_t v = 0; v <= estimate && v < kU; ++v) {
+      mass_at_estimate += exact[v];
+    }
+    EXPECT_NEAR(mass_at_estimate / kN, q, 0.08)
+        << "q=" << q << " truth=" << truth << " est=" << estimate;
+  }
+  EXPECT_THROW(sketch.EstimateQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(sketch.EstimateQuantile(1.5), std::invalid_argument);
+}
+
+TEST(DyadicTest, MergeEqualsUnionStream) {
+  DyadicRangeSketch a(8, Params(8)), b(8, Params(8)), whole(8, Params(8));
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.NextBounded(256);
+    (i % 2 ? a : b).Update(key);
+    whole.Update(key);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.EstimateRange(0, 255), whole.EstimateRange(0, 255), 1e-9);
+  EXPECT_NEAR(a.EstimateRange(17, 100), whole.EstimateRange(17, 100), 1e-9);
+  EXPECT_DOUBLE_EQ(a.total_weight(), whole.total_weight());
+}
+
+TEST(DyadicTest, MergeRequiresCompatibility) {
+  DyadicRangeSketch a(8, Params(10)), b(8, Params(11)), c(9, Params(10));
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+TEST(DyadicTest, TurnstileDeletesAffectRanges) {
+  DyadicRangeSketch sketch(8, Params(12));
+  sketch.Update(10, 5.0);
+  sketch.Update(20, 7.0);
+  sketch.Update(10, -5.0);  // delete all copies of 10
+  EXPECT_NEAR(sketch.EstimateRange(0, 255), 7.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateFrequency(10), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,215 @@
+// Tests for the online-aggregation engine substrate: tables, random scans,
+// progressive queries, planner statistics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/data/tpch_lite.h"
+#include "src/data/zipf.h"
+#include "src/engine/online_query.h"
+#include "src/engine/scan.h"
+#include "src/engine/table.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table.
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, ConstructionValidation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_THROW(Table({"a", "a"}), std::invalid_argument);
+  EXPECT_NO_THROW(Table({"a", "b"}));
+}
+
+TEST(TableTest, AppendAndAccessRows) {
+  Table table({"key", "value"});
+  table.AppendRow({1, 10});
+  table.AppendRow({2, 20});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.value(0, 0), 1u);
+  EXPECT_EQ(table.value(1, 1), 20u);
+  EXPECT_EQ(table.column("value")[1], 20u);
+  EXPECT_THROW(table.AppendRow({1}), std::invalid_argument);
+  EXPECT_THROW(table.ColumnIndex("missing"), std::out_of_range);
+}
+
+TEST(TableTest, AppendColumnsBulk) {
+  Table table({"a", "b"});
+  table.AppendColumns({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.value(2, 1), 6u);
+  EXPECT_THROW(table.AppendColumns({{1}, {2, 3}}), std::invalid_argument);
+  EXPECT_THROW(table.AppendColumns({{1}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// RandomOrderScan.
+// ---------------------------------------------------------------------------
+
+TEST(RandomOrderScanTest, VisitsEveryRowOnce) {
+  Table table({"k"});
+  for (uint64_t v = 0; v < 500; ++v) table.AppendRow({v});
+  RandomOrderScan scan(table, 1);
+  std::set<size_t> seen;
+  while (auto row = scan.NextRow()) {
+    EXPECT_TRUE(seen.insert(*row).second) << "row repeated";
+  }
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_TRUE(scan.Done());
+  EXPECT_DOUBLE_EQ(scan.Progress(), 1.0);
+  EXPECT_FALSE(scan.NextRow().has_value());
+}
+
+TEST(RandomOrderScanTest, OrderDependsOnSeed) {
+  Table table({"k"});
+  for (uint64_t v = 0; v < 100; ++v) table.AppendRow({v});
+  RandomOrderScan a(table, 1), b(table, 2);
+  int differs = 0;
+  for (int i = 0; i < 100; ++i) {
+    differs += (*a.NextRow() != *b.NextRow());
+  }
+  EXPECT_GT(differs, 50);
+}
+
+TEST(RandomOrderScanTest, PrefixIsUniformSample) {
+  // Each row should appear in a length-20 prefix with probability 20/100.
+  Table table({"k"});
+  for (uint64_t v = 0; v < 100; ++v) table.AppendRow({v});
+  std::vector<int> hits(100, 0);
+  constexpr int kReps = 20000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RandomOrderScan scan(table, MixSeed(7, rep));
+    for (int i = 0; i < 20; ++i) ++hits[*scan.NextRow()];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / kReps, 0.2, 0.02);
+  }
+}
+
+TEST(RandomOrderScanTest, EmptyTable) {
+  Table table({"k"});
+  RandomOrderScan scan(table, 1);
+  EXPECT_TRUE(scan.Done());
+  EXPECT_DOUBLE_EQ(scan.Progress(), 1.0);
+  EXPECT_FALSE(scan.NextRow().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Online queries.
+// ---------------------------------------------------------------------------
+
+OnlineQueryOptions Options(uint64_t seed, size_t buckets = 4096) {
+  OnlineQueryOptions options;
+  options.sketch.rows = 1;
+  options.sketch.buckets = buckets;
+  options.sketch.scheme = XiScheme::kEh3;
+  options.sketch.seed = seed;
+  options.num_blocks = 8;
+  options.scan_seed = MixSeed(seed, 99);
+  return options;
+}
+
+Table TableFromColumn(const std::vector<uint64_t>& values,
+                      const std::string& name) {
+  Table table({name});
+  for (uint64_t v : values) table.AppendRow({v});
+  return table;
+}
+
+TEST(OnlineSelfJoinQueryTest, ConvergesEarlyAndAccurately) {
+  const FrequencyVector f = ZipfFrequencies(2000, 50000, 1.0);
+  const Table table = TableFromColumn(f.ToTupleStream(), "a");
+
+  OnlineSelfJoinQuery query(table, "a", Options(3));
+  const ProgressiveReport report = query.RunToConvergence(0.05, 1000);
+  EXPECT_LT(query.Progress(), 1.0) << "should converge before a full scan";
+  EXPECT_LT(RelativeError(report.estimate, f.F2()), 0.15);
+  EXPECT_LE(report.ci.HalfWidth(), 0.05 * report.estimate * 1.0001);
+}
+
+TEST(OnlineSelfJoinQueryTest, FullScanIfNeverConverged) {
+  const FrequencyVector f = ZipfFrequencies(100, 2000, 0.5);
+  const Table table = TableFromColumn(f.ToTupleStream(), "a");
+  OnlineSelfJoinQuery query(table, "a", Options(5, 256));
+  // Impossible precision: runs to the end of the scan and stops.
+  query.RunToConvergence(1e-12, 500);
+  EXPECT_TRUE(query.Done());
+}
+
+TEST(OnlineJoinQueryTest, TpchJoinEstimate) {
+  const TpchLiteData data = GenerateTpchLite(0.01, 11);
+  Table lineitem({"l_orderkey"});
+  for (uint64_t v : data.lineitem) lineitem.AppendRow({v});
+  Table orders({"o_orderkey"});
+  for (uint64_t v : data.orders) orders.AppendRow({v});
+  const double truth = ExactJoinSize(data.lineitem_freq, data.orders_freq);
+
+  OnlineJoinQuery query(lineitem, "l_orderkey", orders, "o_orderkey",
+                        Options(13, 8192));
+  const ProgressiveReport report = query.RunToConvergence(0.1, 2000);
+  EXPECT_LT(RelativeError(report.estimate, truth), 0.2);
+}
+
+TEST(OnlineJoinQueryTest, ScansBothTablesCompletely) {
+  Table f = TableFromColumn(std::vector<uint64_t>(100, 1), "a");
+  Table g = TableFromColumn(std::vector<uint64_t>(300, 1), "b");
+  OnlineJoinQuery query(f, "a", g, "b", Options(17, 512));
+  while (!query.Done()) query.Step(64);
+  const ProgressiveReport report = query.Report();
+  EXPECT_EQ(report.tuples_scanned, 400u);
+  // Degenerate single-value join: |F||G| = 30000, sketch is exact here.
+  EXPECT_NEAR(report.estimate, 30000.0, 1.0);
+}
+
+TEST(OnlineJoinQueryTest, EmptyTableRejected) {
+  Table empty({"a"});
+  Table ok = TableFromColumn({1, 2, 3}, "b");
+  EXPECT_THROW(OnlineJoinQuery(empty, "a", ok, "b", Options(1)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ScanStatisticsCollector.
+// ---------------------------------------------------------------------------
+
+TEST(ScanStatisticsTest, CollectsPerColumnStatistics) {
+  // Column 0: 200 distinct uniform-ish values; column 1: 10 distinct heavy.
+  Table table({"wide", "narrow"});
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    table.AppendRow({rng.NextBounded(200), rng.NextBounded(10)});
+  }
+
+  SketchParams params;
+  params.rows = 1;
+  params.buckets = 2048;
+  params.seed = 21;
+  ScanStatisticsCollector stats(table, params, 512);
+
+  RandomOrderScan scan(table, 23);
+  // Scan only 25% of the table.
+  for (int i = 0; i < 5000; ++i) stats.ConsumeRow(*scan.NextRow());
+  EXPECT_EQ(stats.rows_seen(), 5000u);
+
+  EXPECT_NEAR(stats.EstimateDistinct(0), 200.0, 30.0);
+  EXPECT_NEAR(stats.EstimateDistinct(1), 10.0, 0.5);
+
+  // Exact full-table F2 for comparison.
+  const FrequencyVector wide =
+      FrequencyVector::FromStream(table.column(0), 200);
+  const FrequencyVector narrow =
+      FrequencyVector::FromStream(table.column(1), 10);
+  EXPECT_LT(RelativeError(stats.EstimateSelfJoin(0), wide.F2()), 0.2);
+  EXPECT_LT(RelativeError(stats.EstimateSelfJoin(1), narrow.F2()), 0.2);
+}
+
+}  // namespace
+}  // namespace sketchsample

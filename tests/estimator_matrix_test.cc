@@ -1,0 +1,159 @@
+// Cross-product coverage: sketch-over-sample estimators instantiated with
+// every sketch family × every sampling scheme, on a common workload. The
+// unbiased families (AGMS, F-AGMS, FastCount) must produce accurate
+// corrected estimates; Count-Min must stay an over-estimate under join
+// scaling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/sketch_over_sample.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+struct Workload {
+  FrequencyVector f, g;
+  std::vector<uint64_t> stream_f, stream_g;
+  double join, f2;
+};
+
+const Workload& SharedWorkload() {
+  static const Workload w = [] {
+    Workload built;
+    built.f = ZipfMultinomialFrequencies(300, 30000, 1.0, 1);
+    built.g = ZipfMultinomialFrequencies(300, 30000, 1.0, 2);
+    built.stream_f = built.f.ToTupleStream();
+    built.stream_g = built.g.ToTupleStream();
+    Xoshiro256 rng(3);
+    Shuffle(built.stream_f, rng);
+    Shuffle(built.stream_g, rng);
+    built.join = ExactJoinSize(built.f, built.g);
+    built.f2 = built.f.F2();
+    return built;
+  }();
+  return w;
+}
+
+SketchParams Params(uint64_t seed) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = 2048;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+template <typename SketchT>
+void ExpectBernoulliAccuracy(double tolerance) {
+  const Workload& w = SharedWorkload();
+  std::vector<double> joins, f2s;
+  for (int rep = 0; rep < 15; ++rep) {
+    SketchParams params = Params(MixSeed(11, rep));
+    if constexpr (std::is_same_v<SketchT, AgmsSketch>) {
+      params.rows = 256;
+      params.scheme = XiScheme::kCw4;
+      params.materialize_domain = 300;
+    }
+    BernoulliSketchEstimator<SketchT> ef(0.2, params, MixSeed(12, rep));
+    BernoulliSketchEstimator<SketchT> eg(0.2, params, MixSeed(13, rep));
+    for (uint64_t v : w.stream_f) ef.Update(v);
+    for (uint64_t v : w.stream_g) eg.Update(v);
+    joins.push_back(ef.EstimateJoin(eg));
+    f2s.push_back(ef.EstimateSelfJoin());
+  }
+  EXPECT_LT(SummarizeErrors(joins, w.join).mean_error, tolerance) << "join";
+  EXPECT_LT(SummarizeErrors(f2s, w.f2).mean_error, tolerance) << "self-join";
+}
+
+TEST(EstimatorMatrixTest, BernoulliWithFagms) {
+  ExpectBernoulliAccuracy<FagmsSketch>(0.12);
+}
+
+TEST(EstimatorMatrixTest, BernoulliWithFastCount) {
+  ExpectBernoulliAccuracy<FastCountSketch>(0.12);
+}
+
+TEST(EstimatorMatrixTest, BernoulliWithAgms) {
+  // 256 averaged estimators: looser tolerance than 2048-bucket hashing.
+  ExpectBernoulliAccuracy<AgmsSketch>(0.35);
+}
+
+TEST(EstimatorMatrixTest, BernoulliWithCountMinOverestimatesJoin) {
+  const Workload& w = SharedWorkload();
+  RunningStats joins;
+  for (int rep = 0; rep < 10; ++rep) {
+    const SketchParams params = Params(MixSeed(21, rep));
+    BernoulliSketchEstimator<CountMinSketch> ef(0.3, params,
+                                                MixSeed(22, rep));
+    BernoulliSketchEstimator<CountMinSketch> eg(0.3, params,
+                                                MixSeed(23, rep));
+    for (uint64_t v : w.stream_f) ef.Update(v);
+    for (uint64_t v : w.stream_g) eg.Update(v);
+    joins.Add(ef.EstimateJoin(eg));
+  }
+  // Count-Min join estimates are one-sided: the mean stays above the truth.
+  EXPECT_GT(joins.Mean(), w.join);
+}
+
+template <typename SketchT>
+void ExpectFixedSizeAccuracy(SamplingScheme scheme, double tolerance) {
+  const Workload& w = SharedWorkload();
+  std::vector<double> joins, f2s;
+  for (int rep = 0; rep < 15; ++rep) {
+    const SketchParams params = Params(MixSeed(31, rep));
+    Xoshiro256 rng(MixSeed(32, rep));
+    SampledStreamEstimator<SketchT> ef(scheme, w.stream_f.size(), params);
+    SampledStreamEstimator<SketchT> eg(scheme, w.stream_g.size(), params);
+    const uint64_t m = w.stream_f.size() / 5;
+    if (scheme == SamplingScheme::kWithReplacement) {
+      for (uint64_t k = 0; k < m; ++k) {
+        ef.Update(w.stream_f[rng.NextBounded(w.stream_f.size())]);
+        eg.Update(w.stream_g[rng.NextBounded(w.stream_g.size())]);
+      }
+    } else {
+      // WOR prefix of the pre-shuffled streams; different prefix per rep by
+      // re-shuffling a copy.
+      auto sf = w.stream_f;
+      auto sg = w.stream_g;
+      Shuffle(sf, rng);
+      Shuffle(sg, rng);
+      for (uint64_t k = 0; k < m; ++k) {
+        ef.Update(sf[k]);
+        eg.Update(sg[k]);
+      }
+    }
+    joins.push_back(ef.EstimateJoin(eg));
+    f2s.push_back(ef.EstimateSelfJoin());
+  }
+  EXPECT_LT(SummarizeErrors(joins, w.join).mean_error, tolerance) << "join";
+  EXPECT_LT(SummarizeErrors(f2s, w.f2).mean_error, tolerance) << "self-join";
+}
+
+TEST(EstimatorMatrixTest, WrWithFagms) {
+  ExpectFixedSizeAccuracy<FagmsSketch>(SamplingScheme::kWithReplacement,
+                                       0.15);
+}
+
+TEST(EstimatorMatrixTest, WorWithFagms) {
+  ExpectFixedSizeAccuracy<FagmsSketch>(SamplingScheme::kWithoutReplacement,
+                                       0.15);
+}
+
+TEST(EstimatorMatrixTest, WrWithFastCount) {
+  ExpectFixedSizeAccuracy<FastCountSketch>(SamplingScheme::kWithReplacement,
+                                           0.15);
+}
+
+TEST(EstimatorMatrixTest, WorWithFastCount) {
+  ExpectFixedSizeAccuracy<FastCountSketch>(
+      SamplingScheme::kWithoutReplacement, 0.15);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,418 @@
+// Exact validation of the generic factorial-moment variance engine against
+// brute-force enumeration of the whole sample space.
+//
+// For tiny relations, every possible sample can be enumerated with its exact
+// probability. Conditioned on a sample, the AGMS ξ moments are known in
+// closed form (for exactly 4-wise independent families):
+//
+//   E[S·T | f', g']    = Σ f'_i g'_i
+//   E[S²T² | f', g']   = Σf'² Σg'² + 2(Σf'g')² − 2Σf'²g'²
+//   E[S² | f']         = Σ f'_i²
+//   E[S⁴ | f']         = 3(Σf'²)² − 2Σf'⁴
+//   E[S_k T_k S_l T_l | ·] = (Σf'g')²   for independent families k ≠ l
+//
+// so the exact expectation and variance of the averaged combined estimator
+// follow by summing over the sample space. The engine must match to
+// floating-point accuracy. These tests are the ground truth that arbitrates
+// between the engine and the paper's closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/core/corrections.h"
+#include "src/core/generic_variance.h"
+#include "src/data/frequency_vector.h"
+#include "src/sampling/coefficients.h"
+
+namespace sketchsample {
+namespace {
+
+// A sample outcome: per-value frequencies plus its probability.
+struct Outcome {
+  std::vector<double> freq;
+  double probability = 0;
+};
+
+// All Bernoulli(p) sample outcomes of a relation given as a frequency
+// vector: each of the F1 tuples is independently kept. Enumerate over kept
+// counts per value using binomial weights (equivalent to subsets).
+std::vector<Outcome> EnumerateBernoulli(const std::vector<uint64_t>& freq,
+                                        double p) {
+  std::vector<Outcome> outcomes{{std::vector<double>(), 1.0}};
+  auto binomial = [](uint64_t n, uint64_t k) {
+    double r = 1;
+    for (uint64_t i = 0; i < k; ++i) {
+      r *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+    }
+    return r;
+  };
+  for (uint64_t fi : freq) {
+    std::vector<Outcome> next;
+    for (const auto& o : outcomes) {
+      for (uint64_t k = 0; k <= fi; ++k) {
+        Outcome extended = o;
+        extended.freq.push_back(static_cast<double>(k));
+        extended.probability *= binomial(fi, k) * std::pow(p, k) *
+                                std::pow(1 - p, fi - k);
+        next.push_back(std::move(extended));
+      }
+    }
+    outcomes = std::move(next);
+  }
+  return outcomes;
+}
+
+// All WR outcomes: m ordered draws, each uniform over tuples; collapse to
+// frequency vectors via the multinomial pmf.
+std::vector<Outcome> EnumerateWr(const std::vector<uint64_t>& freq,
+                                 uint64_t m) {
+  double n = 0;
+  for (uint64_t f : freq) n += static_cast<double>(f);
+  std::vector<Outcome> outcomes;
+  // Enumerate compositions of m over the values.
+  std::function<void(size_t, uint64_t, std::vector<double>&, double)> rec =
+      [&](size_t idx, uint64_t left, std::vector<double>& cur,
+          double multinom) {
+        if (idx + 1 == freq.size()) {
+          cur.push_back(static_cast<double>(left));
+          double prob = multinom;
+          for (size_t i = 0; i < freq.size(); ++i) {
+            prob *= std::pow(static_cast<double>(freq[i]) / n, cur[i]);
+          }
+          outcomes.push_back({cur, prob});
+          cur.pop_back();
+          return;
+        }
+        for (uint64_t k = 0; k <= left; ++k) {
+          // multinomial coefficient built incrementally: C(left, k).
+          double c = 1;
+          for (uint64_t i = 0; i < k; ++i) {
+            c *= static_cast<double>(left - i) / static_cast<double>(i + 1);
+          }
+          cur.push_back(static_cast<double>(k));
+          rec(idx + 1, left - k, cur, multinom * c);
+          cur.pop_back();
+        }
+      };
+  std::vector<double> cur;
+  rec(0, m, cur, 1.0);
+  return outcomes;
+}
+
+// All WOR outcomes: per-value kept counts with multivariate hypergeometric
+// probabilities.
+std::vector<Outcome> EnumerateWor(const std::vector<uint64_t>& freq,
+                                  uint64_t m) {
+  auto choose = [](double n, uint64_t k) {
+    double r = 1;
+    for (uint64_t i = 0; i < k; ++i) r *= (n - i) / static_cast<double>(i + 1);
+    return r;
+  };
+  double n = 0;
+  for (uint64_t f : freq) n += static_cast<double>(f);
+  const double total = choose(n, m);
+  std::vector<Outcome> outcomes;
+  std::function<void(size_t, uint64_t, std::vector<double>&, double)> rec =
+      [&](size_t idx, uint64_t left, std::vector<double>& cur, double ways) {
+        if (idx + 1 == freq.size()) {
+          if (left > freq.back()) return;
+          cur.push_back(static_cast<double>(left));
+          outcomes.push_back(
+              {cur, ways * choose(static_cast<double>(freq.back()), left) /
+                        total});
+          cur.pop_back();
+          return;
+        }
+        for (uint64_t k = 0; k <= std::min<uint64_t>(left, freq[idx]); ++k) {
+          cur.push_back(static_cast<double>(k));
+          rec(idx + 1, left - k,
+              cur, ways * choose(static_cast<double>(freq[idx]), k));
+          cur.pop_back();
+        }
+      };
+  std::vector<double> cur;
+  rec(0, m, cur, 1.0);
+  return outcomes;
+}
+
+double SumP(const std::vector<Outcome>& outcomes) {
+  double s = 0;
+  for (const auto& o : outcomes) s += o.probability;
+  return s;
+}
+
+// Exact moments of the averaged combined JOIN estimator X = (C/n) Σ_k S_kT_k
+// over independent sample spaces for f and g.
+void BruteForceJoin(const std::vector<Outcome>& fs,
+                    const std::vector<Outcome>& gs, double scale, size_t n,
+                    double* expectation, double* variance) {
+  double ex = 0, ex2 = 0;
+  const double dn = static_cast<double>(n);
+  for (const auto& of : fs) {
+    for (const auto& og : gs) {
+      const double prob = of.probability * og.probability;
+      double dot = 0, f2 = 0, g2 = 0, f2g2 = 0;
+      for (size_t i = 0; i < of.freq.size(); ++i) {
+        dot += of.freq[i] * og.freq[i];
+        f2 += of.freq[i] * of.freq[i];
+        g2 += og.freq[i] * og.freq[i];
+        f2g2 += of.freq[i] * of.freq[i] * og.freq[i] * og.freq[i];
+      }
+      const double e_st2 = f2 * g2 + 2 * dot * dot - 2 * f2g2;
+      ex += prob * dot;
+      ex2 += prob * (e_st2 / dn + (1.0 - 1.0 / dn) * dot * dot);
+    }
+  }
+  *expectation = scale * ex;
+  *variance = scale * scale * (ex2 - ex * ex);
+}
+
+// Exact moments of the averaged corrected SELF-JOIN estimator
+// X = (A/n) Σ_k S_k² − shift, shift = B·Σf'_i (random) or constant.
+void BruteForceSelfJoin(const std::vector<Outcome>& fs, double a, double b,
+                        bool random_shift, size_t n, double* expectation,
+                        double* variance) {
+  double ex = 0, ex2 = 0;
+  const double dn = static_cast<double>(n);
+  for (const auto& of : fs) {
+    double f1 = 0, f2 = 0, f4 = 0;
+    for (double x : of.freq) {
+      f1 += x;
+      f2 += x * x;
+      f4 += x * x * x * x;
+    }
+    const double shift = random_shift ? b * f1 : b;
+    const double e_s4 = 3 * f2 * f2 - 2 * f4;
+    // E[X|sample] and E[X²|sample]:
+    const double mean_given = a * f2 - shift;
+    const double var_avg_s2_given = (e_s4 - f2 * f2) / dn;
+    const double second_given =
+        a * a * (var_avg_s2_given + f2 * f2) - 2 * a * f2 * shift +
+        shift * shift;
+    ex += of.probability * mean_given;
+    ex2 += of.probability * second_given;
+  }
+  *expectation = ex;
+  *variance = ex2 - ex * ex;
+}
+
+constexpr double kRelTol = 1e-9;
+
+void ExpectClose(double actual, double expected, const char* what) {
+  const double tol = kRelTol * std::max(1.0, std::abs(expected));
+  EXPECT_NEAR(actual, expected, tol) << what;
+}
+
+class GenericEngineParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GenericEngineParamTest, BernoulliJoinMatchesBruteForce) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> f = {2, 1, 3};
+  const std::vector<uint64_t> g = {1, 2, 0};
+  const double p = 0.4, q = 0.7;
+  const auto fs = EnumerateBernoulli(f, p);
+  const auto gs = EnumerateBernoulli(g, q);
+  ASSERT_NEAR(SumP(fs), 1.0, 1e-12);
+  ASSERT_NEAR(SumP(gs), 1.0, 1e-12);
+
+  const double scale = 1.0 / (p * q);
+  double bf_e, bf_var;
+  BruteForceJoin(fs, gs, scale, n, &bf_e, &bf_var);
+
+  const FrequencyVector ff{std::vector<uint64_t>(f)};
+  const FrequencyVector gg{std::vector<uint64_t>(g)};
+  const auto mf = FrequencyMomentModel::Bernoulli(ff, p);
+  const auto mg = FrequencyMomentModel::Bernoulli(gg, q);
+  const auto gv = ComputeGenericJoinVariance(mf, mg, scale);
+
+  ExpectClose(gv.expectation, bf_e, "expectation");
+  ExpectClose(gv.VarianceAveraged(n), bf_var, "variance");
+  // Expectation equals the true join size (unbiasedness).
+  ExpectClose(gv.expectation, ExactJoinSize(ff, gg), "unbiased");
+}
+
+TEST_P(GenericEngineParamTest, WrJoinMatchesBruteForce) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> f = {2, 1, 1};
+  const std::vector<uint64_t> g = {1, 2, 1};
+  const uint64_t mf_size = 3, mg_size = 2;
+  const auto fs = EnumerateWr(f, mf_size);
+  const auto gs = EnumerateWr(g, mg_size);
+  ASSERT_NEAR(SumP(fs), 1.0, 1e-12);
+  ASSERT_NEAR(SumP(gs), 1.0, 1e-12);
+
+  const auto cf = ComputeCoefficients(4, mf_size);
+  const auto cg = ComputeCoefficients(4, mg_size);
+  const double scale = 1.0 / (cf.alpha * cg.alpha);
+  double bf_e, bf_var;
+  BruteForceJoin(fs, gs, scale, n, &bf_e, &bf_var);
+
+  const FrequencyVector ff{std::vector<uint64_t>(f)};
+  const FrequencyVector gg{std::vector<uint64_t>(g)};
+  const auto mmf = FrequencyMomentModel::WithReplacement(ff, mf_size);
+  const auto mmg = FrequencyMomentModel::WithReplacement(gg, mg_size);
+  const auto gv = ComputeGenericJoinVariance(mmf, mmg, scale);
+
+  ExpectClose(gv.expectation, bf_e, "expectation");
+  ExpectClose(gv.VarianceAveraged(n), bf_var, "variance");
+  ExpectClose(gv.expectation, ExactJoinSize(ff, gg), "unbiased");
+}
+
+TEST_P(GenericEngineParamTest, WorJoinMatchesBruteForce) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> f = {2, 2, 1};
+  const std::vector<uint64_t> g = {1, 1, 2};
+  const uint64_t mf_size = 3, mg_size = 2;
+  const auto fs = EnumerateWor(f, mf_size);
+  const auto gs = EnumerateWor(g, mg_size);
+  ASSERT_NEAR(SumP(fs), 1.0, 1e-12);
+  ASSERT_NEAR(SumP(gs), 1.0, 1e-12);
+
+  const auto cf = ComputeCoefficients(5, mf_size);
+  const auto cg = ComputeCoefficients(4, mg_size);
+  const double scale = 1.0 / (cf.alpha * cg.alpha);
+  double bf_e, bf_var;
+  BruteForceJoin(fs, gs, scale, n, &bf_e, &bf_var);
+
+  const FrequencyVector ff{std::vector<uint64_t>(f)};
+  const FrequencyVector gg{std::vector<uint64_t>(g)};
+  const auto mmf = FrequencyMomentModel::WithoutReplacement(ff, mf_size);
+  const auto mmg = FrequencyMomentModel::WithoutReplacement(gg, mg_size);
+  const auto gv = ComputeGenericJoinVariance(mmf, mmg, scale);
+
+  ExpectClose(gv.expectation, bf_e, "expectation");
+  ExpectClose(gv.VarianceAveraged(n), bf_var, "variance");
+  ExpectClose(gv.expectation, ExactJoinSize(ff, gg), "unbiased");
+}
+
+TEST_P(GenericEngineParamTest, BernoulliSelfJoinMatchesBruteForce) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> f = {3, 1, 2};
+  const double p = 0.35;
+  const auto fs = EnumerateBernoulli(f, p);
+  const Correction c = BernoulliSelfJoinCorrection(p, /*sample_size=*/1);
+  const double b = (1.0 - p) / (p * p);
+
+  double bf_e, bf_var;
+  BruteForceSelfJoin(fs, c.scale, b, /*random_shift=*/true, n, &bf_e,
+                     &bf_var);
+
+  const FrequencyVector ff{std::vector<uint64_t>(f)};
+  const auto model = FrequencyMomentModel::Bernoulli(ff, p);
+  const auto gv =
+      ComputeGenericSelfJoinVariance(model, c.scale, b, /*random=*/true);
+
+  ExpectClose(gv.expectation, bf_e, "expectation");
+  ExpectClose(gv.VarianceAveraged(n), bf_var, "variance");
+  ExpectClose(gv.expectation, ff.F2(), "unbiased");
+}
+
+TEST_P(GenericEngineParamTest, WrSelfJoinMatchesBruteForce) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> f = {2, 1, 2};
+  const uint64_t m = 3;
+  const auto fs = EnumerateWr(f, m);
+  const auto coef = ComputeCoefficients(5, m);
+  const Correction c = WrSelfJoinCorrection(coef);
+
+  double bf_e, bf_var;
+  BruteForceSelfJoin(fs, c.scale, c.shift, /*random_shift=*/false, n, &bf_e,
+                     &bf_var);
+
+  const FrequencyVector ff{std::vector<uint64_t>(f)};
+  const auto model = FrequencyMomentModel::WithReplacement(ff, m);
+  const auto gv = ComputeGenericSelfJoinVariance(model, c.scale, c.shift,
+                                                 /*random=*/false);
+
+  ExpectClose(gv.expectation, bf_e, "expectation");
+  ExpectClose(gv.VarianceAveraged(n), bf_var, "variance");
+  ExpectClose(gv.expectation, ff.F2(), "unbiased");
+}
+
+TEST_P(GenericEngineParamTest, WorSelfJoinMatchesBruteForce) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> f = {3, 2, 1};
+  const uint64_t m = 4;
+  const auto fs = EnumerateWor(f, m);
+  const auto coef = ComputeCoefficients(6, m);
+  const Correction c = WorSelfJoinCorrection(coef);
+
+  double bf_e, bf_var;
+  BruteForceSelfJoin(fs, c.scale, c.shift, /*random_shift=*/false, n, &bf_e,
+                     &bf_var);
+
+  const FrequencyVector ff{std::vector<uint64_t>(f)};
+  const auto model = FrequencyMomentModel::WithoutReplacement(ff, m);
+  const auto gv = ComputeGenericSelfJoinVariance(model, c.scale, c.shift,
+                                                 /*random=*/false);
+
+  ExpectClose(gv.expectation, bf_e, "expectation");
+  ExpectClose(gv.VarianceAveraged(n), bf_var, "variance");
+  ExpectClose(gv.expectation, ff.F2(), "unbiased");
+}
+
+INSTANTIATE_TEST_SUITE_P(AveragingDepths, GenericEngineParamTest,
+                         ::testing::Values(1, 2, 5, 50),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Moment model internals.
+// ---------------------------------------------------------------------------
+
+TEST(FallingFactorialTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(FallingFactorial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(FallingFactorial(5, 1), 5.0);
+  EXPECT_DOUBLE_EQ(FallingFactorial(5, 3), 60.0);
+  EXPECT_DOUBLE_EQ(FallingFactorial(2, 3), 0.0);  // hits zero factor
+  EXPECT_DOUBLE_EQ(FallingFactorial(0, 2), 0.0);
+}
+
+TEST(MomentModelTest, BernoulliRawMomentsMatchBinomial) {
+  // f_i = 4, p = 0.5: f' ~ Binomial(4, 0.5).
+  // E = 2, E[X²] = Var + E² = 1 + 4 = 5,
+  // E[X³] = 4·3·2·(1/8) + 3·4·3·(1/4) + 2 = 3 + 9 + 2 = 14,
+  // E[X⁴] = (4)₄/16 + 6·(4)₃·(1/8) + 7·(4)₂·(1/4) + 2 = 1.5+18+21+2 = 42.5.
+  FrequencyVector f(std::vector<uint64_t>{4});
+  const auto model = FrequencyMomentModel::Bernoulli(f, 0.5);
+  EXPECT_DOUBLE_EQ(model.RawMoment(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(model.RawMoment(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(model.RawMoment(0, 3), 14.0);
+  EXPECT_DOUBLE_EQ(model.RawMoment(0, 4), 42.5);
+}
+
+TEST(MomentModelTest, WorFullSampleIsDeterministic) {
+  // m = |F|: the sample is the relation, so E[f'^k] = f^k exactly.
+  FrequencyVector f(std::vector<uint64_t>{3, 2});
+  const auto model = FrequencyMomentModel::WithoutReplacement(f, 5);
+  EXPECT_NEAR(model.RawMoment(0, 1), 3.0, 1e-12);
+  EXPECT_NEAR(model.RawMoment(0, 2), 9.0, 1e-12);
+  EXPECT_NEAR(model.RawMoment(0, 4), 81.0, 1e-12);
+  EXPECT_NEAR(model.RawMoment(1, 3), 8.0, 1e-12);
+}
+
+TEST(MomentModelTest, InvalidParametersThrow) {
+  FrequencyVector f(std::vector<uint64_t>{3, 2});
+  EXPECT_THROW(FrequencyMomentModel::Bernoulli(f, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyMomentModel::Bernoulli(f, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyMomentModel::WithReplacement(f, 0),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyMomentModel::WithoutReplacement(f, 6),
+               std::invalid_argument);
+}
+
+TEST(MomentModelTest, MomentOrderBoundsChecked) {
+  FrequencyVector f(std::vector<uint64_t>{1});
+  const auto model = FrequencyMomentModel::Bernoulli(f, 0.5);
+  EXPECT_THROW(model.RawMoment(0, 0), std::out_of_range);
+  EXPECT_THROW(model.RawMoment(0, 5), std::out_of_range);
+  EXPECT_THROW(model.Kappa(0, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sketchsample

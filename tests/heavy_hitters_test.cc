@@ -1,0 +1,95 @@
+// Tests for Count-Sketch heavy-hitter extraction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/zipf.h"
+#include "src/sampling/bernoulli.h"
+#include "src/sketch/heavy_hitters.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed) {
+  SketchParams p;
+  p.rows = 5;
+  p.buckets = 1024;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+TEST(HeavyHittersTest, FindsPlantedHeavyKeys) {
+  FagmsSketch sketch(Params(1));
+  // Plant three heavy keys in a sea of light ones.
+  for (int i = 0; i < 5000; ++i) sketch.Update(10);
+  for (int i = 0; i < 3000; ++i) sketch.Update(20);
+  for (int i = 0; i < 2000; ++i) sketch.Update(30);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 4000; ++i) sketch.Update(100 + rng.NextBounded(900));
+
+  const auto hitters = FindHeavyHitters(sketch, 1000, 1000.0);
+  std::set<uint64_t> keys;
+  for (const auto& h : hitters) keys.insert(h.key);
+  EXPECT_TRUE(keys.count(10));
+  EXPECT_TRUE(keys.count(20));
+  EXPECT_TRUE(keys.count(30));
+  // Nothing light should cross a 1000-frequency threshold: the light keys
+  // have expected frequency ~4.4 each and Count-Sketch noise is ~sqrt(F2/b).
+  EXPECT_LE(hitters.size(), 5u);
+  // Sorted descending; the top hit is the heaviest planted key.
+  EXPECT_EQ(hitters.front().key, 10u);
+  EXPECT_NEAR(hitters.front().estimated_frequency, 5000.0, 300.0);
+}
+
+TEST(HeavyHittersTest, TopKOrdersByFrequency) {
+  FagmsSketch sketch(Params(3));
+  for (int i = 0; i < 900; ++i) sketch.Update(1);
+  for (int i = 0; i < 600; ++i) sketch.Update(2);
+  for (int i = 0; i < 300; ++i) sketch.Update(3);
+  const auto top = TopKFrequent(sketch, 100, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 2u);
+  EXPECT_GT(top[0].estimated_frequency, top[1].estimated_frequency);
+}
+
+TEST(HeavyHittersTest, TopKClampsToDomain) {
+  FagmsSketch sketch(Params(4));
+  sketch.Update(0);
+  EXPECT_EQ(TopKFrequent(sketch, 3, 10).size(), 3u);
+}
+
+TEST(HeavyHittersTest, ScaleValidated) {
+  FagmsSketch sketch(Params(5));
+  EXPECT_THROW(FindHeavyHitters(sketch, 10, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(TopKFrequent(sketch, 10, 1, -1.0), std::invalid_argument);
+}
+
+TEST(HeavyHittersTest, WorksThroughBernoulliShedding) {
+  // Heavy hitters survive load shedding: sketch a 10% sample, scale
+  // estimates by 1/p, and the planted key is recovered at its full-stream
+  // frequency.
+  constexpr double kP = 0.1;
+  FagmsSketch sketch(Params(6));
+  BernoulliSampler sampler(kP, 7);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = (i % 4 == 0) ? 5 : 100 + rng.NextBounded(900);
+    if (sampler.Keep()) sketch.Update(key);
+  }
+  const auto top = TopKFrequent(sketch, 1000, 1, 1.0 / kP);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 5u);
+  EXPECT_NEAR(top[0].estimated_frequency, 5000.0, 1000.0);
+}
+
+TEST(HeavyHittersTest, EmptySketchYieldsNothingAboveThreshold) {
+  FagmsSketch sketch(Params(9));
+  EXPECT_TRUE(FindHeavyHitters(sketch, 100, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace sketchsample

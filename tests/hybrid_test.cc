@@ -1,0 +1,163 @@
+// Tests for hybrid sampling: different sampling processes per relation —
+// the mixed case the generic engine supports beyond the paper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/decomposition.h"
+#include "src/core/sketch_estimators.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/sampling/bernoulli.h"
+#include "src/sampling/with_replacement.h"
+#include "src/sampling/without_replacement.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+TEST(HybridScaleTest, BernoulliScaleIsP) {
+  RelationSampling s;
+  s.scheme = SamplingScheme::kBernoulli;
+  s.p = 0.25;
+  EXPECT_DOUBLE_EQ(RelationSamplingScale(s, 1234), 0.25);
+}
+
+TEST(HybridScaleTest, FixedSizeScaleIsAlpha) {
+  RelationSampling s;
+  s.scheme = SamplingScheme::kWithoutReplacement;
+  s.sample_size = 50;
+  EXPECT_DOUBLE_EQ(RelationSamplingScale(s, 200), 0.25);
+  s.scheme = SamplingScheme::kWithReplacement;
+  EXPECT_DOUBLE_EQ(RelationSamplingScale(s, 200), 0.25);
+}
+
+TEST(HybridScaleTest, InvalidParametersThrow) {
+  RelationSampling s;
+  s.scheme = SamplingScheme::kBernoulli;
+  s.p = 0.0;
+  EXPECT_THROW(RelationSamplingScale(s, 10), std::invalid_argument);
+  s.scheme = SamplingScheme::kWithoutReplacement;
+  s.sample_size = 0;
+  EXPECT_THROW(RelationSamplingScale(s, 10), std::invalid_argument);
+  s.sample_size = 5;
+  EXPECT_THROW(RelationSamplingScale(s, 0), std::invalid_argument);
+}
+
+TEST(HybridCorrectionTest, ComposesScales) {
+  RelationSampling bern;
+  bern.scheme = SamplingScheme::kBernoulli;
+  bern.p = 0.1;
+  RelationSampling wor;
+  wor.scheme = SamplingScheme::kWithoutReplacement;
+  wor.sample_size = 30;
+  const Correction c = HybridJoinCorrection(bern, 1000, wor, 300);
+  EXPECT_DOUBLE_EQ(c.scale, 1.0 / (0.1 * 0.1));
+  EXPECT_DOUBLE_EQ(c.shift, 0.0);
+}
+
+TEST(HybridVarianceTest, ReducesToHomogeneousBernoulliCase) {
+  const FrequencyVector f = ZipfFrequencies(50, 600, 1.0);
+  const FrequencyVector g = ZipfFrequencies(50, 500, 0.5);
+  RelationSampling bf, bg;
+  bf.scheme = bg.scheme = SamplingScheme::kBernoulli;
+  bf.p = 0.2;
+  bg.p = 0.3;
+  const auto hybrid = HybridJoinVariance(f, bf, g, bg);
+
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const VarianceTerms closed = BernoulliJoinVariance(s, 0.2, 0.3, 10);
+  EXPECT_NEAR(hybrid.VarianceAveraged(10), closed.Total(),
+              1e-9 * closed.Total());
+  EXPECT_NEAR(hybrid.expectation, s.fg, 1e-9 * s.fg);
+}
+
+// The headline hybrid scenario: a Bernoulli-shed live stream joined with a
+// WOR scan prefix. The analytic prediction must match the Monte-Carlo
+// moments of the real pipeline.
+TEST(HybridVarianceTest, BernoulliTimesWorMatchesMonteCarlo) {
+  constexpr size_t kDomain = 30;
+  constexpr uint64_t kTuples = 400;
+  const FrequencyVector f = ZipfFrequencies(kDomain, kTuples, 1.0);
+  const FrequencyVector g = ZipfFrequencies(kDomain, kTuples, 0.5);
+  const auto stream_f = f.ToTupleStream();
+  const auto stream_g = g.ToTupleStream();
+  constexpr double kP = 0.3;
+  constexpr uint64_t kWorSample = kTuples / 4;
+  constexpr size_t kRows = 4;
+
+  RelationSampling bern;
+  bern.scheme = SamplingScheme::kBernoulli;
+  bern.p = kP;
+  RelationSampling wor;
+  wor.scheme = SamplingScheme::kWithoutReplacement;
+  wor.sample_size = kWorSample;
+  const auto prediction = HybridJoinVariance(f, bern, g, wor);
+  const Correction correction =
+      HybridJoinCorrection(bern, kTuples, wor, kTuples);
+
+  RunningStats stats;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    SketchParams params;
+    params.rows = kRows;
+    params.scheme = XiScheme::kCw4;
+    params.seed = MixSeed(101, t);
+    BernoulliSampler shed(kP, MixSeed(102, t));
+    Xoshiro256 rng(MixSeed(103, t));
+    AgmsSketch a = BuildAgmsSketch(shed.Sample(stream_f), params);
+    AgmsSketch b = BuildAgmsSketch(
+        SampleWithoutReplacement(stream_g, kWorSample, rng), params);
+    stats.Add(correction.Apply(a.EstimateJoin(b)));
+  }
+  const double truth = ExactJoinSize(f, g);
+  const double predicted_var = prediction.VarianceAveraged(kRows);
+  EXPECT_NEAR(stats.Mean(), truth, 6.0 * stats.StdError());
+  EXPECT_NEAR(prediction.expectation, truth, 1e-9 * truth);
+  EXPECT_NEAR(stats.Variance(), predicted_var, 0.2 * predicted_var);
+}
+
+TEST(HybridVarianceTest, BernoulliTimesWrMatchesMonteCarlo) {
+  constexpr size_t kDomain = 25;
+  constexpr uint64_t kTuples = 300;
+  const FrequencyVector f = ZipfFrequencies(kDomain, kTuples, 0.8);
+  const FrequencyVector g = ZipfFrequencies(kDomain, kTuples, 1.5);
+  const auto stream_f = f.ToTupleStream();
+  const auto stream_g = g.ToTupleStream();
+  constexpr double kP = 0.4;
+  constexpr uint64_t kWrSample = kTuples / 3;
+  constexpr size_t kRows = 4;
+
+  RelationSampling bern;
+  bern.scheme = SamplingScheme::kBernoulli;
+  bern.p = kP;
+  RelationSampling wr;
+  wr.scheme = SamplingScheme::kWithReplacement;
+  wr.sample_size = kWrSample;
+  const auto prediction = HybridJoinVariance(f, bern, g, wr);
+  const Correction correction =
+      HybridJoinCorrection(bern, kTuples, wr, kTuples);
+
+  RunningStats stats;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    SketchParams params;
+    params.rows = kRows;
+    params.scheme = XiScheme::kCw4;
+    params.seed = MixSeed(201, t);
+    BernoulliSampler shed(kP, MixSeed(202, t));
+    Xoshiro256 rng(MixSeed(203, t));
+    AgmsSketch a = BuildAgmsSketch(shed.Sample(stream_f), params);
+    AgmsSketch b = BuildAgmsSketch(
+        SampleWithReplacement(stream_g, kWrSample, rng), params);
+    stats.Add(correction.Apply(a.EstimateJoin(b)));
+  }
+  const double truth = ExactJoinSize(f, g);
+  const double predicted_var = prediction.VarianceAveraged(kRows);
+  EXPECT_NEAR(stats.Mean(), truth, 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted_var, 0.2 * predicted_var);
+}
+
+}  // namespace
+}  // namespace sketchsample

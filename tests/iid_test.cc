@@ -1,0 +1,117 @@
+// Tests for the unknown-population i.i.d. stream estimators (§V limit).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/iid.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed, size_t buckets = 4096) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+double ExactCollisionProbability(const std::vector<double>& probs) {
+  double kappa = 0;
+  for (double p : probs) kappa += p * p;
+  return kappa;
+}
+
+TEST(IidStreamTest, RequiresSamples) {
+  IidStreamEstimator est(Params(1));
+  EXPECT_THROW(est.EstimateCollisionProbability(), std::logic_error);
+  est.Update(1);
+  EXPECT_THROW(est.EstimateCollisionProbability(), std::logic_error);
+  IidStreamEstimator empty(Params(1));
+  EXPECT_THROW(est.EstimateMatchProbability(empty), std::logic_error);
+}
+
+TEST(IidStreamTest, CollisionProbabilityIsAccurate) {
+  constexpr size_t kDomain = 2000;
+  constexpr double kSkew = 1.0;
+  const auto probs = ZipfProbabilities(kDomain, kSkew);
+  const double truth = ExactCollisionProbability(probs);
+  ZipfSampler sampler(kDomain, kSkew);
+
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 25; ++rep) {
+    Xoshiro256 rng(MixSeed(5, rep));
+    IidStreamEstimator est(Params(MixSeed(6, rep)));
+    for (int i = 0; i < 30000; ++i) est.Update(sampler.Next(rng));
+    estimates.push_back(est.EstimateCollisionProbability());
+  }
+  EXPECT_LT(SummarizeErrors(estimates, truth).mean_error, 0.1);
+}
+
+TEST(IidStreamTest, CollisionProbabilityIsUnbiased) {
+  // Small-sample unbiasedness (the m(m−1) correction matters here).
+  constexpr size_t kDomain = 20;
+  const auto probs = ZipfProbabilities(kDomain, 1.0);
+  const double truth = ExactCollisionProbability(probs);
+  ZipfSampler sampler(kDomain, 1.0);
+
+  RunningStats stats;
+  for (int rep = 0; rep < 3000; ++rep) {
+    Xoshiro256 rng(MixSeed(7, rep));
+    IidStreamEstimator est(Params(MixSeed(8, rep), 512));
+    for (int i = 0; i < 50; ++i) est.Update(sampler.Next(rng));
+    stats.Add(est.EstimateCollisionProbability());
+  }
+  EXPECT_NEAR(stats.Mean(), truth, 6.0 * stats.StdError());
+}
+
+TEST(IidStreamTest, MatchProbabilityIsAccurate) {
+  constexpr size_t kDomain = 2000;
+  const auto pf = ZipfProbabilities(kDomain, 1.0);
+  const auto pg = ZipfProbabilities(kDomain, 0.5);
+  double truth = 0;
+  for (size_t i = 0; i < kDomain; ++i) truth += pf[i] * pg[i];
+
+  ZipfSampler sf(kDomain, 1.0), sg(kDomain, 0.5);
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 25; ++rep) {
+    Xoshiro256 rng_f(MixSeed(9, rep)), rng_g(MixSeed(10, rep));
+    const SketchParams params = Params(MixSeed(11, rep));
+    IidStreamEstimator ef(params), eg(params);
+    for (int i = 0; i < 20000; ++i) ef.Update(sf.Next(rng_f));
+    for (int i = 0; i < 25000; ++i) eg.Update(sg.Next(rng_g));
+    estimates.push_back(ef.EstimateMatchProbability(eg));
+  }
+  EXPECT_LT(SummarizeErrors(estimates, truth).mean_error, 0.15);
+}
+
+TEST(IidStreamTest, EffectiveSupportOfUniformIsDomainSize) {
+  constexpr size_t kDomain = 1000;
+  ZipfSampler sampler(kDomain, 0.0);  // uniform
+  Xoshiro256 rng(12);
+  IidStreamEstimator est(Params(13, 8192));
+  for (int i = 0; i < 50000; ++i) est.Update(sampler.Next(rng));
+  EXPECT_NEAR(est.EstimateEffectiveSupport(), 1000.0, 100.0);
+}
+
+TEST(IidStreamTest, SampleCountTracked) {
+  IidStreamEstimator est(Params(14));
+  for (int i = 0; i < 17; ++i) est.Update(3);
+  EXPECT_EQ(est.samples_seen(), 17u);
+}
+
+TEST(IidStreamTest, DegenerateSingleValueStream) {
+  // All samples identical: κ estimate should be ≈ 1 (exactly 1 with a
+  // single-value stream since Σf'² = m² and (m² − m)/(m(m−1)) = 1).
+  IidStreamEstimator est(Params(15));
+  for (int i = 0; i < 100; ++i) est.Update(42);
+  EXPECT_NEAR(est.EstimateCollisionProbability(), 1.0, 1e-9);
+  EXPECT_NEAR(est.EstimateEffectiveSupport(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,166 @@
+// End-to-end integration tests: the three paper applications (§VI) run
+// through the public API on realistic workloads, checking estimates against
+// exact answers and analytic error predictions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/confidence.h"
+#include "src/core/decomposition.h"
+#include "src/core/sketch_over_sample.h"
+#include "src/data/tpch_lite.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Fagms(uint64_t seed, size_t buckets = 4096) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+// Application 1 (§VI-A): load shedding in front of a sketch. A 10% Bernoulli
+// sample must estimate the full-stream self-join within a few percent on a
+// moderately skewed stream.
+TEST(IntegrationTest, LoadSheddingRecoverFullStreamAggregates) {
+  const FrequencyVector f = ZipfFrequencies(10000, 200000, 1.0);
+  auto stream = f.ToTupleStream();
+  Xoshiro256 rng(1);
+  Shuffle(stream, rng);
+
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 10; ++rep) {
+    BernoulliSketchEstimator<FagmsSketch> est(0.1, Fagms(MixSeed(2, rep)),
+                                              MixSeed(3, rep));
+    est.ProcessStreamWithSkips(stream);
+    estimates.push_back(est.EstimateSelfJoin());
+  }
+  EXPECT_LT(SummarizeErrors(estimates, f.F2()).mean_error, 0.10);
+}
+
+// Application 2 (§VI-B): estimating a generative model's properties from an
+// i.i.d. stream of samples.
+TEST(IntegrationTest, GenerativeModelF2FromIidStream) {
+  const FrequencyVector population = ZipfFrequencies(5000, 100000, 1.2);
+  const auto relation = population.ToTupleStream();
+
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 10; ++rep) {
+    Xoshiro256 rng(MixSeed(4, rep));
+    SampledStreamEstimator<FagmsSketch> est(
+        SamplingScheme::kWithReplacement, relation.size(),
+        Fagms(MixSeed(5, rep)));
+    for (int k = 0; k < 10000; ++k) {  // 10% sample fraction
+      est.Update(relation[rng.NextBounded(relation.size())]);
+    }
+    estimates.push_back(est.EstimateSelfJoin());
+  }
+  EXPECT_LT(SummarizeErrors(estimates, population.F2()).mean_error, 0.10);
+}
+
+// Application 3 (§VI-C): online aggregation over TPC-H-lite. A 10% scan
+// prefix must estimate |lineitem ⋈ orders| within a few percent.
+TEST(IntegrationTest, OnlineAggregationTpchJoin) {
+  const TpchLiteData data = GenerateTpchLite(0.02, 7);  // 30K orders
+  const double truth = ExactJoinSize(data.lineitem_freq, data.orders_freq);
+
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 10; ++rep) {
+    const SketchParams params = Fagms(MixSeed(6, rep), 8192);
+    SampledStreamEstimator<FagmsSketch> el(
+        SamplingScheme::kWithoutReplacement, data.lineitem.size(), params);
+    SampledStreamEstimator<FagmsSketch> eo(
+        SamplingScheme::kWithoutReplacement, data.orders.size(), params);
+    for (size_t i = 0; i < data.lineitem.size() / 10; ++i) {
+      el.Update(data.lineitem[i]);
+    }
+    for (size_t i = 0; i < data.orders.size() / 10; ++i) {
+      eo.Update(data.orders[i]);
+    }
+    estimates.push_back(el.EstimateJoin(eo));
+  }
+  EXPECT_LT(SummarizeErrors(estimates, truth).mean_error, 0.15);
+}
+
+// The paper's headline claim (§VII-E): at a 10% sampling rate, the combined
+// estimator's error is close to the full-sketch estimator's error.
+TEST(IntegrationTest, TenPercentSampleMatchesFullSketchAccuracy) {
+  const FrequencyVector f = ZipfFrequencies(2000, 50000, 1.0);
+  const FrequencyVector g = ZipfFrequencies(2000, 50000, 1.0);
+  const double truth = ExactJoinSize(f, g);
+  auto sf = f.ToTupleStream();
+  auto sg = g.ToTupleStream();
+  Xoshiro256 rng(8);
+  Shuffle(sf, rng);
+  Shuffle(sg, rng);
+
+  std::vector<double> full, sampled;
+  for (int rep = 0; rep < 15; ++rep) {
+    const SketchParams params = Fagms(MixSeed(9, rep), 4096);
+    {
+      BernoulliSketchEstimator<FagmsSketch> ef(1.0, params, 1);
+      BernoulliSketchEstimator<FagmsSketch> eg(1.0, params, 2);
+      for (uint64_t v : sf) ef.Update(v);
+      for (uint64_t v : sg) eg.Update(v);
+      full.push_back(ef.EstimateJoin(eg));
+    }
+    {
+      BernoulliSketchEstimator<FagmsSketch> ef(0.1, params,
+                                               MixSeed(10, rep));
+      BernoulliSketchEstimator<FagmsSketch> eg(0.1, params,
+                                               MixSeed(11, rep));
+      for (uint64_t v : sf) ef.Update(v);
+      for (uint64_t v : sg) eg.Update(v);
+      sampled.push_back(ef.EstimateJoin(eg));
+    }
+  }
+  const double full_err = SummarizeErrors(full, truth).mean_error;
+  const double sampled_err = SummarizeErrors(sampled, truth).mean_error;
+  // "minimal error degradation": sampled error within a small additive and
+  // multiplicative envelope of the full-sketch error.
+  EXPECT_LT(sampled_err, std::max(3.0 * full_err, full_err + 0.05));
+}
+
+// Analytic error prediction matches observed error: the CLT interval built
+// from the Eq 25 variance should cover the truth at roughly its level.
+TEST(IntegrationTest, PredictedVarianceCalibratesObservedError) {
+  const FrequencyVector f = ZipfFrequencies(500, 20000, 0.5);
+  const FrequencyVector g = ZipfFrequencies(500, 20000, 0.5);
+  const double truth = ExactJoinSize(f, g);
+  const auto sf = f.ToTupleStream();
+  const auto sg = g.ToTupleStream();
+  constexpr double kP = 0.3;
+  constexpr size_t kBuckets = 1024;
+
+  SamplingSpec spec;
+  spec.scheme = SamplingScheme::kBernoulli;
+  spec.p = kP;
+  spec.q = kP;
+  // F-AGMS with b buckets behaves like ~b averaged AGMS estimators.
+  const VarianceTerms v = CombinedJoinVariance(spec, f, g, kBuckets);
+
+  int covered = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    const SketchParams params = Fagms(MixSeed(12, t), kBuckets);
+    BernoulliSketchEstimator<FagmsSketch> ef(kP, params, MixSeed(13, t));
+    BernoulliSketchEstimator<FagmsSketch> eg(kP, params, MixSeed(14, t));
+    for (uint64_t x : sf) ef.Update(x);
+    for (uint64_t x : sg) eg.Update(x);
+    const auto ci = CltInterval(ef.EstimateJoin(eg), v.Total(), 0.95);
+    covered += (ci.low <= truth && truth <= ci.high);
+  }
+  // F-AGMS is usually *better* than the AGMS analysis predicts, so coverage
+  // at or above ~85% is the meaningful check here.
+  EXPECT_GE(covered, kTrials * 85 / 100);
+}
+
+}  // namespace
+}  // namespace sketchsample

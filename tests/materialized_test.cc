@@ -1,0 +1,97 @@
+// Tests for materialized ξ sign tables and their sketch integration.
+#include <gtest/gtest.h>
+
+#include "src/core/sketch_estimators.h"
+#include "src/data/zipf.h"
+#include "src/prng/materialized.h"
+#include "src/prng/xi.h"
+
+namespace sketchsample {
+namespace {
+
+TEST(MaterializedXiTest, MatchesBaseFamilyInsideDomain) {
+  for (XiScheme scheme : {XiScheme::kCw4, XiScheme::kEh3, XiScheme::kBch5}) {
+    const auto base = MakeXiFamily(scheme, 123);
+    const auto materialized = MakeMaterializedXiFamily(scheme, 123, 4096);
+    for (uint64_t key = 0; key < 4096; ++key) {
+      ASSERT_EQ(materialized->Sign(key), base->Sign(key))
+          << XiSchemeName(scheme) << " key " << key;
+    }
+  }
+}
+
+TEST(MaterializedXiTest, FallsBackOutsideDomain) {
+  const auto base = MakeXiFamily(XiScheme::kCw4, 7);
+  const auto materialized = MakeMaterializedXiFamily(XiScheme::kCw4, 7, 128);
+  for (uint64_t key = 128; key < 1024; ++key) {
+    ASSERT_EQ(materialized->Sign(key), base->Sign(key)) << key;
+  }
+}
+
+TEST(MaterializedXiTest, ReportsBaseMetadata) {
+  const auto materialized = MakeMaterializedXiFamily(XiScheme::kCw4, 7, 64);
+  EXPECT_EQ(materialized->IndependenceLevel(), 4);
+  EXPECT_EQ(materialized->Scheme(), XiScheme::kCw4);
+}
+
+TEST(MaterializedXiTest, CloneMatches) {
+  const auto materialized =
+      MakeMaterializedXiFamily(XiScheme::kTabulation, 11, 512);
+  const auto clone = materialized->Clone();
+  for (uint64_t key = 0; key < 1024; ++key) {
+    ASSERT_EQ(materialized->Sign(key), clone->Sign(key)) << key;
+  }
+}
+
+TEST(MaterializedXiTest, NullBaseThrows) {
+  EXPECT_THROW(MaterializedXi(nullptr, 10), std::invalid_argument);
+}
+
+TEST(MaterializedXiTest, MemoryIsOneBitPerKey) {
+  MaterializedXi xi(MakeXiFamily(XiScheme::kCw4, 1), 1 << 16);
+  EXPECT_EQ(xi.MemoryBytes(), (1u << 16) / 8);
+}
+
+TEST(MaterializedXiTest, ZeroDomainIsPureFallback) {
+  const auto base = MakeXiFamily(XiScheme::kEh3, 5);
+  MaterializedXi xi(MakeXiFamily(XiScheme::kEh3, 5), 0);
+  for (uint64_t key = 0; key < 100; ++key) {
+    ASSERT_EQ(xi.Sign(key), base->Sign(key));
+  }
+}
+
+TEST(MaterializedSketchTest, AgmsCountersIdenticalWithAndWithoutTables) {
+  const FrequencyVector f = ZipfFrequencies(500, 3000, 1.0);
+  const auto stream = f.ToTupleStream();
+
+  SketchParams plain;
+  plain.rows = 16;
+  plain.scheme = XiScheme::kCw4;
+  plain.seed = 77;
+  SketchParams fast = plain;
+  fast.materialize_domain = 500;
+
+  const AgmsSketch a = BuildAgmsSketch(stream, plain);
+  const AgmsSketch b = BuildAgmsSketch(stream, fast);
+  EXPECT_EQ(a.counters(), b.counters());
+}
+
+TEST(MaterializedSketchTest, FagmsCountersIdenticalWithAndWithoutTables) {
+  const FrequencyVector f = ZipfFrequencies(500, 3000, 1.0);
+  const auto stream = f.ToTupleStream();
+
+  SketchParams plain;
+  plain.rows = 3;
+  plain.buckets = 256;
+  plain.scheme = XiScheme::kCw4;
+  plain.seed = 78;
+  SketchParams fast = plain;
+  fast.materialize_domain = 500;
+
+  const FagmsSketch a = BuildFagmsSketch(stream, plain);
+  const FagmsSketch b = BuildFagmsSketch(stream, fast);
+  EXPECT_EQ(a.counters(), b.counters());
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,220 @@
+// Monte-Carlo validation: the *measured* mean and variance of the actual
+// sampling + AGMS pipeline must match the analytic predictions (Eqs 25-28
+// and the generic-engine self-join variances). This closes the loop between
+// the estimator implementations and the variance formulas: a bug in either
+// makes these tests fail.
+//
+// AGMS with CW4 ξ families is used because the analysis assumes exactly
+// 4-wise independent signs. With T trials the sample variance of the
+// variance estimate is roughly Var·sqrt((κ−1)/T), so tolerances are set to
+// ~20% with T = 4000.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/corrections.h"
+#include "src/core/decomposition.h"
+#include "src/core/generic_variance.h"
+#include "src/core/sketch_estimators.h"
+#include "src/core/sketch_over_sample.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/sampling/bernoulli.h"
+#include "src/sampling/with_replacement.h"
+#include "src/sampling/without_replacement.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+constexpr size_t kDomain = 30;
+constexpr size_t kTuples = 400;
+constexpr size_t kRows = 4;       // averaged basic estimators
+constexpr int kTrials = 4000;
+constexpr double kVarTol = 0.20;  // 20% relative tolerance on variances
+
+SketchParams AgmsParams(uint64_t seed) {
+  SketchParams p;
+  p.rows = kRows;
+  p.scheme = XiScheme::kCw4;
+  p.seed = seed;
+  return p;
+}
+
+class MonteCarloSkewTest : public ::testing::TestWithParam<double> {
+ protected:
+  void SetUp() override {
+    f_ = ZipfFrequencies(kDomain, kTuples, GetParam());
+    g_ = ZipfFrequencies(kDomain, kTuples, GetParam() * 0.5);
+    stream_f_ = f_.ToTupleStream();
+    stream_g_ = g_.ToTupleStream();
+  }
+
+  FrequencyVector f_, g_;
+  std::vector<uint64_t> stream_f_, stream_g_;
+};
+
+TEST_P(MonteCarloSkewTest, BernoulliJoinMatchesEq25) {
+  constexpr double kP = 0.3, kQ = 0.5;
+  RunningStats stats;
+  for (int t = 0; t < kTrials; ++t) {
+    const SketchParams params = AgmsParams(MixSeed(1000, t));
+    BernoulliSampler sf(kP, MixSeed(2000, t));
+    BernoulliSampler sg(kQ, MixSeed(3000, t));
+    AgmsSketch a = BuildAgmsSketch(sf.Sample(stream_f_), params);
+    AgmsSketch b = BuildAgmsSketch(sg.Sample(stream_g_), params);
+    stats.Add(BernoulliJoinCorrection(kP, kQ).Apply(a.EstimateJoin(b)));
+  }
+  const double truth = ExactJoinSize(f_, g_);
+  const JoinStatistics s = ComputeJoinStatistics(f_, g_);
+  const double predicted = BernoulliJoinVariance(s, kP, kQ, kRows).Total();
+  EXPECT_NEAR(stats.Mean(), truth, 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted, kVarTol * predicted);
+}
+
+TEST_P(MonteCarloSkewTest, BernoulliSelfJoinMatchesEq26) {
+  constexpr double kP = 0.4;
+  RunningStats stats;
+  for (int t = 0; t < kTrials; ++t) {
+    BernoulliSampler sf(kP, MixSeed(4000, t));
+    const auto sample = sf.Sample(stream_f_);
+    AgmsSketch a = BuildAgmsSketch(sample, AgmsParams(MixSeed(5000, t)));
+    stats.Add(BernoulliSelfJoinCorrection(kP, sample.size())
+                  .Apply(a.EstimateSelfJoin()));
+  }
+  const JoinStatistics s = ComputeJoinStatistics(f_, f_);
+  const double predicted = BernoulliSelfJoinVariance(s, kP, kRows).Total();
+  EXPECT_NEAR(stats.Mean(), f_.F2(), 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted, kVarTol * predicted);
+}
+
+TEST_P(MonteCarloSkewTest, WrJoinMatchesEq27) {
+  const uint64_t mf = kTuples / 4, mg = kTuples / 5;
+  RunningStats stats;
+  for (int t = 0; t < kTrials; ++t) {
+    const SketchParams params = AgmsParams(MixSeed(6000, t));
+    Xoshiro256 rng(MixSeed(7000, t));
+    AgmsSketch a =
+        BuildAgmsSketch(SampleWithReplacement(stream_f_, mf, rng), params);
+    AgmsSketch b =
+        BuildAgmsSketch(SampleWithReplacement(stream_g_, mg, rng), params);
+    const auto cf = ComputeCoefficients(kTuples, mf);
+    const auto cg = ComputeCoefficients(kTuples, mg);
+    stats.Add(WrJoinCorrection(cf, cg).Apply(a.EstimateJoin(b)));
+  }
+  const JoinStatistics s = ComputeJoinStatistics(f_, g_);
+  const auto cf = ComputeCoefficients(kTuples, mf);
+  const auto cg = ComputeCoefficients(kTuples, mg);
+  const double predicted = WrJoinVariance(s, cf, cg, kRows).Total();
+  EXPECT_NEAR(stats.Mean(), ExactJoinSize(f_, g_), 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted, kVarTol * predicted);
+}
+
+TEST_P(MonteCarloSkewTest, WorJoinMatchesEq28) {
+  const uint64_t mf = kTuples / 4, mg = kTuples / 3;
+  RunningStats stats;
+  for (int t = 0; t < kTrials; ++t) {
+    const SketchParams params = AgmsParams(MixSeed(8000, t));
+    Xoshiro256 rng(MixSeed(9000, t));
+    AgmsSketch a = BuildAgmsSketch(
+        SampleWithoutReplacement(stream_f_, mf, rng), params);
+    AgmsSketch b = BuildAgmsSketch(
+        SampleWithoutReplacement(stream_g_, mg, rng), params);
+    const auto cf = ComputeCoefficients(kTuples, mf);
+    const auto cg = ComputeCoefficients(kTuples, mg);
+    stats.Add(WorJoinCorrection(cf, cg).Apply(a.EstimateJoin(b)));
+  }
+  const JoinStatistics s = ComputeJoinStatistics(f_, g_);
+  const auto cf = ComputeCoefficients(kTuples, mf);
+  const auto cg = ComputeCoefficients(kTuples, mg);
+  const double predicted = WorJoinVariance(s, cf, cg, kRows).Total();
+  EXPECT_NEAR(stats.Mean(), ExactJoinSize(f_, g_), 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted, kVarTol * predicted);
+}
+
+TEST_P(MonteCarloSkewTest, WrSelfJoinMatchesGenericEngine) {
+  // The paper omits this closed form; the generic engine's prediction is
+  // validated here against the real pipeline.
+  const uint64_t m = kTuples / 4;
+  RunningStats stats;
+  const auto coef = ComputeCoefficients(kTuples, m);
+  const Correction correction = WrSelfJoinCorrection(coef);
+  for (int t = 0; t < kTrials; ++t) {
+    Xoshiro256 rng(MixSeed(10000, t));
+    AgmsSketch a = BuildAgmsSketch(SampleWithReplacement(stream_f_, m, rng),
+                                   AgmsParams(MixSeed(11000, t)));
+    stats.Add(correction.Apply(a.EstimateSelfJoin()));
+  }
+  const auto gv = ComputeGenericSelfJoinVariance(
+      FrequencyMomentModel::WithReplacement(f_, m), correction.scale,
+      correction.shift, /*random_shift=*/false);
+  const double predicted = gv.VarianceAveraged(kRows);
+  EXPECT_NEAR(stats.Mean(), f_.F2(), 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted, kVarTol * predicted);
+}
+
+TEST_P(MonteCarloSkewTest, WorSelfJoinMatchesGenericEngine) {
+  const uint64_t m = kTuples / 3;
+  RunningStats stats;
+  const auto coef = ComputeCoefficients(kTuples, m);
+  const Correction correction = WorSelfJoinCorrection(coef);
+  for (int t = 0; t < kTrials; ++t) {
+    Xoshiro256 rng(MixSeed(12000, t));
+    AgmsSketch a =
+        BuildAgmsSketch(SampleWithoutReplacement(stream_f_, m, rng),
+                        AgmsParams(MixSeed(13000, t)));
+    stats.Add(correction.Apply(a.EstimateSelfJoin()));
+  }
+  const auto gv = ComputeGenericSelfJoinVariance(
+      FrequencyMomentModel::WithoutReplacement(f_, m), correction.scale,
+      correction.shift, /*random_shift=*/false);
+  const double predicted = gv.VarianceAveraged(kRows);
+  EXPECT_NEAR(stats.Mean(), f_.F2(), 6.0 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), predicted, kVarTol * predicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewSweep, MonteCarloSkewTest,
+                         ::testing::Values(0.0, 1.0, 2.5),
+                         [](const auto& info) {
+                           return "skew_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10));
+                         });
+
+// Averaging more basic estimators shrinks the empirical variance toward the
+// sampling floor but not below it (§V-E conclusion).
+TEST(MonteCarloAveragingTest, VarianceApproachesSamplingFloor) {
+  const FrequencyVector f = ZipfFrequencies(kDomain, kTuples, 1.0);
+  const auto stream = f.ToTupleStream();
+  constexpr double kP = 0.3;
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+
+  auto empirical_variance = [&](size_t rows) {
+    RunningStats stats;
+    for (int t = 0; t < 2500; ++t) {
+      SketchParams params;
+      params.rows = rows;
+      params.scheme = XiScheme::kCw4;
+      params.seed = MixSeed(rows * 131, t);
+      BernoulliSampler sampler(kP, MixSeed(rows * 977, t));
+      const auto sample = sampler.Sample(stream);
+      AgmsSketch sketch = BuildAgmsSketch(sample, params);
+      stats.Add(BernoulliSelfJoinCorrection(kP, sample.size())
+                    .Apply(sketch.EstimateSelfJoin()));
+    }
+    return stats.Variance();
+  };
+
+  const double var2 = empirical_variance(2);
+  const double var32 = empirical_variance(32);
+  const double floor = BernoulliSelfJoinVariance(s, kP, 1).sampling;
+  EXPECT_GT(var2, var32);                     // averaging helps...
+  EXPECT_GT(var32, 0.5 * floor);              // ...but not past the floor
+  const double predicted32 = BernoulliSelfJoinVariance(s, kP, 32).Total();
+  EXPECT_NEAR(var32, predicted32, 0.25 * predicted32);
+}
+
+}  // namespace
+}  // namespace sketchsample

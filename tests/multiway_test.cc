@@ -1,0 +1,203 @@
+// Tests for multi-way join AGMS sketches (the ref [9] extension).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sampling/bernoulli.h"
+#include "src/sketch/multiway.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+// A tiny binary relation as a list of (a, b) tuples.
+using BinaryRelation = std::vector<std::pair<uint64_t, uint64_t>>;
+using UnaryRelation = std::vector<uint64_t>;
+
+// Exact chain join |R1(a) ⋈ R2(a,b) ⋈ R3(b)| by nested loops.
+double ExactChainJoin(const UnaryRelation& r1, const BinaryRelation& r2,
+                      const UnaryRelation& r3) {
+  double total = 0;
+  for (uint64_t a : r1) {
+    for (const auto& [a2, b2] : r2) {
+      if (a2 != a) continue;
+      for (uint64_t b : r3) {
+        if (b == b2) total += 1;
+      }
+    }
+  }
+  return total;
+}
+
+struct ChainWorkload {
+  UnaryRelation r1;
+  BinaryRelation r2;
+  UnaryRelation r3;
+  double exact;
+};
+
+ChainWorkload MakeChainWorkload(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ChainWorkload w;
+  for (int i = 0; i < 60; ++i) w.r1.push_back(rng.NextBounded(8));
+  for (int i = 0; i < 80; ++i) {
+    w.r2.emplace_back(rng.NextBounded(8), rng.NextBounded(6));
+  }
+  for (int i = 0; i < 50; ++i) w.r3.push_back(rng.NextBounded(6));
+  w.exact = ExactChainJoin(w.r1, w.r2, w.r3);
+  return w;
+}
+
+TEST(MultiwayTest, ConstructionValidation) {
+  EXPECT_THROW(MultiwayAgmsSketch({}, 4, XiScheme::kCw4, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MultiwayAgmsSketch({0, 0}, 4, XiScheme::kCw4, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MultiwayAgmsSketch({0}, 0, XiScheme::kCw4, 1),
+               std::invalid_argument);
+}
+
+TEST(MultiwayTest, UpdateArityChecked) {
+  MultiwayAgmsSketch sketch({0, 1}, 4, XiScheme::kCw4, 1);
+  EXPECT_THROW(sketch.Update({1}), std::invalid_argument);
+  EXPECT_NO_THROW(sketch.Update({1, 2}));
+}
+
+TEST(MultiwayTest, TwoWayJoinIsUnbiased) {
+  // Sanity: the two-relation special case must estimate the ordinary join.
+  UnaryRelation f, g;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) f.push_back(rng.NextBounded(10));
+  for (int i = 0; i < 120; ++i) g.push_back(rng.NextBounded(10));
+  double exact = 0;
+  for (uint64_t a : f) {
+    for (uint64_t b : g) exact += (a == b);
+  }
+
+  RunningStats stats;
+  for (int rep = 0; rep < 1500; ++rep) {
+    const uint64_t seed = MixSeed(10, rep);
+    MultiwayAgmsSketch sf({0}, 8, XiScheme::kCw4, seed);
+    MultiwayAgmsSketch sg({0}, 8, XiScheme::kCw4, seed);
+    for (uint64_t a : f) sf.Update({a});
+    for (uint64_t b : g) sg.Update({b});
+    stats.Add(EstimateMultiwayJoin({&sf, &sg}));
+  }
+  EXPECT_NEAR(stats.Mean(), exact, 6.0 * stats.StdError());
+}
+
+TEST(MultiwayTest, ThreeWayChainJoinIsUnbiased) {
+  const ChainWorkload w = MakeChainWorkload(3);
+  ASSERT_GT(w.exact, 0.0);
+
+  RunningStats stats;
+  for (int rep = 0; rep < 3000; ++rep) {
+    const uint64_t seed = MixSeed(20, rep);
+    MultiwayAgmsSketch s1({0}, 8, XiScheme::kCw4, seed);
+    MultiwayAgmsSketch s2({0, 1}, 8, XiScheme::kCw4, seed);
+    MultiwayAgmsSketch s3({1}, 8, XiScheme::kCw4, seed);
+    for (uint64_t a : w.r1) s1.Update({a});
+    for (const auto& [a, b] : w.r2) s2.Update({a, b});
+    for (uint64_t b : w.r3) s3.Update({b});
+    stats.Add(EstimateMultiwayJoin({&s1, &s2, &s3}));
+  }
+  EXPECT_NEAR(stats.Mean(), w.exact, 6.0 * stats.StdError());
+}
+
+TEST(MultiwayTest, ThreeWayJoinOverBernoulliSamplesIsUnbiased) {
+  // The §V extension: sample each relation independently, sketch the
+  // samples, scale by the product of inverse keep-probabilities.
+  const ChainWorkload w = MakeChainWorkload(4);
+  ASSERT_GT(w.exact, 0.0);
+  const std::vector<double> ps = {0.5, 0.7, 0.6};
+
+  RunningStats stats;
+  for (int rep = 0; rep < 4000; ++rep) {
+    const uint64_t seed = MixSeed(30, rep);
+    MultiwayAgmsSketch s1({0}, 8, XiScheme::kCw4, seed);
+    MultiwayAgmsSketch s2({0, 1}, 8, XiScheme::kCw4, seed);
+    MultiwayAgmsSketch s3({1}, 8, XiScheme::kCw4, seed);
+    BernoulliSampler b1(ps[0], MixSeed(31, rep));
+    BernoulliSampler b2(ps[1], MixSeed(32, rep));
+    BernoulliSampler b3(ps[2], MixSeed(33, rep));
+    for (uint64_t a : w.r1) {
+      if (b1.Keep()) s1.Update({a});
+    }
+    for (const auto& [a, b] : w.r2) {
+      if (b2.Keep()) s2.Update({a, b});
+    }
+    for (uint64_t b : w.r3) {
+      if (b3.Keep()) s3.Update({b});
+    }
+    stats.Add(EstimateMultiwayJoinOverSamples({&s1, &s2, &s3}, ps));
+  }
+  EXPECT_NEAR(stats.Mean(), w.exact, 6.0 * stats.StdError());
+}
+
+TEST(MultiwayTest, AveragingMoreRowsShrinksError) {
+  const ChainWorkload w = MakeChainWorkload(5);
+  auto mean_abs_error = [&](size_t rows) {
+    RunningStats err;
+    for (int rep = 0; rep < 400; ++rep) {
+      const uint64_t seed = MixSeed(rows * 7919, rep);
+      MultiwayAgmsSketch s1({0}, rows, XiScheme::kCw4, seed);
+      MultiwayAgmsSketch s2({0, 1}, rows, XiScheme::kCw4, seed);
+      MultiwayAgmsSketch s3({1}, rows, XiScheme::kCw4, seed);
+      for (uint64_t a : w.r1) s1.Update({a});
+      for (const auto& [a, b] : w.r2) s2.Update({a, b});
+      for (uint64_t b : w.r3) s3.Update({b});
+      err.Add(std::abs(EstimateMultiwayJoin({&s1, &s2, &s3}) - w.exact));
+    }
+    return err.Mean();
+  };
+  EXPECT_LT(mean_abs_error(64), mean_abs_error(2));
+}
+
+TEST(MultiwayTest, MergeEqualsUnion) {
+  MultiwayAgmsSketch a({0, 1}, 6, XiScheme::kEh3, 9);
+  MultiwayAgmsSketch b({0, 1}, 6, XiScheme::kEh3, 9);
+  MultiwayAgmsSketch whole({0, 1}, 6, XiScheme::kEh3, 9);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<uint64_t> keys = {rng.NextBounded(16),
+                                        rng.NextBounded(16)};
+    (i % 2 ? a : b).Update(keys);
+    whole.Update(keys);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.counters(), whole.counters());
+}
+
+TEST(MultiwayTest, IncompatibleEstimatesThrow) {
+  MultiwayAgmsSketch a({0}, 4, XiScheme::kCw4, 1);
+  MultiwayAgmsSketch b({0}, 4, XiScheme::kCw4, 2);  // different seed
+  EXPECT_THROW(EstimateMultiwayJoin({&a, &b}), std::invalid_argument);
+  MultiwayAgmsSketch c({0}, 8, XiScheme::kCw4, 1);  // different rows
+  EXPECT_THROW(EstimateMultiwayJoin({&a, &c}), std::invalid_argument);
+  EXPECT_THROW(EstimateMultiwayJoin({}), std::invalid_argument);
+}
+
+TEST(MultiwayTest, SampledEstimateValidatesProbabilities) {
+  MultiwayAgmsSketch a({0}, 4, XiScheme::kCw4, 1);
+  MultiwayAgmsSketch b({0}, 4, XiScheme::kCw4, 1);
+  EXPECT_THROW(EstimateMultiwayJoinOverSamples({&a, &b}, {0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateMultiwayJoinOverSamples({&a, &b}, {0.5, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateMultiwayJoinOverSamples({&a, &b}, {0.5, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(MultiwayTest, CopyIsDeepAndCompatible) {
+  MultiwayAgmsSketch a({0, 1}, 4, XiScheme::kEh3, 3);
+  a.Update({1, 2});
+  MultiwayAgmsSketch b = a;
+  b.Update({3, 4});
+  EXPECT_NE(a.counters(), b.counters());
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_EQ(b.arity(), 2u);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,57 @@
+// Tests for parallel sharded sketching.
+#include <gtest/gtest.h>
+
+#include "src/core/sketch_estimators.h"
+#include "src/data/zipf.h"
+#include "src/stream/parallel.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params() {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 512;
+  p.scheme = XiScheme::kEh3;
+  p.seed = 5;
+  return p;
+}
+
+TEST(ParallelBuildTest, MatchesSerialExactly) {
+  const FrequencyVector f = ZipfFrequencies(1000, 50000, 1.0);
+  const auto stream = f.ToTupleStream();
+  const FagmsSketch serial = BuildFagmsSketch(stream, Params());
+  for (size_t threads : {2, 3, 4, 8}) {
+    const FagmsSketch parallel = ParallelBuildFagms(stream, Params(), threads);
+    EXPECT_EQ(parallel.counters(), serial.counters())
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelBuildTest, SingleThreadAndTinyStreams) {
+  const std::vector<uint64_t> tiny = {1, 2, 3};
+  const FagmsSketch serial = BuildFagmsSketch(tiny, Params());
+  EXPECT_EQ(ParallelBuildFagms(tiny, Params(), 0).counters(),
+            serial.counters());
+  EXPECT_EQ(ParallelBuildFagms(tiny, Params(), 1).counters(),
+            serial.counters());
+  EXPECT_EQ(ParallelBuildFagms(tiny, Params(), 16).counters(),
+            serial.counters());
+}
+
+TEST(ParallelBuildTest, EmptyStream) {
+  const FagmsSketch sketch = ParallelBuildFagms({}, Params(), 4);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoin(), 0.0);
+}
+
+TEST(ParallelBuildTest, EstimatesRemainAccurate) {
+  const FrequencyVector f = ZipfFrequencies(2000, 100000, 1.0);
+  const auto stream = f.ToTupleStream();
+  SketchParams p = Params();
+  p.buckets = 4096;
+  const FagmsSketch sketch = ParallelBuildFagms(stream, p, 4);
+  EXPECT_LT(std::abs(sketch.EstimateSelfJoin() - f.F2()) / f.F2(), 0.1);
+}
+
+}  // namespace
+}  // namespace sketchsample

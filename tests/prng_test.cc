@@ -1,0 +1,356 @@
+// Unit + property tests for src/prng: field arithmetic, ξ families, hashes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/prng/bch.h"
+#include "src/prng/cw.h"
+#include "src/prng/eh3.h"
+#include "src/prng/hash.h"
+#include "src/prng/mersenne61.h"
+#include "src/prng/tabulation.h"
+#include "src/prng/xi.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mersenne-61 field arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(Mersenne61Test, ModReducesCorrectly) {
+  EXPECT_EQ(Mod61(0), 0u);
+  EXPECT_EQ(Mod61(kMersenne61), 0u);
+  EXPECT_EQ(Mod61(kMersenne61 + 1), 1u);
+  EXPECT_EQ(Mod61(kMersenne61 - 1), kMersenne61 - 1);
+  EXPECT_EQ(Mod61(~0ull), (~0ull) % kMersenne61);
+}
+
+TEST(Mersenne61Test, AddMatchesBigInteger) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = UniformMod61(rng);
+    const uint64_t b = UniformMod61(rng);
+    const uint64_t expected = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(a) + b) % kMersenne61);
+    EXPECT_EQ(AddMod61(a, b), expected);
+  }
+}
+
+TEST(Mersenne61Test, MulMatchesBigInteger) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = UniformMod61(rng);
+    const uint64_t b = UniformMod61(rng);
+    const uint64_t expected = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(a) * b) % kMersenne61);
+    EXPECT_EQ(MulMod61(a, b), expected);
+  }
+}
+
+TEST(Mersenne61Test, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for a != 0.
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    uint64_t a = UniformMod61(rng);
+    if (a == 0) a = 1;
+    EXPECT_EQ(PowMod61(a, kMersenne61 - 1), 1u);
+  }
+}
+
+TEST(Mersenne61Test, PowEdgeCases) {
+  EXPECT_EQ(PowMod61(5, 0), 1u);
+  EXPECT_EQ(PowMod61(5, 1), 5u);
+  EXPECT_EQ(PowMod61(5, 3), 125u);
+  EXPECT_EQ(PowMod61(0, 5), 0u);
+}
+
+TEST(Mersenne61Test, UniformStaysInField) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(UniformMod61(rng), kMersenne61);
+}
+
+// ---------------------------------------------------------------------------
+// GF(2^64) carry-less multiplication.
+// ---------------------------------------------------------------------------
+
+TEST(Gf64Test, IdentityAndZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t a = rng();
+    EXPECT_EQ(Gf64Mul(a, 1), a);
+    EXPECT_EQ(Gf64Mul(1, a), a);
+    EXPECT_EQ(Gf64Mul(a, 0), 0u);
+  }
+}
+
+TEST(Gf64Test, Commutative) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng(), b = rng();
+    EXPECT_EQ(Gf64Mul(a, b), Gf64Mul(b, a));
+  }
+}
+
+TEST(Gf64Test, Associative) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng(), b = rng(), c = rng();
+    EXPECT_EQ(Gf64Mul(Gf64Mul(a, b), c), Gf64Mul(a, Gf64Mul(b, c)));
+  }
+}
+
+TEST(Gf64Test, DistributesOverXor) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng(), b = rng(), c = rng();
+    EXPECT_EQ(Gf64Mul(a, b ^ c), Gf64Mul(a, b) ^ Gf64Mul(a, c));
+  }
+}
+
+TEST(Gf64Test, KnownReduction) {
+  // x^63 * x = x^64 = x^4 + x^3 + x + 1 under the chosen polynomial.
+  EXPECT_EQ(Gf64Mul(1ull << 63, 2), (1ull << 4) | (1ull << 3) | 2 | 1);
+}
+
+// ---------------------------------------------------------------------------
+// ξ families: interface basics.
+// ---------------------------------------------------------------------------
+
+class XiSchemeTest : public ::testing::TestWithParam<XiScheme> {};
+
+TEST_P(XiSchemeTest, ProducesOnlyPlusMinusOne) {
+  auto xi = MakeXiFamily(GetParam(), 99);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const int s = xi->Sign(key);
+    EXPECT_TRUE(s == 1 || s == -1) << "key " << key;
+  }
+}
+
+TEST_P(XiSchemeTest, DeterministicUnderSeed) {
+  auto a = MakeXiFamily(GetParam(), 123);
+  auto b = MakeXiFamily(GetParam(), 123);
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(a->Sign(key), b->Sign(key));
+  }
+}
+
+TEST_P(XiSchemeTest, CloneMatchesOriginal) {
+  auto xi = MakeXiFamily(GetParam(), 77);
+  auto clone = xi->Clone();
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(xi->Sign(key), clone->Sign(key));
+  }
+  EXPECT_EQ(xi->Scheme(), clone->Scheme());
+}
+
+TEST_P(XiSchemeTest, SeedsProduceDifferentFamilies) {
+  auto a = MakeXiFamily(GetParam(), 1);
+  auto b = MakeXiFamily(GetParam(), 2);
+  int agree = 0;
+  constexpr int kKeys = 2048;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    agree += (a->Sign(key) == b->Sign(key));
+  }
+  // Independent families agree on about half the keys.
+  EXPECT_GT(agree, kKeys / 4);
+  EXPECT_LT(agree, 3 * kKeys / 4);
+}
+
+TEST_P(XiSchemeTest, SignsAreBalancedAcrossKeys) {
+  auto xi = MakeXiFamily(GetParam(), 4242);
+  double sum = 0;
+  constexpr int kKeys = 1 << 14;
+  for (uint64_t key = 0; key < kKeys; ++key) sum += xi->Sign(key);
+  // For a random family the normalized sum is ~ N(0, 1/sqrt(kKeys)).
+  EXPECT_LT(std::abs(sum) / kKeys, 0.06);
+}
+
+TEST_P(XiSchemeTest, RoundTripsThroughNames) {
+  const XiScheme scheme = GetParam();
+  EXPECT_EQ(XiSchemeFromName(XiSchemeName(scheme)), scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, XiSchemeTest,
+                         ::testing::Values(XiScheme::kBch3, XiScheme::kEh3,
+                                           XiScheme::kBch5, XiScheme::kCw2,
+                                           XiScheme::kCw4,
+                                           XiScheme::kTabulation),
+                         [](const auto& info) {
+                           return XiSchemeName(info.param);
+                         });
+
+TEST(XiRegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(XiSchemeFromName("nope"), std::invalid_argument);
+}
+
+TEST(XiRegistryTest, NamesAreCaseInsensitive) {
+  EXPECT_EQ(XiSchemeFromName("cw4"), XiScheme::kCw4);
+  EXPECT_EQ(XiSchemeFromName("CW4"), XiScheme::kCw4);
+  EXPECT_EQ(XiSchemeFromName("tab"), XiScheme::kTabulation);
+}
+
+TEST(XiRegistryTest, IndependenceLevels) {
+  EXPECT_EQ(MakeXiFamily(XiScheme::kBch3, 1)->IndependenceLevel(), 3);
+  EXPECT_EQ(MakeXiFamily(XiScheme::kEh3, 1)->IndependenceLevel(), 3);
+  EXPECT_EQ(MakeXiFamily(XiScheme::kBch5, 1)->IndependenceLevel(), 5);
+  EXPECT_EQ(MakeXiFamily(XiScheme::kCw2, 1)->IndependenceLevel(), 2);
+  EXPECT_EQ(MakeXiFamily(XiScheme::kCw4, 1)->IndependenceLevel(), 4);
+  EXPECT_EQ(MakeXiFamily(XiScheme::kTabulation, 1)->IndependenceLevel(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// ξ families: k-wise independence moment checks.
+//
+// For a k-wise independent ±1 family, the product ξ_{i1}···ξ_{ij} of up to k
+// distinct entries has expectation 0 over the seed. We estimate these
+// expectations by averaging over many seeded families; with S seeds the
+// standard error is 1/sqrt(S).
+// ---------------------------------------------------------------------------
+
+double ProductMoment(XiScheme scheme, const std::vector<uint64_t>& keys,
+                     int seeds) {
+  double sum = 0;
+  for (int s = 0; s < seeds; ++s) {
+    auto xi = MakeXiFamily(scheme, MixSeed(0xabcdef, s));
+    int prod = 1;
+    for (uint64_t key : keys) prod *= xi->Sign(key);
+    sum += prod;
+  }
+  return sum / seeds;
+}
+
+class XiMomentTest : public ::testing::TestWithParam<XiScheme> {
+ protected:
+  static constexpr int kSeeds = 20000;
+  static constexpr double kTol = 0.05;  // ~7 standard errors
+};
+
+TEST_P(XiMomentTest, FirstMomentVanishes) {
+  for (uint64_t key : {0ull, 1ull, 17ull, 123456789ull}) {
+    EXPECT_LT(std::abs(ProductMoment(GetParam(), {key}, kSeeds)), kTol)
+        << "key " << key;
+  }
+}
+
+TEST_P(XiMomentTest, SecondCrossMomentVanishes) {
+  EXPECT_LT(std::abs(ProductMoment(GetParam(), {1, 2}, kSeeds)), kTol);
+  EXPECT_LT(std::abs(ProductMoment(GetParam(), {0, 1023}, kSeeds)), kTol);
+}
+
+TEST_P(XiMomentTest, SquareIsOne) {
+  auto xi = MakeXiFamily(GetParam(), 5);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(xi->Sign(key) * xi->Sign(key), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, XiMomentTest,
+                         ::testing::Values(XiScheme::kBch3, XiScheme::kEh3,
+                                           XiScheme::kBch5, XiScheme::kCw2,
+                                           XiScheme::kCw4,
+                                           XiScheme::kTabulation),
+                         [](const auto& info) {
+                           return XiSchemeName(info.param);
+                         });
+
+class XiThreeWiseTest : public ::testing::TestWithParam<XiScheme> {};
+
+TEST_P(XiThreeWiseTest, ThirdCrossMomentVanishes) {
+  EXPECT_LT(std::abs(ProductMoment(GetParam(), {1, 2, 3}, 20000)), 0.05);
+  EXPECT_LT(std::abs(ProductMoment(GetParam(), {5, 600, 70000}, 20000)),
+            0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeWiseSchemes, XiThreeWiseTest,
+                         ::testing::Values(XiScheme::kBch3, XiScheme::kEh3,
+                                           XiScheme::kBch5, XiScheme::kCw4,
+                                           XiScheme::kTabulation),
+                         [](const auto& info) {
+                           return XiSchemeName(info.param);
+                         });
+
+class XiFourWiseTest : public ::testing::TestWithParam<XiScheme> {};
+
+TEST_P(XiFourWiseTest, FourthCrossMomentVanishes) {
+  // Includes the XOR-closed quadruple {1,2,3,0} (1^2^3 = 0) on which the
+  // 3-wise linear schemes are constant — the canonical 4-wise witness.
+  EXPECT_LT(std::abs(ProductMoment(GetParam(), {0, 1, 2, 3}, 20000)), 0.05);
+  EXPECT_LT(std::abs(ProductMoment(GetParam(), {4, 9, 16, 25}, 20000)), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(FourWiseSchemes, XiFourWiseTest,
+                         ::testing::Values(XiScheme::kBch5, XiScheme::kCw4),
+                         [](const auto& info) {
+                           return XiSchemeName(info.param);
+                         });
+
+TEST(XiBch3Test, XorClosedQuadrupleIsDegenerate) {
+  // Demonstrates *why* AGMS needs 4-wise independence: for the linear BCH3
+  // scheme the product over an XOR-closed quadruple is +1 for every seed.
+  double sum = 0;
+  constexpr int kSeeds = 1000;
+  for (int s = 0; s < kSeeds; ++s) {
+    auto xi = MakeXiFamily(XiScheme::kBch3, MixSeed(7, s));
+    sum += xi->Sign(0) * xi->Sign(1) * xi->Sign(2) * xi->Sign(3);
+  }
+  EXPECT_DOUBLE_EQ(sum / kSeeds, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise bucket hash.
+// ---------------------------------------------------------------------------
+
+TEST(PairwiseHashTest, StaysInRange) {
+  PairwiseHash h(3, 17);
+  for (uint64_t key = 0; key < 10000; ++key) EXPECT_LT(h.Bucket(key), 17u);
+}
+
+TEST(PairwiseHashTest, DeterministicAndSeedSensitive) {
+  PairwiseHash a(5, 64), b(5, 64), c(6, 64);
+  int differs = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.Bucket(key), b.Bucket(key));
+    differs += (a.Bucket(key) != c.Bucket(key));
+  }
+  EXPECT_GT(differs, 500);
+}
+
+TEST(PairwiseHashTest, RoughlyUniform) {
+  PairwiseHash h(11, 10);
+  std::vector<int> hist(10, 0);
+  constexpr int kKeys = 100000;
+  for (uint64_t key = 0; key < kKeys; ++key) ++hist[h.Bucket(key)];
+  for (int count : hist) EXPECT_NEAR(count, kKeys / 10, 1500);
+}
+
+TEST(PairwiseHashTest, CollisionRateMatchesPairwiseIndependence) {
+  // Over random key pairs, Pr[h(x) = h(y)] ≈ 1/b.
+  constexpr uint64_t kBuckets = 32;
+  int collisions = 0;
+  constexpr int kPairs = 20000;
+  Xoshiro256 rng(31);
+  PairwiseHash h(13, kBuckets);
+  for (int i = 0; i < kPairs; ++i) {
+    const uint64_t x = rng(), y = rng();
+    if (x != y && h.Bucket(x) == h.Bucket(y)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / kPairs, 1.0 / kBuckets,
+              0.01);
+}
+
+TEST(PairwiseHashTest, ZeroBucketsThrows) {
+  EXPECT_THROW(PairwiseHash(1, 0), std::invalid_argument);
+}
+
+TEST(PairwiseHashTest, SingleBucketAlwaysZero) {
+  PairwiseHash h(9, 1);
+  for (uint64_t key = 0; key < 100; ++key) EXPECT_EQ(h.Bucket(key), 0u);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,171 @@
+// Tests for the progressive online-aggregation estimators.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/progressive.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/tpch_lite.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed, size_t buckets = 2048) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+std::vector<uint64_t> ShuffledZipf(size_t domain, uint64_t tuples,
+                                   double skew, uint64_t seed) {
+  auto stream = ZipfFrequencies(domain, tuples, skew).ToTupleStream();
+  Xoshiro256 rng(seed);
+  Shuffle(stream, rng);
+  return stream;
+}
+
+TEST(ProgressiveF2Test, ConstructionValidation) {
+  EXPECT_THROW(ProgressiveF2Estimator(0, 4, Params(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ProgressiveF2Estimator(100, 1, Params(1)),
+               std::invalid_argument);
+}
+
+TEST(ProgressiveF2Test, ReportRequiresWarmup) {
+  ProgressiveF2Estimator est(1000, 4, Params(1));
+  est.Update(1);
+  EXPECT_THROW(est.Report(0.95), std::logic_error);
+  EXPECT_FALSE(est.HasConverged(0.1, 0.95));
+  for (int i = 0; i < 8; ++i) est.Update(2);
+  EXPECT_NO_THROW(est.Report(0.95));
+}
+
+TEST(ProgressiveF2Test, EstimateTracksTruthAndIntervalShrinks) {
+  const size_t kDomain = 2000;
+  const uint64_t kTuples = 40000;
+  const auto stream = ShuffledZipf(kDomain, kTuples, 1.0, 3);
+  const double truth =
+      FrequencyVector::FromStream(stream, kDomain).F2();
+
+  ProgressiveF2Estimator est(kTuples, 8, Params(5, 4096));
+  size_t pos = 0;
+  for (; pos < kTuples / 20; ++pos) est.Update(stream[pos]);
+  const auto early = est.Report(0.95);
+  for (; pos < kTuples / 2; ++pos) est.Update(stream[pos]);
+  const auto late = est.Report(0.95);
+
+  EXPECT_LT(late.ci.HalfWidth(), early.ci.HalfWidth());
+  EXPECT_LT(RelativeError(late.estimate, truth), 0.15);
+  EXPECT_NEAR(late.fraction_scanned, 0.5, 1e-9);
+  EXPECT_EQ(late.tuples_scanned, kTuples / 2);
+}
+
+TEST(ProgressiveF2Test, ConvergenceStoppingRule) {
+  const size_t kDomain = 2000;
+  const uint64_t kTuples = 40000;
+  const auto stream = ShuffledZipf(kDomain, kTuples, 1.0, 7);
+
+  ProgressiveF2Estimator est(kTuples, 8, Params(9, 4096));
+  uint64_t stopped_at = 0;
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    est.Update(stream[i]);
+    // Check periodically as an engine would.
+    if (i > 100 && i % 500 == 0 && est.HasConverged(0.1, 0.95)) {
+      stopped_at = i;
+      break;
+    }
+  }
+  ASSERT_GT(stopped_at, 0u) << "never converged";
+  EXPECT_LT(stopped_at, kTuples) << "converged only at full scan";
+
+  const double truth =
+      FrequencyVector::FromStream(stream, kDomain).F2();
+  const auto report = est.Report(0.95);
+  // At the stopping point the estimate is within a loose multiple of the
+  // requested precision.
+  EXPECT_LT(RelativeError(report.estimate, truth), 0.3);
+}
+
+TEST(ProgressiveF2Test, CoverageIsAtLeastNominal) {
+  // Batch-means intervals are conservative: coverage across independent
+  // random scan orders should be >= the nominal level (small slack for MC
+  // noise).
+  const size_t kDomain = 500;
+  const uint64_t kTuples = 10000;
+  const FrequencyVector f = ZipfFrequencies(kDomain, kTuples, 1.0);
+  const double truth = f.F2();
+
+  int covered = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    auto stream = f.ToTupleStream();
+    Xoshiro256 rng(MixSeed(31, t));
+    Shuffle(stream, rng);
+    ProgressiveF2Estimator est(kTuples, 8, Params(MixSeed(32, t), 2048));
+    for (uint64_t i = 0; i < kTuples / 5; ++i) est.Update(stream[i]);
+    const auto report = est.Report(0.9);
+    covered += (report.ci.low <= truth && truth <= report.ci.high);
+  }
+  EXPECT_GE(covered, kTrials * 80 / 100);
+}
+
+TEST(ProgressiveJoinTest, ConstructionValidation) {
+  EXPECT_THROW(ProgressiveJoinEstimator(0, 10, 4, Params(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ProgressiveJoinEstimator(10, 10, 0, Params(1)),
+               std::invalid_argument);
+}
+
+TEST(ProgressiveJoinTest, TpchScanConverges) {
+  const TpchLiteData data = GenerateTpchLite(0.01, 17);
+  const double truth = ExactJoinSize(data.lineitem_freq, data.orders_freq);
+
+  ProgressiveJoinEstimator est(data.lineitem.size(), data.orders.size(), 8,
+                               Params(21, 4096));
+  // Scan both relations in lockstep proportionally.
+  const double ratio = static_cast<double>(data.orders.size()) /
+                       static_cast<double>(data.lineitem.size());
+  size_t emitted_orders = 0;
+  for (size_t i = 0; i < data.lineitem.size() / 4; ++i) {
+    est.UpdateF(data.lineitem[i]);
+    const size_t target =
+        static_cast<size_t>(ratio * static_cast<double>(i + 1));
+    while (emitted_orders < target && emitted_orders < data.orders.size()) {
+      est.UpdateG(data.orders[emitted_orders++]);
+    }
+  }
+  const auto report = est.Report(0.95);
+  EXPECT_LT(RelativeError(report.estimate, truth), 0.2);
+  EXPECT_GT(report.ci.HalfWidth(), 0.0);
+  EXPECT_NEAR(report.fraction_scanned, 0.25, 0.01);
+}
+
+TEST(ProgressiveJoinTest, IntervalShrinksWithScan) {
+  const size_t kDomain = 1000;
+  const uint64_t kTuples = 20000;
+  const auto f = ShuffledZipf(kDomain, kTuples, 0.8, 41);
+  const auto g = ShuffledZipf(kDomain, kTuples, 0.8, 42);
+
+  ProgressiveJoinEstimator est(kTuples, kTuples, 6, Params(43, 2048));
+  size_t pos = 0;
+  for (; pos < kTuples / 10; ++pos) {
+    est.UpdateF(f[pos]);
+    est.UpdateG(g[pos]);
+  }
+  const double early = est.Report(0.95).ci.HalfWidth();
+  for (; pos < kTuples; ++pos) {
+    est.UpdateF(f[pos]);
+    est.UpdateG(g[pos]);
+  }
+  const double late = est.Report(0.95).ci.HalfWidth();
+  EXPECT_LT(late, early);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,146 @@
+// Property tests for the sampling-only estimators (Props 3-6): unbiasedness
+// over Monte-Carlo trials and exactness on full samples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/sampling_estimators.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/sampling/bernoulli.h"
+#include "src/sampling/with_replacement.h"
+#include "src/sampling/without_replacement.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+struct Workload {
+  FrequencyVector f;
+  FrequencyVector g;
+  std::vector<uint64_t> stream_f;
+  std::vector<uint64_t> stream_g;
+  double join = 0;
+  double self_join = 0;
+};
+
+Workload MakeWorkload(double skew_f, double skew_g) {
+  Workload w;
+  w.f = ZipfFrequencies(40, 600, skew_f);
+  w.g = ZipfFrequencies(40, 500, skew_g);
+  w.stream_f = w.f.ToTupleStream();
+  w.stream_g = w.g.ToTupleStream();
+  w.join = ExactJoinSize(w.f, w.g);
+  w.self_join = w.f.F2();
+  return w;
+}
+
+class SamplingEstimatorSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingEstimatorSkewTest, BernoulliJoinIsUnbiased) {
+  const Workload w = MakeWorkload(GetParam(), 1.0);
+  constexpr double kP = 0.25, kQ = 0.4;
+  RunningStats stats;
+  for (int rep = 0; rep < 600; ++rep) {
+    BernoulliSampler sf(kP, MixSeed(1, rep));
+    BernoulliSampler sg(kQ, MixSeed(2, rep));
+    const auto fs = FrequencyVector::FromStream(sf.Sample(w.stream_f), 40);
+    const auto gs = FrequencyVector::FromStream(sg.Sample(w.stream_g), 40);
+    stats.Add(BernoulliJoinSampleEstimate(fs, gs, kP, kQ));
+  }
+  EXPECT_NEAR(stats.Mean(), w.join, 5.0 * stats.StdError());
+}
+
+TEST_P(SamplingEstimatorSkewTest, BernoulliSelfJoinIsUnbiased) {
+  const Workload w = MakeWorkload(GetParam(), 1.0);
+  constexpr double kP = 0.3;
+  RunningStats stats;
+  for (int rep = 0; rep < 600; ++rep) {
+    BernoulliSampler sf(kP, MixSeed(3, rep));
+    const auto fs = FrequencyVector::FromStream(sf.Sample(w.stream_f), 40);
+    stats.Add(BernoulliSelfJoinSampleEstimate(fs, kP));
+  }
+  EXPECT_NEAR(stats.Mean(), w.self_join, 5.0 * stats.StdError());
+}
+
+TEST_P(SamplingEstimatorSkewTest, WrJoinIsUnbiased) {
+  const Workload w = MakeWorkload(GetParam(), 0.5);
+  RunningStats stats;
+  for (int rep = 0; rep < 600; ++rep) {
+    Xoshiro256 rng(MixSeed(4, rep));
+    const auto fs = FrequencyVector::FromStream(
+        SampleWithReplacement(w.stream_f, 150, rng), 40);
+    const auto gs = FrequencyVector::FromStream(
+        SampleWithReplacement(w.stream_g, 100, rng), 40);
+    stats.Add(WrJoinSampleEstimate(fs, gs, w.stream_f.size(),
+                                   w.stream_g.size()));
+  }
+  EXPECT_NEAR(stats.Mean(), w.join, 5.0 * stats.StdError());
+}
+
+TEST_P(SamplingEstimatorSkewTest, WrSelfJoinIsUnbiased) {
+  const Workload w = MakeWorkload(GetParam(), 1.0);
+  RunningStats stats;
+  for (int rep = 0; rep < 600; ++rep) {
+    Xoshiro256 rng(MixSeed(5, rep));
+    const auto fs = FrequencyVector::FromStream(
+        SampleWithReplacement(w.stream_f, 120, rng), 40);
+    stats.Add(WrSelfJoinSampleEstimate(fs, w.stream_f.size()));
+  }
+  EXPECT_NEAR(stats.Mean(), w.self_join, 5.0 * stats.StdError());
+}
+
+TEST_P(SamplingEstimatorSkewTest, WorJoinIsUnbiased) {
+  const Workload w = MakeWorkload(GetParam(), 1.5);
+  RunningStats stats;
+  for (int rep = 0; rep < 600; ++rep) {
+    Xoshiro256 rng(MixSeed(6, rep));
+    const auto fs = FrequencyVector::FromStream(
+        SampleWithoutReplacement(w.stream_f, 150, rng), 40);
+    const auto gs = FrequencyVector::FromStream(
+        SampleWithoutReplacement(w.stream_g, 125, rng), 40);
+    stats.Add(WorJoinSampleEstimate(fs, gs, w.stream_f.size(),
+                                    w.stream_g.size()));
+  }
+  EXPECT_NEAR(stats.Mean(), w.join, 5.0 * stats.StdError());
+}
+
+TEST_P(SamplingEstimatorSkewTest, WorSelfJoinIsUnbiased) {
+  const Workload w = MakeWorkload(GetParam(), 1.0);
+  RunningStats stats;
+  for (int rep = 0; rep < 600; ++rep) {
+    Xoshiro256 rng(MixSeed(7, rep));
+    const auto fs = FrequencyVector::FromStream(
+        SampleWithoutReplacement(w.stream_f, 150, rng), 40);
+    stats.Add(WorSelfJoinSampleEstimate(fs, w.stream_f.size()));
+  }
+  EXPECT_NEAR(stats.Mean(), w.self_join, 5.0 * stats.StdError());
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewSweep, SamplingEstimatorSkewTest,
+                         ::testing::Values(0.0, 0.8, 2.0),
+                         [](const auto& info) {
+                           return "skew_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10));
+                         });
+
+TEST(SamplingEstimatorExactnessTest, FullBernoulliSampleIsExact) {
+  const Workload w = MakeWorkload(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(BernoulliJoinSampleEstimate(w.f, w.g, 1.0, 1.0), w.join);
+  EXPECT_DOUBLE_EQ(BernoulliSelfJoinSampleEstimate(w.f, 1.0), w.self_join);
+}
+
+TEST(SamplingEstimatorExactnessTest, FullWorSampleIsExact) {
+  const Workload w = MakeWorkload(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(
+      WorJoinSampleEstimate(w.f, w.g, w.stream_f.size(), w.stream_g.size()),
+      w.join);
+  EXPECT_NEAR(WorSelfJoinSampleEstimate(w.f, w.stream_f.size()),
+              w.self_join, 1e-9);
+}
+
+}  // namespace
+}  // namespace sketchsample

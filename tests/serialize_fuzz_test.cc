@@ -1,0 +1,81 @@
+// Robustness fuzzing for the sketch wire format: random corruptions must
+// never be silently accepted, and random garbage must never crash.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sketch/serialize.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+std::vector<uint8_t> ValidBuffer() {
+  SketchParams p;
+  p.rows = 2;
+  p.buckets = 32;
+  p.scheme = XiScheme::kEh3;
+  p.seed = 77;
+  FagmsSketch sketch(p);
+  for (uint64_t v = 0; v < 500; ++v) sketch.Update(v % 40);
+  return SerializeSketch(sketch);
+}
+
+class CorruptionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionTest, SingleByteFlipIsRejected) {
+  auto buffer = ValidBuffer();
+  // Map the parameter onto a byte offset spread across the buffer.
+  const size_t offset =
+      static_cast<size_t>(GetParam()) * (buffer.size() - 1) / 19;
+  buffer[offset] ^= 0xa5;
+  EXPECT_THROW(DeserializeFagms(buffer), std::invalid_argument)
+      << "offset " << offset << " of " << buffer.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CorruptionTest, ::testing::Range(0, 20));
+
+TEST(SerializeFuzzTest, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> garbage(rng.NextBounded(200));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng());
+    EXPECT_THROW(DeserializeFagms(garbage), std::invalid_argument);
+    EXPECT_THROW(DeserializeAgms(garbage), std::invalid_argument);
+  }
+}
+
+TEST(SerializeFuzzTest, RandomTruncationsNeverCrash) {
+  const auto buffer = ValidBuffer();
+  Xoshiro256 rng(321);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> truncated(
+        buffer.begin(), buffer.begin() + rng.NextBounded(buffer.size()));
+    EXPECT_THROW(DeserializeFagms(truncated), std::invalid_argument);
+  }
+}
+
+TEST(SerializeFuzzTest, ExtensionBytesRejected) {
+  auto buffer = ValidBuffer();
+  buffer.push_back(0x00);
+  EXPECT_THROW(DeserializeFagms(buffer), std::invalid_argument);
+}
+
+TEST(SerializeFuzzTest, RoundTripSurvivesManyShapes) {
+  Xoshiro256 rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    SketchParams p;
+    p.rows = 1 + rng.NextBounded(5);
+    p.buckets = 1 + rng.NextBounded(256);
+    p.scheme = static_cast<XiScheme>(rng.NextBounded(6));
+    p.seed = rng();
+    FagmsSketch sketch(p);
+    const uint64_t updates = rng.NextBounded(300);
+    for (uint64_t u = 0; u < updates; ++u) sketch.Update(rng());
+    const FagmsSketch restored = DeserializeFagms(SerializeSketch(sketch));
+    ASSERT_EQ(restored.counters(), sketch.counters()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sketchsample

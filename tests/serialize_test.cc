@@ -1,0 +1,140 @@
+// Tests for sketch binary serialization.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/sketch/serialize.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed, size_t rows = 3, size_t buckets = 64) {
+  SketchParams p;
+  p.rows = rows;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+template <typename SketchT>
+SketchT BuildPopulated(const SketchParams& params) {
+  SketchT sketch(params);
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 500; ++i) sketch.Update(rng.NextBounded(1000));
+  return sketch;
+}
+
+TEST(SerializeTest, AgmsRoundTripPreservesEstimates) {
+  SketchParams p = Params(1);
+  p.buckets = 0;  // ignored by AGMS, must round-trip anyway
+  const AgmsSketch original = BuildPopulated<AgmsSketch>(p);
+  const AgmsSketch restored = DeserializeAgms(SerializeSketch(original));
+  EXPECT_EQ(restored.counters(), original.counters());
+  EXPECT_DOUBLE_EQ(restored.EstimateSelfJoin(), original.EstimateSelfJoin());
+  EXPECT_TRUE(restored.CompatibleWith(original));
+}
+
+TEST(SerializeTest, FagmsRoundTripPreservesEstimates) {
+  const FagmsSketch original = BuildPopulated<FagmsSketch>(Params(2));
+  const FagmsSketch restored = DeserializeFagms(SerializeSketch(original));
+  EXPECT_EQ(restored.counters(), original.counters());
+  EXPECT_DOUBLE_EQ(restored.EstimateSelfJoin(), original.EstimateSelfJoin());
+  EXPECT_DOUBLE_EQ(restored.EstimateFrequency(7),
+                   original.EstimateFrequency(7));
+}
+
+TEST(SerializeTest, CountMinRoundTrip) {
+  const CountMinSketch original = BuildPopulated<CountMinSketch>(Params(3));
+  const CountMinSketch restored =
+      DeserializeCountMin(SerializeSketch(original));
+  EXPECT_EQ(restored.counters(), original.counters());
+  EXPECT_DOUBLE_EQ(restored.EstimateFrequency(5),
+                   original.EstimateFrequency(5));
+}
+
+TEST(SerializeTest, FastCountRoundTrip) {
+  const FastCountSketch original =
+      BuildPopulated<FastCountSketch>(Params(4));
+  const FastCountSketch restored =
+      DeserializeFastCount(SerializeSketch(original));
+  EXPECT_EQ(restored.counters(), original.counters());
+  EXPECT_DOUBLE_EQ(restored.EstimateSelfJoin(), original.EstimateSelfJoin());
+}
+
+TEST(SerializeTest, PeekIdentifiesKind) {
+  EXPECT_EQ(PeekSketchKind(
+                SerializeSketch(BuildPopulated<FagmsSketch>(Params(5)))),
+            SketchKind::kFagms);
+  SketchParams p = Params(5);
+  EXPECT_EQ(PeekSketchKind(SerializeSketch(AgmsSketch(p))),
+            SketchKind::kAgms);
+  EXPECT_EQ(PeekSketchKind(SerializeSketch(CountMinSketch(p))),
+            SketchKind::kCountMin);
+  EXPECT_EQ(PeekSketchKind(SerializeSketch(FastCountSketch(p))),
+            SketchKind::kFastCount);
+}
+
+TEST(SerializeTest, KindMismatchThrows) {
+  const auto buffer = SerializeSketch(BuildPopulated<FagmsSketch>(Params(6)));
+  EXPECT_THROW(DeserializeAgms(buffer), std::invalid_argument);
+  EXPECT_THROW(DeserializeCountMin(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, CorruptionIsDetected) {
+  auto buffer = SerializeSketch(BuildPopulated<FagmsSketch>(Params(7)));
+  // Flip one payload byte.
+  buffer[buffer.size() / 2] ^= 0xff;
+  EXPECT_THROW(DeserializeFagms(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, TruncationIsDetected) {
+  auto buffer = SerializeSketch(BuildPopulated<FagmsSketch>(Params(8)));
+  buffer.resize(buffer.size() / 2);
+  EXPECT_THROW(DeserializeFagms(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, GarbageIsRejected) {
+  std::vector<uint8_t> garbage(100, 0x5a);
+  EXPECT_THROW(DeserializeFagms(garbage), std::invalid_argument);
+  EXPECT_THROW(PeekSketchKind({}), std::invalid_argument);
+}
+
+TEST(SerializeTest, ShardedSketchingMergesAfterTransport) {
+  // The distributed pattern: shards sketch partitions, serialize, a
+  // coordinator deserializes and merges; the result must equal sketching
+  // the whole stream locally.
+  const SketchParams params = Params(9);
+  const FrequencyVector data = ZipfFrequencies(500, 5000, 1.0);
+  const auto stream = data.ToTupleStream();
+
+  FagmsSketch local(params);
+  std::vector<std::vector<uint8_t>> wires;
+  constexpr size_t kShards = 4;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    FagmsSketch partial(params);
+    for (size_t i = shard; i < stream.size(); i += kShards) {
+      partial.Update(stream[i]);
+      local.Update(stream[i]);
+    }
+    wires.push_back(SerializeSketch(partial));
+  }
+
+  FagmsSketch merged = DeserializeFagms(wires[0]);
+  for (size_t shard = 1; shard < kShards; ++shard) {
+    merged.Merge(DeserializeFagms(wires[shard]));
+  }
+  EXPECT_EQ(merged.counters(), local.counters());
+  EXPECT_DOUBLE_EQ(merged.EstimateSelfJoin(), local.EstimateSelfJoin());
+}
+
+TEST(SerializeTest, LoadCountersValidatesSize) {
+  FagmsSketch sketch(Params(10));
+  EXPECT_THROW(sketch.LoadCounters(std::vector<double>(7, 0.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,217 @@
+// API-level tests for the headline sketch-over-sample estimator classes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/sketch_over_sample.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams FagmsParams(uint64_t seed, size_t buckets = 2048) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+TEST(BernoulliEstimatorTest, TracksSeenAndSampledCounts) {
+  BernoulliSketchEstimator<FagmsSketch> est(0.5, FagmsParams(1), 99);
+  for (uint64_t v = 0; v < 1000; ++v) est.Update(v);
+  EXPECT_EQ(est.tuples_seen(), 1000u);
+  EXPECT_GT(est.tuples_sampled(), 350u);
+  EXPECT_LT(est.tuples_sampled(), 650u);
+}
+
+TEST(BernoulliEstimatorTest, FullSamplingEqualsPlainSketching) {
+  const FrequencyVector f = ZipfFrequencies(200, 3000, 1.0);
+  const auto stream = f.ToTupleStream();
+  BernoulliSketchEstimator<FagmsSketch> est(1.0, FagmsParams(7), 3);
+  for (uint64_t v : stream) est.Update(v);
+  EXPECT_EQ(est.tuples_sampled(), stream.size());
+  // With p = 1 the correction is the identity, so the estimate equals the
+  // raw sketch estimate, which should be close to the truth.
+  EXPECT_LT(RelativeError(est.EstimateSelfJoin(), f.F2()), 0.1);
+}
+
+TEST(BernoulliEstimatorTest, JoinEstimateIsAccurate) {
+  const FrequencyVector f = ZipfFrequencies(200, 20000, 1.0);
+  const FrequencyVector g = ZipfFrequencies(200, 20000, 0.8);
+  const double truth = ExactJoinSize(f, g);
+  Xoshiro256 shuffler(5);
+  auto sf = f.ToTupleStream();
+  auto sg = g.ToTupleStream();
+  Shuffle(sf, shuffler);
+  Shuffle(sg, shuffler);
+
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 20; ++rep) {
+    const SketchParams params = FagmsParams(MixSeed(17, rep));
+    BernoulliSketchEstimator<FagmsSketch> ef(0.2, params, MixSeed(18, rep));
+    BernoulliSketchEstimator<FagmsSketch> eg(0.2, params, MixSeed(19, rep));
+    for (uint64_t v : sf) ef.Update(v);
+    for (uint64_t v : sg) eg.Update(v);
+    estimates.push_back(ef.EstimateJoin(eg));
+  }
+  EXPECT_LT(SummarizeErrors(estimates, truth).mean_error, 0.2);
+}
+
+TEST(BernoulliEstimatorTest, SkipPathIsStatisticallyEquivalent) {
+  const FrequencyVector f = ZipfFrequencies(100, 5000, 1.0);
+  const auto stream = f.ToTupleStream();
+  constexpr double kP = 0.1;
+
+  RunningStats coin_est, skip_est, coin_kept, skip_kept;
+  for (int rep = 0; rep < 60; ++rep) {
+    const SketchParams params = FagmsParams(MixSeed(31, rep), 1024);
+    BernoulliSketchEstimator<FagmsSketch> coin(kP, params, MixSeed(32, rep));
+    BernoulliSketchEstimator<FagmsSketch> skip(kP, params, MixSeed(33, rep));
+    for (uint64_t v : stream) coin.Update(v);
+    skip.ProcessStreamWithSkips(stream);
+    EXPECT_EQ(skip.tuples_seen(), stream.size());
+    coin_est.Add(coin.EstimateSelfJoin());
+    skip_est.Add(skip.EstimateSelfJoin());
+    coin_kept.Add(static_cast<double>(coin.tuples_sampled()));
+    skip_kept.Add(static_cast<double>(skip.tuples_sampled()));
+  }
+  EXPECT_NEAR(coin_kept.Mean(), skip_kept.Mean(),
+              4.0 * (coin_kept.StdError() + skip_kept.StdError()));
+  EXPECT_NEAR(coin_est.Mean(), skip_est.Mean(),
+              4.0 * (coin_est.StdError() + skip_est.StdError()));
+}
+
+TEST(BernoulliEstimatorTest, WorksWithAgmsSketch) {
+  const FrequencyVector f = ZipfFrequencies(50, 2000, 1.5);
+  SketchParams params;
+  params.rows = 128;
+  params.scheme = XiScheme::kCw4;
+  params.seed = 11;
+  BernoulliSketchEstimator<AgmsSketch> est(0.5, params, 42);
+  for (uint64_t v : f.ToTupleStream()) est.Update(v);
+  EXPECT_LT(RelativeError(est.EstimateSelfJoin(), f.F2()), 0.5);
+}
+
+TEST(SampledStreamEstimatorTest, RejectsBernoulliScheme) {
+  EXPECT_THROW(SampledStreamEstimator<FagmsSketch>(
+                   SamplingScheme::kBernoulli, 100, FagmsParams(1)),
+               std::invalid_argument);
+}
+
+TEST(SampledStreamEstimatorTest, RejectsEmptyPopulation) {
+  EXPECT_THROW(SampledStreamEstimator<FagmsSketch>(
+                   SamplingScheme::kWithReplacement, 0, FagmsParams(1)),
+               std::invalid_argument);
+}
+
+TEST(SampledStreamEstimatorTest, WrSelfJoinFromGenerativeStream) {
+  // The stream is an i.i.d. WR sample from a known population; the
+  // estimator must recover the population's F2.
+  const FrequencyVector f = ZipfFrequencies(100, 10000, 1.0);
+  const auto relation = f.ToTupleStream();
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 25; ++rep) {
+    Xoshiro256 rng(MixSeed(51, rep));
+    SampledStreamEstimator<FagmsSketch> est(
+        SamplingScheme::kWithReplacement, relation.size(),
+        FagmsParams(MixSeed(52, rep)));
+    for (int k = 0; k < 2000; ++k) {
+      est.Update(relation[rng.NextBounded(relation.size())]);
+    }
+    EXPECT_EQ(est.sample_size(), 2000u);
+    EXPECT_NEAR(est.SampleFraction(), 0.2, 1e-12);
+    estimates.push_back(est.EstimateSelfJoin());
+  }
+  EXPECT_LT(SummarizeErrors(estimates, f.F2()).mean_error, 0.2);
+}
+
+TEST(SampledStreamEstimatorTest, WorPrefixScanConvergesToExact) {
+  // Online aggregation: scanning the whole shuffled relation must converge
+  // to the exact answer (α = 1 -> identity correction, sketch error only).
+  const FrequencyVector f = ZipfFrequencies(100, 5000, 0.8);
+  auto stream = f.ToTupleStream();
+  Xoshiro256 rng(3);
+  Shuffle(stream, rng);
+
+  SampledStreamEstimator<FagmsSketch> est(
+      SamplingScheme::kWithoutReplacement, stream.size(),
+      FagmsParams(9, 4096));
+  est.UpdateAll(stream);
+  // Full scan: only sketch error remains, and with buckets ~ domain the
+  // sketch is near-exact.
+  EXPECT_LT(RelativeError(est.EstimateSelfJoin(), f.F2()), 0.05);
+}
+
+TEST(SampledStreamEstimatorTest, WorProgressiveEstimatesImprove) {
+  const FrequencyVector f = ZipfFrequencies(200, 20000, 1.0);
+  const double truth = f.F2();
+
+  RunningStats err_early, err_late;
+  for (int rep = 0; rep < 20; ++rep) {
+    auto stream = f.ToTupleStream();
+    Xoshiro256 rng(MixSeed(61, rep));
+    Shuffle(stream, rng);
+    SampledStreamEstimator<FagmsSketch> est(
+        SamplingScheme::kWithoutReplacement, stream.size(),
+        FagmsParams(MixSeed(62, rep), 4096));
+    size_t pos = 0;
+    for (; pos < stream.size() / 100; ++pos) est.Update(stream[pos]);
+    err_early.Add(RelativeError(est.EstimateSelfJoin(), truth));
+    for (; pos < stream.size() / 2; ++pos) est.Update(stream[pos]);
+    err_late.Add(RelativeError(est.EstimateSelfJoin(), truth));
+  }
+  EXPECT_LT(err_late.Mean(), err_early.Mean());
+}
+
+TEST(SampledStreamEstimatorTest, WrJoinAcrossTwoStreams) {
+  const FrequencyVector f = ZipfFrequencies(100, 8000, 1.0);
+  const FrequencyVector g = ZipfFrequencies(100, 6000, 0.5);
+  const double truth = ExactJoinSize(f, g);
+  const auto rf = f.ToTupleStream();
+  const auto rg = g.ToTupleStream();
+
+  std::vector<double> estimates;
+  for (int rep = 0; rep < 25; ++rep) {
+    const SketchParams params = FagmsParams(MixSeed(71, rep));
+    Xoshiro256 rng(MixSeed(72, rep));
+    SampledStreamEstimator<FagmsSketch> ef(
+        SamplingScheme::kWithReplacement, rf.size(), params);
+    SampledStreamEstimator<FagmsSketch> eg(
+        SamplingScheme::kWithReplacement, rg.size(), params);
+    for (int k = 0; k < 1500; ++k) {
+      ef.Update(rf[rng.NextBounded(rf.size())]);
+      eg.Update(rg[rng.NextBounded(rg.size())]);
+    }
+    estimates.push_back(ef.EstimateJoin(eg));
+  }
+  EXPECT_LT(SummarizeErrors(estimates, truth).mean_error, 0.25);
+}
+
+TEST(SampledStreamEstimatorTest, MixedSchemesThrow) {
+  const SketchParams params = FagmsParams(1);
+  SampledStreamEstimator<FagmsSketch> wr(SamplingScheme::kWithReplacement,
+                                         100, params);
+  SampledStreamEstimator<FagmsSketch> wor(
+      SamplingScheme::kWithoutReplacement, 100, params);
+  wr.Update(1);
+  wr.Update(2);
+  wor.Update(1);
+  wor.Update(2);
+  EXPECT_THROW(wr.EstimateJoin(wor), std::invalid_argument);
+}
+
+TEST(SampledStreamEstimatorTest, SelfJoinNeedsTwoTuples) {
+  SampledStreamEstimator<FagmsSketch> est(
+      SamplingScheme::kWithoutReplacement, 100, FagmsParams(1));
+  est.Update(1);
+  EXPECT_THROW(est.EstimateSelfJoin(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,382 @@
+// Unit + property tests for src/sketch: AGMS, F-AGMS, Count-Min, FastCount.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/sketch_estimators.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/countmin.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams SmallAgms(uint64_t seed, size_t rows = 64) {
+  SketchParams p;
+  p.rows = rows;
+  p.scheme = XiScheme::kCw4;
+  p.seed = seed;
+  return p;
+}
+
+SketchParams SmallFagms(uint64_t seed, size_t rows = 1,
+                        size_t buckets = 256) {
+  SketchParams p;
+  p.rows = rows;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// AGMS.
+// ---------------------------------------------------------------------------
+
+TEST(AgmsTest, SingleValueSelfJoinIsExact) {
+  // A stream with one distinct value: S = ±f, so S² = f² exactly.
+  AgmsSketch sketch(SmallAgms(1));
+  for (int i = 0; i < 25; ++i) sketch.Update(42);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoin(), 625.0);
+}
+
+TEST(AgmsTest, WeightedUpdatesEqualRepeatedUpdates) {
+  AgmsSketch a(SmallAgms(2)), b(SmallAgms(2));
+  for (int i = 0; i < 7; ++i) a.Update(5);
+  b.Update(5, 7.0);
+  EXPECT_EQ(a.counters(), b.counters());
+}
+
+TEST(AgmsTest, NegativeWeightDeletes) {
+  AgmsSketch sketch(SmallAgms(3));
+  sketch.Update(1, 4.0);
+  sketch.Update(2, 2.0);
+  sketch.Update(1, -4.0);
+  sketch.Update(2, -2.0);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoin(), 0.0);
+}
+
+TEST(AgmsTest, SelfJoinIsUnbiasedOverSeeds) {
+  const FrequencyVector f = ZipfFrequencies(30, 500, 1.0);
+  const double truth = f.F2();
+  const auto stream = f.ToTupleStream();
+  RunningStats estimates;
+  for (int rep = 0; rep < 400; ++rep) {
+    AgmsSketch sketch = BuildAgmsSketch(stream, SmallAgms(MixSeed(5, rep), 16));
+    estimates.Add(sketch.EstimateSelfJoin());
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 5.0 * estimates.StdError());
+}
+
+TEST(AgmsTest, JoinIsUnbiasedOverSeeds) {
+  const FrequencyVector f = ZipfFrequencies(30, 400, 0.8);
+  const FrequencyVector g = ZipfFrequencies(30, 300, 1.2);
+  const double truth = ExactJoinSize(f, g);
+  const auto sf = f.ToTupleStream();
+  const auto sg = g.ToTupleStream();
+  RunningStats estimates;
+  for (int rep = 0; rep < 400; ++rep) {
+    const SketchParams params = SmallAgms(MixSeed(6, rep), 16);
+    AgmsSketch a = BuildAgmsSketch(sf, params);
+    AgmsSketch b = BuildAgmsSketch(sg, params);
+    estimates.Add(a.EstimateJoin(b));
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 5.0 * estimates.StdError());
+}
+
+TEST(AgmsTest, MergeEqualsConcatenatedStream) {
+  const SketchParams params = SmallAgms(7);
+  AgmsSketch a(params), b(params), whole(params);
+  for (uint64_t v = 0; v < 50; ++v) {
+    (v % 2 ? a : b).Update(v);
+    whole.Update(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.counters(), whole.counters());
+}
+
+TEST(AgmsTest, IncompatibleSketchesThrow) {
+  AgmsSketch a(SmallAgms(1)), b(SmallAgms(2));
+  EXPECT_THROW(a.EstimateJoin(b), std::invalid_argument);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+  AgmsSketch c(SmallAgms(1, 32));
+  EXPECT_THROW(a.EstimateJoin(c), std::invalid_argument);
+}
+
+TEST(AgmsTest, MedianOfMeansIsSane) {
+  AgmsSketch sketch(SmallAgms(8, 64));
+  for (int i = 0; i < 10; ++i) sketch.Update(3);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoinMedianOfMeans(8), 100.0);
+  EXPECT_THROW(sketch.EstimateSelfJoinMedianOfMeans(0), std::invalid_argument);
+  EXPECT_THROW(sketch.EstimateSelfJoinMedianOfMeans(100),
+               std::invalid_argument);
+}
+
+TEST(AgmsTest, ZeroRowsThrows) {
+  SketchParams p = SmallAgms(1, 0);
+  EXPECT_THROW(AgmsSketch{p}, std::invalid_argument);
+}
+
+TEST(AgmsTest, CopyIsIndependent) {
+  AgmsSketch a(SmallAgms(9));
+  a.Update(1);
+  AgmsSketch b = a;
+  b.Update(2);
+  EXPECT_NE(a.counters(), b.counters());
+  EXPECT_TRUE(a.CompatibleWith(b));
+}
+
+// ---------------------------------------------------------------------------
+// F-AGMS.
+// ---------------------------------------------------------------------------
+
+TEST(FagmsTest, SingleValueSelfJoinIsExact) {
+  FagmsSketch sketch(SmallFagms(1));
+  for (int i = 0; i < 9; ++i) sketch.Update(17);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoin(), 81.0);
+}
+
+TEST(FagmsTest, SelfJoinIsUnbiasedOverSeeds) {
+  const FrequencyVector f = ZipfFrequencies(100, 2000, 1.0);
+  const double truth = f.F2();
+  const auto stream = f.ToTupleStream();
+  RunningStats estimates;
+  for (int rep = 0; rep < 300; ++rep) {
+    // A single row: the row estimate is unbiased; medians of multiple rows
+    // are only near-unbiased.
+    estimates.Add(FagmsSelfJoinEstimate(stream, SmallFagms(MixSeed(11, rep))));
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 5.0 * estimates.StdError());
+}
+
+TEST(FagmsTest, JoinIsUnbiasedOverSeeds) {
+  const FrequencyVector f = ZipfFrequencies(100, 1500, 0.5);
+  const FrequencyVector g = ZipfFrequencies(100, 1500, 1.5);
+  const double truth = ExactJoinSize(f, g);
+  const auto sf = f.ToTupleStream();
+  const auto sg = g.ToTupleStream();
+  RunningStats estimates;
+  for (int rep = 0; rep < 300; ++rep) {
+    estimates.Add(FagmsJoinEstimate(sf, sg, SmallFagms(MixSeed(12, rep))));
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 5.0 * estimates.StdError());
+}
+
+TEST(FagmsTest, MoreBucketsGiveSmallerError) {
+  const FrequencyVector f = ZipfFrequencies(500, 5000, 0.6);
+  const double truth = f.F2();
+  const auto stream = f.ToTupleStream();
+  auto mean_err = [&](size_t buckets) {
+    std::vector<double> estimates;
+    for (int rep = 0; rep < 60; ++rep) {
+      estimates.push_back(FagmsSelfJoinEstimate(
+          stream, SmallFagms(MixSeed(13, rep), 1, buckets)));
+    }
+    return SummarizeErrors(estimates, truth).mean_error;
+  };
+  EXPECT_LT(mean_err(1024), mean_err(16));
+}
+
+TEST(FagmsTest, PointQueryRecoversHeavyHitter) {
+  FagmsSketch sketch(SmallFagms(2, 5, 512));
+  for (int i = 0; i < 1000; ++i) sketch.Update(7);
+  for (uint64_t v = 100; v < 200; ++v) sketch.Update(v);
+  EXPECT_NEAR(sketch.EstimateFrequency(7), 1000.0, 60.0);
+}
+
+TEST(FagmsTest, MergeEqualsConcatenatedStream) {
+  const SketchParams params = SmallFagms(3);
+  FagmsSketch a(params), b(params), whole(params);
+  for (uint64_t v = 0; v < 100; ++v) {
+    (v % 3 == 0 ? a : b).Update(v);
+    whole.Update(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.counters(), whole.counters());
+}
+
+TEST(FagmsTest, IncompatibleThrows) {
+  FagmsSketch a(SmallFagms(1)), b(SmallFagms(2));
+  EXPECT_THROW(a.EstimateJoin(b), std::invalid_argument);
+  FagmsSketch c(SmallFagms(1, 1, 128));
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+TEST(FagmsTest, InvalidShapeThrows) {
+  SketchParams p = SmallFagms(1, 0, 10);
+  EXPECT_THROW(FagmsSketch{p}, std::invalid_argument);
+  SketchParams q = SmallFagms(1, 1, 0);
+  EXPECT_THROW(FagmsSketch{q}, std::invalid_argument);
+}
+
+TEST(FagmsTest, RowEstimatesHaveRowCount) {
+  FagmsSketch sketch(SmallFagms(4, 7, 64));
+  sketch.Update(1);
+  EXPECT_EQ(sketch.SelfJoinRowEstimates().size(), 7u);
+  EXPECT_EQ(sketch.MemoryBytes(), 7u * 64u * sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// Count-Min.
+// ---------------------------------------------------------------------------
+
+TEST(CountMinTest, PointQueryNeverUnderestimates) {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 64;
+  p.seed = 5;
+  CountMinSketch sketch(p);
+  const FrequencyVector f = ZipfFrequencies(200, 2000, 1.0);
+  for (uint64_t key : f.ToTupleStream()) sketch.Update(key);
+  for (size_t v = 0; v < 50; ++v) {
+    EXPECT_GE(sketch.EstimateFrequency(v) + 1e-9,
+              static_cast<double>(f.count(v)));
+  }
+}
+
+TEST(CountMinTest, JoinAndSelfJoinNeverUnderestimate) {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 128;
+  p.seed = 6;
+  const FrequencyVector f = ZipfFrequencies(300, 3000, 0.8);
+  const FrequencyVector g = ZipfFrequencies(300, 3000, 1.2);
+  CountMinSketch a(p), b(p);
+  for (uint64_t key : f.ToTupleStream()) a.Update(key);
+  for (uint64_t key : g.ToTupleStream()) b.Update(key);
+  EXPECT_GE(a.EstimateSelfJoin() + 1e-6, f.F2());
+  EXPECT_GE(a.EstimateJoin(b) + 1e-6, ExactJoinSize(f, g));
+}
+
+TEST(CountMinTest, MergeAndCompatibility) {
+  SketchParams p;
+  p.rows = 2;
+  p.buckets = 32;
+  p.seed = 7;
+  CountMinSketch a(p), b(p);
+  a.Update(1);
+  b.Update(1);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateFrequency(1), 2.0);
+  SketchParams q = p;
+  q.seed = 8;
+  CountMinSketch c(q);
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FastCount.
+// ---------------------------------------------------------------------------
+
+TEST(FastCountTest, NeedsTwoBuckets) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = 1;
+  EXPECT_THROW(FastCountSketch{p}, std::invalid_argument);
+}
+
+TEST(FastCountTest, SelfJoinIsUnbiasedOverSeeds) {
+  const FrequencyVector f = ZipfFrequencies(100, 2000, 1.0);
+  const double truth = f.F2();
+  const auto stream = f.ToTupleStream();
+  RunningStats estimates;
+  for (int rep = 0; rep < 300; ++rep) {
+    SketchParams p;
+    p.rows = 1;
+    p.buckets = 128;
+    p.seed = MixSeed(21, rep);
+    FastCountSketch sketch(p);
+    for (uint64_t key : stream) sketch.Update(key);
+    estimates.Add(sketch.EstimateSelfJoin());
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 5.0 * estimates.StdError());
+}
+
+TEST(FastCountTest, JoinIsUnbiasedOverSeeds) {
+  const FrequencyVector f = ZipfFrequencies(100, 1000, 0.7);
+  const FrequencyVector g = ZipfFrequencies(100, 1200, 1.1);
+  const double truth = ExactJoinSize(f, g);
+  const auto sf = f.ToTupleStream();
+  const auto sg = g.ToTupleStream();
+  RunningStats estimates;
+  for (int rep = 0; rep < 300; ++rep) {
+    SketchParams p;
+    p.rows = 1;
+    p.buckets = 128;
+    p.seed = MixSeed(22, rep);
+    FastCountSketch a(p), b(p);
+    for (uint64_t key : sf) a.Update(key);
+    for (uint64_t key : sg) b.Update(key);
+    estimates.Add(a.EstimateJoin(b));
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 5.0 * estimates.StdError());
+}
+
+TEST(FastCountTest, SingleDistinctValueIsExact) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = 16;
+  p.seed = 9;
+  FastCountSketch sketch(p);
+  for (int i = 0; i < 12; ++i) sketch.Update(3);
+  // One bucket holds 12: (16·144 − 144)/15 = 144.
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoin(), 144.0);
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+// Appended coverage: conservative Count-Min updates.
+namespace sketchsample {
+namespace {
+
+TEST(CountMinTest, ConservativeUpdateNeverUnderestimates) {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 64;
+  p.seed = 31;
+  CountMinSketch sketch(p);
+  const FrequencyVector f = ZipfFrequencies(200, 2000, 1.0);
+  for (uint64_t key : f.ToTupleStream()) sketch.UpdateConservative(key);
+  for (size_t v = 0; v < 50; ++v) {
+    EXPECT_GE(sketch.EstimateFrequency(v) + 1e-9,
+              static_cast<double>(f.count(v)));
+  }
+}
+
+TEST(CountMinTest, ConservativeBeatsPlainOnPointQueries) {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 64;  // deliberately tight: collisions everywhere
+  p.seed = 32;
+  const FrequencyVector f = ZipfFrequencies(500, 5000, 1.2);
+  CountMinSketch plain(p), conservative(p);
+  for (uint64_t key : f.ToTupleStream()) {
+    plain.Update(key);
+    conservative.UpdateConservative(key);
+  }
+  double plain_err = 0, conservative_err = 0;
+  for (size_t v = 0; v < 200; ++v) {
+    const double truth = static_cast<double>(f.count(v));
+    plain_err += plain.EstimateFrequency(v) - truth;
+    conservative_err += conservative.EstimateFrequency(v) - truth;
+  }
+  EXPECT_LT(conservative_err, plain_err);
+}
+
+TEST(CountMinTest, ConservativeRejectsDeletions) {
+  SketchParams p;
+  p.rows = 2;
+  p.buckets = 16;
+  CountMinSketch sketch(p);
+  EXPECT_THROW(sketch.UpdateConservative(1, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,116 @@
+// Turnstile (insert/delete) semantics across the linear sketches: after a
+// sequence of inserts and matching deletes, estimates must reflect only the
+// surviving tuples.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/data/zipf.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/dyadic.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed) {
+  SketchParams p;
+  p.rows = 3;
+  p.buckets = 512;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+// Applies a random insert/delete workload to any sketch with
+// Update(key, weight) and mirrors it into an exact frequency vector.
+template <typename SketchT>
+FrequencyVector ApplyWorkload(SketchT& sketch, uint64_t seed,
+                              size_t domain = 200, int operations = 5000) {
+  FrequencyVector exact(domain);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < operations; ++i) {
+    const uint64_t key = rng.NextBounded(domain);
+    // Bias toward inserts so counts stay non-negative; delete only if the
+    // key currently has mass.
+    if (rng.NextDouble() < 0.7 || exact.count(key) == 0) {
+      sketch.Update(key, 1.0);
+      exact.Add(key);
+    } else {
+      sketch.Update(key, -1.0);
+      exact.set_count(key, exact.count(key) - 1);
+    }
+  }
+  return exact;
+}
+
+TEST(TurnstileTest, FagmsInsertDeleteCancelsExactly) {
+  FagmsSketch sketch(Params(1));
+  for (int i = 0; i < 100; ++i) sketch.Update(i % 10);
+  for (int i = 0; i < 100; ++i) sketch.Update(i % 10, -1.0);
+  for (double c : sketch.counters()) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_DOUBLE_EQ(sketch.EstimateSelfJoin(), 0.0);
+}
+
+TEST(TurnstileTest, FagmsTracksMixedWorkload) {
+  FagmsSketch sketch(Params(2));
+  const FrequencyVector exact = ApplyWorkload(sketch, 3);
+  ASSERT_GT(exact.F2(), 0.0);
+  EXPECT_LT(std::abs(sketch.EstimateSelfJoin() - exact.F2()) / exact.F2(),
+            0.2);
+  // A surviving heavy key is recoverable by point query.
+  size_t heavy = 0;
+  for (size_t v = 1; v < exact.domain_size(); ++v) {
+    if (exact.count(v) > exact.count(heavy)) heavy = v;
+  }
+  EXPECT_NEAR(sketch.EstimateFrequency(heavy),
+              static_cast<double>(exact.count(heavy)),
+              5.0 + 0.3 * static_cast<double>(exact.count(heavy)));
+}
+
+TEST(TurnstileTest, AgmsTracksMixedWorkload) {
+  SketchParams p = Params(4);
+  p.rows = 64;
+  p.scheme = XiScheme::kCw4;
+  AgmsSketch sketch(p);
+  const FrequencyVector exact = ApplyWorkload(sketch, 5);
+  EXPECT_LT(std::abs(sketch.EstimateSelfJoin() - exact.F2()) / exact.F2(),
+            0.5);
+}
+
+TEST(TurnstileTest, FastCountTracksMixedWorkload) {
+  SketchParams p = Params(6);
+  // FastCount's variance on low-skew data scales like F1²/b; give it more
+  // buckets than the ±1-signed sketches need for the same tolerance.
+  p.buckets = 4096;
+  FastCountSketch sketch(p);
+  const FrequencyVector exact = ApplyWorkload(sketch, 7);
+  EXPECT_LT(std::abs(sketch.EstimateSelfJoin() - exact.F2()) / exact.F2(),
+            0.3);
+}
+
+TEST(TurnstileTest, DyadicRangeAfterDeletions) {
+  DyadicRangeSketch sketch(8, Params(8));
+  // Insert 0..255 once each, then delete the lower half.
+  for (uint64_t v = 0; v < 256; ++v) sketch.Update(v);
+  for (uint64_t v = 0; v < 128; ++v) sketch.Update(v, -1.0);
+  EXPECT_NEAR(sketch.EstimateRange(0, 127), 0.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(128, 255), 128.0, 1e-9);
+  EXPECT_NEAR(sketch.EstimateRange(0, 255), 128.0, 1e-9);
+}
+
+TEST(TurnstileTest, JoinOfTurnstileStreams) {
+  // Join estimates remain unbiased when both inputs saw deletions.
+  const SketchParams params = Params(9);
+  FagmsSketch a(params), b(params);
+  const FrequencyVector exact_a = ApplyWorkload(a, 10);
+  const FrequencyVector exact_b = ApplyWorkload(b, 11);
+  const double truth = ExactJoinSize(exact_a, exact_b);
+  ASSERT_GT(truth, 0.0);
+  EXPECT_LT(std::abs(a.EstimateJoin(b) - truth) / truth, 0.3);
+}
+
+}  // namespace
+}  // namespace sketchsample

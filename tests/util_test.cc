@@ -1,0 +1,226 @@
+// Unit tests for src/util: RNG, statistics, flags, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace sketchsample {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicUnderSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanIsHalf) {
+  Xoshiro256 rng(9);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.NextDouble());
+  EXPECT_NEAR(s.Mean(), 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, NextBoundedInRange) {
+  Xoshiro256 rng(11);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> hist(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.NextBounded(kBound)];
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(hist[v], kDraws / kBound, 500) << "value " << v;
+  }
+}
+
+TEST(MixSeedTest, DistinctStreamsGiveDistinctSeeds) {
+  const uint64_t base = 123;
+  EXPECT_NE(MixSeed(base, 0), MixSeed(base, 1));
+  EXPECT_NE(MixSeed(base, 0), MixSeed(base + 1, 0));
+  EXPECT_EQ(MixSeed(base, 5), MixSeed(base, 5));
+}
+
+TEST(RunningStatsTest, MeanAndVarianceMatchDefinition) {
+  RunningStats s;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 3.5);  // unbiased variance of 1..6
+}
+
+TEST(RunningStatsTest, EmptyAndSingleton) {
+  RunningStats s;
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdError(), 0.0);
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.Mean();
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Mean(), mean);
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.Mean(), mean);
+}
+
+TEST(StatsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(5, 0), 5.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-110, -100), 0.1);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.125), 0.5);
+}
+
+TEST(StatsTest, SummarizeErrors) {
+  const std::vector<double> estimates = {90, 100, 110, 120};
+  const ErrorSummary s = SummarizeErrors(estimates, 100.0);
+  EXPECT_EQ(s.trials, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_error, (0.1 + 0.0 + 0.1 + 0.2) / 4);
+  EXPECT_DOUBLE_EQ(s.mean_estimate, 105.0);
+  EXPECT_GT(s.estimate_variance, 0.0);
+}
+
+TEST(StatsTest, SummarizeErrorsEmpty) {
+  const ErrorSummary s = SummarizeErrors({}, 100.0);
+  EXPECT_EQ(s.trials, 0u);
+  EXPECT_EQ(s.mean_error, 0.0);
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  Flags flags;
+  flags.Define("alpha", "1.5", "alpha param")
+      .Define("count", "10", "count param")
+      .Define("name", "x", "name");
+  const char* argv[] = {"prog", "--alpha=2.5", "--count", "20"};
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 2.5);
+  EXPECT_EQ(flags.GetInt("count"), 20);
+  EXPECT_EQ(flags.GetString("name"), "x");  // default preserved
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  Flags flags;
+  flags.Define("known", "1", "");
+  const char* argv[] = {"prog", "--unknown=2"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagsTest, RejectsMissingValue) {
+  Flags flags;
+  flags.Define("known", "1", "");
+  const char* argv[] = {"prog", "--known"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagsTest, ParsesLists) {
+  Flags flags;
+  flags.Define("ps", "0.1,0.5,1", "probability list");
+  flags.Define("ns", "1,2,3", "int list");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)));
+  const auto ps = flags.GetDoubleList("ps");
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[1], 0.5);
+  const auto ns = flags.GetIntList("ns");
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns[2], 3);
+}
+
+TEST(FlagsTest, GetUndefinedThrows) {
+  Flags flags;
+  EXPECT_THROW(flags.GetString("nope"), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"skew", "error"});
+  t.AddRow({std::string("0"), std::string("0.125")});
+  t.AddRow(std::vector<double>{1.5, 0.25});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("skew"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({std::string("only")});
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GT(timer.ElapsedNanos(), 0.0);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,293 @@
+// Property tests for the closed-form variance formulas (Eqs 6-28) against
+// the independently derived generic factorial-moment engine, plus
+// structural sanity checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/core/corrections.h"
+#include "src/core/decomposition.h"
+#include "src/core/generic_variance.h"
+#include "src/core/variance.h"
+#include "src/data/frequency_vector.h"
+#include "src/data/zipf.h"
+
+namespace sketchsample {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void ExpectRelClose(double actual, double expected, const char* what) {
+  const double tol = kRelTol * std::max(1.0, std::abs(expected));
+  EXPECT_NEAR(actual, expected, tol) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Sketch-only formulas on hand-computable inputs.
+// ---------------------------------------------------------------------------
+
+TEST(AgmsVarianceTest, JoinFormulaOnTinyInput) {
+  // f = {1, 2}, g = {3, 1}: F2=5, G2=10, fg=5, f2g2=13.
+  FrequencyVector f(std::vector<uint64_t>{1, 2});
+  FrequencyVector g(std::vector<uint64_t>{3, 1});
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  EXPECT_DOUBLE_EQ(AgmsJoinVariance(s), 5 * 10 + 25 - 2 * 13);
+}
+
+TEST(AgmsVarianceTest, SelfJoinFormulaOnTinyInput) {
+  // f = {1, 2}: F2 = 5, F4 = 17 -> 2(25 − 17) = 16.
+  FrequencyVector f(std::vector<uint64_t>{1, 2});
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  EXPECT_DOUBLE_EQ(AgmsSelfJoinVariance(s), 16.0);
+}
+
+TEST(AgmsVarianceTest, SingleValueHasZeroSelfJoinVariance) {
+  // One distinct value: S² = f² deterministically.
+  FrequencyVector f(std::vector<uint64_t>{7});
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  EXPECT_DOUBLE_EQ(AgmsSelfJoinVariance(s), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms == generic engine across a parameter sweep.
+// ---------------------------------------------------------------------------
+
+class BernoulliVarianceSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, size_t>> {};
+
+TEST_P(BernoulliVarianceSweep, JoinClosedFormMatchesGenericEngine) {
+  const auto [skew, p, n] = GetParam();
+  const double q = std::min(1.0, p * 1.7);
+  const FrequencyVector f = ZipfFrequencies(60, 900, skew);
+  const FrequencyVector g = ZipfFrequencies(60, 700, skew * 0.5);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+
+  const VarianceTerms closed = BernoulliJoinVariance(s, p, q, n);
+  const auto gv = ComputeGenericJoinVariance(
+      FrequencyMomentModel::Bernoulli(f, p),
+      FrequencyMomentModel::Bernoulli(g, q), 1.0 / (p * q));
+
+  ExpectRelClose(closed.sampling, gv.sampling_term, "sampling term");
+  ExpectRelClose(closed.Total(), gv.VarianceAveraged(n), "total variance");
+  ExpectRelClose(gv.expectation, s.fg, "unbiasedness");
+}
+
+TEST_P(BernoulliVarianceSweep, SelfJoinClosedFormMatchesGenericEngine) {
+  const auto [skew, p, n] = GetParam();
+  const FrequencyVector f = ZipfFrequencies(60, 900, skew);
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+
+  const VarianceTerms closed = BernoulliSelfJoinVariance(s, p, n);
+  const double b = (1.0 - p) / (p * p);
+  const auto gv = ComputeGenericSelfJoinVariance(
+      FrequencyMomentModel::Bernoulli(f, p), 1.0 / (p * p), b,
+      /*random_shift=*/true);
+
+  ExpectRelClose(closed.sampling, gv.sampling_term, "sampling term (Eq 7)");
+  ExpectRelClose(closed.Total(), gv.VarianceAveraged(n), "total (Eq 26)");
+  ExpectRelClose(gv.expectation, s.f2, "unbiasedness");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BernoulliVarianceSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0),
+                       ::testing::Values(0.01, 0.1, 0.5),
+                       ::testing::Values(size_t{1}, size_t{100})),
+    [](const auto& info) {
+      return "skew" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_p" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_n" + std::to_string(std::get<2>(info.param));
+    });
+
+class FixedSizeVarianceSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, size_t>> {};
+
+TEST_P(FixedSizeVarianceSweep, WrJoinClosedFormMatchesGenericEngine) {
+  const auto [skew, fraction, n] = GetParam();
+  const FrequencyVector f = ZipfFrequencies(60, 1000, skew);
+  const FrequencyVector g = ZipfFrequencies(60, 800, skew);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const uint64_t mf = std::max<uint64_t>(2, 1000 * fraction);
+  const uint64_t mg = std::max<uint64_t>(2, 800 * fraction);
+  const auto cf = ComputeCoefficients(1000, mf);
+  const auto cg = ComputeCoefficients(800, mg);
+
+  const VarianceTerms closed = WrJoinVariance(s, cf, cg, n);
+  const auto gv = ComputeGenericJoinVariance(
+      FrequencyMomentModel::WithReplacement(f, mf),
+      FrequencyMomentModel::WithReplacement(g, mg),
+      1.0 / (cf.alpha * cg.alpha));
+
+  ExpectRelClose(closed.sampling, gv.sampling_term, "sampling term (Eq 10)");
+  ExpectRelClose(closed.Total(), gv.VarianceAveraged(n), "total (Eq 27)");
+  ExpectRelClose(gv.expectation, s.fg, "unbiasedness");
+}
+
+TEST_P(FixedSizeVarianceSweep, WorJoinClosedFormMatchesGenericEngine) {
+  const auto [skew, fraction, n] = GetParam();
+  const FrequencyVector f = ZipfFrequencies(60, 1000, skew);
+  const FrequencyVector g = ZipfFrequencies(60, 800, skew * 1.5);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const uint64_t mf = std::max<uint64_t>(2, 1000 * fraction);
+  const uint64_t mg = std::max<uint64_t>(2, 800 * fraction);
+  const auto cf = ComputeCoefficients(1000, mf);
+  const auto cg = ComputeCoefficients(800, mg);
+
+  const VarianceTerms closed = WorJoinVariance(s, cf, cg, n);
+  const auto gv = ComputeGenericJoinVariance(
+      FrequencyMomentModel::WithoutReplacement(f, mf),
+      FrequencyMomentModel::WithoutReplacement(g, mg),
+      1.0 / (cf.alpha * cg.alpha));
+
+  ExpectRelClose(closed.sampling, gv.sampling_term, "sampling term (Eq 11)");
+  ExpectRelClose(closed.Total(), gv.VarianceAveraged(n), "total (Eq 28)");
+  ExpectRelClose(gv.expectation, s.fg, "unbiasedness");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FixedSizeVarianceSweep,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 3.0),
+                       ::testing::Values(0.01, 0.1, 0.5, 1.0),
+                       ::testing::Values(size_t{1}, size_t{64})),
+    [](const auto& info) {
+      return "skew" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_f" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_n" + std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Structural properties.
+// ---------------------------------------------------------------------------
+
+TEST(VarianceStructureTest, FullBernoulliSamplingLeavesOnlySketchTerm) {
+  const FrequencyVector f = ZipfFrequencies(50, 500, 1.0);
+  const FrequencyVector g = ZipfFrequencies(50, 500, 1.0);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const VarianceTerms v = BernoulliJoinVariance(s, 1.0, 1.0, 10);
+  EXPECT_DOUBLE_EQ(v.sampling, 0.0);
+  EXPECT_DOUBLE_EQ(v.interaction, 0.0);
+  EXPECT_DOUBLE_EQ(v.sketch, AgmsJoinVariance(s) / 10.0);
+}
+
+TEST(VarianceStructureTest, FullWorScanLeavesOnlySketchTerm) {
+  const FrequencyVector f = ZipfFrequencies(50, 500, 1.0);
+  const FrequencyVector g = ZipfFrequencies(50, 400, 0.5);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const auto cf = ComputeCoefficients(500, 500);
+  const auto cg = ComputeCoefficients(400, 400);
+  const VarianceTerms v = WorJoinVariance(s, cf, cg, 5);
+  EXPECT_NEAR(v.sampling, 0.0, 1e-9 * s.fg * s.fg);
+  EXPECT_NEAR(v.interaction, 0.0, 1e-9 * s.fg * s.fg);
+  EXPECT_NEAR(v.sketch, AgmsJoinVariance(s) / 5.0, 1e-6);
+}
+
+TEST(VarianceStructureTest, WrVarianceNeverVanishes) {
+  // Even a "full-size" WR sample keeps sampling variance (§III-E remark).
+  const FrequencyVector f = ZipfFrequencies(50, 500, 1.0);
+  const FrequencyVector g = ZipfFrequencies(50, 500, 1.0);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const auto cf = ComputeCoefficients(500, 500);
+  const auto cg = ComputeCoefficients(500, 500);
+  EXPECT_GT(WrJoinSamplingVariance(s, cf, cg), 0.0);
+}
+
+TEST(VarianceStructureTest, FractionsSumToOne) {
+  const FrequencyVector f = ZipfFrequencies(50, 500, 1.0);
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  const VarianceTerms v = BernoulliSelfJoinVariance(s, 0.1, 50);
+  EXPECT_NEAR(v.SamplingFraction() + v.SketchFraction() +
+                  v.InteractionFraction(),
+              1.0, 1e-12);
+}
+
+TEST(VarianceStructureTest, AveragingShrinksSketchNotSampling) {
+  const FrequencyVector f = ZipfFrequencies(50, 800, 1.5);
+  const FrequencyVector g = ZipfFrequencies(50, 800, 1.5);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+  const VarianceTerms v1 = BernoulliJoinVariance(s, 0.2, 0.2, 1);
+  const VarianceTerms v100 = BernoulliJoinVariance(s, 0.2, 0.2, 100);
+  EXPECT_DOUBLE_EQ(v1.sampling, v100.sampling);
+  EXPECT_NEAR(v1.sketch / 100.0, v100.sketch, 1e-9 * v1.sketch);
+  EXPECT_NEAR(v1.interaction / 100.0, v100.interaction,
+              1e-9 * std::abs(v1.interaction) + 1e-12);
+  EXPECT_GT(v1.Total(), v100.Total());
+}
+
+TEST(VarianceStructureTest, InteractionDominatesUniformData) {
+  // §V-B: for uniform frequencies with value below |I|, the interaction term
+  // dominates the sketch term.
+  FrequencyVector f(std::vector<uint64_t>(1000, 5));  // uniform, f_i = 5
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  const VarianceTerms v = BernoulliSelfJoinVariance(s, 0.1, 1);
+  EXPECT_GT(v.interaction, v.sketch);
+}
+
+TEST(VarianceStructureTest, SketchDominatesSkewedData) {
+  // §V-B: for highly skewed data the sketch variance dominates.
+  const FrequencyVector f = ZipfFrequencies(1000, 100000, 3.0);
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  const VarianceTerms v = BernoulliSelfJoinVariance(s, 0.1, 1);
+  EXPECT_GT(v.sketch, v.interaction);
+  EXPECT_GT(v.sketch, v.sampling);
+}
+
+// ---------------------------------------------------------------------------
+// Unified decomposition front-end.
+// ---------------------------------------------------------------------------
+
+TEST(DecompositionTest, MatchesDirectClosedFormsForJoin) {
+  const FrequencyVector f = ZipfFrequencies(40, 400, 1.0);
+  const FrequencyVector g = ZipfFrequencies(40, 300, 0.5);
+  const JoinStatistics s = ComputeJoinStatistics(f, g);
+
+  SamplingSpec bernoulli;
+  bernoulli.scheme = SamplingScheme::kBernoulli;
+  bernoulli.p = 0.2;
+  bernoulli.q = 0.3;
+  const VarianceTerms direct = BernoulliJoinVariance(s, 0.2, 0.3, 10);
+  const VarianceTerms via = CombinedJoinVariance(bernoulli, f, g, 10);
+  EXPECT_DOUBLE_EQ(via.Total(), direct.Total());
+
+  SamplingSpec wor;
+  wor.scheme = SamplingScheme::kWithoutReplacement;
+  wor.sample_size_f = 100;
+  wor.sample_size_g = 60;
+  const auto cf = ComputeCoefficients(400, 100);
+  const auto cg = ComputeCoefficients(300, 60);
+  EXPECT_DOUBLE_EQ(CombinedJoinVariance(wor, f, g, 10).Total(),
+                   WorJoinVariance(s, cf, cg, 10).Total());
+}
+
+TEST(DecompositionTest, WrSelfJoinTotalMatchesGenericEngine) {
+  const FrequencyVector f = ZipfFrequencies(40, 400, 1.0);
+  SamplingSpec spec;
+  spec.scheme = SamplingScheme::kWithReplacement;
+  spec.sample_size_f = 80;
+  const VarianceTerms v = CombinedSelfJoinVariance(spec, f, 25);
+
+  const auto coef = ComputeCoefficients(400, 80);
+  const Correction c = WrSelfJoinCorrection(coef);
+  const auto gv = ComputeGenericSelfJoinVariance(
+      FrequencyMomentModel::WithReplacement(f, 80), c.scale, c.shift, false);
+  ExpectRelClose(v.Total(), gv.VarianceAveraged(25), "WR self-join total");
+}
+
+TEST(DecompositionTest, WorSelfJoinFullScanSketchOnly) {
+  const FrequencyVector f = ZipfFrequencies(40, 400, 1.0);
+  const JoinStatistics s = ComputeJoinStatistics(f, f);
+  SamplingSpec spec;
+  spec.scheme = SamplingScheme::kWithoutReplacement;
+  spec.sample_size_f = 400;
+  const VarianceTerms v = CombinedSelfJoinVariance(spec, f, 8);
+  EXPECT_NEAR(v.sampling, 0.0, 1e-6 * s.f2 * s.f2);
+  EXPECT_NEAR(v.Total(), AgmsSelfJoinVariance(s) / 8.0,
+              1e-6 * AgmsSelfJoinVariance(s));
+}
+
+}  // namespace
+}  // namespace sketchsample

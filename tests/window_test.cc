@@ -1,0 +1,115 @@
+// Tests for tumbling-window sketching.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/sketch_estimators.h"
+#include "src/data/zipf.h"
+#include "src/stream/window.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+SketchParams Params(uint64_t seed) {
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = 1024;
+  p.scheme = XiScheme::kEh3;
+  p.seed = seed;
+  return p;
+}
+
+TEST(TumblingWindowTest, ConstructionValidation) {
+  EXPECT_THROW(TumblingWindowSketch(0, 2, Params(1)), std::invalid_argument);
+  EXPECT_THROW(TumblingWindowSketch(10, 0, Params(1)),
+               std::invalid_argument);
+}
+
+TEST(TumblingWindowTest, BeforeFirstExpiryEqualsPlainSketch) {
+  TumblingWindowSketch window(100, 3, Params(2));
+  FagmsSketch plain(Params(2));
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 250; ++i) {  // fills 2.5 of 3 windows — nothing expires
+    const uint64_t key = rng.NextBounded(50);
+    window.Update(key);
+    plain.Update(key);
+  }
+  EXPECT_EQ(window.tuples_in_window(), 250u);
+  EXPECT_EQ(window.WindowSketch().counters(), plain.counters());
+}
+
+TEST(TumblingWindowTest, ExpiryMatchesSuffixSketch) {
+  // After expiry, the window sketch must equal a sketch built over exactly
+  // the covered suffix of the stream.
+  constexpr uint64_t kWindowSize = 100;
+  constexpr size_t kWindowCount = 3;
+  constexpr size_t kStream = 1000;  // 10 windows -> 7 expiries
+
+  std::vector<uint64_t> stream;
+  Xoshiro256 rng(4);
+  for (size_t i = 0; i < kStream; ++i) stream.push_back(rng.NextBounded(64));
+
+  TumblingWindowSketch window(kWindowSize, kWindowCount, Params(5));
+  for (uint64_t key : stream) window.Update(key);
+
+  // 1000 consumed: windows covering tuples [700, 1000).
+  EXPECT_EQ(window.tuples_in_window(), kWindowSize * kWindowCount);
+  FagmsSketch suffix(Params(5));
+  for (size_t i = kStream - kWindowSize * kWindowCount; i < kStream; ++i) {
+    suffix.Update(stream[i]);
+  }
+  EXPECT_EQ(window.WindowSketch().counters(), suffix.counters());
+  EXPECT_EQ(window.tuples_seen(), kStream);
+}
+
+TEST(TumblingWindowTest, MidWindowCoverage) {
+  // Stop mid-window: the covered range is the active partial window plus
+  // the (count-1) full ones behind it.
+  constexpr uint64_t kWindowSize = 50;
+  constexpr size_t kWindowCount = 2;
+  std::vector<uint64_t> stream;
+  Xoshiro256 rng(6);
+  for (size_t i = 0; i < 175; ++i) stream.push_back(rng.NextBounded(32));
+
+  TumblingWindowSketch window(kWindowSize, kWindowCount, Params(7));
+  for (uint64_t key : stream) window.Update(key);
+
+  // 175 = 3 full windows + 25; covered: window [100,150) + partial [150,175).
+  EXPECT_EQ(window.tuples_in_window(), 75u);
+  FagmsSketch suffix(Params(7));
+  for (size_t i = 100; i < 175; ++i) suffix.Update(stream[i]);
+  EXPECT_EQ(window.WindowSketch().counters(), suffix.counters());
+}
+
+TEST(TumblingWindowTest, SelfJoinTracksWindowedTruth) {
+  constexpr uint64_t kWindowSize = 2000;
+  constexpr size_t kWindowCount = 4;
+  ZipfSampler sampler(500, 1.0);
+  Xoshiro256 rng(8);
+  std::vector<uint64_t> stream;
+  for (int i = 0; i < 30000; ++i) stream.push_back(sampler.Next(rng));
+
+  TumblingWindowSketch window(kWindowSize, kWindowCount, Params(9));
+  for (uint64_t key : stream) window.Update(key);
+
+  // Exact windowed self-join of the covered suffix.
+  const size_t covered = window.tuples_in_window();
+  FrequencyVector freq(500);
+  for (size_t i = stream.size() - covered; i < stream.size(); ++i) {
+    freq.Add(stream[i]);
+  }
+  const double truth = freq.F2();
+  EXPECT_LT(std::abs(window.EstimateSelfJoin() - truth) / truth, 0.15);
+}
+
+TEST(TumblingWindowTest, FrequencyQueryReflectsOnlyWindow) {
+  TumblingWindowSketch window(100, 1, Params(10));
+  for (int i = 0; i < 100; ++i) window.Update(7);  // fills window 1
+  for (int i = 0; i < 100; ++i) window.Update(9);  // expires the 7s
+  EXPECT_NEAR(window.EstimateFrequency(9), 100.0, 10.0);
+  EXPECT_NEAR(window.EstimateFrequency(7), 0.0, 10.0);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,6 @@
+// Entry point for the `sketchsample` command-line tool; see tools/cli.h.
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  return sketchsample::cli::RunCli(argc, argv);
+}
