@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prng.dir/bench_prng.cc.o"
+  "CMakeFiles/bench_prng.dir/bench_prng.cc.o.d"
+  "bench_prng"
+  "bench_prng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch_ablation.dir/bench_sketch_ablation.cc.o"
+  "CMakeFiles/bench_sketch_ablation.dir/bench_sketch_ablation.cc.o.d"
+  "bench_sketch_ablation"
+  "bench_sketch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

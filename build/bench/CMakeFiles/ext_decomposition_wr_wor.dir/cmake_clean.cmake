@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_decomposition_wr_wor.dir/ext_decomposition_wr_wor.cc.o"
+  "CMakeFiles/ext_decomposition_wr_wor.dir/ext_decomposition_wr_wor.cc.o.d"
+  "ext_decomposition_wr_wor"
+  "ext_decomposition_wr_wor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decomposition_wr_wor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_decomposition_wr_wor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_generic_variance.dir/ext_generic_variance.cc.o"
+  "CMakeFiles/ext_generic_variance.dir/ext_generic_variance.cc.o.d"
+  "ext_generic_variance"
+  "ext_generic_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_generic_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

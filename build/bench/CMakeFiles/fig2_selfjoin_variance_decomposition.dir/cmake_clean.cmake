@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_selfjoin_variance_decomposition.dir/fig2_selfjoin_variance_decomposition.cc.o"
+  "CMakeFiles/fig2_selfjoin_variance_decomposition.dir/fig2_selfjoin_variance_decomposition.cc.o.d"
+  "fig2_selfjoin_variance_decomposition"
+  "fig2_selfjoin_variance_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_selfjoin_variance_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

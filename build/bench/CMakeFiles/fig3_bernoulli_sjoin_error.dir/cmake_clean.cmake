@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bernoulli_sjoin_error.dir/fig3_bernoulli_sjoin_error.cc.o"
+  "CMakeFiles/fig3_bernoulli_sjoin_error.dir/fig3_bernoulli_sjoin_error.cc.o.d"
+  "fig3_bernoulli_sjoin_error"
+  "fig3_bernoulli_sjoin_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bernoulli_sjoin_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bernoulli_selfjoin_error.dir/fig4_bernoulli_selfjoin_error.cc.o"
+  "CMakeFiles/fig4_bernoulli_selfjoin_error.dir/fig4_bernoulli_selfjoin_error.cc.o.d"
+  "fig4_bernoulli_selfjoin_error"
+  "fig4_bernoulli_selfjoin_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bernoulli_selfjoin_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

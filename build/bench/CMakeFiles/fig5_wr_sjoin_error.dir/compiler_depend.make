@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_wr_sjoin_error.
+# This may be replaced when dependencies are built.

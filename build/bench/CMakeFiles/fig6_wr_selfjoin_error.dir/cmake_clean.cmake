@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_wr_selfjoin_error.dir/fig6_wr_selfjoin_error.cc.o"
+  "CMakeFiles/fig6_wr_selfjoin_error.dir/fig6_wr_selfjoin_error.cc.o.d"
+  "fig6_wr_selfjoin_error"
+  "fig6_wr_selfjoin_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wr_selfjoin_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

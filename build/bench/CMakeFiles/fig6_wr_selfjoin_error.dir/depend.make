@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_wr_selfjoin_error.
+# This may be replaced when dependencies are built.

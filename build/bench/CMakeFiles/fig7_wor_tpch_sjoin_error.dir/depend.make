@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_wor_tpch_sjoin_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wor_tpch_selfjoin_error.dir/fig8_wor_tpch_selfjoin_error.cc.o"
+  "CMakeFiles/fig8_wor_tpch_selfjoin_error.dir/fig8_wor_tpch_selfjoin_error.cc.o.d"
+  "fig8_wor_tpch_selfjoin_error"
+  "fig8_wor_tpch_selfjoin_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wor_tpch_selfjoin_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

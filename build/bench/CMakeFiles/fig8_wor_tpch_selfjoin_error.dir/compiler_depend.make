@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_wor_tpch_selfjoin_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sketching.dir/distributed_sketching.cc.o"
+  "CMakeFiles/distributed_sketching.dir/distributed_sketching.cc.o.d"
+  "distributed_sketching"
+  "distributed_sketching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sketching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

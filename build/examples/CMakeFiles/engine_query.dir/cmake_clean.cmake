@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_query.dir/engine_query.cc.o"
+  "CMakeFiles/engine_query.dir/engine_query.cc.o.d"
+  "engine_query"
+  "engine_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

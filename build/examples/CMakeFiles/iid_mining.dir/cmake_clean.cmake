@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iid_mining.dir/iid_mining.cc.o"
+  "CMakeFiles/iid_mining.dir/iid_mining.cc.o.d"
+  "iid_mining"
+  "iid_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iid_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_shedding.dir/load_shedding.cc.o"
+  "CMakeFiles/load_shedding.dir/load_shedding.cc.o.d"
+  "load_shedding"
+  "load_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/confidence.cc" "src/CMakeFiles/sketchsample.dir/core/confidence.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/confidence.cc.o.d"
+  "/root/repo/src/core/corrections.cc" "src/CMakeFiles/sketchsample.dir/core/corrections.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/corrections.cc.o.d"
+  "/root/repo/src/core/decomposition.cc" "src/CMakeFiles/sketchsample.dir/core/decomposition.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/decomposition.cc.o.d"
+  "/root/repo/src/core/generic_variance.cc" "src/CMakeFiles/sketchsample.dir/core/generic_variance.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/generic_variance.cc.o.d"
+  "/root/repo/src/core/iid.cc" "src/CMakeFiles/sketchsample.dir/core/iid.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/iid.cc.o.d"
+  "/root/repo/src/core/progressive.cc" "src/CMakeFiles/sketchsample.dir/core/progressive.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/progressive.cc.o.d"
+  "/root/repo/src/core/sampling_estimators.cc" "src/CMakeFiles/sketchsample.dir/core/sampling_estimators.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/sampling_estimators.cc.o.d"
+  "/root/repo/src/core/sketch_estimators.cc" "src/CMakeFiles/sketchsample.dir/core/sketch_estimators.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/sketch_estimators.cc.o.d"
+  "/root/repo/src/core/sketch_over_sample.cc" "src/CMakeFiles/sketchsample.dir/core/sketch_over_sample.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/sketch_over_sample.cc.o.d"
+  "/root/repo/src/core/variance.cc" "src/CMakeFiles/sketchsample.dir/core/variance.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/core/variance.cc.o.d"
+  "/root/repo/src/data/frequency_vector.cc" "src/CMakeFiles/sketchsample.dir/data/frequency_vector.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/data/frequency_vector.cc.o.d"
+  "/root/repo/src/data/tpch_lite.cc" "src/CMakeFiles/sketchsample.dir/data/tpch_lite.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/data/tpch_lite.cc.o.d"
+  "/root/repo/src/data/zipf.cc" "src/CMakeFiles/sketchsample.dir/data/zipf.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/data/zipf.cc.o.d"
+  "/root/repo/src/engine/online_query.cc" "src/CMakeFiles/sketchsample.dir/engine/online_query.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/engine/online_query.cc.o.d"
+  "/root/repo/src/engine/scan.cc" "src/CMakeFiles/sketchsample.dir/engine/scan.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/engine/scan.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/sketchsample.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/engine/table.cc.o.d"
+  "/root/repo/src/prng/bch.cc" "src/CMakeFiles/sketchsample.dir/prng/bch.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/bch.cc.o.d"
+  "/root/repo/src/prng/cw.cc" "src/CMakeFiles/sketchsample.dir/prng/cw.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/cw.cc.o.d"
+  "/root/repo/src/prng/eh3.cc" "src/CMakeFiles/sketchsample.dir/prng/eh3.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/eh3.cc.o.d"
+  "/root/repo/src/prng/hash.cc" "src/CMakeFiles/sketchsample.dir/prng/hash.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/hash.cc.o.d"
+  "/root/repo/src/prng/materialized.cc" "src/CMakeFiles/sketchsample.dir/prng/materialized.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/materialized.cc.o.d"
+  "/root/repo/src/prng/mersenne61.cc" "src/CMakeFiles/sketchsample.dir/prng/mersenne61.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/mersenne61.cc.o.d"
+  "/root/repo/src/prng/tabulation.cc" "src/CMakeFiles/sketchsample.dir/prng/tabulation.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/tabulation.cc.o.d"
+  "/root/repo/src/prng/xi_registry.cc" "src/CMakeFiles/sketchsample.dir/prng/xi_registry.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/prng/xi_registry.cc.o.d"
+  "/root/repo/src/sampling/bernoulli.cc" "src/CMakeFiles/sketchsample.dir/sampling/bernoulli.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sampling/bernoulli.cc.o.d"
+  "/root/repo/src/sampling/coefficients.cc" "src/CMakeFiles/sketchsample.dir/sampling/coefficients.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sampling/coefficients.cc.o.d"
+  "/root/repo/src/sampling/with_replacement.cc" "src/CMakeFiles/sketchsample.dir/sampling/with_replacement.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sampling/with_replacement.cc.o.d"
+  "/root/repo/src/sampling/without_replacement.cc" "src/CMakeFiles/sketchsample.dir/sampling/without_replacement.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sampling/without_replacement.cc.o.d"
+  "/root/repo/src/sketch/agms.cc" "src/CMakeFiles/sketchsample.dir/sketch/agms.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/agms.cc.o.d"
+  "/root/repo/src/sketch/countmin.cc" "src/CMakeFiles/sketchsample.dir/sketch/countmin.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/countmin.cc.o.d"
+  "/root/repo/src/sketch/dyadic.cc" "src/CMakeFiles/sketchsample.dir/sketch/dyadic.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/dyadic.cc.o.d"
+  "/root/repo/src/sketch/fagms.cc" "src/CMakeFiles/sketchsample.dir/sketch/fagms.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/fagms.cc.o.d"
+  "/root/repo/src/sketch/fastcount.cc" "src/CMakeFiles/sketchsample.dir/sketch/fastcount.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/fastcount.cc.o.d"
+  "/root/repo/src/sketch/heavy_hitters.cc" "src/CMakeFiles/sketchsample.dir/sketch/heavy_hitters.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/heavy_hitters.cc.o.d"
+  "/root/repo/src/sketch/kmv.cc" "src/CMakeFiles/sketchsample.dir/sketch/kmv.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/kmv.cc.o.d"
+  "/root/repo/src/sketch/multiway.cc" "src/CMakeFiles/sketchsample.dir/sketch/multiway.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/multiway.cc.o.d"
+  "/root/repo/src/sketch/serialize.cc" "src/CMakeFiles/sketchsample.dir/sketch/serialize.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/sketch/serialize.cc.o.d"
+  "/root/repo/src/stream/parallel.cc" "src/CMakeFiles/sketchsample.dir/stream/parallel.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/stream/parallel.cc.o.d"
+  "/root/repo/src/stream/pipeline.cc" "src/CMakeFiles/sketchsample.dir/stream/pipeline.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/stream/pipeline.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/CMakeFiles/sketchsample.dir/stream/window.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/stream/window.cc.o.d"
+  "/root/repo/src/util/distributions.cc" "src/CMakeFiles/sketchsample.dir/util/distributions.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/util/distributions.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/sketchsample.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/sketchsample.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/sketchsample.dir/util/table.cc.o" "gcc" "src/CMakeFiles/sketchsample.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corrections_test.dir/corrections_test.cc.o"
+  "CMakeFiles/corrections_test.dir/corrections_test.cc.o.d"
+  "corrections_test"
+  "corrections_test.pdb"
+  "corrections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corrections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyadic_test.dir/dyadic_test.cc.o"
+  "CMakeFiles/dyadic_test.dir/dyadic_test.cc.o.d"
+  "dyadic_test"
+  "dyadic_test.pdb"
+  "dyadic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyadic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_matrix_test.dir/estimator_matrix_test.cc.o"
+  "CMakeFiles/estimator_matrix_test.dir/estimator_matrix_test.cc.o.d"
+  "estimator_matrix_test"
+  "estimator_matrix_test.pdb"
+  "estimator_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_variance_test.dir/generic_variance_test.cc.o"
+  "CMakeFiles/generic_variance_test.dir/generic_variance_test.cc.o.d"
+  "generic_variance_test"
+  "generic_variance_test.pdb"
+  "generic_variance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_variance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

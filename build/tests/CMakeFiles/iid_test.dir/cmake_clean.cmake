@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iid_test.dir/iid_test.cc.o"
+  "CMakeFiles/iid_test.dir/iid_test.cc.o.d"
+  "iid_test"
+  "iid_test.pdb"
+  "iid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmv_test.dir/kmv_test.cc.o"
+  "CMakeFiles/kmv_test.dir/kmv_test.cc.o.d"
+  "kmv_test"
+  "kmv_test.pdb"
+  "kmv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialized_test.dir/materialized_test.cc.o"
+  "CMakeFiles/materialized_test.dir/materialized_test.cc.o.d"
+  "materialized_test"
+  "materialized_test.pdb"
+  "materialized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_over_sample_test.dir/sketch_over_sample_test.cc.o"
+  "CMakeFiles/sketch_over_sample_test.dir/sketch_over_sample_test.cc.o.d"
+  "sketch_over_sample_test"
+  "sketch_over_sample_test.pdb"
+  "sketch_over_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_over_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_test.dir/turnstile_test.cc.o"
+  "CMakeFiles/turnstile_test.dir/turnstile_test.cc.o.d"
+  "turnstile_test"
+  "turnstile_test.pdb"
+  "turnstile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchsample_cli.dir/main.cc.o"
+  "CMakeFiles/sketchsample_cli.dir/main.cc.o.d"
+  "sketchsample"
+  "sketchsample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchsample_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchsample_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/sketchsample_cli_lib.dir/cli.cc.o.d"
+  "libsketchsample_cli_lib.a"
+  "libsketchsample_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchsample_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
