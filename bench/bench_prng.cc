@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/micro_main.h"
 #include "src/prng/hash.h"
 #include "src/prng/xi.h"
 
@@ -51,4 +52,4 @@ BENCHMARK(BM_PairwiseBucketHash);
 }  // namespace
 }  // namespace sketchsample
 
-BENCHMARK_MAIN();
+SKETCHSAMPLE_BENCHMARK_MAIN("bench_prng");

@@ -38,7 +38,7 @@ int Main(int argc, char** argv) {
   defaults.tuples = 200000;
   defaults.buckets = 1024;  // total space budget per sketch (counters)
   defaults.reps = 15;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults, "bench_sketch_ablation");
   flags.Define("skews", "0,0.5,1,1.5,2,3", "Zipf coefficients");
   flags.Define("agms_rows", "64",
                "basic AGMS estimators (kept smaller: updates are O(rows))");
@@ -46,6 +46,8 @@ int Main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(flags);
   const auto skews = flags.GetDoubleList("skews");
   const size_t agms_rows = static_cast<size_t>(flags.GetInt("agms_rows"));
+  bench::BenchReport report = bench::MakeReport("bench_sketch_ablation", config);
+  report.SetConfig("agms_rows", static_cast<double>(agms_rows));
 
   std::printf(
       "Sketch ablation: mean relative error at equal space "
@@ -67,13 +69,21 @@ int Main(int argc, char** argv) {
       const auto sf = f.ToTupleStream();
       const auto sg = g.ToTupleStream();
 
-      auto run = [&](auto maker, const SketchParams& params) {
-        return bench::RunTrials(config.reps, truth, [&](int rep) {
-                 SketchParams p = params;
-                 p.seed = MixSeed(config.seed, 0xab1a + rep);
-                 return maker(p);
-               })
-            .mean_error;
+      auto run = [&](auto maker, const SketchParams& params,
+                     const char* sketch_name) {
+        const bench::TimedTrials trials = bench::RunTrialsTimed(
+            config.reps, truth, [&](int rep) {
+              SketchParams p = params;
+              p.seed = MixSeed(config.seed, 0xab1a + rep);
+              return maker(p);
+            });
+        const double updates_per_trial = static_cast<double>(
+            self_join ? sf.size() : sf.size() + sg.size());
+        bench::AddErrorPoint(report, trials, updates_per_trial)
+            .Label("query", self_join ? "self_join" : "join")
+            .Label("sketch", sketch_name)
+            .Label("skew", skew);
+        return trials.errors.mean_error;
       };
 
       SketchParams agms;
@@ -86,7 +96,7 @@ int Main(int argc, char** argv) {
             auto b = Build<AgmsSketch>(sg, p);
             return a.EstimateJoin(b);
           },
-          agms);
+          agms, "agms");
 
       SketchParams hashed;
       hashed.rows = 1;
@@ -99,7 +109,7 @@ int Main(int argc, char** argv) {
             auto b = Build<FagmsSketch>(sg, p);
             return a.EstimateJoin(b);
           },
-          hashed);
+          hashed, "fagms");
 
       SketchParams cm;
       cm.rows = 4;
@@ -111,7 +121,7 @@ int Main(int argc, char** argv) {
             auto b = Build<CountMinSketch>(sg, p);
             return a.EstimateJoin(b);
           },
-          cm);
+          cm, "countmin");
 
       SketchParams fc;
       fc.rows = 1;
@@ -123,14 +133,14 @@ int Main(int argc, char** argv) {
             auto b = Build<FastCountSketch>(sg, p);
             return a.EstimateJoin(b);
           },
-          fc);
+          fc, "fastcount");
 
       table.AddRow({skew, agms_err, fagms_err, cm_err, fc_err});
     }
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

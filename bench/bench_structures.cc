@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "bench/micro_main.h"
 #include "src/data/zipf.h"
 #include "src/sketch/dyadic.h"
 #include "src/sketch/heavy_hitters.h"
@@ -101,4 +102,4 @@ BENCHMARK(BM_TopKExtraction);
 }  // namespace
 }  // namespace sketchsample
 
-BENCHMARK_MAIN();
+SKETCHSAMPLE_BENCHMARK_MAIN("bench_structures");

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "bench/micro_main.h"
 #include "src/core/sketch_over_sample.h"
 #include "src/data/zipf.h"
 #include "src/sketch/agms.h"
@@ -136,4 +137,4 @@ BENCHMARK(BM_SkipSamplingOnly)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace sketchsample
 
-BENCHMARK_MAIN();
+SKETCHSAMPLE_BENCHMARK_MAIN("bench_update_throughput");

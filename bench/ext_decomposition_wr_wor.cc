@@ -23,13 +23,14 @@ int Main(int argc, char** argv) {
   defaults.domain = 100000;
   defaults.tuples = 1000000;
   defaults.buckets = 5000;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults, "ext_decomposition_wr_wor");
   flags.Define("fractions", "0.01,0.1,0.5", "sample fractions");
   flags.Define("skews", "0,0.25,0.5,0.75,1,1.5,2,3,5", "Zipf coefficients");
   if (!flags.Parse(argc, argv)) return 1;
   const auto config = bench::ReadCommonFlags(flags);
   const auto fractions = flags.GetDoubleList("fractions");
   const auto skews = flags.GetDoubleList("skews");
+  bench::BenchReport report = bench::MakeReport("ext_decomposition_wr_wor", config);
 
   std::printf(
       "Extension: WR/WOR variance decompositions (Figures 1-2 for the "
@@ -63,13 +64,22 @@ int Main(int argc, char** argv) {
           table.AddRow({skew, 100.0 * v.SamplingFraction(),
                         100.0 * v.SketchFraction(),
                         100.0 * v.InteractionFraction(), v.Total()});
+          report.AddPoint()
+              .Label("scheme", SamplingSchemeName(scheme))
+              .Label("query", self_join ? "self_join" : "join")
+              .Label("fraction", fraction)
+              .Label("skew", skew)
+              .Metric("sampling_fraction", v.SamplingFraction())
+              .Metric("sketch_fraction", v.SketchFraction())
+              .Metric("interaction_fraction", v.InteractionFraction())
+              .Metric("total_variance", v.Total());
         }
         table.Print();
         std::printf("\n");
       }
     }
   }
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags;
+  bench::DefineReportFlags(flags, "ext_generic_variance");
   flags.Define("domain", "100", "domain size (small: MC uses AGMS/CW4)");
   flags.Define("tuples", "2000", "tuples in the relation");
   flags.Define("rows", "8", "averaged AGMS basic estimators n");
@@ -39,6 +40,7 @@ int Main(int argc, char** argv) {
   flags.Define("skews", "0,1,2", "Zipf coefficients");
   flags.Define("seed", "123", "master seed");
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyMetricsFlag(flags);
   const size_t domain = flags.GetInt("domain");
   const uint64_t tuples = flags.GetInt("tuples");
   const size_t rows = flags.GetInt("rows");
@@ -46,6 +48,12 @@ int Main(int argc, char** argv) {
   const auto fractions = flags.GetDoubleList("fractions");
   const auto skews = flags.GetDoubleList("skews");
   const uint64_t seed = flags.GetInt("seed");
+  bench::BenchReport report("ext_generic_variance");
+  report.SetConfig("domain", static_cast<double>(domain));
+  report.SetConfig("tuples", static_cast<double>(tuples));
+  report.SetConfig("rows", static_cast<double>(rows));
+  report.SetConfig("mc_trials", static_cast<double>(mc_trials));
+  report.SetConfig("seed", static_cast<double>(seed));
 
   std::printf(
       "Extension E12: WR/WOR self-join variance (formulas omitted by the "
@@ -98,12 +106,19 @@ int Main(int argc, char** argv) {
                       100.0 * gv.sampling_term / total,
                       100.0 * (gv.bracket / static_cast<double>(rows)) /
                           total});
+        report.AddPoint()
+            .Label("scheme", wr ? "wr" : "wor")
+            .Label("skew", skew)
+            .Label("fraction", fraction)
+            .Metric("predicted_sd", predicted_sd)
+            .Metric("measured_sd", measured_sd)
+            .Metric("sd_ratio", measured_sd / predicted_sd);
       }
     }
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

@@ -25,7 +25,8 @@ int Main(int argc, char** argv) {
   defaults.domain = 100000;
   defaults.tuples = 1000000;
   defaults.buckets = 5000;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults,
+                           "fig2_selfjoin_variance_decomposition");
   flags.Define("ps", "0.001,0.01,0.1,0.5", "Bernoulli probabilities");
   flags.Define("skews", "0,0.25,0.5,0.75,1,1.25,1.5,2,2.5,3,4,5",
                "Zipf coefficients");
@@ -33,6 +34,8 @@ int Main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(flags);
   const auto ps = flags.GetDoubleList("ps");
   const auto skews = flags.GetDoubleList("skews");
+  bench::BenchReport report =
+      bench::MakeReport("fig2_selfjoin_variance_decomposition", config);
 
   std::printf(
       "Figure 2: self-join size variance decomposition "
@@ -54,11 +57,18 @@ int Main(int argc, char** argv) {
       table.AddRow({skew, 100.0 * v.SamplingFraction(),
                     100.0 * v.SketchFraction(),
                     100.0 * v.InteractionFraction(), v.Total()});
+      report.AddPoint()
+          .Label("skew", skew)
+          .Label("p", p)
+          .Metric("sampling_fraction", v.SamplingFraction())
+          .Metric("sketch_fraction", v.SketchFraction())
+          .Metric("interaction_fraction", v.InteractionFraction())
+          .Metric("total_variance", v.Total());
     }
     table.Print();
     std::printf("\n");
   }
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

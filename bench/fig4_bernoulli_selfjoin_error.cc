@@ -24,7 +24,7 @@ int Main(int argc, char** argv) {
   defaults.tuples = 1000000;
   defaults.buckets = 5000;
   defaults.reps = 25;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults, "fig4_bernoulli_selfjoin_error");
   flags.Define("ps", "0.001,0.01,0.1,1", "Bernoulli probabilities");
   flags.Define("skews", "0,0.5,1,1.5,2,2.5,3,3.5,4,4.5,5",
                "Zipf coefficients");
@@ -32,6 +32,8 @@ int Main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(flags);
   const auto ps = flags.GetDoubleList("ps");
   const auto skews = flags.GetDoubleList("skews");
+  bench::BenchReport report =
+      bench::MakeReport("fig4_bernoulli_selfjoin_error", config);
 
   std::printf(
       "Figure 4: self-join size relative error vs skew (Bernoulli "
@@ -53,18 +55,22 @@ int Main(int argc, char** argv) {
 
     std::vector<double> row = {skew};
     for (double p : ps) {
-      const ErrorSummary summary = bench::RunTrials(
+      const bench::TimedTrials trials = bench::RunTrialsTimed(
           config.reps, truth, [&](int rep) {
             return bench::BernoulliSelfJoinTrial(
                 stream_f, p, bench::TrialSketchParams(config, rep),
                 MixSeed(config.seed, 0xf4000 + rep));
           });
-      row.push_back(summary.mean_error);
+      row.push_back(trials.errors.mean_error);
+      bench::AddErrorPoint(report, trials,
+                           static_cast<double>(stream_f.size()))
+          .Label("skew", skew)
+          .Label("p", p);
     }
     table.AddRow(row);
   }
   table.Print();
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

@@ -24,7 +24,7 @@ int Main(int argc, char** argv) {
   defaults.tuples = 1000000;
   defaults.buckets = 5000;
   defaults.reps = 25;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults, "fig5_wr_sjoin_error");
   flags.Define("fractions", "0.001,0.005,0.01,0.05,0.1,0.25,0.5,1",
                "sample size as a fraction of the population size");
   flags.Define("skews", "0.5,1,2", "Zipf coefficients (one curve each)");
@@ -32,6 +32,7 @@ int Main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(flags);
   const auto fractions = flags.GetDoubleList("fractions");
   const auto skews = flags.GetDoubleList("skews");
+  bench::BenchReport report = bench::MakeReport("fig5_wr_sjoin_error", config);
 
   std::printf(
       "Figure 5: size-of-join relative error vs WR sample fraction\n"
@@ -65,19 +66,22 @@ int Main(int argc, char** argv) {
       const uint64_t mg = std::max<uint64_t>(
           2, static_cast<uint64_t>(fraction *
                                    static_cast<double>(streams_g[k].size())));
-      const ErrorSummary summary = bench::RunTrials(
+      const bench::TimedTrials trials = bench::RunTrialsTimed(
           config.reps, truths[k], [&](int rep) {
             return bench::WrJoinTrial(
                 streams_f[k], streams_g[k], mf, mg,
                 bench::TrialSketchParams(config, rep),
                 MixSeed(config.seed, 0xf5000 + rep));
           });
-      row.push_back(summary.mean_error);
+      row.push_back(trials.errors.mean_error);
+      bench::AddErrorPoint(report, trials, static_cast<double>(mf + mg))
+          .Label("fraction", fraction)
+          .Label("skew", skews[k]);
     }
     table.AddRow(row);
   }
   table.Print();
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ int Main(int argc, char** argv) {
   bench::ExperimentConfig defaults;
   defaults.buckets = 1000;
   defaults.reps = 40;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults, "fig7_wor_tpch_sjoin_error");
   flags.Define("scale_factor", "0.2",
                "TPC-H scale factor (1.0 = paper's SF-1: 1.5M orders)");
   flags.Define("rates", "0.01,0.02,0.05,0.1,0.2,0.4,0.6,0.8,1",
@@ -35,6 +35,8 @@ int Main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(flags);
   const double scale_factor = flags.GetDouble("scale_factor");
   const auto rates = flags.GetDoubleList("rates");
+  bench::BenchReport report = bench::MakeReport("fig7_wor_tpch_sjoin_error", config);
+  report.SetConfig("scale_factor", scale_factor);
 
   const TpchLiteData data = GenerateTpchLite(scale_factor, config.seed);
   const double truth = ExactJoinSize(data.lineitem_freq, data.orders_freq);
@@ -56,17 +58,20 @@ int Main(int argc, char** argv) {
     const uint64_t mo = std::max<uint64_t>(
         2,
         static_cast<uint64_t>(rate * static_cast<double>(data.orders.size())));
-    const ErrorSummary summary = bench::RunTrials(
+    const bench::TimedTrials trials = bench::RunTrialsTimed(
         config.reps, truth, [&](int rep) {
           return bench::WorJoinTrial(data.lineitem, data.orders, ml, mo,
                                      bench::TrialSketchParams(config, rep),
                                      MixSeed(config.seed, 0xf7000 + rep));
         });
+    const ErrorSummary& summary = trials.errors;
     table.AddRow(
         {rate, summary.mean_error, summary.median_error, summary.p90_error});
+    bench::AddErrorPoint(report, trials, static_cast<double>(ml + mo))
+        .Label("rate", rate);
   }
   table.Print();
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ int Main(int argc, char** argv) {
   bench::ExperimentConfig defaults;
   defaults.buckets = 1000;
   defaults.reps = 40;
-  bench::DefineCommonFlags(flags, defaults);
+  bench::DefineCommonFlags(flags, defaults, "fig8_wor_tpch_selfjoin_error");
   flags.Define("scale_factor", "0.2",
                "TPC-H scale factor (1.0 = paper's SF-1)");
   flags.Define("rates", "0.01,0.02,0.05,0.1,0.2,0.4,0.6,0.8,1",
@@ -31,6 +31,9 @@ int Main(int argc, char** argv) {
   const auto config = bench::ReadCommonFlags(flags);
   const double scale_factor = flags.GetDouble("scale_factor");
   const auto rates = flags.GetDoubleList("rates");
+  bench::BenchReport report =
+      bench::MakeReport("fig8_wor_tpch_selfjoin_error", config);
+  report.SetConfig("scale_factor", scale_factor);
 
   const TpchLiteData data = GenerateTpchLite(scale_factor, config.seed);
   const double truth = ExactSelfJoinSize(data.lineitem_freq);
@@ -48,17 +51,20 @@ int Main(int argc, char** argv) {
         2,
         static_cast<uint64_t>(rate *
                               static_cast<double>(data.lineitem.size())));
-    const ErrorSummary summary = bench::RunTrials(
+    const bench::TimedTrials trials = bench::RunTrialsTimed(
         config.reps, truth, [&](int rep) {
           return bench::WorSelfJoinTrial(
               data.lineitem, m, bench::TrialSketchParams(config, rep),
               MixSeed(config.seed, 0xf8000 + rep));
         });
+    const ErrorSummary& summary = trials.errors;
     table.AddRow(
         {rate, summary.mean_error, summary.median_error, summary.p90_error});
+    bench::AddErrorPoint(report, trials, static_cast<double>(m))
+        .Label("rate", rate);
   }
   table.Print();
-  return 0;
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }
 
 }  // namespace

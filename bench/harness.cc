@@ -8,11 +8,14 @@
 #include "src/sampling/with_replacement.h"
 #include "src/sampling/without_replacement.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 
 namespace sketchsample {
 namespace bench {
 
-void DefineCommonFlags(Flags& flags, const ExperimentConfig& defaults) {
+void DefineCommonFlags(Flags& flags, const ExperimentConfig& defaults,
+                       const std::string& bench_name) {
+  if (!bench_name.empty()) DefineReportFlags(flags, bench_name);
   flags.Define("domain", std::to_string(defaults.domain),
                "join-attribute domain size |I|");
   flags.Define("tuples", std::to_string(defaults.tuples),
@@ -36,6 +39,7 @@ ExperimentConfig ReadCommonFlags(const Flags& flags) {
   c.reps = static_cast<int>(flags.GetInt("reps"));
   c.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   c.scheme = flags.GetString("scheme");
+  ApplyMetricsFlag(flags);
   return c;
 }
 
@@ -54,6 +58,40 @@ ErrorSummary RunTrials(int reps, double truth,
   estimates.reserve(reps);
   for (int rep = 0; rep < reps; ++rep) estimates.push_back(trial(rep));
   return SummarizeErrors(estimates, truth);
+}
+
+TimedTrials RunTrialsTimed(int reps, double truth,
+                           const std::function<double(int)>& trial) {
+  TimedTrials out;
+  Timer timer;
+  out.errors = RunTrials(reps, truth, trial);
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+BenchReport MakeReport(const std::string& bench_name,
+                       const ExperimentConfig& config) {
+  bench::BenchReport report(bench_name);
+  report.SetConfig("domain", static_cast<double>(config.domain));
+  report.SetConfig("tuples", static_cast<double>(config.tuples));
+  report.SetConfig("buckets", static_cast<double>(config.buckets));
+  report.SetConfig("rows", static_cast<double>(config.rows));
+  report.SetConfig("reps", static_cast<double>(config.reps));
+  report.SetConfig("seed", static_cast<double>(config.seed));
+  report.SetConfig("scheme", config.scheme);
+  return report;
+}
+
+BenchPoint& AddErrorPoint(BenchReport& report, const TimedTrials& trials,
+                          double updates_per_trial) {
+  BenchPoint& point = report.AddPoint();
+  point.Errors(trials.errors);
+  if (updates_per_trial > 0) {
+    point.Throughput(updates_per_trial * trials.errors.trials, trials.seconds);
+  } else if (trials.seconds > 0) {
+    point.Metric("seconds", trials.seconds);
+  }
+  return point;
 }
 
 double BernoulliJoinTrial(const std::vector<uint64_t>& stream_f,

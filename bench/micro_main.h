@@ -1,0 +1,111 @@
+// Drop-in replacement for BENCHMARK_MAIN() that, in addition to the normal
+// google-benchmark console output, captures every run and writes the
+// BENCH_<name>.json report consumed by tools/bench_gate.
+//
+// Usage (instead of BENCHMARK_MAIN()):
+//
+//   SKETCHSAMPLE_BENCHMARK_MAIN("bench_update_throughput");
+//
+// The JSON path defaults to BENCH_<name>.json in the working directory and
+// can be overridden (or disabled with an empty value) via --json_out=...;
+// all other arguments pass through to google-benchmark untouched.
+#ifndef SKETCHSAMPLE_BENCH_MICRO_MAIN_H_
+#define SKETCHSAMPLE_BENCH_MICRO_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+namespace sketchsample {
+namespace bench {
+
+/// Console reporter that also records per-benchmark timing rows. Aggregate
+/// rows (mean/median/stddev under --benchmark_repetitions) are excluded so
+/// a report always contains one point per benchmark instance.
+class CapturingConsoleReporter : public ::benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::string label;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.label = run.report_label;
+      if (run.iterations > 0) {
+        row.ns_per_op = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) row.items_per_second = it->second;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+inline int RunMicroBenchmarks(const std::string& bench_name, int argc,
+                              char** argv) {
+  std::string json_out = "BENCH_" + bench_name + ".json";
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr char kJsonOut[] = "--json_out=";
+    if (std::strncmp(argv[i], kJsonOut, sizeof(kJsonOut) - 1) == 0) {
+      json_out = argv[i] + sizeof(kJsonOut) - 1;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int passthrough_argc = static_cast<int>(passthrough.size());
+  ::benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (::benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                               passthrough.data())) {
+    return 1;
+  }
+
+  CapturingConsoleReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  BenchReport report(bench_name);
+  for (const auto& row : reporter.rows()) {
+    BenchPoint& point = report.AddPoint();
+    point.Label("benchmark", row.name);
+    if (!row.label.empty()) point.Label("label", row.label);
+    point.Metric("ns_per_op", row.ns_per_op);
+    if (row.items_per_second > 0) {
+      // Gate key: updates_per_sec (same key the figure binaries emit).
+      point.Metric("updates_per_sec", row.items_per_second);
+      point.Metric("items_per_second", row.items_per_second);
+    }
+  }
+  if (!report.WriteFile(json_out)) return 1;
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace sketchsample
+
+#define SKETCHSAMPLE_BENCHMARK_MAIN(bench_name)                          \
+  int main(int argc, char** argv) {                                      \
+    return ::sketchsample::bench::RunMicroBenchmarks(bench_name, argc,   \
+                                                     argv);              \
+  }                                                                      \
+  int main(int, char**)  // swallow the trailing semicolon
+
+#endif  // SKETCHSAMPLE_BENCH_MICRO_MAIN_H_

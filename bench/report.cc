@@ -1,0 +1,181 @@
+#include "bench/report.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "src/util/metrics.h"
+#include "src/util/table.h"
+
+namespace sketchsample {
+namespace bench {
+
+BenchPoint& BenchPoint::Label(std::string key, std::string value) {
+  labels.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+BenchPoint& BenchPoint::Label(std::string key, double value) {
+  return Label(std::move(key), FormatG(value));
+}
+
+BenchPoint& BenchPoint::Metric(std::string key, double value) {
+  metrics.emplace_back(std::move(key), value);
+  return *this;
+}
+
+BenchPoint& BenchPoint::Errors(const ErrorSummary& summary) {
+  Metric("trials", static_cast<double>(summary.trials));
+  Metric("mean_rel_error", summary.mean_error);
+  Metric("stderr_rel_error", summary.error_stderr);
+  Metric("median_rel_error", summary.median_error);
+  Metric("p90_rel_error", summary.p90_error);
+  return *this;
+}
+
+BenchPoint& BenchPoint::Throughput(double updates, double seconds) {
+  Metric("seconds", seconds);
+  if (seconds > 0 && updates > 0) {
+    Metric("updates_per_sec", updates / seconds);
+    Metric("ns_per_update", seconds * 1e9 / updates);
+  }
+  return *this;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::SetConfig(const std::string& key, double value) {
+  config_.emplace_back(key, JsonValue::Number(value));
+}
+
+void BenchReport::SetConfig(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, JsonValue::String(value));
+}
+
+BenchPoint& BenchReport::AddPoint() {
+  points_.emplace_back();
+  return points_.back();
+}
+
+void BenchReport::AttachMetricsRegistry() {
+  metrics_registry_ = metrics::Registry::Global().ToJson();
+}
+
+JsonValue BenchReport::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema_version", JsonValue::Number(1));
+  root.Set("name", JsonValue::String(name_));
+  root.Set("git_sha", JsonValue::String(GitSha()));
+  root.Set("host", JsonValue::String(HostName()));
+  root.Set("timestamp_unix",
+           JsonValue::Number(static_cast<double>(std::time(nullptr))));
+  JsonValue config = JsonValue::Object();
+  for (const auto& [key, value] : config_) config.Set(key, value);
+  root.Set("config", std::move(config));
+  JsonValue points = JsonValue::Array();
+  for (const auto& point : points_) {
+    JsonValue p = JsonValue::Object();
+    JsonValue labels = JsonValue::Object();
+    for (const auto& [key, value] : point.labels) {
+      labels.Set(key, JsonValue::String(value));
+    }
+    p.Set("labels", std::move(labels));
+    JsonValue metrics_obj = JsonValue::Object();
+    for (const auto& [key, value] : point.metrics) {
+      metrics_obj.Set(key, JsonValue::Number(value));
+    }
+    p.Set("metrics", std::move(metrics_obj));
+    points.Append(std::move(p));
+  }
+  root.Set("points", std::move(points));
+  if (metrics_registry_.has_value()) {
+    root.Set("metrics_registry", *metrics_registry_);
+  } else if (metrics::Enabled()) {
+    // Instrumentation ran but the binary never attached an explicit
+    // snapshot: embed the live registry so the counts aren't lost.
+    root.Set("metrics_registry", metrics::Registry::Global().ToJson());
+  }
+  root.Set("peak_rss_bytes",
+           JsonValue::Number(static_cast<double>(PeakRssBytes())));
+  return root;
+}
+
+bool BenchReport::WriteFile(const std::string& path) const {
+  if (path.empty()) return true;
+  const std::string body = ToJson().Dump(2) + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "bench report: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench report: wrote %s (%zu points)\n", path.c_str(),
+               points_.size());
+  return ok;
+}
+
+void DefineReportFlags(Flags& flags, const std::string& bench_name) {
+  flags.Define("json_out", "BENCH_" + bench_name + ".json",
+               "machine-readable report path (empty string disables)");
+  flags.Define("metrics", "false",
+               "enable hot-path instrumentation counters/timers and embed "
+               "the snapshot in the report");
+}
+
+void ApplyMetricsFlag(const Flags& flags) {
+  if (flags.GetBool("metrics")) metrics::SetEnabled(true);
+}
+
+std::string ReportPathFromFlags(const Flags& flags) {
+  return flags.GetString("json_out");
+}
+
+std::string GitSha() {
+  // CI sets the env var (cheap + works in detached worktrees); local runs
+  // fall back to asking git, and "unknown" keeps the report valid anywhere.
+  if (const char* env = std::getenv("SKETCHSAMPLE_GIT_SHA");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (const char* env = std::getenv("GITHUB_SHA");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    ::pclose(pipe);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (sha.size() == 40) return sha;
+  }
+  return "unknown";
+}
+
+std::string HostName() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+  return "unknown";
+}
+
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace bench
+}  // namespace sketchsample

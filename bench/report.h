@@ -1,0 +1,117 @@
+// Structured benchmark reporting: every bench binary emits, alongside its
+// human-readable table, one machine-readable `BENCH_<name>.json` file that
+// the regression gate (tools/bench_gate) and CI consume.
+//
+// Schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "name": "fig3_bernoulli_sjoin_error",
+//     "git_sha": "<sha or 'unknown'>",
+//     "host": "<hostname>",
+//     "timestamp_unix": 1720000000,
+//     "config": {"domain": 100000, "tuples": 1000000, ...},
+//     "points": [
+//       {
+//         "labels": {"skew": "1", "p": "0.1"},
+//         "metrics": {
+//           "mean_rel_error": 0.031, "stderr_rel_error": 0.004,
+//           "median_rel_error": ..., "p90_rel_error": ...,
+//           "updates_per_sec": 8.9e7, "ns_per_update": 11.2,
+//           "seconds": 1.73
+//         }
+//       }, ...
+//     ],
+//     "metrics_registry": {...},     // optional util/metrics snapshot
+//     "peak_rss_bytes": 123456789
+//   }
+//
+// Points are matched across two report files by exact `labels` equality, so
+// labels must identify a point stably (sweep coordinates), while `metrics`
+// carry the measured values being compared.
+#ifndef SKETCHSAMPLE_BENCH_REPORT_H_
+#define SKETCHSAMPLE_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/flags.h"
+#include "src/util/json.h"
+#include "src/util/stats.h"
+
+namespace sketchsample {
+namespace bench {
+
+/// One measured point of a sweep: identifying labels + metric values.
+struct BenchPoint {
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  BenchPoint& Label(std::string key, std::string value);
+  BenchPoint& Label(std::string key, double value);  // formatted %.6g
+  BenchPoint& Metric(std::string key, double value);
+
+  /// Records the standard error-summary metrics (mean/stderr/median/p90
+  /// relative error plus trial count).
+  BenchPoint& Errors(const ErrorSummary& summary);
+
+  /// Records timing for `updates` sketch/sampling updates over `seconds`.
+  BenchPoint& Throughput(double updates, double seconds);
+};
+
+/// Accumulates config and points, then serializes to the schema above.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void SetConfig(const std::string& key, double value);
+  void SetConfig(const std::string& key, const std::string& value);
+
+  BenchPoint& AddPoint();
+
+  /// Attaches the current util/metrics registry snapshot under
+  /// "metrics_registry".
+  void AttachMetricsRegistry();
+
+  const std::string& name() const { return name_; }
+  size_t num_points() const { return points_.size(); }
+
+  /// Serializes with environment stamps (git SHA, host, time, peak RSS).
+  JsonValue ToJson() const;
+
+  /// Writes ToJson() to `path` (pretty-printed). Returns false and prints
+  /// to stderr on I/O failure. An empty path is a no-op success, so callers
+  /// can pass the --json_out flag value straight through.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, JsonValue>> config_;
+  std::deque<BenchPoint> points_;  // deque: AddPoint() references are stable
+  std::optional<JsonValue> metrics_registry_;
+};
+
+/// Registers the --json_out flag (defaulting to BENCH_<name>.json) and the
+/// --metrics instrumentation toggle.
+void DefineReportFlags(Flags& flags, const std::string& bench_name);
+
+/// Reads --json_out back after parsing.
+std::string ReportPathFromFlags(const Flags& flags);
+
+/// Turns the metrics registry on when --metrics was passed. Called by
+/// ReadCommonFlags; binaries with bespoke flags call it directly.
+void ApplyMetricsFlag(const Flags& flags);
+
+/// Environment probes used for report stamping (exposed for tests).
+std::string GitSha();
+std::string HostName();
+uint64_t PeakRssBytes();
+
+}  // namespace bench
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_BENCH_REPORT_H_

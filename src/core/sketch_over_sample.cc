@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/metrics.h"
+
 namespace sketchsample {
 
 template <typename SketchT>
@@ -33,6 +35,8 @@ size_t BernoulliSketchEstimator<SketchT>::ProcessStreamWithSkips(
     pos += 1 + skipper_.NextSkip();
   }
   sampled_ += kept;
+  SKETCHSAMPLE_METRIC_ADD("sampling.shed.seen", stream.size());
+  SKETCHSAMPLE_METRIC_ADD("sampling.shed.kept", kept);
   return kept;
 }
 

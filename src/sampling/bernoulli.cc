@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/metrics.h"
+
 namespace sketchsample {
 
 BernoulliSampler::BernoulliSampler(double p, uint64_t seed)
@@ -20,6 +22,8 @@ std::vector<uint64_t> BernoulliSampler::Sample(
   for (uint64_t v : stream) {
     if (Keep()) out.push_back(v);
   }
+  SKETCHSAMPLE_METRIC_ADD("sampling.bernoulli.seen", stream.size());
+  SKETCHSAMPLE_METRIC_ADD("sampling.bernoulli.kept", out.size());
   return out;
 }
 
@@ -50,6 +54,8 @@ std::vector<uint64_t> GeometricSkipSampler::Sample(
     out.push_back(stream[pos]);
     pos += 1 + NextSkip();
   }
+  SKETCHSAMPLE_METRIC_ADD("sampling.skip.seen", stream.size());
+  SKETCHSAMPLE_METRIC_ADD("sampling.skip.kept", out.size());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/metrics.h"
+
 namespace sketchsample {
 
 std::vector<uint64_t> SampleWithReplacement(
@@ -16,6 +18,7 @@ std::vector<uint64_t> SampleWithReplacement(
   for (uint64_t k = 0; k < sample_size; ++k) {
     out.push_back(relation[rng.NextBounded(relation.size())]);
   }
+  SKETCHSAMPLE_METRIC_ADD("sampling.wr.sampled", out.size());
   return out;
 }
 
@@ -39,6 +42,7 @@ std::vector<uint64_t> SampleWithReplacementFromFrequencies(
         std::upper_bound(cumulative.begin(), cumulative.end(), r);
     out.push_back(static_cast<uint64_t>(it - cumulative.begin()));
   }
+  SKETCHSAMPLE_METRIC_ADD("sampling.wr.sampled", out.size());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/metrics.h"
+
 namespace sketchsample {
 
 std::vector<uint64_t> SampleWithoutReplacement(
@@ -20,6 +22,7 @@ std::vector<uint64_t> SampleWithoutReplacement(
       --needed;
     }
   }
+  SKETCHSAMPLE_METRIC_ADD("sampling.wor.sampled", out.size());
   return out;
 }
 
@@ -29,6 +32,7 @@ ReservoirSampler::ReservoirSampler(uint64_t capacity, uint64_t seed)
 }
 
 void ReservoirSampler::Offer(uint64_t value) {
+  SKETCHSAMPLE_METRIC_INC("sampling.reservoir.offered");
   ++seen_;
   if (reservoir_.size() < capacity_) {
     reservoir_.push_back(value);

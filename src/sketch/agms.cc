@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/prng/materialized.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
@@ -46,6 +47,7 @@ AgmsSketch& AgmsSketch::operator=(const AgmsSketch& other) {
 }
 
 void AgmsSketch::Update(uint64_t key, double weight) {
+  SKETCHSAMPLE_METRIC_INC("sketch.agms.updates");
   for (size_t k = 0; k < counters_.size(); ++k) {
     counters_[k] += weight * static_cast<double>(xis_[k]->Sign(key));
   }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/prng/materialized.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
@@ -51,6 +52,7 @@ FagmsSketch& FagmsSketch::operator=(const FagmsSketch& other) {
 }
 
 void FagmsSketch::Update(uint64_t key, double weight) {
+  SKETCHSAMPLE_METRIC_INC("sketch.fagms.updates");
   for (size_t r = 0; r < params_.rows; ++r) {
     const uint64_t bucket = hashes_[r].Bucket(key);
     Row(r)[bucket] += weight * static_cast<double>(xis_[r]->Sign(key));

@@ -1,11 +1,13 @@
 #include "src/stream/pipeline.h"
 
+#include "src/util/metrics.h"
 #include "src/util/timer.h"
 
 namespace sketchsample {
 
 PipelineStats RunPipeline(StreamSource& source, Operator& head) {
   PipelineStats stats;
+  SKETCHSAMPLE_METRIC_SCOPED_TIMER("stream.pipeline");
   Timer timer;
   while (auto value = source.Next()) {
     head.OnTuple(*value);
@@ -13,6 +15,7 @@ PipelineStats RunPipeline(StreamSource& source, Operator& head) {
   }
   head.OnEnd();
   stats.seconds = timer.ElapsedSeconds();
+  SKETCHSAMPLE_METRIC_ADD("stream.pipeline.tuples", stats.tuples);
   return stats;
 }
 

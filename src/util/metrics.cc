@@ -1,0 +1,131 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+
+namespace sketchsample {
+namespace metrics {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TimerStat::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Add(seconds);
+  samples_.push_back(seconds);
+}
+
+void TimerStat::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = RunningStats();
+  samples_.clear();
+}
+
+size_t TimerStat::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double TimerStat::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.Mean() * static_cast<double>(stats_.count());
+}
+
+double TimerStat::MeanSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.Mean();
+}
+
+double TimerStat::QuantileSeconds(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Quantile(samples_, p);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: metrics
+  return *registry;                            // may fire during shutdown
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+TimerStat& Registry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<TimerStat>();
+  return *slot;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+std::vector<CounterSnapshot> Registry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->Get()});
+  }
+  return out;
+}
+
+std::vector<TimerSnapshot> Registry::Timers() const {
+  std::vector<std::pair<std::string, TimerStat*>> refs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    refs.reserve(timers_.size());
+    for (const auto& [name, timer] : timers_) refs.emplace_back(name, timer.get());
+  }
+  std::vector<TimerSnapshot> out;
+  out.reserve(refs.size());
+  for (const auto& [name, timer] : refs) {
+    TimerSnapshot snap;
+    snap.name = name;
+    snap.count = timer->Count();
+    snap.total_seconds = timer->TotalSeconds();
+    snap.mean_seconds = timer->MeanSeconds();
+    snap.p50_seconds = timer->QuantileSeconds(0.5);
+    snap.p90_seconds = timer->QuantileSeconds(0.9);
+    snap.p99_seconds = timer->QuantileSeconds(0.99);
+    out.push_back(snap);
+  }
+  return out;
+}
+
+JsonValue Registry::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& snap : Counters()) {
+    counters.Set(snap.name, JsonValue::Number(static_cast<double>(snap.value)));
+  }
+  root.Set("counters", std::move(counters));
+  JsonValue timers = JsonValue::Object();
+  for (const auto& snap : Timers()) {
+    JsonValue t = JsonValue::Object();
+    t.Set("count", JsonValue::Number(static_cast<double>(snap.count)));
+    t.Set("total_seconds", JsonValue::Number(snap.total_seconds));
+    t.Set("mean_seconds", JsonValue::Number(snap.mean_seconds));
+    t.Set("p50_seconds", JsonValue::Number(snap.p50_seconds));
+    t.Set("p90_seconds", JsonValue::Number(snap.p90_seconds));
+    t.Set("p99_seconds", JsonValue::Number(snap.p99_seconds));
+    timers.Set(snap.name, std::move(t));
+  }
+  root.Set("timers", std::move(timers));
+  return root;
+}
+
+}  // namespace metrics
+}  // namespace sketchsample

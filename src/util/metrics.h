@@ -1,0 +1,158 @@
+// Process-wide metrics registry: named atomic counters and wall-clock timer
+// statistics, designed so instrumentation in hot paths (sketch updates,
+// sampling decisions, pipeline pumps) costs one relaxed atomic load and a
+// predictable branch when metrics are disabled — the default.
+//
+// Usage in library code:
+//
+//   SKETCHSAMPLE_METRIC_INC("sketch.fagms.updates");
+//   SKETCHSAMPLE_METRIC_ADD("sampling.bernoulli.kept", kept);
+//   { SKETCHSAMPLE_METRIC_SCOPED_TIMER("stream.pipeline"); ... }
+//
+// Usage in binaries that want the numbers:
+//
+//   metrics::SetEnabled(true);
+//   ... run workload ...
+//   JsonValue snapshot = metrics::Registry::Global().ToJson();
+//
+// Counters are cumulative uint64 values; timers record per-interval wall
+// seconds and expose count/total/mean/percentiles. Both are thread-safe:
+// counters via relaxed atomics, timers via a mutex (timer Record() is not a
+// per-tuple operation, so a mutex is fine).
+#ifndef SKETCHSAMPLE_UTIL_METRICS_H_
+#define SKETCHSAMPLE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace sketchsample {
+namespace metrics {
+
+/// Global on/off switch. Off by default so instrumented hot loops pay only
+/// the load+branch. Flipping it on mid-run is safe; counts accumulate from
+/// that point.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// A monotone counter. Address-stable once created (the registry hands out
+/// references that stay valid for the process lifetime).
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Wall-clock interval statistics: count, total, mean, and percentiles over
+/// the recorded intervals (p50/p90/p99 via linear interpolation).
+class TimerStat {
+ public:
+  void Record(double seconds);
+  void Reset();
+
+  size_t Count() const;
+  double TotalSeconds() const;
+  double MeanSeconds() const;
+  double QuantileSeconds(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  std::vector<double> samples_;
+};
+
+/// Snapshot rows for reporting.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+struct TimerSnapshot {
+  std::string name;
+  size_t count = 0;
+  double total_seconds = 0;
+  double mean_seconds = 0;
+  double p50_seconds = 0;
+  double p90_seconds = 0;
+  double p99_seconds = 0;
+};
+
+/// Name → metric registry. GetCounter/GetTimer create on first use and
+/// return a stable reference; lookups take a mutex, which is why call sites
+/// cache the reference in a function-local static (see the macros below).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  TimerStat& GetTimer(const std::string& name);
+
+  /// Zeroes every metric (keeps registrations). Benchmarks call this
+  /// between phases so each report covers exactly one workload.
+  void ResetAll();
+
+  std::vector<CounterSnapshot> Counters() const;
+  std::vector<TimerSnapshot> Timers() const;
+
+  /// {"counters": {name: value, ...}, "timers": {name: {...}, ...}}
+  JsonValue ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+};
+
+/// RAII wall-clock interval recorder. Does nothing when metrics were
+/// disabled at construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string& name)
+      : stat_(Enabled() ? &Registry::Global().GetTimer(name) : nullptr) {}
+  ~ScopedTimer() {
+    if (stat_ != nullptr) stat_->Record(timer_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* stat_;
+  Timer timer_;
+};
+
+}  // namespace metrics
+}  // namespace sketchsample
+
+// Hot-path hooks. The function-local static caches the registry lookup, so
+// the steady-state enabled cost is one relaxed load, one branch, and one
+// relaxed fetch_add; the disabled cost is the load and branch only.
+#define SKETCHSAMPLE_METRIC_ADD(name, delta)                             \
+  do {                                                                   \
+    if (::sketchsample::metrics::Enabled()) {                            \
+      static ::sketchsample::metrics::Counter& sk_metric_counter =       \
+          ::sketchsample::metrics::Registry::Global().GetCounter(name);  \
+      sk_metric_counter.Add(static_cast<uint64_t>(delta));               \
+    }                                                                    \
+  } while (0)
+
+#define SKETCHSAMPLE_METRIC_INC(name) SKETCHSAMPLE_METRIC_ADD(name, 1)
+
+#define SKETCHSAMPLE_METRIC_CONCAT_(a, b) a##b
+#define SKETCHSAMPLE_METRIC_CONCAT(a, b) SKETCHSAMPLE_METRIC_CONCAT_(a, b)
+#define SKETCHSAMPLE_METRIC_SCOPED_TIMER(name)             \
+  ::sketchsample::metrics::ScopedTimer SKETCHSAMPLE_METRIC_CONCAT( \
+      sk_scoped_timer_, __LINE__)(name)
+
+#endif  // SKETCHSAMPLE_UTIL_METRICS_H_

@@ -81,11 +81,14 @@ ErrorSummary SummarizeErrors(const std::vector<double>& estimates,
   std::vector<double> errors;
   errors.reserve(estimates.size());
   RunningStats raw;
+  RunningStats err;
   for (double e : estimates) {
     errors.push_back(RelativeError(e, truth));
+    err.Add(errors.back());
     raw.Add(e);
   }
   s.mean_error = Mean(errors);
+  s.error_stderr = err.StdError();
   s.median_error = Median(errors);
   s.p90_error = Quantile(errors, 0.9);
   s.mean_estimate = raw.Mean();

@@ -54,6 +54,7 @@ double Quantile(std::vector<double> values, double p);
 struct ErrorSummary {
   size_t trials = 0;
   double mean_error = 0.0;    ///< average relative error (paper's metric)
+  double error_stderr = 0.0;  ///< standard error of mean_error across trials
   double median_error = 0.0;  ///< robust central tendency
   double p90_error = 0.0;     ///< tail behaviour
   double mean_estimate = 0.0; ///< average of the raw estimates

@@ -1,0 +1,365 @@
+// Tests for the bench regression gate (tools/gate.{h,cc}): schema
+// validation, point matching, throughput-drop detection, error-bound
+// gating, cross-host skipping, and malformed-input rejection.
+#include "tools/gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace sketchsample {
+namespace gate {
+namespace {
+
+// Builds a schema-v1 report with a single point. `labels` and `metrics`
+// are injected verbatim as JSON object bodies.
+std::string ReportText(const std::string& host, const std::string& metrics,
+                       const std::string& labels = "\"skew\":\"0.8\"") {
+  return "{\"schema_version\":1,\"name\":\"fig3\",\"host\":\"" + host +
+         "\",\"points\":[{\"labels\":{" + labels + "},\"metrics\":{" +
+         metrics + "}}]}";
+}
+
+JsonValue MustParse(const std::string& text) {
+  auto v = JsonValue::Parse(text);
+  EXPECT_TRUE(v.has_value()) << text;
+  return v.value_or(JsonValue::Null());
+}
+
+// Writes `text` to a unique temp file and returns its path. Files are
+// tiny and live in the test's scratch dir; cleanup is handled by the
+// destructor of the fixture-less helper (removed eagerly in TearDown-ish
+// fashion by the caller when it matters, otherwise left to the OS tmp).
+class TempFile {
+ public:
+  explicit TempFile(const std::string& text) {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "bench_gate_test_" +
+            std::to_string(counter++) + ".json";
+    std::ofstream out(path_);
+    out << text;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ValidateReportTest, AcceptsWellFormedReport) {
+  const JsonValue report =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1e6"));
+  EXPECT_EQ(ValidateReport(report), std::nullopt);
+}
+
+TEST(ValidateReportTest, RejectsSchemaViolations) {
+  EXPECT_TRUE(ValidateReport(MustParse("[]")).has_value());
+  EXPECT_TRUE(ValidateReport(MustParse("{\"name\":\"x\"}")).has_value());
+  EXPECT_TRUE(ValidateReport(
+                  MustParse("{\"schema_version\":2,\"name\":\"x\","
+                            "\"points\":[]}"))
+                  .has_value());
+  EXPECT_TRUE(ValidateReport(
+                  MustParse("{\"schema_version\":1,\"points\":[]}"))
+                  .has_value());
+  EXPECT_TRUE(ValidateReport(
+                  MustParse("{\"schema_version\":1,\"name\":\"x\"}"))
+                  .has_value());
+  // Point without labels/metrics.
+  EXPECT_TRUE(ValidateReport(
+                  MustParse("{\"schema_version\":1,\"name\":\"x\","
+                            "\"points\":[{}]}"))
+                  .has_value());
+  // Non-numeric metric value.
+  EXPECT_TRUE(ValidateReport(
+                  MustParse("{\"schema_version\":1,\"name\":\"x\",\"points\":"
+                            "[{\"labels\":{},\"metrics\":{\"m\":\"fast\"}}]}"))
+                  .has_value());
+}
+
+TEST(LoadReportTest, RejectsMissingAndMalformedFiles) {
+  std::string error;
+  EXPECT_FALSE(LoadReport("/nonexistent/path.json", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  TempFile garbage("{not json at all");
+  EXPECT_FALSE(LoadReport(garbage.path(), &error).has_value());
+  EXPECT_NE(error.find("malformed JSON"), std::string::npos);
+
+  TempFile wrong_schema("{\"schema_version\":1}");
+  EXPECT_FALSE(LoadReport(wrong_schema.path(), &error).has_value());
+
+  TempFile good(ReportText("hostA", "\"updates_per_sec\":1e6"));
+  EXPECT_TRUE(LoadReport(good.path(), &error).has_value());
+}
+
+TEST(CompareTest, IdenticalReportsPass) {
+  const std::string text = ReportText(
+      "hostA", "\"updates_per_sec\":1e6,\"mean_rel_error\":0.02,"
+               "\"stderr_rel_error\":0.002");
+  const Result r = Compare(MustParse(text), MustParse(text), Options());
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(CompareTest, DetectsThroughputRegressionOnSameHost) {
+  // 20% drop against the default 15% tolerance.
+  const JsonValue base =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const JsonValue cur =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":0.8e6"));
+  const Result r = Compare(base, cur, Options());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("updates_per_sec dropped"), std::string::npos);
+}
+
+TEST(CompareTest, ToleratesDropWithinTolerance) {
+  const JsonValue base =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const JsonValue cur =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":0.9e6"));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+TEST(CompareTest, ThroughputImprovementPasses) {
+  const JsonValue base =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const JsonValue cur =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":2.0e6"));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+TEST(CompareTest, SkipsThroughputAcrossHostsUnlessForced) {
+  const JsonValue base =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const JsonValue cur =
+      MustParse(ReportText("hostB", "\"updates_per_sec\":0.5e6"));
+  const Result skipped = Compare(base, cur, Options());
+  EXPECT_TRUE(skipped.ok);
+  ASSERT_FALSE(skipped.notes.empty());
+  EXPECT_NE(skipped.notes[0].find("skipping throughput"), std::string::npos);
+
+  Options forced;
+  forced.force_throughput = true;
+  EXPECT_FALSE(Compare(base, cur, forced).ok);
+}
+
+TEST(CompareTest, UnknownHostSkipsThroughput) {
+  const JsonValue base =
+      MustParse(ReportText("unknown", "\"updates_per_sec\":1.0e6"));
+  const JsonValue cur =
+      MustParse(ReportText("unknown", "\"updates_per_sec\":0.5e6"));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+// Builds a multi-point report where point i has throughput `tp[i]`.
+std::string MultiPointReport(const std::string& host,
+                             const std::vector<double>& tp) {
+  std::string points;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    if (i > 0) points += ",";
+    points += "{\"labels\":{\"i\":\"" + std::to_string(i) +
+              "\"},\"metrics\":{\"updates_per_sec\":" + std::to_string(tp[i]) +
+              "}}";
+  }
+  return "{\"schema_version\":1,\"name\":\"fig3\",\"host\":\"" + host +
+         "\",\"points\":[" + points + "]}";
+}
+
+TEST(CompareTest, PerPointJitterPassesButUniformShiftFails) {
+  // Baseline: four points at 1e6. Jittered current alternates +-25% around
+  // the baseline — every point individually exceeds the 15% tolerance in
+  // one direction, but the geometric mean ratio is ~0.968, so it passes.
+  const JsonValue base =
+      MustParse(MultiPointReport("hostA", {1e6, 1e6, 1e6, 1e6}));
+  const JsonValue jitter =
+      MustParse(MultiPointReport("hostA", {1.25e6, 0.75e6, 1.25e6, 0.75e6}));
+  EXPECT_TRUE(Compare(base, jitter, Options()).ok);
+
+  // A uniform 20% drop on every point is a real regression.
+  const JsonValue shifted =
+      MustParse(MultiPointReport("hostA", {0.8e6, 0.8e6, 0.8e6, 0.8e6}));
+  const Result r = Compare(base, shifted, Options());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);  // one aggregate failure, not four
+  EXPECT_NE(r.failures[0].find("geomean"), std::string::npos);
+}
+
+// Builds a report whose points carry both throughput and a "seconds"
+// duration, exercising the duration-weighted gate path.
+std::string TimedReport(const std::string& host,
+                        const std::vector<std::pair<double, double>>&
+                            rate_and_seconds) {
+  std::string points;
+  for (size_t i = 0; i < rate_and_seconds.size(); ++i) {
+    if (i > 0) points += ",";
+    points += "{\"labels\":{\"i\":\"" + std::to_string(i) +
+              "\"},\"metrics\":{\"updates_per_sec\":" +
+              std::to_string(rate_and_seconds[i].first) +
+              ",\"seconds\":" + std::to_string(rate_and_seconds[i].second) +
+              "}}";
+  }
+  return "{\"schema_version\":1,\"name\":\"fig3\",\"host\":\"" + host +
+         "\",\"points\":[" + points + "]}";
+}
+
+TEST(CompareTest, WeightedGateSkipsJitterDominatedReports) {
+  // Total baseline time 2ms < the 0.25s floor: a huge apparent drop is
+  // jitter, so the result is a note, not a failure.
+  const JsonValue base =
+      MustParse(TimedReport("hostA", {{1e9, 0.001}, {1e9, 0.001}}));
+  const JsonValue cur =
+      MustParse(TimedReport("hostA", {{0.5e9, 0.002}, {0.5e9, 0.002}}));
+  const Result r = Compare(base, cur, Options());
+  EXPECT_TRUE(r.ok);
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes[0].find("not gated"), std::string::npos);
+}
+
+TEST(CompareTest, WeightedGateCatchesRegressionAboveFloor) {
+  // 1s of baseline measurement, uniform 20% regression: gated and failed.
+  const JsonValue base =
+      MustParse(TimedReport("hostA", {{1e9, 0.5}, {1e9, 0.5}}));
+  const JsonValue cur =
+      MustParse(TimedReport("hostA", {{0.8e9, 0.625}, {0.8e9, 0.625}}));
+  const Result r = Compare(base, cur, Options());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("duration-weighted"), std::string::npos);
+
+  // The same shapes with matching rates pass.
+  EXPECT_TRUE(Compare(base, base, Options()).ok);
+}
+
+TEST(CompareTest, WeightedGateDiscountsShortNoisyPoints) {
+  // One long stable point (1s at 1e9/s, unchanged) dominates one tiny point
+  // that swings wildly (10us, 3x slower): no failure.
+  const JsonValue base =
+      MustParse(TimedReport("hostA", {{1e9, 1.0}, {3e9, 1e-5}}));
+  const JsonValue cur =
+      MustParse(TimedReport("hostA", {{1e9, 1.0}, {1e9, 3e-5}}));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+TEST(CompareTest, RespectsCustomTolerance) {
+  const JsonValue base =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const JsonValue cur =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":0.8e6"));
+  Options loose;
+  loose.throughput_tolerance = 0.25;
+  EXPECT_TRUE(Compare(base, cur, loose).ok);
+  Options tight;
+  tight.throughput_tolerance = 0.10;
+  EXPECT_FALSE(Compare(base, cur, tight).ok);
+}
+
+TEST(CompareTest, ErrorWithinNoisePasses) {
+  // Current mean is one combined-sigma above baseline: inside the 3-sigma
+  // bound.
+  const JsonValue base = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.020,\"stderr_rel_error\":0.002"));
+  const JsonValue cur = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.0228,\"stderr_rel_error\":0.002"));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+TEST(CompareTest, ErrorBeyondNoiseFails) {
+  // Combined noise = sqrt(2)*0.002 ~ 0.00283; 3 sigma ~ 0.0085. A jump of
+  // 0.02 is far outside.
+  const JsonValue base = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.020,\"stderr_rel_error\":0.002"));
+  const JsonValue cur = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.040,\"stderr_rel_error\":0.002"));
+  const Result r = Compare(base, cur, Options());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("mean_rel_error worsened"), std::string::npos);
+}
+
+TEST(CompareTest, ErrorImprovementPasses) {
+  const JsonValue base = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.040,\"stderr_rel_error\":0.002"));
+  const JsonValue cur = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.020,\"stderr_rel_error\":0.002"));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+TEST(CompareTest, MissingBaselinePointFails) {
+  const JsonValue base = MustParse(
+      ReportText("hostA", "\"mean_rel_error\":0.02", "\"skew\":\"0.8\""));
+  const JsonValue cur = MustParse(
+      ReportText("hostA", "\"mean_rel_error\":0.02", "\"skew\":\"0.5\""));
+  const Result r = Compare(base, cur, Options());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("missing from current"), std::string::npos);
+  // The extra current-only point is a note, not a failure.
+  ASSERT_FALSE(r.notes.empty());
+}
+
+TEST(CompareTest, LabelOrderDoesNotAffectMatching) {
+  const JsonValue base = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.02", "\"a\":\"1\",\"b\":\"2\""));
+  const JsonValue cur = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.02", "\"b\":\"2\",\"a\":\"1\""));
+  EXPECT_TRUE(Compare(base, cur, Options()).ok);
+}
+
+TEST(CompareTest, NameMismatchFails) {
+  const std::string base = ReportText("hostA", "\"mean_rel_error\":0.02");
+  std::string cur = base;
+  const size_t at = cur.find("fig3");
+  cur.replace(at, 4, "fig4");
+  EXPECT_FALSE(Compare(MustParse(base), MustParse(cur), Options()).ok);
+}
+
+TEST(CompareTest, ChecksCanBeDisabled) {
+  const JsonValue base = MustParse(ReportText(
+      "hostA", "\"updates_per_sec\":1.0e6,\"mean_rel_error\":0.020,"
+               "\"stderr_rel_error\":0.002"));
+  const JsonValue cur = MustParse(ReportText(
+      "hostA", "\"updates_per_sec\":0.5e6,\"mean_rel_error\":0.040,"
+               "\"stderr_rel_error\":0.002"));
+  Options no_tp;
+  no_tp.check_throughput = false;
+  Result r = Compare(base, cur, no_tp);
+  ASSERT_EQ(r.failures.size(), 1u);  // only the error failure remains
+  Options no_err;
+  no_err.check_errors = false;
+  r = Compare(base, cur, no_err);
+  ASSERT_EQ(r.failures.size(), 1u);  // only the throughput failure remains
+  no_err.check_throughput = false;
+  EXPECT_TRUE(Compare(base, cur, no_err).ok);
+}
+
+TEST(GateFilesTest, EndToEndRegressionAndPass) {
+  TempFile baseline(ReportText(
+      "hostA", "\"updates_per_sec\":1.0e6,\"mean_rel_error\":0.02,"
+               "\"stderr_rel_error\":0.002"));
+  TempFile same(ReportText(
+      "hostA", "\"updates_per_sec\":1.0e6,\"mean_rel_error\":0.02,"
+               "\"stderr_rel_error\":0.002"));
+  TempFile regressed(ReportText(
+      "hostA", "\"updates_per_sec\":0.8e6,\"mean_rel_error\":0.02,"
+               "\"stderr_rel_error\":0.002"));
+
+  EXPECT_TRUE(GateFiles(baseline.path(), same.path(), Options()).ok);
+  EXPECT_FALSE(GateFiles(baseline.path(), regressed.path(), Options()).ok);
+
+  TempFile malformed("{\"schema_version\":1,");
+  const Result bad = GateFiles(baseline.path(), malformed.path(), Options());
+  EXPECT_FALSE(bad.ok);
+  ASSERT_EQ(bad.failures.size(), 1u);
+  EXPECT_NE(bad.failures[0].find("malformed JSON"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gate
+}  // namespace sketchsample

@@ -1,0 +1,147 @@
+// Tests for the minimal JSON value type backing bench reports and the
+// regression gate.
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace sketchsample {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  JsonValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.Dump(), "null");
+}
+
+TEST(JsonTest, ScalarConstructionAndDump) {
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Number(3.0).Dump(), "3");
+  EXPECT_EQ(JsonValue::Number(-0.5).Dump(), "-0.5");
+  EXPECT_EQ(JsonValue::String("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscapesAreDumpedAndReparsed) {
+  const std::string raw = "line\nquote\"back\\slash\ttab\x01";
+  const JsonValue v = JsonValue::String(raw);
+  const std::string dumped = v.Dump();
+  auto parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), raw);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Number(1));
+  obj.Set("apple", JsonValue::Number(2));
+  obj.Set("mango", JsonValue::Number(3));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  // Overwrite keeps position.
+  obj.Set("apple", JsonValue::Number(9));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(JsonTest, GetAndTypedLookups) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("n", JsonValue::Number(2.5));
+  obj.Set("s", JsonValue::String("x"));
+  ASSERT_NE(obj.Get("n"), nullptr);
+  EXPECT_EQ(obj.Get("missing"), nullptr);
+  EXPECT_EQ(obj.GetNumber("n"), 2.5);
+  EXPECT_EQ(obj.GetString("s"), "x");
+  EXPECT_FALSE(obj.GetNumber("s").has_value());   // wrong type
+  EXPECT_FALSE(obj.GetString("missing").has_value());
+}
+
+TEST(JsonTest, TypedAccessorsThrowOnMismatch) {
+  const JsonValue v = JsonValue::Number(1);
+  EXPECT_THROW(v.AsString(), std::logic_error);
+  EXPECT_THROW(v.AsArray(), std::logic_error);
+  EXPECT_THROW(v.AsObject(), std::logic_error);
+  EXPECT_THROW(JsonValue::String("x").AsNumber(), std::logic_error);
+}
+
+TEST(JsonTest, ParseRoundTripsNestedDocument) {
+  const std::string text =
+      "{\"name\":\"bench\",\"points\":[{\"labels\":{\"skew\":\"0.8\"},"
+      "\"metrics\":{\"err\":0.0125,\"n\":100}}],\"flag\":true,\"none\":null}";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->GetString("name"), "bench");
+  const JsonValue* points = parsed->Get("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_TRUE(points->is_array());
+  ASSERT_EQ(points->AsArray().size(), 1u);
+  const JsonValue& point = points->AsArray()[0];
+  EXPECT_EQ(point.Get("labels")->GetString("skew"), "0.8");
+  EXPECT_DOUBLE_EQ(*point.Get("metrics")->GetNumber("err"), 0.0125);
+  EXPECT_TRUE(parsed->Get("flag")->AsBool());
+  EXPECT_TRUE(parsed->Get("none")->is_null());
+  // Dump → parse again must agree.
+  auto reparsed = JsonValue::Parse(parsed->Dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Dump(), parsed->Dump());
+}
+
+TEST(JsonTest, ParseAcceptsNumberForms) {
+  for (const char* text : {"0", "-0", "12345", "-7.25", "1e3", "1.5E-2",
+                           "2.25e+1"}) {
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_TRUE(parsed->is_number()) << text;
+  }
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1.5E-2")->AsNumber(), 0.015);
+}
+
+TEST(JsonTest, NumbersSurviveRoundTripExactly) {
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 123456789.123456789, -2.5e17}) {
+    auto parsed = JsonValue::Parse(JsonValue::Number(d).Dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->AsNumber(), d);
+  }
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* text :
+       {"", "   ", "{", "}", "[1,", "[1,]", "{\"a\":}", "{\"a\" 1}",
+        "{\"a\":1,}", "\"unterminated", "tru", "nul", "01", "+1", "1.",
+        ".5", "NaN", "Infinity", "{'a':1}", "\"bad\\x\"", "\"\\u12\"",
+        "[1] trailing", "{} {}", "1 2"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).has_value()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, ParseRejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += '[';
+  for (int i = 0; i < 500; ++i) deep += ']';
+  EXPECT_FALSE(JsonValue::Parse(deep).has_value());
+  // But reasonable nesting is fine.
+  std::string ok = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(JsonValue::Parse(ok).has_value());
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  auto parsed = JsonValue::Parse("\"\\u00e9\\u4e2d\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonTest, PrettyPrintIsStable) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(1));
+  arr.Append(JsonValue::Number(2));
+  obj.Set("a", std::move(arr));
+  const std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto parsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Dump(), obj.Dump());
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,176 @@
+// Tests for the util/metrics counter/timer registry and its hot-path hook
+// macros, including the disabled-by-default contract the instrumented
+// sketch/sampling paths rely on.
+#include "src/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+
+namespace sketchsample {
+namespace metrics {
+namespace {
+
+// The registry is process-global; every test restores the disabled default
+// and zeroed state so ordering does not matter.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    Registry::Global().ResetAll();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Registry::Global().ResetAll();
+  }
+};
+
+TEST_F(MetricsTest, DisabledByDefault) { EXPECT_FALSE(Enabled()); }
+
+TEST_F(MetricsTest, CounterAccumulatesAndResets) {
+  Counter& c = Registry::Global().GetCounter("test.counter");
+  EXPECT_EQ(c.Get(), 0u);
+  c.Add(3);
+  c.Add(4);
+  EXPECT_EQ(c.Get(), 7u);
+  c.Reset();
+  EXPECT_EQ(c.Get(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  Counter& a = Registry::Global().GetCounter("test.stable");
+  Counter& b = Registry::Global().GetCounter("test.stable");
+  EXPECT_EQ(&a, &b);
+  // Creating other metrics must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    Registry::Global().GetCounter("test.other." + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &Registry::Global().GetCounter("test.stable"));
+}
+
+TEST_F(MetricsTest, MacroIsNoOpWhenDisabled) {
+  SetEnabled(false);
+  for (int i = 0; i < 10; ++i) SKETCHSAMPLE_METRIC_INC("test.macro.disabled");
+  // The counter may not even exist; if it does, it must be zero.
+  EXPECT_EQ(Registry::Global().GetCounter("test.macro.disabled").Get(), 0u);
+}
+
+TEST_F(MetricsTest, MacroCountsWhenEnabled) {
+  SetEnabled(true);
+  for (int i = 0; i < 10; ++i) SKETCHSAMPLE_METRIC_INC("test.macro.enabled");
+  SKETCHSAMPLE_METRIC_ADD("test.macro.enabled", 5);
+  EXPECT_EQ(Registry::Global().GetCounter("test.macro.enabled").Get(), 15u);
+}
+
+TEST_F(MetricsTest, MacroRespectsRuntimeToggle) {
+  SetEnabled(true);
+  SKETCHSAMPLE_METRIC_INC("test.macro.toggle");
+  SetEnabled(false);
+  SKETCHSAMPLE_METRIC_INC("test.macro.toggle");
+  SetEnabled(true);
+  SKETCHSAMPLE_METRIC_INC("test.macro.toggle");
+  EXPECT_EQ(Registry::Global().GetCounter("test.macro.toggle").Get(), 2u);
+}
+
+TEST_F(MetricsTest, SketchUpdateHookCountsFagmsUpdates) {
+  SketchParams params;
+  params.rows = 2;
+  params.buckets = 64;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 1;
+  FagmsSketch sketch(params);
+
+  SetEnabled(true);
+  Registry::Global().ResetAll();
+  for (uint64_t k = 0; k < 123; ++k) sketch.Update(k);
+  EXPECT_EQ(Registry::Global().GetCounter("sketch.fagms.updates").Get(), 123u);
+
+  // And the hook goes quiet again once disabled.
+  SetEnabled(false);
+  for (uint64_t k = 0; k < 50; ++k) sketch.Update(k);
+  EXPECT_EQ(Registry::Global().GetCounter("sketch.fagms.updates").Get(), 123u);
+}
+
+TEST_F(MetricsTest, TimerRecordsCountTotalAndQuantiles) {
+  TimerStat& t = Registry::Global().GetTimer("test.timer");
+  for (int i = 1; i <= 100; ++i) t.Record(static_cast<double>(i));
+  EXPECT_EQ(t.Count(), 100u);
+  EXPECT_DOUBLE_EQ(t.TotalSeconds(), 5050.0);
+  EXPECT_DOUBLE_EQ(t.MeanSeconds(), 50.5);
+  EXPECT_NEAR(t.QuantileSeconds(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(t.QuantileSeconds(0.9), 90.1, 1e-9);
+  t.Reset();
+  EXPECT_EQ(t.Count(), 0u);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  SetEnabled(false);
+  { SKETCHSAMPLE_METRIC_SCOPED_TIMER("test.scoped"); }
+  EXPECT_EQ(Registry::Global().GetTimer("test.scoped").Count(), 0u);
+
+  SetEnabled(true);
+  { SKETCHSAMPLE_METRIC_SCOPED_TIMER("test.scoped"); }
+  { SKETCHSAMPLE_METRIC_SCOPED_TIMER("test.scoped"); }
+  EXPECT_EQ(Registry::Global().GetTimer("test.scoped").Count(), 2u);
+  EXPECT_GE(Registry::Global().GetTimer("test.scoped").TotalSeconds(), 0.0);
+}
+
+TEST_F(MetricsTest, CountersAreThreadSafe) {
+  SetEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) {
+        SKETCHSAMPLE_METRIC_INC("test.threads");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(Registry::Global().GetCounter("test.threads").Get(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(MetricsTest, SnapshotAndJsonExposeAllMetrics) {
+  SetEnabled(true);
+  Registry::Global().GetCounter("test.snap.a").Add(7);
+  Registry::Global().GetTimer("test.snap.t").Record(0.25);
+
+  bool found_counter = false;
+  for (const auto& snap : Registry::Global().Counters()) {
+    if (snap.name == "test.snap.a") {
+      found_counter = true;
+      EXPECT_EQ(snap.value, 7u);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+
+  bool found_timer = false;
+  for (const auto& snap : Registry::Global().Timers()) {
+    if (snap.name == "test.snap.t") {
+      found_timer = true;
+      EXPECT_EQ(snap.count, 1u);
+      EXPECT_DOUBLE_EQ(snap.total_seconds, 0.25);
+    }
+  }
+  EXPECT_TRUE(found_timer);
+
+  const JsonValue json = Registry::Global().ToJson();
+  const JsonValue* counters = json.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetNumber("test.snap.a"), 7.0);
+  const JsonValue* timers = json.Get("timers");
+  ASSERT_NE(timers, nullptr);
+  const JsonValue* t = timers->Get("test.snap.t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->GetNumber("count"), 1.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace sketchsample

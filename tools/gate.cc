@@ -1,0 +1,296 @@
+#include "tools/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sketchsample {
+namespace gate {
+
+namespace {
+
+/// Canonical point identity: sorted label key=value pairs.
+std::string LabelKey(const JsonValue& point) {
+  std::map<std::string, std::string> sorted;
+  if (const JsonValue* labels = point.Get("labels");
+      labels != nullptr && labels->is_object()) {
+    for (const auto& [k, v] : labels->AsObject()) {
+      sorted[k] = v.is_string() ? v.AsString() : v.Dump();
+    }
+  }
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    key += k;
+    key.push_back('=');
+    key += v;
+    key.push_back(';');
+  }
+  return key;
+}
+
+std::optional<double> PointMetric(const JsonValue& point,
+                                  const std::string& name) {
+  const JsonValue* metrics = point.Get("metrics");
+  if (metrics == nullptr) return std::nullopt;
+  return metrics->GetNumber(name);
+}
+
+std::string Describe(const std::string& report_name,
+                     const std::string& label_key) {
+  return report_name + " point {" +
+         (label_key.empty() ? std::string("<unlabelled>") : label_key) + "}";
+}
+
+const char* const kThroughputKeys[] = {"updates_per_sec", "items_per_second"};
+
+}  // namespace
+
+std::optional<std::string> ValidateReport(const JsonValue& report) {
+  if (!report.is_object()) return "report root is not a JSON object";
+  const auto version = report.GetNumber("schema_version");
+  if (!version.has_value()) return "missing numeric schema_version";
+  if (*version != 1) {
+    return "unsupported schema_version " + std::to_string(*version);
+  }
+  if (!report.GetString("name").has_value()) return "missing string name";
+  const JsonValue* points = report.Get("points");
+  if (points == nullptr || !points->is_array()) {
+    return "missing points array";
+  }
+  for (size_t i = 0; i < points->AsArray().size(); ++i) {
+    const JsonValue& point = points->AsArray()[i];
+    if (!point.is_object()) {
+      return "points[" + std::to_string(i) + "] is not an object";
+    }
+    const JsonValue* labels = point.Get("labels");
+    if (labels == nullptr || !labels->is_object()) {
+      return "points[" + std::to_string(i) + "] missing labels object";
+    }
+    const JsonValue* metrics = point.Get("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return "points[" + std::to_string(i) + "] missing metrics object";
+    }
+    for (const auto& [k, v] : metrics->AsObject()) {
+      if (!v.is_number()) {
+        return "points[" + std::to_string(i) + "] metric '" + k +
+               "' is not a number";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<JsonValue> LoadReport(const std::string& path,
+                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.has_value()) {
+    if (error != nullptr) *error = path + ": malformed JSON";
+    return std::nullopt;
+  }
+  if (auto problem = ValidateReport(*parsed); problem.has_value()) {
+    if (error != nullptr) *error = path + ": " + *problem;
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+Result Compare(const JsonValue& baseline, const JsonValue& current,
+               const Options& options) {
+  Result result;
+  const std::string name = baseline.GetString("name").value_or("?");
+
+  if (auto cur_name = current.GetString("name");
+      cur_name.has_value() && *cur_name != name) {
+    result.failures.push_back("report name mismatch: baseline '" + name +
+                              "' vs current '" + *cur_name + "'");
+  }
+
+  const std::string base_host = baseline.GetString("host").value_or("unknown");
+  const std::string cur_host = current.GetString("host").value_or("unknown");
+  bool throughput_comparable = options.check_throughput;
+  if (throughput_comparable && !options.force_throughput &&
+      (base_host != cur_host || base_host == "unknown")) {
+    throughput_comparable = false;
+    result.notes.push_back(
+        name + ": skipping throughput gate (baseline host '" + base_host +
+        "' vs current host '" + cur_host +
+        "'; wall-clock is machine-specific, use --force_throughput to gate "
+        "anyway)");
+  }
+
+  std::map<std::string, const JsonValue*> current_points;
+  for (const JsonValue& point : current.Get("points")->AsArray()) {
+    current_points[LabelKey(point)] = &point;
+  }
+
+  // Per-point wall-clock is noisy (fast-profile points run for
+  // microseconds), so throughput gates on aggregates, not points:
+  //   * Points carrying a "seconds" metric (the fig benches) contribute
+  //     duration-weighted totals; the gate compares total-updates /
+  //     total-seconds and only engages when the baseline measured at least
+  //     `min_gate_seconds` of wall-clock overall — less than that is jitter,
+  //     which gets a note instead of a verdict.
+  //   * Points without "seconds" (google-benchmark micro points, each
+  //     already measured for its own min-time) contribute to a geometric
+  //     mean of per-point cur/base ratios.
+  struct ThroughputAgg {
+    double base_updates = 0, base_seconds = 0;
+    double cur_updates = 0, cur_seconds = 0;
+    double log_ratio_sum = 0;
+    size_t weighted_points = 0;
+    size_t geomean_points = 0;
+    double worst_drop = 0;
+    std::string worst_key;
+  };
+  std::map<std::string, ThroughputAgg> throughput;
+
+  size_t matched = 0;
+  for (const JsonValue& base_point : baseline.Get("points")->AsArray()) {
+    const std::string key = LabelKey(base_point);
+    const auto it = current_points.find(key);
+    if (it == current_points.end()) {
+      result.failures.push_back(Describe(name, key) +
+                                " missing from current report");
+      continue;
+    }
+    ++matched;
+    const JsonValue& cur_point = *it->second;
+
+    if (throughput_comparable) {
+      for (const char* metric : kThroughputKeys) {
+        const auto base = PointMetric(base_point, metric);
+        const auto cur = PointMetric(cur_point, metric);
+        if (!base.has_value() || !cur.has_value() || *base <= 0 || *cur <= 0) {
+          continue;
+        }
+        ThroughputAgg& agg = throughput[metric];
+        const auto base_sec = PointMetric(base_point, "seconds");
+        const auto cur_sec = PointMetric(cur_point, "seconds");
+        if (base_sec.has_value() && cur_sec.has_value() && *base_sec > 0 &&
+            *cur_sec > 0) {
+          agg.base_updates += *base * *base_sec;
+          agg.base_seconds += *base_sec;
+          agg.cur_updates += *cur * *cur_sec;
+          agg.cur_seconds += *cur_sec;
+          ++agg.weighted_points;
+        } else {
+          agg.log_ratio_sum += std::log(*cur / *base);
+          ++agg.geomean_points;
+        }
+        const double drop = (*base - *cur) / *base;
+        if (drop > agg.worst_drop) {
+          agg.worst_drop = drop;
+          agg.worst_key = key;
+        }
+      }
+    }
+
+    if (options.check_errors) {
+      const auto base_mean = PointMetric(base_point, "mean_rel_error");
+      const auto cur_mean = PointMetric(cur_point, "mean_rel_error");
+      if (base_mean.has_value() && cur_mean.has_value()) {
+        const double base_se =
+            PointMetric(base_point, "stderr_rel_error").value_or(0.0);
+        const double cur_se =
+            PointMetric(cur_point, "stderr_rel_error").value_or(0.0);
+        const double noise =
+            std::sqrt(base_se * base_se + cur_se * cur_se);
+        const double bound = *base_mean + options.error_sigmas * noise +
+                             options.error_abs_slack;
+        if (*cur_mean > bound) {
+          char buf[200];
+          std::snprintf(
+              buf, sizeof(buf),
+              " mean_rel_error worsened beyond noise: %.6g -> %.6g "
+              "(bound %.6g = base + %.1f*stderr)",
+              *base_mean, *cur_mean, bound, options.error_sigmas);
+          result.failures.push_back(Describe(name, key) + buf);
+        }
+      }
+    }
+  }
+
+  for (const auto& [metric, agg] : throughput) {
+    char buf[240];
+    if (agg.weighted_points > 0) {
+      if (agg.base_seconds < options.min_gate_seconds) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s: %s not gated (baseline measured %.3gs total, "
+                      "below the %.3gs floor; wall-clock jitter dominates)",
+                      name.c_str(), metric.c_str(), agg.base_seconds,
+                      options.min_gate_seconds);
+        result.notes.push_back(buf);
+      } else {
+        const double base_rate = agg.base_updates / agg.base_seconds;
+        const double cur_rate = agg.cur_updates / agg.cur_seconds;
+        const double drop = (base_rate - cur_rate) / base_rate;
+        if (drop > options.throughput_tolerance) {
+          std::snprintf(
+              buf, sizeof(buf),
+              "%s: %s dropped %.1f%% (duration-weighted over %zu point(s), "
+              "%.3g -> %.3g, tolerance %.0f%%; worst point {%s} -%.1f%%)",
+              name.c_str(), metric.c_str(), 100 * drop, agg.weighted_points,
+              base_rate, cur_rate, 100 * options.throughput_tolerance,
+              agg.worst_key.c_str(), 100 * agg.worst_drop);
+          result.failures.push_back(buf);
+        }
+      }
+    }
+    if (agg.geomean_points > 0) {
+      const double geomean_ratio = std::exp(
+          agg.log_ratio_sum / static_cast<double>(agg.geomean_points));
+      const double drop = 1.0 - geomean_ratio;
+      if (drop > options.throughput_tolerance) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s: %s dropped %.1f%% (geomean over %zu point(s), "
+                      "tolerance %.0f%%; worst point {%s} -%.1f%%)",
+                      name.c_str(), metric.c_str(), 100 * drop,
+                      agg.geomean_points, 100 * options.throughput_tolerance,
+                      agg.worst_key.c_str(), 100 * agg.worst_drop);
+        result.failures.push_back(buf);
+      }
+    }
+  }
+
+  if (current_points.size() > matched) {
+    result.notes.push_back(
+        name + ": current report has " +
+        std::to_string(current_points.size() - matched) +
+        " point(s) not present in the baseline (not gated)");
+  }
+
+  result.ok = result.failures.empty();
+  return result;
+}
+
+Result GateFiles(const std::string& baseline_path,
+                 const std::string& current_path, const Options& options) {
+  Result result;
+  std::string error;
+  const auto baseline = LoadReport(baseline_path, &error);
+  if (!baseline.has_value()) {
+    result.ok = false;
+    result.failures.push_back(error);
+    return result;
+  }
+  const auto current = LoadReport(current_path, &error);
+  if (!current.has_value()) {
+    result.ok = false;
+    result.failures.push_back(error);
+    return result;
+  }
+  return Compare(*baseline, *current, options);
+}
+
+}  // namespace gate
+}  // namespace sketchsample

@@ -1,0 +1,76 @@
+// Bench regression gating: compares two BENCH_*.json reports (see
+// bench/report.h for the schema) and decides whether the current run
+// regressed relative to the baseline.
+//
+// Rules:
+//   * Points are matched by exact label-set equality (order-insensitive).
+//     A baseline point missing from the current report is a failure
+//     (coverage regression); extra current points are noted only.
+//   * Throughput ("updates_per_sec" / "items_per_second") is gated on
+//     aggregates, never on individual points (fast-profile points run for
+//     microseconds; per-point wall-clock is jitter). Points with a
+//     "seconds" metric feed a duration-weighted total-rate comparison that
+//     engages only when the baseline measured at least `min_gate_seconds`
+//     overall; points without one (google-benchmark micro points, each
+//     already run for its own min-time) feed a geometric-mean ratio. A drop
+//     beyond `throughput_tolerance` (default 15%) fails. Wall-clock is only
+//     comparable on the same machine, so differing "host" stamps skip the
+//     check with a note unless `force_throughput` is set.
+//   * Accuracy ("mean_rel_error" with "stderr_rel_error"): the current mean
+//     may exceed the baseline mean by at most
+//     `error_sigmas * sqrt(base_se^2 + cur_se^2) + error_abs_slack`.
+//     With the default 3 sigmas, a same-seed rerun always passes while a
+//     genuine estimator regression beyond trial noise fails.
+#ifndef SKETCHSAMPLE_TOOLS_GATE_H_
+#define SKETCHSAMPLE_TOOLS_GATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace sketchsample {
+namespace gate {
+
+struct Options {
+  double throughput_tolerance = 0.15;  ///< max allowed fractional drop
+  double error_sigmas = 3.0;           ///< noise bound width in std errors
+  double error_abs_slack = 1e-12;      ///< absolute slack for exact-zero cases
+  /// Minimum total baseline wall-clock (summed point "seconds") for the
+  /// duration-weighted throughput gate to engage; below it the report is
+  /// jitter-dominated and only a note is emitted.
+  double min_gate_seconds = 0.25;
+  bool check_throughput = true;
+  bool check_errors = true;
+  bool force_throughput = false;  ///< gate throughput across differing hosts
+};
+
+struct Result {
+  bool ok = true;
+  std::vector<std::string> failures;
+  std::vector<std::string> notes;
+};
+
+/// Returns an error message when `report` does not conform to the bench
+/// report schema (version 1), std::nullopt when it is valid.
+std::optional<std::string> ValidateReport(const JsonValue& report);
+
+/// Reads and parses `path`; on any I/O, JSON, or schema error returns
+/// std::nullopt and fills `*error`.
+std::optional<JsonValue> LoadReport(const std::string& path,
+                                    std::string* error);
+
+/// Compares a validated baseline/current report pair.
+Result Compare(const JsonValue& baseline, const JsonValue& current,
+               const Options& options);
+
+/// Convenience: load both files, validate, compare. Parse/schema problems
+/// surface as failures with ok=false.
+Result GateFiles(const std::string& baseline_path,
+                 const std::string& current_path, const Options& options);
+
+}  // namespace gate
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_TOOLS_GATE_H_

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs every figure-reproduction bench in the fast profile and collects the
+# BENCH_*.json reports into one directory, for committing as baselines
+# (bench/baselines/) or gating in CI (tools/bench_gate).
+#
+# Usage: tools/run_bench_suite.sh <out_dir> [build_dir]
+#
+# Profile knobs (environment):
+#   BENCH_REPS    trials per point            (default 3)
+#   BENCH_TUPLES  tuples per relation         (default 100000)
+#   BENCH_SCALE   TPC-H scale factor, figs7/8 (default 0.05)
+#   BENCH_MC      Monte-Carlo trials, ext_generic_variance (default 200)
+set -euo pipefail
+
+out_dir="${1:?usage: run_bench_suite.sh <out_dir> [build_dir]}"
+build_dir="${2:-build}"
+reps="${BENCH_REPS:-3}"
+tuples="${BENCH_TUPLES:-100000}"
+scale="${BENCH_SCALE:-0.05}"
+mc="${BENCH_MC:-200}"
+
+mkdir -p "$out_dir"
+
+run() {
+  local name="$1"
+  shift
+  echo "=== $name" >&2
+  "$build_dir/bench/$name" "$@" --json_out="$out_dir/$name.json" >/dev/null
+}
+
+common=(--reps="$reps" --tuples="$tuples")
+
+run fig1_sjoin_variance_decomposition --tuples="$tuples"
+run fig2_selfjoin_variance_decomposition --tuples="$tuples"
+run fig3_bernoulli_sjoin_error "${common[@]}"
+run fig4_bernoulli_selfjoin_error "${common[@]}"
+run fig5_wr_sjoin_error "${common[@]}"
+run fig6_wr_selfjoin_error "${common[@]}"
+run fig7_wor_tpch_sjoin_error "${common[@]}" --scale_factor="$scale"
+run fig8_wor_tpch_selfjoin_error "${common[@]}" --scale_factor="$scale"
+run bench_sketch_ablation "${common[@]}"
+run ext_decomposition_wr_wor --tuples="$tuples"
+run ext_generic_variance --mc_trials="$mc"
+
+echo "bench suite: $(ls "$out_dir" | wc -l) reports in $out_dir" >&2
