@@ -57,6 +57,39 @@ void BM_FullSketching(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSketching);
 
+// Scalar vs batched F-AGMS update kernels (the devirtualized SignBatch /
+// BucketBatch block path). Same sketch state, same stream, bit-identical
+// counters; the batch variant's win is the headline number for the kernel
+// work. Arg 0 = EH3 (cheap signs: win mostly from dispatch/bucket batching),
+// Arg 1 = CW4 (3 mulmods per sign: win dominated by pipelined mulmod chains).
+XiScheme SchemeArg(int64_t arg) {
+  return arg == 0 ? XiScheme::kEh3 : XiScheme::kCw4;
+}
+
+void BM_FagmsUpdateScalar(benchmark::State& state) {
+  SketchParams p = Params();
+  p.scheme = SchemeArg(state.range(0));
+  FagmsSketch sketch(p);
+  for (auto _ : state) {
+    for (uint64_t v : Stream()) sketch.Update(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+  state.SetLabel(XiSchemeName(p.scheme));
+}
+BENCHMARK(BM_FagmsUpdateScalar)->Arg(0)->Arg(1);
+
+void BM_FagmsUpdateBatch(benchmark::State& state) {
+  SketchParams p = Params();
+  p.scheme = SchemeArg(state.range(0));
+  FagmsSketch sketch(p);
+  for (auto _ : state) {
+    sketch.UpdateBatch(Stream());
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+  state.SetLabel(XiSchemeName(p.scheme));
+}
+BENCHMARK(BM_FagmsUpdateBatch)->Arg(0)->Arg(1);
+
 void BM_CoinFlipShedding(benchmark::State& state) {
   const double p =
       1.0 / static_cast<double>(state.range(0));  // range = 1/p

@@ -27,17 +27,17 @@ template <typename SketchT>
 size_t BernoulliSketchEstimator<SketchT>::ProcessStreamWithSkips(
     const std::vector<uint64_t>& stream) {
   seen_ += stream.size();
-  size_t kept = 0;
+  kept_.clear();
   size_t pos = skipper_.NextSkip();
   while (pos < stream.size()) {
-    sketch_.Update(stream[pos]);
-    ++kept;
+    kept_.push_back(stream[pos]);
     pos += 1 + skipper_.NextSkip();
   }
-  sampled_ += kept;
+  sketch_.UpdateBatch(kept_.data(), kept_.size());
+  sampled_ += kept_.size();
   SKETCHSAMPLE_METRIC_ADD("sampling.shed.seen", stream.size());
-  SKETCHSAMPLE_METRIC_ADD("sampling.shed.kept", kept);
-  return kept;
+  SKETCHSAMPLE_METRIC_ADD("sampling.shed.kept", kept_.size());
+  return kept_.size();
 }
 
 template <typename SketchT>
@@ -76,7 +76,8 @@ void SampledStreamEstimator<SketchT>::Update(uint64_t key) {
 template <typename SketchT>
 void SampledStreamEstimator<SketchT>::UpdateAll(
     const std::vector<uint64_t>& sample) {
-  for (uint64_t key : sample) Update(key);
+  sketch_.UpdateBatch(sample.data(), sample.size());
+  sampled_ += sample.size();
 }
 
 template <typename SketchT>

@@ -50,8 +50,10 @@ class BernoulliSketchEstimator {
   void Update(uint64_t key);
 
   /// Skip path: processes a whole stream chunk doing work only for kept
-  /// tuples (Olken skips). Statistically identical to calling Update() per
-  /// tuple. Returns the number of tuples kept.
+  /// tuples (Olken skips), gathering them into a scratch buffer and feeding
+  /// the sketch through one UpdateBatch call. Statistically identical to
+  /// calling Update() per tuple (same skip-RNG draw sequence as before, so
+  /// the kept set is unchanged). Returns the number of tuples kept.
   size_t ProcessStreamWithSkips(const std::vector<uint64_t>& stream);
 
   /// Self-join size estimate of the *full* stream (Prop 14 correction).
@@ -74,6 +76,7 @@ class BernoulliSketchEstimator {
   BernoulliSampler coin_;
   GeometricSkipSampler skipper_;
   SketchT sketch_;
+  std::vector<uint64_t> kept_;  // skip-path gather scratch
   uint64_t seen_ = 0;
   uint64_t sampled_ = 0;
 };

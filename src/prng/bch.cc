@@ -17,6 +17,15 @@ int Bch3Xi::Sign(uint64_t key) const {
   return bit ? -1 : +1;
 }
 
+void Bch3Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
+  const uint64_t s = s_;
+  const int s0 = s0_;
+  for (size_t i = 0; i < n; ++i) {
+    const int bit = (std::popcount(s & keys[i]) & 1) ^ s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
+}
+
 uint64_t Gf64Mul(uint64_t a, uint64_t b) {
   // Carry-less 64x64 -> 128 multiplication.
   uint64_t lo = 0, hi = 0;
@@ -48,6 +57,19 @@ int Bch5Xi::Sign(uint64_t key) const {
   bit ^= std::popcount(s2_ & cube) & 1;
   bit ^= s0_;
   return bit ? -1 : +1;
+}
+
+void Bch5Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
+  const uint64_t s1 = s1_, s2 = s2_;
+  const int s0 = s0_;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = keys[i];
+    const uint64_t cube = Gf64Mul(Gf64Mul(key, key), key);
+    int bit = std::popcount(s1 & key) & 1;
+    bit ^= std::popcount(s2 & cube) & 1;
+    bit ^= s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
 }
 
 }  // namespace sketchsample

@@ -17,7 +17,9 @@ class Bch3Xi final : public XiFamily {
   explicit Bch3Xi(uint64_t seed);
 
   int Sign(uint64_t key) const override;
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override;
   int IndependenceLevel() const override { return 3; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
   XiScheme Scheme() const override { return XiScheme::kBch3; }
   std::unique_ptr<XiFamily> Clone() const override {
     return std::make_unique<Bch3Xi>(*this);
@@ -40,7 +42,9 @@ class Bch5Xi final : public XiFamily {
   explicit Bch5Xi(uint64_t seed);
 
   int Sign(uint64_t key) const override;
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override;
   int IndependenceLevel() const override { return 5; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
   XiScheme Scheme() const override { return XiScheme::kBch5; }
   std::unique_ptr<XiFamily> Clone() const override {
     return std::make_unique<Bch5Xi>(*this);

@@ -16,7 +16,9 @@ class Cw2Xi final : public XiFamily {
   explicit Cw2Xi(uint64_t seed);
 
   int Sign(uint64_t key) const override;
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override;
   int IndependenceLevel() const override { return 2; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
   XiScheme Scheme() const override { return XiScheme::kCw2; }
   std::unique_ptr<XiFamily> Clone() const override {
     return std::make_unique<Cw2Xi>(*this);
@@ -35,11 +37,17 @@ class Cw4Xi final : public XiFamily {
   explicit Cw4Xi(uint64_t seed);
 
   int Sign(uint64_t key) const override;
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override;
   int IndependenceLevel() const override { return 4; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
   XiScheme Scheme() const override { return XiScheme::kCw4; }
   std::unique_ptr<XiFamily> Clone() const override {
     return std::make_unique<Cw4Xi>(*this);
   }
+
+  /// Polynomial coefficients (c0..c3), exposed for fused batch kernels that
+  /// evaluate the sign inline next to a bucket hash over the same keys.
+  const uint64_t* coefficients() const { return c_; }
 
  private:
   uint64_t c_[4] = {0, 0, 0, 1};  // c0 + c1 x + c2 x^2 + c3 x^3

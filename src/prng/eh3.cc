@@ -22,4 +22,17 @@ int Eh3Xi::Sign(uint64_t key) const {
   return bit ? -1 : +1;
 }
 
+void Eh3Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
+  const uint64_t s = s_;
+  const int s0 = s0_;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = keys[i];
+    int bit = std::popcount(s & key) & 1;
+    const uint64_t pair_or = (key | (key >> 1)) & 0x5555555555555555ULL;
+    bit ^= std::popcount(pair_or) & 1;
+    bit ^= s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
+}
+
 }  // namespace sketchsample

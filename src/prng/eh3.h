@@ -20,7 +20,9 @@ class Eh3Xi final : public XiFamily {
   explicit Eh3Xi(uint64_t seed);
 
   int Sign(uint64_t key) const override;
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override;
   int IndependenceLevel() const override { return 3; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
   XiScheme Scheme() const override { return XiScheme::kEh3; }
   std::unique_ptr<XiFamily> Clone() const override {
     return std::make_unique<Eh3Xi>(*this);

@@ -12,6 +12,19 @@ PairwiseHash::PairwiseHash(uint64_t seed, uint64_t num_buckets)
   if (num_buckets == 0) {
     throw std::invalid_argument("PairwiseHash needs at least one bucket");
   }
+  // Round-up magic for FastModBuckets (see hash.h for the exactness bound).
+  if (num_buckets == 1) {
+    magic_ = 0;
+    shift_ = 0;
+    mask_ = 0;  // remainder is identically 0
+  } else {
+    uint32_t s = 1;
+    while (s < 64 && (static_cast<__uint128_t>(1) << s) < num_buckets) ++s;
+    shift_ = s > 3 ? s - 3 : 0;
+    magic_ = static_cast<uint64_t>(
+        ((static_cast<__uint128_t>(1) << (64 + shift_)) / num_buckets) + 1);
+    mask_ = ~static_cast<uint64_t>(0);
+  }
   Xoshiro256 rng(seed);
   do {
     a_ = UniformMod61(rng);
@@ -21,6 +34,17 @@ PairwiseHash::PairwiseHash(uint64_t seed, uint64_t num_buckets)
 
 uint64_t PairwiseHash::Bucket(uint64_t key) const {
   return AddMod61(MulMod61(a_, Mod61(key)), b_) % num_buckets_;
+}
+
+void PairwiseHash::BucketBatch(const uint64_t* keys, size_t n,
+                               uint64_t* out) const {
+  // Branch-free lazy evaluation of the same polynomial as Bucket(): the
+  // degree-1 chain stays below 3·2^61, so one CanonMod61 restores [0, p)
+  // before the exact reciprocal modulo.
+  const uint64_t a = a_, b = b_;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = FastModBuckets(CanonMod61(MulMod61Lazy(a, Fold61(keys[i])) + b));
+  }
 }
 
 }  // namespace sketchsample

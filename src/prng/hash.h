@@ -2,6 +2,7 @@
 #ifndef SKETCHSAMPLE_PRNG_HASH_H_
 #define SKETCHSAMPLE_PRNG_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace sketchsample {
@@ -19,12 +20,48 @@ class PairwiseHash {
   /// Bucket for `key`, in [0, num_buckets()).
   uint64_t Bucket(uint64_t key) const;
 
+  /// Batch evaluation: out[i] = Bucket(keys[i]) for i in [0, n). Uses the
+  /// lazy Mersenne arithmetic and the reciprocal modulo below, so the loop
+  /// is branch-free and pipelines across keys; results are identical to
+  /// scalar Bucket().
+  void BucketBatch(const uint64_t* keys, size_t n, uint64_t* out) const;
+
   uint64_t num_buckets() const { return num_buckets_; }
+
+  // Internals exposed for fused batch kernels (see FagmsSketch::UpdateBatch)
+  // that evaluate the hash inline next to a ξ polynomial over the same keys.
+  uint64_t multiplier() const { return a_; }
+  uint64_t offset() const { return b_; }
+  /// Granlund-Montgomery round-up magic for division by num_buckets();
+  /// callers can hoist these into locals to keep tight loops free of member
+  /// reloads.
+  uint64_t magic() const { return magic_; }
+  uint32_t magic_shift() const { return shift_; }
+  uint64_t magic_mask() const { return mask_; }
+
+  /// Exact x % num_buckets() for x < 2^61 (every canonical GF(2^61 - 1)
+  /// residue), computed with two multiplies instead of a hardware divide.
+  /// With s the smallest shift such that 2^s >= d, s' = max(s - 3, 0), and
+  /// M = floor(2^(64+s') / d) + 1, the error e = M·d - 2^(64+s') satisfies
+  /// e <= d <= 2^(s'+3), so e·x < 2^(s'+3)·2^61 = 2^(64+s') for all
+  /// x < 2^61 and q = mulhi(M, x) >> s' is the exact quotient. The quotient
+  /// needs only the high 64 product bits plus one shift. d == 1 would need
+  /// M = 2^64 + 1, which does not fit; the constructor instead stores an
+  /// all-zero mask so the remainder collapses to the correct constant 0.
+  uint64_t FastModBuckets(uint64_t x) const {
+    const uint64_t q = static_cast<uint64_t>(
+                           (static_cast<__uint128_t>(magic_) * x) >> 64) >>
+                       shift_;
+    return (x - q * num_buckets_) & mask_;
+  }
 
  private:
   uint64_t a_ = 1;
   uint64_t b_ = 0;
   uint64_t num_buckets_ = 1;
+  uint64_t magic_ = 0;   // floor(2^(64 + shift_) / num_buckets_) + 1
+  uint64_t mask_ = 0;    // ~0 normally; 0 for the one-bucket degenerate case
+  uint32_t shift_ = 0;   // max(ceil_log2(num_buckets_) - 3, 0)
 };
 
 }  // namespace sketchsample

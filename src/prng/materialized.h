@@ -38,6 +38,22 @@ class MaterializedXi final : public XiFamily {
     return base_->Sign(key);
   }
 
+  /// In-table keys are straight packed-bit loads; only out-of-table keys
+  /// fall back to the base family's evaluation.
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override {
+    const uint64_t* bits = bits_.data();
+    const uint64_t domain = domain_size_;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key = keys[i];
+      if (key < domain) {
+        const int bit = static_cast<int>(bits[key >> 6] >> (key & 63)) & 1;
+        out[i] = static_cast<int8_t>(1 - 2 * bit);
+      } else {
+        out[i] = static_cast<int8_t>(base_->Sign(key));
+      }
+    }
+  }
+
   int IndependenceLevel() const override {
     return base_->IndependenceLevel();
   }
@@ -47,7 +63,11 @@ class MaterializedXi final : public XiFamily {
   }
 
   size_t domain_size() const { return domain_size_; }
-  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+  /// Sign table plus the wrapped base family's state.
+  size_t MemoryBytes() const override {
+    return sizeof(*this) + bits_.size() * sizeof(uint64_t) +
+           base_->MemoryBytes();
+  }
 
  private:
   std::unique_ptr<XiFamily> base_;

@@ -42,6 +42,46 @@ inline uint64_t AddMod61(uint64_t a, uint64_t b) {
   return s;
 }
 
+// --- Lazy (redundant-representation) arithmetic for batch kernels ---------
+//
+// The canonical Mod61/MulMod61 above keep every intermediate in [0, p) via
+// data-dependent conditional subtractions. In a batch loop those compile to
+// branches whose outcomes are per-key random, and the resulting mispredicts
+// serialize what should be independent per-key chains. The Lazy variants
+// below drop canonicality: values stay merely *congruent* mod p within
+// documented bounds, all ops are branch-free, and one CanonMod61 at the end
+// of a chain restores [0, p). The specific bounds below cover a degree-3
+// Horner chain (CW4), the worst case in this codebase:
+//
+//   x  = Fold61(key)                     x <= 2^61 + 6
+//   h  = MulMod61Lazy(c, x) + c'         h <= 3·2^61 + 4
+//   h  = MulMod61Lazy(h, x) + c''        h <= 5·2^61 + 21
+//   h  = MulMod61Lazy(h, x) + c'''       h <= 7·2^61 + 50  (< 2^64)
+//   CanonMod61(h)                        in [0, p)
+
+/// One folding step: 2^61 ≡ 1 (mod p), so this preserves the value mod p.
+/// For any 64-bit x the result is <= p + 7.
+inline uint64_t Fold61(uint64_t x) {
+  return (x & kMersenne61) + (x >> 61);
+}
+
+/// Product congruent to a·b mod p, one fold, no conditional subtraction.
+/// Requires a·b < 2^125 (e.g. a < 6.1·2^61, b <= 2^61 + 6); the result is
+/// then <= a·b/2^61 + p.
+inline uint64_t MulMod61Lazy(uint64_t a, uint64_t b) {
+  const __uint128_t product = static_cast<__uint128_t>(a) * b;
+  return (static_cast<uint64_t>(product) & kMersenne61) +
+         static_cast<uint64_t>(product >> 61);
+}
+
+/// Canonicalizes a lazy value into [0, p). Valid whenever x < 8·2^61 (so
+/// one fold lands in [0, p + 7] and a single subtraction finishes), which
+/// holds for every chain documented above.
+inline uint64_t CanonMod61(uint64_t x) {
+  x = Fold61(x);
+  return x >= kMersenne61 ? x - kMersenne61 : x;
+}
+
 /// a^e mod p by square-and-multiply.
 uint64_t PowMod61(uint64_t a, uint64_t e);
 

@@ -19,7 +19,9 @@ class TabulationXi final : public XiFamily {
   explicit TabulationXi(uint64_t seed);
 
   int Sign(uint64_t key) const override;
+  void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const override;
   int IndependenceLevel() const override { return 3; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
   XiScheme Scheme() const override { return XiScheme::kTabulation; }
   std::unique_ptr<XiFamily> Clone() const override {
     return std::make_unique<TabulationXi>(*this);

@@ -25,6 +25,7 @@
 #ifndef SKETCHSAMPLE_PRNG_XI_H_
 #define SKETCHSAMPLE_PRNG_XI_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -59,8 +60,25 @@ class XiFamily {
   /// ξ_key ∈ {+1, -1}.
   virtual int Sign(uint64_t key) const = 0;
 
+  /// Batch evaluation: out[i] = Sign(keys[i]) for i in [0, n). One virtual
+  /// dispatch per batch; every concrete family overrides this with a
+  /// branchless, devirtualized inner loop so independent keys pipeline (and
+  /// auto-vectorize where the arithmetic allows). The default forwards to
+  /// Sign() per key and exists only for exotic out-of-tree families.
+  virtual void SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<int8_t>(Sign(keys[i]));
+    }
+  }
+
   /// Wise-ness of the family: k such that any k entries are independent.
   virtual int IndependenceLevel() const = 0;
+
+  /// Bytes of state backing this family: the seeded parameters plus any
+  /// heap-allocated tables (materialized sign bits, tabulation tables).
+  /// Sketches sum this into their MemoryBytes() so reported footprints
+  /// cover hash/ξ state, not just counters.
+  virtual size_t MemoryBytes() const = 0;
 
   /// Scheme identifier for diagnostics.
   virtual XiScheme Scheme() const = 0;

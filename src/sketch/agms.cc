@@ -1,5 +1,6 @@
 #include "src/sketch/agms.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/prng/materialized.h"
@@ -30,26 +31,29 @@ AgmsSketch::AgmsSketch(const SketchParams& params) : params_(params) {
   counters_.assign(params.rows, 0.0);
 }
 
-AgmsSketch::AgmsSketch(const AgmsSketch& other)
-    : params_(other.params_), counters_(other.counters_) {
-  xis_.reserve(other.xis_.size());
-  for (const auto& xi : other.xis_) xis_.push_back(xi->Clone());
-}
-
-AgmsSketch& AgmsSketch::operator=(const AgmsSketch& other) {
-  if (this == &other) return *this;
-  params_ = other.params_;
-  counters_ = other.counters_;
-  xis_.clear();
-  xis_.reserve(other.xis_.size());
-  for (const auto& xi : other.xis_) xis_.push_back(xi->Clone());
-  return *this;
-}
-
 void AgmsSketch::Update(uint64_t key, double weight) {
   SKETCHSAMPLE_METRIC_INC("sketch.agms.updates");
   for (size_t k = 0; k < counters_.size(); ++k) {
     counters_[k] += weight * static_cast<double>(xis_[k]->Sign(key));
+  }
+}
+
+void AgmsSketch::UpdateBatch(const uint64_t* keys, size_t n, double weight) {
+  SKETCHSAMPLE_METRIC_ADD("sketch.agms.updates", n);
+  SKETCHSAMPLE_METRIC_INC("sketch.agms.batch_updates");
+  int8_t signs[kUpdateBatchBlock];
+  for (size_t base = 0; base < n; base += kUpdateBatchBlock) {
+    const size_t m = std::min(kUpdateBatchBlock, n - base);
+    for (size_t k = 0; k < counters_.size(); ++k) {
+      xis_[k]->SignBatch(keys + base, m, signs);
+      // Sequential accumulation (no reassociation) keeps the row's counter
+      // bit-identical to the scalar path even for fractional weights.
+      double c = counters_[k];
+      for (size_t i = 0; i < m; ++i) {
+        c += weight * static_cast<double>(signs[i]);
+      }
+      counters_[k] = c;
+    }
   }
 }
 
@@ -115,9 +119,16 @@ void AgmsSketch::Merge(const AgmsSketch& other) {
   if (!CompatibleWith(other)) {
     throw std::invalid_argument("merge of incompatible AGMS sketches");
   }
+  SKETCHSAMPLE_METRIC_INC("sketch.agms.merges");
   for (size_t k = 0; k < counters_.size(); ++k) {
     counters_[k] += other.counters_[k];
   }
+}
+
+size_t AgmsSketch::MemoryBytes() const {
+  size_t bytes = counters_.size() * sizeof(double);
+  for (const auto& xi : xis_) bytes += xi->MemoryBytes();
+  return bytes;
 }
 
 bool AgmsSketch::CompatibleWith(const AgmsSketch& other) const {

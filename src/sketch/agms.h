@@ -27,13 +27,24 @@ class AgmsSketch {
   /// `params.buckets` is ignored; `params.rows` basic estimators are built.
   explicit AgmsSketch(const SketchParams& params);
 
-  AgmsSketch(const AgmsSketch& other);
-  AgmsSketch& operator=(const AgmsSketch& other);
+  /// Copies share the immutable ξ families (XiFamily is immutable after
+  /// construction and thread-safe), so copying costs only the counters.
+  AgmsSketch(const AgmsSketch& other) = default;
+  AgmsSketch& operator=(const AgmsSketch& other) = default;
   AgmsSketch(AgmsSketch&&) = default;
   AgmsSketch& operator=(AgmsSketch&&) = default;
 
   /// Adds `weight` copies of `key` (negative weight deletes).
   void Update(uint64_t key, double weight = 1.0);
+
+  /// Adds `weight` copies of every key in keys[0..n), evaluating ξ through
+  /// the batched kernels in blocks of kUpdateBatchBlock keys, one row at a
+  /// time. Bit-identical to calling Update() per key in order (each
+  /// counter's additions happen in the same stream order).
+  void UpdateBatch(const uint64_t* keys, size_t n, double weight = 1.0);
+  void UpdateBatch(const std::vector<uint64_t>& keys, double weight = 1.0) {
+    UpdateBatch(keys.data(), keys.size(), weight);
+  }
 
   /// Raw per-estimator self-join estimates S_k².
   std::vector<double> SelfJoinEstimates() const;
@@ -64,12 +75,15 @@ class AgmsSketch {
   /// Replaces the counter state (deserialization support). `counters` must
   /// have exactly rows() entries.
   void LoadCounters(std::vector<double> counters);
-  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  /// Total footprint: counters plus ξ state (including materialized sign
+  /// tables).
+  size_t MemoryBytes() const;
   const SketchParams& params() const { return params_; }
 
  private:
   SketchParams params_;
-  std::vector<std::unique_ptr<XiFamily>> xis_;
+  // Shared, not cloned: families are immutable after construction.
+  std::vector<std::shared_ptr<const XiFamily>> xis_;
   std::vector<double> counters_;
 };
 

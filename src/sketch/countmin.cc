@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -26,8 +27,24 @@ CountMinSketch::CountMinSketch(const SketchParams& params) : params_(params) {
 }
 
 void CountMinSketch::Update(uint64_t key, double weight) {
+  SKETCHSAMPLE_METRIC_INC("sketch.countmin.updates");
   for (size_t r = 0; r < params_.rows; ++r) {
     Row(r)[hashes_[r].Bucket(key)] += weight;
+  }
+}
+
+void CountMinSketch::UpdateBatch(const uint64_t* keys, size_t n,
+                                 double weight) {
+  SKETCHSAMPLE_METRIC_ADD("sketch.countmin.updates", n);
+  SKETCHSAMPLE_METRIC_INC("sketch.countmin.batch_updates");
+  uint64_t buckets[kUpdateBatchBlock];
+  for (size_t base = 0; base < n; base += kUpdateBatchBlock) {
+    const size_t m = std::min(kUpdateBatchBlock, n - base);
+    for (size_t r = 0; r < params_.rows; ++r) {
+      hashes_[r].BucketBatch(keys + base, m, buckets);
+      double* row = Row(r);
+      for (size_t i = 0; i < m; ++i) row[buckets[i]] += weight;
+    }
   }
 }
 
@@ -81,6 +98,7 @@ void CountMinSketch::Merge(const CountMinSketch& other) {
   if (!CompatibleWith(other)) {
     throw std::invalid_argument("merge of incompatible Count-Min sketches");
   }
+  SKETCHSAMPLE_METRIC_INC("sketch.countmin.merges");
   for (size_t k = 0; k < counters_.size(); ++k) {
     counters_[k] += other.counters_[k];
   }

@@ -25,6 +25,14 @@ class CountMinSketch {
   /// non-negative weights.
   void Update(uint64_t key, double weight = 1.0);
 
+  /// Adds `weight` copies of every key in keys[0..n), hashing blocks of
+  /// kUpdateBatchBlock keys row-at-a-time through BucketBatch. Bit-identical
+  /// to calling Update() per key in order.
+  void UpdateBatch(const uint64_t* keys, size_t n, double weight = 1.0);
+  void UpdateBatch(const std::vector<uint64_t>& keys, double weight = 1.0) {
+    UpdateBatch(keys.data(), keys.size(), weight);
+  }
+
   /// Conservative update (Estan–Varghese): increments only the counters
   /// that currently define the key's minimum, raising them just enough to
   /// reach min + weight. Point-query error drops substantially on skewed
@@ -48,7 +56,11 @@ class CountMinSketch {
 
   size_t rows() const { return params_.rows; }
   size_t buckets() const { return params_.buckets; }
-  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  /// Total footprint: counters plus bucket-hash coefficients.
+  size_t MemoryBytes() const {
+    return counters_.size() * sizeof(double) +
+           hashes_.size() * sizeof(PairwiseHash);
+  }
   const SketchParams& params() const { return params_; }
   const std::vector<double>& counters() const { return counters_; }
 

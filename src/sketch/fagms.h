@@ -13,6 +13,8 @@
 
 namespace sketchsample {
 
+class Cw4Xi;
+
 /// F-AGMS sketch: each row partitions the domain into `buckets` hash buckets
 /// and keeps one AGMS counter per bucket:
 ///
@@ -35,13 +37,25 @@ class FagmsSketch {
  public:
   explicit FagmsSketch(const SketchParams& params);
 
-  FagmsSketch(const FagmsSketch& other);
-  FagmsSketch& operator=(const FagmsSketch& other);
+  /// Copies share the immutable ξ families and bucket hashes (XiFamily is
+  /// immutable after construction and thread-safe), so copying a sketch to
+  /// shard a stream across workers costs only the counter array.
+  FagmsSketch(const FagmsSketch& other) = default;
+  FagmsSketch& operator=(const FagmsSketch& other) = default;
   FagmsSketch(FagmsSketch&&) = default;
   FagmsSketch& operator=(FagmsSketch&&) = default;
 
   /// Adds `weight` copies of `key` (negative weight deletes).
   void Update(uint64_t key, double weight = 1.0);
+
+  /// Adds `weight` copies of every key in keys[0..n), processing blocks of
+  /// kUpdateBatchBlock keys row-at-a-time through the batched hash/sign
+  /// kernels. Bit-identical to calling Update() per key in order: each
+  /// counter receives the same increments in the same stream order.
+  void UpdateBatch(const uint64_t* keys, size_t n, double weight = 1.0);
+  void UpdateBatch(const std::vector<uint64_t>& keys, double weight = 1.0) {
+    UpdateBatch(keys.data(), keys.size(), weight);
+  }
 
   /// Per-row self-join estimates Σ_k c².
   std::vector<double> SelfJoinRowEstimates() const;
@@ -64,7 +78,9 @@ class FagmsSketch {
 
   size_t rows() const { return params_.rows; }
   size_t buckets() const { return params_.buckets; }
-  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  /// Total footprint: counters, bucket-hash coefficients, and ξ state
+  /// (including materialized sign tables).
+  size_t MemoryBytes() const;
   const SketchParams& params() const { return params_; }
   /// Raw counter matrix, row-major; exposed for tests and diagnostics.
   const std::vector<double>& counters() const { return counters_; }
@@ -81,7 +97,13 @@ class FagmsSketch {
 
   SketchParams params_;
   std::vector<PairwiseHash> hashes_;
-  std::vector<std::unique_ptr<XiFamily>> xis_;
+  // Shared, not cloned: families are immutable after construction, so
+  // copies (e.g. per-worker shards) alias one ξ state.
+  std::vector<std::shared_ptr<const XiFamily>> xis_;
+  // Per-row concrete CW4 family (nullptr otherwise), resolved once at
+  // construction so UpdateBatch can take the fused hash+sign kernel without
+  // per-block dispatch. Points into xis_, which copies share.
+  std::vector<const Cw4Xi*> cw4_;
   std::vector<double> counters_;  // rows × buckets, row-major
 };
 

@@ -1,7 +1,9 @@
 #include "src/sketch/fastcount.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
@@ -26,8 +28,24 @@ FastCountSketch::FastCountSketch(const SketchParams& params)
 }
 
 void FastCountSketch::Update(uint64_t key, double weight) {
+  SKETCHSAMPLE_METRIC_INC("sketch.fastcount.updates");
   for (size_t r = 0; r < params_.rows; ++r) {
     Row(r)[hashes_[r].Bucket(key)] += weight;
+  }
+}
+
+void FastCountSketch::UpdateBatch(const uint64_t* keys, size_t n,
+                                  double weight) {
+  SKETCHSAMPLE_METRIC_ADD("sketch.fastcount.updates", n);
+  SKETCHSAMPLE_METRIC_INC("sketch.fastcount.batch_updates");
+  uint64_t buckets[kUpdateBatchBlock];
+  for (size_t base = 0; base < n; base += kUpdateBatchBlock) {
+    const size_t m = std::min(kUpdateBatchBlock, n - base);
+    for (size_t r = 0; r < params_.rows; ++r) {
+      hashes_[r].BucketBatch(keys + base, m, buckets);
+      double* row = Row(r);
+      for (size_t i = 0; i < m; ++i) row[buckets[i]] += weight;
+    }
   }
 }
 
@@ -81,6 +99,7 @@ void FastCountSketch::Merge(const FastCountSketch& other) {
   if (!CompatibleWith(other)) {
     throw std::invalid_argument("merge of incompatible FastCount sketches");
   }
+  SKETCHSAMPLE_METRIC_INC("sketch.fastcount.merges");
   for (size_t k = 0; k < counters_.size(); ++k) {
     counters_[k] += other.counters_[k];
   }

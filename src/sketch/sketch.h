@@ -21,6 +21,13 @@
 
 namespace sketchsample {
 
+/// Keys per block in the batched update kernels (UpdateBatch): the block's
+/// bucket/sign scratch (~2.25 KiB) stays L1-resident while each row's
+/// hash/ξ state and counter stripe are processed row-at-a-time, and one
+/// virtual SignBatch dispatch covers the whole block instead of one Sign()
+/// call per key.
+inline constexpr size_t kUpdateBatchBlock = 256;
+
 /// Shape + randomness parameters shared by the sketch constructors.
 struct SketchParams {
   /// Independent repetitions. For AGMS this is the number of basic

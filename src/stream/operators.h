@@ -1,13 +1,21 @@
 // Stream operators: the processing stages of a pipeline.
 //
-// Operators receive tuples via OnTuple and may forward them to a downstream
-// operator. The two stages the paper composes are a Bernoulli shedding
-// stage in front of a sketching stage (§VI-A).
+// Operators receive tuples via OnTuple (one at a time) or OnTuples (a
+// chunk), and may forward them to a downstream operator. The two stages the
+// paper composes are a Bernoulli shedding stage in front of a sketching
+// stage (§VI-A). The batch entry points exist because per-tuple virtual
+// dispatch (plus a std::function call in the sink) dominates the very
+// quantity §VI-A measures — per-tuple sketch-update cost — once the sketch
+// kernels themselves are batched.
 #ifndef SKETCHSAMPLE_STREAM_OPERATORS_H_
 #define SKETCHSAMPLE_STREAM_OPERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/sampling/bernoulli.h"
 
@@ -21,15 +29,34 @@ class Operator {
   /// Consumes one tuple.
   virtual void OnTuple(uint64_t value) = 0;
 
+  /// Consumes a chunk of tuples. The default forwards tuple-at-a-time to
+  /// OnTuple, so existing scalar operators work unchanged inside a chunked
+  /// pipeline; hot operators override it to process whole chunks.
+  virtual void OnTuples(const uint64_t* values, size_t n) {
+    for (size_t i = 0; i < n; ++i) OnTuple(values[i]);
+  }
+
   /// Signals end of stream (default: no-op).
   virtual void OnEnd() {}
 };
 
 /// Load-shedding stage: forwards each tuple with probability p.
+///
+/// The scalar path flips one Bernoulli coin per tuple; the batch path uses
+/// geometric skips (Olken, ref [18]) to jump straight between kept tuples,
+/// compacting them into one contiguous chunk before forwarding — work
+/// proportional to the number of *kept* tuples. Both paths sample the exact
+/// Bernoulli(p) law but consume independent randomness, so mixing them
+/// yields a different (equally valid) sample realization.
 class ShedOperator final : public Operator {
  public:
   ShedOperator(double p, uint64_t seed, Operator* downstream)
-      : sampler_(p, seed), downstream_(downstream) {}
+      : sampler_(p, seed), downstream_(downstream) {
+    if (p > 0.0) {
+      skipper_.emplace(p, seed ^ 0x9e3779b97f4a7c15ULL);
+      skip_ = skipper_->NextSkip();
+    }
+  }
 
   void OnTuple(uint64_t value) override {
     ++seen_;
@@ -39,37 +66,93 @@ class ShedOperator final : public Operator {
     }
   }
 
+  void OnTuples(const uint64_t* values, size_t n) override {
+    seen_ += n;
+    if (!skipper_) return;  // p == 0: shed everything
+    if (sampler_.p() >= 1.0) {  // p == 1: forward the chunk untouched
+      forwarded_ += n;
+      downstream_->OnTuples(values, n);
+      return;
+    }
+    kept_.clear();
+    size_t pos = 0;
+    while (pos < n) {
+      const uint64_t remaining = n - pos;
+      if (skip_ >= remaining) {  // rest of the chunk is shed; carry over
+        skip_ -= remaining;
+        break;
+      }
+      pos += static_cast<size_t>(skip_);
+      kept_.push_back(values[pos]);
+      ++pos;
+      skip_ = skipper_->NextSkip();
+    }
+    forwarded_ += kept_.size();
+    if (!kept_.empty()) downstream_->OnTuples(kept_.data(), kept_.size());
+  }
+
   void OnEnd() override { downstream_->OnEnd(); }
 
   uint64_t seen() const { return seen_; }
   uint64_t forwarded() const { return forwarded_; }
 
  private:
-  BernoulliSampler sampler_;
+  BernoulliSampler sampler_;                     // scalar path
+  std::optional<GeometricSkipSampler> skipper_;  // batch path (unset: p == 0)
+  uint64_t skip_ = 0;  // tuples still to shed before the next kept one
   Operator* downstream_;
+  std::vector<uint64_t> kept_;  // batch-path compaction scratch
   uint64_t seen_ = 0;
   uint64_t forwarded_ = 0;
 };
 
-/// Terminal stage feeding any sketch (or other consumer) through a callback.
-/// Using std::function keeps the pipeline type-erased; the hot benches drive
-/// sketches directly instead.
+/// Terminal stage feeding any sketch (or other consumer) through a
+/// callback. Two flavors: a per-tuple callback (type-erased, one
+/// std::function call per tuple) and a batch callback invoked once per
+/// chunk, which removes per-tuple std::function dispatch from the hot path
+/// entirely — see MakeSketchSink below.
 class SinkOperator final : public Operator {
  public:
   explicit SinkOperator(std::function<void(uint64_t)> consume)
       : consume_(std::move(consume)) {}
+  explicit SinkOperator(std::function<void(const uint64_t*, size_t)> batch)
+      : batch_(std::move(batch)) {}
 
   void OnTuple(uint64_t value) override {
     ++count_;
-    consume_(value);
+    if (consume_) {
+      consume_(value);
+    } else {
+      batch_(&value, 1);
+    }
+  }
+
+  void OnTuples(const uint64_t* values, size_t n) override {
+    count_ += n;
+    if (batch_) {
+      batch_(values, n);
+    } else {
+      for (size_t i = 0; i < n; ++i) consume_(values[i]);
+    }
   }
 
   uint64_t count() const { return count_; }
 
  private:
   std::function<void(uint64_t)> consume_;
+  std::function<void(const uint64_t*, size_t)> batch_;
   uint64_t count_ = 0;
 };
+
+/// Builds a batch sink that feeds `sketch` through its UpdateBatch kernel:
+/// one indirect call per chunk, then devirtualized block kernels inside the
+/// sketch. `sketch` must outlive the returned operator.
+template <typename SketchT>
+SinkOperator MakeSketchSink(SketchT& sketch) {
+  return SinkOperator([&sketch](const uint64_t* keys, size_t n) {
+    sketch.UpdateBatch(keys, n);
+  });
+}
 
 }  // namespace sketchsample
 

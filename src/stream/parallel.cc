@@ -7,15 +7,15 @@ namespace sketchsample {
 FagmsSketch ParallelBuildFagms(const std::vector<uint64_t>& stream,
                                const SketchParams& params,
                                size_t num_threads) {
+  FagmsSketch master(params);
   if (num_threads <= 1 || stream.size() < 2 * num_threads) {
-    FagmsSketch sketch(params);
-    for (uint64_t key : stream) sketch.Update(key);
-    return sketch;
+    master.UpdateBatch(stream.data(), stream.size());
+    return master;
   }
 
-  std::vector<FagmsSketch> partials;
-  partials.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) partials.emplace_back(params);
+  // Copies of `master` share its (immutable) ξ families and bucket hashes,
+  // so workers pay the seeding cost once instead of once per thread.
+  std::vector<FagmsSketch> partials(num_threads, master);
 
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
@@ -24,7 +24,7 @@ FagmsSketch ParallelBuildFagms(const std::vector<uint64_t>& stream,
     const size_t begin = t * chunk;
     const size_t end = std::min(stream.size(), begin + chunk);
     workers.emplace_back([&stream, &partials, t, begin, end] {
-      for (size_t i = begin; i < end; ++i) partials[t].Update(stream[i]);
+      partials[t].UpdateBatch(stream.data() + begin, end - begin);
     });
   }
   for (auto& worker : workers) worker.join();

@@ -2,11 +2,12 @@
 // sketching can be done essentially for free").
 //
 // Sketches are linear, so a stream can be partitioned across worker threads
-// that each maintain a private sketch built with the SAME params (hence the
-// same ξ families), and the per-thread sketches Merge() into a result
-// identical to serial sketching — bit-for-bit, since each tuple's
-// contribution is an exact double increment and addition order only matters
-// below the ulp level for integer-weight updates.
+// that each maintain a private counter array, and the per-thread sketches
+// Merge() into a result identical to serial sketching — bit-for-bit, since
+// each tuple's contribution is an exact double increment and addition order
+// only matters below the ulp level for integer-weight updates. The workers
+// copy one master sketch, so the (read-only, thread-safe) ξ families and
+// bucket hashes are seeded once and shared; only counters are private.
 #ifndef SKETCHSAMPLE_STREAM_PARALLEL_H_
 #define SKETCHSAMPLE_STREAM_PARALLEL_H_
 

@@ -1,17 +1,29 @@
 #include "src/stream/pipeline.h"
 
+#include <vector>
+
 #include "src/util/metrics.h"
 #include "src/util/timer.h"
 
 namespace sketchsample {
 
-PipelineStats RunPipeline(StreamSource& source, Operator& head) {
+PipelineStats RunPipeline(StreamSource& source, Operator& head,
+                          size_t chunk_size) {
   PipelineStats stats;
   SKETCHSAMPLE_METRIC_SCOPED_TIMER("stream.pipeline");
   Timer timer;
-  while (auto value = source.Next()) {
-    head.OnTuple(*value);
-    ++stats.tuples;
+  if (chunk_size <= 1) {
+    while (auto value = source.Next()) {
+      head.OnTuple(*value);
+      ++stats.tuples;
+    }
+  } else {
+    std::vector<uint64_t> chunk(chunk_size);
+    while (size_t n = source.NextChunk(chunk.data(), chunk_size)) {
+      head.OnTuples(chunk.data(), n);
+      stats.tuples += n;
+      ++stats.chunks;
+    }
   }
   head.OnEnd();
   stats.seconds = timer.ElapsedSeconds();

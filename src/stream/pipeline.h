@@ -3,6 +3,7 @@
 #ifndef SKETCHSAMPLE_STREAM_PIPELINE_H_
 #define SKETCHSAMPLE_STREAM_PIPELINE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/stream/operators.h"
@@ -10,9 +11,15 @@
 
 namespace sketchsample {
 
+/// Default pump granularity: big enough to amortize the per-chunk virtual
+/// calls and fill the sketches' kUpdateBatchBlock blocks, small enough that
+/// chunk scratch stays cache-resident.
+inline constexpr size_t kPipelineChunk = 1024;
+
 /// Result of one pipeline run.
 struct PipelineStats {
   uint64_t tuples = 0;         ///< tuples pulled from the source
+  uint64_t chunks = 0;         ///< OnTuples calls issued (0 in scalar mode)
   double seconds = 0;          ///< wall-clock time of the pump loop
   double TuplesPerSecond() const {
     return seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0;
@@ -20,8 +27,12 @@ struct PipelineStats {
 };
 
 /// Pulls every tuple from `source`, pushes it into `head`, calls OnEnd, and
-/// reports counts and wall-clock throughput.
-PipelineStats RunPipeline(StreamSource& source, Operator& head);
+/// reports counts and wall-clock throughput. With chunk_size > 1 the pump
+/// pulls NextChunk/OnTuples batches of up to `chunk_size` tuples; with
+/// chunk_size <= 1 it pumps tuple-at-a-time through Next/OnTuple (the
+/// pre-batching behavior, kept for operators that care about call shape).
+PipelineStats RunPipeline(StreamSource& source, Operator& head,
+                          size_t chunk_size = kPipelineChunk);
 
 }  // namespace sketchsample
 

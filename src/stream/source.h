@@ -7,6 +7,7 @@
 #ifndef SKETCHSAMPLE_STREAM_SOURCE_H_
 #define SKETCHSAMPLE_STREAM_SOURCE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -24,6 +25,20 @@ class StreamSource {
 
   /// The next tuple's join-attribute value, or nullopt at end of stream.
   virtual std::optional<uint64_t> Next() = 0;
+
+  /// Fills out[0..max_n) with up to `max_n` tuples and returns how many
+  /// were produced; 0 means end of stream. The default pulls Next() per
+  /// tuple; concrete sources override it to fill chunks without per-tuple
+  /// virtual dispatch, which is what lets RunPipeline pump batches.
+  virtual size_t NextChunk(uint64_t* out, size_t max_n) {
+    size_t n = 0;
+    while (n < max_n) {
+      const auto value = Next();
+      if (!value) break;
+      out[n++] = *value;
+    }
+    return n;
+  }
 };
 
 /// Source over a materialized vector (e.g. a relation scan).
@@ -35,6 +50,13 @@ class VectorSource final : public StreamSource {
   std::optional<uint64_t> Next() override {
     if (pos_ >= values_.size()) return std::nullopt;
     return values_[pos_++];
+  }
+
+  size_t NextChunk(uint64_t* out, size_t max_n) override {
+    const size_t n = std::min(max_n, values_.size() - pos_);
+    std::copy_n(values_.data() + pos_, n, out);
+    pos_ += n;
+    return n;
   }
 
  private:
@@ -53,6 +75,14 @@ class ZipfSource final : public StreamSource {
     if (remaining_ == 0) return std::nullopt;
     --remaining_;
     return sampler_.Next(rng_);
+  }
+
+  size_t NextChunk(uint64_t* out, size_t max_n) override {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(max_n, remaining_));
+    for (size_t i = 0; i < n; ++i) out[i] = sampler_.Next(rng_);
+    remaining_ -= n;
+    return n;
   }
 
  private:

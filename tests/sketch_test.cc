@@ -219,7 +219,8 @@ TEST(FagmsTest, RowEstimatesHaveRowCount) {
   FagmsSketch sketch(SmallFagms(4, 7, 64));
   sketch.Update(1);
   EXPECT_EQ(sketch.SelfJoinRowEstimates().size(), 7u);
-  EXPECT_EQ(sketch.MemoryBytes(), 7u * 64u * sizeof(double));
+  // Footprint covers counters plus the per-row hash and ξ state.
+  EXPECT_GT(sketch.MemoryBytes(), 7u * 64u * sizeof(double));
 }
 
 // ---------------------------------------------------------------------------

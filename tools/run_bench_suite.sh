@@ -6,10 +6,12 @@
 # Usage: tools/run_bench_suite.sh <out_dir> [build_dir]
 #
 # Profile knobs (environment):
-#   BENCH_REPS    trials per point            (default 3)
-#   BENCH_TUPLES  tuples per relation         (default 100000)
-#   BENCH_SCALE   TPC-H scale factor, figs7/8 (default 0.05)
-#   BENCH_MC      Monte-Carlo trials, ext_generic_variance (default 200)
+#   BENCH_REPS      trials per point            (default 3)
+#   BENCH_TUPLES    tuples per relation         (default 100000)
+#   BENCH_SCALE     TPC-H scale factor, figs7/8 (default 0.05)
+#   BENCH_MC        Monte-Carlo trials, ext_generic_variance (default 200)
+#   BENCH_MIN_TIME  google-benchmark min seconds per point,
+#                   bench_update_throughput (default 0.05)
 set -euo pipefail
 
 out_dir="${1:?usage: run_bench_suite.sh <out_dir> [build_dir]}"
@@ -18,6 +20,7 @@ reps="${BENCH_REPS:-3}"
 tuples="${BENCH_TUPLES:-100000}"
 scale="${BENCH_SCALE:-0.05}"
 mc="${BENCH_MC:-200}"
+min_time="${BENCH_MIN_TIME:-0.05}"
 
 mkdir -p "$out_dir"
 
@@ -39,6 +42,7 @@ run fig6_wr_selfjoin_error "${common[@]}"
 run fig7_wor_tpch_sjoin_error "${common[@]}" --scale_factor="$scale"
 run fig8_wor_tpch_selfjoin_error "${common[@]}" --scale_factor="$scale"
 run bench_sketch_ablation "${common[@]}"
+run bench_update_throughput --benchmark_min_time="$min_time"
 run ext_decomposition_wr_wor --tuples="$tuples"
 run ext_generic_variance --mc_trials="$mc"
 
