@@ -1,6 +1,7 @@
 #include "src/core/corrections.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace sketchsample {
 

@@ -1,6 +1,7 @@
 #include "src/core/generic_variance.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace sketchsample {
 

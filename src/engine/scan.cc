@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace sketchsample {
 

@@ -1,6 +1,7 @@
 #include "src/engine/table.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sketchsample {
 

@@ -1,6 +1,7 @@
 #include "src/prng/materialized.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sketchsample {
 

@@ -1,6 +1,9 @@
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "src/prng/bch.h"
 #include "src/prng/cw.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "src/prng/materialized.h"
 #include "src/util/metrics.h"

@@ -1,5 +1,6 @@
 #include "src/sketch/dyadic.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/util/rng.h"

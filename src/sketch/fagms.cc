@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "src/prng/cw.h"
 #include "src/prng/materialized.h"

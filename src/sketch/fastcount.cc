@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "src/util/metrics.h"
 #include "src/util/rng.h"

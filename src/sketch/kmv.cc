@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -19,6 +20,7 @@ uint64_t KmvSketch::Hash(uint64_t key) const {
 }
 
 void KmvSketch::Update(uint64_t key) {
+  SKETCHSAMPLE_METRIC_INC("sketch.kmv.updates");
   const uint64_t h = Hash(key);
   if (minima_.size() < k_) {
     minima_.insert(h);
@@ -45,6 +47,7 @@ void KmvSketch::Merge(const KmvSketch& other) {
   if (!CompatibleWith(other)) {
     throw std::invalid_argument("merge of incompatible KMV sketches");
   }
+  SKETCHSAMPLE_METRIC_INC("sketch.kmv.merges");
   for (uint64_t h : other.minima_) {
     minima_.insert(h);
   }

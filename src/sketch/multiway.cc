@@ -1,7 +1,9 @@
 #include "src/sketch/multiway.h"
 
 #include <stdexcept>
+#include <utility>
 
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -66,6 +68,7 @@ void MultiwayAgmsSketch::Update(const std::vector<uint64_t>& keys,
   if (keys.size() != slots_.size()) {
     throw std::invalid_argument("multiway update arity mismatch");
   }
+  SKETCHSAMPLE_METRIC_INC("sketch.multiway.updates");
   for (size_t r = 0; r < counters_.size(); ++r) {
     double sign = 1.0;
     for (size_t s = 0; s < slots_.size(); ++s) {
@@ -79,6 +82,7 @@ void MultiwayAgmsSketch::Merge(const MultiwayAgmsSketch& other) {
   if (!CompatibleWith(other) || slots_ != other.slots_) {
     throw std::invalid_argument("merge of incompatible multiway sketches");
   }
+  SKETCHSAMPLE_METRIC_INC("sketch.multiway.merges");
   for (size_t r = 0; r < counters_.size(); ++r) {
     counters_[r] += other.counters_[r];
   }

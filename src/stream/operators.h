@@ -113,8 +113,13 @@ class ShedOperator final : public Operator {
 /// entirely — see MakeSketchSink below.
 class SinkOperator final : public Operator {
  public:
+  // Scalar-compat sink; hot pipelines use the batch constructor below.
+  // lint:allow(hot-path-std-function): one call per tuple by request only
   explicit SinkOperator(std::function<void(uint64_t)> consume)
       : consume_(std::move(consume)) {}
+  // Invoked once per chunk; per-tuple dispatch is devirtualized inside
+  // the sketch's UpdateBatch kernel.
+  // lint:allow(hot-path-std-function): per-chunk cost, not per-tuple
   explicit SinkOperator(std::function<void(const uint64_t*, size_t)> batch)
       : batch_(std::move(batch)) {}
 
@@ -139,7 +144,9 @@ class SinkOperator final : public Operator {
   uint64_t count() const { return count_; }
 
  private:
+  // lint:allow(hot-path-std-function): see the constructors above
   std::function<void(uint64_t)> consume_;
+  // lint:allow(hot-path-std-function): see the constructors above
   std::function<void(const uint64_t*, size_t)> batch_;
   uint64_t count_ = 0;
 };

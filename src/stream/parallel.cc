@@ -1,6 +1,8 @@
 #include "src/stream/parallel.h"
 
+#include <algorithm>
 #include <thread>
+#include <utility>
 
 namespace sketchsample {
 

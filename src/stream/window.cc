@@ -1,6 +1,7 @@
 #include "src/stream/window.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sketchsample {
 

@@ -311,6 +311,10 @@ class Parser {
       while (AtDigit()) ++pos_;
     }
     const std::string token = text_.substr(start, pos_ - start);
+    // The grammar above already rejected everything strtod could choke on,
+    // so the unchecked conversion is safe (huge magnitudes round to ±inf,
+    // which the caller stores as an ordinary double).
+    // NOLINTNEXTLINE(cert-err34-c)
     return JsonValue::Number(std::strtod(token.c_str(), nullptr));
   }
 

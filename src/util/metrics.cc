@@ -1,6 +1,7 @@
 #include "src/util/metrics.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace sketchsample {
 namespace metrics {

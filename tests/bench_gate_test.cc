@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/util/json.h"
+#include "tools/bench_gate_main.h"
 
 namespace sketchsample {
 namespace gate {
@@ -337,6 +338,115 @@ TEST(CompareTest, ChecksCanBeDisabled) {
   ASSERT_EQ(r.failures.size(), 1u);  // only the throughput failure remains
   no_err.check_throughput = false;
   EXPECT_TRUE(Compare(base, cur, no_err).ok);
+}
+
+TEST(CompareTest, EmptyBaselinePointsGateNothing) {
+  // An empty baseline is vacuous coverage: nothing can fail, and extra
+  // current points are noted but never gated.
+  const std::string empty =
+      "{\"schema_version\":1,\"name\":\"fig3\",\"host\":\"hostA\","
+      "\"points\":[]}";
+  const Result both_empty =
+      Compare(MustParse(empty), MustParse(empty), Options());
+  EXPECT_TRUE(both_empty.ok);
+
+  const JsonValue populated = MustParse(
+      ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const Result extra = Compare(MustParse(empty), populated, Options());
+  EXPECT_TRUE(extra.ok);
+  ASSERT_FALSE(extra.notes.empty());
+  EXPECT_NE(extra.notes.back().find("not present in the baseline"),
+            std::string::npos);
+
+  // The reverse — populated baseline, empty current — is a coverage
+  // regression on every baseline point.
+  const Result vanished = Compare(populated, MustParse(empty), Options());
+  EXPECT_FALSE(vanished.ok);
+  ASSERT_EQ(vanished.failures.size(), 1u);
+  EXPECT_NE(vanished.failures[0].find("missing from current"),
+            std::string::npos);
+}
+
+TEST(CompareTest, DisappearedErrorMetricFails) {
+  // The accuracy metric vanishing from the current report must fail, not
+  // silently skip: otherwise a bench that stops reporting accuracy passes
+  // the gate forever.
+  const JsonValue base = MustParse(ReportText(
+      "hostA", "\"mean_rel_error\":0.02,\"stderr_rel_error\":0.002"));
+  const JsonValue cur =
+      MustParse(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  const Result r = Compare(base, cur, Options());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("accuracy coverage regression"),
+            std::string::npos);
+
+  // With the accuracy gate disabled the same pair passes.
+  Options no_err;
+  no_err.check_errors = false;
+  EXPECT_TRUE(Compare(base, cur, no_err).ok);
+}
+
+// Runs BenchGateMain with a synthetic argv (the CLI mutates nothing, but
+// argv must be writable char* per the main() contract).
+int RunBenchGateMain(const std::vector<std::string>& args) {
+  std::vector<std::vector<char>> storage;
+  storage.reserve(args.size() + 1);
+  storage.emplace_back(std::vector<char>{'b', 'g', '\0'});
+  for (const std::string& arg : args) {
+    storage.emplace_back(arg.begin(), arg.end());
+    storage.back().push_back('\0');
+  }
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return BenchGateMain(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchGateMainTest, ExitCodeContract) {
+  const std::string ok_metrics =
+      "\"updates_per_sec\":1.0e6,\"mean_rel_error\":0.02,"
+      "\"stderr_rel_error\":0.002";
+  TempFile baseline(ReportText("hostA", ok_metrics));
+  TempFile same(ReportText("hostA", ok_metrics));
+  TempFile regressed(ReportText("hostA",
+                                "\"updates_per_sec\":0.5e6,"
+                                "\"mean_rel_error\":0.02,"
+                                "\"stderr_rel_error\":0.002"));
+
+  // 0: no regression.
+  EXPECT_EQ(RunBenchGateMain({baseline.path(), same.path()}), 0);
+  // 1: regression detected.
+  EXPECT_EQ(RunBenchGateMain({baseline.path(), regressed.path()}), 1);
+  // 0: the only regression is throughput, and that gate is disabled.
+  EXPECT_EQ(RunBenchGateMain(
+                {"--no_throughput=true", baseline.path(), regressed.path()}),
+            0);
+}
+
+TEST(BenchGateMainTest, UsageAndMalformedInputExitTwo) {
+  TempFile baseline(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+
+  // Wrong arity.
+  EXPECT_EQ(RunBenchGateMain({}), 2);
+  EXPECT_EQ(RunBenchGateMain({baseline.path()}), 2);
+  EXPECT_EQ(RunBenchGateMain(
+                {baseline.path(), baseline.path(), baseline.path()}),
+            2);
+  // Unknown flag.
+  EXPECT_EQ(RunBenchGateMain(
+                {"--no_such_flag=1", baseline.path(), baseline.path()}),
+            2);
+  // Unreadable and malformed current reports.
+  EXPECT_EQ(RunBenchGateMain({baseline.path(), "/nonexistent/cur.json"}), 2);
+  TempFile malformed("{\"schema_version\":1,");
+  EXPECT_EQ(RunBenchGateMain({baseline.path(), malformed.path()}), 2);
+  // Schema-invalid (valid JSON, wrong shape) baseline.
+  TempFile wrong_schema("{\"schema_version\":1}");
+  EXPECT_EQ(RunBenchGateMain({wrong_schema.path(), baseline.path()}), 2);
+  // Empty file.
+  TempFile empty("");
+  EXPECT_EQ(RunBenchGateMain({empty.path(), baseline.path()}), 2);
 }
 
 TEST(GateFilesTest, EndToEndRegressionAndPass) {

@@ -1,0 +1,230 @@
+// Concurrency stress tests for the parallel build path, exercised under
+// ThreadSanitizer by the `tsan` preset/CI job (they also run — and assert
+// bit-exactness — in the regular suites).
+//
+// What is hammered, and why:
+//   * ParallelBuildFagms shares one immutable ξ/hash state across worker
+//     threads via shared_ptr-const (src/stream/parallel.cc); a stray
+//     mutable member in any ξ family would be a silent race that output
+//     statistics cannot reveal (the paper's variance formulas assume exact
+//     sign evaluations).
+//   * Concurrent Merge() reductions: disjoint-pair tree merges are the
+//     pattern distributed aggregation uses; they are race-free only while
+//     sketch copies share no mutable state.
+//   * The metrics registry is written from every instrumented hot path at
+//     once; counters must stay coherent under concurrent Add/snapshot/
+//     enable-toggle traffic.
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/prng/xi.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/sketch.h"
+#include "src/stream/parallel.h"
+#include "src/util/metrics.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+std::vector<uint64_t> MakeStream(size_t n, uint64_t seed, uint64_t domain) {
+  std::vector<uint64_t> stream(n);
+  Xoshiro256 rng(seed);
+  for (auto& key : stream) key = rng.NextBounded(domain);
+  return stream;
+}
+
+// Every ξ scheme's const evaluation path runs concurrently inside
+// ParallelBuildFagms; a data race in any family (e.g. an accidentally
+// cached intermediate) trips TSan here and breaks bit-exactness below.
+TEST(ConcurrencyStressTest, ParallelBuildMatchesSerialForEveryScheme) {
+  const std::vector<uint64_t> stream = MakeStream(1 << 15, 42, 1 << 20);
+  for (XiScheme scheme : {XiScheme::kEh3, XiScheme::kBch3, XiScheme::kBch5,
+                          XiScheme::kCw2, XiScheme::kCw4}) {
+    SketchParams params;
+    params.rows = 5;
+    params.buckets = 512;
+    params.scheme = scheme;
+    params.seed = 7;
+    FagmsSketch serial(params);
+    serial.UpdateBatch(stream);
+    const FagmsSketch parallel = ParallelBuildFagms(stream, params, 8);
+    EXPECT_EQ(serial.counters(), parallel.counters())
+        << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+// Many worker shards update private counters while reader threads
+// concurrently query a master copy sharing the same ξ/hash state: readers
+// must never observe (or cause) writes in the shared immutable part.
+TEST(ConcurrencyStressTest, ShardWritersWithConcurrentSharedStateReaders) {
+  constexpr size_t kShards = 6;
+  constexpr size_t kReaders = 3;
+  constexpr size_t kKeysPerShard = 1 << 13;
+
+  SketchParams params;
+  params.rows = 3;
+  params.buckets = 256;
+  params.scheme = XiScheme::kCw4;
+  params.seed = 11;
+
+  FagmsSketch master(params);
+  master.UpdateBatch(MakeStream(1 << 10, 5, 1 << 16));
+
+  std::vector<FagmsSketch> shards(kShards, master);
+  std::vector<std::vector<uint64_t>> streams;
+  streams.reserve(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    streams.push_back(MakeStream(kKeysPerShard, 100 + s, 1 << 16));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&master, &stop, r] {
+      double sink = 0;
+      uint64_t key = r;
+      while (!stop.load(std::memory_order_acquire)) {
+        sink += master.EstimateSelfJoin();
+        sink += master.EstimateFrequency(key++);
+      }
+      EXPECT_TRUE(sink == sink);  // consume, and reject NaN
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    writers.emplace_back(
+        [&shards, &streams, s] { shards[s].UpdateBatch(streams[s]); });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  // Bit-exactness: each shard started as a copy of the master (counters
+  // U0) and appended its own stream, so it must equal a serial build of
+  // U0 + stream_s — any divergence means the "shared immutable ξ state"
+  // contract was violated somewhere under the concurrent traffic above.
+  for (size_t s = 0; s < kShards; ++s) {
+    FagmsSketch expected(params);
+    expected.UpdateBatch(MakeStream(1 << 10, 5, 1 << 16));
+    expected.UpdateBatch(streams[s]);
+    EXPECT_EQ(shards[s].counters(), expected.counters()) << "shard " << s;
+  }
+}
+
+// Disjoint-pair tree reduction: rounds of concurrent Merge() calls on
+// non-overlapping sketch pairs, the way a distributed aggregator combines
+// per-node sketches. Result must equal the serial left fold.
+TEST(ConcurrencyStressTest, ConcurrentTreeMergeMatchesSerialFold) {
+  constexpr size_t kLeaves = 16;  // power of two
+  constexpr size_t kKeysPerLeaf = 1 << 12;
+
+  SketchParams params;
+  params.rows = 4;
+  params.buckets = 128;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 3;
+
+  const FagmsSketch master(params);
+  std::vector<FagmsSketch> leaves(kLeaves, master);
+  std::vector<std::vector<uint64_t>> streams;
+  streams.reserve(kLeaves);
+  for (size_t i = 0; i < kLeaves; ++i) {
+    streams.push_back(MakeStream(kKeysPerLeaf, 1000 + i, 1 << 18));
+  }
+  {
+    std::vector<std::thread> builders;
+    builders.reserve(kLeaves);
+    for (size_t i = 0; i < kLeaves; ++i) {
+      builders.emplace_back(
+          [&leaves, &streams, i] { leaves[i].UpdateBatch(streams[i]); });
+    }
+    for (auto& b : builders) b.join();
+  }
+
+  for (size_t stride = 1; stride < kLeaves; stride *= 2) {
+    std::vector<std::thread> mergers;
+    for (size_t i = 0; i + stride < kLeaves; i += 2 * stride) {
+      mergers.emplace_back(
+          [&leaves, i, stride] { leaves[i].Merge(leaves[i + stride]); });
+    }
+    for (auto& m : mergers) m.join();
+  }
+
+  FagmsSketch serial(params);
+  for (size_t i = 0; i < kLeaves; ++i) serial.UpdateBatch(streams[i]);
+  EXPECT_EQ(serial.counters(), leaves.front().counters());
+}
+
+// The registry takes concurrent Add() traffic from instrumented hot paths,
+// snapshot reads, first-use registrations, and enable toggles all at once.
+TEST(ConcurrencyStressTest, MetricsRegistryUnderConcurrentTraffic) {
+  constexpr size_t kWriters = 6;
+  constexpr uint64_t kIters = 20000;
+
+  const bool was_enabled = metrics::Enabled();
+  metrics::SetEnabled(true);
+  metrics::Registry& registry = metrics::Registry::Global();
+  registry.GetCounter("stress.exact").Reset();
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const JsonValue snapshot = registry.ToJson();
+      ASSERT_TRUE(snapshot.is_object());
+      (void)registry.Counters();
+      (void)registry.Timers();
+    }
+  });
+  std::thread toggler([&stop] {
+    // Flipping the global switch mid-run is documented as safe; hot paths
+    // must keep their load+branch coherent while it changes.
+    bool on = true;
+    while (!stop.load(std::memory_order_acquire)) {
+      metrics::SetEnabled(on = !on);
+      std::this_thread::yield();
+    }
+    metrics::SetEnabled(true);
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      // Exact counter: bypasses the enabled() gate, so the final count is
+      // deterministic regardless of the toggler.
+      metrics::Counter& exact = registry.GetCounter("stress.exact");
+      for (uint64_t i = 0; i < kIters; ++i) {
+        exact.Add(1);
+        SKETCHSAMPLE_METRIC_INC("stress.gated");
+        // First-use registration from several threads at once.
+        registry.GetCounter("stress.lane." + std::to_string(i % 4 + w % 2))
+            .Add(1);
+        if (i % 1024 == 0) {
+          SKETCHSAMPLE_METRIC_SCOPED_TIMER("stress.timer");
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  toggler.join();
+
+  EXPECT_EQ(registry.GetCounter("stress.exact").Get(), kWriters * kIters);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("stress.exact").Get(), 0u);
+  metrics::SetEnabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace sketchsample

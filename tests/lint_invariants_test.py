@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint_invariants.py.
+
+Each rule is exercised against synthetic sources laid out in a temp repo
+root, both in its firing and its waived/clean configuration — the linter
+gates CI, so the linter itself is under test (same policy as the bench
+gate). Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+import lint_invariants as lint  # noqa: E402
+
+
+def make_source(path_rel, text, root):
+    path = os.path.join(root, path_rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return lint.SourceFile.load(root, path_rel)
+
+
+class StripTest(unittest.TestCase):
+    def test_preserves_line_structure(self):
+        text = 'int a; // rand()\nconst char* s = "std::random_device";\nint b;\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+        self.assertNotIn("rand", stripped)
+        self.assertNotIn("random_device", stripped)
+
+    def test_block_comments_and_char_literals(self):
+        text = "/* rand() \n rand() */ char c = '%';\n"
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertNotIn("rand", stripped)
+        self.assertNotIn("%", stripped)
+
+
+class RulesTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="lint_test_")
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def violations(self, path_rel, text, check):
+        return check(make_source(path_rel, text, self.root))
+
+    # ---- forbidden-rng ----
+
+    def test_forbidden_rng_fires(self):
+        v = self.violations(
+            "src/sampling/bad.cc",
+            "int f() { return rand(); }\n",
+            lint.check_forbidden_rng,
+        )
+        self.assertEqual([x.rule for x in v], ["forbidden-rng"])
+
+    def test_forbidden_rng_random_device(self):
+        v = self.violations(
+            "src/core/bad.cc",
+            "#include <random>\nstd::random_device rd;\n",
+            lint.check_forbidden_rng,
+        )
+        self.assertTrue(v)
+
+    def test_forbidden_rng_ignores_comments_and_home(self):
+        self.assertFalse(
+            self.violations(
+                "src/core/ok.cc",
+                "// rand() is banned here\nint x;\n",
+                lint.check_forbidden_rng,
+            )
+        )
+        self.assertFalse(
+            self.violations(
+                "src/util/rng.h",
+                "int seed() { return rand(); }\n",  # home file is exempt
+                lint.check_forbidden_rng,
+            )
+        )
+
+    def test_forbidden_rng_does_not_flag_suffix_identifiers(self):
+        self.assertFalse(
+            self.violations(
+                "src/core/ok2.cc",
+                "int expand(int x) { return do_expand(x); }\n"
+                "double integrand(double t);\n",
+                lint.check_forbidden_rng,
+            )
+        )
+
+    # ---- hot-path-std-function ----
+
+    def test_hot_path_std_function_fires_and_waives(self):
+        bad = "#include <functional>\nstd::function<void()> cb;\n"
+        v = self.violations(
+            "src/sketch/bad.h", bad, lint.check_hot_path_std_function
+        )
+        self.assertEqual([x.rule for x in v], ["hot-path-std-function"])
+
+        waived = (
+            "#include <functional>\n"
+            "// lint:allow(hot-path-std-function): invoked once per chunk\n"
+            "std::function<void()> cb;\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/sketch/ok.h", waived, lint.check_hot_path_std_function
+            )
+        )
+
+    def test_hot_path_rule_ignores_cold_layers(self):
+        self.assertFalse(
+            self.violations(
+                "src/core/ok.cc",
+                "#include <functional>\nstd::function<void()> cb;\n",
+                lint.check_hot_path_std_function,
+            )
+        )
+
+    # ---- batch-kernel-modulo ----
+
+    def test_batch_modulo_fires_inside_batch_kernel_only(self):
+        text = (
+            "void SignBatch(const uint64_t* k, size_t n, uint64_t* out) {\n"
+            "  for (size_t i = 0; i < n; ++i) out[i] = k[i] % 7;\n"
+            "}\n"
+            "uint64_t Scalar(uint64_t k) { return k % 7; }\n"
+        )
+        v = self.violations(
+            "src/prng/bad.cc", text, lint.check_batch_kernel_modulo
+        )
+        self.assertEqual(len(v), 1)
+        self.assertEqual(v[0].rule, "batch-kernel-modulo")
+
+    def test_batch_modulo_ignores_declarations_and_strings(self):
+        text = (
+            "void SignBatch(const uint64_t* k, size_t n, uint64_t* out);\n"
+            'void BucketBatch() { printf("100%%\\n"); }\n'
+        )
+        self.assertFalse(
+            self.violations(
+                "src/prng/ok.cc", text, lint.check_batch_kernel_modulo
+            )
+        )
+
+    # ---- mutator-metrics ----
+
+    def test_mutator_metrics_fires(self):
+        text = "void FooSketch::Update(uint64_t k) { table_[k] += 1; }\n"
+        v = self.violations(
+            "src/sketch/foo.cc", text, lint.check_mutator_metrics
+        )
+        self.assertEqual([x.rule for x in v], ["mutator-metrics"])
+
+    def test_mutator_metrics_accepts_hook_and_forwarders(self):
+        hooked = (
+            "void FooSketch::Update(uint64_t k) {\n"
+            '  SKETCHSAMPLE_METRIC_INC("sketch.foo.updates");\n'
+            "  table_[k] += 1;\n"
+            "}\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/sketch/hooked.cc", hooked, lint.check_mutator_metrics
+            )
+        )
+        forwarder = (
+            "void FooSketch::Update(uint64_t k) { UpdateBatch(&k, 1); }\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/sketch/fwd.cc", forwarder, lint.check_mutator_metrics
+            )
+        )
+
+    def test_mutator_metrics_only_sketch_cc(self):
+        text = "void Foo::Update(uint64_t k) { table_[k] += 1; }\n"
+        self.assertFalse(
+            self.violations("src/core/foo.cc", text, lint.check_mutator_metrics)
+        )
+
+    # ---- direct-include ----
+
+    def test_direct_include_fires(self):
+        v = self.violations(
+            "src/core/bad.h",
+            "inline int f() { return std::min(1, 2); }\n",
+            lint.check_direct_include,
+        )
+        self.assertEqual([x.rule for x in v], ["direct-include"])
+        self.assertIn("<algorithm>", v[0].message)
+
+    def test_direct_include_satisfied_directly_or_via_own_header(self):
+        self.assertFalse(
+            self.violations(
+                "src/core/ok.h",
+                "#include <algorithm>\n"
+                "inline int f() { return std::min(1, 2); }\n",
+                lint.check_direct_include,
+            )
+        )
+        make_source("src/core/pair.h", "#include <algorithm>\n", self.root)
+        self.assertFalse(
+            self.violations(
+                "src/core/pair.cc",
+                '#include "src/core/pair.h"\n'
+                "int g() { return std::min(1, 2); }\n",
+                lint.check_direct_include,
+            )
+        )
+
+    def test_direct_include_skips_tests_and_bench(self):
+        self.assertFalse(
+            self.violations(
+                "tests/whatever_test.cc",
+                "int f() { return std::min(1, 2); }\n",
+                lint.check_direct_include,
+            )
+        )
+
+
+class HeaderCheckTest(unittest.TestCase):
+    def test_non_self_contained_header_fails(self):
+        cxx = os.environ.get("CXX", "c++")
+        import shutil
+
+        if shutil.which(cxx) is None:
+            self.skipTest(f"no compiler '{cxx}'")
+        with tempfile.TemporaryDirectory(prefix="lint_hdr_test_") as root:
+            good = os.path.join(root, "src", "good.h")
+            bad = os.path.join(root, "src", "bad.h")
+            os.makedirs(os.path.dirname(good))
+            with open(good, "w") as fh:
+                fh.write(
+                    "#ifndef GOOD_H_\n#define GOOD_H_\n"
+                    "#include <vector>\n"
+                    "inline bool f(const std::vector<int>& v) "
+                    "{ return v.empty(); }\n"
+                    "#endif\n"
+                )
+            with open(bad, "w") as fh:
+                # Uses std::vector without including it: only compiles when
+                # some other header happened to pull <vector> in first.
+                fh.write(
+                    "#ifndef BAD_H_\n#define BAD_H_\n"
+                    "inline bool f(const std::vector<int>& v) "
+                    "{ return v.empty(); }\n"
+                    "#endif\n"
+                )
+            v = lint.check_headers(root, ["src/good.h", "src/bad.h"], cxx)
+            self.assertEqual([x.path for x in v], ["src/bad.h"])
+            self.assertEqual(v[0].rule, "self-contained-header")
+
+
+if __name__ == "__main__":
+    unittest.main()

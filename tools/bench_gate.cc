@@ -4,93 +4,11 @@
 //
 // Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
 // malformed input. See tools/gate.h for the comparison rules and
-// docs/BENCHMARKS.md for how CI records baselines.
-#include <cstdio>
-#include <cstring>
-#include <string>
-#include <vector>
+// docs/BENCHMARKS.md for how CI records baselines. The implementation
+// lives in tools/bench_gate_main.cc so the exit-code contract is unit
+// tested.
+#include "tools/bench_gate_main.h"
 
-#include "src/util/flags.h"
-#include "tools/gate.h"
-
-namespace sketchsample {
-namespace {
-
-int Main(int argc, char** argv) {
-  Flags flags;
-  flags.Define("throughput_tolerance", "0.15",
-               "max fractional updates/sec drop before failing");
-  flags.Define("error_sigmas", "3",
-               "allowed mean_rel_error increase, in combined stderr units");
-  flags.Define("min_gate_seconds", "0.25",
-               "minimum baseline measured seconds for the duration-weighted "
-               "throughput gate to engage");
-  flags.Define("no_throughput", "false", "skip the throughput gate entirely");
-  flags.Define("no_errors", "false", "skip the accuracy gate entirely");
-  flags.Define("force_throughput", "false",
-               "gate throughput even when reports come from different hosts");
-
-  // Split positional file arguments from --flags before handing the rest to
-  // the Flags parser (which treats unknown positionals as errors).
-  std::vector<char*> flag_args = {argv[0]};
-  std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flag_args.push_back(argv[i]);
-    } else {
-      files.push_back(argv[i]);
-    }
-  }
-  if (!flags.Parse(static_cast<int>(flag_args.size()), flag_args.data())) {
-    return 2;
-  }
-  if (files.size() != 2) {
-    std::fprintf(stderr,
-                 "usage: bench_gate [--flags] baseline.json current.json\n");
-    flags.PrintUsage(argv[0]);
-    return 2;
-  }
-
-  gate::Options options;
-  options.throughput_tolerance = flags.GetDouble("throughput_tolerance");
-  options.error_sigmas = flags.GetDouble("error_sigmas");
-  options.min_gate_seconds = flags.GetDouble("min_gate_seconds");
-  options.check_throughput = !flags.GetBool("no_throughput");
-  options.check_errors = !flags.GetBool("no_errors");
-  options.force_throughput = flags.GetBool("force_throughput");
-
-  // Load both reports first: unreadable/malformed/schema-invalid input is a
-  // usage error (exit 2), distinct from a detected regression (exit 1).
-  std::string error;
-  const auto baseline = gate::LoadReport(files[0], &error);
-  if (!baseline.has_value()) {
-    std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
-    return 2;
-  }
-  const auto current = gate::LoadReport(files[1], &error);
-  if (!current.has_value()) {
-    std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
-    return 2;
-  }
-
-  const gate::Result result = gate::Compare(*baseline, *current, options);
-  for (const std::string& note : result.notes) {
-    std::fprintf(stderr, "note: %s\n", note.c_str());
-  }
-  if (!result.ok) {
-    for (const std::string& failure : result.failures) {
-      std::fprintf(stderr, "FAIL: %s\n", failure.c_str());
-    }
-    std::fprintf(stderr, "bench_gate: %zu regression check(s) failed\n",
-                 result.failures.size());
-    return 1;
-  }
-  std::printf("bench_gate: %s vs %s OK\n", files[0].c_str(),
-              files[1].c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return sketchsample::gate::BenchGateMain(argc, argv);
 }
-
-}  // namespace
-}  // namespace sketchsample
-
-int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

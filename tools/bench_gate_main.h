@@ -1,0 +1,19 @@
+// Testable entry point for the bench_gate CLI (tools/bench_gate.cc is a
+// thin main() wrapper). Split out so the exit-code contract — 0 no
+// regression, 1 regression detected, 2 usage or malformed input — is
+// itself under unit test (tests/bench_gate_test.cc).
+#ifndef SKETCHSAMPLE_TOOLS_BENCH_GATE_MAIN_H_
+#define SKETCHSAMPLE_TOOLS_BENCH_GATE_MAIN_H_
+
+namespace sketchsample {
+namespace gate {
+
+/// Runs the bench_gate CLI: parses --flags and two positional report
+/// paths from argv, loads/validates both reports, compares them, and
+/// prints notes/failures to stderr. Returns the process exit code.
+int BenchGateMain(int argc, char** argv);
+
+}  // namespace gate
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_TOOLS_BENCH_GATE_MAIN_H_

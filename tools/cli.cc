@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>

@@ -198,6 +198,15 @@ Result Compare(const JsonValue& baseline, const JsonValue& current,
     if (options.check_errors) {
       const auto base_mean = PointMetric(base_point, "mean_rel_error");
       const auto cur_mean = PointMetric(cur_point, "mean_rel_error");
+      if (base_mean.has_value() && !cur_mean.has_value()) {
+        // A gated metric silently disappearing is a coverage regression:
+        // without this check a bench that stops reporting accuracy would
+        // pass the gate forever.
+        result.failures.push_back(
+            Describe(name, key) +
+            " mean_rel_error present in baseline but missing from current "
+            "report (accuracy coverage regression)");
+      }
       if (base_mean.has_value() && cur_mean.has_value()) {
         const double base_se =
             PointMetric(base_point, "stderr_rel_error").value_or(0.0);

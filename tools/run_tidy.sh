@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the project's compile database with the repo's
+# curated .clang-tidy check set, treating every finding as an error
+# (zero-warning policy — see docs/STATIC_ANALYSIS.md).
+#
+# Usage:
+#   tools/run_tidy.sh [BUILD_DIR] [FILE...]
+#
+#   BUILD_DIR   directory holding compile_commands.json (default: build).
+#               Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+#   FILE...     restrict the run to these sources (incremental mode, used
+#               by the per-PR CI job). Default: every first-party .cc in
+#               the compile database.
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary (default: clang-tidy)
+#   TIDY_JOBS   parallel jobs (default: nproc)
+#   TIDY_LOG    when set, tee full diagnostics into this file (CI uploads
+#               it as an artifact)
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+jobs="${TIDY_JOBS:-$(nproc)}"
+log="${TIDY_LOG:-}"
+
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  echo "run_tidy.sh: '$clang_tidy' not found (set CLANG_TIDY)" >&2
+  exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy.sh: $build_dir/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# File list: explicit arguments (incremental mode), or every first-party
+# translation unit in the compile database. Headers are covered through
+# the TUs that include them via HeaderFilterRegex.
+files=()
+if [ "$#" -gt 0 ]; then
+  for f in "$@"; do
+    case "$f" in
+      *.cc) files+=("$f") ;;
+      *.h)  ;;  # headers are checked through including TUs
+      *)    echo "run_tidy.sh: skipping non-C++ file $f" >&2 ;;
+    esac
+  done
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "run_tidy.sh: no .cc files to check"
+    exit 0
+  fi
+else
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(python3 - "$build_dir/compile_commands.json" <<'EOF'
+import json, os, sys
+root = os.getcwd()
+for entry in json.load(open(sys.argv[1])):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if not rel.startswith(".."):
+        print(rel)
+EOF
+)
+fi
+
+echo "run_tidy.sh: checking ${#files[@]} file(s) with $clang_tidy ($jobs jobs)"
+
+run() {
+  printf '%s\0' "${files[@]}" |
+    xargs -0 -n 1 -P "$jobs" \
+      "$clang_tidy" -p "$build_dir" --quiet --warnings-as-errors='*'
+}
+
+status=0
+if [ -n "$log" ]; then
+  run 2>&1 | tee "$log" || status=$?
+else
+  run || status=$?
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy.sh: clang-tidy reported findings (zero-warning policy)" >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean"
