@@ -282,7 +282,7 @@ def check_batch_kernel_modulo(f: SourceFile) -> list[Violation]:
                     f.path,
                     lineno,
                     "batch-kernel-modulo",
-                    f"hardware %% inside batch kernel {name}(); use "
+                    f"hardware % inside batch kernel {name}(); use "
                     "PairwiseHash::FastModBuckets (mulhi magic) or a bitmask",
                 )
             )

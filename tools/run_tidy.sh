@@ -37,21 +37,48 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
 fi
 
 # File list: explicit arguments (incremental mode), or every first-party
-# translation unit in the compile database. Headers are covered through
-# the TUs that include them via HeaderFilterRegex.
+# translation unit in the compile database. Headers have no compile-database
+# entry of their own, so a changed header is expanded to every TU that
+# reaches it (transitively, via intermediate headers); HeaderFilterRegex
+# then surfaces the header's own diagnostics from those TUs.
 files=()
 if [ "$#" -gt 0 ]; then
+  headers=()
   for f in "$@"; do
     case "$f" in
       *.cc) files+=("$f") ;;
-      *.h)  ;;  # headers are checked through including TUs
+      *.h)  headers+=("$f") ;;
       *)    echo "run_tidy.sh: skipping non-C++ file $f" >&2 ;;
     esac
+  done
+  # BFS over includers: includes are repo-relative ("src/x/y.h"), so a
+  # fixed-string grep finds every direct includer; headers found along the
+  # way are queued so header-only include chains still reach a TU.
+  seen_headers=" "
+  while [ "${#headers[@]}" -gt 0 ]; do
+    h="${headers[0]}"
+    headers=("${headers[@]:1}")
+    case "$seen_headers" in *" $h "*) continue ;; esac
+    seen_headers="$seen_headers$h "
+    includers="$(grep -rl --include='*.cc' --include='*.h' \
+                   -F "#include \"$h\"" \
+                   src tools bench tests examples 2>/dev/null || true)"
+    if [ -z "$includers" ]; then
+      echo "run_tidy.sh: warning: no TU includes $h; header not analyzed" >&2
+      continue
+    fi
+    while IFS= read -r inc; do
+      case "$inc" in
+        *.cc) files+=("$inc") ;;
+        *.h)  headers+=("$inc") ;;
+      esac
+    done <<<"$includers"
   done
   if [ "${#files[@]}" -eq 0 ]; then
     echo "run_tidy.sh: no .cc files to check"
     exit 0
   fi
+  mapfile -t files < <(printf '%s\n' "${files[@]}" | sort -u)
 else
   while IFS= read -r f; do
     files+=("$f")
