@@ -76,7 +76,9 @@ class Reader {
   }
 
   std::vector<double> GetDoubles(uint64_t count) {
-    if (pos_ + count * sizeof(double) > end_) {
+    // Divide instead of multiplying: `count * sizeof(double)` can wrap for
+    // a hostile count, sailing past the bound into a huge allocation.
+    if (count > (end_ - pos_) / sizeof(double)) {
       throw std::invalid_argument("sketch buffer truncated");
     }
     std::vector<double> values(count);
@@ -91,6 +93,8 @@ class Reader {
       throw std::invalid_argument("sketch buffer has trailing bytes");
     }
   }
+
+  size_t RemainingBytes() const { return end_ - pos_; }
 
  private:
   const std::vector<uint8_t>& bytes_;
@@ -155,6 +159,31 @@ SketchT DeserializeImpl(SketchKind expected,
   const Header h = ReadHeader(reader);
   if (h.kind != expected) {
     throw std::invalid_argument("sketch buffer holds a different kind");
+  }
+  // Hostile-buffer hardening: validate the declared shape against the kind
+  // and the actual payload size BEFORE constructing the sketch. The
+  // checksum only protects against accidental corruption — an attacker can
+  // compute a valid FNV-1a for any forged header, so rows/buckets must not
+  // be allowed to drive unbounded allocations or multiply into overflow.
+  if (h.params.rows == 0) {
+    throw std::invalid_argument("sketch buffer declares zero rows");
+  }
+  uint64_t expected_counters = h.params.rows;
+  if (expected != SketchKind::kAgms) {  // AGMS ignores buckets
+    if (h.params.buckets == 0) {
+      throw std::invalid_argument("sketch buffer declares zero buckets");
+    }
+    if (__builtin_mul_overflow(static_cast<uint64_t>(h.params.rows),
+                               static_cast<uint64_t>(h.params.buckets),
+                               &expected_counters)) {
+      throw std::invalid_argument("sketch buffer shape overflows");
+    }
+  }
+  if (h.counter_count != expected_counters) {
+    throw std::invalid_argument("sketch buffer counter count mismatch");
+  }
+  if (h.counter_count > reader.RemainingBytes() / sizeof(double)) {
+    throw std::invalid_argument("sketch buffer truncated");
   }
   SketchT sketch(h.params);
   if (h.counter_count != sketch.counters().size()) {

@@ -1,0 +1,146 @@
+// Checkpoint/recovery for the streaming pipeline.
+//
+// A checkpoint is a self-describing byte buffer capturing everything a
+// pipeline needs to resume bit-exactly after a crash: the absolute source
+// position, the shed operator's sampling state (rate, pending skip gap, and
+// both sampler RNG states), the adaptive controller's state, and the sketch
+// itself (reusing the src/sketch/serialize wire format as an embedded
+// blob). Because every component is a deterministic function of (seed,
+// consumed prefix), restoring the states and fast-forwarding a freshly
+// built source past `source_tuples` reproduces the uninterrupted run's
+// sketch contents and estimate bit-for-bit — the kill-and-resume tests
+// assert exact equality, not approximation.
+//
+// Wire format (little-endian, fixed-width):
+//
+//   magic "SKCP" (4) | version u32 | source_tuples u64 | flags u8 |
+//   [shed state: p f64, skip u64, seen u64, forwarded u64, has_skipper u8,
+//    coin_rng u64×4, skip_rng u64×4]            — iff flags bit 0
+//   [controller state: p f64, backlog f64, windows u64, offered u64,
+//    kept u64]                                   — iff flags bit 1
+//   sketch_len u64 | sketch bytes (inner format: src/sketch/serialize.h) |
+//   crc32 u32 over every preceding byte
+//
+// Deserialization validates magic, version, flags, lengths, value ranges,
+// and the CRC32 footer, throwing CheckpointError on any mismatch — a
+// corrupt or truncated checkpoint must never crash the process or load
+// silently.
+#ifndef SKETCHSAMPLE_STREAM_CHECKPOINT_H_
+#define SKETCHSAMPLE_STREAM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sketch/serialize.h"
+#include "src/stream/operators.h"
+#include "src/stream/shed_controller.h"
+#include "src/stream/source.h"
+
+namespace sketchsample {
+
+/// Typed error for malformed, truncated, or corrupt checkpoint buffers.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One recoverable pipeline snapshot.
+struct PipelineCheckpoint {
+  /// Tuples the source had emitted when the snapshot was taken; recovery
+  /// fast-forwards a fresh source past this prefix (DiscardTuples).
+  uint64_t source_tuples = 0;
+  bool has_shed = false;
+  ShedOperatorState shed{};
+  bool has_controller = false;
+  ShedController::State controller{};
+  /// Serialized sketch (src/sketch/serialize.h format); empty when the
+  /// pipeline has no checkpointable sketch registered. Restore with the
+  /// matching Deserialize* (PeekSketchKind identifies the type).
+  std::vector<uint8_t> sketch;
+};
+
+std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp);
+
+/// Throws CheckpointError on any format, range, or checksum violation.
+PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes);
+
+/// Where RunPipeline delivers periodic checkpoints.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  /// `bytes` is the serialized checkpoint; `source_tuples` its position.
+  virtual void Write(const std::vector<uint8_t>& bytes,
+                     uint64_t source_tuples) = 0;
+};
+
+/// Keeps only the most recent checkpoint in memory (tests, in-process
+/// supervision).
+class LatestCheckpointSink final : public CheckpointSink {
+ public:
+  void Write(const std::vector<uint8_t>& bytes,
+             uint64_t source_tuples) override {
+    bytes_ = bytes;
+    source_tuples_ = source_tuples;
+    ++writes_;
+  }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  uint64_t source_tuples() const { return source_tuples_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t source_tuples_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// Persists each checkpoint to `path`, replacing the previous one via a
+/// write-to-temporary-then-rename so a crash mid-write leaves the prior
+/// checkpoint intact. Throws std::runtime_error on I/O failure.
+class FileCheckpointSink final : public CheckpointSink {
+ public:
+  explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {}
+  void Write(const std::vector<uint8_t>& bytes,
+             uint64_t source_tuples) override;
+
+ private:
+  std::string path_;
+};
+
+/// Type-erased "snapshot the sketch" hook for RunPipeline, which cannot see
+/// the concrete sketch type behind its sink operator.
+class SketchSnapshotter {
+ public:
+  virtual ~SketchSnapshotter() = default;
+  virtual std::vector<uint8_t> Snapshot() const = 0;
+};
+
+/// Snapshotter over any serializable sketch. `sketch` must outlive it.
+template <typename SketchT>
+class SketchSnapshot final : public SketchSnapshotter {
+ public:
+  explicit SketchSnapshot(const SketchT& sketch) : sketch_(&sketch) {}
+  std::vector<uint8_t> Snapshot() const override {
+    return SerializeSketch(*sketch_);
+  }
+
+ private:
+  const SketchT* sketch_;
+};
+
+/// Restores the recoverable components from a checkpoint: shed and
+/// controller states (when present and the pointer is non-null) and the
+/// source position (fast-forwarding `source`, which must be a fresh
+/// deterministic reconstruction of the original). Throws CheckpointError
+/// if the source ends before the checkpointed position — that means the
+/// source is not the one the checkpoint was taken against. The sketch blob
+/// is restored separately by the caller, which knows its concrete type.
+void RestorePipelineComponents(const PipelineCheckpoint& cp,
+                               StreamSource& source, ShedOperator* shed,
+                               ShedController* controller);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_CHECKPOINT_H_

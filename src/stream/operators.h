@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/sampling/bernoulli.h"
+#include "src/util/rng.h"
 
 namespace sketchsample {
 
@@ -40,6 +41,20 @@ class Operator {
   virtual void OnEnd() {}
 };
 
+/// Serializable shed-stage state: the sampling rate, the pending skip gap,
+/// both sampler RNG states, and the realized counts. Captured/restored by
+/// the checkpoint layer (src/stream/checkpoint.h) so a resumed pipeline
+/// continues the exact coin/skip sequence of the interrupted one.
+struct ShedOperatorState {
+  double p = 1.0;
+  uint64_t skip = 0;
+  uint64_t seen = 0;
+  uint64_t forwarded = 0;
+  bool has_skipper = false;
+  Xoshiro256::State coin_rng{};
+  Xoshiro256::State skip_rng{};
+};
+
 /// Load-shedding stage: forwards each tuple with probability p.
 ///
 /// The scalar path flips one Bernoulli coin per tuple; the batch path uses
@@ -48,12 +63,19 @@ class Operator {
 /// proportional to the number of *kept* tuples. Both paths sample the exact
 /// Bernoulli(p) law but consume independent randomness, so mixing them
 /// yields a different (equally valid) sample realization.
+///
+/// The rate is adjustable mid-stream (SetP) so a ShedController can close
+/// the loop between measured throughput and p; the realized kept/dropped
+/// counts (not the nominal p) are what estimators must scale by after an
+/// adaptive run.
 class ShedOperator final : public Operator {
  public:
   ShedOperator(double p, uint64_t seed, Operator* downstream)
-      : sampler_(p, seed), downstream_(downstream) {
+      : sampler_(p, seed),
+        skip_seed_(seed ^ 0x9e3779b97f4a7c15ULL),
+        downstream_(downstream) {
     if (p > 0.0) {
-      skipper_.emplace(p, seed ^ 0x9e3779b97f4a7c15ULL);
+      skipper_.emplace(p, skip_seed_);
       skip_ = skipper_->NextSkip();
     }
   }
@@ -93,13 +115,70 @@ class ShedOperator final : public Operator {
 
   void OnEnd() override { downstream_->OnEnd(); }
 
+  /// Retargets the shed rate. Applies to tuples arriving after the call:
+  /// the coin path keeps them with the new p, and the skip path re-draws
+  /// its pending gap under the new rate (the old gap's law no longer
+  /// matches). Counts are not reset — realized_rate() spans rate changes,
+  /// which is exactly what the adaptive estimator needs.
+  void SetP(double p) {
+    sampler_.SetP(p);
+    if (p <= 0.0) {
+      skipper_.reset();
+      skip_ = 0;
+      return;
+    }
+    if (skipper_) {
+      skipper_->SetP(p);
+    } else {
+      skipper_.emplace(p, skip_seed_);
+    }
+    skip_ = skipper_->NextSkip();
+  }
+
   uint64_t seen() const { return seen_; }
   uint64_t forwarded() const { return forwarded_; }
+  uint64_t dropped() const { return seen_ - forwarded_; }
+  double p() const { return sampler_.p(); }
+  /// The effective sampling rate actually realized over the run so far:
+  /// forwarded/seen. Falls back to the nominal p before any tuple arrives.
+  double realized_rate() const {
+    return seen_ == 0 ? sampler_.p()
+                      : static_cast<double>(forwarded_) /
+                            static_cast<double>(seen_);
+  }
+
+  ShedOperatorState SaveState() const {
+    ShedOperatorState state;
+    state.p = sampler_.p();
+    state.skip = skip_;
+    state.seen = seen_;
+    state.forwarded = forwarded_;
+    state.has_skipper = skipper_.has_value();
+    state.coin_rng = sampler_.SaveRngState();
+    if (skipper_) state.skip_rng = skipper_->SaveRngState();
+    return state;
+  }
+
+  void RestoreState(const ShedOperatorState& state) {
+    sampler_.SetP(state.p);
+    sampler_.RestoreRngState(state.coin_rng);
+    if (state.has_skipper) {
+      if (!skipper_) skipper_.emplace(state.p, skip_seed_);
+      skipper_->SetP(state.p);
+      skipper_->RestoreRngState(state.skip_rng);
+    } else {
+      skipper_.reset();
+    }
+    skip_ = state.skip;
+    seen_ = state.seen;
+    forwarded_ = state.forwarded;
+  }
 
  private:
   BernoulliSampler sampler_;                     // scalar path
   std::optional<GeometricSkipSampler> skipper_;  // batch path (unset: p == 0)
   uint64_t skip_ = 0;  // tuples still to shed before the next kept one
+  uint64_t skip_seed_;  // retained so SetP can revive a p==0 skipper
   Operator* downstream_;
   std::vector<uint64_t> kept_;  // batch-path compaction scratch
   uint64_t seen_ = 0;

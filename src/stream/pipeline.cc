@@ -1,5 +1,6 @@
 #include "src/stream/pipeline.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/util/metrics.h"
@@ -25,7 +26,141 @@ PipelineStats RunPipeline(StreamSource& source, Operator& head,
       ++stats.chunks;
     }
   }
+  stats.ended = true;
   head.OnEnd();
+  stats.seconds = timer.ElapsedSeconds();
+  SKETCHSAMPLE_METRIC_ADD("stream.pipeline.tuples", stats.tuples);
+  return stats;
+}
+
+namespace {
+
+// Builds and delivers one checkpoint at absolute position `total`.
+void WriteCheckpoint(const PipelineOptions& options, uint64_t total,
+                     PipelineStats& stats) {
+  PipelineCheckpoint cp;
+  cp.source_tuples = total;
+  if (options.shed != nullptr) {
+    cp.has_shed = true;
+    cp.shed = options.shed->SaveState();
+  }
+  if (options.controller != nullptr) {
+    cp.has_controller = true;
+    cp.controller = options.controller->SaveState();
+  }
+  if (options.snapshot != nullptr) cp.sketch = options.snapshot->Snapshot();
+  options.checkpoint_sink->Write(SerializeCheckpoint(cp), total);
+  ++stats.checkpoints;
+}
+
+}  // namespace
+
+PipelineStats RunPipeline(StreamSource& source, Operator& head,
+                          const PipelineOptions& options) {
+  PipelineStats stats;
+  SKETCHSAMPLE_METRIC_SCOPED_TIMER("stream.pipeline");
+  Timer timer;
+  const size_t chunk_size = std::max<size_t>(1, options.chunk_size);
+  std::vector<uint64_t> chunk(chunk_size);
+
+  const bool adaptive =
+      options.shed != nullptr && options.controller != nullptr;
+  const uint64_t window =
+      adaptive ? options.controller->options().window_tuples : 0;
+  const bool checkpointing =
+      options.checkpoint_sink != nullptr && options.checkpoint_every > 0;
+
+  // Absolute stream position; window/checkpoint boundaries are phase-locked
+  // to it so a resumed run makes the same control decisions at the same
+  // offsets as an uninterrupted one.
+  uint64_t total = options.initial_tuples;
+  uint64_t next_window =
+      adaptive ? (total / window + 1) * window : UINT64_MAX;
+  uint64_t next_checkpoint =
+      checkpointing ? (total / options.checkpoint_every + 1) *
+                          options.checkpoint_every
+                    : UINT64_MAX;
+  // Window deltas are measured against the shed stage's counts at the last
+  // window tick. On a fresh run that is the shed's current counts; on a
+  // resume it is the controller's cumulative totals — checkpoints need not
+  // align with window boundaries, and the restored shed counters sit at the
+  // checkpoint position, not at the last window tick. Basing the delta on
+  // the controller totals makes the first post-resume window span the same
+  // tuples as in the uninterrupted run (bit-exact control decisions).
+  uint64_t window_seen_base = 0;
+  uint64_t window_kept_base = 0;
+  if (adaptive) {
+    if (options.initial_tuples > 0) {
+      window_seen_base = options.controller->total_offered();
+      window_kept_base = options.controller->total_kept();
+    } else {
+      window_seen_base = options.shed->seen();
+      window_kept_base = options.shed->forwarded();
+    }
+  }
+  Timer window_timer;
+
+  uint64_t stall_budget = options.stall_retries;
+  while (true) {
+    if (options.max_tuples > 0 && stats.tuples >= options.max_tuples) break;
+    // Cap the pull so it never crosses a window/checkpoint/max boundary:
+    // control actions then happen at exact absolute offsets.
+    uint64_t want = std::min<uint64_t>(chunk_size, next_window - total);
+    want = std::min(want, next_checkpoint - total);
+    if (options.max_tuples > 0) {
+      want = std::min(want, options.max_tuples - stats.tuples);
+    }
+    const size_t n =
+        source.NextChunk(chunk.data(), static_cast<size_t>(want));
+    if (n == 0) {
+      if (source.Stalled()) {
+        if (stall_budget == 0) {
+          // Retry budget exhausted: the source is dead (or stalled beyond
+          // tolerance). Degrade: stop pumping, keep state queryable.
+          stats.stalled = true;
+          SKETCHSAMPLE_METRIC_INC("stream.pipeline.stall_deaths");
+          break;
+        }
+        --stall_budget;
+        ++stats.stall_retries;
+        continue;
+      }
+      stats.ended = true;
+      break;
+    }
+    stall_budget = options.stall_retries;  // stall episode survived
+    head.OnTuples(chunk.data(), n);
+    stats.tuples += n;
+    total += n;
+    ++stats.chunks;
+
+    if (adaptive && total >= next_window) {
+      const uint64_t offered = options.shed->seen() - window_seen_base;
+      const uint64_t kept = options.shed->forwarded() - window_kept_base;
+      window_seen_base = options.shed->seen();
+      window_kept_base = options.shed->forwarded();
+      // Deterministic mode uses the fixed per-window budget; wall-clock
+      // mode derives the budget from the target rate and the measured
+      // window duration (nondeterministic by nature — tests use the fixed
+      // budget, production drivers the rate).
+      const ShedControllerOptions& copts = options.controller->options();
+      double capacity = copts.capacity_per_window;
+      if (capacity <= 0.0 && copts.target_tps > 0.0) {
+        capacity = copts.target_tps * window_timer.ElapsedSeconds();
+      }
+      options.shed->SetP(options.controller->OnWindow(offered, kept, capacity));
+      ++stats.windows;
+      next_window += window;
+      window_timer.Start();
+    }
+    if (checkpointing && total >= next_checkpoint) {
+      WriteCheckpoint(options, total, stats);
+      next_checkpoint += options.checkpoint_every;
+    }
+  }
+
+  if (stats.ended) head.OnEnd();
+  if (options.shed != nullptr) stats.final_p = options.shed->p();
   stats.seconds = timer.ElapsedSeconds();
   SKETCHSAMPLE_METRIC_ADD("stream.pipeline.tuples", stats.tuples);
   return stats;

@@ -1,0 +1,106 @@
+#include "src/stream/shed_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/corrections.h"
+#include "src/core/variance.h"
+#include "src/util/metrics.h"
+
+namespace sketchsample {
+
+ShedController::ShedController(const ShedControllerOptions& options)
+    : options_(options) {
+  if (!(options.min_p > 0.0) || options.min_p > options.max_p ||
+      options.max_p > 1.0) {
+    throw std::invalid_argument(
+        "shed controller needs 0 < min_p <= max_p <= 1");
+  }
+  if (options.initial_p < options.min_p ||
+      options.initial_p > options.max_p) {
+    throw std::invalid_argument("shed controller initial_p outside [min, max]");
+  }
+  if (options.window_tuples == 0) {
+    throw std::invalid_argument("shed controller window_tuples must be > 0");
+  }
+  state_.p = options.initial_p;
+}
+
+double ShedController::OnWindow(uint64_t offered, uint64_t kept) {
+  return OnWindow(offered, kept, options_.capacity_per_window);
+}
+
+double ShedController::OnWindow(uint64_t offered, uint64_t kept,
+                                double capacity) {
+  state_.windows += 1;
+  state_.offered += offered;
+  state_.kept += kept;
+  // Monotone counters: the per-window realized rate accumulates in ppm so
+  // sum/windows recovers the mean realized p from a metrics snapshot.
+  SKETCHSAMPLE_METRIC_INC("stream.shed.windows");
+  if (offered > 0) {
+    SKETCHSAMPLE_METRIC_ADD(
+        "stream.shed.realized_p",
+        static_cast<uint64_t>(1e6 * static_cast<double>(kept) /
+                              static_cast<double>(offered)));
+  }
+  if (capacity <= 0.0) return state_.p;
+
+  // Backlog accounting: the sink drains `capacity` tuples per window; kept
+  // tuples beyond that queue up and must be worked off before p may rise.
+  state_.backlog =
+      std::max(0.0, state_.backlog + static_cast<double>(kept) - capacity);
+
+  const double kept_d = std::max(1.0, static_cast<double>(kept));
+  if (static_cast<double>(kept) > capacity || state_.backlog > 0.0) {
+    // Overload: proportional retarget so the *next* window's expected kept
+    // count matches the budget (minus a drain allowance for the backlog),
+    // reacting within one window instead of decaying geometrically.
+    const double drain = std::min(state_.backlog, 0.5 * capacity);
+    const double target = std::max(0.0, capacity - drain);
+    state_.p = std::clamp(state_.p * target / kept_d, options_.min_p,
+                          options_.max_p);
+  } else if (static_cast<double>(kept) < options_.headroom * capacity &&
+             state_.p < options_.max_p) {
+    // Headroom: additive probe toward full rate.
+    state_.p = std::min(options_.max_p, state_.p + options_.increase_step);
+  }
+  return state_.p;
+}
+
+double ShedController::RealizedRate() const {
+  return state_.offered == 0 ? state_.p
+                             : static_cast<double>(state_.kept) /
+                                   static_cast<double>(state_.offered);
+}
+
+double RealizedSelfJoinEstimate(double raw, double realized_p,
+                                uint64_t kept) {
+  return BernoulliSelfJoinCorrection(realized_p, kept).Apply(raw);
+}
+
+double RealizedJoinEstimate(double raw, double realized_p,
+                            double realized_q) {
+  return BernoulliJoinCorrection(realized_p, realized_q).Apply(raw);
+}
+
+ConfidenceInterval RealizedSelfJoinInterval(double estimate,
+                                            const JoinStatistics& stats,
+                                            double realized_p, size_t n,
+                                            double level) {
+  const VarianceTerms terms =
+      BernoulliSelfJoinVariance(stats, realized_p, n);
+  return CltInterval(estimate, terms.Total(), level);
+}
+
+ConfidenceInterval RealizedJoinInterval(double estimate,
+                                        const JoinStatistics& stats,
+                                        double realized_p, double realized_q,
+                                        size_t n, double level) {
+  const VarianceTerms terms =
+      BernoulliJoinVariance(stats, realized_p, realized_q, n);
+  return CltInterval(estimate, terms.Total(), level);
+}
+
+}  // namespace sketchsample

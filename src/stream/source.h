@@ -40,7 +40,38 @@ class StreamSource {
     }
     return n;
   }
+
+  /// Distinguishes "no data right now" from "end of stream" after a
+  /// zero-length pull. A source that returned 0 from NextChunk (or nullopt
+  /// from Next) while Stalled() is true may produce more tuples on a later
+  /// pull; the pipeline driver retries such sources up to its stall budget
+  /// instead of treating the stream as finished (src/stream/pipeline.h).
+  /// Sources that cannot stall keep the default.
+  virtual bool Stalled() const { return false; }
 };
+
+/// Pulls and drops up to `n` tuples from `source`; returns how many were
+/// actually discarded (fewer only at end of stream). Used by checkpoint
+/// recovery to fast-forward a freshly constructed deterministic source past
+/// the prefix a restored pipeline has already processed.
+inline uint64_t DiscardTuples(StreamSource& source, uint64_t n) {
+  uint64_t scratch[256];
+  uint64_t discarded = 0;
+  uint64_t stalled_pulls = 0;
+  while (discarded < n) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(n - discarded, 256));
+    const size_t got = source.NextChunk(scratch, want);
+    if (got == 0) {
+      // Tolerate bounded stalls, but never spin forever on a dead source.
+      if (!source.Stalled() || ++stalled_pulls > 4096) break;
+      continue;
+    }
+    stalled_pulls = 0;
+    discarded += got;
+  }
+  return discarded;
+}
 
 /// Source over a materialized vector (e.g. a relation scan).
 class VectorSource final : public StreamSource {

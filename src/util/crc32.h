@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as the integrity footer of pipeline checkpoints
+// (src/stream/checkpoint.h). The sketch wire format keeps its original
+// FNV-1a checksum for compatibility; CRC32 is the stronger choice for
+// checkpoint files that survive process restarts and may cross disks, since
+// it detects all burst errors up to 32 bits.
+#ifndef SKETCHSAMPLE_UTIL_CRC32_H_
+#define SKETCHSAMPLE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sketchsample {
+
+/// CRC-32 of data[0..size). Standard init/final XOR with 0xFFFFFFFF, so the
+/// result matches zlib's crc32() on the same bytes.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_CRC32_H_

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -261,6 +262,127 @@ TEST_F(CliTest, RangeAndQuantileQueries) {
                 &out),
             0);
   EXPECT_NEAR(std::stod(out), 50.0, 10.0);
+}
+
+// Extracts the value printed after `key` on its own line of `stream`
+// output (e.g. Field(out, "estimate") -> "1234.5").
+std::string Field(const std::string& out, const std::string& key) {
+  size_t pos = out.rfind(key, 0) == 0 ? 0 : out.find("\n" + key);
+  EXPECT_NE(pos, std::string::npos) << "no field '" << key << "' in:\n"
+                                    << out;
+  if (pos == std::string::npos) return "";
+  pos = out.find_first_not_of(" ", pos + key.size() + (out[pos] == '\n'));
+  const size_t end = out.find('\n', pos);
+  return out.substr(pos, end - pos);
+}
+
+TEST_F(CliTest, StreamFixedRateReportsHonestEstimate) {
+  std::string out;
+  ASSERT_EQ(Run({"stream", "--domain=300", "--tuples=20000", "--skew=1",
+                 "--shed-p=0.5", "--buckets=2048"},
+                &out),
+            0);
+  EXPECT_EQ(Field(out, "outcome"), "ended");
+  EXPECT_EQ(Field(out, "tuples"), "20000");
+  const double realized_p = std::stod(Field(out, "realized_p"));
+  EXPECT_NEAR(realized_p, 0.5, 0.05);
+  const double exact = std::stod(Field(out, "exact"));
+  const double estimate = std::stod(Field(out, "estimate"));
+  EXPECT_LT(std::abs(estimate - exact) / exact, 0.3);
+  // The Eq 26 interval is a proper interval around the estimate.
+  std::istringstream ci(Field(out, "ci"));
+  double lo = 0, hi = 0;
+  ASSERT_TRUE(ci >> lo >> hi);
+  EXPECT_LT(lo, hi);
+  EXPECT_LE(lo, estimate);
+  EXPECT_GE(hi, estimate);
+}
+
+TEST_F(CliTest, StreamAdaptiveShedsDownToTheBudget) {
+  std::string out;
+  ASSERT_EQ(Run({"stream", "--domain=300", "--tuples=60000", "--skew=1",
+                 "--shed-budget=700", "--shed-window=5000", "--min-p=0.02",
+                 "--buckets=2048"},
+                &out),
+            0);
+  EXPECT_EQ(Field(out, "outcome"), "ended");
+  // 5000 offered per window against a budget of 700: the controller must
+  // shed hard — the full-rate start is not sustained.
+  EXPECT_LT(std::stod(Field(out, "final_p")), 0.3);
+  EXPECT_LT(std::stod(Field(out, "realized_p")), 0.5);
+  EXPECT_GT(std::stoull(Field(out, "windows")), 5u);
+}
+
+TEST_F(CliTest, StreamCheckpointResumeMatchesUninterrupted) {
+  const std::vector<std::string> base = {
+      "stream",          "--domain=300",
+      "--tuples=60000",  "--skew=1",
+      "--shed-p=0.3",    "--shed-seed=41",
+      "--shed-budget=700", "--shed-window=5000",
+      "--min-p=0.02",    "--buckets=512",
+      "--checkpoint-every=12000", "--checkpoint-out=" + Path("ck")};
+
+  std::string full_out;
+  ASSERT_EQ(Run(base, &full_out), 0);
+  ASSERT_EQ(Field(full_out, "outcome"), "ended");
+
+  // Kill mid-stream (after the checkpoint at 24000), then resume.
+  auto killed = base;
+  killed.push_back("--max-tuples=29000");
+  std::string killed_out;
+  ASSERT_EQ(Run(killed, &killed_out), 0);
+  EXPECT_EQ(Field(killed_out, "outcome"), "stopped");
+  EXPECT_GE(std::stoull(Field(killed_out, "checkpoints")), 2u);
+
+  auto resumed = base;
+  resumed.push_back("--resume=" + Path("ck"));
+  std::string resumed_out;
+  ASSERT_EQ(Run(resumed, &resumed_out), 0);
+
+  // Bit-exact resume: every estimator-relevant field matches the
+  // uninterrupted run to the last digit (both print with %.17g).
+  EXPECT_EQ(Field(resumed_out, "outcome"), "ended");
+  EXPECT_EQ(Field(resumed_out, "tuples"), Field(full_out, "tuples"));
+  EXPECT_EQ(Field(resumed_out, "kept"), Field(full_out, "kept"));
+  EXPECT_EQ(Field(resumed_out, "realized_p"),
+            Field(full_out, "realized_p"));
+  EXPECT_EQ(Field(resumed_out, "final_p"), Field(full_out, "final_p"));
+  EXPECT_EQ(Field(resumed_out, "estimate"), Field(full_out, "estimate"));
+}
+
+TEST_F(CliTest, StreamCorruptCheckpointFailsCleanly) {
+  {
+    std::FILE* f = std::fopen(Path("bad.ck").c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  EXPECT_NE(Run({"stream", "--tuples=1000", "--resume=" + Path("bad.ck")}),
+            0);
+  EXPECT_NE(
+      Run({"stream", "--tuples=1000", "--resume=" + Path("missing.ck")}),
+      0);
+}
+
+TEST_F(CliTest, StreamFaultRunsAreSeedDeterministic) {
+  const std::vector<std::string> base = {
+      "stream",        "--domain=300",       "--tuples=20000",
+      "--skew=1",      "--buckets=512",      "--fault-profile=harsh",
+      "--shed-p=0.5",  "--stall-retries=64"};
+  auto with_seed = [&](const std::string& seed) {
+    auto args = base;
+    args.push_back("--fault-seed=" + seed);
+    return args;
+  };
+  std::string a, b, c;
+  ASSERT_EQ(Run(with_seed("123"), &a), 0);
+  ASSERT_EQ(Run(with_seed("123"), &b), 0);
+  ASSERT_EQ(Run(with_seed("124"), &c), 0);
+  EXPECT_EQ(a, b);  // same seed: identical run, byte for byte
+  EXPECT_NE(a, c);  // different seed: different fault sequence
+  EXPECT_EQ(Field(a, "fault_seed"), "123");
+  EXPECT_GT(std::stoull(Field(a, "faults")), 0u);
+
+  EXPECT_NE(Run({"stream", "--tuples=100", "--fault-profile=bogus"}), 0);
 }
 
 TEST_F(CliTest, CorruptSketchFileFailsCleanly) {

@@ -179,10 +179,48 @@ class RulesTest(unittest.TestCase):
             )
         )
 
-    def test_mutator_metrics_only_sketch_cc(self):
+    def test_mutator_metrics_only_scoped_dirs(self):
         text = "void Foo::Update(uint64_t k) { table_[k] += 1; }\n"
         self.assertFalse(
             self.violations("src/core/foo.cc", text, lint.check_mutator_metrics)
+        )
+        # The sketch vocabulary does not apply in src/stream and vice versa.
+        self.assertFalse(
+            self.violations(
+                "src/stream/foo.cc", text, lint.check_mutator_metrics
+            )
+        )
+
+    def test_mutator_metrics_covers_stream_operators(self):
+        bare = "void FooOperator::OnTuple(uint64_t v) { count_ += v; }\n"
+        v = self.violations(
+            "src/stream/foo.cc", bare, lint.check_mutator_metrics
+        )
+        self.assertEqual([x.rule for x in v], ["mutator-metrics"])
+
+        hooked = (
+            "size_t FooSource::NextChunk(uint64_t* out, size_t n) {\n"
+            '  SKETCHSAMPLE_METRIC_ADD("stream.foo.tuples", n);\n'
+            "  return n;\n"
+            "}\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/stream/hooked.cc", hooked, lint.check_mutator_metrics
+            )
+        )
+        # Next -> NextChunk forwarding inherits the callee's hook.
+        forwarder = (
+            "std::optional<uint64_t> FooSource::Next() {\n"
+            "  uint64_t v;\n"
+            "  return NextChunk(&v, 1) ? std::optional<uint64_t>(v)\n"
+            "                          : std::nullopt;\n"
+            "}\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/stream/fwd.cc", forwarder, lint.check_mutator_metrics
+            )
         )
 
     # ---- direct-include ----

@@ -1,7 +1,12 @@
 // Robustness fuzzing for the sketch wire format: random corruptions must
-// never be silently accepted, and random garbage must never crash.
+// never be silently accepted, and random garbage — including forged
+// headers carrying a *valid* checksum — must never crash or allocate
+// unboundedly.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sketch/serialize.h"
@@ -19,6 +24,124 @@ std::vector<uint8_t> ValidBuffer() {
   FagmsSketch sketch(p);
   for (uint64_t v = 0; v < 500; ++v) sketch.Update(v % 40);
   return SerializeSketch(sketch);
+}
+
+// Header layout (serialize.cc): magic 0..3 | version 4..7 | kind 8..11 |
+// rows 12..19 | buckets 20..27 | scheme 28..31 | seed 32..39 |
+// counter_count 40..47 | doubles | fnv1a u64 footer.
+constexpr size_t kKindOffset = 8;
+constexpr size_t kRowsOffset = 12;
+constexpr size_t kBucketsOffset = 20;
+constexpr size_t kCountOffset = 40;
+
+void PatchBytes(std::vector<uint8_t>& bytes, size_t offset,
+                const void* data, size_t size) {
+  ASSERT_LE(offset + size, bytes.size());
+  std::memcpy(bytes.data() + offset, data, size);
+}
+
+// Recomputes the FNV-1a footer after a mutation. An attacker can always do
+// this — the checksum guards against accidents, so every structural check
+// must hold even when the checksum is valid.
+void RefitChecksum(std::vector<uint8_t>& bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i + sizeof(uint64_t) < bytes.size(); ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  std::memcpy(bytes.data() + bytes.size() - sizeof(hash), &hash,
+              sizeof(hash));
+}
+
+void ExpectAllDeserializersReject(const std::vector<uint8_t>& buffer) {
+  EXPECT_THROW(DeserializeAgms(buffer), std::invalid_argument);
+  EXPECT_THROW(DeserializeFagms(buffer), std::invalid_argument);
+  EXPECT_THROW(DeserializeCountMin(buffer), std::invalid_argument);
+  EXPECT_THROW(DeserializeFastCount(buffer), std::invalid_argument);
+}
+
+// Table-driven hostile headers: each case forges one field (and refits the
+// checksum) in a way that, pre-hardening, drove a huge allocation, an
+// integer overflow, or type confusion.
+TEST(SerializeFuzzTest, ForgedHeadersWithValidChecksumsRejected) {
+  const std::vector<uint8_t> valid = ValidBuffer();
+  ASSERT_NO_THROW(DeserializeFagms(valid));
+
+  struct Case {
+    const char* name;
+    std::function<void(std::vector<uint8_t>&)> mutate;
+  };
+  const uint64_t zero64 = 0;
+  const uint64_t huge64 = uint64_t{1} << 40;
+  const uint64_t overflow_rows = uint64_t{1} << 33;
+  const uint64_t overflow_buckets = uint64_t{1} << 33;  // rows*buckets wraps
+  const uint32_t alien_kind = 0xDEADu;
+  const Case cases[] = {
+      {"zero rows",
+       [&](std::vector<uint8_t>& b) { PatchBytes(b, kRowsOffset, &zero64, 8); }},
+      {"zero buckets",
+       [&](std::vector<uint8_t>& b) {
+         PatchBytes(b, kBucketsOffset, &zero64, 8);
+       }},
+      {"huge rows (allocation bomb)",
+       [&](std::vector<uint8_t>& b) { PatchBytes(b, kRowsOffset, &huge64, 8); }},
+      {"huge buckets (allocation bomb)",
+       [&](std::vector<uint8_t>& b) {
+         PatchBytes(b, kBucketsOffset, &huge64, 8);
+       }},
+      {"rows*buckets overflows 64 bits",
+       [&](std::vector<uint8_t>& b) {
+         PatchBytes(b, kRowsOffset, &overflow_rows, 8);
+         PatchBytes(b, kBucketsOffset, &overflow_buckets, 8);
+       }},
+      {"oversized counter count",
+       [&](std::vector<uint8_t>& b) {
+         PatchBytes(b, kCountOffset, &huge64, 8);
+       }},
+      {"counter count wraps the size math",
+       [&](std::vector<uint8_t>& b) {
+         const uint64_t wrap = ~uint64_t{0} / sizeof(double) + 1;
+         PatchBytes(b, kCountOffset, &wrap, 8);
+       }},
+      {"unknown kind tag",
+       [&](std::vector<uint8_t>& b) {
+         PatchBytes(b, kKindOffset, &alien_kind, 4);
+       }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::vector<uint8_t> bytes = valid;
+    c.mutate(bytes);
+    RefitChecksum(bytes);
+    ExpectAllDeserializersReject(bytes);
+  }
+}
+
+TEST(SerializeFuzzTest, WrongKindTagIsATypedError) {
+  // A valid F-AGMS buffer handed to the other deserializers must raise the
+  // kind mismatch, not reinterpret the counters.
+  const std::vector<uint8_t> fagms = ValidBuffer();
+  EXPECT_THROW(DeserializeAgms(fagms), std::invalid_argument);
+  EXPECT_THROW(DeserializeCountMin(fagms), std::invalid_argument);
+  EXPECT_THROW(DeserializeFastCount(fagms), std::invalid_argument);
+  EXPECT_EQ(PeekSketchKind(fagms), SketchKind::kFagms);
+
+  // Forging the kind tag alone cannot work either: the AGMS counter-count
+  // law (rows, not rows*buckets) no longer matches the payload.
+  std::vector<uint8_t> forged = fagms;
+  const uint32_t agms_kind = static_cast<uint32_t>(SketchKind::kAgms);
+  PatchBytes(forged, kKindOffset, &agms_kind, 4);
+  RefitChecksum(forged);
+  EXPECT_THROW(DeserializeAgms(forged), std::invalid_argument);
+}
+
+TEST(SerializeFuzzTest, TruncatedPayloadWithRefittedChecksumRejected) {
+  // Keep the header intact but drop half the counter payload; the declared
+  // counter_count then exceeds the remaining bytes.
+  std::vector<uint8_t> bytes = ValidBuffer();
+  bytes.resize(bytes.size() - 8 * 20);  // drop 20 doubles, keep footer room
+  RefitChecksum(bytes);
+  ExpectAllDeserializersReject(bytes);
 }
 
 class CorruptionTest : public ::testing::TestWithParam<int> {};

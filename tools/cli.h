@@ -12,6 +12,8 @@
 //   stats     — per-file planner statistics (count, distinct, F2)
 //   topk      — top-k most frequent values via Count-Sketch point queries
 //   range     — range-frequency / quantile queries via a dyadic sketch
+//   stream    — robust pipeline run: adaptive load shedding, fault
+//               injection, checkpoint/resume, honest error bars
 //
 // Run `sketchsample <subcommand> --help` for per-command flags.
 #ifndef SKETCHSAMPLE_TOOLS_CLI_H_

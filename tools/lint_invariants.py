@@ -20,9 +20,12 @@ keep the estimator algebra reproducible and the batch kernels fast:
                          through the Granlund-Montgomery mulhi path
                          (PairwiseHash::FastModBuckets) or bitmasks.
   mutator-metrics        Every public sketch mutator (``Update``,
-                         ``UpdateBatch``, ``Merge``) defined in src/sketch
-                         must contain a SKETCHSAMPLE_METRIC_* hook so
-                         production counters never silently lose coverage.
+                         ``UpdateBatch``, ``Merge``) defined in src/sketch,
+                         and every stream operator/source mutator
+                         (``OnTuple``, ``OnTuples``, ``OnWindow``, ``Next``,
+                         ``NextChunk``) defined in src/stream, must contain
+                         a SKETCHSAMPLE_METRIC_* hook so production
+                         counters never silently lose coverage.
   direct-include         Library code (src/, tools/) that names a common
                          standard-library symbol must directly include its
                          canonical header instead of leaning on transitive
@@ -293,14 +296,31 @@ def check_batch_kernel_modulo(f: SourceFile) -> list[Violation]:
 # mutator-metrics
 # --------------------------------------------------------------------------
 
-MUTATOR_DEF_RE = re.compile(r"\b(\w+)::(Update|UpdateBatch|Merge)\s*\(")
+# Per-directory mutator vocabularies. src/sketch mutates counters; the
+# src/stream operator/source layer mutates per-tuple pipeline state (shed
+# decisions, fault injection, controller windows) and must stay just as
+# observable in production.
+MUTATOR_SCOPES = (
+    ("src/sketch", "Update|UpdateBatch|Merge"),
+    ("src/stream", "OnTuples|OnTuple|OnWindow|NextChunk|Next"),
+)
 
 
 def check_mutator_metrics(f: SourceFile) -> list[Violation]:
-    if not f.path.startswith("src/sketch") or not f.path.endswith(".cc"):
+    methods = next(
+        (
+            methods
+            for prefix, methods in MUTATOR_SCOPES
+            if f.path.startswith(prefix)
+        ),
+        None,
+    )
+    if methods is None or not f.path.endswith(".cc"):
         return []
+    mutator_def_re = re.compile(r"\b(\w+)::(%s)\s*\(" % methods)
+    forward_re = re.compile(r"\b(%s)\s*\(" % methods)
     found = []
-    for m in MUTATOR_DEF_RE.finditer(f.code):
+    for m in mutator_def_re.finditer(f.code):
         cls, method = m.group(1), m.group(2)
         # Walk from the '(' to the body, mirroring _batch_kernel_bodies.
         pos = m.end() - 1
@@ -334,8 +354,9 @@ def check_mutator_metrics(f: SourceFile) -> list[Violation]:
         if "SKETCHSAMPLE_METRIC" in body:
             continue
         # Thin forwarding wrappers (a body that just calls another public
-        # mutator, e.g. Update -> UpdateBatch) inherit the callee's hook.
-        if re.search(r"\b(Update|UpdateBatch|Merge)\s*\(", body):
+        # mutator, e.g. Update -> UpdateBatch or Next -> NextChunk) inherit
+        # the callee's hook.
+        if forward_re.search(body):
             continue
         if waived(f.lines, lineno, "mutator-metrics"):
             continue
