@@ -75,4 +75,41 @@ std::vector<uint64_t> GeometricSkipSampler::Sample(
   return out;
 }
 
+PositionalBernoulliSampler::PositionalBernoulliSampler(double p, uint64_t seed)
+    : p_(p), seed_(seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Bernoulli p must be in [0, 1]");
+  }
+}
+
+void PositionalBernoulliSampler::SetP(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Bernoulli p must be in [0, 1]");
+  }
+  p_ = p;
+}
+
+size_t PositionalBernoulliSampler::KeepBatch(uint64_t base,
+                                             const uint64_t* values, size_t n,
+                                             uint64_t* out) const {
+  size_t kept = 0;
+  if (p_ >= 1.0) {
+    // Every position's coin is < 1, so keep the whole chunk. Copy only when
+    // the caller gave a distinct destination.
+    if (out != values) {
+      for (size_t i = 0; i < n; ++i) out[i] = values[i];
+    }
+    kept = n;
+  } else if (p_ > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t value = values[i];  // read before any aliasing write
+      out[kept] = value;
+      kept += static_cast<size_t>(Uniform(base + i) < p_);
+    }
+  }
+  SKETCHSAMPLE_METRIC_ADD("sampling.positional.seen", n);
+  SKETCHSAMPLE_METRIC_ADD("sampling.positional.kept", kept);
+  return kept;
+}
+
 }  // namespace sketchsample

@@ -81,6 +81,52 @@ class GeometricSkipSampler {
   Xoshiro256 rng_;
 };
 
+/// Stateless positional Bernoulli sampler: the keep/shed decision for the
+/// tuple at absolute stream position i is a pure function of (seed, i, p) —
+/// U(i) = MixSeed(seed, i) mapped to [0,1) with 53-bit precision, keep iff
+/// U(i) < p.
+///
+/// Two properties the stateful samplers above cannot offer:
+///   * partition independence: any routing of the stream across shards
+///     (src/stream/shard_engine.h) sees the same per-position coins, so the
+///     merged sample — and hence the merged sketch — is bit-identical at
+///     every shard count;
+///   * monotone retargeting: lowering p mid-stream can only flip kept
+///     positions to shed (U(i) is fixed), so adaptive shedding composes
+///     cleanly with resume — no RNG state needs checkpointing at all.
+/// The per-position coins are i.i.d. uniform across positions (SplitMix64's
+/// output quality), so the sample follows the exact Bernoulli(p) law of
+/// BernoulliSampler, just indexed by position instead of arrival order.
+class PositionalBernoulliSampler {
+ public:
+  /// p must lie in [0, 1].
+  PositionalBernoulliSampler(double p, uint64_t seed);
+
+  /// The uniform coin for absolute position `i` (same value every call).
+  /// 53-bit mantissa of the MixSeed output, matching Xoshiro256::NextDouble's
+  /// bit budget.
+  double Uniform(uint64_t position) const {
+    return static_cast<double>(MixSeed(seed_, position) >> 11) * 0x1.0p-53;
+  }
+
+  /// True when the tuple at absolute position `i` is kept.
+  bool Keep(uint64_t position) const { return Uniform(position) < p_; }
+
+  /// Compacts the kept values of a chunk whose first tuple sits at absolute
+  /// position `base` into out[0..k); returns k. `out` may alias `values`.
+  size_t KeepBatch(uint64_t base, const uint64_t* values, size_t n,
+                   uint64_t* out) const;
+
+  double p() const { return p_; }
+  /// Retargets the keep-probability; affects all positions judged after the
+  /// call (the coins themselves never change). p must lie in [0, 1].
+  void SetP(double p);
+
+ private:
+  double p_;
+  uint64_t seed_;
+};
+
 }  // namespace sketchsample
 
 #endif  // SKETCHSAMPLE_SAMPLING_BERNOULLI_H_

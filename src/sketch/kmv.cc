@@ -1,6 +1,7 @@
 #include "src/sketch/kmv.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/util/metrics.h"
 #include "src/util/rng.h"
@@ -41,6 +42,20 @@ double KmvSketch::EstimateDistinct() const {
   const double kth = static_cast<double>(*std::prev(minima_.end()));
   const double u = (kth + 1.0) / 18446744073709551616.0;  // / 2^64
   return static_cast<double>(k_ - 1) / u;
+}
+
+void KmvSketch::LoadMinima(const std::vector<uint64_t>& minima) {
+  if (minima.size() > k_) {
+    throw std::invalid_argument("KMV load exceeds k retained values");
+  }
+  std::set<uint64_t> loaded;
+  for (size_t i = 0; i < minima.size(); ++i) {
+    if (i > 0 && minima[i] <= minima[i - 1]) {
+      throw std::invalid_argument("KMV load requires strictly ascending hashes");
+    }
+    loaded.insert(loaded.end(), minima[i]);
+  }
+  minima_ = std::move(loaded);
 }
 
 void KmvSketch::Merge(const KmvSketch& other) {

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <set>
+#include <vector>
 
 namespace sketchsample {
 
@@ -41,8 +42,16 @@ class KmvSketch {
   }
 
   size_t k() const { return k_; }
+  uint64_t seed() const { return seed_; }
   /// Number of hash values currently retained (≤ k).
   size_t retained() const { return minima_.size(); }
+  /// The retained minima in ascending order (serialization support).
+  const std::set<uint64_t>& minima() const { return minima_; }
+
+  /// Replaces the retained set (deserialization support). `minima` must be
+  /// strictly ascending with at most k entries; throws std::invalid_argument
+  /// otherwise.
+  void LoadMinima(const std::vector<uint64_t>& minima);
 
  private:
   uint64_t Hash(uint64_t key) const;

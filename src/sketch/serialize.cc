@@ -38,6 +38,13 @@ class Writer {
                 values.size() * sizeof(double));
   }
 
+  void PutU64s(const std::vector<uint64_t>& values) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(uint64_t));
+    std::memcpy(bytes_.data() + offset, values.data(),
+                values.size() * sizeof(uint64_t));
+  }
+
   std::vector<uint8_t> Finish() {
     const uint64_t checksum = Fnv1a(bytes_.data(), bytes_.size());
     Put(checksum);
@@ -85,6 +92,18 @@ class Reader {
     std::memcpy(values.data(), bytes_.data() + pos_,
                 count * sizeof(double));
     pos_ += count * sizeof(double);
+    return values;
+  }
+
+  std::vector<uint64_t> GetU64s(uint64_t count) {
+    // Same hostile-count guard as GetDoubles: divide, never multiply.
+    if (count > (end_ - pos_) / sizeof(uint64_t)) {
+      throw std::invalid_argument("sketch buffer truncated");
+    }
+    std::vector<uint64_t> values(count);
+    std::memcpy(values.data(), bytes_.data() + pos_,
+                count * sizeof(uint64_t));
+    pos_ += count * sizeof(uint64_t);
     return values;
   }
 
@@ -209,6 +228,22 @@ std::vector<uint8_t> SerializeSketch(const CountMinSketch& sketch) {
 std::vector<uint8_t> SerializeSketch(const FastCountSketch& sketch) {
   return SerializeImpl(SketchKind::kFastCount, sketch);
 }
+std::vector<uint8_t> SerializeSketch(const KmvSketch& sketch) {
+  // KMV has no (rows, buckets, scheme) shape; map rows := k so the shared
+  // header stays self-describing, and carry the retained minima as a u64
+  // payload where the linear sketches carry f64 counters.
+  Writer writer;
+  SketchParams params;
+  params.rows = sketch.k();
+  params.buckets = 0;
+  params.scheme = static_cast<XiScheme>(0);
+  params.seed = sketch.seed();
+  WriteHeader(writer, SketchKind::kKmv, params, sketch.retained());
+  std::vector<uint64_t> minima(sketch.minima().begin(),
+                               sketch.minima().end());
+  writer.PutU64s(minima);
+  return writer.Finish();
+}
 
 SketchKind PeekSketchKind(const std::vector<uint8_t>& buffer) {
   Reader reader(buffer);
@@ -226,6 +261,31 @@ CountMinSketch DeserializeCountMin(const std::vector<uint8_t>& buffer) {
 }
 FastCountSketch DeserializeFastCount(const std::vector<uint8_t>& buffer) {
   return DeserializeImpl<FastCountSketch>(SketchKind::kFastCount, buffer);
+}
+
+KmvSketch DeserializeKmv(const std::vector<uint8_t>& buffer) {
+  Reader reader(buffer);
+  const Header h = ReadHeader(reader);
+  if (h.kind != SketchKind::kKmv) {
+    throw std::invalid_argument("sketch buffer holds a different kind");
+  }
+  if (h.params.rows < 2) {
+    throw std::invalid_argument("KMV buffer declares k < 2");
+  }
+  if (h.params.buckets != 0) {
+    throw std::invalid_argument("KMV buffer declares nonzero buckets");
+  }
+  if (h.counter_count > h.params.rows) {
+    throw std::invalid_argument("KMV buffer retains more than k values");
+  }
+  if (h.counter_count > reader.RemainingBytes() / sizeof(uint64_t)) {
+    throw std::invalid_argument("sketch buffer truncated");
+  }
+  const std::vector<uint64_t> minima = reader.GetU64s(h.counter_count);
+  reader.ExpectConsumed();
+  KmvSketch sketch(h.params.rows, h.params.seed);
+  sketch.LoadMinima(minima);  // rejects unsorted/duplicate payloads
+  return sketch;
 }
 
 }  // namespace sketchsample

@@ -24,6 +24,7 @@
 #include "src/sketch/countmin.h"
 #include "src/sketch/fagms.h"
 #include "src/sketch/fastcount.h"
+#include "src/sketch/kmv.h"
 
 namespace sketchsample {
 
@@ -33,6 +34,7 @@ enum class SketchKind : uint32_t {
   kFagms = 2,
   kCountMin = 3,
   kFastCount = 4,
+  kKmv = 5,
 };
 
 /// Serializes a sketch into a self-describing byte buffer.
@@ -40,6 +42,9 @@ std::vector<uint8_t> SerializeSketch(const AgmsSketch& sketch);
 std::vector<uint8_t> SerializeSketch(const FagmsSketch& sketch);
 std::vector<uint8_t> SerializeSketch(const CountMinSketch& sketch);
 std::vector<uint8_t> SerializeSketch(const FastCountSketch& sketch);
+/// KMV reuses the header with rows = k, buckets/scheme = 0, and a u64
+/// minima payload in place of the f64 counters.
+std::vector<uint8_t> SerializeSketch(const KmvSketch& sketch);
 
 /// Reads the kind tag without deserializing the full sketch.
 /// Throws std::invalid_argument if the buffer is not a sketch.
@@ -52,6 +57,7 @@ AgmsSketch DeserializeAgms(const std::vector<uint8_t>& buffer);
 FagmsSketch DeserializeFagms(const std::vector<uint8_t>& buffer);
 CountMinSketch DeserializeCountMin(const std::vector<uint8_t>& buffer);
 FastCountSketch DeserializeFastCount(const std::vector<uint8_t>& buffer);
+KmvSketch DeserializeKmv(const std::vector<uint8_t>& buffer);
 
 }  // namespace sketchsample
 

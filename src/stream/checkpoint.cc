@@ -17,6 +17,12 @@ constexpr uint8_t kMagic[4] = {'S', 'K', 'C', 'P'};
 constexpr uint32_t kVersion = 1;
 constexpr uint8_t kFlagShed = 1u << 0;
 constexpr uint8_t kFlagController = 1u << 1;
+constexpr uint8_t kFlagShards = 1u << 2;
+
+// Sanity bound on the declared shard count: far above any real engine
+// (worker threads), low enough that a hostile count cannot drive a huge
+// allocation before the per-shard length checks run.
+constexpr uint64_t kMaxCheckpointShards = 1u << 16;
 
 class Writer {
  public:
@@ -119,6 +125,7 @@ std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp) {
   uint8_t flags = 0;
   if (cp.has_shed) flags |= kFlagShed;
   if (cp.has_controller) flags |= kFlagController;
+  if (cp.has_shards) flags |= kFlagShards;
   writer.Put(flags);
   if (cp.has_shed) {
     writer.Put(cp.shed.p);
@@ -135,6 +142,16 @@ std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp) {
     writer.Put(cp.controller.windows);
     writer.Put(cp.controller.offered);
     writer.Put(cp.controller.kept);
+  }
+  if (cp.has_shards) {
+    writer.Put(cp.shard_p);
+    writer.Put(static_cast<uint64_t>(cp.shards.size()));
+    for (const ShardCheckpointState& shard : cp.shards) {
+      writer.Put(shard.seen);
+      writer.Put(shard.kept);
+      writer.Put(static_cast<uint64_t>(shard.sketch.size()));
+      writer.PutBytes(shard.sketch);
+    }
   }
   writer.Put(static_cast<uint64_t>(cp.sketch.size()));
   writer.PutBytes(cp.sketch);
@@ -158,7 +175,7 @@ PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
   PipelineCheckpoint cp;
   cp.source_tuples = reader.Get<uint64_t>();
   const uint8_t flags = reader.Get<uint8_t>();
-  if ((flags & ~(kFlagShed | kFlagController)) != 0) {
+  if ((flags & ~(kFlagShed | kFlagController | kFlagShards)) != 0) {
     throw CheckpointError("checkpoint has unknown flag bits");
   }
   if ((flags & kFlagShed) != 0) {
@@ -193,6 +210,26 @@ PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
     cp.controller.kept = reader.Get<uint64_t>();
     if (cp.controller.kept > cp.controller.offered) {
       throw CheckpointError("checkpoint controller counts inconsistent");
+    }
+  }
+  if ((flags & kFlagShards) != 0) {
+    cp.has_shards = true;
+    cp.shard_p = GetProbability(reader, "shard shed rate");
+    const uint64_t shard_count = reader.Get<uint64_t>();
+    if (shard_count == 0 || shard_count > kMaxCheckpointShards) {
+      throw CheckpointError("checkpoint declares invalid shard count");
+    }
+    cp.shards.reserve(static_cast<size_t>(shard_count));
+    for (uint64_t i = 0; i < shard_count; ++i) {
+      ShardCheckpointState shard;
+      shard.seen = reader.Get<uint64_t>();
+      shard.kept = reader.Get<uint64_t>();
+      if (shard.kept > shard.seen) {
+        throw CheckpointError("checkpoint shard counts inconsistent");
+      }
+      const uint64_t blob_len = reader.Get<uint64_t>();
+      shard.sketch = reader.GetBytes(blob_len);
+      cp.shards.push_back(std::move(shard));
     }
   }
   const uint64_t sketch_len = reader.Get<uint64_t>();

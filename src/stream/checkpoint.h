@@ -18,6 +18,8 @@
 //    coin_rng u64×4, skip_rng u64×4]            — iff flags bit 0
 //   [controller state: p f64, backlog f64, windows u64, offered u64,
 //    kept u64]                                   — iff flags bit 1
+//   [shard section: shard_p f64, shard_count u64, then per shard:
+//    seen u64, kept u64, sketch_len u64, sketch bytes]  — iff flags bit 2
 //   sketch_len u64 | sketch bytes (inner format: src/sketch/serialize.h) |
 //   crc32 u32 over every preceding byte
 //
@@ -47,6 +49,15 @@ class CheckpointError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// One shard's recoverable state inside a sharded-engine checkpoint
+/// (src/stream/shard_engine.h): the worker's realized counts and its
+/// partial sketch as an embedded src/sketch/serialize.h blob.
+struct ShardCheckpointState {
+  uint64_t seen = 0;            ///< tuples routed to this shard's worker
+  uint64_t kept = 0;            ///< tuples surviving the positional shed
+  std::vector<uint8_t> sketch;  ///< partial sketch blob (may be empty)
+};
+
 /// One recoverable pipeline snapshot.
 struct PipelineCheckpoint {
   /// Tuples the source had emitted when the snapshot was taken; recovery
@@ -56,6 +67,14 @@ struct PipelineCheckpoint {
   ShedOperatorState shed{};
   bool has_controller = false;
   ShedController::State controller{};
+  /// Sharded-engine section (flag bit 2). `shard_p` is the positional shed
+  /// rate in force at the snapshot; `shards` holds one entry per worker.
+  /// Because the engine's sampling is positional (partition-independent),
+  /// a restore may merge all shard partials into any new shard layout —
+  /// resume is bit-exact at any shard count.
+  bool has_shards = false;
+  double shard_p = 1.0;
+  std::vector<ShardCheckpointState> shards;
   /// Serialized sketch (src/sketch/serialize.h format); empty when the
   /// pipeline has no checkpointable sketch registered. Restore with the
   /// matching Deserialize* (PeekSketchKind identifies the type).

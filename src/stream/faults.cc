@@ -138,18 +138,44 @@ FaultInjectingOperator::FaultInjectingOperator(Operator* downstream,
                                                uint64_t seed)
     : downstream_(downstream), profile_(profile), rng_(seed) {}
 
+FaultInjectingOperator::FaultInjectingOperator(Operator* downstream,
+                                               const FaultProfile& profile,
+                                               uint64_t seed,
+                                               std::string shard_label)
+    : downstream_(downstream),
+      profile_(profile),
+      rng_(seed),
+      shard_label_(std::move(shard_label)) {}
+
+void FaultInjectingOperator::CountFault() {
+  faults_ += 1;
+  if (!metrics::Enabled()) return;
+  // Per-instance counters cannot go through SKETCHSAMPLE_METRIC_* (its
+  // function-local static would pin the first instance's label for every
+  // later one), so resolve registry references directly and cache them in
+  // the member, not in a static.
+  if (total_counter_ == nullptr) {
+    metrics::Registry& registry = metrics::Registry::Global();
+    total_counter_ = &registry.GetCounter("stream.faults.injected");
+    if (!shard_label_.empty()) {
+      shard_counter_ =
+          &registry.GetCounter("stream.faults.injected." + shard_label_);
+    }
+  }
+  total_counter_->Add(1);
+  if (shard_counter_ != nullptr) shard_counter_->Add(1);
+}
+
 void FaultInjectingOperator::OnTuple(uint64_t value) {
   if (profile_.corrupt_prob > 0.0 &&
       rng_.NextDouble() < profile_.corrupt_prob) {
     value ^= rng_() & profile_.corrupt_mask;
-    faults_ += 1;
-    SKETCHSAMPLE_METRIC_INC("stream.faults.injected");
+    CountFault();
   }
   downstream_->OnTuple(value);
   if (profile_.duplicate_prob > 0.0 &&
       rng_.NextDouble() < profile_.duplicate_prob) {
-    faults_ += 1;
-    SKETCHSAMPLE_METRIC_INC("stream.faults.injected");
+    CountFault();
     downstream_->OnTuple(value);
   }
 }
@@ -162,21 +188,18 @@ void FaultInjectingOperator::OnTuples(const uint64_t* values, size_t n) {
     if (profile_.corrupt_prob > 0.0 &&
         rng_.NextDouble() < profile_.corrupt_prob) {
       value ^= rng_() & profile_.corrupt_mask;
-      faults_ += 1;
-      SKETCHSAMPLE_METRIC_INC("stream.faults.injected");
+      CountFault();
     }
     if (profile_.reorder_prob > 0.0 && !scratch_.empty() &&
         rng_.NextDouble() < profile_.reorder_prob) {
       std::swap(value, scratch_.back());
-      faults_ += 1;
-      SKETCHSAMPLE_METRIC_INC("stream.faults.injected");
+      CountFault();
     }
     scratch_.push_back(value);
     if (profile_.duplicate_prob > 0.0 &&
         rng_.NextDouble() < profile_.duplicate_prob) {
       scratch_.push_back(value);
-      faults_ += 1;
-      SKETCHSAMPLE_METRIC_INC("stream.faults.injected");
+      CountFault();
     }
   }
   if (!scratch_.empty()) downstream_->OnTuples(scratch_.data(), scratch_.size());

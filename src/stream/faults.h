@@ -24,6 +24,7 @@
 
 #include "src/stream/operators.h"
 #include "src/stream/source.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -92,11 +93,24 @@ class FaultInjectingSource final : public StreamSource {
 
 /// Wraps an Operator and injects tuple-level faults on the push path
 /// (corrupt / duplicate / reorder; positional faults belong to the source).
+///
+/// Metrics: every injected fault increments the process-wide
+/// "stream.faults.injected" counter. When the operator is given a shard
+/// label (the sharded engine instantiates one wrapper per worker), the
+/// fault additionally increments "stream.faults.injected.<label>" — so the
+/// global counter stays the exact sum of the per-shard ones no matter how
+/// chunks were routed. The counters are resolved through the registry
+/// explicitly rather than via SKETCHSAMPLE_METRIC_*: the macro caches one
+/// function-local Counter reference per call site, which would alias every
+/// instance's per-shard counter to whichever label arrived first.
 class FaultInjectingOperator final : public Operator {
  public:
   /// `downstream` must outlive this wrapper.
   FaultInjectingOperator(Operator* downstream, const FaultProfile& profile,
                          uint64_t seed);
+  /// Same, tagged with a per-shard metric label (e.g. "shard3").
+  FaultInjectingOperator(Operator* downstream, const FaultProfile& profile,
+                         uint64_t seed, std::string shard_label);
 
   void OnTuple(uint64_t value) override;
   void OnTuples(const uint64_t* values, size_t n) override;
@@ -105,11 +119,19 @@ class FaultInjectingOperator final : public Operator {
   uint64_t faults_injected() const { return faults_; }
 
  private:
+  void CountFault();
+
   Operator* downstream_;
   FaultProfile profile_;
   Xoshiro256 rng_;
   std::vector<uint64_t> scratch_;
   uint64_t faults_ = 0;
+  std::string shard_label_;
+  // Registry counters, resolved on the first fault with metrics enabled
+  // (GetCounter takes a lock; faults are rare enough that resolving lazily
+  // keeps the no-fault path allocation-free).
+  metrics::Counter* total_counter_ = nullptr;
+  metrics::Counter* shard_counter_ = nullptr;
 };
 
 /// Seed override hook for CI: reads the decimal SKETCHSAMPLE_FAULT_SEED

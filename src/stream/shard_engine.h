@@ -1,0 +1,180 @@
+// Sharded multi-threaded ingest engine: the multi-core counterpart of
+// RunPipeline (src/stream/pipeline.h).
+//
+// Topology: one router thread pulls NextChunk batches from the source and
+// deals them round-robin across N worker lanes, each lane a pair of bounded
+// SPSC rings (src/util/spsc_queue.h) — a work ring carrying filled chunks
+// and a free ring recycling their buffers, so the steady state allocates
+// nothing. Each worker sheds tuples with the stateless positional Bernoulli
+// sampler (src/sampling/bernoulli.h), feeds survivors into its own partial
+// sketch (a copy of the prototype; copies share the immutable ξ/hash
+// state), and a final merge stage folds the partials through the sketches'
+// Merge path.
+//
+// Determinism at any shard count: the shed decision for the tuple at
+// absolute position i is a pure function of (root seed, i, p), so every
+// routing of the stream across shards keeps exactly the same tuples; and
+// because integer-weight sketch counters are exact sums of per-tuple
+// contributions, the merged counters are bit-identical no matter how the
+// stream was partitioned. Same root seed at 1, 2, 3, or 8 shards → the
+// same merged estimate to the last bit (the determinism test matrix
+// asserts this).
+//
+// Backpressure: when a lane has no free buffer, the router spins (yield)
+// and counts the event; with ring_backpressure set, the congested fraction
+// of the window discounts the capacity handed to the ShedController, so a
+// full ring reads as "the sink cannot keep up" and shedding stays honest
+// under overload. (The discount follows real scheduling, so adaptive runs
+// with engaged backpressure are not bit-reproducible; disable it or run a
+// fixed p where exact replay matters.)
+//
+// Checkpoint/recovery: at quiesced chunk boundaries (router waits until
+// every routed chunk is processed) the engine snapshots per-shard state —
+// realized counts plus each partial sketch — into the pipeline checkpoint's
+// shard section (src/stream/checkpoint.h, flag bit 2). Restore merges all
+// shard partials into the engine's base sketch, so a kill-and-resume is
+// bit-exact even when the resumed engine runs a different shard count. The
+// positional sampler is stateless, so no RNG state needs checkpointing.
+#ifndef SKETCHSAMPLE_STREAM_SHARD_ENGINE_H_
+#define SKETCHSAMPLE_STREAM_SHARD_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/stream/checkpoint.h"
+#include "src/stream/faults.h"
+#include "src/stream/pipeline.h"
+#include "src/stream/shed_controller.h"
+#include "src/stream/source.h"
+
+namespace sketchsample {
+
+/// Configuration for one ShardEngine.
+struct ShardEngineOptions {
+  /// Worker lanes. 1 reproduces the single-shard pipeline (still through
+  /// the ring, so the code path is identical).
+  size_t shards = 1;
+  /// Tuples per routed chunk.
+  size_t chunk_tuples = kPipelineChunk;
+  /// Chunk buffers per lane (ring capacity; rounded up to a power of two).
+  /// A lane with no free buffer is backpressure.
+  size_t queue_chunks = 8;
+  /// Initial keep-probability for the positional shed stage.
+  double shed_p = 1.0;
+  /// Root seed: drives the positional sampler and all per-shard derived
+  /// streams (MixSeed splits), so every run is a function of this value.
+  uint64_t seed = 0;
+  /// Adaptive shedding: when set, ticked every options().window_tuples
+  /// routed tuples with the realized (offered, kept) deltas, exactly like
+  /// RunPipeline.
+  ShedController* controller = nullptr;
+  /// Feed ring congestion into the controller's capacity signal (see file
+  /// comment). Only meaningful with a controller.
+  bool ring_backpressure = true;
+  /// Stop after this many tuples this run (0 = run to end of stream).
+  uint64_t max_tuples = 0;
+  /// Zero-length pulls to ride out while the source stalls (as RunPipeline).
+  uint64_t stall_retries = 64;
+  /// Checkpointing: every checkpoint_every tuples (at the next quiesced
+  /// chunk boundary), snapshot per-shard state into checkpoint_sink.
+  CheckpointSink* checkpoint_sink = nullptr;
+  uint64_t checkpoint_every = 0;
+  /// Per-worker push-path fault injection (corrupt/duplicate/reorder after
+  /// the shed stage). Each worker gets an independent MixSeed(fault_seed,
+  /// shard) fault stream and a per-shard metric label, so
+  /// stream.faults.injected stays the exact sum of the per-shard counters.
+  const FaultProfile* fault_profile = nullptr;
+  uint64_t fault_seed = 0;
+};
+
+/// Result of one ShardEngine::Run.
+struct ShardEngineStats {
+  uint64_t tuples = 0;       ///< tuples routed this run
+  uint64_t chunks = 0;       ///< chunks routed this run
+  uint64_t kept = 0;         ///< tuples surviving the shed stage this run
+  double seconds = 0;        ///< wall-clock time of the run
+  uint64_t stall_retries = 0;  ///< zero-length pulls ridden out
+  bool stalled = false;      ///< source died / stall budget exhausted
+  bool ended = false;        ///< source reported clean end of stream
+  uint64_t windows = 0;      ///< controller windows closed
+  uint64_t checkpoints = 0;  ///< checkpoints written
+  double final_p = 1.0;      ///< shed rate when the run stopped
+  uint64_t ring_full_retries = 0;  ///< router spins waiting for a buffer
+  uint64_t quiesces = 0;     ///< router drain barriers (windows/checkpoints)
+  uint64_t merges = 0;       ///< partials folded by the merge stage
+  std::vector<uint64_t> shard_tuples;  ///< per-shard tuples received
+  std::vector<uint64_t> shard_kept;    ///< per-shard tuples kept
+  std::vector<uint64_t> shard_faults;  ///< per-shard injected faults
+  double TuplesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0;
+  }
+};
+
+/// N-worker sharded ingest engine over any mergeable sketch. One-shot by
+/// design but re-runnable: a second Run continues from the merged state at
+/// the position where the first stopped (same semantics as resuming from a
+/// checkpoint taken at that boundary).
+template <typename SketchT>
+class ShardEngine {
+ public:
+  /// `prototype` fixes the sketch configuration; every worker partial and
+  /// the merged result are copies of it (sharing immutable ξ/hash state).
+  ShardEngine(const SketchT& prototype, const ShardEngineOptions& options);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Restores engine state from a shard-section checkpoint: merges every
+  /// shard partial into the base sketch, restores the shed rate and
+  /// realized counts, restores the controller (when both the checkpoint
+  /// and options carry one), and fast-forwards `source` past the
+  /// checkpointed position. Throws CheckpointError when the checkpoint has
+  /// no shard section, holds an incompatible sketch, or the source ends
+  /// before the checkpointed position. The restored engine may run any
+  /// shard count — resume stays bit-exact.
+  void Restore(const PipelineCheckpoint& cp, StreamSource& source);
+
+  /// Pumps `source` dry (or to max_tuples / stall death): routes chunks to
+  /// the workers, ticks the controller at window boundaries, writes
+  /// checkpoints, then joins the workers and merges their partials.
+  ShardEngineStats Run(StreamSource& source);
+
+  /// The merged sketch: restored base plus every partial folded in. Valid
+  /// after Run (before the first Run: just the restored/prototype state).
+  const SketchT& merged() const { return merged_; }
+
+  /// Current keep-probability of the positional shed stage.
+  double p() const { return p_; }
+  /// Realized totals across restores and runs — what the Prop 13/14
+  /// corrections scale by.
+  uint64_t total_seen() const { return total_seen_; }
+  uint64_t total_kept() const { return total_kept_; }
+
+ private:
+  struct Lane;  // worker lane: rings, thread, partial sketch (shard_engine.cc)
+
+  // Builds one checkpoint at absolute position `total` from quiesced lanes.
+  void WriteCheckpoint(const std::vector<std::unique_ptr<Lane>>& lanes,
+                       uint64_t total, ShardEngineStats& stats) const;
+
+  ShardEngineOptions options_;
+  SketchT proto_;    // clean prototype for worker partials
+  SketchT merged_;   // restored base, then the final merged result
+  double p_;
+  uint64_t initial_tuples_ = 0;  // absolute position Run continues from
+  uint64_t total_seen_ = 0;
+  uint64_t total_kept_ = 0;
+};
+
+extern template class ShardEngine<AgmsSketch>;
+extern template class ShardEngine<FagmsSketch>;
+extern template class ShardEngine<CountMinSketch>;
+extern template class ShardEngine<FastCountSketch>;
+extern template class ShardEngine<KmvSketch>;
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_STREAM_SHARD_ENGINE_H_

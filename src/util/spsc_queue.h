@@ -1,0 +1,107 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The shard engine (src/stream/shard_engine.h) moves chunks from one router
+// thread to each worker over one of these rings: exactly one thread pushes
+// and exactly one thread pops, which is what lets the queue synchronize with
+// two atomic indices and no locks. head_ counts pushes and is written only
+// by the producer; tail_ counts pops and is written only by the consumer.
+// Each side publishes with a release store and observes the other side with
+// an acquire load, so the element written before a push is visible to the
+// consumer that observes the advanced head — the only ordering the engine
+// needs.
+//
+// The indices live on separate cache lines (alignas the assumed 64-byte
+// line) so the producer's head stores do not invalidate the consumer's tail
+// line and vice versa; on top of that, each side caches the opposing index
+// and re-reads it only when the cached value says the ring looks full/empty,
+// cutting the steady-state coherence traffic to ~one acquire per wrap.
+//
+// Capacity is rounded up to a power of two so position -> slot mapping is a
+// bitmask (no division on the hot path). A full ring makes TryPush return
+// false — the caller decides whether to spin, yield, or count the event as
+// backpressure (the shard engine feeds it to the ShedController).
+#ifndef SKETCHSAMPLE_UTIL_SPSC_QUEUE_H_
+#define SKETCHSAMPLE_UTIL_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sketchsample {
+
+/// Bounded lock-free SPSC FIFO. T must be movable. Not copyable; the two
+/// endpoints hold a reference each.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Holds at least `min_capacity` elements (rounded up to a power of two,
+  /// minimum 2).
+  explicit SpscQueue(size_t min_capacity)
+      : mask_(RoundUpPow2(min_capacity < 2 ? 2 : min_capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Moves `value` into the ring and returns true, or
+  /// returns false (value untouched) when the ring is full.
+  bool TryPush(T& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;  // genuinely full
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+  bool TryPush(T&& value) { return TryPush(value); }
+
+  /// Consumer side. Moves the oldest element into `out` and returns true,
+  /// or returns false when the ring is empty.
+  bool TryPop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous element count. Approximate under concurrency (each index
+  /// is read once, possibly mid-operation); exact when the queue is quiesced.
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static size_t RoundUpPow2(size_t v) {
+    --v;
+    for (size_t shift = 1; shift < sizeof(size_t) * 8; shift <<= 1) {
+      v |= v >> shift;
+    }
+    return v + 1;
+  }
+
+  const size_t mask_;
+  std::vector<T> slots_;
+  // Producer cache line: the push index plus the producer's stale view of
+  // the pop index.
+  alignas(64) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  // Consumer cache line: the pop index plus the consumer's stale view of
+  // the push index.
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_SPSC_QUEUE_H_

@@ -26,7 +26,11 @@
 #include "src/prng/xi.h"
 #include "src/sketch/fagms.h"
 #include "src/sketch/sketch.h"
+#include "src/stream/checkpoint.h"
 #include "src/stream/parallel.h"
+#include "src/stream/shard_engine.h"
+#include "src/stream/shed_controller.h"
+#include "src/stream/source.h"
 #include "src/util/metrics.h"
 #include "src/util/rng.h"
 
@@ -224,6 +228,124 @@ TEST(ConcurrencyStressTest, MetricsRegistryUnderConcurrentTraffic) {
   registry.ResetAll();
   EXPECT_EQ(registry.GetCounter("stress.exact").Get(), 0u);
   metrics::SetEnabled(was_enabled);
+}
+
+// --- Sharded ingest engine (src/stream/shard_engine.h) ------------------
+
+SketchParams ShardEngineParams() {
+  SketchParams params;
+  params.rows = 3;
+  params.buckets = 256;
+  params.seed = 11;
+  return params;
+}
+
+// Router, four workers, and the merge stage all running flat out with a
+// deliberately tiny ring (capacity 2), so every buffer handoff crosses the
+// full/empty boundaries where SPSC publication bugs live. The shards=1
+// reference makes any race that corrupts data visible as a counter
+// mismatch; TSan sees the access pattern itself.
+TEST(ConcurrencyStressTest, ShardEngineRouterWorkersMergerUnderLoad) {
+  const std::vector<uint64_t> stream = MakeStream(1 << 16, 21, 1 << 12);
+  const FagmsSketch proto{ShardEngineParams()};
+
+  ShardEngineOptions opts;
+  opts.shards = 1;
+  opts.shed_p = 0.6;
+  opts.seed = 99;
+  opts.chunk_tuples = 128;
+  opts.queue_chunks = 2;
+  ShardEngine<FagmsSketch> reference(proto, opts);
+  {
+    VectorSource source(stream);
+    reference.Run(source);
+  }
+
+  opts.shards = 4;
+  ShardEngine<FagmsSketch> engine(proto, opts);
+  VectorSource source(stream);
+  const ShardEngineStats stats = engine.Run(source);
+  EXPECT_TRUE(stats.ended);
+  EXPECT_EQ(engine.total_kept(), reference.total_kept());
+  EXPECT_EQ(engine.merged().counters(), reference.merged().counters());
+}
+
+// A shed retarget (controller tick) racing workers that are still draining
+// chunks routed at the old rate, with rings running full the whole time
+// (ring backpressure feeds the congestion back into the controller). The
+// result is scheduling-dependent by design; the assertions are the
+// invariants that must hold under any interleaving.
+TEST(ConcurrencyStressTest, ShardEngineShedRetargetRacingFullRing) {
+  const std::vector<uint64_t> stream = MakeStream(1 << 16, 23, 1 << 12);
+
+  ShedControllerOptions copts;
+  copts.min_p = 0.05;
+  copts.capacity_per_window = 1000;  // far below offered: constant overload
+  copts.window_tuples = 4096;
+  ShedController controller(copts);
+
+  ShardEngineOptions opts;
+  opts.shards = 4;
+  opts.seed = 101;
+  opts.chunk_tuples = 128;
+  opts.queue_chunks = 2;
+  opts.controller = &controller;
+  opts.ring_backpressure = true;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(ShardEngineParams()), opts);
+  VectorSource source(stream);
+  const ShardEngineStats stats = engine.Run(source);
+
+  EXPECT_TRUE(stats.ended);
+  EXPECT_EQ(stats.tuples, stream.size());
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_LE(engine.total_kept(), engine.total_seen());
+  EXPECT_GE(engine.p(), copts.min_p);
+  EXPECT_LT(engine.p(), 1.0);  // the overload really did force shedding
+  uint64_t shard_sum = 0;
+  for (uint64_t kept : stats.shard_kept) shard_sum += kept;
+  EXPECT_EQ(shard_sum, stats.kept);
+}
+
+// Checkpoint snapshots taken while ingest is in full flight: the quiesce
+// barrier must publish every worker's partial state to the router before
+// serialization reads it (TSan validates the happens-before edge), and the
+// snapshots must be good enough to resume bit-exactly.
+TEST(ConcurrencyStressTest, ShardEngineCheckpointSnapshotMidIngest) {
+  const std::vector<uint64_t> stream = MakeStream(1 << 16, 27, 1 << 12);
+  const FagmsSketch proto{ShardEngineParams()};
+
+  ShardEngineOptions opts;
+  opts.shards = 4;
+  opts.shed_p = 0.5;
+  opts.seed = 103;
+  opts.chunk_tuples = 128;
+  opts.queue_chunks = 2;
+  ShardEngine<FagmsSketch> reference(proto, opts);
+  {
+    VectorSource source(stream);
+    reference.Run(source);
+  }
+
+  LatestCheckpointSink sink;
+  ShardEngineOptions kill = opts;
+  kill.checkpoint_sink = &sink;
+  kill.checkpoint_every = 3000;
+  kill.max_tuples = 30000;
+  ShardEngine<FagmsSketch> killed(proto, kill);
+  {
+    VectorSource source(stream);
+    const ShardEngineStats stats = killed.Run(source);
+    EXPECT_EQ(stats.checkpoints, 10u);
+  }
+
+  ShardEngineOptions resume = opts;
+  resume.shards = 2;
+  ShardEngine<FagmsSketch> resumed(proto, resume);
+  VectorSource source(stream);
+  resumed.Restore(DeserializeCheckpoint(sink.bytes()), source);
+  resumed.Run(source);
+  EXPECT_EQ(resumed.total_kept(), reference.total_kept());
+  EXPECT_EQ(resumed.merged().counters(), reference.merged().counters());
 }
 
 }  // namespace

@@ -223,6 +223,47 @@ class RulesTest(unittest.TestCase):
             )
         )
 
+    def test_mutator_metrics_covers_shard_engine_entry_points(self):
+        # Template-qualified definitions (ShardEngine<SketchT>::Run) must
+        # match, and the shard_engine scope must win over the broader
+        # src/stream prefix.
+        bare = (
+            "template <typename SketchT>\n"
+            "ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& s) {\n"
+            "  return ShardEngineStats{};\n"
+            "}\n"
+        )
+        v = self.violations(
+            "src/stream/shard_engine.cc", bare, lint.check_mutator_metrics
+        )
+        self.assertEqual([x.rule for x in v], ["mutator-metrics"])
+
+        hooked = (
+            "template <typename SketchT>\n"
+            "void ShardEngine<SketchT>::Restore(const Checkpoint& cp) {\n"
+            '  SKETCHSAMPLE_METRIC_INC("engine.shard.restores");\n'
+            "}\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/stream/shard_engine_hooked.cc",
+                hooked,
+                lint.check_mutator_metrics,
+            )
+        )
+        # The stream vocabulary does not leak into the shard_engine scope:
+        # a bare OnTuple defined here is outside its mutator list.
+        stream_vocab = (
+            "void ShardEngineHelper::OnTuple(uint64_t v) { count_ += v; }\n"
+        )
+        self.assertFalse(
+            self.violations(
+                "src/stream/shard_engine_helper.cc",
+                stream_vocab,
+                lint.check_mutator_metrics,
+            )
+        )
+
     # ---- direct-include ----
 
     def test_direct_include_fires(self):

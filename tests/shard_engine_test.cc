@@ -1,0 +1,528 @@
+// Tests for the sharded multi-threaded ingest engine
+// (src/stream/shard_engine.h). The load-bearing claims:
+//
+//  - Determinism: the same root seed produces bit-identical merged sketches
+//    and estimates at every shard count and chunk size (positional
+//    shedding + exact counter merges).
+//  - Recovery: kill-and-resume from a shard-section checkpoint is
+//    bit-exact, including resumes at a *different* shard count, and with
+//    the adaptive controller in the loop (fixed-budget mode).
+//  - Fault accounting: per-shard fault injection keeps the global
+//    stream.faults.injected counter the exact sum of per-shard counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sampling/bernoulli.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+#include "src/sketch/kmv.h"
+#include "src/stream/checkpoint.h"
+#include "src/stream/faults.h"
+#include "src/stream/shard_engine.h"
+#include "src/stream/shed_controller.h"
+#include "src/stream/source.h"
+#include "src/util/metrics.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+constexpr uint64_t kRootSeed = 42;
+constexpr uint64_t kSketchSeed = 33;
+
+std::vector<uint64_t> MakeStream(size_t n, uint64_t seed, uint64_t domain) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng() % domain);
+  return values;
+}
+
+SketchParams SmallParams() {
+  SketchParams params;
+  params.rows = 3;
+  params.buckets = 128;
+  params.seed = kSketchSeed;
+  return params;
+}
+
+template <typename SketchT>
+ShardEngineStats RunEngine(ShardEngine<SketchT>& engine,
+                           const std::vector<uint64_t>& values) {
+  VectorSource source(values);
+  return engine.Run(source);
+}
+
+// --- Determinism matrix -------------------------------------------------
+
+// For each sketch family: run the stream through 1, 2, 3, and 8 shards
+// (and one deliberately odd chunk size) and demand bit-identical merged
+// counters against the shards=1 reference.
+template <typename SketchT, typename EqualFn>
+void ExpectShardCountInvariance(const SketchT& proto, EqualFn equal) {
+  const std::vector<uint64_t> values = MakeStream(50000, 7, 1000);
+  ShardEngineOptions base;
+  base.shed_p = 0.3;
+  base.seed = kRootSeed;
+  base.chunk_tuples = 512;
+
+  ShardEngineOptions reference_opts = base;
+  reference_opts.shards = 1;
+  ShardEngine<SketchT> reference(proto, reference_opts);
+  RunEngine(reference, values);
+
+  for (const size_t shards : {2u, 3u, 8u}) {
+    ShardEngineOptions opts = base;
+    opts.shards = shards;
+    ShardEngine<SketchT> engine(proto, opts);
+    const ShardEngineStats stats = RunEngine(engine, values);
+    EXPECT_EQ(engine.total_seen(), reference.total_seen()) << shards;
+    EXPECT_EQ(engine.total_kept(), reference.total_kept()) << shards;
+    EXPECT_EQ(stats.merges, shards);
+    equal(reference.merged(), engine.merged(), shards);
+  }
+
+  // Chunk size must not matter either: position, not batching, decides.
+  ShardEngineOptions odd = base;
+  odd.shards = 3;
+  odd.chunk_tuples = 97;
+  ShardEngine<SketchT> engine(proto, odd);
+  RunEngine(engine, values);
+  EXPECT_EQ(engine.total_kept(), reference.total_kept());
+  equal(reference.merged(), engine.merged(), 97u);
+}
+
+template <typename SketchT>
+void ExpectCountersEqual(const SketchT& a, const SketchT& b, size_t tag) {
+  const std::vector<double>& lhs = a.counters();
+  const std::vector<double>& rhs = b.counters();
+  ASSERT_EQ(lhs.size(), rhs.size()) << tag;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    ASSERT_EQ(lhs[i], rhs[i]) << "counter " << i << " tag " << tag;
+  }
+}
+
+TEST(ShardEngineTest, AgmsMergedCountersInvariantAcrossShardCounts) {
+  SketchParams params;
+  params.rows = 64;
+  params.seed = kSketchSeed;
+  ExpectShardCountInvariance(AgmsSketch(params),
+                             ExpectCountersEqual<AgmsSketch>);
+}
+
+TEST(ShardEngineTest, FagmsMergedCountersInvariantAcrossShardCounts) {
+  ExpectShardCountInvariance(FagmsSketch(SmallParams()),
+                             ExpectCountersEqual<FagmsSketch>);
+}
+
+TEST(ShardEngineTest, FastCountMergedCountersInvariantAcrossShardCounts) {
+  ExpectShardCountInvariance(FastCountSketch(SmallParams()),
+                             ExpectCountersEqual<FastCountSketch>);
+}
+
+TEST(ShardEngineTest, KmvMergedMinimaInvariantAcrossShardCounts) {
+  ExpectShardCountInvariance(
+      KmvSketch(64, kSketchSeed),
+      [](const KmvSketch& a, const KmvSketch& b, size_t tag) {
+        ASSERT_TRUE(a.minima() == b.minima()) << tag;
+        ASSERT_EQ(a.EstimateDistinct(), b.EstimateDistinct()) << tag;
+      });
+}
+
+// The engine's kept set must be exactly what the positional sampler says:
+// a sequential reference applying Keep(i) to every absolute position
+// reproduces the merged sketch bit-for-bit.
+TEST(ShardEngineTest, MatchesSequentialPositionalReference) {
+  const std::vector<uint64_t> values = MakeStream(20000, 11, 500);
+  const double p = 0.4;
+
+  FagmsSketch reference(SmallParams());
+  const PositionalBernoulliSampler sampler(p, kRootSeed);
+  uint64_t reference_kept = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (sampler.Keep(i)) {
+      reference.Update(values[i]);
+      ++reference_kept;
+    }
+  }
+
+  ShardEngineOptions opts;
+  opts.shards = 4;
+  opts.shed_p = p;
+  opts.seed = kRootSeed;
+  opts.chunk_tuples = 333;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  RunEngine(engine, values);
+
+  EXPECT_EQ(engine.total_kept(), reference_kept);
+  ExpectCountersEqual(reference, engine.merged(), 0);
+}
+
+// --- Checkpoint / recovery ---------------------------------------------
+
+TEST(ShardEngineTest, KillAndResumeAtDifferentShardCountIsBitExact) {
+  const std::vector<uint64_t> values = MakeStream(30000, 3, 2000);
+  const FagmsSketch proto{SmallParams()};
+
+  ShardEngineOptions opts;
+  opts.shards = 3;
+  opts.shed_p = 0.5;
+  opts.seed = kRootSeed;
+  opts.chunk_tuples = 256;
+
+  ShardEngine<FagmsSketch> uninterrupted(proto, opts);
+  RunEngine(uninterrupted, values);
+
+  // Kill: stop at 12000 tuples, checkpointing every 4000 (the router caps
+  // pulls at checkpoint boundaries, so the last checkpoint lands at
+  // exactly 12000).
+  LatestCheckpointSink sink;
+  ShardEngineOptions kill = opts;
+  kill.checkpoint_sink = &sink;
+  kill.checkpoint_every = 4000;
+  kill.max_tuples = 12000;
+  ShardEngine<FagmsSketch> killed(proto, kill);
+  const ShardEngineStats kill_stats = RunEngine(killed, values);
+  EXPECT_EQ(kill_stats.checkpoints, 3u);
+  EXPECT_EQ(sink.source_tuples(), 12000u);
+
+  // Resume in a fresh engine with a different shard count and chunk size.
+  for (const size_t shards : {1u, 2u, 8u}) {
+    ShardEngineOptions resume_opts = opts;
+    resume_opts.shards = shards;
+    resume_opts.chunk_tuples = 128;
+    ShardEngine<FagmsSketch> resumed(proto, resume_opts);
+    VectorSource source(values);
+    resumed.Restore(DeserializeCheckpoint(sink.bytes()), source);
+    EXPECT_EQ(resumed.total_seen(), 12000u);
+    resumed.Run(source);
+
+    EXPECT_EQ(resumed.total_seen(), uninterrupted.total_seen()) << shards;
+    EXPECT_EQ(resumed.total_kept(), uninterrupted.total_kept()) << shards;
+    ExpectCountersEqual(uninterrupted.merged(), resumed.merged(), shards);
+    ASSERT_EQ(resumed.merged().EstimateSelfJoin(),
+              uninterrupted.merged().EstimateSelfJoin())
+        << shards;
+  }
+}
+
+// A double kill: resume, checkpoint again mid-resume, resume again. The
+// restored base must survive the second snapshot (it rides in shard 0's
+// entry), so the final state still covers the whole prefix.
+TEST(ShardEngineTest, SecondKillAfterResumeStillCoversWholePrefix) {
+  const std::vector<uint64_t> values = MakeStream(24000, 5, 1500);
+  const FagmsSketch proto{SmallParams()};
+
+  ShardEngineOptions opts;
+  opts.shards = 2;
+  opts.shed_p = 0.7;
+  opts.seed = kRootSeed;
+  opts.chunk_tuples = 200;
+
+  ShardEngine<FagmsSketch> uninterrupted(proto, opts);
+  RunEngine(uninterrupted, values);
+
+  LatestCheckpointSink sink;
+  ShardEngineOptions kill1 = opts;
+  kill1.checkpoint_sink = &sink;
+  kill1.checkpoint_every = 4000;
+  kill1.max_tuples = 8000;
+  ShardEngine<FagmsSketch> first(proto, kill1);
+  RunEngine(first, values);
+
+  ShardEngineOptions kill2 = opts;
+  kill2.shards = 3;
+  kill2.checkpoint_sink = &sink;
+  kill2.checkpoint_every = 4000;
+  kill2.max_tuples = 8000;  // runs 8000..16000, checkpoints at 12000, 16000
+  ShardEngine<FagmsSketch> second(proto, kill2);
+  {
+    VectorSource source(values);
+    second.Restore(DeserializeCheckpoint(sink.bytes()), source);
+    second.Run(source);
+  }
+  EXPECT_EQ(sink.source_tuples(), 16000u);
+
+  ShardEngineOptions resume_opts = opts;
+  resume_opts.shards = 4;
+  ShardEngine<FagmsSketch> final_engine(proto, resume_opts);
+  VectorSource source(values);
+  final_engine.Restore(DeserializeCheckpoint(sink.bytes()), source);
+  final_engine.Run(source);
+
+  EXPECT_EQ(final_engine.total_seen(), uninterrupted.total_seen());
+  EXPECT_EQ(final_engine.total_kept(), uninterrupted.total_kept());
+  ExpectCountersEqual(uninterrupted.merged(), final_engine.merged(), 0);
+}
+
+// Adaptive mode with the deterministic fixed budget (ring backpressure
+// off): the p trajectory is a pure function of the realized counts, which
+// are partition-independent — so shard counts must not change the result,
+// and kill-and-resume must replay the same control decisions.
+TEST(ShardEngineTest, AdaptiveFixedBudgetInvariantAcrossShardCounts) {
+  const std::vector<uint64_t> values = MakeStream(40000, 13, 3000);
+  const FagmsSketch proto{SmallParams()};
+
+  ShedControllerOptions copts;
+  copts.initial_p = 1.0;
+  copts.min_p = 0.05;
+  copts.capacity_per_window = 2500;
+  copts.window_tuples = 4096;
+
+  ShedController reference_controller(copts);
+  ShardEngineOptions ref_opts;
+  ref_opts.shards = 1;
+  ref_opts.seed = kRootSeed;
+  ref_opts.chunk_tuples = 512;
+  ref_opts.controller = &reference_controller;
+  ref_opts.ring_backpressure = false;
+  ShardEngine<FagmsSketch> reference(proto, ref_opts);
+  const ShardEngineStats ref_stats = RunEngine(reference, values);
+  EXPECT_GT(ref_stats.windows, 0u);
+  EXPECT_LT(reference.p(), 1.0);  // the budget forces shedding
+
+  for (const size_t shards : {2u, 4u}) {
+    ShedController controller(copts);
+    ShardEngineOptions opts = ref_opts;
+    opts.shards = shards;
+    opts.controller = &controller;
+    ShardEngine<FagmsSketch> engine(proto, opts);
+    const ShardEngineStats stats = RunEngine(engine, values);
+    EXPECT_EQ(stats.windows, ref_stats.windows) << shards;
+    EXPECT_EQ(engine.p(), reference.p()) << shards;
+    EXPECT_EQ(engine.total_kept(), reference.total_kept()) << shards;
+    ExpectCountersEqual(reference.merged(), engine.merged(), shards);
+  }
+}
+
+TEST(ShardEngineTest, AdaptiveKillAndResumeReplaysControlDecisions) {
+  const std::vector<uint64_t> values = MakeStream(40000, 17, 3000);
+  const FagmsSketch proto{SmallParams()};
+
+  ShedControllerOptions copts;
+  copts.capacity_per_window = 2500;
+  copts.window_tuples = 4096;
+
+  auto make_opts = [&](ShedController* controller) {
+    ShardEngineOptions opts;
+    opts.shards = 3;
+    opts.seed = kRootSeed;
+    opts.chunk_tuples = 512;
+    opts.controller = controller;
+    opts.ring_backpressure = false;
+    return opts;
+  };
+
+  ShedController uninterrupted_controller(copts);
+  ShardEngine<FagmsSketch> uninterrupted(
+      proto, make_opts(&uninterrupted_controller));
+  RunEngine(uninterrupted, values);
+
+  LatestCheckpointSink sink;
+  ShedController killed_controller(copts);
+  ShardEngineOptions kill = make_opts(&killed_controller);
+  kill.checkpoint_sink = &sink;
+  kill.checkpoint_every = 6000;  // deliberately misaligned with windows
+  kill.max_tuples = 18000;
+  ShardEngine<FagmsSketch> killed(proto, kill);
+  RunEngine(killed, values);
+  EXPECT_EQ(sink.source_tuples(), 18000u);
+
+  ShedController resumed_controller(copts);
+  ShardEngineOptions resume_opts = make_opts(&resumed_controller);
+  resume_opts.shards = 5;
+  ShardEngine<FagmsSketch> resumed(proto, resume_opts);
+  VectorSource source(values);
+  resumed.Restore(DeserializeCheckpoint(sink.bytes()), source);
+  EXPECT_EQ(resumed.p(), killed.p());  // controller p reinstated
+  resumed.Run(source);
+
+  EXPECT_EQ(resumed.p(), uninterrupted.p());
+  EXPECT_EQ(resumed_controller.windows(), uninterrupted_controller.windows());
+  EXPECT_EQ(resumed.total_kept(), uninterrupted.total_kept());
+  ExpectCountersEqual(uninterrupted.merged(), resumed.merged(), 0);
+}
+
+// A second Run on the same engine continues from where the first stopped —
+// the same contract as resuming from a checkpoint at that boundary.
+TEST(ShardEngineTest, ReRunContinuesWhereTheFirstStopped) {
+  const std::vector<uint64_t> values = MakeStream(20000, 19, 1000);
+  const FagmsSketch proto{SmallParams()};
+
+  ShardEngineOptions opts;
+  opts.shards = 2;
+  opts.shed_p = 0.6;
+  opts.seed = kRootSeed;
+  ShardEngine<FagmsSketch> reference(proto, opts);
+  RunEngine(reference, values);
+
+  ShardEngineOptions stop_opts = opts;
+  stop_opts.max_tuples = 7000;
+  ShardEngine<FagmsSketch> engine(proto, stop_opts);
+  VectorSource source(values);
+  const ShardEngineStats first = engine.Run(source);
+  EXPECT_EQ(first.tuples, 7000u);
+  EXPECT_FALSE(first.ended);
+  // max_tuples caps each run, so pumping the rest takes two more runs
+  // (7000 + 7000 + 6000 = 20000).
+  const ShardEngineStats second = engine.Run(source);
+  EXPECT_EQ(second.tuples, 7000u);
+  const ShardEngineStats third = engine.Run(source);
+  EXPECT_TRUE(third.ended);
+
+  EXPECT_EQ(engine.total_seen(), reference.total_seen());
+  EXPECT_EQ(engine.total_kept(), reference.total_kept());
+  ExpectCountersEqual(reference.merged(), engine.merged(), 0);
+}
+
+// --- Restore validation -------------------------------------------------
+
+TEST(ShardEngineTest, RestoreRejectsCheckpointWithoutShardSection) {
+  PipelineCheckpoint cp;
+  cp.source_tuples = 10;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()),
+                                  ShardEngineOptions{});
+  VectorSource source(MakeStream(100, 1, 10));
+  EXPECT_THROW(engine.Restore(cp, source), CheckpointError);
+}
+
+TEST(ShardEngineTest, RestoreRejectsIncompatibleShardSketch) {
+  SketchParams other = SmallParams();
+  other.seed = kSketchSeed + 1;  // different hash seed: incompatible
+  PipelineCheckpoint cp;
+  cp.source_tuples = 1;
+  cp.has_shards = true;
+  ShardCheckpointState shard;
+  shard.seen = 1;
+  shard.kept = 1;
+  shard.sketch = SerializeSketch(FagmsSketch(other));
+  cp.shards.push_back(shard);
+
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()),
+                                  ShardEngineOptions{});
+  VectorSource source(MakeStream(100, 1, 10));
+  EXPECT_THROW(engine.Restore(cp, source), CheckpointError);
+  EXPECT_EQ(engine.total_seen(), 0u);  // failed restore must not half-apply
+}
+
+TEST(ShardEngineTest, RestoreRejectsShardCountsNotCoveringPosition) {
+  PipelineCheckpoint cp;
+  cp.source_tuples = 100;
+  cp.has_shards = true;
+  ShardCheckpointState shard;
+  shard.seen = 60;  // 40 tuples unaccounted for
+  cp.shards.push_back(shard);
+
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()),
+                                  ShardEngineOptions{});
+  VectorSource source(MakeStream(200, 1, 10));
+  EXPECT_THROW(engine.Restore(cp, source), CheckpointError);
+}
+
+TEST(ShardEngineTest, RestoreRejectsSourceShorterThanCheckpoint) {
+  const std::vector<uint64_t> values = MakeStream(5000, 23, 100);
+  LatestCheckpointSink sink;
+  ShardEngineOptions opts;
+  opts.shards = 2;
+  opts.seed = kRootSeed;
+  opts.checkpoint_sink = &sink;
+  opts.checkpoint_every = 2000;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  RunEngine(engine, values);
+
+  ShardEngine<FagmsSketch> resumed(FagmsSketch(SmallParams()),
+                                   ShardEngineOptions{});
+  VectorSource short_source(MakeStream(1000, 23, 100));
+  EXPECT_THROW(
+      resumed.Restore(DeserializeCheckpoint(sink.bytes()), short_source),
+      CheckpointError);
+}
+
+// --- Fault accounting ---------------------------------------------------
+
+// Each worker owns an independent fault stream and a per-shard counter;
+// the global stream.faults.injected counter must stay the exact sum of the
+// per-shard ones, and both must match the operators' own counts.
+TEST(ShardEngineTest, PerShardFaultCountsSumToGlobalCounter) {
+  const std::vector<uint64_t> values = MakeStream(30000, 29, 1000);
+
+  FaultProfile profile;
+  profile.corrupt_prob = 0.01;
+  profile.duplicate_prob = 0.01;
+  profile.reorder_prob = 0.005;
+
+  metrics::SetEnabled(true);
+  metrics::Registry& registry = metrics::Registry::Global();
+  const uint64_t global_before =
+      registry.GetCounter("stream.faults.injected").Get();
+  const size_t shards = 4;
+  std::vector<uint64_t> shard_before;
+  for (size_t s = 0; s < shards; ++s) {
+    shard_before.push_back(
+        registry.GetCounter("stream.faults.injected.shard" + std::to_string(s))
+            .Get());
+  }
+
+  ShardEngineOptions opts;
+  opts.shards = shards;
+  opts.seed = kRootSeed;
+  opts.fault_profile = &profile;
+  opts.fault_seed = 77;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  const ShardEngineStats stats = RunEngine(engine, values);
+  metrics::SetEnabled(false);
+
+  ASSERT_EQ(stats.shard_faults.size(), shards);
+  uint64_t fault_sum = 0;
+  uint64_t nonzero_shards = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const uint64_t shard_delta =
+        registry.GetCounter("stream.faults.injected.shard" + std::to_string(s))
+            .Get() -
+        shard_before[s];
+    EXPECT_EQ(shard_delta, stats.shard_faults[s]) << "shard " << s;
+    fault_sum += stats.shard_faults[s];
+    if (stats.shard_faults[s] > 0) ++nonzero_shards;
+  }
+  EXPECT_GT(fault_sum, 0u);
+  EXPECT_GT(nonzero_shards, 1u);  // faults really are spread across shards
+  const uint64_t global_delta =
+      registry.GetCounter("stream.faults.injected").Get() - global_before;
+  EXPECT_EQ(global_delta, fault_sum);
+}
+
+// --- Stats accounting ---------------------------------------------------
+
+TEST(ShardEngineTest, PerShardStatsSumToTotals) {
+  const std::vector<uint64_t> values = MakeStream(10000, 31, 500);
+  ShardEngineOptions opts;
+  opts.shards = 3;
+  opts.shed_p = 0.5;
+  opts.seed = kRootSeed;
+  opts.chunk_tuples = 100;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  const ShardEngineStats stats = RunEngine(engine, values);
+
+  EXPECT_TRUE(stats.ended);
+  EXPECT_EQ(stats.tuples, 10000u);
+  ASSERT_EQ(stats.shard_tuples.size(), 3u);
+  ASSERT_EQ(stats.shard_kept.size(), 3u);
+  uint64_t tuple_sum = 0;
+  uint64_t kept_sum = 0;
+  for (size_t s = 0; s < 3; ++s) {
+    tuple_sum += stats.shard_tuples[s];
+    kept_sum += stats.shard_kept[s];
+    EXPECT_GT(stats.shard_tuples[s], 0u) << s;  // round-robin reaches all
+  }
+  EXPECT_EQ(tuple_sum, stats.tuples);
+  EXPECT_EQ(kept_sum, stats.kept);
+  EXPECT_EQ(engine.total_kept(), stats.kept);
+  EXPECT_EQ(stats.chunks, 100u);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -23,6 +23,7 @@
 #include "src/stream/faults.h"
 #include "src/stream/operators.h"
 #include "src/stream/pipeline.h"
+#include "src/stream/shard_engine.h"
 #include "src/stream/shed_controller.h"
 #include "src/stream/source.h"
 #include "src/util/flags.h"
@@ -399,6 +400,97 @@ int CmdRange(int argc, char** argv) {
   return 0;
 }
 
+// The --shards=N path of `stream`: same stream, same honest reporting, but
+// ingested by the multi-threaded ShardEngine — positional Bernoulli
+// shedding (seeded by --shed-seed, identical tuples kept at any shard
+// count), one partial sketch per worker, merged at the end. Checkpoints
+// carry the per-shard section, so a resume may use a different --shards.
+// Faults stay on the pull path (FaultInjectingSource), exactly as in the
+// single-threaded pipeline.
+int RunShardedStream(const Flags& flags, const std::vector<uint64_t>& values,
+                     const SketchParams& params, ShedController* controller) {
+  ShardEngineOptions eopts;
+  eopts.shards = static_cast<size_t>(flags.GetInt("shards"));
+  eopts.shed_p = flags.GetDouble("shed-p");
+  eopts.seed = static_cast<uint64_t>(flags.GetInt("shed-seed"));
+  eopts.controller = controller;
+  eopts.max_tuples = static_cast<uint64_t>(flags.GetInt("max-tuples"));
+  eopts.stall_retries = static_cast<uint64_t>(flags.GetInt("stall-retries"));
+
+  std::optional<FileCheckpointSink> checkpoint_sink;
+  const std::string checkpoint_out = flags.GetString("checkpoint-out");
+  const uint64_t checkpoint_every =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every"));
+  if (checkpoint_every > 0 && !checkpoint_out.empty()) {
+    checkpoint_sink.emplace(checkpoint_out);
+    eopts.checkpoint_sink = &*checkpoint_sink;
+    eopts.checkpoint_every = checkpoint_every;
+  }
+
+  ShardEngine<FagmsSketch> engine(FagmsSketch(params), eopts);
+
+  VectorSource vector_source(values);
+  StreamSource* source = &vector_source;
+  const FaultProfile profile =
+      FaultProfile::FromName(flags.GetString("fault-profile"));
+  uint64_t fault_seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  if (fault_seed == 0) fault_seed = FaultSeedFromEnv(77);
+  std::optional<FaultInjectingSource> faulty;
+  if (profile.Active()) {
+    faulty.emplace(&vector_source, profile, fault_seed);
+    source = &*faulty;
+  }
+
+  const std::string resume_path = flags.GetString("resume");
+  if (!resume_path.empty()) {
+    engine.Restore(DeserializeCheckpoint(ReadBinaryFile(resume_path)),
+                   *source);
+  }
+
+  const ShardEngineStats stats = engine.Run(*source);
+
+  const FrequencyVector f = FrequencyVector::FromStream(values);
+  const JoinStatistics join_stats = ComputeJoinStatistics(f, f);
+  const double realized_p =
+      engine.total_seen() > 0
+          ? static_cast<double>(engine.total_kept()) /
+                static_cast<double>(engine.total_seen())
+          : engine.p();
+  const double estimate = RealizedSelfJoinEstimate(
+      engine.merged().EstimateSelfJoin(), realized_p, engine.total_kept());
+  const ConfidenceInterval ci =
+      RealizedSelfJoinInterval(estimate, join_stats, realized_p,
+                               params.buckets, flags.GetDouble("level"));
+
+  std::printf("shards      %llu\n",
+              static_cast<unsigned long long>(eopts.shards));
+  std::printf("tuples      %llu\n",
+              static_cast<unsigned long long>(engine.total_seen()));
+  std::printf("kept        %llu\n",
+              static_cast<unsigned long long>(engine.total_kept()));
+  std::printf("realized_p  %.17g\n", realized_p);
+  std::printf("final_p     %.17g\n", stats.final_p);
+  std::printf("windows     %llu\n",
+              static_cast<unsigned long long>(
+                  controller ? controller->windows() : stats.windows));
+  std::printf("checkpoints %llu\n",
+              static_cast<unsigned long long>(stats.checkpoints));
+  std::printf("tps         %.17g\n", stats.TuplesPerSecond());
+  if (profile.Active()) {
+    std::printf("faults      %llu\n",
+                static_cast<unsigned long long>(faulty->faults_injected()));
+    std::printf("fault_seed  %llu\n",
+                static_cast<unsigned long long>(fault_seed));
+  }
+  std::printf("estimate    %.17g\n", estimate);
+  std::printf("exact       %.17g\n", ExactSelfJoinSize(f));
+  std::printf("ci          %.17g %.17g\n", ci.low, ci.high);
+  std::printf("outcome     %s\n", stats.ended     ? "ended"
+                                  : stats.stalled ? "stalled"
+                                                  : "stopped");
+  return 0;
+}
+
 // Runs the robust streaming pipeline end to end: source (file or synthetic
 // Zipf) → optional fault injection → Bernoulli shed stage (optionally
 // retargeted per window by a ShedController) → F-AGMS sketch sink, with
@@ -433,6 +525,10 @@ int CmdStream(int argc, char** argv) {
   flags.Define("max-tuples", "0",
                "stop after this many tuples (0 = run to end; simulates a "
                "mid-stream kill for checkpoint testing)");
+  flags.Define("shards", "0",
+               "worker shards for the multi-threaded engine (0 = classic "
+               "single-threaded pipeline; N >= 1 routes through ShardEngine "
+               "with positional shedding keyed by --shed-seed)");
   flags.Define("level", "0.95", "confidence level for the error bars");
   DefineSketchFlags(flags);
   if (!flags.Parse(argc, argv)) return 1;
@@ -470,6 +566,11 @@ int CmdStream(int argc, char** argv) {
     copts.target_tps = target_tps;
     copts.window_tuples = static_cast<uint64_t>(flags.GetInt("shed-window"));
     controller.emplace(copts);  // validates the knobs, throws on nonsense
+  }
+
+  if (flags.GetInt("shards") > 0) {
+    return RunShardedStream(flags, values, params,
+                            controller ? &*controller : nullptr);
   }
 
   // Resume: restore the sketch from the checkpoint blob; shed/controller

@@ -42,6 +42,7 @@ run fig6_wr_selfjoin_error "${common[@]}"
 run fig7_wor_tpch_sjoin_error "${common[@]}" --scale_factor="$scale"
 run fig8_wor_tpch_selfjoin_error "${common[@]}" --scale_factor="$scale"
 run bench_sketch_ablation "${common[@]}"
+run bench_shard_scaling "${common[@]}"
 run bench_update_throughput --benchmark_min_time="$min_time"
 run ext_decomposition_wr_wor --tuples="$tuples"
 run ext_generic_variance --mc_trials="$mc"
