@@ -1,0 +1,311 @@
+// Service-path benchmark: ingest and query throughput of the full
+// query-serving stack (src/service/) — PushSource → ShardEngine with
+// phase-locked snapshot publication → RcuCell → HTTP server → hardened
+// parser → response builders — measured over real loopback sockets with
+// the keep-alive client the load driver uses.
+//
+// Three phases, each its own report point:
+//
+//   phase=ingest          tuples/sec through POST-path ingestion alone
+//                         (service.Push, no HTTP overhead), engine at
+//                         shed-p with snapshots publishing.
+//   phase=query           req/sec + p50/p90/p99 latency of the query mix
+//                         against a sealed snapshot (ingest closed).
+//   phase=mixed           both at once: a feeder thread cycles the stream
+//                         through ingest while query threads hammer the
+//                         endpoints — the SF-sketch "fat ingest stage,
+//                         slim query stage" claim, measured. Two points
+//                         (side=ingest / side=query).
+//
+// The bench gate consumes the report: updates_per_sec points aggregate
+// into the duration-weighted combined ingest+query throughput, and every
+// *_latency_ns metric gates per point (tools/gate.h).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/report.h"
+#include "src/data/zipf.h"
+#include "src/service/client.h"
+#include "src/service/server.h"
+#include "src/service/service.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace sketchsample {
+namespace {
+
+struct QueryPhaseResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  uint64_t p50_ns = 0, p90_ns = 0, p99_ns = 0;
+  double qps() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+uint64_t PercentileNs(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+// Rotates selfjoin / point / distinct GETs for `seconds` against `port`,
+// one keep-alive connection per thread.
+QueryPhaseResult RunQueryPhase(int port, int threads, double seconds,
+                               uint64_t key_domain, uint64_t seed) {
+  std::vector<std::vector<uint64_t>> latencies(
+      static_cast<size_t>(threads));
+  std::vector<uint64_t> requests(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> errors(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", port);
+      Xoshiro256 rng(MixSeed(seed, static_cast<uint64_t>(t)));
+      auto& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(1 << 16);
+      const auto deadline =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+      while (std::chrono::steady_clock::now() < deadline) {
+        std::string target;
+        switch (rng() % 4) {
+          case 0:
+            target = "/query/selfjoin";
+            break;
+          case 1:
+          case 2:
+            target = "/query/point?key=" + std::to_string(rng() % key_domain);
+            break;
+          default:
+            target = "/query/distinct";
+            break;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const HttpClient::Response response = client.Get(target);
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        ++requests[static_cast<size_t>(t)];
+        if (!response.ok || response.status != 200) {
+          ++errors[static_cast<size_t>(t)];
+        }
+        lat.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  QueryPhaseResult result;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::vector<uint64_t> all;
+  for (size_t t = 0; t < latencies.size(); ++t) {
+    result.requests += requests[t];
+    result.errors += errors[t];
+    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ns = PercentileNs(all, 0.50);
+  result.p90_ns = PercentileNs(all, 0.90);
+  result.p99_ns = PercentileNs(all, 0.99);
+  return result;
+}
+
+SketchServiceOptions ServiceOptions(const Flags& flags) {
+  SketchServiceOptions options;
+  options.sketch.buckets = static_cast<size_t>(flags.GetInt("buckets"));
+  options.sketch.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.engine.shards = static_cast<size_t>(flags.GetInt("shards"));
+  options.engine.shed_p = flags.GetDouble("shed_p");
+  options.engine.seed = MixSeed(flags.GetInt("seed"), 0x5eed);
+  options.engine.distinct_k = static_cast<size_t>(flags.GetInt("distinct_k"));
+  options.snapshot_every =
+      static_cast<uint64_t>(flags.GetInt("snapshot_every"));
+  return options;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("tuples", "200000", "stream length for the ingest phases");
+  flags.Define("domain", "100000", "zipf domain (also the point-key domain)");
+  flags.Define("skew", "1.0", "zipf coefficient");
+  flags.Define("buckets", "5000", "F-AGMS buckets");
+  flags.Define("seed", "20090402", "master seed");
+  flags.Define("threads", "2", "query worker threads");
+  flags.Define("seconds", "1", "duration of each query phase");
+  flags.Define("shards", "2", "engine worker lanes");
+  flags.Define("shed_p", "0.1", "Bernoulli keep-probability");
+  flags.Define("distinct_k", "1024", "KMV distinct counter size");
+  flags.Define("snapshot_every", "8192", "snapshot publication period");
+  bench::DefineReportFlags(flags, "bench_service");
+  if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyMetricsFlag(flags);
+
+  const uint64_t tuples = static_cast<uint64_t>(flags.GetInt("tuples"));
+  const uint64_t domain = static_cast<uint64_t>(flags.GetInt("domain"));
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+  const double seconds = flags.GetDouble("seconds");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  ZipfSampler sampler(static_cast<size_t>(domain), flags.GetDouble("skew"));
+  Xoshiro256 rng(MixSeed(seed, 0x5ca1e));
+  const std::vector<uint64_t> stream =
+      sampler.Stream(static_cast<size_t>(tuples), rng);
+
+  bench::BenchReport report("bench_service");
+  report.SetConfig("tuples", static_cast<double>(tuples));
+  report.SetConfig("domain", static_cast<double>(domain));
+  report.SetConfig("threads", static_cast<double>(threads));
+  report.SetConfig("seconds", seconds);
+  report.SetConfig("shards", flags.GetDouble("shards"));
+  report.SetConfig("shed_p", flags.GetDouble("shed_p"));
+
+  TablePrinter table(
+      {"phase", "tuples/s", "req/s", "p50 ns", "p99 ns", "errors"});
+
+  // ---- phase=ingest -------------------------------------------------------
+  {
+    SketchService service(ServiceOptions(flags));
+    service.Start();
+    const auto start = std::chrono::steady_clock::now();
+    size_t sent = 0;
+    while (sent < stream.size()) {
+      sent += service.Push(stream.data() + sent,
+                           std::min<size_t>(4096, stream.size() - sent));
+    }
+    service.CloseIngest();
+    while (!service.ingest_done()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate =
+        elapsed > 0 ? static_cast<double>(tuples) / elapsed : 0;
+    report.AddPoint()
+        .Label("phase", "ingest")
+        .Metric("updates_per_sec", rate)
+        .Metric("seconds", elapsed);
+    table.AddRow({0, rate, 0, 0, 0, 0});
+    service.Stop();
+  }
+
+  // ---- phase=query --------------------------------------------------------
+  {
+    SketchService service(ServiceOptions(flags));
+    Router router;
+    service.Register(router);
+    HttpServer server(&router, HttpServerOptions{});
+    server.Start();
+    service.Start();
+    size_t sent = 0;
+    while (sent < stream.size()) {
+      sent += service.Push(stream.data() + sent,
+                           std::min<size_t>(4096, stream.size() - sent));
+    }
+    service.CloseIngest();
+    while (!service.ingest_done()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const QueryPhaseResult result = RunQueryPhase(
+        server.port(), threads, seconds, domain, MixSeed(seed, 0xbeef));
+    report.AddPoint()
+        .Label("phase", "query")
+        .Metric("updates_per_sec", result.qps())
+        .Metric("seconds", result.seconds)
+        .Metric("requests", static_cast<double>(result.requests))
+        .Metric("errors", static_cast<double>(result.errors))
+        .Metric("p50_latency_ns", static_cast<double>(result.p50_ns))
+        .Metric("p90_latency_ns", static_cast<double>(result.p90_ns))
+        .Metric("p99_latency_ns", static_cast<double>(result.p99_ns));
+    table.AddRow({1, 0, result.qps(), static_cast<double>(result.p50_ns),
+                  static_cast<double>(result.p99_ns),
+                  static_cast<double>(result.errors)});
+    server.Stop();
+    service.Stop();
+  }
+
+  // ---- phase=mixed --------------------------------------------------------
+  {
+    SketchService service(ServiceOptions(flags));
+    Router router;
+    service.Register(router);
+    HttpServer server(&router, HttpServerOptions{});
+    server.Start();
+    service.Start();
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> fed{0};
+    // Cycles the stream through ingest at full speed for the whole query
+    // window; Push's backpressure keeps the feeder honest.
+    std::thread feeder([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t sent = 0;
+        while (sent < stream.size() &&
+               !stop.load(std::memory_order_relaxed)) {
+          const size_t accepted =
+              service.Push(stream.data() + sent,
+                           std::min<size_t>(4096, stream.size() - sent));
+          sent += accepted;
+          fed.fetch_add(accepted, std::memory_order_relaxed);
+        }
+      }
+    });
+    const auto start = std::chrono::steady_clock::now();
+    const QueryPhaseResult result = RunQueryPhase(
+        server.port(), threads, seconds, domain, MixSeed(seed, 0xcafe));
+    const double ingest_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    stop.store(true, std::memory_order_relaxed);
+    service.CloseIngest();  // unblocks a feeder stuck in Push
+    feeder.join();
+    const double ingest_rate =
+        ingest_seconds > 0
+            ? static_cast<double>(fed.load(std::memory_order_relaxed)) /
+                  ingest_seconds
+            : 0;
+    report.AddPoint()
+        .Label("phase", "mixed")
+        .Label("side", "ingest")
+        .Metric("updates_per_sec", ingest_rate)
+        .Metric("seconds", ingest_seconds);
+    report.AddPoint()
+        .Label("phase", "mixed")
+        .Label("side", "query")
+        .Metric("updates_per_sec", result.qps())
+        .Metric("seconds", result.seconds)
+        .Metric("requests", static_cast<double>(result.requests))
+        .Metric("errors", static_cast<double>(result.errors))
+        .Metric("p50_latency_ns", static_cast<double>(result.p50_ns))
+        .Metric("p90_latency_ns", static_cast<double>(result.p90_ns))
+        .Metric("p99_latency_ns", static_cast<double>(result.p99_ns));
+    table.AddRow({2, ingest_rate, result.qps(),
+                  static_cast<double>(result.p50_ns),
+                  static_cast<double>(result.p99_ns),
+                  static_cast<double>(result.errors)});
+    server.Stop();
+    service.Stop();
+  }
+
+  std::printf(
+      "Service-path throughput (phase 0=ingest 1=query 2=mixed; see file "
+      "comment)\n");
+  table.Print();
+  return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

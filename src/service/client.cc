@@ -1,0 +1,172 @@
+#include "src/service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace sketchsample {
+
+namespace {
+
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, int port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  leftover_.clear();
+}
+
+bool HttpClient::Connect(std::string* error) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = "socket() failed";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + host_;
+    Disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect failed: ") + std::strerror(errno);
+    Disconnect();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return true;
+}
+
+bool HttpClient::RoundTrip(const std::string& request, Response* out) {
+  if (!SendAll(fd_, request.data(), request.size())) return false;
+
+  std::string buffer = std::move(leftover_);
+  leftover_.clear();
+  char chunk[16384];
+  size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > (1u << 20)) return false;  // runaway response head
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    buffer.append(chunk, static_cast<size_t>(r));
+  }
+
+  const std::string head = buffer.substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+  out->status = std::atoi(status_line.c_str() + 9);
+  if (out->status < 100 || out->status > 599) return false;
+
+  // Content-Length (the service always sends it).
+  size_t content_length = 0;
+  size_t pos = 0;
+  bool have_length = false;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (name == "content-length") {
+        content_length = std::strtoull(line.c_str() + colon + 1, nullptr, 10);
+        have_length = true;
+      }
+    }
+    pos = eol + 2;
+  }
+  if (!have_length || content_length > (64u << 20)) return false;
+
+  const size_t body_start = head_end + 4;
+  while (buffer.size() - body_start < content_length) {
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    buffer.append(chunk, static_cast<size_t>(r));
+  }
+  out->body = buffer.substr(body_start, content_length);
+  leftover_ = buffer.substr(body_start + content_length);
+  out->ok = true;
+  return true;
+}
+
+HttpClient::Response HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body) {
+  Response response;
+  std::string request;
+  request.reserve(128 + body.size());
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: ";
+  request += host_;
+  request += "\r\nContent-Length: ";
+  request += std::to_string(body.size());
+  request += "\r\nConnection: keep-alive\r\n\r\n";
+  request += body;
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0 && !Connect(&response.error)) return response;
+    if (RoundTrip(request, &response)) return response;
+    // A kept-alive connection the server has since closed fails here; one
+    // fresh-connection retry distinguishes that from a dead server.
+    Disconnect();
+  }
+  response.ok = false;
+  if (response.error.empty()) {
+    response.error = "request failed after reconnect: " + method + " " + target;
+  }
+  return response;
+}
+
+}  // namespace sketchsample

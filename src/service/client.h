@@ -1,0 +1,55 @@
+// Minimal blocking HTTP/1.1 client for driving the sketch service:
+// tools/loadgen, the CI smoke script, and the integration tests all speak
+// through this. Keep-alive by default (one TCP connection per client,
+// reconnect on failure), Content-Length framing only — the exact subset the
+// service emits.
+#ifndef SKETCHSAMPLE_SERVICE_CLIENT_H_
+#define SKETCHSAMPLE_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sketchsample {
+
+class HttpClient {
+ public:
+  struct Response {
+    bool ok = false;       ///< transport-level success (any HTTP status)
+    int status = 0;
+    std::string body;
+    std::string error;     ///< transport error description when !ok
+  };
+
+  /// Connects lazily on the first request.
+  HttpClient(std::string host, int port, int timeout_ms = 10000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round-trip; `target` is the origin-form path (may carry a query
+  /// string, already encoded). Reuses the connection; one reconnect-and-
+  /// retry when a kept-alive connection turns out dead.
+  Response Request(const std::string& method, const std::string& target,
+                   const std::string& body = std::string());
+
+  Response Get(const std::string& target) { return Request("GET", target); }
+  Response Post(const std::string& target, const std::string& body) {
+    return Request("POST", target, body);
+  }
+
+ private:
+  bool Connect(std::string* error);
+  void Disconnect();
+  bool RoundTrip(const std::string& request, Response* out);
+
+  std::string host_;
+  int port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string leftover_;  // pipelined bytes past the last parsed response
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_CLIENT_H_

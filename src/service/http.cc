@@ -1,0 +1,346 @@
+#include "src/service/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+
+#include "src/util/metrics.h"
+
+namespace sketchsample {
+
+namespace {
+
+// RFC 7230 token characters (header names, methods).
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c)) != 0) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string TrimOws(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// A connection-level hard cap: even a client that never completes a message
+// cannot buffer more than one maximal head + one maximal body + slack.
+size_t HardBufferCap(const HttpLimits& limits) {
+  return limits.max_header_bytes + limits.max_body_bytes + 4096;
+}
+
+}  // namespace
+
+bool PercentDecode(const std::string& text, std::string* out) {
+  out->clear();
+  out->reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '%') {
+      if (i + 2 >= text.size()) return false;
+      const int hi = HexDigit(text[i + 1]);
+      const int lo = HexDigit(text[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      c = static_cast<char>(hi * 16 + lo);
+      i += 2;
+    }
+    // No NUL or control bytes survive decoding — decoded strings flow into
+    // logs and error messages.
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) return false;
+    out->push_back(c);
+  }
+  return true;
+}
+
+const std::string* HttpRequest::QueryParam(const std::string& key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool HttpRequestParser::Fail(int status, const std::string& message) {
+  error_status_ = status;
+  error_message_ = message;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  SKETCHSAMPLE_METRIC_INC("service.http.parse_errors");
+  return false;
+}
+
+bool HttpRequestParser::Feed(const char* data, size_t n) {
+  if (error()) return false;
+  if (buffer_.size() + n > HardBufferCap(limits_)) {
+    return Fail(400, "request stream exceeds connection buffer cap");
+  }
+  buffer_.append(data, n);
+  return true;
+}
+
+bool HttpRequestParser::ParseRequestLine(const std::string& line,
+                                         HttpRequest* out) {
+  if (line.size() > limits_.max_request_line) {
+    return Fail(414, "request line too long");
+  }
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return Fail(400, "malformed request line");
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || line.find(' ', sp2 + 1) != std::string::npos) {
+    return Fail(400, "malformed request line");
+  }
+  out->method = line.substr(0, sp1);
+  if (!IsToken(out->method) || out->method.size() > 16) {
+    return Fail(400, "invalid request method");
+  }
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    out->version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    out->version_minor = 0;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    return Fail(505, "unsupported HTTP version");
+  } else {
+    return Fail(400, "malformed HTTP version");
+  }
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "request target must be origin-form");
+  }
+  for (char c : target) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u >= 0x7f) return Fail(400, "invalid byte in target");
+  }
+  const size_t qmark = target.find('?');
+  const std::string raw_path = target.substr(0, qmark);
+  if (!PercentDecode(raw_path, &out->path)) {
+    return Fail(400, "malformed percent-encoding in path");
+  }
+  out->query.clear();
+  if (qmark != std::string::npos) {
+    const std::string raw_query = target.substr(qmark + 1);
+    size_t start = 0;
+    while (start <= raw_query.size()) {
+      size_t amp = raw_query.find('&', start);
+      if (amp == std::string::npos) amp = raw_query.size();
+      const std::string pair = raw_query.substr(start, amp - start);
+      if (!pair.empty()) {
+        const size_t eq = pair.find('=');
+        std::string key;
+        std::string value;
+        const std::string raw_key =
+            eq == std::string::npos ? pair : pair.substr(0, eq);
+        const std::string raw_value =
+            eq == std::string::npos ? std::string() : pair.substr(eq + 1);
+        if (!PercentDecode(raw_key, &key) ||
+            !PercentDecode(raw_value, &value)) {
+          return Fail(400, "malformed percent-encoding in query");
+        }
+        out->query.emplace_back(std::move(key), std::move(value));
+      }
+      if (amp == raw_query.size()) break;
+      start = amp + 1;
+    }
+  }
+  return true;
+}
+
+bool HttpRequestParser::ParseHeaderLine(const std::string& line,
+                                        HttpRequest* out) {
+  if (out->headers.size() >= limits_.max_headers) {
+    return Fail(431, "too many request headers");
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Fail(400, "malformed header line");
+  }
+  const std::string name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Also rejects whitespace before the colon (request smuggling vector).
+    return Fail(400, "invalid header name");
+  }
+  const std::string value = TrimOws(line.substr(colon + 1));
+  for (char c : value) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if ((u < 0x20 && c != '\t') || u == 0x7f) {
+      return Fail(400, "invalid byte in header value");
+    }
+  }
+  const std::string lower = ToLower(name);
+  auto [it, inserted] = out->headers.emplace(lower, value);
+  if (!inserted) {
+    // Duplicate Content-Length with differing values is the classic
+    // smuggling trick; duplicates of anything else keep the first value.
+    if (lower == "content-length" && it->second != value) {
+      return Fail(400, "conflicting Content-Length headers");
+    }
+  }
+  return true;
+}
+
+bool HttpRequestParser::Next(HttpRequest* out) {
+  if (error()) return false;
+  const size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      Fail(431, "request head exceeds size limit");
+    } else if (buffer_.find('\0') != std::string::npos) {
+      Fail(400, "NUL byte in request head");
+    }
+    return false;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    Fail(431, "request head exceeds size limit");
+    return false;
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  if (head.find('\0') != std::string::npos) {
+    Fail(400, "NUL byte in request head");
+    return false;
+  }
+
+  HttpRequest request;
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(line_start, line_end - line_start);
+    if (first) {
+      if (!ParseRequestLine(line, &request)) return false;
+      first = false;
+    } else {
+      if (line.empty() || line.find('\n') != std::string::npos) {
+        // A bare LF inside the head means the client used non-CRLF line
+        // endings; treat as malformed rather than guessing boundaries.
+        Fail(400, "malformed header line ending");
+        return false;
+      }
+      if (!ParseHeaderLine(line, &request)) return false;
+    }
+    if (line_end == head.size()) break;
+    line_start = line_end + 2;
+  }
+
+  if (request.headers.count("transfer-encoding") != 0) {
+    Fail(501, "Transfer-Encoding is not supported");
+    return false;
+  }
+  uint64_t content_length = 0;
+  if (auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    const std::string& text = it->second;
+    if (text.empty() || text.size() > 19 ||
+        !std::all_of(text.begin(), text.end(), [](char c) {
+          return c >= '0' && c <= '9';
+        })) {
+      Fail(400, "malformed Content-Length");
+      return false;
+    }
+    content_length = std::stoull(text);
+    if (content_length > limits_.max_body_bytes) {
+      Fail(413, "request body exceeds size limit");
+      return false;
+    }
+  }
+
+  const size_t body_start = head_end + 4;
+  if (buffer_.size() - body_start < content_length) {
+    return false;  // body still in flight; keep everything buffered
+  }
+  request.body = buffer_.substr(body_start, static_cast<size_t>(content_length));
+  buffer_.erase(0, body_start + static_cast<size_t>(content_length));
+
+  const auto connection = request.headers.find("connection");
+  const std::string connection_value =
+      connection != request.headers.end() ? ToLower(connection->second)
+                                          : std::string();
+  if (request.version_minor == 0) {
+    request.keep_alive = connection_value.find("keep-alive") != std::string::npos;
+  } else {
+    request.keep_alive = connection_value.find("close") == std::string::npos;
+  }
+  *out = std::move(request);
+  SKETCHSAMPLE_METRIC_INC("service.http.requests_parsed");
+  return true;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += HttpStatusText(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse JsonResponse(int status, const JsonValue& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  response.body += '\n';
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", JsonValue::String(message));
+  return JsonResponse(status, body);
+}
+
+}  // namespace sketchsample

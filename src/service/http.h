@@ -1,0 +1,120 @@
+// Minimal, hardened HTTP/1.1 message layer for the sketch service.
+//
+// Hand-rolled in the spirit of src/util/json.h: no external dependency, a
+// small surface that does exactly what the service needs — parse requests
+// off a socket byte stream (keep-alive and pipelining included) and
+// serialize responses. The parser is held to the same standard as the
+// checkpoint deserializer (src/stream/checkpoint.cc): every length is
+// bounded before it drives an allocation, every character class is
+// validated, and hostile input (truncated headers, oversized bodies,
+// pipelined garbage) must produce a typed parse error — never a crash, an
+// over-read, or an unbounded buffer.
+//
+// Scope (documented, enforced): methods are ASCII tokens; the only body
+// framing understood is Content-Length (Transfer-Encoding is rejected with
+// 501); request targets are origin-form `/path?query` with percent-encoding
+// decoded and `+` left literal; header values are latin-1-free visible
+// ASCII plus space/tab. That is every request tools/loadgen or a curl
+// invocation produces, and everything else is an error response, not
+// undefined behavior.
+#ifndef SKETCHSAMPLE_SERVICE_HTTP_H_
+#define SKETCHSAMPLE_SERVICE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace sketchsample {
+
+/// Bounds enforced while parsing; exceeding any of them fails the request
+/// with the given HTTP status instead of growing a buffer.
+struct HttpLimits {
+  size_t max_request_line = 4096;    ///< method + target + version
+  size_t max_header_bytes = 16384;   ///< request line + all header lines
+  size_t max_headers = 64;           ///< header count
+  size_t max_body_bytes = 4u << 20;  ///< Content-Length cap (ingest posts)
+};
+
+/// One parsed request. Header names are lower-cased; values are trimmed of
+/// optional whitespace. `path` is percent-decoded; `query` holds decoded
+/// key=value pairs in arrival order.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  int version_minor = 1;  ///< HTTP/1.<minor>; only 0 and 1 are accepted
+  bool keep_alive = true;
+
+  /// First query value for `key`, or nullptr.
+  const std::string* QueryParam(const std::string& key) const;
+};
+
+/// Incremental request parser over a connection's byte stream. Feed bytes
+/// as they arrive; Next() extracts complete requests in order (pipelining
+/// falls out naturally: leftover bytes stay buffered for the next call).
+///
+/// After an error the parser is poisoned: the connection cannot be re-synced
+/// to a message boundary, so the server sends `error_status` and closes.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(const HttpLimits& limits) : limits_(limits) {}
+
+  /// Appends connection bytes. Returns false when the stream is already in
+  /// the error state (bytes are discarded).
+  bool Feed(const char* data, size_t n);
+
+  /// True when a full request is buffered; fills `*out` and consumes it.
+  bool Next(HttpRequest* out);
+
+  bool error() const { return error_status_ != 0; }
+  /// HTTP status to answer with when error() (400/413/431/501/505).
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  bool Fail(int status, const std::string& message);
+  bool ParseRequestLine(const std::string& line, HttpRequest* out);
+  bool ParseHeaderLine(const std::string& line, HttpRequest* out);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// One response; Serialize emits the status line, Content-Length, Content-
+/// Type and Connection headers, and the body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool keep_alive = true;
+
+  std::string Serialize() const;
+};
+
+/// Reason phrase for the statuses the service emits ("Unknown" otherwise).
+const char* HttpStatusText(int status);
+
+/// JSON body response helper.
+HttpResponse JsonResponse(int status, const JsonValue& body);
+
+/// `{"error": message}` with the given status.
+HttpResponse ErrorResponse(int status, const std::string& message);
+
+/// Percent-decodes `text` into `*out`; false on malformed escapes or
+/// embedded NUL/control bytes.
+bool PercentDecode(const std::string& text, std::string* out);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_HTTP_H_

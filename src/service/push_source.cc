@@ -1,0 +1,65 @@
+#include "src/service/push_source.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/util/metrics.h"
+
+namespace sketchsample {
+
+PushSource::PushSource(size_t max_buffered)
+    : max_buffered_(max_buffered == 0 ? 1 : max_buffered) {}
+
+size_t PushSource::Push(const uint64_t* values, size_t n) {
+  size_t accepted = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (accepted < n) {
+    not_full_.wait(lock, [this] {
+      return closed_ || queue_.size() < max_buffered_;
+    });
+    if (closed_) break;
+    const size_t room = max_buffered_ - queue_.size();
+    const size_t take = std::min(room, n - accepted);
+    queue_.insert(queue_.end(), values + accepted, values + accepted + take);
+    accepted += take;
+    not_empty_.notify_all();
+  }
+  pushed_ += accepted;
+  SKETCHSAMPLE_METRIC_ADD("service.ingest.pushed", accepted);
+  return accepted;
+}
+
+void PushSource::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool PushSource::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+uint64_t PushSource::pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+std::optional<uint64_t> PushSource::Next() {
+  uint64_t value = 0;
+  return NextChunk(&value, 1) == 1 ? std::optional<uint64_t>(value)
+                                   : std::nullopt;
+}
+
+size_t PushSource::NextChunk(uint64_t* out, size_t max_n) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  const size_t n = std::min(max_n, queue_.size());
+  std::copy(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(n), out);
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(n));
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,60 @@
+// Blocking in-memory stream source fed by the service's /ingest endpoint
+// (or the serve CLI's file feeder). The ingest engine pulls NextChunk on
+// its router thread; producers push batches from HTTP connection threads.
+//
+// Unlike the polling sources in src/stream/source.h, NextChunk blocks while
+// the queue is empty and the stream is still open, so the engine never
+// burns its stall budget waiting for a quiet client — a zero-length pull
+// means the stream is truly closed and drained. Backpressure is the bounded
+// queue: Push blocks once max_buffered tuples are in flight, which
+// propagates ingest overload to HTTP clients as slow POSTs rather than
+// unbounded memory growth.
+#ifndef SKETCHSAMPLE_SERVICE_PUSH_SOURCE_H_
+#define SKETCHSAMPLE_SERVICE_PUSH_SOURCE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/stream/source.h"
+
+namespace sketchsample {
+
+class PushSource final : public StreamSource {
+ public:
+  explicit PushSource(size_t max_buffered = 1u << 20);
+
+  /// Enqueues `n` tuples in order; blocks while the queue is full. Returns
+  /// the number accepted — short only when the stream was closed while
+  /// waiting (late producers must not reorder past end-of-stream).
+  size_t Push(const uint64_t* values, size_t n);
+
+  /// Marks end-of-stream: queued tuples still drain, then NextChunk
+  /// returns 0 for good. Idempotent.
+  void Close();
+
+  bool closed() const;
+  /// Tuples accepted by Push so far (including not-yet-consumed ones).
+  uint64_t pushed() const;
+
+  std::optional<uint64_t> Next() override;
+  size_t NextChunk(uint64_t* out, size_t max_n) override;
+  /// Never stalls: NextChunk blocks instead of returning transient zeros.
+  bool Stalled() const override { return false; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<uint64_t> queue_;
+  size_t max_buffered_;
+  uint64_t pushed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_PUSH_SOURCE_H_

@@ -1,0 +1,34 @@
+#include "src/service/router.h"
+
+#include <exception>
+
+#include "src/util/metrics.h"
+
+namespace sketchsample {
+
+void Router::Add(const std::string& method, const std::string& path,
+                 HttpHandler* handler) {
+  routes_.push_back(Route{method, path, handler});
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request,
+                              const RequestContext& context) const {
+  bool path_known = false;
+  for (const Route& route : routes_) {
+    if (route.path != request.path) continue;
+    path_known = true;
+    if (route.method != request.method) continue;
+    try {
+      return route.handler->Handle(request, context);
+    } catch (const std::exception& error) {
+      SKETCHSAMPLE_METRIC_INC("service.router.handler_errors");
+      return ErrorResponse(500, error.what());
+    }
+  }
+  if (path_known) {
+    return ErrorResponse(405, "method not allowed for " + request.path);
+  }
+  return ErrorResponse(404, "no such endpoint: " + request.path);
+}
+
+}  // namespace sketchsample

@@ -1,0 +1,55 @@
+// Method+path request dispatch for the sketch service: exact-match routes
+// only (the API has no path parameters), with correct 404/405 behavior.
+#ifndef SKETCHSAMPLE_SERVICE_ROUTER_H_
+#define SKETCHSAMPLE_SERVICE_ROUTER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/service/http.h"
+
+namespace sketchsample {
+
+/// Per-request server context. `reader_slot` is the connection's private
+/// RcuCell reader index — handlers use it to borrow the current snapshot
+/// without coordination.
+struct RequestContext {
+  size_t reader_slot = 0;
+};
+
+/// One endpoint implementation. Handle runs on a connection thread and must
+/// be safe to call concurrently with itself and with ingest.
+class HttpHandler {
+ public:
+  virtual ~HttpHandler() = default;
+  virtual HttpResponse Handle(const HttpRequest& request,
+                              const RequestContext& context) = 0;
+};
+
+/// Route table; build once, then Dispatch is const and thread-safe.
+class Router {
+ public:
+  /// Registers `handler` (not owned; must outlive the router) for exact
+  /// `method` + `path`.
+  void Add(const std::string& method, const std::string& path,
+           HttpHandler* handler);
+
+  /// Finds the route and runs the handler. Unknown path → 404; known path,
+  /// wrong method → 405; a handler throwing → 500 with the exception
+  /// message.
+  HttpResponse Dispatch(const HttpRequest& request,
+                        const RequestContext& context) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    HttpHandler* handler;
+  };
+  std::vector<Route> routes_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_ROUTER_H_

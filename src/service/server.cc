@@ -1,0 +1,225 @@
+#include "src/service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/metrics.h"
+
+namespace sketchsample {
+
+namespace {
+
+// Writes the whole buffer, riding out EINTR and partial writes. False when
+// the peer is gone.
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+struct HttpServer::Connection {
+  size_t slot = 0;
+  std::atomic<int> fd{-1};
+  bool busy = false;  // guarded by slots_mutex_
+  std::thread thread;
+};
+
+HttpServer::HttpServer(const Router* router, const HttpServerOptions& options)
+    : router_(router), options_(options) {
+  if (options_.max_connections == 0) options_.max_connections = 1;
+  slots_.reserve(options_.max_connections);
+  for (size_t s = 0; s < options_.max_connections; ++s) {
+    slots_.push_back(std::make_unique<Connection>());
+    slots_.back()->slot = s;
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("HttpServer: bind failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const int err = errno;
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("HttpServer: listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  SKETCHSAMPLE_METRIC_INC("service.server.starts");
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  // Shutting the listener down unblocks accept() in the acceptor thread.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (auto& slot : slots_) {
+      const int fd = slot->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  // Joining outside the mutex: connection threads take it to release their
+  // slot on exit.
+  for (auto& slot : slots_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  started_ = false;
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener is gone; nothing sane to do but stop accepting
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.recv_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.recv_timeout_ms / 1000;
+      tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+
+    Connection* claimed = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      for (auto& slot : slots_) {
+        if (slot->busy) continue;
+        // The slot's previous thread (if any) has finished; reap it before
+        // reuse.
+        if (slot->thread.joinable()) slot->thread.join();
+        slot->busy = true;
+        slot->fd.store(fd, std::memory_order_release);
+        claimed = slot.get();
+        break;
+      }
+    }
+    if (claimed == nullptr) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SKETCHSAMPLE_METRIC_INC("service.server.rejected");
+      const std::string response =
+          ErrorResponse(503, "connection limit reached").Serialize();
+      WriteAll(fd, response.data(), response.size());
+      CloseFd(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    SKETCHSAMPLE_METRIC_INC("service.server.connections");
+    claimed->thread = std::thread([this, claimed] { ConnectionLoop(claimed); });
+  }
+}
+
+void HttpServer::ConnectionLoop(Connection* connection) {
+  const int fd = connection->fd.load(std::memory_order_acquire);
+  HttpRequestParser parser(options_.limits);
+  char buffer[16384];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t r = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;  // timeout (idle keep-alive) or reset — close quietly
+    }
+    if (r == 0) break;  // peer closed
+    parser.Feed(buffer, static_cast<size_t>(r));
+    HttpRequest request;
+    while (open && parser.Next(&request)) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      RequestContext context;
+      context.reader_slot = connection->slot;
+      HttpResponse response = router_->Dispatch(request, context);
+      response.keep_alive = response.keep_alive && request.keep_alive;
+      const std::string bytes = response.Serialize();
+      if (!WriteAll(fd, bytes.data(), bytes.size())) open = false;
+      if (!response.keep_alive) open = false;
+    }
+    if (parser.error()) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse response =
+          ErrorResponse(parser.error_status(), parser.error_message());
+      response.keep_alive = false;
+      const std::string bytes = response.Serialize();
+      WriteAll(fd, bytes.data(), bytes.size());
+      break;
+    }
+  }
+  CloseFd(fd);
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  connection->fd.store(-1, std::memory_order_release);
+  connection->busy = false;
+}
+
+}  // namespace sketchsample

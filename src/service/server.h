@@ -1,0 +1,97 @@
+// Blocking-socket HTTP/1.1 server for the sketch service.
+//
+// Topology: one acceptor thread plus one thread per live connection, drawn
+// from a fixed slot pool of `max_connections`. Each slot doubles as the
+// connection's RcuCell reader index (src/service/snapshot.h), so a request
+// handler can borrow the current snapshot wait-free with no coordination
+// beyond "my slot is mine". Over-capacity connections get an immediate 503
+// and close — the service degrades loudly instead of queueing invisibly.
+//
+// Keep-alive and pipelining are handled by the incremental parser
+// (src/service/http.h); a parse error answers with the parser's status and
+// closes (the stream cannot be re-synced). Stop() shuts down the listener
+// and every live connection socket, then joins all threads — safe to call
+// from any thread, idempotent.
+#ifndef SKETCHSAMPLE_SERVICE_SERVER_H_
+#define SKETCHSAMPLE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/http.h"
+#include "src/service/router.h"
+
+namespace sketchsample {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read the bound port from port()
+  /// Live-connection cap == reader-slot count == max handler concurrency.
+  size_t max_connections = 64;
+  /// Per-read socket timeout; an idle keep-alive connection is closed after
+  /// this long (0 = never).
+  int recv_timeout_ms = 10000;
+  HttpLimits limits;
+};
+
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< 503s at the accept gate
+  uint64_t requests = 0;
+  uint64_t parse_errors = 0;
+};
+
+class HttpServer {
+ public:
+  /// `router` must outlive the server.
+  HttpServer(const Router* router, const HttpServerOptions& options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor. Throws std::runtime_error on
+  /// socket/bind failure.
+  void Start();
+
+  /// Stops accepting, shuts down live connections, joins every thread.
+  void Stop();
+
+  /// The bound port (valid after Start; resolves port 0).
+  int port() const { return port_; }
+
+  HttpServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* connection);
+
+  const Router* router_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread acceptor_;
+
+  // Fixed connection slots; slot index == RcuCell reader slot.
+  std::vector<std::unique_ptr<Connection>> slots_;
+  std::mutex slots_mutex_;  // slot claim/release + thread reaping only
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_SERVER_H_

@@ -1,0 +1,205 @@
+// The query-serving sketch service: wraps ShardEngine<FagmsSketch> in a
+// long-running process with HTTP endpoints, following SF-sketch's
+// fat-ingest / slim-query split.
+//
+//   * Ingest path ("fat"): HTTP POST /ingest (or a CLI feeder) pushes
+//     tuples into a blocking PushSource; one ingest thread runs the shard
+//     engine over it — positional shedding, adaptive control, fault
+//     injection, and checkpointing all work exactly as in offline runs.
+//   * Query path ("slim"): at phase-locked quiesce boundaries the engine
+//     publishes an immutable merged-sketch snapshot into an RcuCell
+//     (src/service/snapshot.h); query handlers borrow it wait-free and
+//     answer from the snapshot alone. Queries never touch the write path.
+//
+// Every estimate endpoint returns the Prop 13/14-corrected estimate at the
+// realized rate p̂ = kept/position plus its Eq 25/26 CLT interval. The
+// interval needs the pre-shedding frequency moments ("known in experiments,
+// estimated in production" — src/stream/shed_controller.h); callers may
+// supply exact moments, otherwise the service substitutes conservative
+// plug-in moments derived from its own estimates (documented in
+// docs/SERVICE.md; the `moments` response field says which was used).
+//
+// Bit-exactness: because shedding is positional and the distinct counter's
+// seed derives from the root seed, the response payload for a given
+// (configuration, stream prefix) is byte-identical to what `sketchsample
+// offline` computes from the same data — the response builders below are
+// the single code path both sides use, and the service-smoke CI job holds
+// them to exact equality.
+#ifndef SKETCHSAMPLE_SERVICE_SERVICE_H_
+#define SKETCHSAMPLE_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/push_source.h"
+#include "src/service/router.h"
+#include "src/service/snapshot.h"
+#include "src/stream/shard_engine.h"
+#include "src/util/json.h"
+
+namespace sketchsample {
+
+/// First four frequency moments (Σf, Σf², Σf³, Σf⁴) of a pre-shedding
+/// stream, for evaluating the Eq 25/26 variances exactly.
+struct StreamMoments {
+  double m1 = 0;
+  double m2 = 0;
+  double m3 = 0;
+  double m4 = 0;
+};
+
+/// One immutable published view: everything a query needs, by value.
+struct ServiceSnapshot {
+  FagmsSketch sketch;
+  std::optional<KmvSketch> distinct;
+  uint64_t position = 0;
+  uint64_t kept = 0;
+  uint64_t sequence = 0;
+  double p = 1.0;
+
+  /// Realized sampling rate p̂ over the covered prefix.
+  double realized_p() const {
+    return position > 0
+               ? static_cast<double>(kept) / static_cast<double>(position)
+               : p;
+  }
+};
+
+struct SketchServiceOptions {
+  /// F-AGMS prototype shape (rows medianed, buckets averaged → n = buckets
+  /// in the Eq 25/26 variances).
+  SketchParams sketch;
+  /// Engine configuration: shards, shed_p, root seed, controller,
+  /// checkpointing, distinct_k, fault profile — all exactly as offline.
+  ShardEngineOptions engine;
+  /// Publish cadence in routed tuples (phase-locked to absolute offsets;
+  /// 0 = publish only when ingest ends). Queries lag ingest by at most this
+  /// many tuples — the price of never locking the write path.
+  uint64_t snapshot_every = 8192;
+  /// Confidence level when a query does not pass ?level=.
+  double default_level = 0.95;
+  /// RcuCell reader slots; must cover the HTTP server's max_connections
+  /// plus any in-process readers.
+  size_t max_readers = 128;
+  /// PushSource bound (tuples buffered before POST /ingest blocks).
+  size_t push_buffer = 1u << 20;
+  /// Serialized reference FagmsSketch for /query/join (empty = endpoint
+  /// answers 400). Must be compatible with `sketch`.
+  std::vector<uint8_t> join_sketch;
+  /// Exact pre-shed moments of the ingested stream (f) and the join
+  /// reference stream (g); plug-in estimates are used when absent.
+  std::optional<StreamMoments> moments_f;
+  std::optional<StreamMoments> moments_g;
+  /// Serialized checkpoint to restore before ingesting (kill-and-resume);
+  /// the producer must re-push the stream from the beginning — restore
+  /// fast-forwards past the checkpointed prefix.
+  std::vector<uint8_t> resume;
+};
+
+/// Long-running sketch service. Lifecycle: construct → Register(router) →
+/// start HTTP server → Start() → (ingest/queries) → Stop().
+class SketchService {
+ public:
+  /// Validates options (throws std::invalid_argument on a bad join sketch
+  /// or level) and publishes the initial empty snapshot.
+  explicit SketchService(const SketchServiceOptions& options);
+  ~SketchService();
+
+  SketchService(const SketchService&) = delete;
+  SketchService& operator=(const SketchService&) = delete;
+
+  /// Registers every endpoint on `router` (handlers owned by the service).
+  void Register(Router& router);
+
+  /// Starts the ingest thread: restores from options.resume when set, then
+  /// runs the engine over the push source until CloseIngest (or engine
+  /// max_tuples).
+  void Start();
+
+  /// Closes ingest, joins the ingest thread. Idempotent.
+  void Stop();
+
+  /// Direct feeders (CLI file mode, tests) — same stream as POST /ingest.
+  size_t Push(const uint64_t* values, size_t n);
+  void CloseIngest();
+
+  /// Snapshot registry; tests and in-process probes read with a slot >=
+  /// the HTTP server's max_connections to avoid colliding with it.
+  RcuCell<ServiceSnapshot>& registry() { return registry_; }
+
+  bool ingest_done() const {
+    return ingest_done_.load(std::memory_order_acquire);
+  }
+  /// Non-empty when the ingest thread died on an exception.
+  std::string ingest_error() const;
+  uint64_t pushed() const { return source_.pushed(); }
+
+  const SketchServiceOptions& options() const { return options_; }
+
+ private:
+  enum class Endpoint;
+  class Handler;
+  class Publisher;
+
+  void IngestMain();
+  // Publishes a sequence-0 snapshot straight from engine state (initial
+  // empty state; restored state after a resume).
+  void PublishEngineState();
+  HttpResponse Handle(Endpoint endpoint, const HttpRequest& request,
+                      const RequestContext& context);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleStats(const RequestContext& context);
+
+  SketchServiceOptions options_;
+  FagmsSketch proto_;
+  std::optional<FagmsSketch> reference_;  // /query/join right-hand side
+  RcuCell<ServiceSnapshot> registry_;
+  PushSource source_;
+  std::unique_ptr<Publisher> publisher_;
+  std::unique_ptr<ShardEngine<FagmsSketch>> engine_;
+  std::vector<std::unique_ptr<Handler>> handlers_;
+
+  std::thread ingest_thread_;
+  std::atomic<bool> ingest_done_{false};
+  bool started_ = false;
+  mutable std::mutex error_mutex_;
+  std::string ingest_error_;
+
+  std::atomic<uint64_t> queries_selfjoin_{0};
+  std::atomic<uint64_t> queries_join_{0};
+  std::atomic<uint64_t> queries_point_{0};
+  std::atomic<uint64_t> queries_distinct_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Response builders — the shared online/offline code path. Each returns the
+// exact JSON body of the corresponding endpoint (see docs/SERVICE.md for
+// the schema).
+// ---------------------------------------------------------------------------
+
+JsonValue SelfJoinResponseJson(const ServiceSnapshot& snapshot,
+                               const std::optional<StreamMoments>& moments_f,
+                               double level);
+JsonValue JoinResponseJson(const ServiceSnapshot& snapshot,
+                           const FagmsSketch& reference,
+                           const std::optional<StreamMoments>& moments_f,
+                           const std::optional<StreamMoments>& moments_g,
+                           double level);
+JsonValue PointResponseJson(const ServiceSnapshot& snapshot, uint64_t key,
+                            const std::optional<StreamMoments>& moments_f,
+                            double level);
+JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level);
+
+/// Strict decimal uint64 parse (no sign, no whitespace, no overflow).
+bool ParseUint64(const std::string& text, uint64_t* out);
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_SERVICE_H_

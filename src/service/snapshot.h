@@ -1,0 +1,178 @@
+// Lock-free snapshot publication: the query side of SF-sketch's "fat
+// ingest stage, slim query stage" split.
+//
+// The ingest engine (single writer) publishes immutable, fully-materialized
+// snapshots; query handlers (many readers) borrow the current snapshot for
+// the duration of one request without taking any lock. The registry is a
+// single-slot hazard-pointer RCU cell:
+//
+//   * Readers are wait-free: load current, announce it in a per-reader
+//     hazard slot, re-check current. If the re-check still matches, the
+//     writer is guaranteed to see the announcement before it frees that
+//     snapshot; if not, retry (bounded in practice by the publish rate,
+//     which is phase-locked to thousands of ingested tuples per swap).
+//   * The writer swaps in the new snapshot, retires the old one, and frees
+//     any retired snapshot no hazard slot still names. Publication is
+//     O(readers) and runs on the ingest thread at quiesce points — exactly
+//     where the engine already pays a barrier.
+//
+// Chosen over std::atomic<std::shared_ptr> (libstdc++ routes it through a
+// spinlock pool — readers would take a lock after all) and over a seqlock
+// (retrying readers over a non-trivial sketch object is a data race by the
+// memory model, and TSan rightly flags it). Readers never observe a torn
+// snapshot: they only ever dereference a pointer that was fully constructed
+// before the release-publish that made it visible.
+#ifndef SKETCHSAMPLE_SERVICE_SNAPSHOT_H_
+#define SKETCHSAMPLE_SERVICE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace sketchsample {
+
+/// Single-slot RCU cell. T must be immutable after publication. One writer
+/// thread; up to `max_readers` concurrent reader threads, each using its own
+/// slot index (the HTTP server hands every connection a distinct slot).
+template <typename T>
+class RcuCell {
+ public:
+  explicit RcuCell(size_t max_readers)
+      : slots_(std::make_unique<Slot[]>(max_readers)),
+        max_readers_(max_readers) {
+    if (max_readers == 0) {
+      throw std::invalid_argument("RcuCell needs at least one reader slot");
+    }
+  }
+
+  ~RcuCell() {
+    // Destruction requires quiescence (server stopped, ingest joined);
+    // reclaim everything unconditionally.
+    delete current_.exchange(nullptr, std::memory_order_acquire);
+    for (const T* retired : retired_) delete retired;
+  }
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  /// Borrowed reference to the current snapshot; releases the hazard slot
+  /// on destruction. Holds no lock — copy out what you need and drop it
+  /// promptly so the writer can reclaim.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(std::atomic<const T*>* hazard, const T* ptr)
+        : hazard_(hazard), ptr_(ptr) {}
+    ReadGuard(ReadGuard&& other) noexcept
+        : hazard_(other.hazard_), ptr_(other.ptr_) {
+      other.hazard_ = nullptr;
+      other.ptr_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      Release();
+      hazard_ = other.hazard_;
+      ptr_ = other.ptr_;
+      other.hazard_ = nullptr;
+      other.ptr_ = nullptr;
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { Release(); }
+
+    const T* get() const { return ptr_; }
+    const T& operator*() const { return *ptr_; }
+    const T* operator->() const { return ptr_; }
+    explicit operator bool() const { return ptr_ != nullptr; }
+
+   private:
+    void Release() {
+      if (hazard_ != nullptr) {
+        hazard_->store(nullptr, std::memory_order_release);
+      }
+    }
+
+    std::atomic<const T*>* hazard_ = nullptr;
+    const T* ptr_ = nullptr;
+  };
+
+  /// Wait-free borrow of the current snapshot from reader slot `reader`
+  /// (must be < max_readers and not concurrently used by another thread).
+  /// Returns an empty guard before the first Publish.
+  ReadGuard Read(size_t reader) {
+    if (reader >= max_readers_) {
+      throw std::out_of_range("RcuCell reader slot out of range");
+    }
+    std::atomic<const T*>& hazard = slots_[reader].hazard;
+    const T* ptr = current_.load(std::memory_order_acquire);
+    while (true) {
+      if (ptr == nullptr) return ReadGuard();
+      // seq_cst on both the announcement and the re-check pairs with the
+      // writer's seq_cst scan: either the writer sees our hazard, or we see
+      // its newer pointer and retry.
+      hazard.store(ptr, std::memory_order_seq_cst);
+      const T* again = current_.load(std::memory_order_seq_cst);
+      if (again == ptr) return ReadGuard(&hazard, ptr);
+      ptr = again;
+    }
+  }
+
+  /// Writer-only: swaps in `value`, retires the predecessor, reclaims every
+  /// retired snapshot no reader still names.
+  void Publish(std::unique_ptr<const T> value) {
+    const T* next = value.release();
+    // seq_cst: the swap must precede the hazard scan in the single total
+    // order, or a reader could announce the old pointer after the scan
+    // missed it (see file comment).
+    const T* prev = current_.exchange(next, std::memory_order_seq_cst);
+    if (prev != nullptr) retired_.push_back(prev);
+    Reclaim();
+    published_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Publications so far (any thread).
+  uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+  /// Retired-but-unreclaimed snapshots (writer thread only; tests).
+  size_t retired_count() const { return retired_.size(); }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<const T*> hazard{nullptr};
+  };
+
+  void Reclaim() {
+    size_t kept = 0;
+    for (size_t i = 0; i < retired_.size(); ++i) {
+      const T* candidate = retired_[i];
+      bool hazardous = false;
+      for (size_t r = 0; r < max_readers_; ++r) {
+        if (slots_[r].hazard.load(std::memory_order_seq_cst) == candidate) {
+          hazardous = true;
+          break;
+        }
+      }
+      if (hazardous) {
+        retired_[kept++] = candidate;
+      } else {
+        delete candidate;
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  std::atomic<const T*> current_{nullptr};
+  std::unique_ptr<Slot[]> slots_;
+  size_t max_readers_;
+  std::vector<const T*> retired_;  // writer-owned
+  std::atomic<uint64_t> published_{0};
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_SNAPSHOT_H_

@@ -18,6 +18,7 @@ constexpr uint32_t kVersion = 1;
 constexpr uint8_t kFlagShed = 1u << 0;
 constexpr uint8_t kFlagController = 1u << 1;
 constexpr uint8_t kFlagShards = 1u << 2;
+constexpr uint8_t kFlagShardDistinct = 1u << 3;
 
 // Sanity bound on the declared shard count: far above any real engine
 // (worker threads), low enough that a hostile count cannot drive a huge
@@ -126,6 +127,13 @@ std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp) {
   if (cp.has_shed) flags |= kFlagShed;
   if (cp.has_controller) flags |= kFlagController;
   if (cp.has_shards) flags |= kFlagShards;
+  if (cp.has_shard_distinct) {
+    if (!cp.has_shards) {
+      throw CheckpointError(
+          "checkpoint distinct blobs require a shard section");
+    }
+    flags |= kFlagShardDistinct;
+  }
   writer.Put(flags);
   if (cp.has_shed) {
     writer.Put(cp.shed.p);
@@ -151,6 +159,10 @@ std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp) {
       writer.Put(shard.kept);
       writer.Put(static_cast<uint64_t>(shard.sketch.size()));
       writer.PutBytes(shard.sketch);
+      if (cp.has_shard_distinct) {
+        writer.Put(static_cast<uint64_t>(shard.distinct.size()));
+        writer.PutBytes(shard.distinct);
+      }
     }
   }
   writer.Put(static_cast<uint64_t>(cp.sketch.size()));
@@ -175,8 +187,14 @@ PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
   PipelineCheckpoint cp;
   cp.source_tuples = reader.Get<uint64_t>();
   const uint8_t flags = reader.Get<uint8_t>();
-  if ((flags & ~(kFlagShed | kFlagController | kFlagShards)) != 0) {
+  if ((flags &
+       ~(kFlagShed | kFlagController | kFlagShards | kFlagShardDistinct)) !=
+      0) {
     throw CheckpointError("checkpoint has unknown flag bits");
+  }
+  if ((flags & kFlagShardDistinct) != 0 && (flags & kFlagShards) == 0) {
+    throw CheckpointError(
+        "checkpoint distinct flag set without a shard section");
   }
   if ((flags & kFlagShed) != 0) {
     cp.has_shed = true;
@@ -229,6 +247,11 @@ PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
       }
       const uint64_t blob_len = reader.Get<uint64_t>();
       shard.sketch = reader.GetBytes(blob_len);
+      if ((flags & kFlagShardDistinct) != 0) {
+        cp.has_shard_distinct = true;
+        const uint64_t distinct_len = reader.Get<uint64_t>();
+        shard.distinct = reader.GetBytes(distinct_len);
+      }
       cp.shards.push_back(std::move(shard));
     }
   }

@@ -19,9 +19,15 @@
 //   [controller state: p f64, backlog f64, windows u64, offered u64,
 //    kept u64]                                   — iff flags bit 1
 //   [shard section: shard_p f64, shard_count u64, then per shard:
-//    seen u64, kept u64, sketch_len u64, sketch bytes]  — iff flags bit 2
+//    seen u64, kept u64, sketch_len u64, sketch bytes,
+//    (distinct_len u64, distinct bytes — iff flags bit 3)]  — iff flags bit 2
 //   sketch_len u64 | sketch bytes (inner format: src/sketch/serialize.h) |
 //   crc32 u32 over every preceding byte
+//
+// Flag bit 3 (per-shard distinct blobs) extends the shard section with each
+// worker's auxiliary KMV distinct counter and is only valid together with
+// bit 2; checkpoints written before the service PR simply lack the bit and
+// still load.
 //
 // Deserialization validates magic, version, flags, lengths, value ranges,
 // and the CRC32 footer, throwing CheckpointError on any mismatch — a
@@ -56,6 +62,10 @@ struct ShardCheckpointState {
   uint64_t seen = 0;            ///< tuples routed to this shard's worker
   uint64_t kept = 0;            ///< tuples surviving the positional shed
   std::vector<uint8_t> sketch;  ///< partial sketch blob (may be empty)
+  /// Auxiliary KMV distinct-counter blob (flag bit 3; may be empty). Rides
+  /// next to the primary sketch so a resumed engine keeps answering
+  /// distinct-count queries over exactly the positionally-kept prefix.
+  std::vector<uint8_t> distinct;
 };
 
 /// One recoverable pipeline snapshot.
@@ -75,6 +85,9 @@ struct PipelineCheckpoint {
   bool has_shards = false;
   double shard_p = 1.0;
   std::vector<ShardCheckpointState> shards;
+  /// Set when the shard entries carry auxiliary distinct blobs (flag bit 3,
+  /// requires has_shards).
+  bool has_shard_distinct = false;
   /// Serialized sketch (src/sketch/serialize.h format); empty when the
   /// pipeline has no checkpointable sketch registered. Restore with the
   /// matching Deserialize* (PeekSketchKind identifies the type).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -81,6 +82,12 @@ KmvSketch DeserializePartial(const KmvSketch&,
 
 }  // namespace
 
+uint64_t ShardDistinctSeed(uint64_t root_seed) {
+  // Fixed salt ("KMVAUX00") splits the distinct hash stream off the root
+  // seed, the same MixSeed discipline as the per-shard fault streams.
+  return MixSeed(root_seed, 0x4b4d56415558'3030ULL);
+}
+
 // One worker lane. The router owns `routed` and only reads the worker-side
 // fields (`seen`, `kept`, `partial`) after a quiesce: it spins until
 // `processed` (release-incremented by the worker after each chunk) catches
@@ -121,6 +128,13 @@ struct ShardEngine<SketchT>::Lane {
           chunk->base, chunk->values.data(), chunk->count,
           chunk->values.data());
       kept += survivors;
+      if (kmv.has_value()) {
+        // Distinct counting observes the sampled stream itself, before any
+        // fault-injection stage corrupts it — the count answers "how many
+        // distinct values survived the shed", not "what did the faulty sink
+        // see".
+        for (size_t i = 0; i < survivors; ++i) kmv->Update(chunk->values[i]);
+      }
       if (survivors > 0) {
         if (head != nullptr) {
           head->OnTuples(chunk->values.data(), survivors);
@@ -139,6 +153,9 @@ struct ShardEngine<SketchT>::Lane {
   Chunk* stop_chunk = nullptr;
 
   SketchT partial;
+  // Auxiliary distinct partial (engaged iff options.distinct_k > 0); same
+  // ownership discipline as `partial`.
+  std::optional<KmvSketch> kmv;
   uint64_t seen = 0;  // worker-owned; router reads only after a quiesce
   uint64_t kept = 0;
   // Chunks fully processed; the release increment publishes seen/kept/
@@ -174,6 +191,18 @@ ShardEngine<SketchT>::ShardEngine(const SketchT& prototype,
   if (options_.controller != nullptr) {
     p_ = options_.controller->p();
   }
+  if (options_.distinct_k > 0) {
+    // KmvSketch validates k >= 2 itself; the derived seed makes the counter
+    // a pure function of (root seed, kept prefix) like everything else.
+    distinct_.emplace(options_.distinct_k, ShardDistinctSeed(options_.seed));
+  }
+}
+
+template <typename SketchT>
+void ShardEngine<SketchT>::SetSnapshotHook(ShardSnapshotHook<SketchT>* hook,
+                                           uint64_t every_tuples) {
+  snapshot_hook_ = hook;
+  snapshot_every_ = every_tuples;
 }
 
 template <typename SketchT>
@@ -189,11 +218,38 @@ void ShardEngine<SketchT>::Restore(const PipelineCheckpoint& cp,
   // Validate everything into locals first; engine state mutates only after
   // the whole checkpoint checks out (a bad blob must not half-restore).
   SketchT base = proto_;
+  std::optional<KmvSketch> distinct_base;
+  if (distinct_.has_value()) {
+    if (!cp.has_shard_distinct) {
+      throw CheckpointError(
+          "checkpoint has no distinct section but the engine has distinct "
+          "counting enabled; resume would silently drop the counter");
+    }
+    distinct_base.emplace(options_.distinct_k,
+                          ShardDistinctSeed(options_.seed));
+  }
   uint64_t seen = 0;
   uint64_t kept = 0;
   for (const ShardCheckpointState& shard : cp.shards) {
     seen += shard.seen;
     kept += shard.kept;
+    if (distinct_base.has_value() && !shard.distinct.empty()) {
+      KmvSketch partial = [&] {
+        try {
+          return DeserializeKmv(shard.distinct);
+        } catch (const std::invalid_argument& error) {
+          throw CheckpointError(
+              std::string("checkpoint shard distinct blob invalid: ") +
+              error.what());
+        }
+      }();
+      if (!distinct_base->CompatibleWith(partial)) {
+        throw CheckpointError(
+            "checkpoint shard distinct counter incompatible with engine "
+            "configuration (distinct_k/seed mismatch)");
+      }
+      distinct_base->Merge(partial);
+    }
     if (shard.sketch.empty()) continue;
     SketchT partial = [&] {
       try {
@@ -214,6 +270,7 @@ void ShardEngine<SketchT>::Restore(const PipelineCheckpoint& cp,
         "checkpoint shard counts do not cover the source position");
   }
   merged_ = std::move(base);
+  if (distinct_base.has_value()) distinct_ = std::move(distinct_base);
   total_seen_ = seen;
   total_kept_ = kept;
   p_ = cp.shard_p;
@@ -238,6 +295,7 @@ void ShardEngine<SketchT>::WriteCheckpoint(
   cp.source_tuples = total;
   cp.has_shards = true;
   cp.shard_p = p_;
+  cp.has_shard_distinct = distinct_.has_value();
   cp.shards.reserve(lanes.size());
   for (size_t s = 0; s < lanes.size(); ++s) {
     const Lane& lane = *lanes[s];
@@ -253,8 +311,16 @@ void ShardEngine<SketchT>::WriteCheckpoint(
       SketchT with_base = merged_;
       with_base.Merge(lane.partial);
       shard.sketch = SerializeSketch(with_base);
+      if (distinct_.has_value()) {
+        KmvSketch kmv_base = *distinct_;
+        if (lane.kmv.has_value()) kmv_base.Merge(*lane.kmv);
+        shard.distinct = SerializeSketch(kmv_base);
+      }
     } else {
       shard.sketch = SerializeSketch(lane.partial);
+      if (lane.kmv.has_value()) {
+        shard.distinct = SerializeSketch(*lane.kmv);
+      }
     }
     cp.shards.push_back(std::move(shard));
   }
@@ -265,6 +331,34 @@ void ShardEngine<SketchT>::WriteCheckpoint(
   options_.checkpoint_sink->Write(SerializeCheckpoint(cp), total);
   ++stats.checkpoints;
   SKETCHSAMPLE_METRIC_INC("engine.shard.checkpoints");
+}
+
+template <typename SketchT>
+void ShardEngine<SketchT>::PublishSnapshot(
+    const std::vector<std::unique_ptr<Lane>>& lanes, uint64_t total,
+    ShardEngineStats& stats) {
+  // Called with every lane quiesced (or joined), so lane partials and
+  // counts are safe to read. The snapshot is fully materialized by value —
+  // copying the merged sketch here is what lets readers drop every lock.
+  ShardEngineSnapshot<SketchT> snap{merged_, {}, 0, 0, 1.0, 0};
+  uint64_t kept = total_kept_;
+  for (const auto& lane : lanes) {
+    snap.sketch.Merge(lane->partial);
+    kept += lane->kept;
+  }
+  if (distinct_.has_value()) {
+    snap.distinct = *distinct_;
+    for (const auto& lane : lanes) {
+      if (lane->kmv.has_value()) snap.distinct->Merge(*lane->kmv);
+    }
+  }
+  snap.position = total;
+  snap.kept = kept;
+  snap.p = p_;
+  snap.sequence = ++snapshot_sequence_;
+  ++stats.snapshots;
+  SKETCHSAMPLE_METRIC_INC("engine.shard.snapshots");
+  snapshot_hook_->Publish(std::move(snap));
 }
 
 template <typename SketchT>
@@ -289,6 +383,9 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
     lanes.push_back(
         std::make_unique<Lane>(options_.queue_chunks, chunk_size, proto_));
     Lane& lane = *lanes.back();
+    if (distinct_.has_value()) {
+      lane.kmv.emplace(options_.distinct_k, ShardDistinctSeed(options_.seed));
+    }
     if (faulty) {
       lane.sink = std::make_unique<SketchSinkOp<SketchT>>(&lane.partial);
       lane.faults = std::make_unique<FaultInjectingOperator>(
@@ -344,6 +441,10 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
       checkpointing ? (total / options_.checkpoint_every + 1) *
                           options_.checkpoint_every
                     : UINT64_MAX;
+  const bool snapshotting = snapshot_hook_ != nullptr && snapshot_every_ > 0;
+  uint64_t next_snapshot =
+      snapshotting ? (total / snapshot_every_ + 1) * snapshot_every_
+                   : UINT64_MAX;
   // Window deltas measure against the totals at the last tick: controller
   // totals on a resume (checkpoints need not align with windows), realized
   // totals otherwise (mirrors RunPipeline's shed-count bases).
@@ -371,6 +472,7 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
       }
       uint64_t want = std::min<uint64_t>(chunk_size, next_window - total);
       want = std::min(want, next_checkpoint - total);
+      want = std::min(want, next_snapshot - total);
       if (options_.max_tuples > 0) {
         want = std::min(want, options_.max_tuples - stats.tuples);
       }
@@ -455,6 +557,11 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
         WriteCheckpoint(lanes, total, stats);
         next_checkpoint += options_.checkpoint_every;
       }
+      if (snapshotting && total >= next_snapshot) {
+        quiesce();
+        PublishSnapshot(lanes, total, stats);
+        next_snapshot += snapshot_every_;
+      }
     }
   } catch (...) {
     stop_workers();  // never leak a running thread past the engine
@@ -478,6 +585,9 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
         lane->faults != nullptr ? lane->faults->faults_injected() : 0);
     run_kept += lane->kept;
     merged_.Merge(lane->partial);
+    if (distinct_.has_value() && lane->kmv.has_value()) {
+      distinct_->Merge(*lane->kmv);
+    }
     ++stats.merges;
   }
   stats.kept = run_kept;
@@ -486,6 +596,14 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
   initial_tuples_ = total;
   stats.final_p = p_;
   stats.seconds = timer.ElapsedSeconds();
+
+  if (snapshot_hook_ != nullptr) {
+    // Final snapshot: everything is folded into merged_/distinct_ now, so
+    // publish from the engine state with no lanes to fold (also covers
+    // SetSnapshotHook(hook, 0) — publish-at-end-only).
+    const std::vector<std::unique_ptr<Lane>> no_lanes;
+    PublishSnapshot(no_lanes, total, stats);
+  }
 
   SKETCHSAMPLE_METRIC_ADD("engine.shard.tuples", stats.tuples);
   SKETCHSAMPLE_METRIC_ADD("engine.shard.kept", stats.kept);

@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/stream/checkpoint.h"
@@ -87,6 +88,44 @@ struct ShardEngineOptions {
   /// stream.faults.injected stays the exact sum of the per-shard counters.
   const FaultProfile* fault_profile = nullptr;
   uint64_t fault_seed = 0;
+  /// Auxiliary distinct counting: when > 0 every worker lane keeps a
+  /// KmvSketch(distinct_k, ShardDistinctSeed(seed)) over exactly the tuples
+  /// surviving the positional shed (before fault injection, so the count
+  /// describes the sampled stream, not the corrupted one). Partials merge
+  /// like the primary sketch — same seed at any shard count gives the same
+  /// union — and ride in checkpoint flag-bit-3 blobs.
+  size_t distinct_k = 0;
+};
+
+/// Hash seed of the auxiliary distinct counter, derived deterministically
+/// from the engine's root seed so an offline run reproduces the service's
+/// KMV bit-for-bit from configuration alone.
+uint64_t ShardDistinctSeed(uint64_t root_seed);
+
+/// One consistent engine snapshot, published at a quiesced chunk boundary:
+/// everything a query needs — the merged sketch over the kept prefix, the
+/// optional distinct counter, and the realized counts the Prop 13/14
+/// corrections scale by. Self-contained by value: readers on other threads
+/// must never chase pointers into the live engine.
+template <typename SketchT>
+struct ShardEngineSnapshot {
+  SketchT sketch;                      ///< base + every lane partial, merged
+  std::optional<KmvSketch> distinct;   ///< set iff options.distinct_k > 0
+  uint64_t position = 0;  ///< absolute stream offset the snapshot covers
+  uint64_t kept = 0;      ///< tuples surviving the shed up to `position`
+  double p = 1.0;         ///< shed rate in force when the snapshot was cut
+  uint64_t sequence = 0;  ///< 1-based publication counter
+};
+
+/// Receives engine snapshots. Publish is called on the router thread (the
+/// engine's single writer) while all lanes are quiesced; implementations
+/// hand the value off to readers (src/service/snapshot.h) and must not
+/// block for long — ingest is stalled meanwhile.
+template <typename SketchT>
+class ShardSnapshotHook {
+ public:
+  virtual ~ShardSnapshotHook() = default;
+  virtual void Publish(ShardEngineSnapshot<SketchT> snapshot) = 0;
 };
 
 /// Result of one ShardEngine::Run.
@@ -100,6 +139,7 @@ struct ShardEngineStats {
   bool ended = false;        ///< source reported clean end of stream
   uint64_t windows = 0;      ///< controller windows closed
   uint64_t checkpoints = 0;  ///< checkpoints written
+  uint64_t snapshots = 0;    ///< snapshots published to the hook
   double final_p = 1.0;      ///< shed rate when the run stopped
   uint64_t ring_full_retries = 0;  ///< router spins waiting for a buffer
   uint64_t quiesces = 0;     ///< router drain barriers (windows/checkpoints)
@@ -153,12 +193,30 @@ class ShardEngine {
   uint64_t total_seen() const { return total_seen_; }
   uint64_t total_kept() const { return total_kept_; }
 
+  /// The merged auxiliary distinct counter (set iff options.distinct_k > 0);
+  /// same validity window as merged().
+  const std::optional<KmvSketch>& distinct() const { return distinct_; }
+
+  /// Registers a snapshot consumer: every `every_tuples` routed tuples (at
+  /// the next quiesced chunk boundary, phase-locked to absolute stream
+  /// offsets exactly like windows and checkpoints) plus once when Run
+  /// stops, the engine publishes a ShardEngineSnapshot. Pass nullptr to
+  /// detach. Call only between runs — the hook is read by the router
+  /// thread.
+  void SetSnapshotHook(ShardSnapshotHook<SketchT>* hook,
+                       uint64_t every_tuples);
+
  private:
   struct Lane;  // worker lane: rings, thread, partial sketch (shard_engine.cc)
 
   // Builds one checkpoint at absolute position `total` from quiesced lanes.
   void WriteCheckpoint(const std::vector<std::unique_ptr<Lane>>& lanes,
                        uint64_t total, ShardEngineStats& stats) const;
+
+  // Builds one snapshot at absolute position `total` from quiesced lanes
+  // and hands it to the hook.
+  void PublishSnapshot(const std::vector<std::unique_ptr<Lane>>& lanes,
+                       uint64_t total, ShardEngineStats& stats);
 
   ShardEngineOptions options_;
   SketchT proto_;    // clean prototype for worker partials
@@ -167,6 +225,12 @@ class ShardEngine {
   uint64_t initial_tuples_ = 0;  // absolute position Run continues from
   uint64_t total_seen_ = 0;
   uint64_t total_kept_ = 0;
+  // Auxiliary distinct counter: restored base + folded lane partials
+  // (mirrors merged_). Engaged iff options.distinct_k > 0.
+  std::optional<KmvSketch> distinct_;
+  ShardSnapshotHook<SketchT>* snapshot_hook_ = nullptr;
+  uint64_t snapshot_every_ = 0;
+  uint64_t snapshot_sequence_ = 0;
 };
 
 extern template class ShardEngine<AgmsSketch>;

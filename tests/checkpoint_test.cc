@@ -330,6 +330,70 @@ TEST(CheckpointFormatTest, SkipperWithZeroRateRejected) {
   EXPECT_THROW(DeserializeCheckpoint(bytes), CheckpointError);
 }
 
+TEST(CheckpointFormatTest, ShardDistinctBlobsRoundtrip) {
+  // Flag bit 3: per-shard KMV distinct-counter blobs riding next to the
+  // partial sketches (src/stream/shard_engine.h distinct_k).
+  PipelineCheckpoint cp;
+  cp.source_tuples = 9000;
+  cp.has_shards = true;
+  cp.shard_p = 0.5;
+  cp.has_shard_distinct = true;
+  ShardCheckpointState a;
+  a.seen = 5000;
+  a.kept = 2500;
+  a.sketch = {1, 2, 3};
+  a.distinct = {9, 8, 7, 6};
+  ShardCheckpointState b;
+  b.seen = 4000;
+  b.kept = 2000;
+  b.sketch = {4, 5};
+  b.distinct = {};  // an empty blob is legal (lane saw nothing yet)
+  cp.shards = {a, b};
+
+  const PipelineCheckpoint back =
+      DeserializeCheckpoint(SerializeCheckpoint(cp));
+  ASSERT_TRUE(back.has_shards);
+  ASSERT_TRUE(back.has_shard_distinct);
+  ASSERT_EQ(back.shards.size(), 2u);
+  EXPECT_EQ(back.shards[0].seen, a.seen);
+  EXPECT_EQ(back.shards[0].kept, a.kept);
+  EXPECT_EQ(back.shards[0].sketch, a.sketch);
+  EXPECT_EQ(back.shards[0].distinct, a.distinct);
+  EXPECT_EQ(back.shards[1].distinct, b.distinct);
+}
+
+TEST(CheckpointFormatTest, ShardSectionWithoutDistinctLeavesBlobsEmpty) {
+  PipelineCheckpoint cp;
+  cp.has_shards = true;
+  cp.shard_p = 1.0;
+  ShardCheckpointState shard;
+  shard.seen = 10;
+  shard.kept = 10;
+  shard.sketch = {1};
+  cp.shards = {shard};
+
+  const PipelineCheckpoint back =
+      DeserializeCheckpoint(SerializeCheckpoint(cp));
+  ASSERT_TRUE(back.has_shards);
+  EXPECT_FALSE(back.has_shard_distinct);
+  ASSERT_EQ(back.shards.size(), 1u);
+  EXPECT_TRUE(back.shards[0].distinct.empty());
+}
+
+TEST(CheckpointFormatTest, DistinctFlagRequiresShardSection) {
+  // Serializer side: distinct blobs without a shard section is a caller bug.
+  PipelineCheckpoint cp;
+  cp.has_shard_distinct = true;
+  EXPECT_THROW(SerializeCheckpoint(cp), CheckpointError);
+
+  // Deserializer side: a forged buffer with flag bit 3 set but bit 2 clear
+  // must be rejected before any shard state is read.
+  std::vector<uint8_t> bytes = ValidCheckpointBytes();
+  bytes[16] |= 0x08;  // kFlagShardDistinct without kFlagShards
+  RefitCrc(bytes);
+  EXPECT_THROW(DeserializeCheckpoint(bytes), CheckpointError);
+}
+
 TEST(ShedOperatorStateTest, RestoredOperatorReplaysExactly) {
   std::vector<uint64_t> first(5000), second(5000);
   for (size_t i = 0; i < first.size(); ++i) {

@@ -1,0 +1,401 @@
+// Hostile-input tests for the HTTP/1.1 message layer (src/service/http.h).
+//
+// The parser is held to the same standard as the checkpoint deserializer:
+// truncated heads, oversized bodies, pipelined garbage, smuggling vectors,
+// and malformed framing must all produce a typed error status — never a
+// crash, an over-read, or an unbounded buffer. Each test feeds raw bytes
+// exactly as a socket would deliver them.
+
+#include "src/service/http.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace sketchsample {
+namespace {
+
+// Feeds the whole string at once and returns the parser for inspection.
+HttpRequestParser FeedAll(const std::string& bytes,
+                          const HttpLimits& limits = HttpLimits()) {
+  HttpRequestParser parser(limits);
+  parser.Feed(bytes.data(), bytes.size());
+  return parser;
+}
+
+TEST(HttpParserTest, ParsesMinimalGet) {
+  HttpRequestParser parser = FeedAll("GET /stats HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/stats");
+  EXPECT_TRUE(request.query.empty());
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpParserTest, ParsesQueryParametersInOrder) {
+  HttpRequestParser parser =
+      FeedAll("GET /query/point?key=42&level=0.99&key=7 HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.path, "/query/point");
+  ASSERT_EQ(request.query.size(), 3u);
+  EXPECT_EQ(request.query[0].first, "key");
+  EXPECT_EQ(request.query[0].second, "42");
+  EXPECT_EQ(request.query[1].first, "level");
+  EXPECT_EQ(request.query[1].second, "0.99");
+  // First value wins for lookups; arrival order is preserved.
+  ASSERT_NE(request.QueryParam("key"), nullptr);
+  EXPECT_EQ(*request.QueryParam("key"), "42");
+  EXPECT_EQ(request.QueryParam("missing"), nullptr);
+}
+
+TEST(HttpParserTest, PercentDecodesPathAndQuery) {
+  HttpRequestParser parser =
+      FeedAll("GET /qu%65ry/point?ke%79=%34%32 HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.path, "/query/point");
+  ASSERT_EQ(request.query.size(), 1u);
+  EXPECT_EQ(request.query[0].first, "key");
+  EXPECT_EQ(request.query[0].second, "42");
+}
+
+TEST(HttpParserTest, BytewiseFeedMatchesBulkFeed) {
+  const std::string wire =
+      "POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\n1 2 3";
+  HttpRequestParser parser{HttpLimits()};
+  HttpRequest request;
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(&c, 1));
+  }
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "1 2 3");
+}
+
+TEST(HttpParserTest, TruncatedHeadIsIncompleteNotError) {
+  HttpRequestParser parser = FeedAll("GET /stats HTTP/1.1\r\nHost: x");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_FALSE(parser.error());
+  EXPECT_EQ(parser.buffered(), std::string("GET /stats HTTP/1.1\r\nHost: x").size());
+}
+
+TEST(HttpParserTest, TruncatedBodyIsIncompleteNotError) {
+  HttpRequestParser parser =
+      FeedAll("POST /ingest HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_FALSE(parser.error());
+  // The missing bytes arrive later; the request then completes.
+  parser.Feed("67890", 5);
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.body, "1234567890");
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeOutInOrder) {
+  HttpRequestParser parser = FeedAll(
+      "GET /query/selfjoin HTTP/1.1\r\n\r\n"
+      "POST /ingest HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "GET /stats HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.path, "/query/selfjoin");
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.path, "/ingest");
+  EXPECT_EQ(request.body, "abc");
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.path, "/stats");
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_FALSE(parser.error());
+}
+
+TEST(HttpParserTest, PipelinedGarbageAfterValidRequestPoisonsStream) {
+  HttpRequestParser parser = FeedAll(
+      "GET /stats HTTP/1.1\r\n\r\n"
+      "\x01\x02garbage that is not HTTP\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.path, "/stats");
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_TRUE(parser.error());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, ErrorStatePoisonsFurtherFeeds) {
+  HttpRequestParser parser = FeedAll("NOT-HTTP\r\n\r\n");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  ASSERT_TRUE(parser.error());
+  // A poisoned connection discards everything; no resync is attempted.
+  EXPECT_FALSE(parser.Feed("GET / HTTP/1.1\r\n\r\n", 18));
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLines) {
+  const char* cases[] = {
+      "GET\r\n\r\n",                        // no target
+      "GET /stats\r\n\r\n",                 // no version
+      "GET /stats HTTP/1.1 extra\r\n\r\n",  // trailing junk
+      "GET  /stats HTTP/1.1\r\n\r\n",       // double space → empty token
+      "G<T /stats HTTP/1.1\r\n\r\n",        // non-token method byte
+      "GET stats HTTP/1.1\r\n\r\n",         // not origin-form
+      "GET http://h/stats HTTP/1.1\r\n\r\n",  // absolute-form rejected
+      "GET /stats HTTPX\r\n\r\n",           // mangled version
+  };
+  for (const char* wire : cases) {
+    HttpRequestParser parser = FeedAll(wire);
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request)) << wire;
+    EXPECT_TRUE(parser.error()) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, RejectsUnsupportedHttpVersionWith505) {
+  HttpRequestParser parser = FeedAll("GET /stats HTTP/2.0\r\n\r\n");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, AcceptsHttp10AndDefaultsToClose) {
+  HttpRequestParser parser = FeedAll("GET /stats HTTP/1.0\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.version_minor, 0);
+  EXPECT_FALSE(request.keep_alive);
+}
+
+TEST(HttpParserTest, ConnectionHeaderControlsKeepAlive) {
+  HttpRequestParser close11 =
+      FeedAll("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(close11.Next(&request));
+  EXPECT_FALSE(request.keep_alive);
+
+  HttpRequestParser keep10 =
+      FeedAll("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+  ASSERT_TRUE(keep10.Next(&request));
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpParserTest, RejectsControlBytesInTarget) {
+  HttpRequestParser parser = FeedAll("GET /sta\tts HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsMalformedPercentEncoding) {
+  const char* cases[] = {
+      "GET /a%2 HTTP/1.1\r\n\r\n",     // truncated escape
+      "GET /a%zz HTTP/1.1\r\n\r\n",    // non-hex digits
+      "GET /a%00b HTTP/1.1\r\n\r\n",   // decoded NUL
+      "GET /a%1fb HTTP/1.1\r\n\r\n",   // decoded control byte
+      "GET /a?k=%7f HTTP/1.1\r\n\r\n",  // decoded DEL in query
+  };
+  for (const char* wire : cases) {
+    HttpRequestParser parser = FeedAll(wire);
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request)) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, RejectsNulByteInHead) {
+  std::string wire = "GET /stats HTTP/1.1\r\nX: a";
+  wire.push_back('\0');
+  wire += "b\r\n\r\n";
+  HttpRequestParser parser = FeedAll(wire);
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, NulByteTripsEvenBeforeHeadCompletes) {
+  std::string wire = "GET /stats HTTP/1.1\r\nX: ";
+  wire.push_back('\0');
+  HttpRequestParser parser = FeedAll(wire);
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_TRUE(parser.error());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsBareLfLineEndings) {
+  HttpRequestParser parser =
+      FeedAll("GET /stats HTTP/1.1\r\nA: 1\nB: 2\r\n\r\n");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, HeaderNamesAreLowercasedAndValuesTrimmed) {
+  HttpRequestParser parser =
+      FeedAll("GET / HTTP/1.1\r\nX-Thing:  \t padded \t \r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  ASSERT_EQ(request.headers.count("x-thing"), 1u);
+  EXPECT_EQ(request.headers.at("x-thing"), "padded");
+}
+
+TEST(HttpParserTest, RejectsSmugglingShapedHeaders) {
+  // Whitespace before the colon (obs-fold / smuggling vector).
+  HttpRequestParser space = FeedAll("GET / HTTP/1.1\r\nHost : x\r\n\r\n");
+  HttpRequest request;
+  EXPECT_FALSE(space.Next(&request));
+  EXPECT_EQ(space.error_status(), 400);
+
+  // Colonless header line.
+  HttpRequestParser colonless = FeedAll("GET / HTTP/1.1\r\nnocolon\r\n\r\n");
+  EXPECT_FALSE(colonless.Next(&request));
+  EXPECT_EQ(colonless.error_status(), 400);
+
+  // Conflicting duplicate Content-Length values.
+  HttpRequestParser dupes = FeedAll(
+      "POST /ingest HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: "
+      "9\r\n\r\n");
+  EXPECT_FALSE(dupes.Next(&request));
+  EXPECT_EQ(dupes.error_status(), 400);
+}
+
+TEST(HttpParserTest, AgreeingDuplicateContentLengthIsAccepted) {
+  HttpRequestParser parser = FeedAll(
+      "POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: "
+      "2\r\n\r\nok");
+  HttpRequest request;
+  ASSERT_TRUE(parser.Next(&request));
+  EXPECT_EQ(request.body, "ok");
+}
+
+TEST(HttpParserTest, RejectsTransferEncodingWith501) {
+  HttpRequestParser parser = FeedAll(
+      "POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, RejectsMalformedContentLength) {
+  const char* cases[] = {
+      "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+      "POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
+      "POST / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+      "POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+      "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+  };
+  for (const char* wire : cases) {
+    HttpRequestParser parser = FeedAll(wire);
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request)) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, OversizedBodyDeclarationFailsWith413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 64;
+  HttpRequestParser parser = FeedAll(
+      "POST /ingest HTTP/1.1\r\nContent-Length: 65\r\n\r\n", limits);
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, OversizedRequestLineFailsWith414) {
+  HttpLimits limits;
+  limits.max_request_line = 64;
+  std::string wire = "GET /" + std::string(128, 'a') + " HTTP/1.1\r\n\r\n";
+  HttpRequestParser parser = FeedAll(wire, limits);
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(HttpParserTest, OversizedHeadFailsWith431EvenWithoutTerminator) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  // A slow-drip client that never sends \r\n\r\n must still be bounded.
+  std::string wire = "GET /stats HTTP/1.1\r\nX: " + std::string(512, 'a');
+  HttpRequestParser parser = FeedAll(wire, limits);
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 431);
+  EXPECT_EQ(parser.buffered(), 0u);  // buffer released on poison
+}
+
+TEST(HttpParserTest, TooManyHeadersFailsWith431) {
+  HttpLimits limits;
+  limits.max_headers = 4;
+  std::string wire = "GET /stats HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    wire += "h" + std::to_string(i) + ": v\r\n";
+  }
+  wire += "\r\n";
+  HttpRequestParser parser = FeedAll(wire, limits);
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request));
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, ConnectionBufferHardCapBoundsMemory) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  limits.max_body_bytes = 128;
+  HttpRequestParser parser{limits};
+  // Total feed larger than head+body+slack must fail, not grow the buffer.
+  const std::string chunk(1024, 'x');
+  bool accepted = true;
+  for (int i = 0; i < 8 && accepted; ++i) {
+    accepted = parser.Feed(chunk.data(), chunk.size());
+  }
+  EXPECT_FALSE(accepted);
+  EXPECT_TRUE(parser.error());
+  EXPECT_EQ(parser.error_status(), 400);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpResponseTest, SerializeEmitsFraming) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"ok\":true}";
+  const std::string wire = response.Serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  response.keep_alive = false;
+  EXPECT_NE(response.Serialize().find("Connection: close\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorResponseIsJsonWithTrailingNewline) {
+  const HttpResponse response = ErrorResponse(404, "no such route");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(response.body, "{\"error\":\"no such route\"}\n");
+}
+
+TEST(HttpResponseTest, StatusTextCoversServiceStatuses) {
+  EXPECT_STREQ(HttpStatusText(200), "OK");
+  EXPECT_STREQ(HttpStatusText(409), "Conflict");
+  EXPECT_STREQ(HttpStatusText(431), "Request Header Fields Too Large");
+  EXPECT_STREQ(HttpStatusText(505), "HTTP Version Not Supported");
+  EXPECT_STREQ(HttpStatusText(299), "Unknown");
+}
+
+TEST(PercentDecodeTest, RejectsRawControlBytes) {
+  std::string out;
+  EXPECT_TRUE(PercentDecode("plain-text_~", &out));
+  EXPECT_EQ(out, "plain-text_~");
+  EXPECT_FALSE(PercentDecode(std::string("a\x01b", 3), &out));
+  EXPECT_FALSE(PercentDecode("trailing%", &out));
+}
+
+}  // namespace
+}  // namespace sketchsample

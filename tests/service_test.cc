@@ -1,0 +1,444 @@
+// In-process end-to-end tests for the query-serving sketch service
+// (src/service/service.h): router dispatch, ingest parsing, bit-exact
+// online-vs-offline responses through the shared builders, error paths,
+// kill-and-resume, and queries racing live ingest (the racing test runs
+// under the `tsan` ctest label).
+//
+// No sockets here — requests go straight through Router::Dispatch, which is
+// the exact code path the HTTP server drives; the socket layer itself is
+// covered by tests/http_test.cc and the service-smoke CI job.
+
+#include "src/service/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/service/router.h"
+#include "src/sketch/serialize.h"
+#include "src/stream/checkpoint.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+constexpr uint64_t kSketchSeed = 33;
+constexpr uint64_t kRootSeed = 42;
+
+std::vector<uint64_t> MakeStream(size_t n, uint64_t seed, uint64_t domain) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(rng() % domain);
+  return out;
+}
+
+SketchServiceOptions SmallOptions() {
+  SketchServiceOptions options;
+  options.sketch.rows = 3;
+  options.sketch.buckets = 128;
+  options.sketch.seed = kSketchSeed;
+  options.engine.shards = 2;
+  options.engine.shed_p = 0.5;
+  options.engine.seed = kRootSeed;
+  options.engine.chunk_tuples = 512;
+  options.engine.distinct_k = 64;
+  options.snapshot_every = 2048;
+  options.max_readers = 8;
+  return options;
+}
+
+HttpRequest Get(const std::string& path,
+                std::vector<std::pair<std::string, std::string>> query = {}) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  request.query = std::move(query);
+  return request;
+}
+
+HttpRequest Post(const std::string& path, std::string body = {}) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = path;
+  request.body = std::move(body);
+  return request;
+}
+
+// Runs the whole lifecycle: push `stream` in `batch`-sized chunks, close,
+// wait for the ingest thread to drain.
+void RunToCompletion(SketchService& service, const std::vector<uint64_t>& stream,
+                     size_t batch) {
+  service.Start();
+  for (size_t i = 0; i < stream.size(); i += batch) {
+    const size_t n = std::min(batch, stream.size() - i);
+    ASSERT_EQ(service.Push(stream.data() + i, n), n);
+  }
+  service.CloseIngest();
+  while (!service.ingest_done()) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(service.ingest_error(), "");
+}
+
+// The four query-endpoint bodies as served, for byte comparison.
+struct QueryBodies {
+  std::string selfjoin;
+  std::string point;
+  std::string distinct;
+  std::string stats_snapshot;
+};
+
+QueryBodies CollectBodies(const Router& router, const RequestContext& context) {
+  QueryBodies bodies;
+  HttpResponse response = router.Dispatch(Get("/query/selfjoin"), context);
+  EXPECT_EQ(response.status, 200);
+  bodies.selfjoin = response.body;
+  response = router.Dispatch(Get("/query/point", {{"key", "7"}}), context);
+  EXPECT_EQ(response.status, 200);
+  bodies.point = response.body;
+  response = router.Dispatch(Get("/query/distinct"), context);
+  EXPECT_EQ(response.status, 200);
+  bodies.distinct = response.body;
+  response = router.Dispatch(Get("/stats"), context);
+  EXPECT_EQ(response.status, 200);
+  bodies.stats_snapshot = response.body;
+  return bodies;
+}
+
+TEST(ServiceRouterTest, UnknownPathIs404KnownPathWrongMethodIs405) {
+  SketchService service(SmallOptions());
+  Router router;
+  service.Register(router);
+  RequestContext context;
+
+  EXPECT_EQ(router.Dispatch(Get("/nope"), context).status, 404);
+  EXPECT_EQ(router.Dispatch(Post("/query/selfjoin"), context).status, 405);
+  EXPECT_EQ(router.Dispatch(Get("/ingest"), context).status, 405);
+  EXPECT_EQ(router.Dispatch(Get("/healthz"), context).status, 200);
+}
+
+TEST(ServiceOptionsTest, BadLevelAndIncompatibleJoinSketchThrow) {
+  SketchServiceOptions bad_level = SmallOptions();
+  bad_level.default_level = 1.0;
+  EXPECT_THROW(SketchService{bad_level}, std::invalid_argument);
+
+  SketchServiceOptions bad_join = SmallOptions();
+  SketchParams other = bad_join.sketch;
+  other.seed = kSketchSeed + 1;  // shape matches, seed does not
+  bad_join.join_sketch = SerializeSketch(FagmsSketch(other));
+  EXPECT_THROW(SketchService{bad_join}, std::invalid_argument);
+}
+
+TEST(ServiceIngestTest, ParsesBodyStrictlyAndAtomically) {
+  SketchService service(SmallOptions());
+  Router router;
+  service.Register(router);
+  RequestContext context;
+  service.Start();
+
+  HttpResponse ok = router.Dispatch(Post("/ingest", " 1 2\t3\r\n4\n"), context);
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(service.pushed(), 4u);
+
+  // A malformed batch must reject without pushing anything.
+  HttpResponse bad = router.Dispatch(Post("/ingest", "5 6 x7 8"), context);
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_EQ(service.pushed(), 4u);
+  HttpResponse negative = router.Dispatch(Post("/ingest", "-3"), context);
+  EXPECT_EQ(negative.status, 400);
+  HttpResponse overflow =
+      router.Dispatch(Post("/ingest", "99999999999999999999999"), context);
+  EXPECT_EQ(overflow.status, 400);
+  EXPECT_EQ(service.pushed(), 4u);
+
+  // Close via the endpoint; further ingest posts answer 409.
+  HttpResponse close = router.Dispatch(Post("/ingest/close"), context);
+  EXPECT_EQ(close.status, 200);
+  EXPECT_EQ(router.Dispatch(Post("/ingest", "9"), context).status, 409);
+  service.Stop();
+}
+
+TEST(ServiceQueryTest, ErrorPathsAnswerTypedStatuses) {
+  SketchServiceOptions options = SmallOptions();
+  options.engine.distinct_k = 0;  // distinct endpoint disabled
+  SketchService service(options);
+  Router router;
+  service.Register(router);
+  RequestContext context;
+
+  // Queries answer from the initial empty snapshot before ingest starts.
+  EXPECT_EQ(router.Dispatch(Get("/query/selfjoin"), context).status, 200);
+  // Point query key validation.
+  EXPECT_EQ(router.Dispatch(Get("/query/point"), context).status, 400);
+  EXPECT_EQ(
+      router.Dispatch(Get("/query/point", {{"key", "12x"}}), context).status,
+      400);
+  // Level validation: must be a finite number in (0, 1).
+  for (const char* level : {"0", "1", "1.5", "-0.5", "nan", "abc", ""}) {
+    EXPECT_EQ(router
+                  .Dispatch(Get("/query/selfjoin", {{"level", level}}), context)
+                  .status,
+              400)
+        << "level=" << level;
+  }
+  // No reference sketch configured.
+  EXPECT_EQ(router.Dispatch(Get("/query/join"), context).status, 400);
+  // Distinct counting disabled.
+  EXPECT_EQ(router.Dispatch(Get("/query/distinct"), context).status, 400);
+}
+
+TEST(ServiceQueryTest, ResponsesComeFromTheSharedBuilders) {
+  SketchService service(SmallOptions());
+  Router router;
+  service.Register(router);
+  RequestContext context;
+  const std::vector<uint64_t> stream = MakeStream(20000, 7, 500);
+  RunToCompletion(service, stream, 4096);
+
+  // Reader slot distinct from the dispatch context's slot 0.
+  auto guard = service.registry().Read(1);
+  ASSERT_TRUE(guard);
+  EXPECT_EQ(guard->position, stream.size());
+
+  const double level = service.options().default_level;
+  HttpResponse selfjoin = router.Dispatch(Get("/query/selfjoin"), context);
+  EXPECT_EQ(selfjoin.body,
+            SelfJoinResponseJson(*guard, std::nullopt, level).Dump() + "\n");
+  HttpResponse point =
+      router.Dispatch(Get("/query/point", {{"key", "123"}}), context);
+  EXPECT_EQ(point.body,
+            PointResponseJson(*guard, 123, std::nullopt, level).Dump() + "\n");
+  HttpResponse distinct = router.Dispatch(Get("/query/distinct"), context);
+  EXPECT_EQ(distinct.body, DistinctResponseJson(*guard, level).Dump() + "\n");
+
+  // ?level= flows through to the interval.
+  HttpResponse wide =
+      router.Dispatch(Get("/query/selfjoin", {{"level", "0.5"}}), context);
+  EXPECT_EQ(wide.body,
+            SelfJoinResponseJson(*guard, std::nullopt, 0.5).Dump() + "\n");
+  EXPECT_NE(wide.body, selfjoin.body);
+}
+
+TEST(ServiceQueryTest, JoinEndpointUsesTheReferenceSketch) {
+  SketchServiceOptions options = SmallOptions();
+  FagmsSketch reference(options.sketch);
+  const std::vector<uint64_t> other = MakeStream(5000, 11, 500);
+  reference.UpdateBatch(other);
+  options.join_sketch = SerializeSketch(reference);
+
+  SketchService service(options);
+  Router router;
+  service.Register(router);
+  RequestContext context;
+  const std::vector<uint64_t> stream = MakeStream(20000, 7, 500);
+  RunToCompletion(service, stream, 4096);
+
+  auto guard = service.registry().Read(1);
+  ASSERT_TRUE(guard);
+  HttpResponse join = router.Dispatch(Get("/query/join"), context);
+  EXPECT_EQ(join.status, 200);
+  EXPECT_EQ(join.body,
+            JoinResponseJson(*guard, reference, std::nullopt, std::nullopt,
+                             options.default_level)
+                    .Dump() +
+                "\n");
+}
+
+// The bit-exactness contract the service-smoke CI job holds over HTTP:
+// the same (configuration, stream) must produce byte-identical query
+// responses no matter how the producer chunked its pushes.
+TEST(ServiceDeterminismTest, ResponsesAreBitExactAcrossPushChunkings) {
+  const std::vector<uint64_t> stream = MakeStream(30000, 13, 1000);
+
+  QueryBodies bodies[2];
+  const size_t batches[2] = {30000, 777};  // one big push vs ragged pushes
+  for (int run = 0; run < 2; ++run) {
+    SketchService service(SmallOptions());
+    Router router;
+    service.Register(router);
+    RequestContext context;
+    RunToCompletion(service, stream, batches[run]);
+    bodies[run] = CollectBodies(router, context);
+  }
+  EXPECT_EQ(bodies[0].selfjoin, bodies[1].selfjoin);
+  EXPECT_EQ(bodies[0].point, bodies[1].point);
+  EXPECT_EQ(bodies[0].distinct, bodies[1].distinct);
+}
+
+TEST(ServiceDeterminismTest, ShardCountDoesNotChangeResponses) {
+  const std::vector<uint64_t> stream = MakeStream(30000, 13, 1000);
+  QueryBodies bodies[2];
+  const size_t shard_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    SketchServiceOptions options = SmallOptions();
+    options.engine.shards = shard_counts[run];
+    SketchService service(options);
+    Router router;
+    service.Register(router);
+    RequestContext context;
+    RunToCompletion(service, stream, 4096);
+    bodies[run] = CollectBodies(router, context);
+  }
+  EXPECT_EQ(bodies[0].selfjoin, bodies[1].selfjoin);
+  EXPECT_EQ(bodies[0].point, bodies[1].point);
+  EXPECT_EQ(bodies[0].distinct, bodies[1].distinct);
+}
+
+// Kill-and-resume: checkpoint mid-stream, build a fresh service from the
+// checkpoint, re-push the stream from the beginning (restore fast-forwards
+// past the prefix), and require the resumed responses to match an
+// uninterrupted run byte-for-byte — modulo the `sequence` field, which is a
+// per-process publication counter.
+TEST(ServiceResumeTest, ResumedServiceMatchesUninterruptedRun) {
+  const std::vector<uint64_t> stream = MakeStream(30000, 19, 1000);
+
+  // Uninterrupted reference run.
+  SketchService reference(SmallOptions());
+  {
+    Router router;
+    reference.Register(router);
+    RunToCompletion(reference, stream, 4096);
+  }
+
+  // Checkpointing run, stopped early by max_tuples (the in-process stand-in
+  // for kill -9: the engine simply never sees the rest of the stream).
+  LatestCheckpointSink sink;
+  SketchServiceOptions first = SmallOptions();
+  first.engine.checkpoint_sink = &sink;
+  first.engine.checkpoint_every = 4096;
+  first.engine.max_tuples = 20000;
+  SketchService interrupted(first);
+  {
+    Router router;
+    interrupted.Register(router);
+    RunToCompletion(interrupted, stream, 4096);
+  }
+  ASSERT_GT(sink.writes(), 0u);
+  ASSERT_GT(sink.source_tuples(), 0u);
+  ASSERT_LT(sink.source_tuples(), stream.size());
+
+  // Resumed run: fresh service, restore, re-push from the beginning.
+  SketchServiceOptions second = SmallOptions();
+  second.resume = sink.bytes();
+  SketchService resumed(second);
+  Router router;
+  resumed.Register(router);
+  RunToCompletion(resumed, stream, 4096);
+
+  auto ref_guard = reference.registry().Read(1);
+  auto res_guard = resumed.registry().Read(1);
+  ASSERT_TRUE(ref_guard);
+  ASSERT_TRUE(res_guard);
+  EXPECT_EQ(res_guard->position, stream.size());
+  EXPECT_EQ(res_guard->kept, ref_guard->kept);
+
+  // Compare through the builders with the sequence pinned, exactly how the
+  // smoke script compares (it filters "sequence" before diffing).
+  ServiceSnapshot ref_view = *ref_guard;
+  ServiceSnapshot res_view = *res_guard;
+  ref_view.sequence = 0;
+  res_view.sequence = 0;
+  EXPECT_EQ(SelfJoinResponseJson(ref_view, std::nullopt, 0.95).Dump(),
+            SelfJoinResponseJson(res_view, std::nullopt, 0.95).Dump());
+  EXPECT_EQ(PointResponseJson(ref_view, 7, std::nullopt, 0.95).Dump(),
+            PointResponseJson(res_view, 7, std::nullopt, 0.95).Dump());
+  EXPECT_EQ(DistinctResponseJson(ref_view, 0.95).Dump(),
+            DistinctResponseJson(res_view, 0.95).Dump());
+}
+
+TEST(ServiceStatsTest, StatsTrackIngestAndQueryCounters) {
+  SketchService service(SmallOptions());
+  Router router;
+  service.Register(router);
+  RequestContext context;
+  const std::vector<uint64_t> stream = MakeStream(10000, 5, 200);
+  RunToCompletion(service, stream, 2048);
+
+  router.Dispatch(Get("/query/selfjoin"), context);
+  router.Dispatch(Get("/query/selfjoin"), context);
+  router.Dispatch(Get("/query/distinct"), context);
+
+  HttpResponse stats = router.Dispatch(Get("/stats"), context);
+  ASSERT_EQ(stats.status, 200);
+  const std::optional<JsonValue> body = JsonValue::Parse(stats.body);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->GetNumber("pushed"), 10000.0);
+  EXPECT_FALSE(body->Get("ingest_open")->AsBool());
+  EXPECT_TRUE(body->Get("ingest_done")->AsBool());
+  EXPECT_EQ(body->Get("queries")->GetNumber("selfjoin"), 2.0);
+  EXPECT_EQ(body->Get("queries")->GetNumber("distinct"), 1.0);
+  const JsonValue* snapshot = body->Get("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->GetNumber("position"), 10000.0);
+  EXPECT_TRUE(snapshot->Get("distinct_enabled")->AsBool());
+}
+
+// Queries racing live ingest: every response must be internally consistent
+// (kept <= position <= total pushed, 200 status, parseable JSON). Runs
+// under TSan via the `tsan` ctest label; torn snapshots or a query touching
+// the write path would be flagged there.
+TEST(ServiceConcurrencyTest, QueriesRacingIngestSeeOnlyConsistentSnapshots) {
+  SketchServiceOptions options = SmallOptions();
+  options.snapshot_every = 512;  // force frequent rollover under the race
+  SketchService service(options);
+  Router router;
+  service.Register(router);
+  service.Start();
+
+  const std::vector<uint64_t> stream = MakeStream(60000, 23, 1000);
+  constexpr size_t kReaders = 3;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      RequestContext context;
+      context.reader_slot = r;
+      uint64_t last_position = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        HttpResponse response =
+            router.Dispatch(Get(r % 2 == 0 ? "/query/selfjoin"
+                                           : "/query/distinct"),
+                            context);
+        ASSERT_EQ(response.status, 200);
+        const std::optional<JsonValue> body = JsonValue::Parse(response.body);
+        ASSERT_TRUE(body.has_value());
+        const double position = body->GetNumber("position").value();
+        const double kept = body->GetNumber("kept").value();
+        ASSERT_GE(position, 0.0);
+        ASSERT_LE(kept, position);
+        ASSERT_LE(position, static_cast<double>(stream.size()));
+        // Snapshots a single reader observes advance monotonically.
+        ASSERT_GE(position, static_cast<double>(last_position));
+        last_position = static_cast<uint64_t>(position);
+      }
+    });
+  }
+
+  for (size_t i = 0; i < stream.size(); i += 1024) {
+    const size_t n = std::min<size_t>(1024, stream.size() - i);
+    ASSERT_EQ(service.Push(stream.data() + i, n), n);
+  }
+  service.CloseIngest();
+  while (!service.ingest_done()) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_EQ(service.ingest_error(), "");
+  RequestContext context;
+  context.reader_slot = kReaders;
+  HttpResponse final_response =
+      router.Dispatch(Get("/query/selfjoin"), context);
+  const std::optional<JsonValue> body = JsonValue::Parse(final_response.body);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->GetNumber("position"), static_cast<double>(stream.size()));
+}
+
+}  // namespace
+}  // namespace sketchsample

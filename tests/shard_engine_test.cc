@@ -524,5 +524,161 @@ TEST(ShardEngineTest, PerShardStatsSumToTotals) {
   EXPECT_EQ(stats.chunks, 100u);
 }
 
+// --- Snapshot hook + auxiliary distinct counter -------------------------
+
+class CollectingHook final : public ShardSnapshotHook<FagmsSketch> {
+ public:
+  void Publish(ShardEngineSnapshot<FagmsSketch> snapshot) override {
+    snapshots.push_back(std::move(snapshot));
+  }
+  std::vector<ShardEngineSnapshot<FagmsSketch>> snapshots;
+};
+
+TEST(ShardEngineSnapshotTest, HookPublishesAtPhaseLockedBoundaries) {
+  const std::vector<uint64_t> values = MakeStream(10000, 7, 500);
+  ShardEngineOptions opts;
+  opts.shards = 2;
+  opts.shed_p = 0.4;
+  opts.seed = kRootSeed;
+  opts.chunk_tuples = 512;
+  opts.distinct_k = 32;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  CollectingHook hook;
+  engine.SetSnapshotHook(&hook, 2048);
+  const ShardEngineStats stats = RunEngine(engine, values);
+
+  ASSERT_TRUE(stats.ended);
+  // Boundaries are phase-locked to absolute offsets: every multiple of
+  // 2048, plus the final state when the run stops.
+  ASSERT_EQ(hook.snapshots.size(), 5u);
+  EXPECT_EQ(stats.snapshots, 5u);
+  const uint64_t expected_positions[] = {2048, 4096, 6144, 8192, 10000};
+  uint64_t last_kept = 0;
+  for (size_t i = 0; i < hook.snapshots.size(); ++i) {
+    const ShardEngineSnapshot<FagmsSketch>& snap = hook.snapshots[i];
+    EXPECT_EQ(snap.position, expected_positions[i]) << i;
+    EXPECT_EQ(snap.sequence, i + 1) << i;
+    EXPECT_LE(snap.kept, snap.position) << i;
+    EXPECT_GE(snap.kept, last_kept) << i;
+    last_kept = snap.kept;
+    EXPECT_DOUBLE_EQ(snap.p, 0.4) << i;
+    ASSERT_TRUE(snap.distinct.has_value()) << i;
+  }
+  // The final snapshot is exactly the engine's merged end state.
+  const ShardEngineSnapshot<FagmsSketch>& last = hook.snapshots.back();
+  EXPECT_EQ(last.kept, engine.total_kept());
+  EXPECT_EQ(SerializeSketch(last.sketch), SerializeSketch(engine.merged()));
+  ASSERT_TRUE(engine.distinct().has_value());
+  EXPECT_EQ(SerializeSketch(*last.distinct),
+            SerializeSketch(*engine.distinct()));
+}
+
+TEST(ShardEngineSnapshotTest, SnapshotsAreBitExactAcrossShardCounts) {
+  const std::vector<uint64_t> values = MakeStream(20000, 13, 1000);
+  CollectingHook hooks[2];
+  const size_t shard_counts[2] = {1, 3};
+  for (int run = 0; run < 2; ++run) {
+    ShardEngineOptions opts;
+    opts.shards = shard_counts[run];
+    opts.shed_p = 0.4;
+    opts.seed = kRootSeed;
+    opts.chunk_tuples = 512;
+    opts.distinct_k = 64;
+    ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+    engine.SetSnapshotHook(&hooks[run], 4096);
+    ASSERT_TRUE(RunEngine(engine, values).ended);
+  }
+  ASSERT_EQ(hooks[0].snapshots.size(), hooks[1].snapshots.size());
+  for (size_t i = 0; i < hooks[0].snapshots.size(); ++i) {
+    const auto& a = hooks[0].snapshots[i];
+    const auto& b = hooks[1].snapshots[i];
+    EXPECT_EQ(a.position, b.position) << i;
+    EXPECT_EQ(a.kept, b.kept) << i;
+    EXPECT_EQ(a.sequence, b.sequence) << i;
+    // The published sketch and distinct counter — not just the estimates —
+    // must be identical at every boundary, at any shard count.
+    EXPECT_EQ(SerializeSketch(a.sketch), SerializeSketch(b.sketch)) << i;
+    ASSERT_TRUE(a.distinct.has_value());
+    ASSERT_TRUE(b.distinct.has_value());
+    EXPECT_EQ(SerializeSketch(*a.distinct), SerializeSketch(*b.distinct))
+        << i;
+  }
+}
+
+TEST(ShardEngineTest, DistinctCounterMatchesDirectKmvOverKeptStream) {
+  // With shed_p = 1 every tuple survives, so the engine's distinct counter
+  // must equal a KMV built directly over the whole stream with the derived
+  // seed — at any shard count.
+  const std::vector<uint64_t> values = MakeStream(30000, 17, 2000);
+  KmvSketch direct(64, ShardDistinctSeed(kRootSeed));
+  for (uint64_t v : values) direct.Update(v);
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    ShardEngineOptions opts;
+    opts.shards = shards;
+    opts.shed_p = 1.0;
+    opts.seed = kRootSeed;
+    opts.chunk_tuples = 512;
+    opts.distinct_k = 64;
+    ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+    ASSERT_TRUE(RunEngine(engine, values).ended);
+    ASSERT_TRUE(engine.distinct().has_value()) << shards;
+    EXPECT_EQ(SerializeSketch(*engine.distinct()), SerializeSketch(direct))
+        << shards;
+    EXPECT_DOUBLE_EQ(engine.distinct()->EstimateDistinct(),
+                     direct.EstimateDistinct())
+        << shards;
+  }
+}
+
+TEST(ShardEngineTest, RestoreRequiresDistinctBlobsWhenEnabled) {
+  // A checkpoint written without distinct state cannot restore into an
+  // engine that promises distinct answers — silent loss of the counter
+  // would break the service's bit-exactness contract.
+  PipelineCheckpoint cp;
+  cp.source_tuples = 10;
+  cp.has_shards = true;
+  ShardCheckpointState shard;
+  shard.seen = 10;
+  shard.kept = 10;
+  shard.sketch = SerializeSketch(FagmsSketch(SmallParams()));
+  cp.shards.push_back(shard);
+
+  ShardEngineOptions opts;
+  opts.distinct_k = 32;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  VectorSource source(MakeStream(100, 1, 10));
+  EXPECT_THROW(engine.Restore(cp, source), CheckpointError);
+  EXPECT_EQ(engine.total_seen(), 0u);
+}
+
+TEST(ShardEngineTest, RestoreRejectsIncompatibleDistinctBlob) {
+  // Same shape, different root seed → different derived KMV hash seed; the
+  // blob must be rejected, not merged into a silently-wrong union.
+  ShardEngineOptions writer_opts;
+  writer_opts.distinct_k = 32;
+  writer_opts.seed = kRootSeed + 1;
+  KmvSketch foreign(32, ShardDistinctSeed(writer_opts.seed));
+  foreign.Update(1);
+
+  PipelineCheckpoint cp;
+  cp.source_tuples = 1;
+  cp.has_shards = true;
+  cp.has_shard_distinct = true;
+  ShardCheckpointState shard;
+  shard.seen = 1;
+  shard.kept = 1;
+  shard.sketch = SerializeSketch(FagmsSketch(SmallParams()));
+  shard.distinct = SerializeSketch(foreign);
+  cp.shards.push_back(shard);
+
+  ShardEngineOptions opts;
+  opts.distinct_k = 32;
+  opts.seed = kRootSeed;
+  ShardEngine<FagmsSketch> engine(FagmsSketch(SmallParams()), opts);
+  VectorSource source(MakeStream(100, 1, 10));
+  EXPECT_THROW(engine.Restore(cp, source), CheckpointError);
+}
+
 }  // namespace
 }  // namespace sketchsample

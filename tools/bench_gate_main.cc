@@ -20,8 +20,11 @@ int BenchGateMain(int argc, char** argv) {
   flags.Define("min_gate_seconds", "0.25",
                "minimum baseline measured seconds for the duration-weighted "
                "throughput gate to engage");
+  flags.Define("latency_tolerance", "0.5",
+               "max fractional *_latency_ns increase before failing");
   flags.Define("no_throughput", "false", "skip the throughput gate entirely");
   flags.Define("no_errors", "false", "skip the accuracy gate entirely");
+  flags.Define("no_latency", "false", "skip the latency gate entirely");
   flags.Define("force_throughput", "false",
                "gate throughput even when reports come from different hosts");
 
@@ -50,8 +53,10 @@ int BenchGateMain(int argc, char** argv) {
   options.throughput_tolerance = flags.GetDouble("throughput_tolerance");
   options.error_sigmas = flags.GetDouble("error_sigmas");
   options.min_gate_seconds = flags.GetDouble("min_gate_seconds");
+  options.latency_tolerance = flags.GetDouble("latency_tolerance");
   options.check_throughput = !flags.GetBool("no_throughput");
   options.check_errors = !flags.GetBool("no_errors");
+  options.check_latency = !flags.GetBool("no_latency");
   options.force_throughput = flags.GetBool("force_throughput");
 
   // Load both reports first: unreadable/malformed/schema-invalid input is a

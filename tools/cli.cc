@@ -28,6 +28,7 @@
 #include "src/stream/source.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
+#include "tools/serve.h"
 
 namespace sketchsample {
 namespace cli {
@@ -102,7 +103,7 @@ void PrintTopUsage() {
   std::fprintf(stderr,
                "usage: sketchsample "
                "<generate|exact|estimate|sketch|combine|stats|topk|range|"
-               "stream> [flags]\n"
+               "stream|serve|offline> [flags]\n"
                "run a subcommand with --help for its flags\n");
 }
 
@@ -679,6 +680,8 @@ int RunCli(int argc, char** argv) {
     if (command == "topk") return CmdTopK(sub_argc, sub_argv);
     if (command == "range") return CmdRange(sub_argc, sub_argv);
     if (command == "stream") return CmdStream(sub_argc, sub_argv);
+    if (command == "serve") return CmdServe(sub_argc, sub_argv);
+    if (command == "offline") return CmdOffline(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sketchsample %s: %s\n", command.c_str(), e.what());
     return 1;

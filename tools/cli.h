@@ -14,6 +14,10 @@
 //   range     — range-frequency / quantile queries via a dyadic sketch
 //   stream    — robust pipeline run: adaptive load shedding, fault
 //               injection, checkpoint/resume, honest error bars
+//   serve     — long-running HTTP query service over a live shard engine
+//               (tools/serve.h; endpoints in docs/SERVICE.md)
+//   offline   — the same engine + response builders without a server;
+//               prints the exact JSON the service would return
 //
 // Run `sketchsample <subcommand> --help` for per-command flags.
 #ifndef SKETCHSAMPLE_TOOLS_CLI_H_

@@ -46,6 +46,15 @@ std::string Describe(const std::string& report_name,
 
 const char* const kThroughputKeys[] = {"updates_per_sec", "items_per_second"};
 
+constexpr const char kLatencySuffix[] = "_latency_ns";
+
+bool IsLatencyMetric(const std::string& name) {
+  constexpr size_t suffix_len = sizeof(kLatencySuffix) - 1;
+  return name.size() > suffix_len &&
+         name.compare(name.size() - suffix_len, suffix_len, kLatencySuffix) ==
+             0;
+}
+
 }  // namespace
 
 std::optional<std::string> ValidateReport(const JsonValue& report) {
@@ -127,6 +136,18 @@ Result Compare(const JsonValue& baseline, const JsonValue& current,
         "'; wall-clock is machine-specific, use --force_throughput to gate "
         "anyway)");
   }
+  // Latency shares throughput's host guard: nanosecond percentiles from a
+  // different machine gate nothing (coverage is still checked below).
+  bool latency_comparable = options.check_latency;
+  if (latency_comparable && !options.force_throughput &&
+      (base_host != cur_host || base_host == "unknown")) {
+    latency_comparable = false;
+    if (!options.check_throughput) {
+      result.notes.push_back(name +
+                             ": skipping latency gate (host mismatch '" +
+                             base_host + "' vs '" + cur_host + "')");
+    }
+  }
 
   std::map<std::string, const JsonValue*> current_points;
   for (const JsonValue& point : current.Get("points")->AsArray()) {
@@ -191,6 +212,39 @@ Result Compare(const JsonValue& baseline, const JsonValue& current,
         if (drop > agg.worst_drop) {
           agg.worst_drop = drop;
           agg.worst_key = key;
+        }
+      }
+    }
+
+    if (options.check_latency) {
+      // Per-point, lower-is-better: percentiles come from thousands of
+      // request samples, so unlike raw wall-clock throughput they are
+      // stable enough to gate individually.
+      const JsonValue* base_metrics = base_point.Get("metrics");
+      for (const auto& [metric, value] : base_metrics->AsObject()) {
+        if (!IsLatencyMetric(metric) || !value.is_number() ||
+            value.AsNumber() <= 0) {
+          continue;
+        }
+        const auto cur = PointMetric(cur_point, metric);
+        if (!cur.has_value()) {
+          result.failures.push_back(
+              Describe(name, key) + " " + metric +
+              " present in baseline but missing from current report "
+              "(latency coverage regression)");
+          continue;
+        }
+        if (!latency_comparable || *cur <= 0) continue;
+        const double base_value = value.AsNumber();
+        const double increase = (*cur - base_value) / base_value;
+        if (increase > options.latency_tolerance) {
+          char buf[200];
+          std::snprintf(buf, sizeof(buf),
+                        " %s worsened %.1f%%: %.6g -> %.6g ns "
+                        "(tolerance %.0f%%)",
+                        metric.c_str(), 100 * increase, base_value, *cur,
+                        100 * options.latency_tolerance);
+          result.failures.push_back(Describe(name, key) + buf);
         }
       }
     }

@@ -21,6 +21,12 @@
 //     `error_sigmas * sqrt(base_se^2 + cur_se^2) + error_abs_slack`.
 //     With the default 3 sigmas, a same-seed rerun always passes while a
 //     genuine estimator regression beyond trial noise fails.
+//   * Latency: any metric named `*_latency_ns` (the service bench's p50/p99
+//     query latencies) is gated per point, lower-is-better: the current
+//     value may exceed the baseline by at most `latency_tolerance`
+//     (default 50% — tail percentiles jitter more than means). Latency is
+//     wall-clock, so the same host guard as throughput applies; a baseline
+//     latency metric missing from the current report is a coverage failure.
 #ifndef SKETCHSAMPLE_TOOLS_GATE_H_
 #define SKETCHSAMPLE_TOOLS_GATE_H_
 
@@ -41,9 +47,11 @@ struct Options {
   /// duration-weighted throughput gate to engage; below it the report is
   /// jitter-dominated and only a note is emitted.
   double min_gate_seconds = 0.25;
+  double latency_tolerance = 0.50;  ///< max allowed fractional increase
   bool check_throughput = true;
   bool check_errors = true;
-  bool force_throughput = false;  ///< gate throughput across differing hosts
+  bool check_latency = true;
+  bool force_throughput = false;  ///< gate wall-clock across differing hosts
 };
 
 struct Result {

@@ -1,0 +1,354 @@
+// HTTP load driver for the sketch service (`sketchsample serve`).
+//
+// Three composable phases, all over src/service/client.h keep-alive
+// connections:
+//
+//   1. Ingest (--ingest-file): POSTs the file's tuples to /ingest in
+//      batches, optionally closing ingest afterwards (--close). Reports
+//      ingest tuples/sec.
+//   2. Wait (--wait-position / --wait-done): polls /stats until the
+//      published snapshot covers the given position (or ingest finishes),
+//      so later queries see a deterministic final state.
+//   3. Query load (--seconds > 0): N threads fire a seeded random mix of
+//      /query/* requests for the duration and report throughput plus
+//      p50/p90/p99 latency. --json_out writes the schema-v1 BENCH report
+//      the CI latency gate consumes.
+//
+// --once instead prints one `endpoint body` line per enabled endpoint in
+// exactly the `sketchsample offline` output format — the service-smoke job
+// diffs the two byte for byte.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/report.h"
+#include "src/service/client.h"
+#include "src/util/flags.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+#include "tools/cli.h"
+
+namespace sketchsample {
+namespace {
+
+uint64_t PercentileNs(std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+struct QueryMix {
+  // Cumulative weights over the endpoint list; a uniform draw in
+  // [0, total) picks the first entry whose cumulative weight exceeds it.
+  std::vector<std::pair<std::string, double>> cumulative;
+  double total = 0;
+
+  void Add(const std::string& endpoint, double weight) {
+    if (weight <= 0) return;
+    total += weight;
+    cumulative.emplace_back(endpoint, total);
+  }
+  const std::string& Pick(double u) const {
+    for (const auto& [endpoint, bound] : cumulative) {
+      if (u * total < bound) return endpoint;
+    }
+    return cumulative.back().first;
+  }
+};
+
+struct WorkerResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;  // transport failures or non-200 statuses
+  std::vector<uint64_t> latencies_ns;
+};
+
+void QueryWorker(const std::string& host, int port, const QueryMix& mix,
+                 uint64_t key_domain, const std::string& level_suffix,
+                 uint64_t seed, double seconds,
+                 const std::atomic<bool>* stop, WorkerResult* result) {
+  HttpClient client(host, port);
+  Xoshiro256 rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  result->latencies_ns.reserve(1 << 16);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !stop->load(std::memory_order_relaxed)) {
+    const std::string& endpoint = mix.Pick(rng.NextDouble());
+    std::string target = "/query/" + endpoint;
+    bool have_param = false;
+    if (endpoint == "point") {
+      target += "?key=" + std::to_string(rng() % key_domain);
+      have_param = true;
+    } else if (endpoint == "stats") {
+      target = "/stats";
+    }
+    if (!level_suffix.empty() && endpoint != "stats") {
+      target += (have_param ? "&" : "?") + level_suffix;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const HttpClient::Response response = client.Get(target);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ++result->requests;
+    if (!response.ok || response.status != 200) ++result->errors;
+    result->latencies_ns.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+}
+
+// Polls /stats until the published snapshot reaches `position` (or, with
+// position == 0, until ingest_done). Returns false on timeout.
+bool WaitForSnapshot(HttpClient& client, uint64_t position, bool wait_done,
+                     double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    const HttpClient::Response response = client.Get("/stats");
+    if (response.ok && response.status == 200) {
+      const auto body = JsonValue::Parse(response.body);
+      if (body.has_value()) {
+        bool done = body->Get("ingest_done") != nullptr &&
+                    body->Get("ingest_done")->is_bool() &&
+                    body->Get("ingest_done")->AsBool();
+        uint64_t snapshot_position = 0;
+        if (const JsonValue* snapshot = body->Get("snapshot");
+            snapshot != nullptr) {
+          snapshot_position = static_cast<uint64_t>(
+              snapshot->GetNumber("position").value_or(0));
+        }
+        if (position > 0 ? snapshot_position >= position : (!wait_done || done)) {
+          return true;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("host", "127.0.0.1", "service address");
+  flags.Define("port", "0", "service port (required)");
+  flags.Define("ingest-file", "", "dataset file to POST to /ingest first");
+  flags.Define("ingest-batch", "4096", "tuples per /ingest POST");
+  flags.Define("close", "false", "POST /ingest/close after the ingest phase");
+  flags.Define("wait-position", "0",
+               "poll /stats until the snapshot covers this position");
+  flags.Define("wait-done", "false", "poll /stats until ingest_done");
+  flags.Define("wait-seconds", "30", "timeout for the wait phase");
+  flags.Define("threads", "1", "query worker threads");
+  flags.Define("seconds", "0", "query-phase duration (0 = skip)");
+  flags.Define("selfjoin-weight", "1", "mix weight of /query/selfjoin");
+  flags.Define("join-weight", "0", "mix weight of /query/join");
+  flags.Define("point-weight", "1", "mix weight of /query/point");
+  flags.Define("distinct-weight", "0", "mix weight of /query/distinct");
+  flags.Define("stats-weight", "0", "mix weight of /stats");
+  flags.Define("key-domain", "100000", "point-query keys drawn from [0, N)");
+  flags.Define("level", "", "explicit ?level= on every query (empty: default)");
+  flags.Define("seed", "1", "request-mix randomness seed");
+  flags.Define("once", "false",
+               "print one `endpoint body` line per enabled endpoint "
+               "(offline-comparable) instead of running load");
+  flags.Define("keys", "", "--once: comma-separated point-query keys");
+  flags.Define("json_out", "",
+               "write a schema-v1 BENCH report of the query phase here");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const std::string host = flags.GetString("host");
+  const int port = static_cast<int>(flags.GetInt("port"));
+  if (port <= 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 1;
+  }
+  HttpClient control(host, port);
+
+  // ---- Phase 1: ingest ----------------------------------------------------
+  double ingest_tps = 0;
+  const std::string ingest_file = flags.GetString("ingest-file");
+  if (!ingest_file.empty()) {
+    const std::vector<uint64_t> values = cli::ReadValuesFile(ingest_file);
+    const size_t batch =
+        std::max<size_t>(1, static_cast<size_t>(flags.GetInt("ingest-batch")));
+    const auto start = std::chrono::steady_clock::now();
+    std::string body;
+    for (size_t off = 0; off < values.size(); off += batch) {
+      const size_t n = std::min(batch, values.size() - off);
+      body.clear();
+      for (size_t i = 0; i < n; ++i) {
+        body += std::to_string(values[off + i]);
+        body.push_back('\n');
+      }
+      const HttpClient::Response response = control.Post("/ingest", body);
+      if (!response.ok || response.status != 200) {
+        std::fprintf(stderr, "loadgen: ingest POST failed (status %d): %s\n",
+                     response.status,
+                     response.ok ? response.body.c_str()
+                                 : response.error.c_str());
+        return 1;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    ingest_tps = elapsed > 0 ? static_cast<double>(values.size()) / elapsed : 0;
+    std::fprintf(stderr, "loadgen: ingested %zu tuples (%.3g tuples/sec)\n",
+                 values.size(), ingest_tps);
+  }
+  if (flags.GetBool("close")) {
+    const HttpClient::Response response = control.Post("/ingest/close", "");
+    if (!response.ok || response.status != 200) {
+      std::fprintf(stderr, "loadgen: /ingest/close failed\n");
+      return 1;
+    }
+  }
+
+  // ---- Phase 2: wait ------------------------------------------------------
+  const uint64_t wait_position =
+      static_cast<uint64_t>(flags.GetInt("wait-position"));
+  const bool wait_done = flags.GetBool("wait-done");
+  if (wait_position > 0 || wait_done) {
+    if (!WaitForSnapshot(control, wait_position, wait_done,
+                         flags.GetDouble("wait-seconds"))) {
+      std::fprintf(stderr, "loadgen: timed out waiting for snapshot\n");
+      return 1;
+    }
+  }
+
+  const std::string level = flags.GetString("level");
+  const std::string level_suffix = level.empty() ? "" : "level=" + level;
+
+  // ---- --once: offline-comparable endpoint dump ---------------------------
+  if (flags.GetBool("once")) {
+    const auto fetch = [&](const std::string& target,
+                           const std::string& prefix) {
+      std::string full = target;
+      if (!level_suffix.empty()) {
+        full += (full.find('?') == std::string::npos ? "?" : "&") +
+                level_suffix;
+      }
+      const HttpClient::Response response = control.Get(full);
+      if (!response.ok || response.status != 200) {
+        std::fprintf(stderr, "loadgen: GET %s failed (status %d)\n",
+                     full.c_str(), response.status);
+        return false;
+      }
+      // The service suffixes bodies with a curl-friendly newline; the JSON
+      // itself is what must match `sketchsample offline` byte for byte.
+      std::string body = response.body;
+      while (!body.empty() && body.back() == '\n') body.pop_back();
+      std::printf("%s %s\n", prefix.c_str(), body.c_str());
+      return true;
+    };
+    if (!fetch("/query/selfjoin", "selfjoin")) return 1;
+    if (flags.GetDouble("join-weight") > 0 && !fetch("/query/join", "join")) {
+      return 1;
+    }
+    for (const int64_t key : flags.GetIntList("keys")) {
+      const std::string text = std::to_string(key);
+      if (!fetch("/query/point?key=" + text, "point:" + text)) return 1;
+    }
+    if (flags.GetDouble("distinct-weight") > 0 &&
+        !fetch("/query/distinct", "distinct")) {
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- Phase 3: query load ------------------------------------------------
+  const double seconds = flags.GetDouble("seconds");
+  if (seconds <= 0) return 0;
+
+  QueryMix mix;
+  mix.Add("selfjoin", flags.GetDouble("selfjoin-weight"));
+  mix.Add("join", flags.GetDouble("join-weight"));
+  mix.Add("point", flags.GetDouble("point-weight"));
+  mix.Add("distinct", flags.GetDouble("distinct-weight"));
+  mix.Add("stats", flags.GetDouble("stats-weight"));
+  if (mix.cumulative.empty()) {
+    std::fprintf(stderr, "loadgen: all mix weights are zero\n");
+    return 1;
+  }
+
+  const int threads = std::max<int>(1, static_cast<int>(flags.GetInt("threads")));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const uint64_t key_domain =
+      std::max<uint64_t>(1, static_cast<uint64_t>(flags.GetInt("key-domain")));
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(QueryWorker, host, port, std::cref(mix), key_domain,
+                         level_suffix, MixSeed(seed, static_cast<uint64_t>(t)),
+                         seconds, &stop, &results[static_cast<size_t>(t)]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t requests = 0, errors = 0;
+  std::vector<uint64_t> latencies;
+  for (const WorkerResult& result : results) {
+    requests += result.requests;
+    errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_ns.begin(),
+                     result.latencies_ns.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps =
+      elapsed > 0 ? static_cast<double>(requests) / elapsed : 0;
+  const uint64_t p50 = PercentileNs(latencies, 0.50);
+  const uint64_t p90 = PercentileNs(latencies, 0.90);
+  const uint64_t p99 = PercentileNs(latencies, 0.99);
+  std::printf(
+      "loadgen: %llu requests in %.3gs (%.6g req/sec, %llu errors)\n"
+      "latency ns: p50 %llu  p90 %llu  p99 %llu\n",
+      static_cast<unsigned long long>(requests), elapsed, qps,
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(p50),
+      static_cast<unsigned long long>(p90),
+      static_cast<unsigned long long>(p99));
+
+  const std::string json_out = flags.GetString("json_out");
+  if (!json_out.empty()) {
+    bench::BenchReport report("loadgen");
+    report.SetConfig("threads", static_cast<double>(threads));
+    report.SetConfig("seconds", seconds);
+    report.SetConfig("seed", static_cast<double>(seed));
+    bench::BenchPoint& point = report.AddPoint();
+    point.Label("phase", "query");
+    point.Metric("requests", static_cast<double>(requests));
+    point.Metric("errors", static_cast<double>(errors));
+    point.Metric("requests_per_sec", qps);
+    point.Metric("seconds", elapsed);
+    point.Metric("p50_latency_ns", static_cast<double>(p50));
+    point.Metric("p90_latency_ns", static_cast<double>(p90));
+    point.Metric("p99_latency_ns", static_cast<double>(p99));
+    if (ingest_tps > 0) {
+      bench::BenchPoint& ingest = report.AddPoint();
+      ingest.Label("phase", "ingest");
+      ingest.Metric("updates_per_sec", ingest_tps);
+    }
+    if (!report.WriteFile(json_out)) return 1;
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sketchsample
+
+int main(int argc, char** argv) { return sketchsample::Main(argc, argv); }

@@ -12,6 +12,8 @@
 #   BENCH_MC        Monte-Carlo trials, ext_generic_variance (default 200)
 #   BENCH_MIN_TIME  google-benchmark min seconds per point,
 #                   bench_update_throughput (default 0.05)
+#   BENCH_SERVICE_SECONDS  per-phase query duration, bench_service
+#                   (default 1)
 set -euo pipefail
 
 out_dir="${1:?usage: run_bench_suite.sh <out_dir> [build_dir]}"
@@ -21,6 +23,7 @@ tuples="${BENCH_TUPLES:-100000}"
 scale="${BENCH_SCALE:-0.05}"
 mc="${BENCH_MC:-200}"
 min_time="${BENCH_MIN_TIME:-0.05}"
+service_seconds="${BENCH_SERVICE_SECONDS:-1}"
 
 mkdir -p "$out_dir"
 
@@ -43,6 +46,7 @@ run fig7_wor_tpch_sjoin_error "${common[@]}" --scale_factor="$scale"
 run fig8_wor_tpch_selfjoin_error "${common[@]}" --scale_factor="$scale"
 run bench_sketch_ablation "${common[@]}"
 run bench_shard_scaling "${common[@]}"
+run bench_service --tuples="$tuples" --seconds="$service_seconds"
 run bench_update_throughput --benchmark_min_time="$min_time"
 run ext_decomposition_wr_wor --tuples="$tuples"
 run ext_generic_variance --mc_trials="$mc"
