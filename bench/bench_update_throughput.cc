@@ -14,14 +14,19 @@
 // figure is time / kTuplesPerIteration.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "bench/micro_main.h"
 #include "src/core/sketch_over_sample.h"
 #include "src/data/zipf.h"
+#include "src/prng/cw.h"
+#include "src/prng/hash.h"
+#include "src/prng/simd/dispatch.h"
 #include "src/sketch/agms.h"
 #include "src/sketch/fagms.h"
 #include "src/stream/parallel.h"
+#include "src/util/aligned.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -89,6 +94,152 @@ void BM_FagmsUpdateBatch(benchmark::State& state) {
   state.SetLabel(XiSchemeName(p.scheme));
 }
 BENCHMARK(BM_FagmsUpdateBatch)->Arg(0)->Arg(1);
+
+// --------------------------------------------------------------------------
+// ISA-dispatched kernel series (src/prng/simd/). Registered dynamically so a
+// report only contains points for levels the host (as capped by
+// SKETCHSAMPLE_ISA) can actually run: committed baselines carry the levels
+// every CI host reaches, and higher levels show up as extra, ungated points.
+
+std::vector<simd::IsaLevel> CappedLevels() {
+  std::vector<simd::IsaLevel> levels = {simd::IsaLevel::kScalar};
+  if (simd::ActiveIsaLevel() >= simd::IsaLevel::kAvx2) {
+    levels.push_back(simd::IsaLevel::kAvx2);
+  }
+  if (simd::ActiveIsaLevel() >= simd::IsaLevel::kAvx512) {
+    levels.push_back(simd::IsaLevel::kAvx512);
+  }
+  return levels;
+}
+
+// The fused CW4 F-AGMS row kernel at one pinned ISA level — the tentpole
+// series. The scalar point is the previous fused kernel (the scalar twin is
+// the PR-6 code moved verbatim), so the <level>/scalar ratio measures the
+// vector speed-up host-independently; bench/rules/ gates it.
+void FagmsFusedIsaBody(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedIsaForTesting scoped(level);
+  SketchParams p = Params();
+  p.scheme = XiScheme::kCw4;
+  FagmsSketch sketch(p);
+  for (auto _ : state) {
+    sketch.UpdateBatch(Stream());
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+  state.SetLabel(simd::IsaLevelName(level));
+}
+
+// Roofline series: keys/s of the fused CW4 kernel as the counter working
+// set sweeps from L1-resident to DRAM-resident. Buckets are uniform random
+// so every cache level is actually exercised; rows = 1, so the working set
+// is buckets * 8 bytes.
+constexpr size_t kRooflineBuckets[] = {
+    1 << 10,  // 8 KiB   — L1
+    1 << 13,  // 64 KiB  — L2
+    1 << 16,  // 512 KiB — L2/LLC
+    1 << 19,  // 4 MiB   — LLC
+    1 << 22,  // 32 MiB  — DRAM
+};
+
+const std::vector<uint64_t>& UniformStream() {
+  static const std::vector<uint64_t> stream = [] {
+    Xoshiro256 rng(321);
+    std::vector<uint64_t> keys(kTuplesPerIteration);
+    for (uint64_t& k : keys) k = rng();
+    return keys;
+  }();
+  return stream;
+}
+
+void FagmsRooflineBody(benchmark::State& state, simd::IsaLevel level,
+                       size_t buckets) {
+  simd::ScopedIsaForTesting scoped(level);
+  SketchParams p;
+  p.rows = 1;
+  p.buckets = buckets;
+  p.scheme = XiScheme::kCw4;
+  p.seed = 42;
+  FagmsSketch sketch(p);
+  for (auto _ : state) {
+    sketch.UpdateBatch(UniformStream());
+  }
+  state.SetItemsProcessed(state.iterations() * kTuplesPerIteration);
+  state.counters["ws_bytes"] = static_cast<double>(buckets * sizeof(double));
+  state.SetLabel(simd::IsaLevelName(level));
+}
+
+const bool kIsaBenchmarksRegistered = [] {
+  for (simd::IsaLevel level : CappedLevels()) {
+    const std::string isa = simd::IsaLevelName(level);
+    ::benchmark::RegisterBenchmark(
+        ("BM_FagmsFusedIsa/" + isa).c_str(),
+        [level](benchmark::State& state) { FagmsFusedIsaBody(state, level); });
+    for (size_t buckets : kRooflineBuckets) {
+      ::benchmark::RegisterBenchmark(
+          ("BM_FagmsRoofline/" + isa + "/" + std::to_string(buckets)).c_str(),
+          [level, buckets](benchmark::State& state) {
+            FagmsRooflineBody(state, level, buckets);
+          });
+    }
+  }
+  return true;
+}();
+
+// Layout trial backing the row-major decision (DESIGN.md §2): identical
+// precomputed (bucket, signed-weight) update streams scattered into the two
+// candidate counter layouts. Row-major keeps each row's updates inside one
+// contiguous `buckets`-sized region (the layout every query walks
+// sequentially); interleaving rows (counter[bucket * rows + row]) spreads a
+// row across the whole array. Only the scatter is timed.
+void LayoutTrialBody(benchmark::State& state, bool interleaved) {
+  constexpr size_t kRows = 4;
+  constexpr size_t kBuckets = 1 << 14;  // 512 KiB counters: past L1 and L2
+  const std::vector<uint64_t>& keys = UniformStream();
+  std::vector<uint64_t> buckets(kRows * keys.size());
+  std::vector<double> weights(kRows * keys.size());
+  {
+    Cw4Xi xi(88);
+    std::vector<int8_t> signs(keys.size());
+    for (size_t r = 0; r < kRows; ++r) {
+      PairwiseHash hash(77 + r, kBuckets);
+      hash.BucketBatch(keys.data(), keys.size(), buckets.data() + r * keys.size());
+      xi.SignBatch(keys.data(), keys.size(), signs.data());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        weights[r * keys.size() + i] = static_cast<double>(signs[i]);
+      }
+    }
+  }
+  CounterVector counters(kRows * kBuckets, 0.0);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kRows; ++r) {
+      const uint64_t* b = buckets.data() + r * keys.size();
+      const double* w = weights.data() + r * keys.size();
+      if (interleaved) {
+        double* base = counters.data() + r;
+        for (size_t i = 0; i < keys.size(); ++i) {
+          base[b[i] * kRows] += w[i];
+        }
+      } else {
+        double* row = counters.data() + r * kBuckets;
+        for (size_t i = 0; i < keys.size(); ++i) {
+          row[b[i]] += w[i];
+        }
+      }
+    }
+  }
+  benchmark::DoNotOptimize(counters.data());
+  state.SetItemsProcessed(state.iterations() * kRows * keys.size());
+  state.SetLabel(interleaved ? "interleaved" : "row_major");
+}
+
+void BM_FagmsLayoutRowMajor(benchmark::State& state) {
+  LayoutTrialBody(state, /*interleaved=*/false);
+}
+BENCHMARK(BM_FagmsLayoutRowMajor);
+
+void BM_FagmsLayoutInterleaved(benchmark::State& state) {
+  LayoutTrialBody(state, /*interleaved=*/true);
+}
+BENCHMARK(BM_FagmsLayoutInterleaved);
 
 void BM_CoinFlipShedding(benchmark::State& state) {
   const double p =

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/report.h"
+#include "src/prng/simd/dispatch.h"
 
 namespace sketchsample {
 namespace bench {
@@ -82,6 +83,11 @@ inline int RunMicroBenchmarks(const std::string& bench_name, int argc,
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
 
   BenchReport report(bench_name);
+  // Stamp the dispatch level the run actually used (detected capability
+  // capped by SKETCHSAMPLE_ISA): bench/rules/ ratio rules engage only when
+  // the report's level reaches the rule's `require_isa`.
+  report.SetConfig("isa",
+                   simd::IsaLevelName(simd::ActiveIsaLevel()));
   for (const auto& row : reporter.rows()) {
     BenchPoint& point = report.AddPoint();
     point.Label("benchmark", row.name);

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "src/prng/simd/dispatch.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -18,12 +19,8 @@ int Bch3Xi::Sign(uint64_t key) const {
 }
 
 void Bch3Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
-  const uint64_t s = s_;
-  const int s0 = s0_;
-  for (size_t i = 0; i < n; ++i) {
-    const int bit = (std::popcount(s & keys[i]) & 1) ^ s0;
-    out[i] = static_cast<int8_t>(1 - 2 * bit);
-  }
+  // Dispatched kernel (scalar twin in src/prng/simd/kernels_scalar.cc).
+  simd::Kernels().bch3_sign(s_, s0_, keys, n, out);
 }
 
 uint64_t Gf64Mul(uint64_t a, uint64_t b) {
@@ -60,16 +57,9 @@ int Bch5Xi::Sign(uint64_t key) const {
 }
 
 void Bch5Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
-  const uint64_t s1 = s1_, s2 = s2_;
-  const int s0 = s0_;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t key = keys[i];
-    const uint64_t cube = Gf64Mul(Gf64Mul(key, key), key);
-    int bit = std::popcount(s1 & key) & 1;
-    bit ^= std::popcount(s2 & cube) & 1;
-    bit ^= s0;
-    out[i] = static_cast<int8_t>(1 - 2 * bit);
-  }
+  // Dispatched kernel: the vector levels replace the 64-iteration Gf64Mul
+  // loop with PCLMULQDQ carry-less multiplies, bit-exact with Sign().
+  simd::Kernels().bch5_sign(s1_, s2_, s0_, keys, n, out);
 }
 
 }  // namespace sketchsample

@@ -1,6 +1,7 @@
 #include "src/prng/cw.h"
 
 #include "src/prng/mersenne61.h"
+#include "src/prng/simd/dispatch.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -19,15 +20,9 @@ int Cw2Xi::Sign(uint64_t key) const {
 }
 
 void Cw2Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
-  // Lazy arithmetic: the canonical MulMod61/AddMod61 hide data-dependent
-  // conditional subtractions whose mispredicts serialize the loop; the
-  // branch-free lazy chain (bounded by 3·2^61) pipelines across keys and
-  // one CanonMod61 restores the exact low bit.
-  const uint64_t a = a_, b = b_;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t h = CanonMod61(MulMod61Lazy(a, Fold61(keys[i])) + b);
-    out[i] = static_cast<int8_t>(1 - 2 * static_cast<int>(h & 1));
-  }
+  // Dispatched kernel (scalar twin in src/prng/simd/kernels_scalar.cc);
+  // the lazy-arithmetic rationale lives with the kernel bodies.
+  simd::Kernels().cw2_sign(a_, b_, keys, n, out);
 }
 
 Cw4Xi::Cw4Xi(uint64_t seed) {
@@ -49,20 +44,10 @@ int Cw4Xi::Sign(uint64_t key) const {
 }
 
 void Cw4Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
-  // Same Horner polynomial as Sign(), evaluated with the lazy branch-free
-  // arithmetic (see mersenne61.h for the chain bounds). Per key the three
-  // multiplies form a dependency chain, but different keys are independent;
-  // without the canonical form's mispredicting conditional subtractions the
-  // chains of neighboring keys overlap and the loop runs near multiplier
-  // throughput (~3x the canonical batch loop, ~5ns/key at 2 GHz).
-  const uint64_t c0 = c_[0], c1 = c_[1], c2 = c_[2], c3 = c_[3];
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t x = Fold61(keys[i]);
-    uint64_t h = MulMod61Lazy(c3, x) + c2;
-    h = MulMod61Lazy(h, x) + c1;
-    h = MulMod61Lazy(h, x) + c0;
-    out[i] = static_cast<int8_t>(1 - 2 * static_cast<int>(CanonMod61(h) & 1));
-  }
+  // Dispatched kernel evaluating the same Horner polynomial as Sign() with
+  // lazy branch-free arithmetic (chain bounds in mersenne61.h); bit-exact
+  // at every ISA level.
+  simd::Kernels().cw4_sign(c_, keys, n, out);
 }
 
 }  // namespace sketchsample

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "src/prng/simd/dispatch.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -23,16 +24,9 @@ int Eh3Xi::Sign(uint64_t key) const {
 }
 
 void Eh3Xi::SignBatch(const uint64_t* keys, size_t n, int8_t* out) const {
-  const uint64_t s = s_;
-  const int s0 = s0_;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t key = keys[i];
-    int bit = std::popcount(s & key) & 1;
-    const uint64_t pair_or = (key | (key >> 1)) & 0x5555555555555555ULL;
-    bit ^= std::popcount(pair_or) & 1;
-    bit ^= s0;
-    out[i] = static_cast<int8_t>(1 - 2 * bit);
-  }
+  // Dispatched kernel (scalar twin in src/prng/simd/kernels_scalar.cc);
+  // every ISA level is bit-exact with per-key Sign().
+  simd::Kernels().eh3_sign(s_, s0_, keys, n, out);
 }
 
 }  // namespace sketchsample

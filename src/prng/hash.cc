@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/prng/mersenne61.h"
+#include "src/prng/simd/dispatch.h"
 #include "src/util/rng.h"
 
 namespace sketchsample {
@@ -38,13 +39,10 @@ uint64_t PairwiseHash::Bucket(uint64_t key) const {
 
 void PairwiseHash::BucketBatch(const uint64_t* keys, size_t n,
                                uint64_t* out) const {
-  // Branch-free lazy evaluation of the same polynomial as Bucket(): the
-  // degree-1 chain stays below 3·2^61, so one CanonMod61 restores [0, p)
-  // before the exact reciprocal modulo.
-  const uint64_t a = a_, b = b_;
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = FastModBuckets(CanonMod61(MulMod61Lazy(a, Fold61(keys[i])) + b));
-  }
+  // Dispatched kernel (scalar twin in src/prng/simd/kernels_scalar.cc):
+  // branch-free lazy evaluation of the same polynomial as Bucket() followed
+  // by the exact reciprocal modulo; identical results at every ISA level.
+  simd::Kernels().bucket_batch(KernelParams(), keys, n, out);
 }
 
 }  // namespace sketchsample

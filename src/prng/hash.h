@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/prng/simd/dispatch.h"
+
 namespace sketchsample {
 
 /// 2-universal hash h: uint64 -> [0, num_buckets), the bucket selector used
@@ -38,6 +40,12 @@ class PairwiseHash {
   uint64_t magic() const { return magic_; }
   uint32_t magic_shift() const { return shift_; }
   uint64_t magic_mask() const { return mask_; }
+
+  /// Loop-invariant state bundled for the dispatched batch kernels
+  /// (src/prng/simd/): plain-struct copies of the members above.
+  simd::BucketParams KernelParams() const {
+    return simd::BucketParams{a_, b_, num_buckets_, magic_, mask_, shift_};
+  }
 
   /// Exact x % num_buckets() for x < 2^61 (every canonical GF(2^61 - 1)
   /// residue), computed with two multiplies instead of a hardware divide.

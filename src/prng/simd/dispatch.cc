@@ -1,0 +1,160 @@
+#include "src/prng/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/prng/simd/kernels.h"
+#include "src/util/metrics.h"
+
+namespace sketchsample::simd {
+
+namespace {
+
+// The vector levels additionally require PCLMUL + POPCNT (the BCH5 cube
+// kernel and the parity tails); both predate AVX2 on every x86 vendor, so
+// the joint check only matters for exotic virtualized CPU masks.
+bool HostHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("pclmul") &&
+         __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return HostHasAvx2() && __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* TableFor(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kAvx512: {
+      const KernelTable* t = GetAvx512KernelTable();
+      if (t != nullptr) return t;
+      break;
+    }
+    case IsaLevel::kAvx2: {
+      const KernelTable* t = GetAvx2KernelTable();
+      if (t != nullptr) return t;
+      break;
+    }
+    case IsaLevel::kScalar:
+      break;
+  }
+  return GetScalarKernelTable();
+}
+
+struct DispatchState {
+  IsaLevel detected;
+  std::atomic<const KernelTable*> active;
+  std::atomic<IsaLevel> active_level;
+};
+
+DispatchState& State() {
+  // First use detects the CPU, applies the SKETCHSAMPLE_ISA cap, and
+  // records the selection in the metrics registry ("sketch.isa" carries the
+  // numeric level so BENCH_*.json metrics dumps show what ran;
+  // "simd.dispatch_state_bytes" accounts the table footprint).
+  static DispatchState state;
+  static const bool initialized = [] {
+    state.detected = HostHasAvx512()  ? IsaLevel::kAvx512
+                     : HostHasAvx2()  ? IsaLevel::kAvx2
+                                      : IsaLevel::kScalar;
+    IsaLevel chosen = state.detected;
+    if (const char* env = std::getenv("SKETCHSAMPLE_ISA")) {
+      IsaLevel requested;
+      if (IsaLevelFromName(env, &requested)) {
+        // The override can only lower the level: a request above the
+        // detected capability would dispatch to illegal instructions.
+        if (requested < chosen) chosen = requested;
+      }
+      // Unknown spellings are ignored (default dispatch) rather than
+      // fatal — a typo in an env var must not take down the service.
+    }
+    state.active.store(TableFor(chosen), std::memory_order_relaxed);
+    state.active_level.store(chosen, std::memory_order_relaxed);
+    SKETCHSAMPLE_METRIC_ADD("sketch.isa", static_cast<uint64_t>(chosen));
+    SKETCHSAMPLE_METRIC_ADD("simd.dispatch_state_bytes", DispatchStateBytes());
+    return true;
+  }();
+  (void)initialized;
+  return state;
+}
+
+}  // namespace
+
+const char* IsaLevelName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool IsaLevelFromName(const char* name, IsaLevel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = IsaLevel::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = IsaLevel::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = IsaLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+IsaLevel DetectBestIsaLevel() { return State().detected; }
+
+IsaLevel ActiveIsaLevel() {
+  return State().active_level.load(std::memory_order_relaxed);
+}
+
+const KernelTable& Kernels() {
+  return *State().active.load(std::memory_order_relaxed);
+}
+
+const KernelTable& KernelsFor(IsaLevel level) {
+  if (level > State().detected) {
+    throw std::invalid_argument(std::string("ISA level ") +
+                                IsaLevelName(level) +
+                                " exceeds host capability " +
+                                IsaLevelName(State().detected));
+  }
+  return *TableFor(level);
+}
+
+size_t DispatchStateBytes() {
+  // Three per-level tables plus the selection state; the per-level tables
+  // are function-local statics but logically part of the dispatcher.
+  return 3 * sizeof(KernelTable) + sizeof(DispatchState);
+}
+
+ScopedIsaForTesting::ScopedIsaForTesting(IsaLevel level)
+    : prev_(ActiveIsaLevel()) {
+  const KernelTable& table = KernelsFor(level);  // validates against host
+  State().active.store(&table, std::memory_order_relaxed);
+  State().active_level.store(level, std::memory_order_relaxed);
+}
+
+ScopedIsaForTesting::~ScopedIsaForTesting() {
+  State().active.store(TableFor(prev_), std::memory_order_relaxed);
+  State().active_level.store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace sketchsample::simd

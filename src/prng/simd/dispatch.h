@@ -1,0 +1,113 @@
+// Runtime ISA dispatch for the sketch update hot path.
+//
+// The ξ sign kernels (EH3/BCH3/BCH5/CW2/CW4), the Granlund–Montgomery
+// bucket reduction, and the fused CW4 bucket+sign row kernel each exist at
+// up to three ISA levels — scalar, AVX2, AVX-512 — compiled into separate
+// translation units with per-file -m flags (src/CMakeLists.txt) and
+// selected once at startup from CPUID. Every vector kernel is bit-exact
+// against its scalar twin: the lazy Mersenne-2^61 intermediates may differ
+// in representation, but every emitted sign, bucket index, and counter
+// increment is byte-identical, so sketches built at any dispatch level
+// compare equal (tests/simd_dispatch_test.cc sweeps this).
+//
+// The environment variable SKETCHSAMPLE_ISA=scalar|avx2|avx512 caps the
+// level below the detected one (requests above the host's capability are
+// clamped, never trusted), and ScopedIsaForTesting overrides it in-process
+// for tests and per-ISA benchmark series.
+//
+// This header is intrinsics-free by design: <immintrin.h> is confined to
+// the kernels_*.cc files in this directory (lint_invariants.py enforces
+// both the confinement and the scalar-twin registration).
+#ifndef SKETCHSAMPLE_PRNG_SIMD_DISPATCH_H_
+#define SKETCHSAMPLE_PRNG_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sketchsample::simd {
+
+enum class IsaLevel : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Stable lowercase name ("scalar" | "avx2" | "avx512").
+const char* IsaLevelName(IsaLevel level);
+
+/// Parses a level name; returns false (and leaves *out untouched) on any
+/// unknown spelling. Matching is exact and case-sensitive — the accepted
+/// spellings are the ones IsaLevelName produces.
+bool IsaLevelFromName(const char* name, IsaLevel* out);
+
+/// Loop-invariant PairwiseHash state handed to the bucket kernels as a
+/// plain struct so the kernel TUs do not depend on the class layout. Built
+/// by PairwiseHash::KernelParams().
+struct BucketParams {
+  uint64_t multiplier;   // a, nonzero, canonical mod 2^61-1
+  uint64_t offset;       // b, canonical mod 2^61-1
+  uint64_t num_buckets;  // d >= 1
+  uint64_t magic;        // round-up reciprocal, 0 iff d == 1
+  uint64_t mask;         // ~0 normally, 0 iff d == 1 (remainder forced to 0)
+  uint32_t shift;        // post-mulhi shift
+};
+
+/// One dispatch level: every member is non-null and bit-exact with the
+/// scalar table. Kernel contracts mirror the public batch APIs they back:
+///   *_sign      — XiFamily::SignBatch for the named family
+///   bucket_batch — PairwiseHash::BucketBatch
+///   fused_cw4_row — the F-AGMS fused bucket+sign+scatter row update;
+///                   counter increments land in stream order, so the row is
+///                   byte-identical to per-key Update() calls.
+struct KernelTable {
+  const char* name;
+  void (*eh3_sign)(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                   int8_t* out);
+  void (*bch3_sign)(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                    int8_t* out);
+  void (*bch5_sign)(uint64_t s1, uint64_t s2, int s0, const uint64_t* keys,
+                    size_t n, int8_t* out);
+  void (*cw2_sign)(uint64_t a, uint64_t b, const uint64_t* keys, size_t n,
+                   int8_t* out);
+  void (*cw4_sign)(const uint64_t* c, const uint64_t* keys, size_t n,
+                   int8_t* out);
+  void (*bucket_batch)(const BucketParams& hash, const uint64_t* keys,
+                       size_t n, uint64_t* out);
+  void (*fused_cw4_row)(const BucketParams& hash, const uint64_t* c,
+                        const uint64_t* keys, size_t n, double weight,
+                        double* row);
+};
+
+/// Best level the host CPU supports (CPUID only; ignores the environment).
+IsaLevel DetectBestIsaLevel();
+
+/// The level actually dispatched to: DetectBestIsaLevel() capped by
+/// SKETCHSAMPLE_ISA (read once, first call) and by ScopedIsaForTesting.
+IsaLevel ActiveIsaLevel();
+
+/// The active kernel table. Cheap (one relaxed atomic load) — call sites
+/// fetch it per batch, not per key.
+const KernelTable& Kernels();
+
+/// The table for an explicit level; `level` must not exceed
+/// DetectBestIsaLevel() (checked, throws std::invalid_argument).
+const KernelTable& KernelsFor(IsaLevel level);
+
+/// Bytes of process-global dispatch state (the per-level tables plus the
+/// selection atomics); recorded once in the metrics registry under
+/// "simd.dispatch_state_bytes" so footprint reports include it.
+size_t DispatchStateBytes();
+
+/// RAII override of the active level for tests and per-ISA bench series.
+/// Requests above the detected level throw. Not thread-safe against
+/// concurrent Kernels() users by design — use on quiescent state only.
+class ScopedIsaForTesting {
+ public:
+  explicit ScopedIsaForTesting(IsaLevel level);
+  ~ScopedIsaForTesting();
+  ScopedIsaForTesting(const ScopedIsaForTesting&) = delete;
+  ScopedIsaForTesting& operator=(const ScopedIsaForTesting&) = delete;
+
+ private:
+  IsaLevel prev_;
+};
+
+}  // namespace sketchsample::simd
+
+#endif  // SKETCHSAMPLE_PRNG_SIMD_DISPATCH_H_

@@ -1,0 +1,50 @@
+// Internal: per-level kernel table providers for the dispatch layer.
+//
+// Each provider lives in its own translation unit compiled with that
+// level's -m flags; a provider returns nullptr when the level is not
+// compiled in (non-x86 builds), and dispatch.cc additionally gates the
+// vector tables on CPUID at runtime. Intrinsics stay inside the
+// kernels_*.cc files — this header is plain C++.
+#ifndef SKETCHSAMPLE_PRNG_SIMD_KERNELS_H_
+#define SKETCHSAMPLE_PRNG_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/prng/simd/dispatch.h"
+
+namespace sketchsample::simd {
+
+/// Always available; every pointer non-null. The vector kernels fall back
+/// to these twins for shapes they do not cover (tail keys, d == 1 rows,
+/// d >= 2^32 bucket counts on AVX2).
+const KernelTable* GetScalarKernelTable();
+
+/// Null when the build has no AVX2 codegen (non-x86 target).
+const KernelTable* GetAvx2KernelTable();
+
+/// Null when the build has no AVX-512 codegen (non-x86 target).
+const KernelTable* GetAvx512KernelTable();
+
+/// Scalar twins, exported for the vector TUs' fallback paths (tails and
+/// degenerate shapes must go through the exact same code the scalar table
+/// dispatches to, so every level stays bit-identical).
+void ScalarEh3Sign(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                   int8_t* out);
+void ScalarBch3Sign(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                    int8_t* out);
+void ScalarBch5Sign(uint64_t s1, uint64_t s2, int s0, const uint64_t* keys,
+                    size_t n, int8_t* out);
+void ScalarCw2Sign(uint64_t a, uint64_t b, const uint64_t* keys, size_t n,
+                   int8_t* out);
+void ScalarCw4Sign(const uint64_t* c, const uint64_t* keys, size_t n,
+                   int8_t* out);
+void ScalarBucketBatch(const BucketParams& hash, const uint64_t* keys,
+                       size_t n, uint64_t* out);
+void ScalarFusedCw4Row(const BucketParams& hash, const uint64_t* c,
+                       const uint64_t* keys, size_t n, double weight,
+                       double* row);
+
+}  // namespace sketchsample::simd
+
+#endif  // SKETCHSAMPLE_PRNG_SIMD_KERNELS_H_

@@ -1,0 +1,392 @@
+// AVX2 kernels (4 keys per vector). Same mathematical structure as the
+// AVX-512 TU — 32-bit vpmuludq decomposition of the lazy Mersenne-2^61
+// mulmod with a 2-multiply fast path when all four keys are < 2^32, vector
+// Granlund–Montgomery bucket reduction, PCLMULQDQ GF(2^64) cubes for BCH5 —
+// adapted to the AVX2 instruction set:
+//   * no vpminuq: canonicalization uses a signed-compare blend (safe, all
+//     folded values are < 2^62);
+//   * no vpmullq: q·d assembles the low 64 bits from two vpmuludq, exact
+//     only for d < 2^32, so larger bucket counts fall back to the scalar
+//     twin (2^32 buckets of doubles would be a 32 GiB row — out of scope
+//     for the vector path, not for correctness).
+// Every kernel is bit-exact with its scalar twin; tails and excluded shapes
+// call the scalar functions directly.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "src/prng/simd/kernels.h"
+
+namespace sketchsample::simd {
+
+namespace {
+
+constexpr uint64_t kM61 = (1ULL << 61) - 1;
+
+inline __m256i Fold61Y(__m256i x, __m256i m61) {
+  return _mm256_add_epi64(_mm256_and_si256(x, m61), _mm256_srli_epi64(x, 61));
+}
+
+// Lazy mulmod, x < 2^32 (two vpmuludq).
+inline __m256i MulModSmallY(__m256i h, __m256i x, __m256i m61,
+                            __m256i mask29) {
+  const __m256i p00 = _mm256_mul_epu32(h, x);
+  const __m256i p10 = _mm256_mul_epu32(_mm256_srli_epi64(h, 32), x);
+  __m256i r = _mm256_add_epi64(_mm256_and_si256(p00, m61),
+                               _mm256_srli_epi64(p00, 61));
+  r = _mm256_add_epi64(r,
+                       _mm256_slli_epi64(_mm256_and_si256(p10, mask29), 32));
+  return _mm256_add_epi64(r, _mm256_srli_epi64(p10, 29));
+}
+
+// Lazy mulmod, general x < 2^61 + 7 (four vpmuludq); x1 = x >> 32. Requires
+// h < 2^62 (callers fold between Horner steps).
+inline __m256i MulModGenY(__m256i h, __m256i x, __m256i x1, __m256i m61,
+                          __m256i mask29) {
+  const __m256i h1 = _mm256_srli_epi64(h, 32);
+  const __m256i p00 = _mm256_mul_epu32(h, x);
+  const __m256i p01 = _mm256_mul_epu32(h, x1);
+  const __m256i p10 = _mm256_mul_epu32(h1, x);
+  const __m256i p11 = _mm256_mul_epu32(h1, x1);
+  const __m256i m = _mm256_add_epi64(p01, p10);
+  __m256i r = _mm256_add_epi64(_mm256_and_si256(p00, m61),
+                               _mm256_srli_epi64(p00, 61));
+  r = _mm256_add_epi64(r, _mm256_slli_epi64(_mm256_and_si256(m, mask29), 32));
+  r = _mm256_add_epi64(r, _mm256_srli_epi64(m, 29));
+  return _mm256_add_epi64(r, _mm256_slli_epi64(p11, 3));
+}
+
+// Canonical [0, p) from folded f < 2p (< 2^62, so the signed compare is
+// exact): keep f where p > f, else f - p.
+inline __m256i CanonY(__m256i f, __m256i m61) {
+  const __m256i sub = _mm256_sub_epi64(f, m61);
+  return _mm256_blendv_epi8(sub, f, _mm256_cmpgt_epi64(m61, f));
+}
+
+// Low 64 bits of q·d for d < 2^32.
+inline __m256i MulLoSmallY(__m256i q, __m256i d) {
+  const __m256i lo = _mm256_mul_epu32(q, d);
+  const __m256i hi = _mm256_mul_epu32(_mm256_srli_epi64(q, 32), d);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+}
+
+// Granlund–Montgomery bucket reduction of canonical g < 2^61.
+inline __m256i FastModY(__m256i g, __m256i m0, __m256i m1, __m256i mask32,
+                        __m256i dv, unsigned shift) {
+  const __m256i g1 = _mm256_srli_epi64(g, 32);
+  const __m256i t = _mm256_srli_epi64(_mm256_mul_epu32(m0, g), 32);
+  const __m256i u = _mm256_add_epi64(_mm256_mul_epu32(m1, g), t);
+  const __m256i v = _mm256_add_epi64(_mm256_mul_epu32(m0, g1),
+                                     _mm256_and_si256(u, mask32));
+  const __m256i hi = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_mul_epu32(m1, g1), _mm256_srli_epi64(u, 32)),
+      _mm256_srli_epi64(v, 32));
+  const __m256i q = _mm256_srli_epi64(hi, static_cast<int>(shift));
+  return _mm256_sub_epi64(g, MulLoSmallY(q, dv));
+}
+
+inline __m256i SignFlip63Y(__m256i h, __m256i m61, __m256i one) {
+  const __m256i f = Fold61Y(h, m61);
+  return _mm256_slli_epi64(
+      _mm256_xor_si256(f, _mm256_srli_epi64(_mm256_add_epi64(f, one), 61)),
+      63);
+}
+
+inline __m256i ParityY(__m256i v, __m256i par16, __m256i nib, __m256i one) {
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 32));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 16));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 8));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 4));
+  v = _mm256_and_si256(v, nib);
+  return _mm256_and_si256(_mm256_srlv_epi64(par16, v), one);
+}
+
+uint64_t Gf64MulClmul(uint64_t a, uint64_t b) {
+  const __m128i poly = _mm_cvtsi64_si128(0x1b);
+  const __m128i prod = _mm_clmulepi64_si128(_mm_cvtsi64_si128(
+                                                static_cast<long long>(a)),
+                                            _mm_cvtsi64_si128(
+                                                static_cast<long long>(b)),
+                                            0x00);
+  const __m128i r1 = _mm_clmulepi64_si128(_mm_srli_si128(prod, 8), poly, 0x00);
+  const __m128i r2 = _mm_clmulepi64_si128(_mm_srli_si128(r1, 8), poly, 0x00);
+  const __m128i res = _mm_xor_si128(_mm_xor_si128(prod, r1), r2);
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(res));
+}
+
+struct FusedConstsY {
+  __m256i m61, mask29, mask32, av, bv, c0v, c1v, c2v, c3v, m0, m1, dv, one,
+      wv;
+  unsigned shift;
+};
+
+FusedConstsY MakeFusedConstsY(const BucketParams& hash, const uint64_t* c,
+                              double weight) {
+  FusedConstsY k;
+  k.m61 = _mm256_set1_epi64x(static_cast<long long>(kM61));
+  k.mask29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  k.mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  k.av = _mm256_set1_epi64x(static_cast<long long>(hash.multiplier));
+  k.bv = _mm256_set1_epi64x(static_cast<long long>(hash.offset));
+  k.c0v = _mm256_set1_epi64x(static_cast<long long>(c[0]));
+  k.c1v = _mm256_set1_epi64x(static_cast<long long>(c[1]));
+  k.c2v = _mm256_set1_epi64x(static_cast<long long>(c[2]));
+  k.c3v = _mm256_set1_epi64x(static_cast<long long>(c[3]));
+  k.m0 = _mm256_set1_epi64x(static_cast<long long>(hash.magic & 0xFFFFFFFFu));
+  k.m1 = _mm256_set1_epi64x(static_cast<long long>(hash.magic >> 32));
+  k.dv = _mm256_set1_epi64x(static_cast<long long>(hash.num_buckets));
+  k.one = _mm256_set1_epi64x(1);
+  uint64_t wbits;
+  std::memcpy(&wbits, &weight, sizeof(wbits));
+  k.wv = _mm256_set1_epi64x(static_cast<long long>(wbits));
+  k.shift = hash.shift;
+  return k;
+}
+
+template <bool kSmall>
+inline void FusedCompute4(const FusedConstsY& k, __m256i x, uint64_t* bucket,
+                          double* w) {
+  __m256i x1;
+  if constexpr (!kSmall) {
+    x = Fold61Y(x, k.m61);
+    x1 = _mm256_srli_epi64(x, 32);
+  }
+  const auto mulmod = [&](__m256i h) {
+    if constexpr (kSmall) {
+      return MulModSmallY(h, x, k.m61, k.mask29);
+    } else {
+      return MulModGenY(h, x, x1, k.m61, k.mask29);
+    }
+  };
+  __m256i g = _mm256_add_epi64(mulmod(k.av), k.bv);
+  g = CanonY(Fold61Y(g, k.m61), k.m61);
+  const __m256i bkt = FastModY(g, k.m0, k.m1, k.mask32, k.dv, k.shift);
+  __m256i h = _mm256_add_epi64(mulmod(k.c3v), k.c2v);
+  h = Fold61Y(h, k.m61);
+  h = _mm256_add_epi64(mulmod(h), k.c1v);
+  h = Fold61Y(h, k.m61);
+  h = _mm256_add_epi64(mulmod(h), k.c0v);
+  const __m256i flip = SignFlip63Y(h, k.m61, k.one);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(bucket), bkt);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(w),
+                     _mm256_xor_si256(k.wv, flip));
+}
+
+void Avx2FusedCw4Row(const BucketParams& hash, const uint64_t* c,
+                     const uint64_t* keys, size_t n, double weight,
+                     double* row) {
+  if (hash.num_buckets == 1 || (hash.num_buckets >> 32) != 0) {
+    ScalarFusedCw4Row(hash, c, keys, n, weight, row);
+    return;
+  }
+  const FusedConstsY k = MakeFusedConstsY(hash, c, weight);
+  const __m256i hi32 =
+      _mm256_set1_epi64x(static_cast<long long>(0xFFFFFFFF00000000ULL));
+  alignas(32) uint64_t bucket[2][4];
+  alignas(32) double w[2][4];
+  const size_t groups = n / 4;
+  const auto compute = [&](size_t g, size_t slot) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + g * 4));
+    if (_mm256_testz_si256(x, hi32) != 0) {
+      FusedCompute4<true>(k, x, bucket[slot], w[slot]);
+    } else {
+      FusedCompute4<false>(k, x, bucket[slot], w[slot]);
+    }
+  };
+  if (groups > 0) {
+    compute(0, 0);
+    for (size_t g = 1; g < groups; ++g) {
+      compute(g, g & 1);
+      const uint64_t* pb = bucket[(g - 1) & 1];
+      const double* pw = w[(g - 1) & 1];
+      for (size_t j = 0; j < 4; ++j) row[pb[j]] += pw[j];
+    }
+    const uint64_t* pb = bucket[(groups - 1) & 1];
+    const double* pw = w[(groups - 1) & 1];
+    for (size_t j = 0; j < 4; ++j) row[pb[j]] += pw[j];
+  }
+  if (n % 4 != 0) {
+    ScalarFusedCw4Row(hash, c, keys + groups * 4, n % 4, weight, row);
+  }
+}
+
+void Avx2BucketBatch(const BucketParams& hash, const uint64_t* keys, size_t n,
+                     uint64_t* out) {
+  if ((hash.num_buckets >> 32) != 0) {
+    ScalarBucketBatch(hash, keys, n, out);
+    return;
+  }
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kM61));
+  const __m256i mask29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i av =
+      _mm256_set1_epi64x(static_cast<long long>(hash.multiplier));
+  const __m256i bv = _mm256_set1_epi64x(static_cast<long long>(hash.offset));
+  const __m256i m0 =
+      _mm256_set1_epi64x(static_cast<long long>(hash.magic & 0xFFFFFFFFu));
+  const __m256i m1 =
+      _mm256_set1_epi64x(static_cast<long long>(hash.magic >> 32));
+  const __m256i dv =
+      _mm256_set1_epi64x(static_cast<long long>(hash.num_buckets));
+  const __m256i maskv =
+      _mm256_set1_epi64x(static_cast<long long>(hash.mask));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    x = Fold61Y(x, m61);
+    const __m256i x1 = _mm256_srli_epi64(x, 32);
+    __m256i g = _mm256_add_epi64(MulModGenY(av, x, x1, m61, mask29), bv);
+    g = CanonY(Fold61Y(g, m61), m61);
+    const __m256i bkt =
+        _mm256_and_si256(FastModY(g, m0, m1, mask32, dv, hash.shift), maskv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), bkt);
+  }
+  if (i < n) ScalarBucketBatch(hash, keys + i, n - i, out + i);
+}
+
+void Avx2Eh3Sign(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                 int8_t* out) {
+  const __m256i sv = _mm256_set1_epi64x(static_cast<long long>(s));
+  const __m256i fives =
+      _mm256_set1_epi64x(static_cast<long long>(0x5555555555555555ULL));
+  const __m256i par16 = _mm256_set1_epi64x(0x6996);
+  const __m256i nib = _mm256_set1_epi64x(15);
+  const __m256i one = _mm256_set1_epi64x(1);
+  alignas(32) uint64_t lane[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i pair_or = _mm256_and_si256(
+        _mm256_or_si256(key, _mm256_srli_epi64(key, 1)), fives);
+    const __m256i v = _mm256_xor_si256(_mm256_and_si256(sv, key), pair_or);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane),
+                       ParityY(v, par16, nib, one));
+    for (size_t j = 0; j < 4; ++j) {
+      out[i + j] =
+          static_cast<int8_t>(1 - 2 * (static_cast<int>(lane[j]) ^ s0));
+    }
+  }
+  if (i < n) ScalarEh3Sign(s, s0, keys + i, n - i, out + i);
+}
+
+void Avx2Bch3Sign(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                  int8_t* out) {
+  const __m256i sv = _mm256_set1_epi64x(static_cast<long long>(s));
+  const __m256i par16 = _mm256_set1_epi64x(0x6996);
+  const __m256i nib = _mm256_set1_epi64x(15);
+  const __m256i one = _mm256_set1_epi64x(1);
+  alignas(32) uint64_t lane[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        sv, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane),
+                       ParityY(v, par16, nib, one));
+    for (size_t j = 0; j < 4; ++j) {
+      out[i + j] =
+          static_cast<int8_t>(1 - 2 * (static_cast<int>(lane[j]) ^ s0));
+    }
+  }
+  if (i < n) ScalarBch3Sign(s, s0, keys + i, n - i, out + i);
+}
+
+void Avx2Bch5Sign(uint64_t s1, uint64_t s2, int s0, const uint64_t* keys,
+                  size_t n, int8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = keys[i];
+    const uint64_t cube = Gf64MulClmul(Gf64MulClmul(key, key), key);
+    int bit = std::popcount(s1 & key) & 1;
+    bit ^= std::popcount(s2 & cube) & 1;
+    bit ^= s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
+}
+
+void Avx2Cw2Sign(uint64_t a, uint64_t b, const uint64_t* keys, size_t n,
+                 int8_t* out) {
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kM61));
+  const __m256i mask29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  const __m256i av = _mm256_set1_epi64x(static_cast<long long>(a));
+  const __m256i bv = _mm256_set1_epi64x(static_cast<long long>(b));
+  alignas(32) uint64_t lane[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    x = Fold61Y(x, m61);
+    const __m256i x1 = _mm256_srli_epi64(x, 32);
+    __m256i h = _mm256_add_epi64(MulModGenY(av, x, x1, m61, mask29), bv);
+    h = CanonY(Fold61Y(h, m61), m61);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), h);
+    for (size_t j = 0; j < 4; ++j) {
+      out[i + j] =
+          static_cast<int8_t>(1 - 2 * static_cast<int>(lane[j] & 1));
+    }
+  }
+  if (i < n) ScalarCw2Sign(a, b, keys + i, n - i, out + i);
+}
+
+void Avx2Cw4Sign(const uint64_t* c, const uint64_t* keys, size_t n,
+                 int8_t* out) {
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kM61));
+  const __m256i mask29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  const __m256i c0v = _mm256_set1_epi64x(static_cast<long long>(c[0]));
+  const __m256i c1v = _mm256_set1_epi64x(static_cast<long long>(c[1]));
+  const __m256i c2v = _mm256_set1_epi64x(static_cast<long long>(c[2]));
+  const __m256i c3v = _mm256_set1_epi64x(static_cast<long long>(c[3]));
+  alignas(32) uint64_t lane[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    x = Fold61Y(x, m61);
+    const __m256i x1 = _mm256_srli_epi64(x, 32);
+    __m256i h = _mm256_add_epi64(MulModGenY(c3v, x, x1, m61, mask29), c2v);
+    h = Fold61Y(h, m61);
+    h = _mm256_add_epi64(MulModGenY(h, x, x1, m61, mask29), c1v);
+    h = Fold61Y(h, m61);
+    h = _mm256_add_epi64(MulModGenY(h, x, x1, m61, mask29), c0v);
+    h = CanonY(Fold61Y(h, m61), m61);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), h);
+    for (size_t j = 0; j < 4; ++j) {
+      out[i + j] =
+          static_cast<int8_t>(1 - 2 * static_cast<int>(lane[j] & 1));
+    }
+  }
+  if (i < n) ScalarCw4Sign(c, keys + i, n - i, out + i);
+}
+
+}  // namespace
+
+const KernelTable* GetAvx2KernelTable() {
+  static const KernelTable table = {
+      .name = "avx2",
+      .eh3_sign = Avx2Eh3Sign,
+      .bch3_sign = Avx2Bch3Sign,
+      .bch5_sign = Avx2Bch5Sign,
+      .cw2_sign = Avx2Cw2Sign,
+      .cw4_sign = Avx2Cw4Sign,
+      .bucket_batch = Avx2BucketBatch,
+      .fused_cw4_row = Avx2FusedCw4Row,
+  };
+  return &table;
+}
+
+}  // namespace sketchsample::simd
+
+#else  // !x86
+
+#include "src/prng/simd/kernels.h"
+
+namespace sketchsample::simd {
+const KernelTable* GetAvx2KernelTable() { return nullptr; }
+}  // namespace sketchsample::simd
+
+#endif

@@ -1,0 +1,193 @@
+// Scalar twins of every dispatched kernel — the reference semantics all
+// vector levels must reproduce byte-for-byte, and the guaranteed fallback
+// on hosts (or builds) without vector support. Bodies are the PR-2 batch
+// kernels moved out of eh3.cc/bch.cc/cw.cc/hash.cc/fagms.cc; the lazy
+// Mersenne-2^61 chain bounds they rely on are documented in mersenne61.h.
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "src/prng/bch.h"
+#include "src/prng/mersenne61.h"
+#include "src/prng/simd/kernels.h"
+
+namespace sketchsample::simd {
+
+namespace {
+
+// ±weight via the IEEE sign bit: flipping the sign bit is exact negation
+// for every double, so XorSign(w, flip63) produces bit-for-bit the same
+// value as w * (1 - 2*bit) while replacing an int→double convert and a
+// multiply with one XOR on the integer side. `flip63` carries the sign
+// choice in bit 63 (all other bits must be zero).
+inline double XorSign(double w, uint64_t flip63) {
+  uint64_t bits;
+  std::memcpy(&bits, &w, sizeof(bits));
+  bits ^= flip63;
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+// Parity of (h mod p) for any 64-bit lazy residue h, delivered in bit 63.
+// One fold leaves f = Fold61(h) <= 2^61 + 6 < 2p with f ≡ h (mod p); the
+// canonical value is f or f - p, and since p is odd the subtraction flips
+// the parity exactly when f >= p, i.e. when (f + 1) >> 61 is 1. XORing that
+// carry bit into f's low bit gives the canonical parity with no compare.
+inline uint64_t SignFlipBit63(uint64_t h) {
+  const uint64_t f = Fold61(h);
+  return (f ^ ((f + 1) >> 61)) << 63;
+}
+
+}  // namespace
+
+void ScalarEh3Sign(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                   int8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = keys[i];
+    int bit = std::popcount(s & key) & 1;
+    const uint64_t pair_or = (key | (key >> 1)) & 0x5555555555555555ULL;
+    bit ^= std::popcount(pair_or) & 1;
+    bit ^= s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
+}
+
+void ScalarBch3Sign(uint64_t s, int s0, const uint64_t* keys, size_t n,
+                    int8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const int bit = (std::popcount(s & keys[i]) & 1) ^ s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
+}
+
+void ScalarBch5Sign(uint64_t s1, uint64_t s2, int s0, const uint64_t* keys,
+                    size_t n, int8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = keys[i];
+    const uint64_t cube = Gf64Mul(Gf64Mul(key, key), key);
+    int bit = std::popcount(s1 & key) & 1;
+    bit ^= std::popcount(s2 & cube) & 1;
+    bit ^= s0;
+    out[i] = static_cast<int8_t>(1 - 2 * bit);
+  }
+}
+
+void ScalarCw2Sign(uint64_t a, uint64_t b, const uint64_t* keys, size_t n,
+                   int8_t* out) {
+  // Lazy arithmetic: the canonical MulMod61/AddMod61 hide data-dependent
+  // conditional subtractions whose mispredicts serialize the loop; the
+  // branch-free lazy chain (bounded by 3·2^61) pipelines across keys and
+  // one CanonMod61 restores the exact low bit.
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = CanonMod61(MulMod61Lazy(a, Fold61(keys[i])) + b);
+    out[i] = static_cast<int8_t>(1 - 2 * static_cast<int>(h & 1));
+  }
+}
+
+void ScalarCw4Sign(const uint64_t* c, const uint64_t* keys, size_t n,
+                   int8_t* out) {
+  // Horner evaluation of the degree-3 polynomial with the lazy branch-free
+  // arithmetic (chain bounds in mersenne61.h). Per key the three multiplies
+  // form a dependency chain, but different keys are independent, so the
+  // chains of neighboring keys overlap in the out-of-order core.
+  const uint64_t c0 = c[0], c1 = c[1], c2 = c[2], c3 = c[3];
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t x = Fold61(keys[i]);
+    uint64_t h = MulMod61Lazy(c3, x) + c2;
+    h = MulMod61Lazy(h, x) + c1;
+    h = MulMod61Lazy(h, x) + c0;
+    out[i] = static_cast<int8_t>(1 - 2 * static_cast<int>(CanonMod61(h) & 1));
+  }
+}
+
+void ScalarBucketBatch(const BucketParams& hash, const uint64_t* keys,
+                       size_t n, uint64_t* out) {
+  // Branch-free lazy evaluation of the degree-1 bucket polynomial followed
+  // by the exact Granlund–Montgomery reciprocal modulo; identical to
+  // PairwiseHash::FastModBuckets including the d == 1 degenerate case
+  // (magic = 0, mask = 0 force the remainder to 0).
+  const uint64_t a = hash.multiplier, b = hash.offset;
+  const uint64_t d = hash.num_buckets, magic = hash.magic, mask = hash.mask;
+  const uint32_t shift = hash.shift;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t x = CanonMod61(MulMod61Lazy(a, Fold61(keys[i])) + b);
+    const uint64_t q = static_cast<uint64_t>(
+                           (static_cast<__uint128_t>(magic) * x) >> 64) >>
+                       shift;
+    out[i] = (x - q * d) & mask;
+  }
+}
+
+void ScalarFusedCw4Row(const BucketParams& hash, const uint64_t* c,
+                       const uint64_t* keys, size_t n, double weight,
+                       double* row) {
+  // Fused bucket+sign kernel for the CW4 configuration: both the degree-1
+  // bucket polynomial and the degree-3 sign polynomial are evaluated in one
+  // pass over the keys, sharing one key fold and scattering directly into
+  // the counter row. 6-way interleaving gives the out-of-order core
+  // independent Horner chains to overlap. Bit-identical to Bucket()/Sign()
+  // per key in order, so scalar and batch sketches match exactly.
+  const uint64_t a = hash.multiplier, b = hash.offset;
+  const uint64_t d = hash.num_buckets;
+  const uint64_t magic = hash.magic;
+  const uint32_t shift = hash.shift;
+  const uint64_t c0 = c[0], c1 = c[1], c2 = c[2], c3 = c[3];
+  if (d == 1) {
+    // Degenerate single-bucket row: every key lands in bucket 0.
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t x = Fold61(keys[i]);
+      uint64_t h = MulMod61Lazy(c3, x) + c2;
+      h = MulMod61Lazy(h, x) + c1;
+      h = MulMod61Lazy(h, x) + c0;
+      row[0] += XorSign(weight, SignFlipBit63(h));
+    }
+    return;
+  }
+  // Same exact remainder as PairwiseHash::FastModBuckets (x < 2^61); the
+  // d == 1 mask case is handled above, so the mask is dropped here.
+  const auto fastmod = [magic, shift, d](uint64_t x) -> uint64_t {
+    const uint64_t q = static_cast<uint64_t>(
+                           (static_cast<__uint128_t>(magic) * x) >> 64) >>
+                       shift;
+    return x - q * d;
+  };
+  constexpr size_t kWay = 6;
+  size_t i = 0;
+  for (; i + kWay <= n; i += kWay) {
+    uint64_t x[kWay], g[kWay], h[kWay], bucket[kWay];
+    for (size_t k = 0; k < kWay; ++k) x[k] = Fold61(keys[i + k]);
+    for (size_t k = 0; k < kWay; ++k) g[k] = MulMod61Lazy(a, x[k]) + b;
+    for (size_t k = 0; k < kWay; ++k) h[k] = MulMod61Lazy(c3, x[k]) + c2;
+    for (size_t k = 0; k < kWay; ++k) h[k] = MulMod61Lazy(h[k], x[k]) + c1;
+    for (size_t k = 0; k < kWay; ++k) h[k] = MulMod61Lazy(h[k], x[k]) + c0;
+    for (size_t k = 0; k < kWay; ++k) bucket[k] = fastmod(CanonMod61(g[k]));
+    for (size_t k = 0; k < kWay; ++k) {
+      row[bucket[k]] += XorSign(weight, SignFlipBit63(h[k]));
+    }
+  }
+  for (; i < n; ++i) {
+    const uint64_t x = Fold61(keys[i]);
+    const uint64_t bucket = fastmod(CanonMod61(MulMod61Lazy(a, x) + b));
+    uint64_t h = MulMod61Lazy(c3, x) + c2;
+    h = MulMod61Lazy(h, x) + c1;
+    h = MulMod61Lazy(h, x) + c0;
+    row[bucket] += XorSign(weight, SignFlipBit63(h));
+  }
+}
+
+const KernelTable* GetScalarKernelTable() {
+  static const KernelTable table = {
+      .name = "scalar",
+      .eh3_sign = ScalarEh3Sign,
+      .bch3_sign = ScalarBch3Sign,
+      .bch5_sign = ScalarBch5Sign,
+      .cw2_sign = ScalarCw2Sign,
+      .cw4_sign = ScalarCw4Sign,
+      .bucket_batch = ScalarBucketBatch,
+      .fused_cw4_row = ScalarFusedCw4Row,
+  };
+  return &table;
+}
+
+}  // namespace sketchsample::simd

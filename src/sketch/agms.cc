@@ -127,7 +127,7 @@ void AgmsSketch::Merge(const AgmsSketch& other) {
 }
 
 size_t AgmsSketch::MemoryBytes() const {
-  size_t bytes = counters_.size() * sizeof(double);
+  size_t bytes = AlignedCounterBytes(counters_.size());
   for (const auto& xi : xis_) bytes += xi->MemoryBytes();
   return bytes;
 }
@@ -146,7 +146,8 @@ void AgmsSketch::LoadCounters(std::vector<double> counters) {
   if (counters.size() != counters_.size()) {
     throw std::invalid_argument("counter payload size mismatch");
   }
-  counters_ = std::move(counters);
+  // Copy into the aligned allocation (64-byte guarantee, aligned.h).
+  counters_.assign(counters.begin(), counters.end());
 }
 
 }  // namespace sketchsample

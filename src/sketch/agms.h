@@ -9,6 +9,7 @@
 
 #include "src/prng/xi.h"
 #include "src/sketch/sketch.h"
+#include "src/util/aligned.h"
 
 namespace sketchsample {
 
@@ -70,7 +71,7 @@ class AgmsSketch {
   bool CompatibleWith(const AgmsSketch& other) const;
 
   size_t rows() const { return counters_.size(); }
-  const std::vector<double>& counters() const { return counters_; }
+  const CounterVector& counters() const { return counters_; }
 
   /// Replaces the counter state (deserialization support). `counters` must
   /// have exactly rows() entries.
@@ -84,7 +85,7 @@ class AgmsSketch {
   SketchParams params_;
   // Shared, not cloned: families are immutable after construction.
   std::vector<std::shared_ptr<const XiFamily>> xis_;
-  std::vector<double> counters_;
+  CounterVector counters_;  // 64-byte aligned (src/util/aligned.h)
 };
 
 }  // namespace sketchsample

@@ -8,6 +8,7 @@
 
 #include "src/prng/hash.h"
 #include "src/sketch/sketch.h"
+#include "src/util/aligned.h"
 
 namespace sketchsample {
 
@@ -56,13 +57,14 @@ class CountMinSketch {
 
   size_t rows() const { return params_.rows; }
   size_t buckets() const { return params_.buckets; }
-  /// Total footprint: counters plus bucket-hash coefficients.
+  /// Total footprint: counters (including the 64-byte-line padding the
+  /// aligned allocator reserves) plus bucket-hash coefficients.
   size_t MemoryBytes() const {
-    return counters_.size() * sizeof(double) +
+    return AlignedCounterBytes(counters_.size()) +
            hashes_.size() * sizeof(PairwiseHash);
   }
   const SketchParams& params() const { return params_; }
-  const std::vector<double>& counters() const { return counters_; }
+  const CounterVector& counters() const { return counters_; }
 
   /// Replaces the counter state (deserialization support). `counters` must
   /// have exactly rows() × buckets() entries.
@@ -76,7 +78,7 @@ class CountMinSketch {
 
   SketchParams params_;
   std::vector<PairwiseHash> hashes_;
-  std::vector<double> counters_;
+  CounterVector counters_;  // 64-byte aligned (src/util/aligned.h)
 };
 
 }  // namespace sketchsample

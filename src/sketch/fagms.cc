@@ -1,13 +1,12 @@
 #include "src/sketch/fagms.h"
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "src/prng/cw.h"
 #include "src/prng/materialized.h"
-#include "src/prng/mersenne61.h"
+#include "src/prng/simd/dispatch.h"
 #include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -17,92 +16,6 @@ namespace sketchsample {
 namespace {
 constexpr uint64_t kHashSeedStream = 0xfa11;
 constexpr uint64_t kXiSeedStream = 0xfa22;
-
-// ±weight via the IEEE sign bit: flipping the sign bit is exact negation
-// for every double, so XorSign(w, flip63) produces bit-for-bit the same
-// value as w * (1 - 2*bit) while replacing an int→double convert and a
-// multiply with one XOR on the integer side. `flip63` carries the sign
-// choice in bit 63 (all other bits must be zero).
-inline double XorSign(double w, uint64_t flip63) {
-  uint64_t bits;
-  std::memcpy(&bits, &w, sizeof(bits));
-  bits ^= flip63;
-  double out;
-  std::memcpy(&out, &bits, sizeof(out));
-  return out;
-}
-
-// Parity of (h mod p) for any 64-bit lazy residue h, delivered in bit 63.
-// One fold leaves f = Fold61(h) <= 2^61 + 6 < 2p with f ≡ h (mod p); the
-// canonical value is f or f - p, and since p is odd the subtraction flips
-// the parity exactly when f >= p, i.e. when (f + 1) >> 61 is 1. XORing that
-// carry bit into f's low bit gives the canonical parity with no compare.
-inline uint64_t SignFlipBit63(uint64_t h) {
-  const uint64_t f = Fold61(h);
-  return (f ^ ((f + 1) >> 61)) << 63;
-}
-
-// Fused bucket+sign kernel for the CW4 configuration (the reference family
-// of the variance analysis, and the most expensive ξ evaluation): both the
-// degree-1 bucket polynomial and the degree-3 sign polynomial are evaluated
-// in one pass over the keys with branch-free lazy Mersenne arithmetic
-// (bounds in mersenne61.h), sharing one key fold and scattering directly
-// into the counter row. 6-way interleaving gives the out-of-order core
-// independent Horner chains to overlap — the kernel runs near multiplier
-// throughput (~6 ns/key on a 2.1 GHz Xeon, vs ~20 ns scalar). The result is
-// bit-identical to Bucket()/Sign() per key in order, so scalar and batch
-// sketches match exactly.
-void FusedCw4Row(const PairwiseHash& hash, const uint64_t* c,
-                 const uint64_t* keys, size_t n, double weight, double* row) {
-  // Everything loop-invariant is copied into locals: the counter scatter
-  // stores would otherwise force reloads of the hash fields each iteration.
-  const uint64_t a = hash.multiplier(), b = hash.offset();
-  const uint64_t d = hash.num_buckets();
-  const uint64_t magic = hash.magic();
-  const uint32_t shift = hash.magic_shift();
-  const uint64_t c0 = c[0], c1 = c[1], c2 = c[2], c3 = c[3];
-  if (d == 1) {
-    // Degenerate single-bucket row: every key lands in bucket 0.
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t x = Fold61(keys[i]);
-      uint64_t h = MulMod61Lazy(c3, x) + c2;
-      h = MulMod61Lazy(h, x) + c1;
-      h = MulMod61Lazy(h, x) + c0;
-      row[0] += XorSign(weight, SignFlipBit63(h));
-    }
-    return;
-  }
-  // Same exact remainder as PairwiseHash::FastModBuckets (x < 2^61); the
-  // d == 1 mask case is handled above, so the mask is dropped here.
-  const auto fastmod = [magic, shift, d](uint64_t x) -> uint64_t {
-    const uint64_t q = static_cast<uint64_t>(
-                           (static_cast<__uint128_t>(magic) * x) >> 64) >>
-                       shift;
-    return x - q * d;
-  };
-  constexpr size_t kWay = 6;
-  size_t i = 0;
-  for (; i + kWay <= n; i += kWay) {
-    uint64_t x[kWay], g[kWay], h[kWay], bucket[kWay];
-    for (size_t k = 0; k < kWay; ++k) x[k] = Fold61(keys[i + k]);
-    for (size_t k = 0; k < kWay; ++k) g[k] = MulMod61Lazy(a, x[k]) + b;
-    for (size_t k = 0; k < kWay; ++k) h[k] = MulMod61Lazy(c3, x[k]) + c2;
-    for (size_t k = 0; k < kWay; ++k) h[k] = MulMod61Lazy(h[k], x[k]) + c1;
-    for (size_t k = 0; k < kWay; ++k) h[k] = MulMod61Lazy(h[k], x[k]) + c0;
-    for (size_t k = 0; k < kWay; ++k) bucket[k] = fastmod(CanonMod61(g[k]));
-    for (size_t k = 0; k < kWay; ++k) {
-      row[bucket[k]] += XorSign(weight, SignFlipBit63(h[k]));
-    }
-  }
-  for (; i < n; ++i) {
-    const uint64_t x = Fold61(keys[i]);
-    const uint64_t bucket = fastmod(CanonMod61(MulMod61Lazy(a, x) + b));
-    uint64_t h = MulMod61Lazy(c3, x) + c2;
-    h = MulMod61Lazy(h, x) + c1;
-    h = MulMod61Lazy(h, x) + c0;
-    row[bucket] += XorSign(weight, SignFlipBit63(h));
-  }
-}
 }  // namespace
 
 FagmsSketch::FagmsSketch(const SketchParams& params) : params_(params) {
@@ -143,11 +56,15 @@ void FagmsSketch::UpdateBatch(const uint64_t* keys, size_t n, double weight) {
   // Counters are per-row accumulators, so processing rows (and blocks) in any
   // order leaves each counter's addition sequence — and hence its bits —
   // unchanged.
+  // The fused bucket+sign row kernel is ISA-dispatched (src/prng/simd/):
+  // scalar, AVX2, or AVX-512 per CPU, every level bit-identical to per-key
+  // Update() in stream order.
+  const auto& kernels = simd::Kernels();
   bool any_generic = false;
   for (size_t r = 0; r < params_.rows; ++r) {
     if (cw4_[r] != nullptr) {
-      FusedCw4Row(hashes_[r], cw4_[r]->coefficients(), keys, n, weight,
-                  Row(r));
+      kernels.fused_cw4_row(hashes_[r].KernelParams(),
+                            cw4_[r]->coefficients(), keys, n, weight, Row(r));
     } else {
       any_generic = true;
     }
@@ -229,7 +146,11 @@ void FagmsSketch::Merge(const FagmsSketch& other) {
 }
 
 size_t FagmsSketch::MemoryBytes() const {
-  size_t bytes = counters_.size() * sizeof(double) +
+  // AlignedCounterBytes includes the 64-byte-line padding the aligned
+  // allocator actually reserves; process-global dispatch-table state is
+  // accounted once in the metrics registry ("simd.dispatch_state_bytes"),
+  // not per sketch.
+  size_t bytes = AlignedCounterBytes(counters_.size()) +
                  hashes_.size() * sizeof(PairwiseHash);
   for (const auto& xi : xis_) bytes += xi->MemoryBytes();
   return bytes;
@@ -250,7 +171,9 @@ void FagmsSketch::LoadCounters(std::vector<double> counters) {
   if (counters.size() != counters_.size()) {
     throw std::invalid_argument("counter payload size mismatch");
   }
-  counters_ = std::move(counters);
+  // Copy into the aligned allocation rather than adopting the buffer: the
+  // counter array must keep its 64-byte alignment guarantee.
+  counters_.assign(counters.begin(), counters.end());
 }
 
 }  // namespace sketchsample

@@ -10,6 +10,7 @@
 #include "src/prng/hash.h"
 #include "src/prng/xi.h"
 #include "src/sketch/sketch.h"
+#include "src/util/aligned.h"
 
 namespace sketchsample {
 
@@ -82,8 +83,9 @@ class FagmsSketch {
   /// (including materialized sign tables).
   size_t MemoryBytes() const;
   const SketchParams& params() const { return params_; }
-  /// Raw counter matrix, row-major; exposed for tests and diagnostics.
-  const std::vector<double>& counters() const { return counters_; }
+  /// Raw counter matrix, row-major in one 64-byte-aligned allocation;
+  /// exposed for tests and diagnostics.
+  const CounterVector& counters() const { return counters_; }
 
   /// Replaces the counter state (deserialization support). `counters` must
   /// have exactly rows() × buckets() entries.
@@ -104,7 +106,11 @@ class FagmsSketch {
   // construction so UpdateBatch can take the fused hash+sign kernel without
   // per-block dispatch. Points into xis_, which copies share.
   std::vector<const Cw4Xi*> cw4_;
-  std::vector<double> counters_;  // rows × buckets, row-major
+  // Rows × buckets, row-major, 64-byte aligned: vector counter loads and
+  // the kernels' block stores never split a cache line, and a row-major
+  // layout keeps the per-row fused kernel's scatter gather-free (each row
+  // is one contiguous run — see DESIGN.md §2 on the layout trial).
+  CounterVector counters_;
 };
 
 }  // namespace sketchsample

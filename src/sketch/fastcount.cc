@@ -120,7 +120,8 @@ void FastCountSketch::LoadCounters(std::vector<double> counters) {
   if (counters.size() != counters_.size()) {
     throw std::invalid_argument("counter payload size mismatch");
   }
-  counters_ = std::move(counters);
+  // Copy into the aligned allocation (64-byte guarantee, aligned.h).
+  counters_.assign(counters.begin(), counters.end());
 }
 
 }  // namespace sketchsample

@@ -8,6 +8,7 @@
 
 #include "src/prng/hash.h"
 #include "src/sketch/sketch.h"
+#include "src/util/aligned.h"
 
 namespace sketchsample {
 
@@ -50,13 +51,14 @@ class FastCountSketch {
 
   size_t rows() const { return params_.rows; }
   size_t buckets() const { return params_.buckets; }
-  /// Total footprint: counters plus bucket-hash coefficients.
+  /// Total footprint: counters (including the 64-byte-line padding the
+  /// aligned allocator reserves) plus bucket-hash coefficients.
   size_t MemoryBytes() const {
-    return counters_.size() * sizeof(double) +
+    return AlignedCounterBytes(counters_.size()) +
            hashes_.size() * sizeof(PairwiseHash);
   }
   const SketchParams& params() const { return params_; }
-  const std::vector<double>& counters() const { return counters_; }
+  const CounterVector& counters() const { return counters_; }
 
   /// Replaces the counter state (deserialization support). `counters` must
   /// have exactly rows() × buckets() entries.
@@ -70,7 +72,7 @@ class FastCountSketch {
 
   SketchParams params_;
   std::vector<PairwiseHash> hashes_;
-  std::vector<double> counters_;
+  CounterVector counters_;  // 64-byte aligned (src/util/aligned.h)
 };
 
 }  // namespace sketchsample

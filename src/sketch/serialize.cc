@@ -31,11 +31,10 @@ class Writer {
     std::memcpy(bytes_.data() + offset, &value, sizeof(T));
   }
 
-  void PutDoubles(const std::vector<double>& values) {
+  void PutDoubles(const double* values, size_t n) {
     const size_t offset = bytes_.size();
-    bytes_.resize(offset + values.size() * sizeof(double));
-    std::memcpy(bytes_.data() + offset, values.data(),
-                values.size() * sizeof(double));
+    bytes_.resize(offset + n * sizeof(double));
+    std::memcpy(bytes_.data() + offset, values, n * sizeof(double));
   }
 
   void PutU64s(const std::vector<uint64_t>& values) {
@@ -167,7 +166,7 @@ template <typename SketchT>
 std::vector<uint8_t> SerializeImpl(SketchKind kind, const SketchT& sketch) {
   Writer writer;
   WriteHeader(writer, kind, sketch.params(), sketch.counters().size());
-  writer.PutDoubles(sketch.counters());
+  writer.PutDoubles(sketch.counters().data(), sketch.counters().size());
   return writer.Finish();
 }
 

@@ -9,7 +9,8 @@ namespace {
 // Negative merge: subtracts `expired` from `sum` using sketch linearity.
 void Subtract(FagmsSketch& sum, const FagmsSketch& expired) {
   FagmsSketch negated = expired;
-  std::vector<double> counters = negated.counters();
+  std::vector<double> counters(negated.counters().begin(),
+                               negated.counters().end());
   for (double& c : counters) c = -c;
   negated.LoadCounters(std::move(counters));
   sum.Merge(negated);

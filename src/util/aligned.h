@@ -1,0 +1,66 @@
+// Cache-line-aligned storage for sketch counter arrays.
+//
+// Counter rows are updated by the SIMD kernels in src/prng/simd/; aligning
+// the allocation to 64 bytes guarantees vector loads/stores of counter
+// blocks never split a cache line, and makes the row base address a known
+// multiple of the vector width for the aligned scratch stores the kernels
+// use. std::vector's default allocator only guarantees
+// alignof(std::max_align_t) (16 on x86-64).
+#ifndef SKETCHSAMPLE_UTIL_ALIGNED_H_
+#define SKETCHSAMPLE_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace sketchsample {
+
+/// Minimal aligned allocator: every allocation is aligned to `Alignment`
+/// bytes (a power of two >= alignof(T)) via the C++17 aligned operator new,
+/// so sanitizers see matching sized/aligned new/delete pairs.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must be at least the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Counter storage for the sketches: 64-byte-aligned doubles.
+using CounterVector = std::vector<double, AlignedAllocator<double, 64>>;
+
+/// Bytes actually reserved for `count` doubles once the allocation is padded
+/// out to whole 64-byte lines; MemoryBytes() reports this instead of the raw
+/// element size so the footprint accounting matches the allocator.
+inline std::size_t AlignedCounterBytes(std::size_t count) {
+  const std::size_t raw = count * sizeof(double);
+  return (raw + 63) & ~static_cast<std::size_t>(63);
+}
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_ALIGNED_H_

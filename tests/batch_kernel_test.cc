@@ -153,7 +153,7 @@ TEST(UpdateBatchTest, EmptyBatchIsANoop) {
   params.rows = 2;
   params.buckets = 16;
   FagmsSketch sketch(params);
-  const std::vector<double> before = sketch.counters();
+  const auto before = sketch.counters();
   sketch.UpdateBatch(nullptr, 0);
   EXPECT_EQ(sketch.counters(), before);
 }

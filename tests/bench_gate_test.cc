@@ -470,6 +470,122 @@ TEST(GateFilesTest, EndToEndRegressionAndPass) {
   EXPECT_NE(bad.failures[0].find("malformed JSON"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Within-report ratio rules (bench/rules/*.json).
+
+// A report with the fused-kernel ISA series: scalar at 1e6 updates/s and a
+// vector level at `vector_rate`, plus an "isa" config stamp.
+std::string IsaReport(const std::string& isa, double vector_rate) {
+  char buf[600];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\":1,\"name\":\"bench_x\",\"host\":\"hostA\","
+      "\"config\":{\"isa\":\"%s\"},\"points\":["
+      "{\"labels\":{\"benchmark\":\"BM_Fused/scalar\"},"
+      "\"metrics\":{\"updates_per_sec\":1e6}},"
+      "{\"labels\":{\"benchmark\":\"BM_Fused/avx2\"},"
+      "\"metrics\":{\"updates_per_sec\":%g}}]}",
+      isa.c_str(), vector_rate);
+  return buf;
+}
+
+std::string RuleText(double min_ratio, const std::string& require_isa,
+                     const std::string& numerator = "BM_Fused/avx2") {
+  char buf[500];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\":1,\"rules\":[{"
+      "\"description\":\"vector >= %gx scalar\","
+      "\"metric\":\"updates_per_sec\",\"min_ratio\":%g%s,"
+      "\"numerator\":{\"benchmark\":\"%s\"},"
+      "\"denominator\":{\"benchmark\":\"BM_Fused/scalar\"}}]}",
+      min_ratio, min_ratio,
+      require_isa.empty()
+          ? ""
+          : (",\"require_isa\":\"" + require_isa + "\"").c_str(),
+      numerator.c_str());
+  return buf;
+}
+
+std::vector<RatioRule> MustLoadRules(const std::string& text) {
+  TempFile file(text);
+  std::string error;
+  auto rules = LoadRules(file.path(), &error);
+  EXPECT_TRUE(rules.has_value()) << error;
+  return rules.value_or(std::vector<RatioRule>{});
+}
+
+TEST(RatioRuleTest, ValidatesSchema) {
+  EXPECT_TRUE(ValidateRules(MustParse("[]")).has_value());
+  EXPECT_TRUE(ValidateRules(MustParse("{\"rules\":[]}")).has_value());
+  // Missing min_ratio.
+  EXPECT_TRUE(
+      ValidateRules(
+          MustParse("{\"schema_version\":1,\"rules\":[{"
+                    "\"numerator\":{\"benchmark\":\"a\"},"
+                    "\"denominator\":{\"benchmark\":\"b\"}}]}"))
+          .has_value());
+  // Empty numerator selector.
+  EXPECT_TRUE(ValidateRules(
+                  MustParse("{\"schema_version\":1,\"rules\":[{"
+                            "\"min_ratio\":2,\"numerator\":{},"
+                            "\"denominator\":{\"benchmark\":\"b\"}}]}"))
+                  .has_value());
+  EXPECT_EQ(ValidateRules(MustParse(RuleText(2.0, "avx2"))), std::nullopt);
+}
+
+TEST(RatioRuleTest, PassesWhenRatioMet) {
+  const auto rules = MustLoadRules(RuleText(2.0, ""));
+  const Result result = CheckRules(MustParse(IsaReport("avx2", 2.5e6)), rules);
+  EXPECT_TRUE(result.ok) << (result.failures.empty() ? ""
+                                                     : result.failures[0]);
+}
+
+TEST(RatioRuleTest, FailsWhenRatioBelowMinimum) {
+  const auto rules = MustLoadRules(RuleText(2.0, ""));
+  const Result result = CheckRules(MustParse(IsaReport("avx2", 1.4e6)), rules);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.failures[0].find("below required"), std::string::npos);
+}
+
+TEST(RatioRuleTest, MissingNumeratorPointIsCoverageFailure) {
+  // The rule names a point the report does not have: a vector kernel
+  // silently falling off the dispatch table must fail, not skip.
+  const auto rules = MustLoadRules(RuleText(2.0, "", "BM_Fused/avx512"));
+  const Result result = CheckRules(MustParse(IsaReport("avx2", 2.5e6)), rules);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.failures[0].find("coverage regression"), std::string::npos);
+}
+
+TEST(RatioRuleTest, RequireIsaSkipsBelowLevelAndEngagesAtLevel) {
+  const auto rules = MustLoadRules(RuleText(2.0, "avx512"));
+  // Report ran capped at avx2: the avx512 rule is a note, not a failure.
+  const Result skipped =
+      CheckRules(MustParse(IsaReport("avx2", 1.0e6)), rules);
+  EXPECT_TRUE(skipped.ok);
+  ASSERT_EQ(skipped.notes.size(), 1u);
+  EXPECT_NE(skipped.notes[0].find("skipped"), std::string::npos);
+  // Report ran at avx512: the rule engages and fails on the same numbers.
+  EXPECT_FALSE(CheckRules(MustParse(IsaReport("avx512", 1.0e6)), rules).ok);
+}
+
+TEST(RatioRuleTest, MainWiresRulesFlag) {
+  TempFile baseline(IsaReport("avx2", 2.5e6));
+  TempFile current(IsaReport("avx2", 2.5e6));
+  TempFile good_rules(RuleText(2.0, "avx2"));
+  TempFile tight_rules(RuleText(3.0, "avx2"));
+  TempFile bad_rules("{\"schema_version\":1,");
+  EXPECT_EQ(RunBenchGateMain({"--rules=" + good_rules.path(), baseline.path(),
+                              current.path()}),
+            0);
+  EXPECT_EQ(RunBenchGateMain({"--rules=" + tight_rules.path(),
+                              baseline.path(), current.path()}),
+            1);
+  EXPECT_EQ(RunBenchGateMain({"--rules=" + bad_rules.path(), baseline.path(),
+                              current.path()}),
+            2);
+}
+
 }  // namespace
 }  // namespace gate
 }  // namespace sketchsample

@@ -114,7 +114,8 @@ RunResult RunWithKill(uint64_t kill_after) {
 
   RunResult result;
   result.stats = RunPipeline(source, shed, opts);
-  result.counters = sketch.counters();
+  result.counters.assign(sketch.counters().begin(),
+                          sketch.counters().end());
   result.seen = shed.seen();
   result.forwarded = shed.forwarded();
   result.controller_p = controller.p();
@@ -144,7 +145,8 @@ RunResult ResumeFrom(const std::vector<uint8_t>& checkpoint_bytes) {
 
   RunResult result;
   result.stats = RunPipeline(source, shed, opts);
-  result.counters = sketch.counters();
+  result.counters.assign(sketch.counters().begin(),
+                          sketch.counters().end());
   result.seen = shed.seen();
   result.forwarded = shed.forwarded();
   result.controller_p = controller.p();

@@ -303,6 +303,108 @@ class RulesTest(unittest.TestCase):
             )
         )
 
+    # ---- simd-intrinsics-confined ----
+
+    def test_simd_intrinsics_fire_outside_kernel_tus(self):
+        v = self.violations(
+            "src/sketch/bad.cc",
+            "#include <immintrin.h>\n"
+            "__m256i f(__m256i a) { return _mm256_add_epi64(a, a); }\n",
+            lint.check_simd_intrinsics_confined,
+        )
+        self.assertTrue(v)
+        self.assertTrue(all(x.rule == "simd-intrinsics-confined" for x in v))
+        # Both the include and the intrinsic tokens are reported.
+        self.assertGreaterEqual(len(v), 2)
+
+    def test_simd_intrinsics_allowed_in_kernel_tus_and_waivable(self):
+        self.assertFalse(
+            self.violations(
+                "src/prng/simd/kernels_avx2.cc",
+                "#include <immintrin.h>\n"
+                "__m256i f(__m256i a) { return _mm256_add_epi64(a, a); }\n",
+                lint.check_simd_intrinsics_confined,
+            )
+        )
+        self.assertFalse(
+            self.violations(
+                "src/util/special.cc",
+                "// lint:allow(simd-intrinsics-confined) measured reason\n"
+                "#include <immintrin.h>\n",
+                lint.check_simd_intrinsics_confined,
+            )
+        )
+
+    def test_simd_intrinsics_ignores_comments_and_lookalikes(self):
+        self.assertFalse(
+            self.violations(
+                "src/sketch/ok.cc",
+                "// _mm256_add_epi64 is only named in this comment\n"
+                "int _mm_lookalike;  // declaration, not a call\n",
+                lint.check_simd_intrinsics_confined,
+            )
+        )
+
+    # ---- simd-scalar-twin ----
+
+    SCALAR_TABLE = (
+        "const int t = 0;\n"
+        "KernelTable k{\n"
+        "    .name = s,\n"
+        "    .eh3_sign = ScalarEh3Sign,\n"
+        "    .bucket_batch = ScalarBucketBatch,\n"
+        "};\n"
+    )
+
+    def test_simd_scalar_twin_passes_when_slots_match(self):
+        make_source(
+            "src/prng/simd/kernels_scalar.cc", self.SCALAR_TABLE, self.root
+        )
+        self.assertFalse(
+            self.violations(
+                "src/prng/simd/kernels_avx2.cc",
+                "KernelTable k{\n"
+                "    .name = s,\n"
+                "    .eh3_sign = Avx2Eh3Sign,\n"
+                "};\n",
+                lint.check_simd_scalar_twin,
+            )
+        )
+
+    def test_simd_scalar_twin_fires_on_unregistered_slot(self):
+        make_source(
+            "src/prng/simd/kernels_scalar.cc", self.SCALAR_TABLE, self.root
+        )
+        v = self.violations(
+            "src/prng/simd/kernels_avx512.cc",
+            "KernelTable k{\n"
+            "    .name = s,\n"
+            "    .vector_only_kernel = Avx512Thing,\n"
+            "};\n",
+            lint.check_simd_scalar_twin,
+        )
+        self.assertEqual([x.rule for x in v], ["simd-scalar-twin"])
+        self.assertIn("vector_only_kernel", v[0].message)
+
+    def test_simd_scalar_twin_skips_scalar_table_and_other_files(self):
+        make_source(
+            "src/prng/simd/kernels_scalar.cc", self.SCALAR_TABLE, self.root
+        )
+        self.assertFalse(
+            self.violations(
+                "src/prng/simd/kernels_scalar.cc",
+                self.SCALAR_TABLE,
+                lint.check_simd_scalar_twin,
+            )
+        )
+        self.assertFalse(
+            self.violations(
+                "src/sketch/fagms.cc",
+                "struct P p{.x = 1};\n",
+                lint.check_simd_scalar_twin,
+            )
+        )
+
 
 class HeaderCheckTest(unittest.TestCase):
     def test_non_self_contained_header_fails(self):

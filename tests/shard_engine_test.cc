@@ -98,8 +98,8 @@ void ExpectShardCountInvariance(const SketchT& proto, EqualFn equal) {
 
 template <typename SketchT>
 void ExpectCountersEqual(const SketchT& a, const SketchT& b, size_t tag) {
-  const std::vector<double>& lhs = a.counters();
-  const std::vector<double>& rhs = b.counters();
+  const auto& lhs = a.counters();
+  const auto& rhs = b.counters();
   ASSERT_EQ(lhs.size(), rhs.size()) << tag;
   for (size_t i = 0; i < lhs.size(); ++i) {
     ASSERT_EQ(lhs[i], rhs[i]) << "counter " << i << " tag " << tag;

@@ -1,0 +1,298 @@
+// Tests for the runtime ISA dispatch layer (src/prng/simd/): every vector
+// kernel level reachable on the host must produce byte-identical results to
+// the scalar twins, for all six ξ families, all four sketch types, positive
+// and negative weights, and key mixes that exercise both the small-key
+// (x < 2^32) and general 64-bit vector mulmod paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "src/prng/hash.h"
+#include "src/prng/simd/dispatch.h"
+#include "src/prng/xi.h"
+#include "src/sketch/agms.h"
+#include "src/sketch/countmin.h"
+#include "src/sketch/fagms.h"
+#include "src/sketch/fastcount.h"
+#include "src/sketch/sketch.h"
+#include "src/stream/source.h"
+#include "src/util/aligned.h"
+
+namespace sketchsample {
+namespace {
+
+using simd::IsaLevel;
+
+constexpr XiScheme kAllSchemes[] = {
+    XiScheme::kBch3, XiScheme::kEh3,  XiScheme::kBch5,
+    XiScheme::kCw2,  XiScheme::kCw4,  XiScheme::kTabulation,
+};
+
+std::vector<IsaLevel> ReachableLevels() {
+  std::vector<IsaLevel> levels = {IsaLevel::kScalar};
+  if (simd::DetectBestIsaLevel() >= IsaLevel::kAvx2) {
+    levels.push_back(IsaLevel::kAvx2);
+  }
+  if (simd::DetectBestIsaLevel() >= IsaLevel::kAvx512) {
+    levels.push_back(IsaLevel::kAvx512);
+  }
+  return levels;
+}
+
+// Keys that hit every kernel path: small keys (vector small-key mulmod),
+// keys >= 2^32 (general mulmod), keys beyond the Mersenne modulus
+// (Mod61 folding), block-interleaved so one vector group can mix both
+// classes, and a length that leaves vector-width tails (1037 = 129*8 + 5).
+std::vector<uint64_t> MixedKeys(size_t count, uint64_t seed) {
+  ZipfSource small(1 << 20, 1.0, count, seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(count + 8);
+  uint64_t i = 0;
+  while (auto v = small.Next()) {
+    uint64_t k = *v;
+    // Promote every third key into the >= 2^32 range so vector groups see
+    // mixed small/general lanes; every seventh beyond 2^61 - 1.
+    if (i % 3 == 1) k |= (k + seed + 1) << 32;
+    if (i % 7 == 3) k |= 1ull << 62;
+    keys.push_back(k);
+    ++i;
+  }
+  keys.push_back(0);
+  keys.push_back(~0ull);
+  keys.push_back((1ull << 61) - 1);
+  keys.push_back(1ull << 32);
+  keys.push_back((1ull << 32) - 1);
+  return keys;
+}
+
+// --------------------------------------------------------------------------
+// Level/name plumbing.
+
+TEST(IsaDispatchTest, LevelNamesRoundTrip) {
+  for (IsaLevel level :
+       {IsaLevel::kScalar, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    IsaLevel parsed;
+    ASSERT_TRUE(simd::IsaLevelFromName(simd::IsaLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  IsaLevel parsed;
+  EXPECT_FALSE(simd::IsaLevelFromName("sse9", &parsed));
+  EXPECT_FALSE(simd::IsaLevelFromName("", &parsed));
+  EXPECT_FALSE(simd::IsaLevelFromName(nullptr, &parsed));
+}
+
+TEST(IsaDispatchTest, ActiveLevelNeverExceedsDetected) {
+  EXPECT_LE(simd::ActiveIsaLevel(), simd::DetectBestIsaLevel());
+}
+
+TEST(IsaDispatchTest, KernelsForRejectsLevelsAboveHost) {
+  const IsaLevel best = simd::DetectBestIsaLevel();
+  if (best < IsaLevel::kAvx512) {
+    EXPECT_THROW(simd::KernelsFor(IsaLevel::kAvx512), std::invalid_argument);
+  }
+  if (best < IsaLevel::kAvx2) {
+    EXPECT_THROW(simd::KernelsFor(IsaLevel::kAvx2), std::invalid_argument);
+  }
+  // The scalar table is always available and is its own twin.
+  EXPECT_STREQ(simd::KernelsFor(IsaLevel::kScalar).name, "scalar");
+}
+
+TEST(IsaDispatchTest, ScopedOverrideSwitchesAndRestores) {
+  const IsaLevel before = simd::ActiveIsaLevel();
+  {
+    simd::ScopedIsaForTesting scoped(IsaLevel::kScalar);
+    EXPECT_EQ(simd::ActiveIsaLevel(), IsaLevel::kScalar);
+    EXPECT_STREQ(simd::Kernels().name, "scalar");
+  }
+  EXPECT_EQ(simd::ActiveIsaLevel(), before);
+}
+
+TEST(IsaDispatchTest, DispatchStateBytesIsNonZero) {
+  EXPECT_GT(simd::DispatchStateBytes(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Kernel-level equivalence: vector levels vs the scalar twins.
+
+TEST(IsaDispatchTest, SignBatchBitExactAcrossLevels) {
+  const std::vector<uint64_t> keys = MixedKeys(1037, 11);
+  std::vector<int8_t> scalar_out(keys.size());
+  std::vector<int8_t> level_out(keys.size());
+  for (XiScheme scheme : kAllSchemes) {
+    const auto xi = MakeXiFamily(scheme, 4242);
+    {
+      simd::ScopedIsaForTesting scoped(IsaLevel::kScalar);
+      xi->SignBatch(keys.data(), keys.size(), scalar_out.data());
+    }
+    for (IsaLevel level : ReachableLevels()) {
+      simd::ScopedIsaForTesting scoped(level);
+      xi->SignBatch(keys.data(), keys.size(), level_out.data());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(level_out[i], scalar_out[i])
+            << XiSchemeName(scheme) << " at " << simd::IsaLevelName(level)
+            << " key " << keys[i];
+      }
+    }
+  }
+}
+
+TEST(IsaDispatchTest, BucketBatchBitExactAcrossLevels) {
+  const std::vector<uint64_t> keys = MixedKeys(1037, 13);
+  std::vector<uint64_t> scalar_out(keys.size());
+  std::vector<uint64_t> level_out(keys.size());
+  // Bucket counts covering the degenerate d == 1 path, the paper's default,
+  // powers of two, and a divisor >= 2^32 (AVX2 falls back to scalar there
+  // because its low-64 q*d product would be inexact).
+  const uint64_t bucket_counts[] = {1,    2,          5000,
+                                    4096, 1u << 16,   (1ull << 33) + 5};
+  for (uint64_t buckets : bucket_counts) {
+    PairwiseHash hash(99, buckets);
+    {
+      simd::ScopedIsaForTesting scoped(IsaLevel::kScalar);
+      hash.BucketBatch(keys.data(), keys.size(), scalar_out.data());
+    }
+    for (IsaLevel level : ReachableLevels()) {
+      simd::ScopedIsaForTesting scoped(level);
+      hash.BucketBatch(keys.data(), keys.size(), level_out.data());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(level_out[i], scalar_out[i])
+            << buckets << " buckets at " << simd::IsaLevelName(level)
+            << " key " << keys[i];
+        ASSERT_EQ(scalar_out[i], hash.Bucket(keys[i]));
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Sketch-level equivalence: full UpdateBatch counters byte-identical.
+
+template <typename SketchT>
+SketchT BuildAt(IsaLevel level, const SketchParams& params,
+                const std::vector<uint64_t>& keys) {
+  simd::ScopedIsaForTesting scoped(level);
+  SketchT sketch(params);
+  // Mixed positive and negative weights (turnstile updates) in several
+  // batches so per-counter FP accumulation order matters.
+  sketch.UpdateBatch(keys.data(), keys.size() / 2, 1.0);
+  sketch.UpdateBatch(keys.data() + keys.size() / 2, keys.size() / 2, -2.5);
+  sketch.UpdateBatch(keys.data(), keys.size() / 3, 0.125);
+  return sketch;
+}
+
+template <typename SketchT>
+void ExpectCountersIdenticalAcrossLevels() {
+  const std::vector<uint64_t> keys = MixedKeys(4096, 17);
+  for (XiScheme scheme : kAllSchemes) {
+    SketchParams params;
+    params.rows = 5;
+    params.buckets = 101;
+    params.scheme = scheme;
+    params.seed = 31337;
+    const SketchT reference =
+        BuildAt<SketchT>(IsaLevel::kScalar, params, keys);
+    for (IsaLevel level : ReachableLevels()) {
+      const SketchT candidate = BuildAt<SketchT>(level, params, keys);
+      ASSERT_EQ(candidate.counters().size(), reference.counters().size());
+      ASSERT_EQ(std::memcmp(candidate.counters().data(),
+                            reference.counters().data(),
+                            reference.counters().size() * sizeof(double)),
+                0)
+          << XiSchemeName(scheme) << " at " << simd::IsaLevelName(level);
+    }
+  }
+}
+
+TEST(IsaDispatchTest, FagmsCountersBitExactAcrossLevels) {
+  ExpectCountersIdenticalAcrossLevels<FagmsSketch>();
+}
+
+TEST(IsaDispatchTest, AgmsCountersBitExactAcrossLevels) {
+  ExpectCountersIdenticalAcrossLevels<AgmsSketch>();
+}
+
+TEST(IsaDispatchTest, CountMinCountersBitExactAcrossLevels) {
+  ExpectCountersIdenticalAcrossLevels<CountMinSketch>();
+}
+
+TEST(IsaDispatchTest, FastCountCountersBitExactAcrossLevels) {
+  ExpectCountersIdenticalAcrossLevels<FastCountSketch>();
+}
+
+// The fused F-AGMS CW4 kernel also has a d == 1 degenerate row path.
+TEST(IsaDispatchTest, FagmsFusedSingleBucketBitExactAcrossLevels) {
+  const std::vector<uint64_t> keys = MixedKeys(1037, 23);
+  SketchParams params;
+  params.rows = 3;
+  params.buckets = 1;
+  params.scheme = XiScheme::kCw4;
+  params.seed = 7;
+  const FagmsSketch reference =
+      BuildAt<FagmsSketch>(IsaLevel::kScalar, params, keys);
+  for (IsaLevel level : ReachableLevels()) {
+    const FagmsSketch candidate = BuildAt<FagmsSketch>(level, params, keys);
+    ASSERT_EQ(std::memcmp(candidate.counters().data(),
+                          reference.counters().data(),
+                          reference.counters().size() * sizeof(double)),
+              0)
+        << simd::IsaLevelName(level);
+  }
+}
+
+// UpdateBatch must also equal per-key Update() at the active level (stream
+// order preserved by the scalar scatter).
+TEST(IsaDispatchTest, BatchEqualsPerKeyUpdateAtBestLevel) {
+  const std::vector<uint64_t> keys = MixedKeys(1037, 29);
+  SketchParams params;
+  params.scheme = XiScheme::kCw4;
+  params.rows = 3;
+  params.buckets = 128;
+  params.seed = 55;
+  FagmsSketch batch(params);
+  FagmsSketch single(params);
+  batch.UpdateBatch(keys.data(), keys.size(), -1.75);
+  for (uint64_t key : keys) single.Update(key, -1.75);
+  ASSERT_EQ(std::memcmp(batch.counters().data(), single.counters().data(),
+                        batch.counters().size() * sizeof(double)),
+            0);
+}
+
+// --------------------------------------------------------------------------
+// Aligned counter storage.
+
+TEST(AlignedCountersTest, CounterBaseIs64ByteAligned) {
+  SketchParams params;
+  params.rows = 3;
+  params.buckets = 77;
+  FagmsSketch fagms(params);
+  CountMinSketch cm(params);
+  FastCountSketch fc(params);
+  AgmsSketch agms(params);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(fagms.counters().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(cm.counters().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(fc.counters().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(agms.counters().data()) % 64, 0u);
+}
+
+TEST(AlignedCountersTest, AlignedCounterBytesRoundsUpToCacheLines) {
+  EXPECT_EQ(AlignedCounterBytes(0), 0u);
+  EXPECT_EQ(AlignedCounterBytes(1), 64u);
+  EXPECT_EQ(AlignedCounterBytes(8), 64u);
+  EXPECT_EQ(AlignedCounterBytes(9), 128u);
+  EXPECT_EQ(AlignedCounterBytes(16), 128u);
+}
+
+TEST(AlignedCountersTest, MemoryBytesCoversAlignedCounters) {
+  SketchParams params;
+  params.rows = 2;
+  params.buckets = 33;  // 66 counters -> 528 raw bytes -> 576 aligned
+  FagmsSketch sketch(params);
+  EXPECT_GE(sketch.MemoryBytes(),
+            AlignedCounterBytes(params.rows * params.buckets));
+}
+
+}  // namespace
+}  // namespace sketchsample

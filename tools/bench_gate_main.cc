@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/flags.h"
@@ -27,6 +28,10 @@ int BenchGateMain(int argc, char** argv) {
   flags.Define("no_latency", "false", "skip the latency gate entirely");
   flags.Define("force_throughput", "false",
                "gate throughput even when reports come from different hosts");
+  flags.Define("rules", "",
+               "optional within-report ratio rules JSON (bench/rules/*.json) "
+               "evaluated against the CURRENT report; host-independent, so "
+               "it gates even when baseline throughput is skipped");
 
   // Split positional file arguments from --flags before handing the rest to
   // the Flags parser (which treats unknown positionals as errors).
@@ -73,7 +78,25 @@ int BenchGateMain(int argc, char** argv) {
     return 2;
   }
 
-  const Result result = Compare(*baseline, *current, options);
+  Result result = Compare(*baseline, *current, options);
+
+  if (const std::string rules_path = flags.GetString("rules");
+      !rules_path.empty()) {
+    const auto rules = LoadRules(rules_path, &error);
+    if (!rules.has_value()) {
+      std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
+      return 2;
+    }
+    Result rule_result = CheckRules(*current, *rules);
+    result.ok = result.ok && rule_result.ok;
+    for (std::string& failure : rule_result.failures) {
+      result.failures.push_back(std::move(failure));
+    }
+    for (std::string& note : rule_result.notes) {
+      result.notes.push_back(std::move(note));
+    }
+  }
+
   for (const std::string& note : result.notes) {
     std::fprintf(stderr, "note: %s\n", note.c_str());
   }

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace sketchsample {
 namespace gate {
@@ -332,6 +333,199 @@ Result Compare(const JsonValue& baseline, const JsonValue& current,
         " point(s) not present in the baseline (not gated)");
   }
 
+  result.ok = result.failures.empty();
+  return result;
+}
+
+namespace {
+
+/// scalar < avx2 < avx512; -1 for unknown names (never satisfies a
+/// requirement, so a typo in require_isa keeps the rule engaged and fails
+/// loudly on the missing level instead of silently passing).
+int IsaRank(const std::string& name) {
+  if (name == "scalar") return 0;
+  if (name == "avx2") return 1;
+  if (name == "avx512") return 2;
+  return -1;
+}
+
+std::string LabelsToString(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    if (out.size() > 1) out += ", ";
+    out += k + "=" + v;
+  }
+  return out + "}";
+}
+
+/// The unique point whose labels contain every (key, value) pair in
+/// `selector`. Returns nullptr (with *problem set) on zero or >1 matches.
+const JsonValue* FindUniquePoint(
+    const JsonValue& report,
+    const std::vector<std::pair<std::string, std::string>>& selector,
+    std::string* problem) {
+  const JsonValue* found = nullptr;
+  for (const JsonValue& point : report.Get("points")->AsArray()) {
+    const JsonValue* labels = point.Get("labels");
+    bool matches = true;
+    for (const auto& [k, v] : selector) {
+      const auto value = labels->GetString(k);
+      if (!value.has_value() || *value != v) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    if (found != nullptr) {
+      *problem = "matches multiple points";
+      return nullptr;
+    }
+    found = &point;
+  }
+  if (found == nullptr) *problem = "matches no point";
+  return found;
+}
+
+std::optional<std::string> ParseSelector(
+    const JsonValue& rule, const char* field,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  const JsonValue* selector = rule.Get(field);
+  if (selector == nullptr || !selector->is_object()) {
+    return std::string("missing ") + field + " labels object";
+  }
+  if (selector->AsObject().empty()) {
+    return std::string(field) + " selector is empty";
+  }
+  for (const auto& [k, v] : selector->AsObject()) {
+    if (!v.is_string()) {
+      return std::string(field) + " label '" + k + "' is not a string";
+    }
+    out->emplace_back(k, v.AsString());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> ValidateRules(const JsonValue& rules) {
+  if (!rules.is_object()) return "rules root is not a JSON object";
+  const auto version = rules.GetNumber("schema_version");
+  if (!version.has_value()) return "missing numeric schema_version";
+  if (*version != 1) {
+    return "unsupported schema_version " + std::to_string(*version);
+  }
+  const JsonValue* list = rules.Get("rules");
+  if (list == nullptr || !list->is_array()) return "missing rules array";
+  for (size_t i = 0; i < list->AsArray().size(); ++i) {
+    const JsonValue& rule = list->AsArray()[i];
+    const std::string where = "rules[" + std::to_string(i) + "] ";
+    if (!rule.is_object()) return where + "is not an object";
+    if (!rule.GetNumber("min_ratio").has_value()) {
+      return where + "missing numeric min_ratio";
+    }
+    RatioRule parsed;
+    if (auto problem = ParseSelector(rule, "numerator",
+                                     &parsed.numerator_labels)) {
+      return where + *problem;
+    }
+    if (auto problem = ParseSelector(rule, "denominator",
+                                     &parsed.denominator_labels)) {
+      return where + *problem;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<RatioRule>> LoadRules(const std::string& path,
+                                                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.has_value()) {
+    if (error != nullptr) *error = path + ": malformed JSON";
+    return std::nullopt;
+  }
+  if (auto problem = ValidateRules(*parsed); problem.has_value()) {
+    if (error != nullptr) *error = path + ": " + *problem;
+    return std::nullopt;
+  }
+  std::vector<RatioRule> rules;
+  for (const JsonValue& rule : parsed->Get("rules")->AsArray()) {
+    RatioRule out;
+    out.description = rule.GetString("description").value_or("");
+    out.metric = rule.GetString("metric").value_or("updates_per_sec");
+    out.min_ratio = *rule.GetNumber("min_ratio");
+    out.require_isa = rule.GetString("require_isa").value_or("");
+    ParseSelector(rule, "numerator", &out.numerator_labels);
+    ParseSelector(rule, "denominator", &out.denominator_labels);
+    rules.push_back(std::move(out));
+  }
+  return rules;
+}
+
+Result CheckRules(const JsonValue& report,
+                  const std::vector<RatioRule>& rules) {
+  Result result;
+  const std::string name = report.GetString("name").value_or("?");
+  std::string report_isa = "scalar";
+  if (const JsonValue* config = report.Get("config");
+      config != nullptr && config->is_object()) {
+    report_isa = config->GetString("isa").value_or("scalar");
+  }
+
+  for (const RatioRule& rule : rules) {
+    const std::string what =
+        name + " rule '" +
+        (rule.description.empty() ? LabelsToString(rule.numerator_labels) + " / " +
+                                        LabelsToString(rule.denominator_labels)
+                                  : rule.description) +
+        "'";
+    if (!rule.require_isa.empty() &&
+        IsaRank(report_isa) < IsaRank(rule.require_isa)) {
+      result.notes.push_back(what + " skipped: requires ISA level '" +
+                             rule.require_isa + "', report ran at '" +
+                             report_isa + "'");
+      continue;
+    }
+    std::string problem;
+    const JsonValue* numerator =
+        FindUniquePoint(report, rule.numerator_labels, &problem);
+    if (numerator == nullptr) {
+      result.failures.push_back(what + ": numerator " +
+                                LabelsToString(rule.numerator_labels) + " " +
+                                problem + " (coverage regression)");
+      continue;
+    }
+    const JsonValue* denominator =
+        FindUniquePoint(report, rule.denominator_labels, &problem);
+    if (denominator == nullptr) {
+      result.failures.push_back(what + ": denominator " +
+                                LabelsToString(rule.denominator_labels) + " " +
+                                problem + " (coverage regression)");
+      continue;
+    }
+    const auto num = PointMetric(*numerator, rule.metric);
+    const auto den = PointMetric(*denominator, rule.metric);
+    if (!num.has_value() || !den.has_value() || *den <= 0 || *num <= 0) {
+      result.failures.push_back(what + ": metric '" + rule.metric +
+                                "' missing or non-positive in matched points");
+      continue;
+    }
+    const double ratio = *num / *den;
+    if (ratio < rule.min_ratio) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    ": ratio %.3f below required %.3f (%s %.6g vs %.6g)",
+                    ratio, rule.min_ratio, rule.metric.c_str(), *num, *den);
+      result.failures.push_back(what + buf);
+    }
+  }
   result.ok = result.failures.empty();
   return result;
 }

@@ -32,6 +32,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/json.h"
@@ -77,6 +78,58 @@ Result Compare(const JsonValue& baseline, const JsonValue& current,
 /// surface as failures with ok=false.
 Result GateFiles(const std::string& baseline_path,
                  const std::string& current_path, const Options& options);
+
+/// Within-report ratio rule: requires metric(numerator point) >=
+/// min_ratio * metric(denominator point) inside ONE report. Both points come
+/// from the same run on the same machine, so the check is host-independent —
+/// this is how absolute speed-up claims (e.g. "the AVX-512 fused kernel is
+/// at least 2x the scalar fused kernel") are enforced in CI even though the
+/// committed baselines were recorded elsewhere.
+///
+/// Rules are loaded from a JSON file (bench/rules/<report>.json):
+///
+///   {
+///     "schema_version": 1,
+///     "report": "bench_update_throughput",
+///     "rules": [
+///       {
+///         "description": "avx512 fused kernel >= 2x scalar",
+///         "metric": "updates_per_sec",
+///         "min_ratio": 2.0,
+///         "require_isa": "avx512",          // optional; see below
+///         "numerator":   {"benchmark": "BM_FagmsFusedIsa/avx512"},
+///         "denominator": {"benchmark": "BM_FagmsFusedIsa/scalar"}
+///       }, ...
+///     ]
+///   }
+///
+/// A rule's numerator/denominator each select the unique report point whose
+/// labels contain all the listed key=value pairs; zero or multiple matches
+/// fail the rule (coverage regression — a vector kernel silently falling off
+/// the dispatch table must not pass). `require_isa` skips the rule (with a
+/// note) when the report's "config.isa" stamp is below the named level in
+/// the scalar < avx2 < avx512 order: an AVX-512 rule cannot fail on a host
+/// that cannot run AVX-512, but engages everywhere the level is reachable.
+struct RatioRule {
+  std::string description;
+  std::string metric = "updates_per_sec";
+  double min_ratio = 1.0;
+  std::string require_isa;  // empty = always engaged
+  std::vector<std::pair<std::string, std::string>> numerator_labels;
+  std::vector<std::pair<std::string, std::string>> denominator_labels;
+};
+
+/// Returns an error message when `rules` does not conform to the rules
+/// schema above, std::nullopt when valid.
+std::optional<std::string> ValidateRules(const JsonValue& rules);
+
+/// Reads and parses a rules file; on any I/O, JSON, or schema error returns
+/// std::nullopt and fills `*error`.
+std::optional<std::vector<RatioRule>> LoadRules(const std::string& path,
+                                                std::string* error);
+
+/// Evaluates every rule against a single (validated) report.
+Result CheckRules(const JsonValue& report, const std::vector<RatioRule>& rules);
 
 }  // namespace gate
 }  // namespace sketchsample

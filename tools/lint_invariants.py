@@ -29,6 +29,19 @@ keep the estimator algebra reproducible and the batch kernels fast:
                          src/stream/shard_engine must contain a
                          SKETCHSAMPLE_METRIC_* hook so production counters
                          never silently lose coverage.
+  simd-intrinsics-confined  Raw ``<immintrin.h>`` includes and ``_mm*``/
+                         ``__m256``/``__m512`` intrinsic tokens are allowed
+                         only in the per-ISA kernel TUs
+                         (``src/prng/simd/kernels_*.cc``); everything else
+                         must go through the runtime-dispatched
+                         ``simd::Kernels()`` table, which carries the cpuid
+                         guard and the scalar bit-exactness contract.
+  simd-scalar-twin       Every kernel slot a vector table registers with a
+                         designated initializer must also be registered in
+                         the scalar table (``kernels_scalar.cc``): the
+                         scalar twin is the reference implementation the
+                         dispatch tests compare against and the guaranteed
+                         fallback on non-x86 hosts.
   direct-include         Library code (src/, tools/) that names a common
                          standard-library symbol must directly include its
                          canonical header instead of leaning on transitive
@@ -461,12 +474,124 @@ def check_direct_include(f: SourceFile) -> list[Violation]:
     return found
 
 
+# --------------------------------------------------------------------------
+# simd-intrinsics-confined
+# --------------------------------------------------------------------------
+
+# The per-ISA kernel translation units — the only files allowed to touch raw
+# vector intrinsics. Everything else (including dispatch.h/kernels.h, which
+# must stay compilable without -m flags for the self-contained-header rule)
+# goes through the simd::KernelTable function pointers.
+SIMD_KERNEL_FILE_RE = re.compile(r"^src/prng/simd/kernels_[a-z0-9_]+\.cc$")
+
+SIMD_INTRINSIC_TOKEN_RE = re.compile(
+    r"\b__m(?:128|256|512)[id]?\b|\b_mm(?:256|512)?_\w+\s*\("
+)
+
+
+def check_simd_intrinsics_confined(f: SourceFile) -> list[Violation]:
+    """Raw <immintrin.h> usage is confined to the per-ISA kernel TUs.
+
+    Intrinsics scattered through the tree defeat the dispatch layer twice
+    over: the code stops working on hosts without the ISA (no runtime cpuid
+    guard), and the scalar-twin bit-exactness contract stops covering it.
+    """
+    if SIMD_KERNEL_FILE_RE.match(f.path):
+        return []
+    found = []
+    for m in re.finditer(r'#\s*include\s*[<"](immintrin\.h|x86intrin\.h)[">]', f.code):
+        lineno = line_of(f.code, m.start())
+        if waived(f.lines, lineno, "simd-intrinsics-confined"):
+            continue
+        found.append(
+            Violation(
+                f.path,
+                lineno,
+                "simd-intrinsics-confined",
+                f"includes <{m.group(1)}> outside src/prng/simd/kernels_*.cc; "
+                "vector code must live in the dispatched kernel TUs",
+            )
+        )
+    for m in SIMD_INTRINSIC_TOKEN_RE.finditer(f.code):
+        lineno = line_of(f.code, m.start())
+        if waived(f.lines, lineno, "simd-intrinsics-confined"):
+            continue
+        found.append(
+            Violation(
+                f.path,
+                lineno,
+                "simd-intrinsics-confined",
+                f"raw vector intrinsic '{m.group(0).rstrip('(').strip()}' outside "
+                "src/prng/simd/kernels_*.cc; go through simd::Kernels()",
+            )
+        )
+    return found
+
+
+# --------------------------------------------------------------------------
+# simd-scalar-twin
+# --------------------------------------------------------------------------
+
+SIMD_SCALAR_TABLE = "src/prng/simd/kernels_scalar.cc"
+
+# Designated-initializer fields of a KernelTable literal: `.field = value`.
+KERNEL_TABLE_FIELD_RE = re.compile(r"^\s*\.([a-z0-9_]+)\s*=", re.MULTILINE)
+
+
+def check_simd_scalar_twin(f: SourceFile) -> list[Violation]:
+    """Every vector kernel slot must have a scalar twin in the scalar table.
+
+    The dispatch contract (src/prng/simd/dispatch.h) promises that capping
+    SKETCHSAMPLE_ISA=scalar reproduces any vector level bit-for-bit. That
+    only holds if no vector table registers a kernel slot the scalar table
+    does not: such a slot would have no reference implementation to test
+    against and no fallback on non-x86 hosts. Table literals use designated
+    initializers, so the slot sets are parsed syntactically.
+    """
+    if not SIMD_KERNEL_FILE_RE.match(f.path) or f.path == SIMD_SCALAR_TABLE:
+        return []
+    try:
+        with open(os.path.join(f.root, SIMD_SCALAR_TABLE), encoding="utf-8") as fh:
+            scalar_code = strip_comments_and_strings(fh.read())
+    except OSError:
+        return [
+            Violation(
+                f.path,
+                1,
+                "simd-scalar-twin",
+                f"cannot read {SIMD_SCALAR_TABLE} to verify scalar twins",
+            )
+        ]
+    scalar_fields = set(KERNEL_TABLE_FIELD_RE.findall(scalar_code))
+    found = []
+    for m in KERNEL_TABLE_FIELD_RE.finditer(f.code):
+        field = m.group(1)
+        if field in scalar_fields or field == "name":
+            continue
+        lineno = line_of(f.code, m.start(1))
+        if waived(f.lines, lineno, "simd-scalar-twin"):
+            continue
+        found.append(
+            Violation(
+                f.path,
+                lineno,
+                "simd-scalar-twin",
+                f"vector kernel slot '.{field}' has no scalar twin registered "
+                f"in {SIMD_SCALAR_TABLE}; the scalar table is the reference "
+                "semantics every ISA level is tested against",
+            )
+        )
+    return found
+
+
 CHECKS = [
     check_forbidden_rng,
     check_hot_path_std_function,
     check_batch_kernel_modulo,
     check_mutator_metrics,
     check_direct_include,
+    check_simd_intrinsics_confined,
+    check_simd_scalar_twin,
 ]
 
 

@@ -47,6 +47,11 @@ run fig8_wor_tpch_selfjoin_error "${common[@]}" --scale_factor="$scale"
 run bench_sketch_ablation "${common[@]}"
 run bench_shard_scaling "${common[@]}"
 run bench_service --tuples="$tuples" --seconds="$service_seconds"
+# Also carries the SIMD dispatch series (BM_FagmsFusedIsa/<isa>, the
+# BM_FagmsRoofline/<isa>/<buckets> working-set sweep, and the layout
+# trial); those points register per reachable ISA level, so exporting
+# SKETCHSAMPLE_ISA here caps which series the report contains. The ratio
+# requirements between them live in bench/rules/ (docs/BENCHMARKS.md).
 run bench_update_throughput --benchmark_min_time="$min_time"
 run ext_decomposition_wr_wor --tuples="$tuples"
 run ext_generic_variance --mc_trials="$mc"
