@@ -20,6 +20,8 @@
 // The bench gate consumes the report: updates_per_sec points aggregate
 // into the duration-weighted combined ingest+query throughput, and every
 // *_latency_ns metric gates per point (tools/gate.h).
+// lint:allow-file(raw-atomic-confined): benchmark worker coordination
+// across real OS threads over loopback sockets; measurement harness.
 #include <algorithm>
 #include <atomic>
 #include <chrono>

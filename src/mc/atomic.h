@@ -1,0 +1,154 @@
+// Instrumented atomics: the model checker's twin of StdAtomics
+// (src/util/atomics_policy.h). Instantiating a policy-parameterized
+// primitive with `mc::McAtomics` routes every load/store/RMW/fence through
+// the scheduler (src/mc/sched.h), which records it, explores its schedule
+// and read-from alternatives, and race-checks the Plain cells around it.
+//
+// Values are stored bit-cast into uint64_t, so T must be trivially
+// copyable and at most 8 bytes (pointers, integers, enums — everything the
+// production protocols use).
+#ifndef SKETCHSAMPLE_MC_ATOMIC_H_
+#define SKETCHSAMPLE_MC_ATOMIC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/mc/sched.h"
+#include "src/util/atomics_policy.h"
+
+namespace sketchsample::mc {
+
+namespace detail {
+
+template <typename T>
+uint64_t ToBits(T value) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "mc::atomic requires a trivially copyable T of at most 8 "
+                "bytes");
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(T));
+  return bits;
+}
+
+template <typename T>
+T FromBits(uint64_t bits) {
+  T value;
+  std::memcpy(&value, &bits, sizeof(T));
+  return value;
+}
+
+}  // namespace detail
+
+/// Instrumented atomic cell. Must be constructed (and used) inside a
+/// Scheduler::Run — i.e. from a spec body or a model thread.
+template <typename T>
+class atomic {
+ public:
+  atomic() : atomic(T{}, "<anon>") {}
+  explicit atomic(T init) : atomic(init, "<anon>") {}
+  atomic(T init, const char* name)
+      : id_(Scheduler::Current()->RegisterAtomic(name, detail::ToBits(init))) {}
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(MemOrder order = MemOrder::kSeqCst) const {
+    return detail::FromBits<T>(Scheduler::Current()->AtomicLoad(id_, order));
+  }
+  void store(T desired, MemOrder order = MemOrder::kSeqCst) {
+    Scheduler::Current()->AtomicStore(id_, detail::ToBits(desired), order);
+  }
+  T exchange(T desired, MemOrder order = MemOrder::kSeqCst) {
+    const uint64_t bits = detail::ToBits(desired);
+    return detail::FromBits<T>(Scheduler::Current()->AtomicRmw(
+        id_, order, [bits](uint64_t) { return bits; }));
+  }
+  T fetch_add(T delta, MemOrder order = MemOrder::kSeqCst) {
+    static_assert(std::is_integral_v<T>,
+                  "mc::atomic::fetch_add supports integral T only");
+    const uint64_t d = detail::ToBits(delta);
+    return detail::FromBits<T>(Scheduler::Current()->AtomicRmw(
+        id_, order, [d](uint64_t old) {
+          return detail::ToBits<T>(
+              static_cast<T>(detail::FromBits<T>(old) + detail::FromBits<T>(d)));
+        }));
+  }
+  bool compare_exchange_strong(T& expected, T desired, MemOrder success,
+                               MemOrder failure) {
+    uint64_t expected_bits = detail::ToBits(expected);
+    const bool ok = Scheduler::Current()->AtomicCas(
+        id_, expected_bits, detail::ToBits(desired), success, failure);
+    expected = detail::FromBits<T>(expected_bits);
+    return ok;
+  }
+
+ private:
+  VarId id_;
+};
+
+/// Instrumented non-atomic cell: the checker's twin of StdAtomics::Plain.
+/// Every access is race-checked against the happens-before edges the
+/// surrounding protocol established.
+template <typename T>
+class var {
+ public:
+  var() : id_(Scheduler::Current()->RegisterPlain("<plain>")) {}
+  explicit var(T init)
+      : id_(Scheduler::Current()->RegisterPlain("<plain>")),
+        value_(std::move(init)) {}
+  var(T init, const char* name)
+      : id_(Scheduler::Current()->RegisterPlain(name)),
+        value_(std::move(init)) {}
+
+  const T& Read() const {
+    Scheduler::Current()->PlainRead(id_);
+    return value_;
+  }
+  template <typename U>
+  void Store(U&& desired) {
+    Scheduler::Current()->PlainWrite(id_);
+    value_ = std::forward<U>(desired);
+  }
+  T Take() {
+    Scheduler::Current()->PlainWrite(id_);
+    return std::move(value_);
+  }
+
+ private:
+  VarId id_;
+  T value_{};
+};
+
+inline void fence(MemOrder order) { Scheduler::Current()->Fence(order); }
+
+/// Model-checked policy, drop-in for StdAtomics in the three primitives.
+struct McAtomics {
+  template <typename T>
+  using Atomic = mc::atomic<T>;
+  template <typename T>
+  using Plain = mc::var<T>;
+
+  static void Fence(MemOrder order) { mc::fence(order); }
+
+  /// A scheduling point that also deprioritizes the caller, so bounded
+  /// exploration does not starve the thread a spin loop waits on.
+  static void Yield() { Scheduler::Current()->Yield(); }
+};
+
+/// Spec assertion: on failure the current schedule is reported as a
+/// violation and replayed into a human-readable trace by the explorer.
+#define MC_ASSERT(cond)                                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::sketchsample::mc::Scheduler::Current()->Fail(                         \
+          std::string("MC_ASSERT failed: " #cond " (") + __FILE__ + ":" +     \
+          std::to_string(__LINE__) + ")");                                    \
+    }                                                                         \
+  } while (0)
+
+}  // namespace sketchsample::mc
+
+#endif  // SKETCHSAMPLE_MC_ATOMIC_H_

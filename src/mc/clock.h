@@ -1,0 +1,65 @@
+// Vector clocks for the interleaving model checker.
+//
+// Every model thread carries a clock; every store records the clock of the
+// storing thread at the moment of the store. Happens-before is the
+// component-wise partial order: store S happens-before step X iff
+// S.clock <= X.clock (component-wise), which the checker uses for
+//   * store visibility (a load may not observe a store that is hidden
+//     behind a later store to the same variable that already
+//     happened-before the load), and
+//   * plain-variable race detection (two accesses, at least one write,
+//     neither ordered before the other).
+#ifndef SKETCHSAMPLE_MC_CLOCK_H_
+#define SKETCHSAMPLE_MC_CLOCK_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sketchsample::mc {
+
+/// Upper bound on model threads per exploration (including the main spec
+/// body, which runs as thread 0). Specs in this repo use 2-4; the bound is
+/// a compile-time array size, not a scalability claim.
+inline constexpr size_t kMaxThreads = 8;
+
+/// Component-wise max vector clock over kMaxThreads lanes.
+class VClock {
+ public:
+  constexpr VClock() : ticks_{} {}
+
+  uint64_t Get(size_t tid) const { return ticks_[tid]; }
+  void Set(size_t tid, uint64_t tick) { ticks_[tid] = tick; }
+  void Bump(size_t tid) { ++ticks_[tid]; }
+
+  /// this := max(this, other), component-wise (the "join" at every
+  /// synchronizes-with edge).
+  void Join(const VClock& other) {
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      ticks_[i] = std::max(ticks_[i], other.ticks_[i]);
+    }
+  }
+
+  /// True iff this <= other component-wise: everything this clock has seen,
+  /// `other` has also seen (this happens-before-or-equals other).
+  bool LessEq(const VClock& other) const {
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      if (ticks_[i] > other.ticks_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the event stamped (tid, tick) happened-before a step whose
+  /// clock is `other`: the step has seen at least `tick` of thread `tid`.
+  static bool EventBefore(size_t tid, uint64_t tick, const VClock& other) {
+    return tick <= other.Get(tid);
+  }
+
+ private:
+  std::array<uint64_t, kMaxThreads> ticks_;
+};
+
+}  // namespace sketchsample::mc
+
+#endif  // SKETCHSAMPLE_MC_CLOCK_H_

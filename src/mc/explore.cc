@@ -1,0 +1,127 @@
+#include "src/mc/explore.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace sketchsample::mc {
+
+namespace {
+
+void MergeCensus(std::vector<CensusEntry>& into,
+                 const std::vector<CensusEntry>& from) {
+  for (const CensusEntry& entry : from) {
+    auto it = std::lower_bound(into.begin(), into.end(), entry);
+    if (it == into.end() || !(*it == entry)) into.insert(it, entry);
+  }
+}
+
+std::string BuildReport(Scheduler& sched, const std::function<void()>& body,
+                        const std::vector<size_t>& script, size_t max_steps,
+                        const Mutation* mutation) {
+  std::vector<std::string> lines;
+  Scheduler::RunOptions ro;
+  ro.script = script;
+  ro.max_steps = max_steps;
+  ro.mutation = mutation;
+  ro.trace_out = &lines;
+  Scheduler::RunResult rr = sched.Run(body, ro);
+  std::ostringstream os;
+  os << rr.message << "\nschedule trace (" << lines.size() << " ops):\n";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    os << "  #" << i << "  " << lines[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Result Explore(const std::function<void(Env&)>& spec, const Options& opts) {
+  Scheduler sched;
+  sched.set_full_branching(opts.full_branching);
+  const std::function<void()> body = [&spec] {
+    Env env;
+    spec(env);
+  };
+
+  Result result;
+  std::vector<Scheduler::Node> stack;  // persistent DFS decision stack
+  std::vector<size_t> script = opts.replay ? opts.replay_trace
+                                           : std::vector<size_t>();
+
+  while (true) {
+    Scheduler::RunOptions ro;
+    ro.script = script;
+    ro.max_steps = opts.max_steps;
+    ro.mutation = opts.mutation;
+    Scheduler::RunResult rr = sched.Run(body, ro);
+    ++result.runs;
+    MergeCensus(result.census, rr.census);
+    if (rr.truncated) ++result.truncated_runs;
+
+    if (rr.violation) {
+      result.found = true;
+      result.message = rr.message;
+      result.decisions.clear();
+      for (const Scheduler::Node& node : rr.nodes) {
+        result.decisions.push_back(node.chosen_index);
+      }
+      result.report = BuildReport(sched, body, result.decisions,
+                                  opts.max_steps, opts.mutation);
+      return result;
+    }
+
+    if (opts.replay) {
+      // Single forced schedule; no violation reproduced.
+      result.complete = !rr.truncated;
+      return result;
+    }
+
+    // Merge this run's decisions into the persistent stack. The prefix
+    // followed `script`, so nodes align index-for-index; DPOR may have
+    // added backtrack entries to prefix nodes during this run.
+    const size_t common = std::min(stack.size(), rr.nodes.size());
+    for (size_t i = 0; i < common; ++i) {
+      for (size_t alt : rr.nodes[i].backtrack) {
+        if (std::find(stack[i].backtrack.begin(), stack[i].backtrack.end(),
+                      alt) == stack[i].backtrack.end()) {
+          stack[i].backtrack.push_back(alt);
+        }
+      }
+    }
+    for (size_t i = stack.size(); i < rr.nodes.size(); ++i) {
+      stack.push_back(rr.nodes[i]);
+    }
+
+    // Backtrack: deepest node with an untried alternative.
+    bool advanced = false;
+    for (size_t i = stack.size(); i-- > 0;) {
+      Scheduler::Node& node = stack[i];
+      size_t alt = node.options.size();
+      for (size_t candidate : node.backtrack) {
+        if (std::find(node.done.begin(), node.done.end(), candidate) ==
+            node.done.end()) {
+          alt = std::min(alt, candidate);
+        }
+      }
+      if (alt == node.options.size()) continue;
+      node.done.push_back(alt);
+      node.chosen_index = alt;
+      stack.resize(i + 1);
+      script.clear();
+      for (size_t j = 0; j <= i; ++j) script.push_back(stack[j].chosen_index);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      result.complete = result.truncated_runs == 0;
+      return result;
+    }
+    if (result.runs >= opts.max_runs) {
+      result.complete = false;
+      return result;
+    }
+  }
+}
+
+}  // namespace sketchsample::mc

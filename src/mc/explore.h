@@ -1,0 +1,81 @@
+// DFS exploration driver over Scheduler runs (src/mc/sched.h).
+//
+// Explore() re-executes the spec, maintaining a persistent decision stack;
+// each iteration forces the deepest decision with an untried alternative
+// to that alternative and replays the prefix (stateless DFS). Schedule
+// alternatives come from DPOR backtrack sets (or all enabled threads with
+// `full_branching`); read-from alternatives are always fully enumerated.
+//
+// Termination: exploration is exhaustive up to `max_steps` per run and
+// `max_runs` total. `Result::complete` is true only when the decision tree
+// was drained with no run truncated — for the repo's specs at smoke-test
+// bounds this is "bounded exhaustive" in the CHESS sense.
+#ifndef SKETCHSAMPLE_MC_EXPLORE_H_
+#define SKETCHSAMPLE_MC_EXPLORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/mc/sched.h"
+
+namespace sketchsample::mc {
+
+/// Handed to the spec body; spawns model threads and joins them.
+class Env {
+ public:
+  /// Starts a model thread; runnable immediately.
+  void Spawn(std::function<void()> body) {
+    Scheduler::Current()->Spawn(std::move(body));
+  }
+  /// Waits (from the spec body, model thread 0) for every spawned thread.
+  void Join() { Scheduler::Current()->Join(); }
+};
+
+struct Options {
+  /// Hard cap on schedules explored; hit => Result::complete is false.
+  size_t max_runs = 200000;
+  /// Per-run operation budget; exceeding it truncates the run (bounds
+  /// spin-forever schedules under stale reads).
+  size_t max_steps = 20000;
+  /// Explore every enabled thread at every schedule point instead of DPOR
+  /// backtrack sets. Exponentially slower; cross-validation only.
+  bool full_branching = false;
+  /// Optional one-notch memory-order weakening (mutation suite).
+  const Mutation* mutation = nullptr;
+  /// When `replay` is set, run exactly one schedule following
+  /// `replay_trace` (a Result::decisions vector) instead of exploring.
+  bool replay = false;
+  std::vector<size_t> replay_trace;
+};
+
+struct Result {
+  /// True iff some schedule violated a spec assertion, raced, or
+  /// deadlocked.
+  bool found = false;
+  std::string message;
+  /// Human-readable operation trace of the violating schedule (generated
+  /// by deterministically re-running it with logging on).
+  std::string report;
+  /// The violating schedule's decision vector; feed back via
+  /// Options::replay_trace to reproduce deterministically.
+  std::vector<size_t> decisions;
+  size_t runs = 0;
+  /// Decision tree drained and no run truncated.
+  bool complete = false;
+  size_t truncated_runs = 0;
+  /// Union of (var, op, declared order) sites seen — pre-mutation — for
+  /// the mutation suite to enumerate.
+  std::vector<CensusEntry> census;
+};
+
+Result Explore(const std::function<void(Env&)>& spec, const Options& opts);
+inline Result Explore(const std::function<void(Env&)>& spec) {
+  return Explore(spec, Options{});
+}
+
+}  // namespace sketchsample::mc
+
+#endif  // SKETCHSAMPLE_MC_EXPLORE_H_

@@ -1,0 +1,143 @@
+#include "src/mc/fiber.h"
+
+#include <stdexcept>
+#include <utility>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SKETCHSAMPLE_MC_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define SKETCHSAMPLE_MC_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) && !defined(SKETCHSAMPLE_MC_ASAN)
+#define SKETCHSAMPLE_MC_ASAN 1
+#endif
+
+#if defined(SKETCHSAMPLE_MC_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     size_t* stack_size_old);
+}
+#endif
+
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace sketchsample::mc {
+
+namespace {
+// The fiber being entered by the trampoline. Single OS thread by design;
+// set immediately before the swapcontext that enters the fiber.
+thread_local Fiber* g_entering = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body)
+    : body_(std::move(body)), stack_(kStackBytes) {
+  if (getcontext(&context_) != 0) {
+    throw std::runtime_error("mc::Fiber: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = stack_.data();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // Trampoline never returns; it suspends.
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
+
+void Fiber::Trampoline() {
+  Fiber* self = g_entering;
+  g_entering = nullptr;
+  // Completes the switch started in Resume(): tells ASan we now run on the
+  // fiber stack and remember the caller's stack for the way back.
+  self->SanitizerFinishSwitch(nullptr);
+  self->body_();
+  self->finished_ = true;
+  // Final exit: pass nullptr as fake_stack_save so ASan releases the fake
+  // stack for this terminating fiber instead of preserving it (leak-check
+  // clean under detect_leaks=1).
+  self->SanitizerStartSwitch(/*terminating=*/true, nullptr);
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+  __tsan_switch_to_fiber(self->tsan_caller_fiber_, 0);
+#endif
+  swapcontext(&self->context_, &self->return_context_);
+  // Unreachable: a finished fiber is never resumed.
+}
+
+void Fiber::Resume() {
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+  tsan_caller_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+  g_entering = this;
+  SanitizerStartSwitch(/*terminating=*/false, &fake_stack_resume_);
+  swapcontext(&return_context_, &context_);
+  // Back from the fiber (suspended or finished).
+  SanitizerFinishSwitch(fake_stack_resume_);
+}
+
+void Fiber::Suspend() {
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+  __tsan_switch_to_fiber(tsan_caller_fiber_, 0);
+#endif
+  SanitizerStartSwitch(/*terminating=*/false, &fake_stack_suspend_);
+  swapcontext(&context_, &return_context_);
+  // Resumed again by a later Resume(); the trampoline path does not run, so
+  // finish the switch here.
+  g_entering = nullptr;
+  SanitizerFinishSwitch(fake_stack_suspend_);
+}
+
+void Fiber::SanitizerStartSwitch(bool terminating, void** fake_stack_save) {
+#if defined(SKETCHSAMPLE_MC_ASAN)
+  // When leaving a fiber we must hand ASan the stack we are ABOUT to run
+  // on. Leaving the scheduler context -> the fiber's stack; leaving the
+  // fiber -> the remembered caller stack.
+  if (caller_stack_bottom_ == nullptr || fake_stack_save == &fake_stack_resume_) {
+    __sanitizer_start_switch_fiber(terminating ? nullptr : fake_stack_save,
+                                   stack_.data(), stack_.size());
+  } else {
+    __sanitizer_start_switch_fiber(terminating ? nullptr : fake_stack_save,
+                                   caller_stack_bottom_, caller_stack_size_);
+  }
+#else
+  (void)terminating;
+  (void)fake_stack_save;
+#endif
+}
+
+void Fiber::SanitizerFinishSwitch(void* fake_stack_save) {
+#if defined(SKETCHSAMPLE_MC_ASAN)
+  const void* old_bottom = nullptr;
+  size_t old_size = 0;
+  __sanitizer_finish_switch_fiber(fake_stack_save, &old_bottom, &old_size);
+  // First entry into the fiber records the caller's (scheduler's) stack so
+  // Suspend()/termination can switch ASan back to it.
+  if (caller_stack_bottom_ == nullptr && old_bottom != nullptr) {
+    caller_stack_bottom_ = old_bottom;
+    caller_stack_size_ = old_size;
+  }
+#else
+  (void)fake_stack_save;
+#endif
+}
+
+}  // namespace sketchsample::mc

@@ -1,0 +1,80 @@
+// Cooperative fibers for the model checker's scheduler.
+//
+// Each model thread runs on a ucontext fiber so the scheduler can suspend
+// it at every atomic operation and resume any other thread — single OS
+// thread, fully deterministic, no real concurrency. The switch points are
+// annotated for AddressSanitizer (and TSan, when compiled in) so the
+// repo's sanitizer CI jobs can run the checker's own tests: without the
+// annotations ASan's fake-stack bookkeeping corrupts on the first swap.
+#ifndef SKETCHSAMPLE_MC_FIBER_H_
+#define SKETCHSAMPLE_MC_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SKETCHSAMPLE_MC_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) && !defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+#define SKETCHSAMPLE_MC_FIBER_TSAN 1
+#endif
+
+namespace sketchsample::mc {
+
+/// One suspendable execution context. The body runs until it returns or
+/// calls Fiber::SwitchTo back to the scheduler context; `finished()`
+/// reports body completion.
+class Fiber {
+ public:
+  /// 256 KiB default: specs recurse shallowly, but gtest assertion
+  /// machinery on the fiber stack is not free.
+  static constexpr size_t kStackBytes = 256 * 1024;
+
+  explicit Fiber(std::function<void()> body);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the calling context into this fiber. Returns when the
+  /// fiber switches back out (suspends or finishes).
+  void Resume();
+
+  /// Called from inside the fiber body: suspends, returning control to the
+  /// context that called Resume().
+  void Suspend();
+
+  bool finished() const { return finished_; }
+
+ private:
+  static void Trampoline();
+
+  void SanitizerStartSwitch(bool terminating, void** fake_stack_save);
+  void SanitizerFinishSwitch(void* fake_stack_save);
+
+  std::function<void()> body_;
+  std::vector<unsigned char> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool finished_ = false;
+
+  // Sanitizer bookkeeping for the two directions of the switch.
+  void* fake_stack_resume_ = nullptr;
+  void* fake_stack_suspend_ = nullptr;
+  const void* caller_stack_bottom_ = nullptr;
+  size_t caller_stack_size_ = 0;
+#if defined(SKETCHSAMPLE_MC_FIBER_TSAN)
+  void* tsan_fiber_ = nullptr;
+  void* tsan_caller_fiber_ = nullptr;
+#endif
+};
+
+}  // namespace sketchsample::mc
+
+#endif  // SKETCHSAMPLE_MC_FIBER_H_

@@ -1,0 +1,22 @@
+// Umbrella header for the interleaving model checker.
+//
+//   #include "src/mc/mc.h"
+//   mc::Result r = mc::Explore([](mc::Env& env) {
+//     SpscQueue<int, mc::McAtomics> q(2);   // policy-parameterized primitive
+//     env.Spawn([&] { int v = 1; q.TryPush(v); });
+//     env.Spawn([&] { int out; q.TryPop(out); });
+//     env.Join();
+//     MC_ASSERT(q.SizeApprox() <= 1);
+//   });
+//   ASSERT_FALSE(r.found) << r.report;
+//
+// See docs/STATIC_ANALYSIS.md for what the checker does and does not
+// prove, and tests/mc_spec_test.cc for the real specs.
+#ifndef SKETCHSAMPLE_MC_MC_H_
+#define SKETCHSAMPLE_MC_MC_H_
+
+#include "src/mc/atomic.h"   // IWYU pragma: export
+#include "src/mc/explore.h"  // IWYU pragma: export
+#include "src/mc/sched.h"    // IWYU pragma: export
+
+#endif  // SKETCHSAMPLE_MC_MC_H_

@@ -1,0 +1,713 @@
+#include "src/mc/sched.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace sketchsample::mc {
+
+namespace {
+thread_local Scheduler* g_current = nullptr;
+constexpr size_t kNoNode = static_cast<size_t>(-1);
+// The schedule node that chose the operation currently executing (kNoNode
+// when only one thread was enabled, so there was no choice to revisit).
+thread_local size_t g_step_node = kNoNode;
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kRmw:
+      return "rmw";
+    case OpKind::kFence:
+      return "fence";
+  }
+  return "?";
+}
+
+const char* MemOrderName(MemOrder order) {
+  switch (order) {
+    case MemOrder::kRelaxed:
+      return "relaxed";
+    case MemOrder::kAcquire:
+      return "acquire";
+    case MemOrder::kRelease:
+      return "release";
+    case MemOrder::kAcqRel:
+      return "acq_rel";
+    case MemOrder::kSeqCst:
+      return "seq_cst";
+  }
+  return "?";
+}
+
+MemOrder WeakenOneNotch(OpKind op, MemOrder from) {
+  switch (op) {
+    case OpKind::kLoad:
+      if (from == MemOrder::kSeqCst) return MemOrder::kAcquire;
+      if (from == MemOrder::kAcquire) return MemOrder::kRelaxed;
+      return from;
+    case OpKind::kStore:
+      if (from == MemOrder::kSeqCst) return MemOrder::kRelease;
+      if (from == MemOrder::kRelease) return MemOrder::kRelaxed;
+      return from;
+    case OpKind::kRmw:
+      if (from == MemOrder::kSeqCst) return MemOrder::kAcqRel;
+      if (from == MemOrder::kAcqRel) return MemOrder::kAcquire;
+      if (from == MemOrder::kAcquire) return MemOrder::kRelaxed;
+      return from;
+    case OpKind::kFence:
+      return from;
+  }
+  return from;
+}
+
+Scheduler::Scheduler() = default;
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::Current() { return g_current; }
+
+Scheduler::RunResult Scheduler::Run(const std::function<void()>& spec,
+                                    const RunOptions& opts) {
+  threads_.clear();
+  vars_.clear();
+  nodes_.clear();
+  script_ = opts.script;
+  script_pos_ = 0;
+  steps_ = 0;
+  max_steps_ = opts.max_steps;
+  stale_budget_ = opts.stale_budget;
+  sc_clock_ = VClock();
+  aborting_ = false;
+  truncated_ = false;
+  violation_ = false;
+  violation_message_.clear();
+  mutation_ = opts.mutation;
+  trace_out_ = opts.trace_out;
+  census_.clear();
+  current_tid_ = 0;
+  live_threads_ = 0;
+  g_step_node = kNoNode;
+
+  g_current = this;
+  in_run_ = true;
+  Spawn(spec);  // model thread 0 is the spec body itself
+  RunSchedulerLoop();
+  in_run_ = false;
+  g_current = nullptr;
+
+  RunResult result;
+  result.violation = violation_;
+  result.truncated = truncated_;
+  result.message = violation_message_;
+  result.nodes = std::move(nodes_);
+  result.census = census_;
+  return result;
+}
+
+size_t Scheduler::Spawn(std::function<void()> body) {
+  const size_t tid = threads_.size();
+  if (tid >= kMaxThreads) {
+    throw std::logic_error("mc: more than kMaxThreads model threads");
+  }
+  threads_.emplace_back();
+  ThreadState& t = threads_.back();
+  if (tid > 0) {
+    // Thread creation happens-before the start of the created thread.
+    t.clock = threads_[current_tid_].clock;
+    t.causal = threads_[current_tid_].causal;
+  }
+  t.fiber = std::make_unique<Fiber>([this, tid, fn = std::move(body)] {
+    try {
+      fn();
+    } catch (const McViolation& v) {
+      if (!violation_) {
+        violation_ = true;
+        violation_message_ = v.message;
+      }
+      aborting_ = true;
+    } catch (const McUnwind&) {
+      // Truncation or a violation elsewhere; just finish.
+    }
+    threads_[tid].finished = true;
+    --live_threads_;
+  });
+  ++live_threads_;
+  return tid;
+}
+
+void Scheduler::Join() {
+  // Model thread 0 waits for every spawned thread. EnabledTids() keeps us
+  // out of the schedule while any peer is unfinished.
+  while (true) {
+    bool any = false;
+    for (size_t i = 1; i < threads_.size(); ++i) {
+      if (!threads_[i].finished) any = true;
+    }
+    if (!any) {
+      // Thread completion happens-before the join returning.
+      for (size_t i = 1; i < threads_.size(); ++i) {
+        Cur().clock.Join(threads_[i].clock);
+        Cur().causal.Join(threads_[i].causal);
+      }
+      Cur().waiting_join = false;
+      return;
+    }
+    Cur().waiting_join = true;
+    Pause();
+  }
+}
+
+std::vector<size_t> Scheduler::EnabledTids() const {
+  std::vector<size_t> enabled;
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    const ThreadState& t = threads_[i];
+    if (t.finished) continue;
+    if (t.waiting_join) {
+      bool any = false;
+      for (size_t j = 1; j < threads_.size(); ++j) {
+        if (!threads_[j].finished) any = true;
+      }
+      if (any) continue;
+    }
+    enabled.push_back(i);
+  }
+  return enabled;
+}
+
+void Scheduler::RunSchedulerLoop() {
+  while (true) {
+    bool all_finished = true;
+    for (const ThreadState& t : threads_) {
+      if (!t.finished) all_finished = false;
+    }
+    if (all_finished) return;
+
+    if (aborting_) {
+      // Unwind every suspended thread so fiber stacks (and the RAII state
+      // on them) are torn down before the run returns; threads that never
+      // started simply never ran their body. Reverse spawn order: later
+      // threads borrow objects owned by earlier fibers' stacks (the spec
+      // body, thread 0, owns the shared state and must die last).
+      for (size_t i = threads_.size(); i-- > 0;) {
+        ThreadState& t = threads_[i];
+        if (t.finished) continue;
+        if (!t.started) {
+          t.finished = true;
+          --live_threads_;
+          continue;
+        }
+        // Do NOT pre-set t.unwinding: Pause()'s post-suspend check sees
+        // aborting_ && !unwinding, arms the flag, and throws McUnwind --
+        // pre-setting it would make the ops degenerate (non-pausing,
+        // non-throwing) and a spin loop would hang the unwind forever.
+        current_tid_ = i;
+        t.fiber->Resume();  // Pause() throws McUnwind inside
+      }
+      return;
+    }
+
+    std::vector<size_t> enabled = EnabledTids();
+    if (enabled.empty()) {
+      violation_ = true;
+      violation_message_ = "deadlock: no runnable model thread";
+      aborting_ = true;
+      continue;
+    }
+
+    // Spin-loop deprioritization: a thread that called Policy::Yield is
+    // only scheduled when no non-yielded thread is runnable, so bounded
+    // exploration is not spent starving the thread a spinner waits on.
+    std::vector<size_t> preferred;
+    for (size_t tid : enabled) {
+      if (!threads_[tid].yielded) preferred.push_back(tid);
+    }
+    if (preferred.empty()) {
+      for (size_t tid : enabled) threads_[tid].yielded = false;
+      preferred = enabled;
+    }
+
+    size_t tid;
+    if (preferred.size() > 1) {
+      tid = NextDecision(/*is_read=*/false, preferred);
+      g_step_node = nodes_.size() - 1;
+    } else {
+      tid = preferred[0];
+      g_step_node = kNoNode;
+    }
+
+    current_tid_ = tid;
+    ThreadState& t = threads_[tid];
+    t.yielded = false;
+    t.started = true;
+    t.fiber->Resume();
+  }
+}
+
+size_t Scheduler::NextDecision(bool is_read, std::vector<size_t> options) {
+  Node node;
+  node.is_read = is_read;
+  node.options = std::move(options);
+  if (script_pos_ < script_.size()) {
+    node.chosen_index = script_[script_pos_];
+    if (node.chosen_index >= node.options.size()) {
+      // A stale script (edited spec) — clamp rather than crash; the
+      // explorer treats the run as fresh from here on.
+      node.chosen_index = 0;
+    }
+    ++script_pos_;
+  } else {
+    node.chosen_index = 0;
+  }
+  node.done.push_back(node.chosen_index);
+  if (full_branching_ || is_read) {
+    for (size_t i = 0; i < node.options.size(); ++i) node.backtrack.push_back(i);
+  } else {
+    node.backtrack.push_back(node.chosen_index);
+  }
+  const size_t chosen = node.options[node.chosen_index];
+  nodes_.push_back(std::move(node));
+  return chosen;
+}
+
+void Scheduler::Pause() {
+  if (aborting_) {
+    if (!Cur().unwinding) {
+      Cur().unwinding = true;
+    }
+    throw McUnwind{};
+  }
+  ++steps_;
+  if (steps_ > max_steps_) {
+    truncated_ = true;
+    aborting_ = true;
+    Cur().unwinding = true;
+    throw McUnwind{};
+  }
+  Cur().fiber->Suspend();
+  if (aborting_ && !Cur().unwinding) {
+    // Resumed only to unwind.
+    Cur().unwinding = true;
+    throw McUnwind{};
+  }
+}
+
+void Scheduler::Yield() {
+  if (Cur().unwinding) return;
+  Cur().yielded = true;
+  Pause();
+}
+
+void Scheduler::Fail(std::string message) {
+  // Arm degenerate mode before throwing so destructors that run while this
+  // exception unwinds (and later, while peers unwind) execute their mc ops
+  // without pausing or branching.
+  aborting_ = true;
+  Cur().unwinding = true;
+  throw McViolation{std::move(message)};
+}
+
+VarId Scheduler::RegisterAtomic(const char* name, uint64_t init) {
+  VarState var;
+  var.name = name != nullptr ? name : "<anon>";
+  var.is_atomic = true;
+  Store s;
+  s.value = init;
+  s.tid = current_tid_;
+  s.tick = 0;  // initial store happens-before everything
+  var.history.push_back(std::move(s));
+  vars_.push_back(std::move(var));
+  return vars_.size() - 1;
+}
+
+VarId Scheduler::RegisterPlain(const char* name) {
+  VarState var;
+  var.name = name != nullptr ? name : "<anon>";
+  var.is_atomic = false;
+  vars_.push_back(std::move(var));
+  return vars_.size() - 1;
+}
+
+void Scheduler::RecordCensus(VarId id, OpKind op, MemOrder order) {
+  CensusEntry entry{vars_[id].name, op, order};
+  auto it = std::lower_bound(census_.begin(), census_.end(), entry);
+  if (it == census_.end() || !(*it == entry)) census_.insert(it, entry);
+}
+
+MemOrder Scheduler::EffectiveOrder(VarId id, OpKind op, MemOrder order) {
+  RecordCensus(id, op, order);
+  if (mutation_ != nullptr && mutation_->op == op &&
+      mutation_->from == order && mutation_->var == vars_[id].name) {
+    return WeakenOneNotch(op, order);
+  }
+  return order;
+}
+
+void Scheduler::ScJoin(MemOrder order) {
+  if (order != MemOrder::kSeqCst) return;
+  // Over-approximation: the single total order S over seq_cst operations
+  // is the execution order of this schedule, and S edges are treated as
+  // synchronization. Sound (never invents an impossible behavior), may
+  // miss behaviors where S legally disagrees with the execution order.
+  // Deliberately NOT joined into the causal clock: different execution
+  // orders are how the explorer covers different S orders, so DPOR must
+  // keep treating seq_cst ops on different variables as reorderable.
+  Cur().clock.Join(sc_clock_);
+  sc_clock_.Join(Cur().clock);
+}
+
+std::vector<size_t> Scheduler::VisibleStores(const VarState& var) const {
+  const VClock& clock = threads_[current_tid_].clock;
+  // A store is hidden if a newer store (same variable, modification order)
+  // already happens-before this load. Find the newest store that
+  // happens-before us: everything older is hidden.
+  size_t floor = var.last_read[current_tid_];
+  for (size_t i = var.history.size(); i-- > 0;) {
+    const Store& s = var.history[i];
+    if (VClock::EventBefore(s.tid, s.tick, clock)) {
+      floor = std::max(floor, i);
+      break;
+    }
+  }
+  // Stale-read budget: once this thread has re-read the same stale store
+  // stale_budget_ times in a row, only the newest store is offered, so
+  // spin loops cannot branch into unboundedly many redundant chains.
+  if (var.stale_count[current_tid_] >= stale_budget_) {
+    return {var.history.size() - 1};
+  }
+  std::vector<size_t> visible;
+  for (size_t i = var.history.size(); i-- > floor;) visible.push_back(i);
+  if (visible.empty()) visible.push_back(var.history.size() - 1);
+  return visible;
+}
+
+void Scheduler::ApplyAcquire(VarState& var, const Store& store, bool acquire) {
+  (void)var;
+  if (acquire) {
+    Cur().clock.Join(store.release_clock);
+    Cur().causal.Join(store.causal_release);
+  } else {
+    // Banked: a later acquire fence turns this relaxed load into an
+    // acquire of everything it read.
+    Cur().acq_pending.Join(store.release_clock);
+    Cur().acq_pending_causal.Join(store.causal_release);
+  }
+}
+
+void Scheduler::PushStore(VarState& var, uint64_t value, bool release,
+                          const Store* rmw_read_from) {
+  Store s;
+  s.value = value;
+  s.tid = current_tid_;
+  s.tick = Cur().clock.Get(current_tid_);
+  s.hb = Cur().clock;
+  if (release) {
+    s.release_clock = Cur().clock;
+    s.causal_release = Cur().causal;
+  } else {
+    // A relaxed store after a release fence carries the fence's clock.
+    s.release_clock = Cur().rel_fence;
+    s.causal_release = Cur().rel_fence_causal;
+  }
+  if (rmw_read_from != nullptr) {
+    // RMWs continue the release sequence of the store they read.
+    s.release_clock.Join(rmw_read_from->release_clock);
+    s.causal_release.Join(rmw_read_from->causal_release);
+  }
+  var.history.push_back(std::move(s));
+}
+
+void Scheduler::DporUpdate(VarId id, bool is_write) {
+  VarState& var = vars_[id];
+  const size_t tid = current_tid_;
+  // Concurrency is judged on the CAUSAL clock: the S-order edges in the
+  // full clock would make every pair of seq_cst ops look ordered and
+  // suppress exactly the backtrack points that cover other S orders.
+  const VClock& clock = Cur().causal;
+  auto mark = [&](const VarState::Access& access) {
+    if (!access.valid || access.tid == tid) return;
+    if (access.clock.LessEq(clock)) return;  // already causally ordered
+    if (access.node_index == kNoNode) return;
+    Node& node = nodes_[access.node_index];
+    auto it = std::find(node.options.begin(), node.options.end(), tid);
+    if (it != node.options.end()) {
+      size_t idx = static_cast<size_t>(it - node.options.begin());
+      if (std::find(node.backtrack.begin(), node.backtrack.end(), idx) ==
+          node.backtrack.end()) {
+        node.backtrack.push_back(idx);
+      }
+    } else {
+      node.backtrack.clear();
+      for (size_t i = 0; i < node.options.size(); ++i) {
+        node.backtrack.push_back(i);
+      }
+    }
+  };
+  mark(var.last_write);
+  if (is_write) {
+    for (const auto& read : var.last_reads) mark(read);
+  }
+  VarState::Access access;
+  access.valid = true;
+  access.tid = tid;
+  access.node_index = g_step_node;
+  access.is_write = is_write;
+  access.clock = clock;
+  if (is_write) {
+    var.last_write = access;
+    for (auto& read : var.last_reads) read.valid = false;
+  } else {
+    var.last_reads[tid] = access;
+  }
+}
+
+void Scheduler::Trace(const std::string& line) {
+  if (trace_out_ != nullptr) trace_out_->push_back(line);
+}
+
+uint64_t Scheduler::AtomicLoad(VarId id, MemOrder order) {
+  if (Cur().unwinding) return vars_[id].history.back().value;
+  const MemOrder eff = EffectiveOrder(id, OpKind::kLoad, order);
+  Pause();
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  ScJoin(eff);
+  VarState& var = vars_[id];
+  std::vector<size_t> visible = VisibleStores(var);
+  size_t index = visible.size() > 1
+                     ? NextDecision(/*is_read=*/true, visible)
+                     : visible[0];
+  if (index == var.last_read[current_tid_] &&
+      index + 1 < var.history.size()) {
+    ++var.stale_count[current_tid_];
+  } else {
+    var.stale_count[current_tid_] = 0;
+  }
+  var.last_read[current_tid_] = std::max(var.last_read[current_tid_], index);
+  const Store& store = var.history[index];
+  // DPOR before the acquire join: concurrency with the last write must be
+  // judged at the pre-state. Joining first would make every reads-from
+  // pair look ordered and prune the read-before-write reversal.
+  DporUpdate(id, /*is_write=*/false);
+  ApplyAcquire(var, store,
+               eff == MemOrder::kAcquire || eff == MemOrder::kSeqCst);
+  if (trace_out_ != nullptr) {
+    std::ostringstream os;
+    os << "T" << current_tid_ << " " << var.name << " load(" << MemOrderName(eff)
+       << ") -> " << store.value << " [store #" << index << " by T"
+       << store.tid << "]";
+    Trace(os.str());
+  }
+  return store.value;
+}
+
+void Scheduler::AtomicStore(VarId id, uint64_t value, MemOrder order) {
+  if (Cur().unwinding) {
+    VarState& var = vars_[id];
+    Store s;
+    s.value = value;
+    s.tid = current_tid_;
+    s.tick = Cur().clock.Get(current_tid_);
+    s.hb = Cur().clock;
+    var.history.push_back(std::move(s));
+    return;
+  }
+  const MemOrder eff = EffectiveOrder(id, OpKind::kStore, order);
+  Pause();
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  ScJoin(eff);
+  VarState& var = vars_[id];
+  PushStore(var, value, eff == MemOrder::kRelease || eff == MemOrder::kSeqCst,
+            nullptr);
+  DporUpdate(id, /*is_write=*/true);
+  if (trace_out_ != nullptr) {
+    std::ostringstream os;
+    os << "T" << current_tid_ << " " << var.name << " store("
+       << MemOrderName(eff) << ") <- " << value;
+    Trace(os.str());
+  }
+}
+
+uint64_t Scheduler::AtomicRmw(VarId id, MemOrder order,
+                              const std::function<uint64_t(uint64_t)>& op) {
+  VarState& var = vars_[id];
+  if (Cur().unwinding) {
+    const uint64_t old = var.history.back().value;
+    Store s;
+    s.value = op(old);
+    s.tid = current_tid_;
+    s.tick = Cur().clock.Get(current_tid_);
+    s.hb = Cur().clock;
+    var.history.push_back(std::move(s));
+    return old;
+  }
+  const MemOrder eff = EffectiveOrder(id, OpKind::kRmw, order);
+  Pause();
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  ScJoin(eff);
+  // Atomicity: an RMW always reads the latest store in modification order.
+  const Store read_from = var.history.back();
+  var.last_read[current_tid_] =
+      std::max(var.last_read[current_tid_], var.history.size() - 1);
+  var.stale_count[current_tid_] = 0;
+  DporUpdate(id, /*is_write=*/true);  // pre-state, before the acquire join
+  ApplyAcquire(var, read_from,
+               eff == MemOrder::kAcquire || eff == MemOrder::kAcqRel ||
+                   eff == MemOrder::kSeqCst);
+  const uint64_t new_value = op(read_from.value);
+  PushStore(var, new_value,
+            eff == MemOrder::kRelease || eff == MemOrder::kAcqRel ||
+                eff == MemOrder::kSeqCst,
+            &read_from);
+  if (trace_out_ != nullptr) {
+    std::ostringstream os;
+    os << "T" << current_tid_ << " " << var.name << " rmw(" << MemOrderName(eff)
+       << ") " << read_from.value << " -> " << new_value;
+    Trace(os.str());
+  }
+  return read_from.value;
+}
+
+bool Scheduler::AtomicCas(VarId id, uint64_t& expected, uint64_t desired,
+                          MemOrder success, MemOrder failure) {
+  VarState& var = vars_[id];
+  if (Cur().unwinding) {
+    const uint64_t old = var.history.back().value;
+    if (old != expected) {
+      expected = old;
+      return false;
+    }
+    Store s;
+    s.value = desired;
+    s.tid = current_tid_;
+    s.tick = Cur().clock.Get(current_tid_);
+    s.hb = Cur().clock;
+    var.history.push_back(std::move(s));
+    return true;
+  }
+  const MemOrder eff_success = EffectiveOrder(id, OpKind::kRmw, success);
+  Pause();
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  // A strong CAS is an atomic RMW: it reads the latest store whether or
+  // not the comparison succeeds.
+  const Store read_from = var.history.back();
+  var.last_read[current_tid_] =
+      std::max(var.last_read[current_tid_], var.history.size() - 1);
+  var.stale_count[current_tid_] = 0;
+  if (read_from.value != expected) {
+    ScJoin(failure);
+    DporUpdate(id, /*is_write=*/false);  // pre-state, before the join
+    ApplyAcquire(var, read_from,
+                 failure == MemOrder::kAcquire || failure == MemOrder::kAcqRel ||
+                     failure == MemOrder::kSeqCst);
+    expected = read_from.value;
+    if (trace_out_ != nullptr) {
+      std::ostringstream os;
+      os << "T" << current_tid_ << " " << var.name << " cas-fail("
+         << MemOrderName(failure) << ") saw " << read_from.value;
+      Trace(os.str());
+    }
+    return false;
+  }
+  ScJoin(eff_success);
+  DporUpdate(id, /*is_write=*/true);  // pre-state, before the join
+  ApplyAcquire(var, read_from,
+               eff_success == MemOrder::kAcquire ||
+                   eff_success == MemOrder::kAcqRel ||
+                   eff_success == MemOrder::kSeqCst);
+  PushStore(var, desired,
+            eff_success == MemOrder::kRelease ||
+                eff_success == MemOrder::kAcqRel ||
+                eff_success == MemOrder::kSeqCst,
+            &read_from);
+  if (trace_out_ != nullptr) {
+    std::ostringstream os;
+    os << "T" << current_tid_ << " " << var.name << " cas-ok("
+       << MemOrderName(eff_success) << ") " << read_from.value << " -> "
+       << desired;
+    Trace(os.str());
+  }
+  return true;
+}
+
+void Scheduler::Fence(MemOrder order) {
+  if (Cur().unwinding) return;
+  CensusEntry entry{"<fence>", OpKind::kFence, order};
+  auto it = std::lower_bound(census_.begin(), census_.end(), entry);
+  if (it == census_.end() || !(*it == entry)) census_.insert(it, entry);
+  Pause();
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  ScJoin(order);
+  if (order == MemOrder::kRelease || order == MemOrder::kAcqRel ||
+      order == MemOrder::kSeqCst) {
+    Cur().rel_fence.Join(Cur().clock);
+    Cur().rel_fence_causal.Join(Cur().causal);
+  }
+  if (order == MemOrder::kAcquire || order == MemOrder::kAcqRel ||
+      order == MemOrder::kSeqCst) {
+    Cur().clock.Join(Cur().acq_pending);
+    Cur().causal.Join(Cur().acq_pending_causal);
+  }
+  if (trace_out_ != nullptr) {
+    std::ostringstream os;
+    os << "T" << current_tid_ << " fence(" << MemOrderName(order) << ")";
+    Trace(os.str());
+  }
+}
+
+void Scheduler::PlainRead(VarId id) {
+  if (Cur().unwinding) return;
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  VarState& var = vars_[id];
+  if (var.written &&
+      !VClock::EventBefore(var.write_tid, var.write_tick, Cur().clock) &&
+      var.write_tid != current_tid_) {
+    Fail("data race on '" + var.name + "': read by T" +
+         std::to_string(current_tid_) + " concurrent with write by T" +
+         std::to_string(var.write_tid));
+  }
+  var.read_tick[current_tid_] = Cur().clock.Get(current_tid_);
+  if (trace_out_ != nullptr) {
+    Trace("T" + std::to_string(current_tid_) + " " + var.name + " plain-read");
+  }
+}
+
+void Scheduler::PlainWrite(VarId id) {
+  if (Cur().unwinding) return;
+  Cur().clock.Bump(current_tid_);
+  Cur().causal.Bump(current_tid_);
+  VarState& var = vars_[id];
+  if (var.written &&
+      !VClock::EventBefore(var.write_tid, var.write_tick, Cur().clock) &&
+      var.write_tid != current_tid_) {
+    Fail("data race on '" + var.name + "': write by T" +
+         std::to_string(current_tid_) + " concurrent with write by T" +
+         std::to_string(var.write_tid));
+  }
+  for (size_t t = 0; t < kMaxThreads; ++t) {
+    if (t == current_tid_ || var.read_tick[t] == 0) continue;
+    if (!VClock::EventBefore(t, var.read_tick[t], Cur().clock)) {
+      Fail("data race on '" + var.name + "': write by T" +
+           std::to_string(current_tid_) + " concurrent with read by T" +
+           std::to_string(t));
+    }
+  }
+  var.written = true;
+  var.write_tid = current_tid_;
+  var.write_tick = Cur().clock.Get(current_tid_);
+  var.read_tick.fill(0);
+  if (trace_out_ != nullptr) {
+    Trace("T" + std::to_string(current_tid_) + " " + var.name + " plain-write");
+  }
+}
+
+}  // namespace sketchsample::mc

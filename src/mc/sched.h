@@ -1,0 +1,284 @@
+// The model checker's heart: a deterministic cooperative scheduler plus a
+// C++11-memory-model simulator over instrumented atomics.
+//
+// One *run* executes the spec function with every model thread on a fiber
+// (src/mc/fiber.h), pausing at each atomic operation. Two kinds of decision
+// are recorded on a stack:
+//
+//   * schedule nodes — which enabled thread executes the next operation;
+//   * read-from nodes — which store in the variable's modification-order
+//     history a load observes (newest first). Enumerating the legally
+//     visible stores is what simulates store buffers: a relaxed or acquire
+//     load may observe any store not hidden by a newer store that already
+//     happens-before the load.
+//
+// The explorer (src/mc/explore.h) re-executes the spec, forcing one
+// recorded decision to its next alternative each time (stateless DFS).
+// Schedule alternatives are pruned by a conservative dynamic partial-order
+// reduction: a thread is added to an earlier node's backtrack set only when
+// it executes an operation conflicting with the last concurrent access to
+// the same variable (Flanagan & Godefroid 2005, the non-clairvoyant
+// variant: if the thread was not enabled at that node, all enabled threads
+// are added).
+//
+// Happens-before is tracked with vector clocks (src/mc/clock.h):
+// release-store / acquire-load edges join clocks, release sequences are
+// continued by RMWs, fences are modeled with a per-thread pending-release
+// clock (release fence arms subsequent relaxed stores) and pending-acquire
+// clock (relaxed loads bank the store's release clock; an acquire fence
+// collects it). seq_cst is over-approximated by a global SC clock joined at
+// every seq_cst operation — the simulated total order S is the execution
+// order, a sound restriction (it can miss exotic S orders, never invent
+// impossible ones; see docs/STATIC_ANALYSIS.md).
+//
+// Non-atomic protocol data (Policy::Plain cells) is race-checked against
+// the happens-before edges the surrounding atomics actually established;
+// a race is reported as a violation with both access sites.
+#ifndef SKETCHSAMPLE_MC_SCHED_H_
+#define SKETCHSAMPLE_MC_SCHED_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mc/clock.h"
+#include "src/mc/fiber.h"
+#include "src/util/atomics_policy.h"
+
+namespace sketchsample::mc {
+
+/// Operation kinds, for census entries and mutation targeting.
+enum class OpKind { kLoad, kStore, kRmw, kFence };
+
+const char* OpKindName(OpKind kind);
+const char* MemOrderName(MemOrder order);
+
+/// One (site, order) occurrence observed during exploration. The mutation
+/// suite enumerates these to know which weakenings are meaningful.
+struct CensusEntry {
+  std::string var;
+  OpKind op;
+  MemOrder order;
+
+  bool operator==(const CensusEntry& other) const {
+    return var == other.var && op == other.op && order == other.order;
+  }
+  bool operator<(const CensusEntry& other) const {
+    if (var != other.var) return var < other.var;
+    if (op != other.op) return op < other.op;
+    return order < other.order;
+  }
+};
+
+/// A single one-notch memory-order weakening, applied to every dynamic
+/// occurrence of (var, op) whose declared order matches `from`:
+///   load:  seq_cst -> acquire -> relaxed
+///   store: seq_cst -> release -> relaxed
+///   rmw:   seq_cst -> acq_rel (then acq_rel -> acquire -> relaxed)
+struct Mutation {
+  std::string var;
+  OpKind op = OpKind::kLoad;
+  MemOrder from = MemOrder::kSeqCst;
+};
+
+/// Returns the one-notch-weaker order for (op, from), or `from` itself if
+/// already at the bottom of that operation's ladder.
+MemOrder WeakenOneNotch(OpKind op, MemOrder from);
+
+/// Thrown by MC_ASSERT / race detection inside a model thread.
+struct McViolation {
+  std::string message;
+};
+
+/// Thrown into suspended fibers to unwind them after a violation or a
+/// truncated run. Never escapes the scheduler.
+struct McUnwind {};
+
+/// Identifies an instrumented variable within one run. Variables are
+/// assigned ids in construction order, which the deterministic replay
+/// relies on.
+using VarId = size_t;
+
+class Scheduler {
+ public:
+  struct RunOptions {
+    /// Forced decision prefix (from the explorer). Decisions beyond the
+    /// prefix take the default (first) alternative and are recorded.
+    std::vector<size_t> script;
+    /// Abort (truncate) any run exceeding this many scheduled operations.
+    size_t max_steps = 20000;
+    /// How many times in a row one thread may re-observe the same stale
+    /// store of one variable while a newer store is visible. Spin loops
+    /// otherwise branch into unboundedly many redundant stale-read chains;
+    /// after the budget the newest store is forced. Bugs that need a stale
+    /// read at all are found with budget >= 1 (the bounded-liveness
+    /// assumption; see docs/STATIC_ANALYSIS.md).
+    uint32_t stale_budget = 2;
+    /// Optional memory-order weakening applied at matching sites.
+    const Mutation* mutation = nullptr;
+    /// When set, every executed operation is appended to `trace_out`.
+    std::vector<std::string>* trace_out = nullptr;
+  };
+
+  /// Decision node recorded during a run.
+  struct Node {
+    bool is_read = false;        // read-from node vs schedule node
+    std::vector<size_t> options; // tids (schedule) / store indices (read)
+    size_t chosen_index = 0;     // index into options taken this run
+    // Schedule nodes only: alternatives DPOR marked worth trying, and
+    // alternatives already explored (indices into options).
+    std::vector<size_t> backtrack;
+    std::vector<size_t> done;
+  };
+
+  struct RunResult {
+    bool violation = false;
+    bool truncated = false;
+    std::string message;
+    std::vector<Node> nodes;
+    std::vector<CensusEntry> census;  // sorted, deduplicated
+  };
+
+  Scheduler();
+  ~Scheduler();
+
+  /// The scheduler owning the calling model thread, or nullptr when called
+  /// outside a run (production code path never has one).
+  static Scheduler* Current();
+
+  /// Executes `spec` (as model thread 0) to completion, a violation, or
+  /// truncation, following `opts.script`.
+  RunResult Run(const std::function<void()>& spec, const RunOptions& opts);
+
+  /// True when exploration should explore all schedule alternatives at
+  /// every node instead of DPOR backtrack sets (cross-validation knob).
+  void set_full_branching(bool full) { full_branching_ = full; }
+
+  // ---- called from the instrumented API (src/mc/atomic.h) ----
+  VarId RegisterAtomic(const char* name, uint64_t init);
+  VarId RegisterPlain(const char* name);
+  uint64_t AtomicLoad(VarId id, MemOrder order);
+  void AtomicStore(VarId id, uint64_t value, MemOrder order);
+  /// op: returns the new value from (old, operand).
+  uint64_t AtomicRmw(VarId id, MemOrder order,
+                     const std::function<uint64_t(uint64_t)>& op);
+  bool AtomicCas(VarId id, uint64_t& expected, uint64_t desired,
+                 MemOrder success, MemOrder failure);
+  void Fence(MemOrder order);
+  void PlainRead(VarId id);
+  void PlainWrite(VarId id);
+  void Yield();
+  size_t Spawn(std::function<void()> body);
+  void Join();  // thread 0 only: wait for every spawned thread
+  [[noreturn]] void Fail(std::string message);
+
+ private:
+  struct Store {
+    uint64_t value = 0;
+    size_t tid = 0;
+    uint64_t tick = 0;
+    VClock hb;             // storing thread's clock at the store
+    VClock release_clock;  // joined by acquire loads that read this store
+    // Causal analogue of release_clock: excludes the seq_cst S-order edges
+    // (ScJoin). See ThreadState::causal.
+    VClock causal_release;
+  };
+
+  struct VarState {
+    std::string name;
+    bool is_atomic = false;
+    std::vector<Store> history;                    // modification order
+    std::array<size_t, kMaxThreads> last_read{};   // coherence floor
+    std::array<uint32_t, kMaxThreads> stale_count{};  // consecutive re-reads
+    // Plain vars: last write event and per-thread read events.
+    size_t write_tid = 0;
+    uint64_t write_tick = 0;
+    bool written = false;
+    std::array<uint64_t, kMaxThreads> read_tick{};
+    // DPOR: last access that could conflict (writes; and reads, for
+    // write-after-read conflicts).
+    struct Access {
+      bool valid = false;
+      size_t tid = 0;
+      size_t node_index = 0;  // schedule node that chose this access
+      bool is_write = false;
+      VClock clock;
+    };
+    Access last_write;
+    std::array<Access, kMaxThreads> last_reads;
+  };
+
+  struct ThreadState {
+    std::unique_ptr<Fiber> fiber;
+    VClock clock;
+    VClock rel_fence;    // armed by a release fence, consumed by stores
+    VClock acq_pending;  // banked by relaxed loads, joined by acquire fence
+    // Causal clock: tracks true synchronization only (program order,
+    // acquire/release, fences, spawn/join) and deliberately excludes the
+    // ScJoin S-order edges. DPOR's "already ordered" pruning test uses it:
+    // two seq_cst operations on different variables are S-ordered in one
+    // execution order, but the REVERSED execution order is a different
+    // legal S — pruning the reversal because of the S edge would silently
+    // skip those behaviors (and did, before this clock existed; the
+    // regression lives in tests/mc_model_test.cc). Bumped in lockstep with
+    // `clock`, so per-thread ticks agree between the two.
+    VClock causal;
+    VClock rel_fence_causal;
+    VClock acq_pending_causal;
+    bool started = false;
+    bool finished = false;
+    bool yielded = false;
+    bool waiting_join = false;
+    bool unwinding = false;
+  };
+
+  size_t CurrentTid() const { return current_tid_; }
+  ThreadState& Cur() { return threads_[current_tid_]; }
+
+  /// Suspends the current thread and lets the scheduler pick the next one.
+  /// Every atomic op calls this first; this is where schedule nodes are
+  /// recorded and where McUnwind is thrown during abort.
+  void Pause();
+  size_t NextDecision(bool is_read, std::vector<size_t> options);
+  void RunSchedulerLoop();
+  std::vector<size_t> EnabledTids() const;
+  void AbortAndUnwind();
+  void RecordCensus(VarId id, OpKind op, MemOrder order);
+  MemOrder EffectiveOrder(VarId id, OpKind op, MemOrder order);
+  void DporUpdate(VarId id, bool is_write);
+  std::vector<size_t> VisibleStores(const VarState& var) const;
+  void ApplyAcquire(VarState& var, const Store& store, bool acquire);
+  void PushStore(VarState& var, uint64_t value, bool release,
+                 const Store* rmw_read_from);
+  void ScJoin(MemOrder order);
+  void Trace(const std::string& line);
+
+  std::vector<ThreadState> threads_;
+  std::vector<VarState> vars_;
+  std::vector<Node> nodes_;
+  std::vector<size_t> script_;
+  size_t script_pos_ = 0;
+  size_t current_tid_ = 0;
+  size_t steps_ = 0;
+  size_t max_steps_ = 0;
+  uint32_t stale_budget_ = 2;
+  size_t live_threads_ = 0;
+  VClock sc_clock_;
+  bool aborting_ = false;
+  bool truncated_ = false;
+  bool violation_ = false;
+  std::string violation_message_;
+  const Mutation* mutation_ = nullptr;
+  std::vector<std::string>* trace_out_ = nullptr;
+  std::vector<CensusEntry> census_;
+  bool full_branching_ = false;
+  bool in_run_ = false;
+};
+
+}  // namespace sketchsample::mc
+
+#endif  // SKETCHSAMPLE_MC_SCHED_H_

@@ -1,13 +1,14 @@
 #include "src/prng/simd/dispatch.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "src/prng/simd/kernels.h"
+#include "src/util/atomics_policy.h"
 #include "src/util/metrics.h"
+#include "src/util/once_latch.h"
 
 namespace sketchsample::simd {
 
@@ -54,23 +55,35 @@ const KernelTable* TableFor(IsaLevel level) {
   return GetScalarKernelTable();
 }
 
+// Selection state. The one-time CPU detection runs under an explicit
+// OnceLatch (src/util/once_latch.h) rather than a compiler magic-static
+// guard: the latch is the policy-parameterized primitive the interleaving
+// model checker verifies (tests/mc_spec_test.cc), so the publish edge every
+// Kernels() caller relies on is code this repo can exhaustively check. The
+// `active` pair stays mutable after the latch fires — ScopedIsaForTesting
+// overrides it in-process — so those are relaxed policy atomics, re-read
+// once per batch; the latch guarantees they are initialized before any
+// reader returns.
 struct DispatchState {
-  IsaLevel detected;
-  std::atomic<const KernelTable*> active;
-  std::atomic<IsaLevel> active_level;
+  OnceLatch<bool> selected;
+  IsaLevel detected = IsaLevel::kScalar;
+  StdAtomics::Atomic<const KernelTable*> active{nullptr, "simd.active"};
+  StdAtomics::Atomic<IsaLevel> active_level{IsaLevel::kScalar,
+                                            "simd.active_level"};
 };
+
+constinit DispatchState g_state;
 
 DispatchState& State() {
   // First use detects the CPU, applies the SKETCHSAMPLE_ISA cap, and
   // records the selection in the metrics registry ("sketch.isa" carries the
   // numeric level so BENCH_*.json metrics dumps show what ran;
   // "simd.dispatch_state_bytes" accounts the table footprint).
-  static DispatchState state;
-  static const bool initialized = [] {
-    state.detected = HostHasAvx512()  ? IsaLevel::kAvx512
-                     : HostHasAvx2()  ? IsaLevel::kAvx2
-                                      : IsaLevel::kScalar;
-    IsaLevel chosen = state.detected;
+  g_state.selected.Get([] {
+    g_state.detected = HostHasAvx512()  ? IsaLevel::kAvx512
+                       : HostHasAvx2()  ? IsaLevel::kAvx2
+                                        : IsaLevel::kScalar;
+    IsaLevel chosen = g_state.detected;
     if (const char* env = std::getenv("SKETCHSAMPLE_ISA")) {
       IsaLevel requested;
       if (IsaLevelFromName(env, &requested)) {
@@ -81,14 +94,13 @@ DispatchState& State() {
       // Unknown spellings are ignored (default dispatch) rather than
       // fatal — a typo in an env var must not take down the service.
     }
-    state.active.store(TableFor(chosen), std::memory_order_relaxed);
-    state.active_level.store(chosen, std::memory_order_relaxed);
+    g_state.active.store(TableFor(chosen), MemOrder::kRelaxed);
+    g_state.active_level.store(chosen, MemOrder::kRelaxed);
     SKETCHSAMPLE_METRIC_ADD("sketch.isa", static_cast<uint64_t>(chosen));
     SKETCHSAMPLE_METRIC_ADD("simd.dispatch_state_bytes", DispatchStateBytes());
     return true;
-  }();
-  (void)initialized;
-  return state;
+  });
+  return g_state;
 }
 
 }  // namespace
@@ -122,11 +134,11 @@ bool IsaLevelFromName(const char* name, IsaLevel* out) {
 IsaLevel DetectBestIsaLevel() { return State().detected; }
 
 IsaLevel ActiveIsaLevel() {
-  return State().active_level.load(std::memory_order_relaxed);
+  return State().active_level.load(MemOrder::kRelaxed);
 }
 
 const KernelTable& Kernels() {
-  return *State().active.load(std::memory_order_relaxed);
+  return *State().active.load(MemOrder::kRelaxed);
 }
 
 const KernelTable& KernelsFor(IsaLevel level) {
@@ -148,13 +160,13 @@ size_t DispatchStateBytes() {
 ScopedIsaForTesting::ScopedIsaForTesting(IsaLevel level)
     : prev_(ActiveIsaLevel()) {
   const KernelTable& table = KernelsFor(level);  // validates against host
-  State().active.store(&table, std::memory_order_relaxed);
-  State().active_level.store(level, std::memory_order_relaxed);
+  State().active.store(&table, MemOrder::kRelaxed);
+  State().active_level.store(level, MemOrder::kRelaxed);
 }
 
 ScopedIsaForTesting::~ScopedIsaForTesting() {
-  State().active.store(TableFor(prev_), std::memory_order_relaxed);
-  State().active_level.store(prev_, std::memory_order_relaxed);
+  State().active.store(TableFor(prev_), MemOrder::kRelaxed);
+  State().active_level.store(prev_, MemOrder::kRelaxed);
 }
 
 }  // namespace sketchsample::simd

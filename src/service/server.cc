@@ -41,7 +41,7 @@ void CloseFd(int fd) {
 
 struct HttpServer::Connection {
   size_t slot = 0;
-  std::atomic<int> fd{-1};
+  StdAtomics::Atomic<int> fd{-1};
   bool busy = false;  // guarded by slots_mutex_
   std::thread thread;
 };
@@ -96,7 +96,7 @@ void HttpServer::Start() {
                     &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
-  stopping_.store(false, std::memory_order_release);
+  stopping_.store(false, MemOrder::kRelease);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   SKETCHSAMPLE_METRIC_INC("service.server.starts");
@@ -104,7 +104,7 @@ void HttpServer::Start() {
 
 void HttpServer::Stop() {
   if (!started_) return;
-  stopping_.store(true, std::memory_order_release);
+  stopping_.store(true, MemOrder::kRelease);
   // Shutting the listener down unblocks accept() in the acceptor thread.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
@@ -113,7 +113,7 @@ void HttpServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     for (auto& slot : slots_) {
-      const int fd = slot->fd.load(std::memory_order_acquire);
+      const int fd = slot->fd.load(MemOrder::kAcquire);
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
   }
@@ -128,19 +128,19 @@ void HttpServer::Stop() {
 HttpServerStats HttpServer::stats() const {
   HttpServerStats stats;
   stats.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
+      connections_accepted_.load(MemOrder::kRelaxed);
   stats.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+      connections_rejected_.load(MemOrder::kRelaxed);
+  stats.requests = requests_.load(MemOrder::kRelaxed);
+  stats.parse_errors = parse_errors_.load(MemOrder::kRelaxed);
   return stats;
 }
 
 void HttpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(MemOrder::kAcquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) break;
+      if (stopping_.load(MemOrder::kAcquire)) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;  // listener is gone; nothing sane to do but stop accepting
     }
@@ -162,13 +162,13 @@ void HttpServer::AcceptLoop() {
         // reuse.
         if (slot->thread.joinable()) slot->thread.join();
         slot->busy = true;
-        slot->fd.store(fd, std::memory_order_release);
+        slot->fd.store(fd, MemOrder::kRelease);
         claimed = slot.get();
         break;
       }
     }
     if (claimed == nullptr) {
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      connections_rejected_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.server.rejected");
       const std::string response =
           ErrorResponse(503, "connection limit reached").Serialize();
@@ -176,18 +176,18 @@ void HttpServer::AcceptLoop() {
       CloseFd(fd);
       continue;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.fetch_add(1, MemOrder::kRelaxed);
     SKETCHSAMPLE_METRIC_INC("service.server.connections");
     claimed->thread = std::thread([this, claimed] { ConnectionLoop(claimed); });
   }
 }
 
 void HttpServer::ConnectionLoop(Connection* connection) {
-  const int fd = connection->fd.load(std::memory_order_acquire);
+  const int fd = connection->fd.load(MemOrder::kAcquire);
   HttpRequestParser parser(options_.limits);
   char buffer[16384];
   bool open = true;
-  while (open && !stopping_.load(std::memory_order_acquire)) {
+  while (open && !stopping_.load(MemOrder::kAcquire)) {
     const ssize_t r = ::recv(fd, buffer, sizeof(buffer), 0);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -197,7 +197,7 @@ void HttpServer::ConnectionLoop(Connection* connection) {
     parser.Feed(buffer, static_cast<size_t>(r));
     HttpRequest request;
     while (open && parser.Next(&request)) {
-      requests_.fetch_add(1, std::memory_order_relaxed);
+      requests_.fetch_add(1, MemOrder::kRelaxed);
       RequestContext context;
       context.reader_slot = connection->slot;
       HttpResponse response = router_->Dispatch(request, context);
@@ -207,7 +207,7 @@ void HttpServer::ConnectionLoop(Connection* connection) {
       if (!response.keep_alive) open = false;
     }
     if (parser.error()) {
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      parse_errors_.fetch_add(1, MemOrder::kRelaxed);
       HttpResponse response =
           ErrorResponse(parser.error_status(), parser.error_message());
       response.keep_alive = false;
@@ -218,7 +218,7 @@ void HttpServer::ConnectionLoop(Connection* connection) {
   }
   CloseFd(fd);
   std::lock_guard<std::mutex> lock(slots_mutex_);
-  connection->fd.store(-1, std::memory_order_release);
+  connection->fd.store(-1, MemOrder::kRelease);
   connection->busy = false;
 }
 

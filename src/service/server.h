@@ -15,7 +15,7 @@
 #ifndef SKETCHSAMPLE_SERVICE_SERVER_H_
 #define SKETCHSAMPLE_SERVICE_SERVER_H_
 
-#include <atomic>
+#include "src/util/atomics_policy.h"
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -78,7 +78,7 @@ class HttpServer {
   HttpServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
-  std::atomic<bool> stopping_{false};
+  StdAtomics::Atomic<bool> stopping_{false};
   bool started_ = false;
   std::thread acceptor_;
 
@@ -86,10 +86,10 @@ class HttpServer {
   std::vector<std::unique_ptr<Connection>> slots_;
   std::mutex slots_mutex_;  // slot claim/release + thread reaping only
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> parse_errors_{0};
+  StdAtomics::Atomic<uint64_t> connections_accepted_{0};
+  StdAtomics::Atomic<uint64_t> connections_rejected_{0};
+  StdAtomics::Atomic<uint64_t> requests_{0};
+  StdAtomics::Atomic<uint64_t> parse_errors_{0};
 };
 
 }  // namespace sketchsample

@@ -338,7 +338,7 @@ void SketchService::IngestMain() {
     ingest_error_ = error.what();
     SKETCHSAMPLE_METRIC_INC("service.ingest.errors");
   }
-  ingest_done_.store(true, std::memory_order_release);
+  ingest_done_.store(true, MemOrder::kRelease);
 }
 
 void SketchService::Stop() {
@@ -413,14 +413,14 @@ HttpResponse SketchService::HandleStats(const RequestContext& context) {
   JsonValue queries = JsonValue::Object();
   queries.Set("selfjoin",
               JsonValue::Number(static_cast<double>(
-                  queries_selfjoin_.load(std::memory_order_relaxed))));
+                  queries_selfjoin_.load(MemOrder::kRelaxed))));
   queries.Set("join", JsonValue::Number(static_cast<double>(
-                          queries_join_.load(std::memory_order_relaxed))));
+                          queries_join_.load(MemOrder::kRelaxed))));
   queries.Set("point", JsonValue::Number(static_cast<double>(
-                           queries_point_.load(std::memory_order_relaxed))));
+                           queries_point_.load(MemOrder::kRelaxed))));
   queries.Set("distinct",
               JsonValue::Number(static_cast<double>(
-                  queries_distinct_.load(std::memory_order_relaxed))));
+                  queries_distinct_.load(MemOrder::kRelaxed))));
   body.Set("queries", std::move(queries));
   auto guard = registry_.Read(context.reader_slot);
   if (guard) {
@@ -479,7 +479,7 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
 
   switch (endpoint) {
     case Endpoint::kSelfJoin: {
-      queries_selfjoin_.fetch_add(1, std::memory_order_relaxed);
+      queries_selfjoin_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.selfjoin");
       return JsonResponse(200,
                           SelfJoinResponseJson(*guard, options_.moments_f,
@@ -490,7 +490,7 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
         return ErrorResponse(
             400, "no join reference sketch configured (serve --join-sketch)");
       }
-      queries_join_.fetch_add(1, std::memory_order_relaxed);
+      queries_join_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.join");
       return JsonResponse(
           200, JoinResponseJson(*guard, *reference_, options_.moments_f,
@@ -503,7 +503,7 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
         return ErrorResponse(400,
                              "point query requires ?key=<unsigned decimal>");
       }
-      queries_point_.fetch_add(1, std::memory_order_relaxed);
+      queries_point_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.point");
       return JsonResponse(
           200, PointResponseJson(*guard, key, options_.moments_f, level));
@@ -513,7 +513,7 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
         return ErrorResponse(
             400, "distinct counting disabled (serve --distinct-k > 0)");
       }
-      queries_distinct_.fetch_add(1, std::memory_order_relaxed);
+      queries_distinct_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.distinct");
       return JsonResponse(200, DistinctResponseJson(*guard, level));
     }

@@ -28,7 +28,7 @@
 #ifndef SKETCHSAMPLE_SERVICE_SERVICE_H_
 #define SKETCHSAMPLE_SERVICE_SERVICE_H_
 
-#include <atomic>
+#include "src/util/atomics_policy.h"
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -135,7 +135,7 @@ class SketchService {
   RcuCell<ServiceSnapshot>& registry() { return registry_; }
 
   bool ingest_done() const {
-    return ingest_done_.load(std::memory_order_acquire);
+    return ingest_done_.load(MemOrder::kAcquire);
   }
   /// Non-empty when the ingest thread died on an exception.
   std::string ingest_error() const;
@@ -167,15 +167,15 @@ class SketchService {
   std::vector<std::unique_ptr<Handler>> handlers_;
 
   std::thread ingest_thread_;
-  std::atomic<bool> ingest_done_{false};
+  StdAtomics::Atomic<bool> ingest_done_{false};
   bool started_ = false;
   mutable std::mutex error_mutex_;
   std::string ingest_error_;
 
-  std::atomic<uint64_t> queries_selfjoin_{0};
-  std::atomic<uint64_t> queries_join_{0};
-  std::atomic<uint64_t> queries_point_{0};
-  std::atomic<uint64_t> queries_distinct_{0};
+  StdAtomics::Atomic<uint64_t> queries_selfjoin_{0};
+  StdAtomics::Atomic<uint64_t> queries_join_{0};
+  StdAtomics::Atomic<uint64_t> queries_point_{0};
+  StdAtomics::Atomic<uint64_t> queries_distinct_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -22,27 +22,43 @@
 // memory model, and TSan rightly flags it). Readers never observe a torn
 // snapshot: they only ever dereference a pointer that was fully constructed
 // before the release-publish that made it visible.
+//
+// The protocol is parameterized over an atomics policy
+// (src/util/atomics_policy.h): production uses `StdAtomics` (identical
+// codegen to the raw std::atomic version), the interleaving model checker
+// uses `mc::McAtomics` to prove no reader ever dereferences a reclaimed
+// snapshot and that reclamation completes at quiescence
+// (tests/mc_spec_test.cc). The `Deleter` parameter exists for the same
+// reason: the checker's spec substitutes a deleter that poisons a canary
+// instead of freeing, so use-after-reclaim becomes an assertable value
+// (or a detectable race) rather than undefined behavior.
 #ifndef SKETCHSAMPLE_SERVICE_SNAPSHOT_H_
 #define SKETCHSAMPLE_SERVICE_SNAPSHOT_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "src/util/atomics_policy.h"
 
 namespace sketchsample {
 
 /// Single-slot RCU cell. T must be immutable after publication. One writer
 /// thread; up to `max_readers` concurrent reader threads, each using its own
 /// slot index (the HTTP server hands every connection a distinct slot).
-template <typename T>
+template <typename T, typename Policy = StdAtomics,
+          typename Deleter = std::default_delete<const T>>
 class RcuCell {
  public:
-  explicit RcuCell(size_t max_readers)
+  using PtrAtomic = typename Policy::template Atomic<const T*>;
+
+  explicit RcuCell(size_t max_readers, Deleter deleter = Deleter())
       : slots_(std::make_unique<Slot[]>(max_readers)),
-        max_readers_(max_readers) {
+        max_readers_(max_readers),
+        deleter_(std::move(deleter)) {
     if (max_readers == 0) {
       throw std::invalid_argument("RcuCell needs at least one reader slot");
     }
@@ -51,8 +67,9 @@ class RcuCell {
   ~RcuCell() {
     // Destruction requires quiescence (server stopped, ingest joined);
     // reclaim everything unconditionally.
-    delete current_.exchange(nullptr, std::memory_order_acquire);
-    for (const T* retired : retired_) delete retired;
+    const T* last = current_.exchange(nullptr, MemOrder::kAcquire);
+    if (last != nullptr) deleter_(last);
+    for (const T* retired : retired_) deleter_(retired);
   }
 
   RcuCell(const RcuCell&) = delete;
@@ -64,8 +81,7 @@ class RcuCell {
   class ReadGuard {
    public:
     ReadGuard() = default;
-    ReadGuard(std::atomic<const T*>* hazard, const T* ptr)
-        : hazard_(hazard), ptr_(ptr) {}
+    ReadGuard(PtrAtomic* hazard, const T* ptr) : hazard_(hazard), ptr_(ptr) {}
     ReadGuard(ReadGuard&& other) noexcept
         : hazard_(other.hazard_), ptr_(other.ptr_) {
       other.hazard_ = nullptr;
@@ -91,11 +107,11 @@ class RcuCell {
    private:
     void Release() {
       if (hazard_ != nullptr) {
-        hazard_->store(nullptr, std::memory_order_release);
+        hazard_->store(nullptr, MemOrder::kRelease);
       }
     }
 
-    std::atomic<const T*>* hazard_ = nullptr;
+    PtrAtomic* hazard_ = nullptr;
     const T* ptr_ = nullptr;
   };
 
@@ -106,15 +122,15 @@ class RcuCell {
     if (reader >= max_readers_) {
       throw std::out_of_range("RcuCell reader slot out of range");
     }
-    std::atomic<const T*>& hazard = slots_[reader].hazard;
-    const T* ptr = current_.load(std::memory_order_acquire);
+    PtrAtomic& hazard = slots_[reader].hazard;
+    const T* ptr = current_.load(MemOrder::kAcquire);
     while (true) {
       if (ptr == nullptr) return ReadGuard();
       // seq_cst on both the announcement and the re-check pairs with the
       // writer's seq_cst scan: either the writer sees our hazard, or we see
       // its newer pointer and retry.
-      hazard.store(ptr, std::memory_order_seq_cst);
-      const T* again = current_.load(std::memory_order_seq_cst);
+      hazard.store(ptr, MemOrder::kSeqCst);
+      const T* again = current_.load(MemOrder::kSeqCst);
       if (again == ptr) return ReadGuard(&hazard, ptr);
       ptr = again;
     }
@@ -122,28 +138,26 @@ class RcuCell {
 
   /// Writer-only: swaps in `value`, retires the predecessor, reclaims every
   /// retired snapshot no reader still names.
-  void Publish(std::unique_ptr<const T> value) {
+  void Publish(std::unique_ptr<const T, Deleter> value) {
     const T* next = value.release();
     // seq_cst: the swap must precede the hazard scan in the single total
     // order, or a reader could announce the old pointer after the scan
     // missed it (see file comment).
-    const T* prev = current_.exchange(next, std::memory_order_seq_cst);
+    const T* prev = current_.exchange(next, MemOrder::kSeqCst);
     if (prev != nullptr) retired_.push_back(prev);
     Reclaim();
-    published_.fetch_add(1, std::memory_order_relaxed);
+    published_.fetch_add(1, MemOrder::kRelaxed);
   }
 
   /// Publications so far (any thread).
-  uint64_t published() const {
-    return published_.load(std::memory_order_relaxed);
-  }
+  uint64_t published() const { return published_.load(MemOrder::kRelaxed); }
 
   /// Retired-but-unreclaimed snapshots (writer thread only; tests).
   size_t retired_count() const { return retired_.size(); }
 
  private:
   struct alignas(64) Slot {
-    std::atomic<const T*> hazard{nullptr};
+    PtrAtomic hazard{nullptr, "rcu.hazard"};
   };
 
   void Reclaim() {
@@ -152,7 +166,7 @@ class RcuCell {
       const T* candidate = retired_[i];
       bool hazardous = false;
       for (size_t r = 0; r < max_readers_; ++r) {
-        if (slots_[r].hazard.load(std::memory_order_seq_cst) == candidate) {
+        if (slots_[r].hazard.load(MemOrder::kSeqCst) == candidate) {
           hazardous = true;
           break;
         }
@@ -160,17 +174,18 @@ class RcuCell {
       if (hazardous) {
         retired_[kept++] = candidate;
       } else {
-        delete candidate;
+        deleter_(candidate);
       }
     }
     retired_.resize(kept);
   }
 
-  std::atomic<const T*> current_{nullptr};
+  typename Policy::template Atomic<const T*> current_{nullptr, "rcu.current"};
   std::unique_ptr<Slot[]> slots_;
   size_t max_readers_;
+  Deleter deleter_;
   std::vector<const T*> retired_;  // writer-owned
-  std::atomic<uint64_t> published_{0};
+  typename Policy::template Atomic<uint64_t> published_{0, "rcu.published"};
 };
 
 }  // namespace sketchsample

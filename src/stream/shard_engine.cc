@@ -1,7 +1,7 @@
 #include "src/stream/shard_engine.h"
 
 #include <algorithm>
-#include <atomic>
+#include "src/util/atomics_policy.h"
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -142,7 +142,7 @@ struct ShardEngine<SketchT>::Lane {
           UpdateInto(partial, chunk->values.data(), survivors);
         }
       }
-      processed.fetch_add(1, std::memory_order_release);
+      processed.fetch_add(1, MemOrder::kRelease);
       recycle.TryPush(chunk);
     }
   }
@@ -160,7 +160,7 @@ struct ShardEngine<SketchT>::Lane {
   uint64_t kept = 0;
   // Chunks fully processed; the release increment publishes seen/kept/
   // partial to a router that acquires it.
-  alignas(64) std::atomic<uint64_t> processed{0};
+  alignas(64) StdAtomics::Atomic<uint64_t> processed{0};
   uint64_t routed = 0;  // router-owned
   // Router-owned stash for a buffer popped from `recycle` but not routed
   // (empty NextChunk). The router is the recycle ring's consumer; pushing
@@ -405,7 +405,7 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
   // lane fields are safe to read (and each work ring is empty).
   auto quiesce = [&lanes, &stats] {
     for (auto& lane : lanes) {
-      while (lane->processed.load(std::memory_order_acquire) !=
+      while (lane->processed.load(MemOrder::kAcquire) !=
              lane->routed) {
         std::this_thread::yield();
       }

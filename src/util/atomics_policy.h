@@ -1,0 +1,141 @@
+// The atomics-policy seam: the one header allowed to spell std::atomic.
+//
+// The three hand-rolled lock-free primitives (src/util/spsc_queue.h,
+// src/util/once_latch.h, src/service/snapshot.h) are templates over an
+// *atomics policy* so the exact same protocol code runs in two worlds:
+//
+//   * production: `StdAtomics` (this header) — thin wrappers that compile
+//     down to the std::atomic operations they replace, zero codegen change
+//     (verified by the SIMD dispatch and shard-engine bit-exactness suites);
+//   * under test: `mc::McAtomics` (src/mc/atomic.h) — every load/store/RMW
+//     is recorded by the interleaving model checker, which explores the
+//     schedules and stale-read choices the C++ memory model permits.
+//
+// The invariant linter rule `raw-atomic-confined` keeps this layer closed:
+// `std::atomic` / `std::memory_order` may appear only here, in
+// src/util/metrics.* (relaxed counters with no inter-thread protocol), and
+// in files carrying an explicit waiver. Everything that implements an
+// acquire/release protocol goes through a policy so it stays checkable.
+//
+// The policy contract (what mc::McAtomics mirrors):
+//
+//   template <class T> class Atomic;   // load/store/exchange/fetch_add/
+//                                      // compare_exchange_strong, MemOrder
+//   template <class T> class Plain;    // non-atomic cell the protocol
+//                                      // publishes (Read/Store/Take); the
+//                                      // checker race-detects accesses
+//   static void Fence(MemOrder);
+//   static void Yield();               // spin-loop hint; a scheduling point
+//                                      // under the checker
+#ifndef SKETCHSAMPLE_UTIL_ATOMICS_POLICY_H_
+#define SKETCHSAMPLE_UTIL_ATOMICS_POLICY_H_
+
+#include <atomic>
+#include <utility>
+
+namespace sketchsample {
+
+/// Memory orders, decoupled from <atomic> so policy-generic code never
+/// names std::memory_order (keeping the raw-atomic-confined layer closed)
+/// and so the model checker can treat orders as plain data it can weaken
+/// one notch at a time in the mutation suite.
+enum class MemOrder {
+  kRelaxed,
+  kAcquire,
+  kRelease,
+  kAcqRel,
+  kSeqCst,
+};
+
+/// Production policy: forwards to std::atomic with no added state. Every
+/// member is expected to inline to exactly the call it wraps.
+struct StdAtomics {
+  static constexpr std::memory_order ToStd(MemOrder order) {
+    switch (order) {
+      case MemOrder::kRelaxed:
+        return std::memory_order_relaxed;
+      case MemOrder::kAcquire:
+        return std::memory_order_acquire;
+      case MemOrder::kRelease:
+        return std::memory_order_release;
+      case MemOrder::kAcqRel:
+        return std::memory_order_acq_rel;
+      case MemOrder::kSeqCst:
+        break;
+    }
+    return std::memory_order_seq_cst;
+  }
+
+  template <typename T>
+  class Atomic {
+   public:
+    constexpr Atomic() noexcept : value_{} {}
+    constexpr explicit Atomic(T init) noexcept : value_(init) {}
+    // The name is carried for the model-checker twin (schedule traces and
+    // mutation sites are keyed by it); production drops it at compile time.
+    constexpr Atomic(T init, const char* /*name*/) noexcept : value_(init) {}
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load(MemOrder order = MemOrder::kSeqCst) const {
+      return value_.load(ToStd(order));
+    }
+    void store(T desired, MemOrder order = MemOrder::kSeqCst) {
+      value_.store(desired, ToStd(order));
+    }
+    T exchange(T desired, MemOrder order = MemOrder::kSeqCst) {
+      return value_.exchange(desired, ToStd(order));
+    }
+    T fetch_add(T delta, MemOrder order = MemOrder::kSeqCst) {
+      return value_.fetch_add(delta, ToStd(order));
+    }
+    bool compare_exchange_strong(T& expected, T desired, MemOrder success,
+                                 MemOrder failure) {
+      return value_.compare_exchange_strong(expected, desired, ToStd(success),
+                                            ToStd(failure));
+    }
+
+   private:
+    std::atomic<T> value_;
+  };
+
+  /// Non-atomic data published across threads by the surrounding protocol
+  /// (ring slots, latched values). In production this is a bare T; under
+  /// the checker every access is race-checked against the happens-before
+  /// edges the protocol's atomics actually established.
+  template <typename T>
+  class Plain {
+   public:
+    Plain() = default;
+    explicit Plain(T init) : value_(std::move(init)) {}
+
+    const T& Read() const { return value_; }
+    template <typename U>
+    void Store(U&& desired) {
+      value_ = std::forward<U>(desired);
+    }
+    /// Move the value out (a write access: it mutates the cell).
+    T Take() { return std::move(value_); }
+
+   private:
+    T value_{};
+  };
+
+  static void Fence(MemOrder order) { std::atomic_thread_fence(ToStd(order)); }
+
+  /// Spin-loop politeness hint. Production pauses the core; the checker's
+  /// twin deprioritizes the spinning model thread so bounded exploration
+  /// is not wasted on schedules where a spinner starves its peer.
+  static void Yield() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_ATOMICS_POLICY_H_

@@ -1,0 +1,72 @@
+// One-time publication latch: the SIMD dispatch initialization atomic,
+// extracted so the protocol is policy-parameterized and model-checkable.
+//
+// Exactly-once lazy initialization without the compiler's magic-static
+// guard: the first caller to win the empty->busy CAS runs `init` and
+// publishes the result with a release store; every other caller either
+// fast-paths on the acquire load or spins (politely, via Policy::Yield)
+// until the value is ready. Once ready, the latch is immutable: Get never
+// re-runs init and never returns a different value — the monotonicity the
+// dispatch layer relies on (a KernelTable pointer observed once can never
+// revert to an earlier selection).
+//
+// Memory orders are minimal by design, which is what makes the mutation
+// suite meaningful: weaken the ready-publish release or either acquire
+// load one notch and the model checker exhibits a schedule where a caller
+// returns an unsynchronized (torn) value (tests/mc_mutation_test.cc). The
+// empty->busy CAS needs no ordering of its own — it only elects a winner;
+// all publication runs through the release store of kReady.
+#ifndef SKETCHSAMPLE_UTIL_ONCE_LATCH_H_
+#define SKETCHSAMPLE_UTIL_ONCE_LATCH_H_
+
+#include <cstdint>
+
+#include "src/util/atomics_policy.h"
+
+namespace sketchsample {
+
+/// Exactly-once lazy initialization of a T shared across threads. T must be
+/// copy/move-assignable; `init` may be called at most once per latch.
+template <typename T, typename Policy = StdAtomics>
+class OnceLatch {
+ public:
+  OnceLatch() = default;
+  OnceLatch(const OnceLatch&) = delete;
+  OnceLatch& operator=(const OnceLatch&) = delete;
+
+  /// Returns the latched value, running `init` on the first caller. Safe to
+  /// call from any number of threads; all callers observe the same fully
+  /// constructed value.
+  template <typename Init>
+  const T& Get(Init&& init) {
+    uint32_t state = state_.load(MemOrder::kAcquire);
+    if (state != kReady) {
+      if (state == kEmpty &&
+          state_.compare_exchange_strong(state, kBusy, MemOrder::kRelaxed,
+                                         MemOrder::kRelaxed)) {
+        value_.Store(init());
+        state_.store(kReady, MemOrder::kRelease);
+      } else {
+        // Lost the election (or caught the winner mid-init): wait for the
+        // ready-publish. Bounded in practice by one init() execution.
+        while (state_.load(MemOrder::kAcquire) != kReady) Policy::Yield();
+      }
+    }
+    return value_.Read();
+  }
+
+  /// True once a value has been published (callers of Get will fast-path).
+  bool Ready() const { return state_.load(MemOrder::kAcquire) == kReady; }
+
+ private:
+  static constexpr uint32_t kEmpty = 0;
+  static constexpr uint32_t kBusy = 1;
+  static constexpr uint32_t kReady = 2;
+
+  typename Policy::template Atomic<uint32_t> state_{kEmpty, "latch.state"};
+  typename Policy::template Plain<T> value_{};
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_UTIL_ONCE_LATCH_H_

@@ -10,6 +10,14 @@
 // consumer that observes the advanced head — the only ordering the engine
 // needs.
 //
+// The protocol is parameterized over an atomics policy (see
+// src/util/atomics_policy.h): production instantiates `StdAtomics` (plain
+// std::atomic, zero codegen change), the model checker instantiates
+// `mc::McAtomics` and exhaustively explores the interleavings and stale
+// reads the memory model permits (tests/mc_spec_test.cc proves
+// no-loss/no-dup/FIFO at small capacities; the mutation suite proves every
+// one-notch memory-order weakening below is detectable).
+//
 // The indices live on separate cache lines (alignas the assumed 64-byte
 // line) so the producer's head stores do not invalidate the consumer's tail
 // line and vice versa; on top of that, each side caches the opposing index
@@ -23,16 +31,17 @@
 #ifndef SKETCHSAMPLE_UTIL_SPSC_QUEUE_H_
 #define SKETCHSAMPLE_UTIL_SPSC_QUEUE_H_
 
-#include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "src/util/atomics_policy.h"
 
 namespace sketchsample {
 
 /// Bounded lock-free SPSC FIFO. T must be movable. Not copyable; the two
 /// endpoints hold a reference each.
-template <typename T>
+template <typename T, typename Policy = StdAtomics>
 class SpscQueue {
  public:
   /// Holds at least `min_capacity` elements (rounded up to a power of two,
@@ -47,13 +56,13 @@ class SpscQueue {
   /// Producer side. Moves `value` into the ring and returns true, or
   /// returns false (value untouched) when the ring is full.
   bool TryPush(T& value) {
-    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(MemOrder::kRelaxed);
     if (head - cached_tail_ > mask_) {
-      cached_tail_ = tail_.load(std::memory_order_acquire);
+      cached_tail_ = tail_.load(MemOrder::kAcquire);
       if (head - cached_tail_ > mask_) return false;  // genuinely full
     }
-    slots_[head & mask_] = std::move(value);
-    head_.store(head + 1, std::memory_order_release);
+    slots_[head & mask_].Store(std::move(value));
+    head_.store(head + 1, MemOrder::kRelease);
     return true;
   }
   bool TryPush(T&& value) { return TryPush(value); }
@@ -61,21 +70,21 @@ class SpscQueue {
   /// Consumer side. Moves the oldest element into `out` and returns true,
   /// or returns false when the ring is empty.
   bool TryPop(T& out) {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(MemOrder::kRelaxed);
     if (tail == cached_head_) {
-      cached_head_ = head_.load(std::memory_order_acquire);
+      cached_head_ = head_.load(MemOrder::kAcquire);
       if (tail == cached_head_) return false;  // genuinely empty
     }
-    out = std::move(slots_[tail & mask_]);
-    tail_.store(tail + 1, std::memory_order_release);
+    out = slots_[tail & mask_].Take();
+    tail_.store(tail + 1, MemOrder::kRelease);
     return true;
   }
 
   /// Instantaneous element count. Approximate under concurrency (each index
   /// is read once, possibly mid-operation); exact when the queue is quiesced.
   size_t SizeApprox() const {
-    const size_t head = head_.load(std::memory_order_acquire);
-    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(MemOrder::kAcquire);
+    const size_t tail = tail_.load(MemOrder::kAcquire);
     return head - tail;
   }
 
@@ -91,14 +100,14 @@ class SpscQueue {
   }
 
   const size_t mask_;
-  std::vector<T> slots_;
+  std::vector<typename Policy::template Plain<T>> slots_;
   // Producer cache line: the push index plus the producer's stale view of
   // the pop index.
-  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) typename Policy::template Atomic<size_t> head_{0, "spsc.head"};
   size_t cached_tail_ = 0;
   // Consumer cache line: the pop index plus the consumer's stale view of
   // the push index.
-  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) typename Policy::template Atomic<size_t> tail_{0, "spsc.tail"};
   size_t cached_head_ = 0;
 };
 

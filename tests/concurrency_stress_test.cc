@@ -14,6 +14,9 @@
 //   * The metrics registry is written from every instrumented hot path at
 //     once; counters must stay coherent under concurrent Add/snapshot/
 //     enable-toggle traffic.
+// lint:allow-file(raw-atomic-confined): TSan stress harness driving real
+// threads; raw atomics here are harness coordination, and TSan (not the
+// model checker) is the oracle for this tier.
 #include <algorithm>
 #include <atomic>
 #include <cstddef>

@@ -405,6 +405,95 @@ class RulesTest(unittest.TestCase):
             )
         )
 
+    # ---- raw-atomic-confined ----
+
+    def test_raw_atomic_fires_outside_policy_seam(self):
+        v = self.violations(
+            "src/service/cell.h",
+            "#include <atomic>\n"
+            "std::atomic<int> flag{0};\n"
+            "auto o = std::memory_order_acquire;\n",
+            lint.check_raw_atomic_confined,
+        )
+        self.assertEqual([x.rule for x in v], ["raw-atomic-confined"] * 2)
+        self.assertEqual([x.line for x in v], [2, 3])
+
+    def test_raw_atomic_allowed_in_policy_and_metrics(self):
+        for home in (
+            "src/util/atomics_policy.h",
+            "src/util/metrics.h",
+            "src/util/metrics.cc",
+        ):
+            self.assertFalse(
+                self.violations(
+                    home,
+                    "#include <atomic>\nstd::atomic<long> hits{0};\n",
+                    lint.check_raw_atomic_confined,
+                )
+            )
+
+    def test_raw_atomic_line_and_file_waivers(self):
+        self.assertFalse(
+            self.violations(
+                "src/util/other.h",
+                "// lint:allow(raw-atomic-confined): measured reason\n"
+                "std::atomic<int> x{0};\n",
+                lint.check_raw_atomic_confined,
+            )
+        )
+        self.assertFalse(
+            self.violations(
+                "tests/harness_test.cc",
+                "// lint:allow-file(raw-atomic-confined): real-thread harness\n"
+                "std::atomic<int> gate{0};\n"
+                "std::atomic<bool> stop{false};\n",
+                lint.check_raw_atomic_confined,
+            )
+        )
+
+    def test_raw_atomic_ignores_comments_and_strings(self):
+        self.assertFalse(
+            self.violations(
+                "src/sketch/fagms.cc",
+                "// replaces the old std::atomic<uint64_t> counter\n"
+                'const char* s = "std::memory_order_seq_cst";\n',
+                lint.check_raw_atomic_confined,
+            )
+        )
+
+    # ---- tsan-supp-rationale ----
+
+    def write_tsan_supp(self, text):
+        with open(os.path.join(self.root, "tsan.supp"), "w") as fh:
+            fh.write(text)
+
+    def test_tsan_supp_empty_or_comment_only_is_clean(self):
+        self.assertFalse(lint.check_tsan_supp_rationale(self.root))  # absent
+        self.write_tsan_supp("# policy: entries need a rationale\n\n")
+        self.assertFalse(lint.check_tsan_supp_rationale(self.root))
+
+    def test_tsan_supp_entry_without_rationale_fires(self):
+        self.write_tsan_supp(
+            "# third-party noise\nrace:libthirdparty.so\n"
+        )
+        v = lint.check_tsan_supp_rationale(self.root)
+        self.assertEqual([x.rule for x in v], ["tsan-supp-rationale"])
+        self.assertEqual(v[0].line, 2)
+
+    def test_tsan_supp_entry_with_rationale_passes(self):
+        self.write_tsan_supp(
+            "# rationale: libthirdparty interns strings racily; upstream\n"
+            "# bug 123, benign under our usage.\n"
+            "race:libthirdparty.so\n"
+            "called_from_lib:libthirdparty.so\n"
+            "\n"
+            "race:unexplained_function\n"
+        )
+        v = lint.check_tsan_supp_rationale(self.root)
+        # The rationale covers the contiguous block; the entry after the
+        # blank line starts a new block and needs its own.
+        self.assertEqual([x.line for x in v], [6])
+
 
 class HeaderCheckTest(unittest.TestCase):
     def test_non_self_contained_header_fails(self):

@@ -1,0 +1,401 @@
+// Litmus tests for the model checker itself (src/mc/): known outcomes of
+// the C++ memory model, checked both ways — the checker must find the
+// violating schedule when the model permits one, and must NOT invent one
+// when the model forbids it. This is the checker's own correctness suite;
+// the production-protocol specs live in mc_spec_test.cc.
+//
+// Shared state lives on the spec body's stack (model thread 0) and is
+// captured by reference: the scheduler unwinds threads in reverse spawn
+// order, so borrowing fibers die before the owning frame does, and an
+// aborted run leaks nothing (the sanitizers CI job runs this binary under
+// ASan with leak detection on).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/mc/mc.h"
+
+namespace sketchsample::mc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Message passing: data = 1; flag.store(release) || if (flag.load(acquire))
+// assert(data == 1). The canonical acquire/release pattern — must pass.
+TEST(McModelTest, MessagePassingAcqRelPasses) {
+  Result r = Explore([](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelease);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kAcquire) == 1) {
+        MC_ASSERT(data.Read() == 1);
+      }
+    });
+    env.Join();
+  });
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.runs, 1u);  // multiple interleavings actually explored
+}
+
+// Same shape with a relaxed publish: the reader may observe flag == 1
+// without the data write having happened-before — a data race the checker
+// must detect.
+TEST(McModelTest, MessagePassingRelaxedStoreRaces) {
+  Result r = Explore([](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelaxed);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kAcquire) == 1) {
+        (void)data.Read();
+      }
+    });
+    env.Join();
+  });
+  EXPECT_TRUE(r.found);
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.report.empty());
+}
+
+// Relaxed acquire-side load races too: the value may be fresh while the
+// happens-before edge is missing.
+TEST(McModelTest, MessagePassingRelaxedLoadRaces) {
+  Result r = Explore([](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelease);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kRelaxed) == 1) {
+        (void)data.Read();
+      }
+    });
+    env.Join();
+  });
+  EXPECT_TRUE(r.found);
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// Store buffering: x.store(1); r1 = y.load() || y.store(1); r2 = x.load().
+// With seq_cst everywhere r1 == 0 && r2 == 0 is forbidden; with relaxed
+// ops the outcome is allowed and the checker must exhibit it.
+TEST(McModelTest, StoreBufferingSeqCstForbidsZeroZero) {
+  Result r = Explore([](Env& env) {
+    atomic<int> x(0, "x");
+    atomic<int> y(0, "y");
+    var<int> r1(-1, "r1");
+    var<int> r2(-1, "r2");
+    env.Spawn([&] {
+      x.store(1, MemOrder::kSeqCst);
+      r1.Store(y.load(MemOrder::kSeqCst));
+    });
+    env.Spawn([&] {
+      y.store(1, MemOrder::kSeqCst);
+      r2.Store(x.load(MemOrder::kSeqCst));
+    });
+    env.Join();
+    MC_ASSERT(!(r1.Read() == 0 && r2.Read() == 0));
+  });
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(McModelTest, StoreBufferingRelaxedExhibitsZeroZero) {
+  Result r = Explore([](Env& env) {
+    atomic<int> x(0, "x");
+    atomic<int> y(0, "y");
+    var<int> r1(-1, "r1");
+    var<int> r2(-1, "r2");
+    env.Spawn([&] {
+      x.store(1, MemOrder::kRelaxed);
+      r1.Store(y.load(MemOrder::kRelaxed));
+    });
+    env.Spawn([&] {
+      y.store(1, MemOrder::kRelaxed);
+      r2.Store(x.load(MemOrder::kRelaxed));
+    });
+    env.Join();
+    MC_ASSERT(!(r1.Read() == 0 && r2.Read() == 0));
+  });
+  EXPECT_TRUE(r.found);  // the weak outcome exists and must be found
+}
+
+// ---------------------------------------------------------------------------
+// Coherence: a thread that read value 2 can never subsequently read the
+// older value 1 of the same variable, at any order.
+TEST(McModelTest, CoherenceNoReadBackwards) {
+  Result r = Explore([](Env& env) {
+    atomic<int> x(0, "x");
+    env.Spawn([&] {
+      x.store(1, MemOrder::kRelaxed);
+      x.store(2, MemOrder::kRelaxed);
+    });
+    env.Spawn([&] {
+      int a = x.load(MemOrder::kRelaxed);
+      int b = x.load(MemOrder::kRelaxed);
+      if (a == 2) MC_ASSERT(b == 2);
+    });
+    env.Join();
+  });
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_TRUE(r.complete);
+}
+
+// ---------------------------------------------------------------------------
+// RMW atomicity: two concurrent fetch_adds may never both read the same
+// old value — the sum is exact even fully relaxed.
+TEST(McModelTest, RmwAtomicity) {
+  Result r = Explore([](Env& env) {
+    atomic<uint64_t> counter(0, "counter");
+    env.Spawn([&] { counter.fetch_add(1, MemOrder::kRelaxed); });
+    env.Spawn([&] { counter.fetch_add(1, MemOrder::kRelaxed); });
+    env.Join();
+    MC_ASSERT(counter.load(MemOrder::kRelaxed) == 2);
+  });
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_TRUE(r.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Fences: relaxed store + release fence / relaxed load + acquire fence is
+// the fence-based message-passing idiom and must synchronize.
+TEST(McModelTest, FenceMessagePassingPasses) {
+  Result r = Explore([](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      fence(MemOrder::kRelease);
+      flag.store(1, MemOrder::kRelaxed);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kRelaxed) == 1) {
+        fence(MemOrder::kAcquire);
+        MC_ASSERT(data.Read() == 1);
+      }
+    });
+    env.Join();
+  });
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_TRUE(r.complete);
+}
+
+// Dropping the release fence reintroduces the race.
+TEST(McModelTest, FenceMissingReleaseRaces) {
+  Result r = Explore([](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelaxed);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kRelaxed) == 1) {
+        fence(MemOrder::kAcquire);
+        (void)data.Read();
+      }
+    });
+    env.Join();
+  });
+  EXPECT_TRUE(r.found);
+}
+
+// ---------------------------------------------------------------------------
+// Plain-plain race with no synchronization at all.
+TEST(McModelTest, UnsynchronizedPlainWritesRace) {
+  Result r = Explore([](Env& env) {
+    var<int> data(0, "data");
+    env.Spawn([&] { data.Store(1); });
+    env.Spawn([&] { data.Store(2); });
+    env.Join();
+  });
+  EXPECT_TRUE(r.found);
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// DPOR cross-validation: partial-order reduction must reach the same
+// verdict as full schedule branching, in no more runs.
+// ---------------------------------------------------------------------------
+// Hazard-pointer miniature, correctly fenced: reader announces its pointer
+// and re-checks (both seq_cst), guard release is a release store; the
+// writer retires then scans (seq_cst). The writer either sees the
+// announcement or the reader saw the newer pointer — the canary is never
+// poisoned while the reader can still read it. Must pass.
+TEST(McModelTest, HazardPointerReleaseGuardPasses) {
+  Result r = Explore([](Env& env) {
+    atomic<int> current(1, "current");
+    atomic<int> hazard(0, "hazard");
+    var<int> canary(0, "canary");
+    env.Spawn([&] {                              // writer
+      current.store(2, MemOrder::kSeqCst);       // retire snapshot 1
+      if (hazard.load(MemOrder::kSeqCst) != 1) {
+        canary.Store(1);                         // reclaim (poison)
+      }
+    });
+    env.Spawn([&] {                              // reader
+      int p = current.load(MemOrder::kAcquire);
+      if (p == 1) {
+        hazard.store(p, MemOrder::kSeqCst);      // announce
+        if (current.load(MemOrder::kSeqCst) == p) {
+          (void)canary.Read();                   // use guarded snapshot
+        }
+        hazard.store(0, MemOrder::kRelease);     // guard release
+      }
+    });
+    env.Join();
+  });
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_TRUE(r.complete);
+}
+
+// Same shape with the guard release weakened to relaxed: the writer's scan
+// can read the relaxed null without synchronizing with the reader's canary
+// read, so the poison write races with it. DPOR must find this under its
+// default pruning — this is the regression for two exploration bugs: the
+// seq_cst S-order edges must not feed DPOR's "already ordered" test (they
+// would make every pair of seq_cst ops unreorderable), and the conflict
+// with the last write must be judged before the load's acquire join (a
+// load that reads-from a store is not thereby ordered after it for
+// exploration purposes).
+TEST(McModelTest, HazardPointerRelaxedGuardReleaseRaces) {
+  auto spec = [](Env& env) {
+    atomic<int> current(1, "current");
+    atomic<int> hazard(0, "hazard");
+    var<int> canary(0, "canary");
+    env.Spawn([&] {
+      current.store(2, MemOrder::kSeqCst);
+      if (hazard.load(MemOrder::kSeqCst) != 1) {
+        canary.Store(1);
+      }
+    });
+    env.Spawn([&] {
+      int p = current.load(MemOrder::kAcquire);
+      if (p == 1) {
+        hazard.store(p, MemOrder::kSeqCst);
+        if (current.load(MemOrder::kSeqCst) == p) {
+          (void)canary.Read();
+        }
+        hazard.store(0, MemOrder::kRelaxed);     // one notch too weak
+      }
+    });
+    env.Join();
+  };
+  Result dpor = Explore(spec);
+  EXPECT_TRUE(dpor.found) << "DPOR pruned the seq_cst reversal";
+  EXPECT_NE(dpor.message.find("canary"), std::string::npos) << dpor.message;
+  Options full_opts;
+  full_opts.full_branching = true;
+  Result full = Explore(spec, full_opts);
+  EXPECT_TRUE(full.found);
+}
+
+TEST(McModelTest, DporMatchesFullBranchingVerdicts) {
+  auto spec_pass = [](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelease);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kAcquire) == 1) MC_ASSERT(data.Read() == 1);
+    });
+    env.Join();
+  };
+  auto spec_fail = [](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelaxed);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kRelaxed) == 1) (void)data.Read();
+    });
+    env.Join();
+  };
+
+  Options dpor;
+  Options full;
+  full.full_branching = true;
+
+  Result pass_dpor = Explore(spec_pass, dpor);
+  Result pass_full = Explore(spec_pass, full);
+  EXPECT_FALSE(pass_dpor.found) << pass_dpor.report;
+  EXPECT_FALSE(pass_full.found) << pass_full.report;
+  EXPECT_LE(pass_dpor.runs, pass_full.runs);
+
+  Result fail_dpor = Explore(spec_fail, dpor);
+  Result fail_full = Explore(spec_fail, full);
+  EXPECT_TRUE(fail_dpor.found);
+  EXPECT_TRUE(fail_full.found);
+}
+
+// ---------------------------------------------------------------------------
+// Census: exploration reports every (var, op, declared order) site, which
+// the mutation suite enumerates.
+TEST(McModelTest, CensusReportsSites) {
+  Result r = Explore([](Env& env) {
+    atomic<int> flag(0, "flag");
+    env.Spawn([&] { flag.store(1, MemOrder::kRelease); });
+    env.Spawn([&] { (void)flag.load(MemOrder::kAcquire); });
+    env.Join();
+  });
+  ASSERT_FALSE(r.found) << r.report;
+  bool saw_store = false;
+  bool saw_load = false;
+  for (const CensusEntry& e : r.census) {
+    if (e.var == "flag" && e.op == OpKind::kStore &&
+        e.order == MemOrder::kRelease) {
+      saw_store = true;
+    }
+    if (e.var == "flag" && e.op == OpKind::kLoad &&
+        e.order == MemOrder::kAcquire) {
+      saw_load = true;
+    }
+  }
+  EXPECT_TRUE(saw_store);
+  EXPECT_TRUE(saw_load);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation plumbing: weakening the release publish in the passing MP spec
+// turns it into the racing one.
+TEST(McModelTest, MutationWeakensOneSite) {
+  auto spec = [](Env& env) {
+    atomic<int> flag(0, "flag");
+    var<int> data(0, "data");
+    env.Spawn([&] {
+      data.Store(1);
+      flag.store(1, MemOrder::kRelease);
+    });
+    env.Spawn([&] {
+      if (flag.load(MemOrder::kAcquire) == 1) (void)data.Read();
+    });
+    env.Join();
+  };
+  Result clean = Explore(spec);
+  EXPECT_FALSE(clean.found) << clean.report;
+
+  Mutation m{"flag", OpKind::kStore, MemOrder::kRelease};
+  Options opts;
+  opts.mutation = &m;
+  Result mutated = Explore(spec, opts);
+  EXPECT_TRUE(mutated.found);
+}
+
+}  // namespace
+}  // namespace sketchsample::mc

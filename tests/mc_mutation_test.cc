@@ -1,0 +1,275 @@
+// Self-validation of the model checker: every memory order in the three
+// production protocols is load-bearing, and the checker proves it by
+// finding a violating schedule for each seeded one-notch weakening.
+//
+// Each mutant weakens every dynamic occurrence of one (variable, op,
+// declared order) site — load: seq_cst->acquire->relaxed, store:
+// seq_cst->release->relaxed, rmw: seq_cst->acq_rel — and re-runs the
+// primitive's spec. A mutant the checker cannot kill would mean either a
+// redundant order in production code or a hole in the checker; both are
+// failures here. The smoke run explores every mutant; deep mode
+// (SKETCHSAMPLE_MC_DEEP=1) raises the bounds.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/mc/mc.h"
+#include "src/service/snapshot.h"
+#include "src/util/once_latch.h"
+#include "src/util/spsc_queue.h"
+
+namespace sketchsample {
+namespace {
+
+using mc::CensusEntry;
+using mc::Env;
+using mc::Explore;
+using mc::McAtomics;
+using mc::MemOrderName;
+using mc::Mutation;
+using mc::OpKind;
+using mc::OpKindName;
+using mc::Options;
+using mc::Result;
+
+bool DeepMode() { return std::getenv("SKETCHSAMPLE_MC_DEEP") != nullptr; }
+
+Options MutantOptions() {
+  Options opts;
+  if (DeepMode()) {
+    opts.max_runs = 2000000;
+    opts.max_steps = 100000;
+  }
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// The specs under mutation: same protocols as mc_spec_test.cc, kept at the
+// smallest shapes that exercise every order (the SPSC spec wraps the ring).
+
+void SpscSpec(Env& env) {
+  SpscQueue<int, McAtomics> queue(2);
+  std::vector<int> popped;
+  env.Spawn([&] {
+    for (int i = 1; i <= 3; ++i) {
+      int v = i;
+      while (!queue.TryPush(v)) McAtomics::Yield();
+    }
+  });
+  env.Spawn([&] {
+    int out = 0;
+    for (int i = 0; i < 3; ++i) {
+      while (!queue.TryPop(out)) McAtomics::Yield();
+      popped.push_back(out);
+    }
+  });
+  env.Join();
+  MC_ASSERT(popped.size() == 3);
+  for (int i = 0; i < 3; ++i) {
+    MC_ASSERT(popped[static_cast<size_t>(i)] == i + 1);
+  }
+}
+
+void LatchSpec(Env& env) {
+  OnceLatch<int, McAtomics> latch;
+  mc::var<int> init_count(0, "init_count");
+  for (int c = 0; c < 2; ++c) {
+    env.Spawn([&] {
+      const int got = latch.Get([&] {
+        init_count.Store(init_count.Read() + 1);
+        return 7;
+      });
+      MC_ASSERT(got == 7);
+    });
+  }
+  env.Join();
+  MC_ASSERT(init_count.Read() == 1);
+}
+
+struct RcuNode {
+  explicit RcuNode(int v) : freed(0, "rcu.canary"), value(v) {}
+  mc::var<int> freed;
+  int value;
+};
+
+struct CanaryDeleter {
+  void operator()(const RcuNode* node) const {
+    const_cast<RcuNode*>(node)->freed.Store(1);
+  }
+};
+
+void RcuSpec(Env& env) {
+  RcuNode n0(1);
+  RcuNode n1(2);
+  RcuNode n2(3);
+  std::array<RcuNode*, 3> pool{&n0, &n1, &n2};
+  RcuCell<RcuNode, McAtomics, CanaryDeleter> cell(1);
+  env.Spawn([&] {
+    for (int i = 0; i < 2; ++i) {
+      cell.Publish(std::unique_ptr<const RcuNode, CanaryDeleter>(
+          pool[static_cast<size_t>(i)]));
+    }
+  });
+  env.Spawn([&] {
+    for (int i = 0; i < 2; ++i) {
+      auto guard = cell.Read(0);
+      if (guard) {
+        MC_ASSERT(guard->freed.Read() == 0);
+      }
+    }
+  });
+  env.Join();
+  cell.Publish(std::unique_ptr<const RcuNode, CanaryDeleter>(&n2));
+  MC_ASSERT(cell.retired_count() == 0);
+}
+
+// ---------------------------------------------------------------------------
+// The seeded mutant table. Acceptance requires the checker to kill at
+// least 6; the table seeds 7 killable mutants across the three protocols
+// plus 2 documented survivors (kKnownSurvivors below).
+
+struct SeededMutant {
+  const char* label;
+  void (*spec)(Env&);
+  Mutation mutation;
+};
+
+const SeededMutant kMutants[] = {
+    {"spsc.head release-store -> relaxed", SpscSpec,
+     {"spsc.head", OpKind::kStore, MemOrder::kRelease}},
+    {"spsc.tail release-store -> relaxed", SpscSpec,
+     {"spsc.tail", OpKind::kStore, MemOrder::kRelease}},
+    {"spsc.head acquire-load -> relaxed", SpscSpec,
+     {"spsc.head", OpKind::kLoad, MemOrder::kAcquire}},
+    {"spsc.tail acquire-load -> relaxed", SpscSpec,
+     {"spsc.tail", OpKind::kLoad, MemOrder::kAcquire}},
+    {"latch.state ready-publish release -> relaxed", LatchSpec,
+     {"latch.state", OpKind::kStore, MemOrder::kRelease}},
+    {"latch.state acquire-load -> relaxed", LatchSpec,
+     {"latch.state", OpKind::kLoad, MemOrder::kAcquire}},
+    // ReadGuard's hazard release (store of nullptr): weakened, the writer's
+    // scan may keep seeing a stale announcement forever, so the
+    // bounded-reclamation assertion (retired_count()==0 at quiescence)
+    // trips.
+    {"rcu.hazard guard-release release -> relaxed", RcuSpec,
+     {"rcu.hazard", OpKind::kStore, MemOrder::kRelease}},
+};
+
+// Mutants of the seq_cst announce/scan handshake that this checker
+// provably CANNOT kill: the simulator fixes the seq_cst total order S to
+// the execution order (a sound over-approximation, see
+// docs/STATIC_ANALYSIS.md), and the hazard-pointer bug these weakenings
+// introduce only manifests through an S order that disagrees with
+// execution order (the store-buffer "announce misses the scan" window).
+// TSan and the nightly service soak cover that gap on real hardware. The
+// test EXPECTS survival: if the memory model is ever strengthened to
+// enumerate S orders, these start failing here and must be promoted into
+// kMutants.
+const SeededMutant kKnownSurvivors[] = {
+    {"rcu.hazard announce seq_cst -> release", RcuSpec,
+     {"rcu.hazard", OpKind::kStore, MemOrder::kSeqCst}},
+    {"rcu.current publish-exchange seq_cst -> acq_rel", RcuSpec,
+     {"rcu.current", OpKind::kRmw, MemOrder::kSeqCst}},
+};
+
+// Every seeded mutation must target a site that actually exists: the
+// unmutated exploration's census contains the (var, op, order) tuple.
+TEST(McMutationTest, SeededSitesExistInCensus) {
+  Result spsc = Explore(SpscSpec, MutantOptions());
+  Result latch = Explore(LatchSpec, MutantOptions());
+  Result rcu = Explore(RcuSpec, MutantOptions());
+  ASSERT_FALSE(spsc.found) << spsc.report;
+  ASSERT_FALSE(latch.found) << latch.report;
+  ASSERT_FALSE(rcu.found) << rcu.report;
+
+  auto census_has = [](const Result& r, const Mutation& m) {
+    for (const CensusEntry& e : r.census) {
+      if (e.var == m.var && e.op == m.op && e.order == m.from) return true;
+    }
+    return false;
+  };
+  for (const SeededMutant& mutant : kMutants) {
+    const Result& r = mutant.spec == SpscSpec   ? spsc
+                      : mutant.spec == LatchSpec ? latch
+                                                 : rcu;
+    EXPECT_TRUE(census_has(r, mutant.mutation))
+        << mutant.label << ": site absent from census";
+  }
+  for (const SeededMutant& mutant : kKnownSurvivors) {
+    EXPECT_TRUE(census_has(rcu, mutant.mutation))
+        << mutant.label << ": site absent from census";
+  }
+}
+
+// The core self-validation: each weakened protocol has a violating
+// schedule and the checker finds it.
+TEST(McMutationTest, EverySeededMutantIsKilled) {
+  int killed = 0;
+  std::vector<std::string> survivors;
+  for (const SeededMutant& mutant : kMutants) {
+    Options opts = MutantOptions();
+    opts.mutation = &mutant.mutation;
+    Result r = Explore(mutant.spec, opts);
+    if (r.found) {
+      ++killed;
+      EXPECT_FALSE(r.report.empty()) << mutant.label;
+    } else {
+      survivors.push_back(mutant.label);
+    }
+  }
+  EXPECT_EQ(killed, static_cast<int>(std::size(kMutants)))
+      << "surviving mutants: " << ::testing::PrintToString(survivors);
+  // Hard floor from the issue's acceptance criteria.
+  ASSERT_GE(killed, 6);
+}
+
+// The seq_cst-handshake mutants survive *by construction* of the memory
+// model (S order == execution order; see the kKnownSurvivors comment).
+// Asserting survival keeps the limitation visible: a stronger model makes
+// this test fail, which is the signal to promote these into kMutants.
+TEST(McMutationTest, KnownSurvivorsDocumentTheSeqCstGap) {
+  for (const SeededMutant& mutant : kKnownSurvivors) {
+    Options opts = MutantOptions();
+    opts.mutation = &mutant.mutation;
+    Result r = Explore(mutant.spec, opts);
+    EXPECT_FALSE(r.found)
+        << mutant.label
+        << " was killed: the seq_cst model got stronger -- promote this "
+           "mutant into kMutants. Report:\n"
+        << r.report;
+    EXPECT_TRUE(r.complete) << mutant.label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic replay: the decision trace of a failing exploration, fed
+// back through Options::replay_trace, reproduces the identical violation —
+// and produces the identical report twice in a row.
+TEST(McMutationTest, FailingTraceReplaysDeterministically) {
+  Options opts = MutantOptions();
+  Mutation m{"spsc.head", OpKind::kStore, MemOrder::kRelease};
+  opts.mutation = &m;
+  Result found = Explore(SpscSpec, opts);
+  ASSERT_TRUE(found.found);
+  ASSERT_FALSE(found.decisions.empty());
+
+  Options replay = opts;
+  replay.replay = true;
+  replay.replay_trace = found.decisions;
+  Result again = Explore(SpscSpec, replay);
+  ASSERT_TRUE(again.found);
+  EXPECT_EQ(again.message, found.message);
+  EXPECT_EQ(again.decisions, found.decisions);
+  EXPECT_EQ(again.runs, 1u);
+
+  Result third = Explore(SpscSpec, replay);
+  ASSERT_TRUE(third.found);
+  EXPECT_EQ(third.report, again.report);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -1,0 +1,215 @@
+// Model-checking specs for the three production lock-free primitives,
+// instantiated with the mc::McAtomics policy so every interleaving and
+// legally-stale read the C++ memory model permits is explored:
+//
+//   * SpscQueue  (src/util/spsc_queue.h):  no-loss / no-dup / FIFO, with
+//     index wrap-around at small capacity;
+//   * RcuCell    (src/service/snapshot.h): no reader ever dereferences a
+//     reclaimed snapshot (canary deleter), reclamation completes at
+//     quiescence;
+//   * OnceLatch  (src/util/once_latch.h):  init runs exactly once, every
+//     caller observes the same fully-constructed value.
+//
+// Smoke bounds keep each exploration in the tier-1 seconds budget; the
+// nightly mc-deep job sets SKETCHSAMPLE_MC_DEEP=1 for larger element
+// counts and thread counts (see .github/workflows/nightly.yml).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <vector>
+
+#include "src/mc/mc.h"
+#include "src/service/snapshot.h"
+#include "src/util/once_latch.h"
+#include "src/util/spsc_queue.h"
+
+namespace sketchsample {
+namespace {
+
+using mc::Env;
+using mc::Explore;
+using mc::McAtomics;
+using mc::Options;
+using mc::Result;
+
+bool DeepMode() { return std::getenv("SKETCHSAMPLE_MC_DEEP") != nullptr; }
+
+Options SpecOptions() {
+  Options opts;
+  if (DeepMode()) {
+    opts.max_runs = 2000000;
+    opts.max_steps = 100000;
+  }
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// SPSC ring: producer pushes 1..N through a capacity-2 ring (wrap-around
+// included), consumer pops N values. FIFO order, nothing lost, nothing
+// duplicated. Slots are Plain cells, so a protocol hole shows up as a data
+// race on the slot as well as a value corruption.
+TEST(McSpecTest, SpscQueueFifoNoLossNoDup) {
+  const int n = DeepMode() ? 5 : 3;
+  Result r = Explore(
+      [n](Env& env) {
+        SpscQueue<int, McAtomics> queue(2);
+        std::vector<int> popped;
+        env.Spawn([&] {
+          for (int i = 1; i <= n; ++i) {
+            int v = i;
+            while (!queue.TryPush(v)) McAtomics::Yield();
+          }
+        });
+        env.Spawn([&] {
+          int out = 0;
+          for (int i = 0; i < n; ++i) {
+            while (!queue.TryPop(out)) McAtomics::Yield();
+            popped.push_back(out);
+          }
+        });
+        env.Join();
+        MC_ASSERT(static_cast<int>(popped.size()) == n);
+        for (int i = 0; i < n; ++i) {
+          MC_ASSERT(popped[static_cast<size_t>(i)] == i + 1);  // FIFO, exact
+        }
+      },
+      SpecOptions());
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_GT(r.runs, 1u);
+}
+
+// The ring never overfills and SizeApprox never exceeds capacity at
+// quiescence points.
+TEST(McSpecTest, SpscQueueRespectsCapacity) {
+  Result r = Explore(
+      [](Env& env) {
+        SpscQueue<int, McAtomics> queue(2);
+        env.Spawn([&] {
+          for (int i = 1; i <= 3; ++i) {
+            int v = i;
+            if (!queue.TryPush(v)) return;  // full is a legal outcome
+          }
+        });
+        env.Spawn([&] {
+          int out = 0;
+          (void)queue.TryPop(out);
+        });
+        env.Join();
+        MC_ASSERT(queue.SizeApprox() <= queue.capacity());
+      },
+      SpecOptions());
+  EXPECT_FALSE(r.found) << r.report;
+}
+
+// ---------------------------------------------------------------------------
+// RCU cell: the canary deleter poisons instead of freeing, so a reader
+// holding a guard over a reclaimed snapshot trips either the canary
+// assertion or a data race on the canary cell — use-after-reclaim becomes
+// assertable instead of undefined behavior.
+struct RcuNode {
+  explicit RcuNode(int v) : freed(0, "rcu.canary"), value(v) {}
+  mc::var<int> freed;
+  int value;
+};
+
+struct CanaryDeleter {
+  void operator()(const RcuNode* node) const {
+    const_cast<RcuNode*>(node)->freed.Store(1);
+  }
+};
+
+TEST(McSpecTest, RcuCellNoUseAfterReclaim) {
+  const int publishes = DeepMode() ? 3 : 2;
+  Result r = Explore(
+      [publishes](Env& env) {
+        // Pool-owned payloads: the cell's deleter poisons, the pool frame
+        // destroys. Declared before the cell so the cell dies first.
+        RcuNode n0(1);
+        RcuNode n1(2);
+        RcuNode n2(3);
+        RcuNode n3(4);
+        std::array<RcuNode*, 4> pool{&n0, &n1, &n2, &n3};
+        RcuCell<RcuNode, McAtomics, CanaryDeleter> cell(1);
+        env.Spawn([&] {
+          for (int i = 0; i < publishes; ++i) {
+            cell.Publish(std::unique_ptr<const RcuNode, CanaryDeleter>(
+                pool[static_cast<size_t>(i)]));
+          }
+        });
+        env.Spawn([&] {
+          for (int i = 0; i < 2; ++i) {
+            auto guard = cell.Read(0);
+            if (guard) {
+              // Holding the guard means the snapshot must not have been
+              // reclaimed: the canary is still 0 and reading it is
+              // race-free against the deleter's poison write.
+              MC_ASSERT(guard->freed.Read() == 0);
+              MC_ASSERT(guard->value >= 1);
+            }
+          }
+        });
+        env.Join();
+        // Quiescence: no reader holds a guard, so one more publish must
+        // drain the retired list completely (bounded reclamation).
+        cell.Publish(std::unique_ptr<const RcuNode, CanaryDeleter>(&n3));
+        MC_ASSERT(cell.retired_count() == 0);
+      },
+      SpecOptions());
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_GT(r.runs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// OnceLatch: N racing callers — init runs exactly once, everyone gets the
+// published value. The latched value is a Plain cell, so a broken publish
+// is a data race, not just a wrong number.
+TEST(McSpecTest, OnceLatchInitExactlyOnceSameValue) {
+  const int callers = DeepMode() ? 3 : 2;
+  Result r = Explore(
+      [callers](Env& env) {
+        OnceLatch<int, McAtomics> latch;
+        mc::var<int> init_count(0, "init_count");
+        for (int c = 0; c < callers; ++c) {
+          env.Spawn([&] {
+            const int got = latch.Get([&] {
+              init_count.Store(init_count.Read() + 1);
+              return 7;
+            });
+            MC_ASSERT(got == 7);
+          });
+        }
+        env.Join();
+        MC_ASSERT(init_count.Read() == 1);
+        MC_ASSERT(latch.Ready());
+      },
+      SpecOptions());
+  EXPECT_FALSE(r.found) << r.report;
+  EXPECT_GT(r.runs, 1u);
+}
+
+// Monotonicity: once a caller observed the latched value, later callers
+// can never observe a different one (the dispatch table can never revert).
+TEST(McSpecTest, OnceLatchMonotonic) {
+  Result r = Explore(
+      [](Env& env) {
+        OnceLatch<int, McAtomics> latch;
+        mc::var<int> seen_a(0, "seen_a");
+        mc::var<int> seen_b(0, "seen_b");
+        env.Spawn([&] { seen_a.Store(latch.Get([] { return 7; })); });
+        env.Spawn([&] { seen_b.Store(latch.Get([] { return 9; })); });
+        env.Join();
+        // Exactly one init won; both callers observed the winner, and the
+        // value can never revert afterwards.
+        MC_ASSERT(seen_a.Read() == seen_b.Read());
+        MC_ASSERT(seen_a.Read() == 7 || seen_a.Read() == 9);
+        const int final_value = latch.Get([] { return -1; });
+        MC_ASSERT(final_value == seen_a.Read());
+      },
+      SpecOptions());
+  EXPECT_FALSE(r.found) << r.report;
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -8,6 +8,8 @@
 // the exact code path the HTTP server drives; the socket layer itself is
 // covered by tests/http_test.cc and the service-smoke CI job.
 
+// lint:allow-file(raw-atomic-confined): stop flags coordinating real
+// query/ingest threads in the racing end-to-end test; harness-side only.
 #include "src/service/service.h"
 
 #include <algorithm>

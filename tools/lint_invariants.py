@@ -46,12 +46,29 @@ keep the estimator algebra reproducible and the batch kernels fast:
                          standard-library symbol must directly include its
                          canonical header instead of leaning on transitive
                          includes, which break silently under refactors.
+  raw-atomic-confined    Raw ``std::atomic`` / ``std::memory_order`` tokens
+                         are confined to the atomics-policy seam
+                         (src/util/atomics_policy.h) and the metrics
+                         counters (src/util/metrics.*). Everything else
+                         writes against an atomics policy so the model
+                         checker (src/mc/) can instantiate it — a raw
+                         atomic elsewhere is concurrency the checker
+                         cannot see. Harnesses that legitimately drive
+                         real threads carry a file-level waiver.
+  tsan-supp-rationale    Every suppression entry in tsan.supp must be
+                         preceded by a ``# rationale:`` comment naming the
+                         third-party component it silences. The file is
+                         intentionally empty; suppressions must not creep
+                         in silently.
   self-contained-header  Every first-party header must compile as its own
                          translation unit (include-what-you-use hygiene).
 
 Waivers: append ``lint:allow(<rule>)`` in a comment on the offending line
 (or the line directly above) together with a justification. Waivers are
-for cold paths with a measured reason, not for convenience.
+for cold paths with a measured reason, not for convenience. A whole file
+can be waived with ``lint:allow-file(<rule>)`` in a comment anywhere in
+the file — reserved for rules whose unit of exemption really is the file
+(e.g. a multi-threaded test harness under raw-atomic-confined).
 
 Usage:
   tools/lint_invariants.py [--root DIR] [--no-headers] [--cxx BIN] [FILE...]
@@ -77,6 +94,7 @@ from dataclasses import dataclass
 SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
 CPP_SUFFIXES = (".h", ".cc")
 WAIVER_RE = re.compile(r"lint:allow\(([a-z-]+(?:,\s*[a-z-]+)*)\)")
+FILE_WAIVER_RE = re.compile(r"lint:allow-file\(([a-z-]+(?:,\s*[a-z-]+)*)\)")
 
 # Directories whose code runs per tuple; std::function here is a hot-path
 # dispatch bug unless explicitly waived.
@@ -152,6 +170,14 @@ def waived(lines: list[str], lineno: int, rule: str) -> bool:
             m = WAIVER_RE.search(lines[idx])
             if m and rule in [r.strip() for r in m.group(1).split(",")]:
                 return True
+    return False
+
+
+def file_waived(text: str, rule: str) -> bool:
+    """True when `rule` is waived for the whole file via lint:allow-file."""
+    for m in FILE_WAIVER_RE.finditer(text):
+        if rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
     return False
 
 
@@ -584,6 +610,57 @@ def check_simd_scalar_twin(f: SourceFile) -> list[Violation]:
     return found
 
 
+# --------------------------------------------------------------------------
+# raw-atomic-confined
+# --------------------------------------------------------------------------
+
+# The only files allowed to name std::atomic / std::memory_order directly:
+# the atomics-policy seam itself, and the metrics counters (monotonic
+# relaxed counters with no inter-thread protocol — nothing for the model
+# checker to check).
+RAW_ATOMIC_HOMES = (
+    "src/util/atomics_policy.h",
+    "src/util/metrics.h",
+    "src/util/metrics.cc",
+)
+
+RAW_ATOMIC_RE = re.compile(r"\bstd\s*::\s*(atomic\w*|memory_order\w*)\b")
+
+
+def check_raw_atomic_confined(f: SourceFile) -> list[Violation]:
+    """Raw std::atomic use is confined to the atomics-policy seam.
+
+    Concurrency primitives are written against an atomics policy
+    (src/util/atomics_policy.h) so the model checker (src/mc/) can swap in
+    instrumented atomics and exhaustively explore their interleavings. A
+    raw std::atomic anywhere else is synchronization the checker cannot
+    see — it gets neither interleaving coverage nor mutation testing.
+    Multi-threaded test/bench harnesses that drive *real* threads around a
+    checked primitive carry a file-level waiver with a rationale.
+    """
+    if f.path in RAW_ATOMIC_HOMES:
+        return []
+    if file_waived(f.text, "raw-atomic-confined"):
+        return []
+    found = []
+    for m in RAW_ATOMIC_RE.finditer(f.code):
+        lineno = line_of(f.code, m.start())
+        if waived(f.lines, lineno, "raw-atomic-confined"):
+            continue
+        found.append(
+            Violation(
+                f.path,
+                lineno,
+                "raw-atomic-confined",
+                f"raw std::{m.group(1)} outside the atomics-policy seam; "
+                "write against a Policy template parameter "
+                "(src/util/atomics_policy.h) so src/mc/ can model-check it, "
+                "or add a file-level waiver with a rationale",
+            )
+        )
+    return found
+
+
 CHECKS = [
     check_forbidden_rng,
     check_hot_path_std_function,
@@ -592,7 +669,55 @@ CHECKS = [
     check_direct_include,
     check_simd_intrinsics_confined,
     check_simd_scalar_twin,
+    check_raw_atomic_confined,
 ]
+
+
+# --------------------------------------------------------------------------
+# tsan-supp-rationale
+# --------------------------------------------------------------------------
+
+TSAN_SUPP = "tsan.supp"
+
+
+def check_tsan_supp_rationale(root: str) -> list[Violation]:
+    """Every tsan.supp entry needs a '# rationale:' comment above it.
+
+    The suppression file is intentionally empty: first-party races are bugs,
+    not suppressions. If an entry ever appears (third-party library noise),
+    it must be preceded — within its contiguous comment block — by a line
+    starting '# rationale:' naming the component and why the race is benign
+    or out of our control. This keeps suppressions from creeping in during
+    a rushed CI fix.
+    """
+    path = os.path.join(root, TSAN_SUPP)
+    if not os.path.isfile(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    found = []
+    has_rationale = False  # in the comment block immediately above
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            has_rationale = False
+        elif line.startswith("#"):
+            if line[1:].strip().lower().startswith("rationale:"):
+                has_rationale = True
+        else:
+            if not has_rationale:
+                found.append(
+                    Violation(
+                        TSAN_SUPP,
+                        lineno,
+                        "tsan-supp-rationale",
+                        f"suppression entry '{line}' has no '# rationale:' "
+                        "comment in the block above it; name the third-party "
+                        "component and why the report is benign",
+                    )
+                )
+            # One rationale covers the entries until the next blank line.
+    return found
 
 
 # --------------------------------------------------------------------------
@@ -675,17 +800,21 @@ def main(argv: list[str]) -> int:
         args.root or os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     )
 
+    scan_tsan_supp = True
     if args.files:
         files = [f.replace(os.sep, "/") for f in args.files]
         missing = [f for f in files if not os.path.isfile(os.path.join(root, f))]
         if missing:
             print(f"lint_invariants: no such file: {', '.join(missing)}", file=sys.stderr)
             return 2
+        scan_tsan_supp = TSAN_SUPP in files
         files = [f for f in files if f.endswith(CPP_SUFFIXES)]
     else:
         files = collect_files(root)
 
     violations: list[Violation] = []
+    if scan_tsan_supp:
+        violations.extend(check_tsan_supp_rationale(root))
     for rel in files:
         try:
             src = SourceFile.load(root, rel)

@@ -17,6 +17,9 @@
 // --once instead prints one `endpoint body` line per enabled endpoint in
 // exactly the `sketchsample offline` output format — the service-smoke job
 // diffs the two byte for byte.
+// lint:allow-file(raw-atomic-confined): load-driver worker coordination
+// (shared counters, stop flag) across real OS threads hammering a live
+// server; a measurement harness, not a checked primitive.
 #include <algorithm>
 #include <atomic>
 #include <chrono>

@@ -43,6 +43,16 @@ fi
 # then surfaces the header's own diagnostics from those TUs.
 files=()
 if [ "$#" -gt 0 ]; then
+  # Incremental mode still always re-checks the lock-free concurrency
+  # layer: the model checker plus the primitives refactored over the
+  # atomics policy. These are the files the concurrency-* check family
+  # exists for, they are small (cheap to re-tidy), and a change elsewhere
+  # can alter which of their template instantiations exist.
+  set -- "$@" \
+    src/mc/explore.cc src/mc/fiber.cc src/mc/sched.cc src/mc/atomic.h \
+    src/prng/simd/dispatch.cc \
+    src/util/atomics_policy.h src/util/once_latch.h src/util/spsc_queue.h \
+    src/service/snapshot.h
   headers=()
   for f in "$@"; do
     case "$f" in

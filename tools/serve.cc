@@ -1,3 +1,6 @@
+// lint:allow-file(raw-atomic-confined): signal-handler stop flag — a
+// sig_atomic_t-style std::atomic<bool> flipped from a SIGINT handler; real
+// OS signal delivery, nothing the model checker can interleave.
 #include "tools/serve.h"
 
 #include <algorithm>
