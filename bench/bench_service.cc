@@ -16,6 +16,11 @@
 //                         endpoints — the SF-sketch "fat ingest stage,
 //                         slim query stage" claim, measured. Two points
 //                         (side=ingest / side=query).
+//   phase=overload        8× query threads against an admission-controlled,
+//                         deadline-enforcing server: goodput and
+//                         admitted-only tail latency while shedding, gated
+//                         against phase=query by bench/rules/
+//                         bench_service.json.
 //
 // The bench gate consumes the report: updates_per_sec points aggregate
 // into the duration-weighted combined ingest+query throughput, and every
@@ -31,6 +36,7 @@
 
 #include "bench/report.h"
 #include "src/data/zipf.h"
+#include "src/service/admission.h"
 #include "src/service/client.h"
 #include "src/service/server.h"
 #include "src/service/service.h"
@@ -44,10 +50,15 @@ namespace {
 struct QueryPhaseResult {
   uint64_t requests = 0;
   uint64_t errors = 0;
+  uint64_t admitted = 0;  // 200s; the latency percentiles cover only these
+  uint64_t shed = 0;      // 429/503/408 — admission or deadline rejects
   double seconds = 0;
   uint64_t p50_ns = 0, p90_ns = 0, p99_ns = 0;
   double qps() const {
     return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+  double goodput() const {
+    return seconds > 0 ? static_cast<double>(admitted) / seconds : 0;
   }
 };
 
@@ -67,6 +78,8 @@ QueryPhaseResult RunQueryPhase(int port, int threads, double seconds,
       static_cast<size_t>(threads));
   std::vector<uint64_t> requests(static_cast<size_t>(threads), 0);
   std::vector<uint64_t> errors(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> admitted(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> shed(static_cast<size_t>(threads), 0);
   std::vector<std::thread> workers;
   const auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
@@ -97,12 +110,19 @@ QueryPhaseResult RunQueryPhase(int port, int threads, double seconds,
         const HttpClient::Response response = client.Get(target);
         const auto dt = std::chrono::steady_clock::now() - t0;
         ++requests[static_cast<size_t>(t)];
-        if (!response.ok || response.status != 200) {
+        if (response.ok && response.status == 200) {
+          ++admitted[static_cast<size_t>(t)];
+          // Admitted-only latency: a fast 429 must not flatter the tail.
+          lat.push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()));
+        } else if (response.ok && (response.status == 429 ||
+                                   response.status == 503 ||
+                                   response.status == 408)) {
+          ++shed[static_cast<size_t>(t)];
+        } else {
           ++errors[static_cast<size_t>(t)];
         }
-        lat.push_back(static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
-                .count()));
       }
     });
   }
@@ -115,6 +135,8 @@ QueryPhaseResult RunQueryPhase(int port, int threads, double seconds,
   for (size_t t = 0; t < latencies.size(); ++t) {
     result.requests += requests[t];
     result.errors += errors[t];
+    result.admitted += admitted[t];
+    result.shed += shed[t];
     all.insert(all.end(), latencies[t].begin(), latencies[t].end());
   }
   std::sort(all.begin(), all.end());
@@ -300,9 +322,59 @@ int Main(int argc, char** argv) {
     service.Stop();
   }
 
+  // ---- phase=overload -----------------------------------------------------
+  // 8× the query-phase thread count against an admission-controlled server
+  // with deadlines on: the resilience claim, measured. Goodput (admitted
+  // req/sec) and admitted-only p99 are gated by bench/rules/
+  // bench_service.json against the healthy phase=query point — overload may
+  // shed, but admitted work must stay fast and nonzero.
+  {
+    SketchService service(ServiceOptions(flags));
+    Router router;
+    service.Register(router);
+    AdmissionOptions aopts;
+    aopts.capacity = static_cast<size_t>(std::max(threads, 1));
+    AdmissionController admission(aopts);
+    HttpServerOptions sopts;
+    sopts.default_deadline_ms = 2000;
+    sopts.admission = &admission;
+    HttpServer server(&router, sopts);
+    server.Start();
+    service.Start();
+    size_t sent = 0;
+    while (sent < stream.size()) {
+      sent += service.Push(stream.data() + sent,
+                           std::min<size_t>(4096, stream.size() - sent));
+    }
+    service.CloseIngest();
+    while (!service.ingest_done()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const QueryPhaseResult result = RunQueryPhase(
+        server.port(), threads * 8, seconds, domain, MixSeed(seed, 0xfade));
+    report.AddPoint()
+        .Label("phase", "overload")
+        .Label("side", "admitted")
+        .Metric("updates_per_sec", result.goodput())
+        .Metric("seconds", result.seconds)
+        .Metric("requests", static_cast<double>(result.requests))
+        .Metric("admitted", static_cast<double>(result.admitted))
+        .Metric("shed", static_cast<double>(result.shed))
+        .Metric("errors", static_cast<double>(result.errors))
+        .Metric("p50_latency_ns", static_cast<double>(result.p50_ns))
+        .Metric("p90_latency_ns", static_cast<double>(result.p90_ns))
+        .Metric("p99_latency_ns", static_cast<double>(result.p99_ns));
+    table.AddRow({3, 0, result.goodput(),
+                  static_cast<double>(result.p50_ns),
+                  static_cast<double>(result.p99_ns),
+                  static_cast<double>(result.errors)});
+    server.Stop();
+    service.Stop();
+  }
+
   std::printf(
-      "Service-path throughput (phase 0=ingest 1=query 2=mixed; see file "
-      "comment)\n");
+      "Service-path throughput (phase 0=ingest 1=query 2=mixed 3=overload "
+      "goodput; see file comment)\n");
   table.Print();
   return report.WriteFile(bench::ReportPathFromFlags(flags)) ? 0 : 1;
 }

@@ -1,0 +1,108 @@
+#include "src/service/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace sketchsample {
+
+namespace {
+
+// 53-bit uniform in [0, 1) from a mixed draw, matching Xoshiro256's
+// NextDouble() so the admission draw has the same resolution as the shed
+// sampler's.
+double ToUnit(uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options), admit_rate_(options.initial_admit) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.window_requests == 0) options_.window_requests = 1;
+  options_.min_admit = std::clamp(options_.min_admit, 0.0, 1.0);
+  options_.max_admit = std::clamp(options_.max_admit, options_.min_admit, 1.0);
+  admit_rate_ = std::clamp(admit_rate_, options_.min_admit, options_.max_admit);
+  hard_limit_ =
+      options_.hard_limit > 0 ? options_.hard_limit : 2 * options_.capacity;
+  hard_limit_ = std::max(hard_limit_, options_.capacity);
+}
+
+int AdmissionController::RetryAfterSeconds() const {
+  const int cap = std::max(1, options_.retry_after_max_s);
+  const double severity = 1.0 - admit_rate_;
+  const int hint = static_cast<int>(std::ceil(severity * cap));
+  return std::clamp(hint, 1, cap);
+}
+
+AdmissionController::Decision AdmissionController::Admit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t arrival = offered_++;
+  ++window_offered_;
+  window_peak_inflight_ = std::max(window_peak_inflight_, inflight_);
+
+  Decision decision;
+  if (inflight_ >= hard_limit_) {
+    ++rejected_;
+    decision.admitted = false;
+    decision.status = 503;
+    decision.retry_after_s = RetryAfterSeconds();
+  } else if (ToUnit(MixSeed(options_.seed, arrival)) >= admit_rate_) {
+    ++shed_;
+    decision.admitted = false;
+    decision.status = 429;
+    decision.retry_after_s = RetryAfterSeconds();
+  } else {
+    ++admitted_;
+    ++inflight_;
+    window_peak_inflight_ = std::max(window_peak_inflight_, inflight_);
+  }
+  if (window_offered_ >= options_.window_requests) CloseWindow();
+  return decision;
+}
+
+void AdmissionController::CloseWindow() {
+  const double capacity = static_cast<double>(options_.capacity);
+  const double peak = static_cast<double>(window_peak_inflight_);
+  if (peak > capacity) {
+    // Proportional clamp down: the next window's expected peak lands on the
+    // budget (the ShedController's p ← p · target/kept step, with inflight
+    // depth as the kept signal).
+    admit_rate_ = std::clamp(admit_rate_ * capacity / peak,
+                             options_.min_admit, options_.max_admit);
+  } else if (peak < options_.headroom * capacity) {
+    // Additive probe up under headroom.
+    admit_rate_ =
+        std::min(options_.max_admit, admit_rate_ + options_.increase_step);
+  }
+  ++windows_;
+  window_offered_ = 0;
+  window_peak_inflight_ = inflight_;
+}
+
+void AdmissionController::OnDone() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_ > 0) --inflight_;
+}
+
+bool AdmissionController::saturated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admit_rate_ < options_.max_admit || inflight_ >= options_.capacity;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.offered = offered_;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.rejected = rejected_;
+  stats.windows = windows_;
+  stats.admit_rate = admit_rate_;
+  stats.inflight = inflight_;
+  return stats;
+}
+
+}  // namespace sketchsample

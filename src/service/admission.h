@@ -1,0 +1,120 @@
+// Query-side admission control: the ShedController's AIMD discipline
+// (src/stream/shed_controller.h) applied to HTTP requests instead of
+// tuples.
+//
+// The paper's shedding principle — when the system cannot keep up, drop a
+// deterministic fraction of the offered load instead of degrading every
+// answer — holds for the query path exactly as it does for ingest. The
+// controller watches the inflight-request depth (the queue signal the slot
+// pool exposes for free), compares its per-window peak against a capacity
+// budget, and retargets the admit rate the same way the shed controller
+// retargets p: a proportional clamp down when the window saturated, an
+// additive probe up when it ran under headroom, clamped to
+// [min_admit, max_admit].
+//
+// Admission itself is positional, mirroring the Bernoulli shed sampler: the
+// i-th offered request is admitted iff the MixSeed(seed, i) draw falls
+// under the current admit rate, so a test replaying the same arrival order
+// replays the exact admit/shed sequence. Rejections are typed: 429 for a
+// rate shed (retryable soon), 503 for the hard inflight cap (back off
+// harder); both carry a deterministic Retry-After hint that grows with the
+// severity of the shed.
+#ifndef SKETCHSAMPLE_SERVICE_ADMISSION_H_
+#define SKETCHSAMPLE_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace sketchsample {
+
+/// Tuning knobs; defaults suit a small slot pool (see HttpServerOptions).
+struct AdmissionOptions {
+  /// Starting admit rate.
+  double initial_admit = 1.0;
+  /// Admit rate clamp. min_admit > 0 keeps probing alive under sustained
+  /// overload (an admit rate of 0 could never observe recovery).
+  double min_admit = 0.05;
+  double max_admit = 1.0;
+  /// Inflight-request budget — the capacity signal, playing the role of
+  /// ShedControllerOptions::capacity_per_window.
+  size_t capacity = 32;
+  /// Hard inflight cap: at or beyond this depth requests are rejected with
+  /// 503 regardless of the admit rate (0 = 2 × capacity).
+  size_t hard_limit = 0;
+  /// Controller window in offered requests.
+  uint64_t window_requests = 128;
+  /// Probe the admit rate upward only when the window's peak inflight depth
+  /// stayed below headroom × capacity (the deadband absorbs arrival noise).
+  double headroom = 0.9;
+  /// Additive step for upward probing.
+  double increase_step = 0.05;
+  /// Positional admission randomness (the query-path analogue of the shed
+  /// seed).
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Retry-After ceiling in seconds; the hint scales with (1 − admit rate).
+  int retry_after_max_s = 8;
+};
+
+/// Deterministic AIMD admission controller. Thread-safe; decisions are a
+/// pure function of (seed, arrival index, observed inflight depths), so a
+/// single-threaded replay is bit-exact and a concurrent run is exact given
+/// its arrival order.
+class AdmissionController {
+ public:
+  struct Decision {
+    bool admitted = true;
+    int status = 0;         ///< 429 (rate shed) or 503 (hard cap) when rejected
+    int retry_after_s = 0;  ///< Retry-After hint for rejected requests
+  };
+
+  /// Monotonic counters + current control state, for /stats.
+  struct Stats {
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;      ///< 429 rate sheds
+    uint64_t rejected = 0;  ///< 503 hard-cap rejects
+    uint64_t windows = 0;
+    double admit_rate = 1.0;
+    uint64_t inflight = 0;
+  };
+
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Gate one request. An admitted request holds an inflight slot until the
+  /// caller's matching OnDone().
+  Decision Admit();
+
+  /// Releases the inflight slot of an admitted request.
+  void OnDone();
+
+  /// True while the controller is actively shedding (admit rate below max)
+  /// or running at/over its capacity budget — the query-path "degraded"
+  /// signal.
+  bool saturated() const;
+
+  Stats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  // Window retarget; caller holds mutex_.
+  void CloseWindow();
+  int RetryAfterSeconds() const;  // caller holds mutex_
+
+  AdmissionOptions options_;
+  size_t hard_limit_;
+  mutable std::mutex mutex_;
+  double admit_rate_;
+  size_t inflight_ = 0;
+  uint64_t offered_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t windows_ = 0;
+  uint64_t window_offered_ = 0;
+  size_t window_peak_inflight_ = 0;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SERVICE_ADMISSION_H_

@@ -7,12 +7,18 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "src/service/chaos.h"
+#include "src/util/rng.h"
 
 namespace sketchsample {
 
@@ -21,7 +27,7 @@ namespace {
 bool SendAll(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    const ssize_t w = ChaosSend(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -33,6 +39,22 @@ bool SendAll(int fd, const char* data, size_t n) {
 
 }  // namespace
 
+int BackoffDelayMs(const ClientRetryPolicy& policy, int failures,
+                   uint64_t salt) {
+  if (policy.base_backoff_ms <= 0 || failures <= 0) return 0;
+  // Shift capped so the doubling cannot overflow before the clamp.
+  const int shift = std::min(failures - 1, 20);
+  const int64_t raw = static_cast<int64_t>(policy.base_backoff_ms) << shift;
+  const int64_t capped =
+      std::min<int64_t>(raw, std::max(policy.max_backoff_ms, 0));
+  // Jitter factor in [0.5, 1.0], drawn positionally: same seed and salt,
+  // same delay.
+  const uint64_t mixed = MixSeed(policy.jitter_seed, salt);
+  const double unit =
+      static_cast<double>(mixed >> 11) * 0x1.0p-53;  // [0, 1)
+  return static_cast<int>(static_cast<double>(capped) * (0.5 + 0.5 * unit));
+}
+
 HttpClient::HttpClient(std::string host, int port, int timeout_ms)
     : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
 
@@ -40,6 +62,7 @@ HttpClient::~HttpClient() { Disconnect(); }
 
 void HttpClient::Disconnect() {
   if (fd_ >= 0) {
+    ChaosOnClose(fd_);
     ::close(fd_);
     fd_ = -1;
   }
@@ -87,7 +110,7 @@ bool HttpClient::RoundTrip(const std::string& request, Response* out) {
   size_t head_end;
   while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
     if (buffer.size() > (1u << 20)) return false;  // runaway response head
-    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t r = ChaosRecv(fd_, chunk, sizeof(chunk), 0);
     if (r < 0 && errno == EINTR) continue;
     if (r <= 0) return false;
     buffer.append(chunk, static_cast<size_t>(r));
@@ -128,7 +151,7 @@ bool HttpClient::RoundTrip(const std::string& request, Response* out) {
 
   const size_t body_start = head_end + 4;
   while (buffer.size() - body_start < content_length) {
-    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t r = ChaosRecv(fd_, chunk, sizeof(chunk), 0);
     if (r < 0 && errno == EINTR) continue;
     if (r <= 0) return false;
     buffer.append(chunk, static_cast<size_t>(r));
@@ -141,7 +164,8 @@ bool HttpClient::RoundTrip(const std::string& request, Response* out) {
 
 HttpClient::Response HttpClient::Request(const std::string& method,
                                          const std::string& target,
-                                         const std::string& body) {
+                                         const std::string& body,
+                                         const Headers& headers) {
   Response response;
   std::string request;
   request.reserve(128 + body.size());
@@ -152,20 +176,50 @@ HttpClient::Response HttpClient::Request(const std::string& method,
   request += host_;
   request += "\r\nContent-Length: ";
   request += std::to_string(body.size());
+  for (const auto& [name, value] : headers) {
+    request += "\r\n";
+    request += name;
+    request += ": ";
+    request += value;
+  }
   request += "\r\nConnection: keep-alive\r\n\r\n";
   request += body;
 
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (fd_ < 0 && !Connect(&response.error)) return response;
+  const int attempts = std::max(policy_.max_attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Deterministic capped exponential backoff; the running retry counter
+      // positions the jitter draw so the delay sequence replays exactly.
+      const int delay_ms = BackoffDelayMs(policy_, attempt, retries_++);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
+    if (fd_ < 0 && !Connect(&response.error)) continue;
     if (RoundTrip(request, &response)) return response;
-    // A kept-alive connection the server has since closed fails here; one
-    // fresh-connection retry distinguishes that from a dead server.
+    // A dead keep-alive connection, a mid-response reset, or a timed-out
+    // read all land here; the next attempt starts from a fresh connection.
     Disconnect();
   }
   response.ok = false;
   if (response.error.empty()) {
-    response.error = "request failed after reconnect: " + method + " " + target;
+    response.error =
+        "request failed after " + std::to_string(attempts) + " attempts: " +
+        method + " " + target;
   }
+  return response;
+}
+
+HttpClient::Response IngestClient::Post(const std::string& body) {
+  const HttpClient::Headers headers = {
+      {"X-Ingest-Session", std::to_string(session_)},
+      {"X-Ingest-Seq", std::to_string(next_seq_)},
+  };
+  HttpClient::Response response =
+      client_->Request("POST", "/ingest", body, headers);
+  // A duplicate ack means a prior attempt was applied server-side; both
+  // cases advance — the chunk is in the stream exactly once.
+  if (response.ok && response.status == 200) ++next_seq_;
   return response;
 }
 

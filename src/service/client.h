@@ -3,13 +3,39 @@
 // through this. Keep-alive by default (one TCP connection per client,
 // reconnect on failure), Content-Length framing only — the exact subset the
 // service emits.
+//
+// Resilience: transport failures retry under a deterministic capped
+// exponential backoff with jitter (ClientRetryPolicy; the jitter stream is
+// seeded, so a test replays the exact delay sequence). Plain retries are
+// safe for the service's idempotent GETs; for POST /ingest use IngestClient,
+// which numbers chunks with X-Ingest-Session / X-Ingest-Seq so the server
+// deduplicates replays and retried ingest is exactly-once.
 #ifndef SKETCHSAMPLE_SERVICE_CLIENT_H_
 #define SKETCHSAMPLE_SERVICE_CLIENT_H_
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sketchsample {
+
+/// Deterministic retry schedule: attempt k (1-based failure count) sleeps
+/// `base_backoff_ms << (k-1)` capped at `max_backoff_ms`, scaled by a
+/// jitter factor in [0.5, 1.0] drawn positionally from `jitter_seed` — same
+/// seed, same delays, no cross-client synchronization in the fleet.
+struct ClientRetryPolicy {
+  int max_attempts = 2;     ///< total tries (first + retries); >= 1
+  int base_backoff_ms = 10;
+  int max_backoff_ms = 2000;
+  uint64_t jitter_seed = 1;
+};
+
+/// Delay before retry number `failures` (1-based); `salt` positions the
+/// jitter draw (e.g. a per-client running retry counter). 0 when the policy
+/// disables backoff (base_backoff_ms <= 0).
+int BackoffDelayMs(const ClientRetryPolicy& policy, int failures,
+                   uint64_t salt);
 
 class HttpClient {
  public:
@@ -20,6 +46,8 @@ class HttpClient {
     std::string error;     ///< transport error description when !ok
   };
 
+  using Headers = std::vector<std::pair<std::string, std::string>>;
+
   /// Connects lazily on the first request.
   HttpClient(std::string host, int port, int timeout_ms = 10000);
   ~HttpClient();
@@ -27,11 +55,19 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
+  void set_retry_policy(const ClientRetryPolicy& policy) { policy_ = policy; }
+  const ClientRetryPolicy& retry_policy() const { return policy_; }
+  /// Transport retries performed so far (also the jitter-draw position).
+  uint64_t retries() const { return retries_; }
+
   /// One round-trip; `target` is the origin-form path (may carry a query
-  /// string, already encoded). Reuses the connection; one reconnect-and-
-  /// retry when a kept-alive connection turns out dead.
+  /// string, already encoded). Reuses the connection; transport failures
+  /// (dead keep-alive, reset, refused connect) retry per the policy with
+  /// deterministic backoff. NOTE: a retried request may execute twice on
+  /// the server — fine for the service's GETs, use IngestClient for ingest.
   Response Request(const std::string& method, const std::string& target,
-                   const std::string& body = std::string());
+                   const std::string& body = std::string(),
+                   const Headers& headers = Headers());
 
   Response Get(const std::string& target) { return Request("GET", target); }
   Response Post(const std::string& target, const std::string& body) {
@@ -46,8 +82,33 @@ class HttpClient {
   std::string host_;
   int port_;
   int timeout_ms_;
+  ClientRetryPolicy policy_;
+  uint64_t retries_ = 0;
   int fd_ = -1;
   std::string leftover_;  // pipelined bytes past the last parsed response
+};
+
+/// Exactly-once ingest over a retrying HttpClient: stamps every chunk with
+/// X-Ingest-Session / X-Ingest-Seq and advances the sequence only on a 2xx
+/// ack, so a replay of an already-applied chunk is acknowledged as a
+/// duplicate by the server instead of double-ingesting.
+class IngestClient {
+ public:
+  /// `client` is borrowed (not owned). `session` must be unique among
+  /// concurrent producers feeding one server.
+  IngestClient(HttpClient* client, uint64_t session)
+      : client_(client), session_(session) {}
+
+  /// Posts one whitespace-separated tuple chunk to /ingest.
+  HttpClient::Response Post(const std::string& body);
+
+  uint64_t session() const { return session_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  HttpClient* client_;
+  uint64_t session_;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace sketchsample

@@ -302,6 +302,7 @@ const char* HttpStatusText(int status) {
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
@@ -322,6 +323,10 @@ std::string HttpResponse::Serialize() const {
   out += content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(body.size());
+  if (retry_after_s > 0) {
+    out += "\r\nRetry-After: ";
+    out += std::to_string(retry_after_s);
+  }
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
   out += "\r\n\r\n";

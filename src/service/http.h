@@ -92,12 +92,14 @@ class HttpRequestParser {
 };
 
 /// One response; Serialize emits the status line, Content-Length, Content-
-/// Type and Connection headers, and the body.
+/// Type and Connection headers (plus Retry-After when set), and the body.
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
   bool keep_alive = true;
+  /// Retry-After header in seconds for 429/503 rejections (0 = omitted).
+  int retry_after_s = 0;
 
   std::string Serialize() const;
 };

@@ -3,7 +3,10 @@
 #ifndef SKETCHSAMPLE_SERVICE_ROUTER_H_
 #define SKETCHSAMPLE_SERVICE_ROUTER_H_
 
+#include <chrono>
+#include <climits>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,11 +14,52 @@
 
 namespace sketchsample {
 
+class AdmissionController;
+
+/// Server-side overload counters a /stats handler surfaces; copied into the
+/// RequestContext per request by the HTTP server (absent when a handler
+/// runs without one, e.g. offline or router-level tests).
+struct ServerOverloadView {
+  uint64_t connections_rejected = 0;  ///< accept-gate 503s (no free slot)
+  uint64_t admission_rejected = 0;    ///< parse-time 429/503 admission rejects
+  uint64_t deadline_exceeded = 0;     ///< read/write-phase deadline expiries
+  bool valid = false;                 ///< true when filled by a server
+};
+
 /// Per-request server context. `reader_slot` is the connection's private
 /// RcuCell reader index — handlers use it to borrow the current snapshot
-/// without coordination.
+/// without coordination. `deadline` is the request's wall-clock budget
+/// (read + compute + write); handlers shed work that is already late
+/// instead of burning it.
 struct RequestContext {
   size_t reader_slot = 0;
+  /// Absolute deadline; time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// True while the admission controller is shedding or at capacity — the
+  /// query-path degradation signal stamped into answers.
+  bool admission_saturated = false;
+  /// The server's admission controller (not owned; may be null).
+  const AdmissionController* admission = nullptr;
+  ServerOverloadView server;
+
+  bool HasDeadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+  bool DeadlineExpired() const {
+    return HasDeadline() && std::chrono::steady_clock::now() >= deadline;
+  }
+  /// Milliseconds left in the budget, clamped to >= 0 (INT_MAX = no
+  /// deadline).
+  int RemainingMs() const {
+    if (!HasDeadline()) return INT_MAX;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return 0;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    return left > INT_MAX ? INT_MAX : static_cast<int>(left);
+  }
 };
 
 /// One endpoint implementation. Handle runs on a connection thread and must

@@ -7,11 +7,15 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "src/service/chaos.h"
 #include "src/util/metrics.h"
 
 namespace sketchsample {
@@ -19,11 +23,12 @@ namespace sketchsample {
 namespace {
 
 // Writes the whole buffer, riding out EINTR and partial writes. False when
-// the peer is gone.
+// the peer is gone or SO_SNDTIMEO expires mid-write (EAGAIN) — a stalled
+// reader must not hold the slot.
 bool WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    const ssize_t w = ChaosSend(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -34,7 +39,44 @@ bool WriteAll(int fd, const char* data, size_t n) {
 }
 
 void CloseFd(int fd) {
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) {
+    ChaosOnClose(fd);
+    ::close(fd);
+  }
+}
+
+// Sets SO_RCVTIMEO / SO_SNDTIMEO; timeout_ms <= 0 means "no timeout".
+void SetSocketTimeout(int fd, int which, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+  }
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+// Strict decimal uint64 for the X-Deadline-Ms header value.
+bool ParseHeaderU64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Milliseconds until `deadline` (rounded up), clamped to >= 0.
+int MsUntil(SteadyClock::time_point deadline, SteadyClock::time_point now) {
+  if (now >= deadline) return 0;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - now)
+                        .count() +
+                    1;
+  return left > INT_MAX ? INT_MAX : static_cast<int>(left);
 }
 
 }  // namespace
@@ -131,6 +173,8 @@ HttpServerStats HttpServer::stats() const {
       connections_accepted_.load(MemOrder::kRelaxed);
   stats.connections_rejected =
       connections_rejected_.load(MemOrder::kRelaxed);
+  stats.admission_rejected = admission_rejected_.load(MemOrder::kRelaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(MemOrder::kRelaxed);
   stats.requests = requests_.load(MemOrder::kRelaxed);
   stats.parse_errors = parse_errors_.load(MemOrder::kRelaxed);
   return stats;
@@ -146,12 +190,13 @@ void HttpServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (options_.recv_timeout_ms > 0) {
-      timeval tv{};
-      tv.tv_sec = options_.recv_timeout_ms / 1000;
-      tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    }
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.recv_timeout_ms);
+    // Baseline send timeout so no write can ever block forever; per-response
+    // writes re-derive it from the remaining deadline budget.
+    SetSocketTimeout(fd, SO_SNDTIMEO,
+                     options_.default_deadline_ms > 0
+                         ? options_.default_deadline_ms
+                         : options_.recv_timeout_ms);
 
     Connection* claimed = nullptr;
     {
@@ -170,9 +215,14 @@ void HttpServer::AcceptLoop() {
     if (claimed == nullptr) {
       connections_rejected_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.server.rejected");
-      const std::string response =
-          ErrorResponse(503, "connection limit reached").Serialize();
-      WriteAll(fd, response.data(), response.size());
+      HttpResponse response = ErrorResponse(503, "connection limit reached");
+      response.keep_alive = false;
+      // A full slot pool usually drains within a request's service time;
+      // hint one second so well-behaved clients back off instead of
+      // hammering the accept gate.
+      response.retry_after_s = 1;
+      const std::string bytes = response.Serialize();
+      WriteAll(fd, bytes.data(), bytes.size());
       CloseFd(fd);
       continue;
     }
@@ -187,23 +237,132 @@ void HttpServer::ConnectionLoop(Connection* connection) {
   HttpRequestParser parser(options_.limits);
   char buffer[16384];
   bool open = true;
+  // Read-phase deadline state: the clock starts when the first byte of a
+  // request arrives and resets per request, so a slow-loris client — header
+  // trickle or body trickle — can hold the slot for at most one budget.
+  bool in_request = false;
+  SteadyClock::time_point request_start{};
+  const auto read_deadline = [&] {
+    return request_start +
+           std::chrono::milliseconds(options_.default_deadline_ms);
+  };
+  const auto send_timeout_408 = [&] {
+    deadline_exceeded_.fetch_add(1, MemOrder::kRelaxed);
+    SKETCHSAMPLE_METRIC_INC("service.deadline_exceeded");
+    HttpResponse response =
+        ErrorResponse(408, "request read deadline exceeded");
+    response.keep_alive = false;
+    const std::string bytes = response.Serialize();
+    SetSocketTimeout(fd, SO_SNDTIMEO, 1000);
+    WriteAll(fd, bytes.data(), bytes.size());
+  };
   while (open && !stopping_.load(MemOrder::kAcquire)) {
-    const ssize_t r = ::recv(fd, buffer, sizeof(buffer), 0);
+    // Between requests the idle keep-alive timeout applies; mid-request the
+    // remaining deadline budget governs every read.
+    int wait_ms = options_.recv_timeout_ms;
+    if (in_request && options_.default_deadline_ms > 0) {
+      const int remaining = MsUntil(read_deadline(), SteadyClock::now());
+      if (remaining == 0) {
+        send_timeout_408();
+        break;
+      }
+      wait_ms = wait_ms > 0 ? std::min(wait_ms, remaining) : remaining;
+    }
+    SetSocketTimeout(fd, SO_RCVTIMEO, wait_ms);
+    const ssize_t r = ChaosRecv(fd, buffer, sizeof(buffer), 0);
     if (r < 0) {
       if (errno == EINTR) continue;
-      break;  // timeout (idle keep-alive) or reset — close quietly
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && in_request &&
+          options_.default_deadline_ms > 0) {
+        // recv timed out mid-request; if the budget survived (shorter
+        // recv_timeout), keep waiting, otherwise tear the request down.
+        if (SteadyClock::now() < read_deadline()) continue;
+        send_timeout_408();
+      }
+      break;  // idle timeout or reset — close quietly
     }
     if (r == 0) break;  // peer closed
+    if (!in_request) {
+      in_request = true;
+      request_start = SteadyClock::now();
+    }
     parser.Feed(buffer, static_cast<size_t>(r));
     HttpRequest request;
+    size_t processed = 0;
     while (open && parser.Next(&request)) {
+      ++processed;
       requests_.fetch_add(1, MemOrder::kRelaxed);
       RequestContext context;
       context.reader_slot = connection->slot;
-      HttpResponse response = router_->Dispatch(request, context);
+      // The request's budget runs from its first byte; X-Deadline-Ms lets a
+      // client shrink or stretch it within the server's cap.
+      if (options_.default_deadline_ms > 0) {
+        uint64_t budget_ms = static_cast<uint64_t>(options_.default_deadline_ms);
+        if (const auto it = request.headers.find("x-deadline-ms");
+            it != request.headers.end()) {
+          uint64_t requested = 0;
+          if (ParseHeaderU64(it->second, &requested) && requested > 0) {
+            budget_ms = std::min<uint64_t>(
+                requested, static_cast<uint64_t>(options_.max_deadline_ms));
+          }
+        }
+        context.deadline =
+            request_start + std::chrono::milliseconds(budget_ms);
+      }
+      AdmissionController* admission = options_.admission;
+      context.admission = admission;
+      context.server.connections_rejected =
+          connections_rejected_.load(MemOrder::kRelaxed);
+      context.server.admission_rejected =
+          admission_rejected_.load(MemOrder::kRelaxed);
+      context.server.deadline_exceeded =
+          deadline_exceeded_.load(MemOrder::kRelaxed);
+      context.server.valid = true;
+
+      // Admission gate at parse time: liveness endpoints always pass, the
+      // rest pay the 429/503 + Retry-After toll when the controller sheds.
+      const bool exempt =
+          request.path == "/healthz" || request.path == "/stats";
+      bool holding_slot = false;
+      HttpResponse response;
+      if (admission != nullptr && !exempt) {
+        const AdmissionController::Decision decision = admission->Admit();
+        if (!decision.admitted) {
+          admission_rejected_.fetch_add(1, MemOrder::kRelaxed);
+          SKETCHSAMPLE_METRIC_INC("service.admission.rejected");
+          response = ErrorResponse(decision.status,
+                                   decision.status == 429
+                                       ? "admission control shed this request"
+                                       : "service overloaded");
+          response.retry_after_s = decision.retry_after_s;
+        } else {
+          holding_slot = true;
+          SKETCHSAMPLE_METRIC_INC("service.admission.admitted");
+        }
+      }
+      if (holding_slot || admission == nullptr || exempt) {
+        context.admission_saturated =
+            admission != nullptr && admission->saturated();
+        response = router_->Dispatch(request, context);
+      }
+      if (holding_slot) admission->OnDone();
       response.keep_alive = response.keep_alive && request.keep_alive;
+      // Write under the remaining budget: SO_SNDTIMEO makes a stalled
+      // reader fail the write (EAGAIN) instead of wedging the slot.
+      int send_ms = options_.recv_timeout_ms;
+      if (context.HasDeadline()) {
+        const int remaining = context.RemainingMs();
+        send_ms = remaining > 0 ? remaining : 1;
+      }
+      SetSocketTimeout(fd, SO_SNDTIMEO, send_ms);
       const std::string bytes = response.Serialize();
-      if (!WriteAll(fd, bytes.data(), bytes.size())) open = false;
+      if (!WriteAll(fd, bytes.data(), bytes.size())) {
+        open = false;
+        if (context.DeadlineExpired()) {
+          deadline_exceeded_.fetch_add(1, MemOrder::kRelaxed);
+          SKETCHSAMPLE_METRIC_INC("service.deadline_exceeded");
+        }
+      }
       if (!response.keep_alive) open = false;
     }
     if (parser.error()) {
@@ -215,6 +374,10 @@ void HttpServer::ConnectionLoop(Connection* connection) {
       WriteAll(fd, bytes.data(), bytes.size());
       break;
     }
+    // Re-arm the read-phase clock: a fresh partial request (pipelined bytes
+    // past the last complete one) gets a full budget from now.
+    in_request = parser.buffered() > 0;
+    if (in_request && processed > 0) request_start = SteadyClock::now();
   }
   CloseFd(fd);
   std::lock_guard<std::mutex> lock(slots_mutex_);

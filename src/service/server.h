@@ -12,6 +12,17 @@
 // closes (the stream cannot be re-synced). Stop() shuts down the listener
 // and every live connection socket, then joins all threads — safe to call
 // from any thread, idempotent.
+//
+// Overload resilience (docs/ROBUSTNESS.md "query-side shedding"): every
+// request runs under a wall-clock deadline budget covering read, compute,
+// and write — a slow-loris header or body trickle gets 408 when the budget
+// expires, and the response write runs under SO_SNDTIMEO derived from the
+// remaining budget so a stalled reader cannot hold a slot. An optional
+// AdmissionController (src/service/admission.h) gates parsed requests with
+// 429/503 + Retry-After before any handler work; /healthz and /stats are
+// always admitted. All socket I/O routes through the chaos seams
+// (src/service/chaos.h) so tests inject partial reads/writes, resets, and
+// delays deterministically.
 #ifndef SKETCHSAMPLE_SERVICE_SERVER_H_
 #define SKETCHSAMPLE_SERVICE_SERVER_H_
 
@@ -24,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/service/admission.h"
 #include "src/service/http.h"
 #include "src/service/router.h"
 
@@ -37,12 +49,27 @@ struct HttpServerOptions {
   /// Per-read socket timeout; an idle keep-alive connection is closed after
   /// this long (0 = never).
   int recv_timeout_ms = 10000;
+  /// Per-request wall-clock budget in ms, enforced across read, compute,
+  /// and write: the clock starts at the first byte of a request, a header
+  /// or body trickle past the budget answers 408 and closes, and the
+  /// response write runs under SO_SNDTIMEO set from the remaining budget so
+  /// a stalled reader cannot wedge the slot. 0 disables deadlines (writes
+  /// then fall back to recv_timeout_ms as the send timeout).
+  int default_deadline_ms = 5000;
+  /// Cap for the client-requested X-Deadline-Ms header; a request may
+  /// shrink or stretch its own budget within [1, max_deadline_ms].
+  int max_deadline_ms = 30000;
+  /// Admission controller gating requests at parse time (not owned; null =
+  /// admit everything). /healthz and /stats are always admitted.
+  AdmissionController* admission = nullptr;
   HttpLimits limits;
 };
 
 struct HttpServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;  ///< 503s at the accept gate
+  uint64_t admission_rejected = 0;    ///< parse-time 429/503 admission rejects
+  uint64_t deadline_exceeded = 0;     ///< read/write-phase deadline expiries
   uint64_t requests = 0;
   uint64_t parse_errors = 0;
 };
@@ -88,6 +115,8 @@ class HttpServer {
 
   StdAtomics::Atomic<uint64_t> connections_accepted_{0};
   StdAtomics::Atomic<uint64_t> connections_rejected_{0};
+  StdAtomics::Atomic<uint64_t> admission_rejected_{0};
+  StdAtomics::Atomic<uint64_t> deadline_exceeded_{0};
   StdAtomics::Atomic<uint64_t> requests_{0};
   StdAtomics::Atomic<uint64_t> parse_errors_{0};
 };

@@ -8,6 +8,7 @@
 
 #include "src/core/confidence.h"
 #include "src/data/frequency_vector.h"
+#include "src/service/admission.h"
 #include "src/util/metrics.h"
 
 namespace sketchsample {
@@ -43,13 +44,21 @@ Moments4 ResolveMoments(const std::optional<StreamMoments>& exact,
 }
 
 void SetCommonFields(JsonValue& body, const char* endpoint,
-                     const ServiceSnapshot& snapshot) {
+                     const ServiceSnapshot& snapshot,
+                     const QueryFreshness& fresh) {
   body.Set("endpoint", JsonValue::String(endpoint));
   body.Set("position", JsonValue::Number(static_cast<double>(snapshot.position)));
   body.Set("kept", JsonValue::Number(static_cast<double>(snapshot.kept)));
   body.Set("sequence", JsonValue::Number(static_cast<double>(snapshot.sequence)));
   body.Set("p", JsonValue::Number(snapshot.p));
   body.Set("realized_p", JsonValue::Number(snapshot.realized_p()));
+  // Degraded-mode stamping: how far the snapshot trails ingest, and whether
+  // the answer was served under stale/shed conditions. Same code path
+  // online and offline, so byte-identity is preserved (both compute 0 /
+  // false at a sealed final state).
+  body.Set("staleness", JsonValue::Number(static_cast<double>(
+                            SnapshotStaleness(snapshot, fresh))));
+  body.Set("degraded", JsonValue::Bool(DegradedAnswer(snapshot, fresh)));
 }
 
 void SetInterval(JsonValue& body, const ConfidenceInterval& ci) {
@@ -77,7 +86,7 @@ bool ParseUint64(const std::string& text, uint64_t* out) {
 
 JsonValue SelfJoinResponseJson(const ServiceSnapshot& snapshot,
                                const std::optional<StreamMoments>& moments_f,
-                               double level) {
+                               double level, const QueryFreshness& fresh) {
   const double raw = snapshot.sketch.EstimateSelfJoin();
   const double p = snapshot.realized_p();
   const double estimate =
@@ -94,7 +103,7 @@ JsonValue SelfJoinResponseJson(const ServiceSnapshot& snapshot,
                                          snapshot.sketch.buckets(), level)
               : ConfidenceInterval{0.0, 0.0, level};
   JsonValue body = JsonValue::Object();
-  SetCommonFields(body, "selfjoin", snapshot);
+  SetCommonFields(body, "selfjoin", snapshot, fresh);
   body.Set("estimate", JsonValue::Number(estimate));
   body.Set("raw", JsonValue::Number(raw));
   SetInterval(body, ci);
@@ -107,7 +116,7 @@ JsonValue JoinResponseJson(const ServiceSnapshot& snapshot,
                            const FagmsSketch& reference,
                            const std::optional<StreamMoments>& moments_f,
                            const std::optional<StreamMoments>& moments_g,
-                           double level) {
+                           double level, const QueryFreshness& fresh) {
   const double raw = snapshot.sketch.EstimateJoin(reference);
   const double p = snapshot.realized_p();
   // The reference sketch summarizes an unsampled relation: q̂ = 1.
@@ -152,7 +161,7 @@ JsonValue JoinResponseJson(const ServiceSnapshot& snapshot,
                                      snapshot.sketch.buckets(), level)
               : ConfidenceInterval{0.0, 0.0, level};
   JsonValue body = JsonValue::Object();
-  SetCommonFields(body, "join", snapshot);
+  SetCommonFields(body, "join", snapshot, fresh);
   body.Set("estimate", JsonValue::Number(estimate));
   body.Set("raw", JsonValue::Number(raw));
   SetInterval(body, ci);
@@ -164,7 +173,7 @@ JsonValue JoinResponseJson(const ServiceSnapshot& snapshot,
 
 JsonValue PointResponseJson(const ServiceSnapshot& snapshot, uint64_t key,
                             const std::optional<StreamMoments>& moments_f,
-                            double level) {
+                            double level, const QueryFreshness& fresh) {
   const double raw = snapshot.sketch.EstimateFrequency(key);
   const double p = snapshot.realized_p();
   const double estimate = p > 0.0 ? RealizedJoinEstimate(raw, p, 1.0) : 0.0;
@@ -191,7 +200,7 @@ JsonValue PointResponseJson(const ServiceSnapshot& snapshot, uint64_t key,
                                      snapshot.sketch.buckets(), level)
               : ConfidenceInterval{0.0, 0.0, level};
   JsonValue body = JsonValue::Object();
-  SetCommonFields(body, "point", snapshot);
+  SetCommonFields(body, "point", snapshot, fresh);
   body.Set("key", JsonValue::Number(static_cast<double>(key)));
   body.Set("estimate", JsonValue::Number(estimate));
   body.Set("raw", JsonValue::Number(raw));
@@ -201,7 +210,8 @@ JsonValue PointResponseJson(const ServiceSnapshot& snapshot, uint64_t key,
   return body;
 }
 
-JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level) {
+JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level,
+                               const QueryFreshness& fresh) {
   const KmvSketch& kmv = *snapshot.distinct;
   const double estimate = kmv.EstimateDistinct();
   // While fewer than k distinct hashes are retained the count is exact;
@@ -214,7 +224,7 @@ JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level) {
     ci = CltInterval(estimate, variance, level);
   }
   JsonValue body = JsonValue::Object();
-  SetCommonFields(body, "distinct", snapshot);
+  SetCommonFields(body, "distinct", snapshot, fresh);
   body.Set("estimate", JsonValue::Number(estimate));
   SetInterval(body, ci);
   body.Set("k", JsonValue::Number(static_cast<double>(kmv.k())));
@@ -363,6 +373,26 @@ HttpResponse SketchService::HandleIngest(const HttpRequest& request) {
   if (source_.closed()) {
     return ErrorResponse(409, "ingest is closed");
   }
+  // Sequenced chunk? X-Ingest-Session names a retry stream, X-Ingest-Seq
+  // numbers its chunks from 0. A replayed chunk (seq < next) is acked as a
+  // duplicate without re-pushing — that is what makes client retries of
+  // ingest exactly-once. A gap (seq > next) is a client bug: 409.
+  bool sequenced = false;
+  uint64_t session = 0;
+  uint64_t seq = 0;
+  if (const auto it = request.headers.find("x-ingest-session");
+      it != request.headers.end()) {
+    if (!ParseUint64(it->second, &session)) {
+      return ErrorResponse(400, "malformed X-Ingest-Session");
+    }
+    const auto seq_it = request.headers.find("x-ingest-seq");
+    if (seq_it == request.headers.end() ||
+        !ParseUint64(seq_it->second, &seq)) {
+      return ErrorResponse(400,
+                           "X-Ingest-Session requires a decimal X-Ingest-Seq");
+    }
+    sequenced = true;
+  }
   // Body: whitespace-separated decimal tuples. Parsed strictly and fully
   // before anything is pushed — a malformed batch must not half-ingest.
   std::vector<uint64_t> values;
@@ -390,6 +420,36 @@ HttpResponse SketchService::HandleIngest(const HttpRequest& request) {
     }
     values.push_back(value);
   }
+
+  // The mutex spans the dedup check AND the push for sequenced chunks, so a
+  // session's chunks enter the stream in order exactly once even when the
+  // client retries concurrently. Sequenced ingest is therefore serialized;
+  // unsequenced posts keep the lock-free path.
+  std::unique_lock<std::mutex> dedup_lock;
+  if (sequenced) {
+    dedup_lock = std::unique_lock<std::mutex>(ingest_mutex_);
+    auto it = ingest_next_seq_.find(session);
+    if (it == ingest_next_seq_.end()) {
+      if (ingest_next_seq_.size() >= 1024) {
+        return ErrorResponse(503, "too many ingest sessions");
+      }
+      it = ingest_next_seq_.emplace(session, 0).first;
+    }
+    if (seq < it->second) {
+      ingest_duplicates_.fetch_add(1, MemOrder::kRelaxed);
+      SKETCHSAMPLE_METRIC_INC("service.ingest.duplicates");
+      JsonValue response = JsonValue::Object();
+      response.Set("accepted", JsonValue::Number(0.0));
+      response.Set("pushed", JsonValue::Number(static_cast<double>(pushed())));
+      response.Set("duplicate", JsonValue::Bool(true));
+      return JsonResponse(200, response);
+    }
+    if (seq > it->second) {
+      return ErrorResponse(
+          409, "ingest sequence gap: expected " + std::to_string(it->second) +
+                   ", got " + std::to_string(seq));
+    }
+  }
   const size_t accepted = Push(values.data(), values.size());
   JsonValue response = JsonValue::Object();
   response.Set("accepted", JsonValue::Number(static_cast<double>(accepted)));
@@ -398,6 +458,9 @@ HttpResponse SketchService::HandleIngest(const HttpRequest& request) {
     response.Set("error", JsonValue::String("ingest closed mid-batch"));
     return JsonResponse(409, response);
   }
+  // Advance only on a fully-applied chunk, so a failed push is retryable
+  // under the same sequence number.
+  if (sequenced) ++ingest_next_seq_[session];
   return JsonResponse(200, response);
 }
 
@@ -422,6 +485,47 @@ HttpResponse SketchService::HandleStats(const RequestContext& context) {
               JsonValue::Number(static_cast<double>(
                   queries_distinct_.load(MemOrder::kRelaxed))));
   body.Set("queries", std::move(queries));
+  body.Set("degraded_answers",
+           JsonValue::Number(static_cast<double>(
+               degraded_answers_.load(MemOrder::kRelaxed))));
+  body.Set("deadline_rejected",
+           JsonValue::Number(static_cast<double>(
+               deadline_rejected_.load(MemOrder::kRelaxed))));
+  body.Set("ingest_duplicates",
+           JsonValue::Number(static_cast<double>(
+               ingest_duplicates_.load(MemOrder::kRelaxed))));
+  // Server-level overload counters (absent when no HTTP server filled the
+  // context, e.g. router-level tests).
+  if (context.server.valid) {
+    JsonValue server = JsonValue::Object();
+    server.Set("connections_rejected",
+               JsonValue::Number(static_cast<double>(
+                   context.server.connections_rejected)));
+    server.Set("admission_rejected",
+               JsonValue::Number(static_cast<double>(
+                   context.server.admission_rejected)));
+    server.Set("deadline_exceeded",
+               JsonValue::Number(static_cast<double>(
+                   context.server.deadline_exceeded)));
+    body.Set("server", std::move(server));
+  }
+  if (context.admission != nullptr) {
+    const AdmissionController::Stats adm = context.admission->stats();
+    JsonValue admission = JsonValue::Object();
+    admission.Set("offered",
+                  JsonValue::Number(static_cast<double>(adm.offered)));
+    admission.Set("admitted",
+                  JsonValue::Number(static_cast<double>(adm.admitted)));
+    admission.Set("shed", JsonValue::Number(static_cast<double>(adm.shed)));
+    admission.Set("rejected",
+                  JsonValue::Number(static_cast<double>(adm.rejected)));
+    admission.Set("windows",
+                  JsonValue::Number(static_cast<double>(adm.windows)));
+    admission.Set("admit_rate", JsonValue::Number(adm.admit_rate));
+    admission.Set("inflight",
+                  JsonValue::Number(static_cast<double>(adm.inflight)));
+    body.Set("admission", std::move(admission));
+  }
   auto guard = registry_.Read(context.reader_slot);
   if (guard) {
     JsonValue snapshot = JsonValue::Object();
@@ -433,9 +537,25 @@ HttpResponse SketchService::HandleStats(const RequestContext& context) {
     snapshot.Set("p", JsonValue::Number(guard->p));
     snapshot.Set("realized_p", JsonValue::Number(guard->realized_p()));
     snapshot.Set("distinct_enabled", JsonValue::Bool(guard->distinct.has_value()));
+    snapshot.Set("staleness",
+                 JsonValue::Number(static_cast<double>(
+                     SnapshotStaleness(*guard, CurrentFreshness(context)))));
     body.Set("snapshot", std::move(snapshot));
   }
   return JsonResponse(200, body);
+}
+
+QueryFreshness SketchService::CurrentFreshness(
+    const RequestContext& context) const {
+  QueryFreshness fresh;
+  fresh.pushed = pushed();
+  // Ingest stalled: the ingest thread died on an error, or exited (engine
+  // stop) while the source is still accepting tuples nobody will consume.
+  fresh.ingest_stalled =
+      !ingest_error().empty() || (ingest_done() && !source_.closed());
+  fresh.admission_saturated = context.admission_saturated;
+  fresh.freshness_lag = options_.freshness_lag;
+  return fresh;
 }
 
 HttpResponse SketchService::Handle(Endpoint endpoint,
@@ -462,6 +582,17 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
       break;
   }
 
+  // Shed compute that is already late: a request whose deadline expired
+  // during read or queueing gets a clean 503 instead of burning snapshot
+  // work nobody will wait for.
+  if (context.DeadlineExpired()) {
+    deadline_rejected_.fetch_add(1, MemOrder::kRelaxed);
+    SKETCHSAMPLE_METRIC_INC("service.deadline_exceeded");
+    HttpResponse response = ErrorResponse(503, "deadline exceeded");
+    response.retry_after_s = 1;
+    return response;
+  }
+
   auto guard = registry_.Read(context.reader_slot);
   if (!guard) {
     return ErrorResponse(503, "no snapshot published yet");
@@ -477,13 +608,19 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
     level = parsed;
   }
 
+  const QueryFreshness fresh = CurrentFreshness(context);
+  if (DegradedAnswer(*guard, fresh)) {
+    degraded_answers_.fetch_add(1, MemOrder::kRelaxed);
+    SKETCHSAMPLE_METRIC_INC("service.degraded_answers");
+  }
+
   switch (endpoint) {
     case Endpoint::kSelfJoin: {
       queries_selfjoin_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.selfjoin");
       return JsonResponse(200,
                           SelfJoinResponseJson(*guard, options_.moments_f,
-                                               level));
+                                               level, fresh));
     }
     case Endpoint::kJoin: {
       if (!reference_.has_value()) {
@@ -494,7 +631,7 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
       SKETCHSAMPLE_METRIC_INC("service.query.join");
       return JsonResponse(
           200, JoinResponseJson(*guard, *reference_, options_.moments_f,
-                                options_.moments_g, level));
+                                options_.moments_g, level, fresh));
     }
     case Endpoint::kPoint: {
       const std::string* key_text = request.QueryParam("key");
@@ -505,8 +642,9 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
       }
       queries_point_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.point");
-      return JsonResponse(
-          200, PointResponseJson(*guard, key, options_.moments_f, level));
+      return JsonResponse(200, PointResponseJson(*guard, key,
+                                                 options_.moments_f, level,
+                                                 fresh));
     }
     case Endpoint::kDistinct: {
       if (!guard->distinct.has_value()) {
@@ -515,7 +653,7 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
       }
       queries_distinct_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.distinct");
-      return JsonResponse(200, DistinctResponseJson(*guard, level));
+      return JsonResponse(200, DistinctResponseJson(*guard, level, fresh));
     }
     default:
       return ErrorResponse(500, "unroutable endpoint");

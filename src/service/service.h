@@ -31,6 +31,7 @@
 #include "src/util/atomics_policy.h"
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -72,6 +73,41 @@ struct ServiceSnapshot {
   }
 };
 
+/// Query-time freshness context for degraded-mode stamping. Every answer
+/// carries `staleness` (tuples ingested but not yet covered by the snapshot
+/// it was computed from) and a `degraded` flag; the estimate itself stays
+/// Prop 13/14-corrected on the snapshot either way — degraded marks *stale
+/// or shed service*, never a different computation. Offline runs pass the
+/// same struct (with the final pushed count), so the shared-builder
+/// byte-identity contract holds: at a sealed final state both sides compute
+/// staleness 0 and degraded false.
+struct QueryFreshness {
+  /// Tuples accepted into the ingest source so far.
+  uint64_t pushed = 0;
+  /// Ingest thread exited (engine stop or error) while ingest was open.
+  bool ingest_stalled = false;
+  /// The admission controller is shedding or at its inflight cap.
+  bool admission_saturated = false;
+  /// Staleness bound in tuples; beyond it the answer is degraded
+  /// (0 = unbounded — staleness alone never degrades).
+  uint64_t freshness_lag = 0;
+};
+
+/// Tuples ingested beyond the snapshot's covered prefix.
+inline uint64_t SnapshotStaleness(const ServiceSnapshot& snapshot,
+                                  const QueryFreshness& fresh) {
+  return fresh.pushed > snapshot.position ? fresh.pushed - snapshot.position
+                                          : 0;
+}
+
+/// True when an answer from `snapshot` must be stamped degraded.
+inline bool DegradedAnswer(const ServiceSnapshot& snapshot,
+                           const QueryFreshness& fresh) {
+  return fresh.admission_saturated || fresh.ingest_stalled ||
+         (fresh.freshness_lag > 0 &&
+          SnapshotStaleness(snapshot, fresh) > fresh.freshness_lag);
+}
+
 struct SketchServiceOptions {
   /// F-AGMS prototype shape (rows medianed, buckets averaged → n = buckets
   /// in the Eq 25/26 variances).
@@ -101,6 +137,10 @@ struct SketchServiceOptions {
   /// the producer must re-push the stream from the beginning — restore
   /// fast-forwards past the checkpointed prefix.
   std::vector<uint8_t> resume;
+  /// Degrade answers whose snapshot trails ingest by more than this many
+  /// tuples (0 = staleness alone never degrades). A sensible bound is a
+  /// small multiple of snapshot_every.
+  uint64_t freshness_lag = 0;
 };
 
 /// Long-running sketch service. Lifecycle: construct → Register(router) →
@@ -156,6 +196,8 @@ class SketchService {
                       const RequestContext& context);
   HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleStats(const RequestContext& context);
+  // Freshness context for a query answered now under `context`.
+  QueryFreshness CurrentFreshness(const RequestContext& context) const;
 
   SketchServiceOptions options_;
   FagmsSketch proto_;
@@ -172,10 +214,20 @@ class SketchService {
   mutable std::mutex error_mutex_;
   std::string ingest_error_;
 
+  // Exactly-once ingest chunks: per-session next expected sequence number
+  // (X-Ingest-Session / X-Ingest-Seq). The mutex spans parse+push for
+  // sequenced batches so a session's chunks apply in order exactly once;
+  // unsequenced posts bypass it entirely.
+  std::mutex ingest_mutex_;
+  std::map<uint64_t, uint64_t> ingest_next_seq_;
+
   StdAtomics::Atomic<uint64_t> queries_selfjoin_{0};
   StdAtomics::Atomic<uint64_t> queries_join_{0};
   StdAtomics::Atomic<uint64_t> queries_point_{0};
   StdAtomics::Atomic<uint64_t> queries_distinct_{0};
+  StdAtomics::Atomic<uint64_t> degraded_answers_{0};
+  StdAtomics::Atomic<uint64_t> deadline_rejected_{0};
+  StdAtomics::Atomic<uint64_t> ingest_duplicates_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -186,16 +238,20 @@ class SketchService {
 
 JsonValue SelfJoinResponseJson(const ServiceSnapshot& snapshot,
                                const std::optional<StreamMoments>& moments_f,
-                               double level);
+                               double level,
+                               const QueryFreshness& fresh = QueryFreshness());
 JsonValue JoinResponseJson(const ServiceSnapshot& snapshot,
                            const FagmsSketch& reference,
                            const std::optional<StreamMoments>& moments_f,
                            const std::optional<StreamMoments>& moments_g,
-                           double level);
+                           double level,
+                           const QueryFreshness& fresh = QueryFreshness());
 JsonValue PointResponseJson(const ServiceSnapshot& snapshot, uint64_t key,
                             const std::optional<StreamMoments>& moments_f,
-                            double level);
-JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level);
+                            double level,
+                            const QueryFreshness& fresh = QueryFreshness());
+JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level,
+                               const QueryFreshness& fresh = QueryFreshness());
 
 /// Strict decimal uint64 parse (no sign, no whitespace, no overflow).
 bool ParseUint64(const std::string& text, uint64_t* out);

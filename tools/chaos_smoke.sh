@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Socket-level chaos smoke for the query service (docs/ROBUSTNESS.md,
+# "query-side shedding"), run by the chaos-smoke CI job and runnable
+# locally:
+#
+#   tools/chaos_smoke.sh <work_dir> [build_dir]
+#
+# The seed comes from SKETCHSAMPLE_CHAOS_SEED (default below); CI draws a
+# fresh one per run and uploads it on failure, so any failing sequence of
+# partial reads/writes, resets, and delays reproduces bit-exactly. Unlike
+# the fault-injection soak, socket chaos never corrupts data — it only
+# mangles the transport — so byte-exactness against `sketchsample offline`
+# IS asserted here. Two scenarios:
+#
+#   1. Exactly-once under chaos: ingest through a harsh chaos transport on
+#      both sides (client retries with sequenced chunks, server dedups),
+#      then require every query endpoint to answer byte-identically to
+#      offline over the same data.
+#   2. Overload storm: 8x more query threads than the admission budget,
+#      still under chaos. The server must shed (429/503/408) instead of
+#      wedging and keep goodput above zero. A low-concurrency recovery
+#      phase then lets the AIMD admit rate probe back up to 1.0, after
+#      which a clean probe must be admitted, and SIGTERM must shut the
+#      server down in an orderly fashion.
+set -euo pipefail
+
+work="${1:?usage: chaos_smoke.sh <work_dir> [build_dir]}"
+build_dir="${2:-build}"
+cli="$build_dir/tools/sketchsample"
+loadgen="$build_dir/tools/loadgen"
+mkdir -p "$work"
+
+seed="${SKETCHSAMPLE_CHAOS_SEED:-20090402}"
+echo "chaos smoke: seed $seed"
+
+# Fixed engine configuration — must stay identical between serve and
+# offline (mirrors tools/service_smoke.sh).
+tuples=30000
+domain=20000
+gen_seed=20090402
+engine_flags=(
+  --buckets=512 --rows=3 --scheme=eh3 --seed=33
+  --shards=2 --shed-p=0.5 --shed-seed=42
+  --distinct-k=256 --snapshot-every=8192
+)
+keys="17,4242,9999"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_server() {  # start_server <port_file> <log_prefix> [extra serve flags...]
+  local port_file="$1" log_prefix="$2"
+  shift 2
+  rm -f "$port_file"
+  "$cli" serve "${engine_flags[@]}" \
+    --port=0 --port-file="$port_file" --run-seconds=300 "$@" \
+    >"$work/$log_prefix.log" 2>"$work/$log_prefix.err" &
+  pids+=("$!")
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    sleep 0.2
+  done
+  [ -s "$port_file" ] || { echo "FAIL: server never wrote $port_file" >&2
+                           cat "$work/$log_prefix.err" >&2; exit 1; }
+}
+
+echo "== generate dataset (${tuples} zipf tuples, seed ${gen_seed})"
+"$cli" generate --kind=zipf --out="$work/data.txt" \
+  --tuples="$tuples" --domain="$domain" --skew=1.0 --seed="$gen_seed"
+
+echo "== offline reference answers"
+"$cli" offline "${engine_flags[@]}" --in="$work/data.txt" --keys="$keys" \
+  >"$work/offline.txt" 2>"$work/offline.err"
+
+echo "== scenario 1: exactly-once ingest + byte-exact answers under harsh chaos"
+start_server "$work/port.txt" serve \
+  --chaos-profile=harsh --chaos-seed="$seed"
+port="$(cat "$work/port.txt")"
+"$loadgen" --port="$port" --ingest-file="$work/data.txt" --close=true \
+  --wait-done=true --once=true --keys="$keys" --distinct-weight=1 \
+  --chaos-profile=harsh --chaos-seed="$seed" \
+  --retry-attempts=10 --retry-base-ms=5 \
+  >"$work/online.txt"
+if ! diff -u "$work/offline.txt" "$work/online.txt"; then
+  echo "FAIL: answers over a chaos transport diverge from offline" >&2
+  exit 1
+fi
+echo "   bit-exact through retries and dedup: OK"
+
+echo "== scenario 2: 8x overload storm against a 2-slot admission budget"
+start_server "$work/port2.txt" serve2 \
+  --chaos-profile=harsh --chaos-seed="$seed" \
+  --admission-capacity=2 --deadline-ms=2000
+port2="$(cat "$work/port2.txt")"
+# Sheds (429/503/408) are expected and healthy here; hard transport errors
+# past the retry budget are tolerated up to 5% under harsh chaos.
+"$loadgen" --port="$port2" --threads=16 --seconds=5 --seed="$seed" \
+  --overload=true --deadline-ms=1000 --key-domain="$domain" \
+  --chaos-profile=mild --chaos-seed="$seed" \
+  --retry-attempts=4 --retry-base-ms=2 --max-error-rate=0.05 \
+  --json_out="$work/BENCH_chaos_loadgen.json"
+
+# Recovery: a single-threaded trickle keeps the window peak under the
+# admission headroom, so the AIMD controller probes its admit rate back up
+# to 1.0 (one additive step per window). Sheds early in this phase are
+# expected; admitted goodput must still be nonzero.
+"$loadgen" --port="$port2" --threads=1 --seconds=3 --seed="$seed" \
+  --overload=true --key-domain="$domain" \
+  --retry-attempts=10 --retry-base-ms=2 --max-error-rate=0.05 \
+  --json_out="$work/BENCH_recovery_loadgen.json"
+
+# The server survived the storm and recovered: a clean probe is admitted,
+# and SIGTERM shuts it down in an orderly fashion.
+"$loadgen" --port="$port2" --once=true --keys=17 --retry-attempts=10 \
+  >"$work/final.txt"
+storm_pid="${pids[-1]}"
+kill -TERM "$storm_pid"
+wait "$storm_pid"
+echo "   shed under overload, stayed alive, clean shutdown: OK"
+
+echo "chaos smoke: all scenarios passed (seed $seed)"

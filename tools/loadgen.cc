@@ -17,6 +17,13 @@
 // --once instead prints one `endpoint body` line per enabled endpoint in
 // exactly the `sketchsample offline` output format — the service-smoke job
 // diffs the two byte for byte.
+//
+// Resilience drills: --chaos-profile injects deterministic client-side
+// socket faults (short counts, resets, delays — src/service/chaos.h);
+// --overload treats 429/503 as shed work rather than errors and reports
+// goodput (admitted req/sec) vs shed plus admitted-only tail latency;
+// --deadline-ms stamps X-Deadline-Ms on every query; retried ingest is
+// exactly-once via sequence-numbered chunks (IngestClient).
 // lint:allow-file(raw-atomic-confined): load-driver worker coordination
 // (shared counters, stop flag) across real OS threads hammering a live
 // server; a measurement harness, not a checked primitive.
@@ -25,12 +32,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench/report.h"
+#include "src/service/chaos.h"
 #include "src/service/client.h"
 #include "src/util/flags.h"
 #include "src/util/json.h"
@@ -69,43 +78,72 @@ struct QueryMix {
 
 struct WorkerResult {
   uint64_t requests = 0;
-  uint64_t errors = 0;  // transport failures or non-200 statuses
-  std::vector<uint64_t> latencies_ns;
+  uint64_t errors = 0;    // transport failures or unexpected statuses
+  uint64_t admitted = 0;  // 200s
+  uint64_t shed = 0;      // 429/503 (overload mode: shed work, not errors)
+  std::vector<uint64_t> latencies_ns;  // admitted requests only
 };
 
-void QueryWorker(const std::string& host, int port, const QueryMix& mix,
-                 uint64_t key_domain, const std::string& level_suffix,
-                 uint64_t seed, double seconds,
-                 const std::atomic<bool>* stop, WorkerResult* result) {
+struct WorkerConfig {
+  QueryMix mix;
+  uint64_t key_domain = 1;
+  std::string level_suffix;
+  double seconds = 0;
+  bool overload = false;  // count 429/503 as shed instead of errors
+  int deadline_ms = 0;    // stamp X-Deadline-Ms on every request
+  ClientRetryPolicy retry;
+};
+
+void QueryWorker(const std::string& host, int port, const WorkerConfig& config,
+                 uint64_t seed, const std::atomic<bool>* stop,
+                 WorkerResult* result) {
   HttpClient client(host, port);
+  ClientRetryPolicy policy = config.retry;
+  policy.jitter_seed = seed;  // per-worker deterministic jitter stream
+  client.set_retry_policy(policy);
+  HttpClient::Headers headers;
+  if (config.deadline_ms > 0) {
+    headers.emplace_back("X-Deadline-Ms", std::to_string(config.deadline_ms));
+  }
   Xoshiro256 rng(seed);
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(seconds));
+          std::chrono::duration<double>(config.seconds));
   result->latencies_ns.reserve(1 << 16);
   while (std::chrono::steady_clock::now() < deadline &&
          !stop->load(std::memory_order_relaxed)) {
-    const std::string& endpoint = mix.Pick(rng.NextDouble());
+    const std::string& endpoint = config.mix.Pick(rng.NextDouble());
     std::string target = "/query/" + endpoint;
     bool have_param = false;
     if (endpoint == "point") {
-      target += "?key=" + std::to_string(rng() % key_domain);
+      target += "?key=" + std::to_string(rng() % config.key_domain);
       have_param = true;
     } else if (endpoint == "stats") {
       target = "/stats";
     }
-    if (!level_suffix.empty() && endpoint != "stats") {
-      target += (have_param ? "&" : "?") + level_suffix;
+    if (!config.level_suffix.empty() && endpoint != "stats") {
+      target += (have_param ? "&" : "?") + config.level_suffix;
     }
     const auto start = std::chrono::steady_clock::now();
-    const HttpClient::Response response = client.Get(target);
+    const HttpClient::Response response =
+        client.Request("GET", target, std::string(), headers);
     const auto elapsed = std::chrono::steady_clock::now() - start;
     ++result->requests;
-    if (!response.ok || response.status != 200) ++result->errors;
-    result->latencies_ns.push_back(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-            .count()));
+    if (response.ok && response.status == 200) {
+      ++result->admitted;
+      // Admitted-only latency: shed requests return in microseconds and
+      // would make an overloaded service look faster than a healthy one.
+      result->latencies_ns.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    } else if (config.overload && response.ok &&
+               (response.status == 429 || response.status == 503 ||
+                response.status == 408)) {
+      ++result->shed;
+    } else {
+      ++result->errors;
+    }
   }
 }
 
@@ -168,6 +206,21 @@ int Main(int argc, char** argv) {
   flags.Define("keys", "", "--once: comma-separated point-query keys");
   flags.Define("json_out", "",
                "write a schema-v1 BENCH report of the query phase here");
+  flags.Define("deadline-ms", "0",
+               "stamp X-Deadline-Ms on every query (0 = server default)");
+  flags.Define("chaos-profile", "none",
+               "client-side socket fault injection: none | mild | harsh");
+  flags.Define("chaos-seed", "0",
+               "chaos seed (0: SKETCHSAMPLE_CHAOS_SEED env or 77)");
+  flags.Define("overload", "false",
+               "overload drill: 429/503/408 count as shed work, not errors; "
+               "success requires admitted > 0 instead of zero errors");
+  flags.Define("retry-attempts", "2", "client attempts per request (>= 1)");
+  flags.Define("retry-base-ms", "10", "base backoff between attempts");
+  flags.Define("max-error-rate", "0",
+               "tolerated hard-error fraction of all requests");
+  flags.Define("ingest-session", "1",
+               "X-Ingest-Session id for exactly-once ingest chunks");
   if (!flags.Parse(argc, argv)) return 1;
 
   const std::string host = flags.GetString("host");
@@ -176,7 +229,31 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "loadgen: --port is required\n");
     return 1;
   }
+
+  // Client-side chaos: every loadgen socket operation runs under the
+  // injector, so the drill exercises the client's retry/backoff machinery
+  // and the server's partial-IO handling at once.
+  std::optional<ScopedChaosInjector> chaos;
+  const ChaosProfile chaos_profile =
+      ChaosProfile::FromName(flags.GetString("chaos-profile"));
+  if (chaos_profile.Active()) {
+    uint64_t chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed"));
+    if (chaos_seed == 0) chaos_seed = ChaosSeedFromEnv(77);
+    chaos.emplace(chaos_profile, chaos_seed);
+    std::fprintf(stderr, "loadgen: chaos profile %s seed %llu\n",
+                 flags.GetString("chaos-profile").c_str(),
+                 static_cast<unsigned long long>(chaos_seed));
+  }
+
+  ClientRetryPolicy retry;
+  retry.max_attempts =
+      std::max<int>(1, static_cast<int>(flags.GetInt("retry-attempts")));
+  retry.base_backoff_ms = static_cast<int>(flags.GetInt("retry-base-ms"));
+
   HttpClient control(host, port);
+  ClientRetryPolicy control_retry = retry;
+  control_retry.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  control.set_retry_policy(control_retry);
 
   // ---- Phase 1: ingest ----------------------------------------------------
   double ingest_tps = 0;
@@ -185,6 +262,10 @@ int Main(int argc, char** argv) {
     const std::vector<uint64_t> values = cli::ReadValuesFile(ingest_file);
     const size_t batch =
         std::max<size_t>(1, static_cast<size_t>(flags.GetInt("ingest-batch")));
+    // Sequence-numbered chunks: the server deduplicates replays, so a chunk
+    // retried after an ambiguous transport failure lands exactly once.
+    IngestClient ingest(
+        &control, static_cast<uint64_t>(flags.GetInt("ingest-session")));
     const auto start = std::chrono::steady_clock::now();
     std::string body;
     for (size_t off = 0; off < values.size(); off += batch) {
@@ -194,7 +275,7 @@ int Main(int argc, char** argv) {
         body += std::to_string(values[off + i]);
         body.push_back('\n');
       }
-      const HttpClient::Response response = control.Post("/ingest", body);
+      const HttpClient::Response response = ingest.Post(body);
       if (!response.ok || response.status != 200) {
         std::fprintf(stderr, "loadgen: ingest POST failed (status %d): %s\n",
                      response.status,
@@ -274,54 +355,66 @@ int Main(int argc, char** argv) {
   const double seconds = flags.GetDouble("seconds");
   if (seconds <= 0) return 0;
 
-  QueryMix mix;
-  mix.Add("selfjoin", flags.GetDouble("selfjoin-weight"));
-  mix.Add("join", flags.GetDouble("join-weight"));
-  mix.Add("point", flags.GetDouble("point-weight"));
-  mix.Add("distinct", flags.GetDouble("distinct-weight"));
-  mix.Add("stats", flags.GetDouble("stats-weight"));
-  if (mix.cumulative.empty()) {
+  WorkerConfig config;
+  config.mix.Add("selfjoin", flags.GetDouble("selfjoin-weight"));
+  config.mix.Add("join", flags.GetDouble("join-weight"));
+  config.mix.Add("point", flags.GetDouble("point-weight"));
+  config.mix.Add("distinct", flags.GetDouble("distinct-weight"));
+  config.mix.Add("stats", flags.GetDouble("stats-weight"));
+  if (config.mix.cumulative.empty()) {
     std::fprintf(stderr, "loadgen: all mix weights are zero\n");
     return 1;
   }
+  config.key_domain =
+      std::max<uint64_t>(1, static_cast<uint64_t>(flags.GetInt("key-domain")));
+  config.level_suffix = level_suffix;
+  config.seconds = seconds;
+  config.overload = flags.GetBool("overload");
+  config.deadline_ms = static_cast<int>(flags.GetInt("deadline-ms"));
+  config.retry = retry;
 
   const int threads = std::max<int>(1, static_cast<int>(flags.GetInt("threads")));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  const uint64_t key_domain =
-      std::max<uint64_t>(1, static_cast<uint64_t>(flags.GetInt("key-domain")));
   std::atomic<bool> stop{false};
   std::vector<WorkerResult> results(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   const auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back(QueryWorker, host, port, std::cref(mix), key_domain,
-                         level_suffix, MixSeed(seed, static_cast<uint64_t>(t)),
-                         seconds, &stop, &results[static_cast<size_t>(t)]);
+    workers.emplace_back(QueryWorker, host, port, std::cref(config),
+                         MixSeed(seed, static_cast<uint64_t>(t)), &stop,
+                         &results[static_cast<size_t>(t)]);
   }
   for (std::thread& worker : workers) worker.join();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  uint64_t requests = 0, errors = 0;
+  uint64_t requests = 0, errors = 0, admitted = 0, shed = 0;
   std::vector<uint64_t> latencies;
   for (const WorkerResult& result : results) {
     requests += result.requests;
     errors += result.errors;
+    admitted += result.admitted;
+    shed += result.shed;
     latencies.insert(latencies.end(), result.latencies_ns.begin(),
                      result.latencies_ns.end());
   }
   std::sort(latencies.begin(), latencies.end());
   const double qps =
       elapsed > 0 ? static_cast<double>(requests) / elapsed : 0;
+  const double goodput =
+      elapsed > 0 ? static_cast<double>(admitted) / elapsed : 0;
   const uint64_t p50 = PercentileNs(latencies, 0.50);
   const uint64_t p90 = PercentileNs(latencies, 0.90);
   const uint64_t p99 = PercentileNs(latencies, 0.99);
   std::printf(
       "loadgen: %llu requests in %.3gs (%.6g req/sec, %llu errors)\n"
-      "latency ns: p50 %llu  p90 %llu  p99 %llu\n",
+      "goodput: %llu admitted (%.6g req/sec), %llu shed\n"
+      "admitted latency ns: p50 %llu  p90 %llu  p99 %llu\n",
       static_cast<unsigned long long>(requests), elapsed, qps,
       static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(admitted), goodput,
+      static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(p50),
       static_cast<unsigned long long>(p90),
       static_cast<unsigned long long>(p99));
@@ -332,11 +425,15 @@ int Main(int argc, char** argv) {
     report.SetConfig("threads", static_cast<double>(threads));
     report.SetConfig("seconds", seconds);
     report.SetConfig("seed", static_cast<double>(seed));
+    report.SetConfig("overload", config.overload ? 1.0 : 0.0);
     bench::BenchPoint& point = report.AddPoint();
     point.Label("phase", "query");
     point.Metric("requests", static_cast<double>(requests));
     point.Metric("errors", static_cast<double>(errors));
+    point.Metric("admitted", static_cast<double>(admitted));
+    point.Metric("shed", static_cast<double>(shed));
     point.Metric("requests_per_sec", qps);
+    point.Metric("goodput_per_sec", goodput);
     point.Metric("seconds", elapsed);
     point.Metric("p50_latency_ns", static_cast<double>(p50));
     point.Metric("p90_latency_ns", static_cast<double>(p90));
@@ -348,7 +445,15 @@ int Main(int argc, char** argv) {
     }
     if (!report.WriteFile(json_out)) return 1;
   }
-  return errors == 0 ? 0 : 1;
+
+  // Success: hard errors within budget, and under an overload drill the
+  // service must still have answered something (no total starvation).
+  const double error_rate =
+      requests > 0 ? static_cast<double>(errors) / static_cast<double>(requests)
+                   : 0;
+  if (error_rate > flags.GetDouble("max-error-rate")) return 1;
+  if (config.overload && admitted == 0 && requests > 0) return 1;
+  return 0;
 }
 
 }  // namespace

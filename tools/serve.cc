@@ -18,6 +18,7 @@
 #include "src/data/zipf.h"
 #include "src/prng/xi.h"
 #include "src/sketch/serialize.h"
+#include "src/service/chaos.h"
 #include "src/service/server.h"
 #include "src/service/service.h"
 #include "src/stream/checkpoint.h"
@@ -73,6 +74,9 @@ void DefineEngineFlags(Flags& flags) {
   flags.Define("moments-g", "",
                "exact moments of the join reference stream, 'G1,G2,G3,G4'");
   flags.Define("level", "0.95", "default confidence level");
+  flags.Define("freshness-lag", "0",
+               "stamp answers degraded when the snapshot trails ingest by "
+               "more than this many tuples (0 = unbounded)");
 }
 
 void DefineStreamFlags(Flags& flags) {
@@ -152,6 +156,7 @@ ServiceSetup BuildServiceSetup(const Flags& flags) {
 
   opts.snapshot_every = static_cast<uint64_t>(flags.GetInt("snapshot-every"));
   opts.default_level = flags.GetDouble("level");
+  opts.freshness_lag = static_cast<uint64_t>(flags.GetInt("freshness-lag"));
   const std::string join_sketch = flags.GetString("join-sketch");
   if (!join_sketch.empty()) opts.join_sketch = ReadBinaryFile(join_sketch);
   opts.moments_f = MomentsFromFlag(flags, "moments-f");
@@ -212,14 +217,42 @@ int RunServe(const Flags& flags) {
   Router router;
   service.Register(router);
 
+  // Server-socket chaos for resilience drills: deterministic partial
+  // reads/writes, resets, and delays injected under the given profile.
+  std::optional<ScopedChaosInjector> chaos;
+  const ChaosProfile chaos_profile =
+      ChaosProfile::FromName(flags.GetString("chaos-profile"));
+  if (chaos_profile.Active()) {
+    uint64_t chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed"));
+    if (chaos_seed == 0) chaos_seed = ChaosSeedFromEnv(77);
+    chaos.emplace(chaos_profile, chaos_seed);
+    std::fprintf(stderr, "serve: chaos profile %s seed %llu\n",
+                 flags.GetString("chaos-profile").c_str(),
+                 static_cast<unsigned long long>(chaos_seed));
+  }
+
   HttpServerOptions sopts;
   sopts.bind_address = flags.GetString("bind");
   sopts.port = static_cast<int>(flags.GetInt("port"));
   sopts.max_connections = static_cast<size_t>(flags.GetInt("max-connections"));
   sopts.recv_timeout_ms = static_cast<int>(flags.GetInt("recv-timeout-ms"));
+  sopts.default_deadline_ms = static_cast<int>(flags.GetInt("deadline-ms"));
+  sopts.max_deadline_ms = static_cast<int>(flags.GetInt("max-deadline-ms"));
   if (sopts.max_connections > setup.options.max_readers) {
     // Reader slots must cover every live connection (slot == connection).
     sopts.max_connections = setup.options.max_readers;
+  }
+  std::optional<AdmissionController> admission;
+  const int admission_capacity =
+      static_cast<int>(flags.GetInt("admission-capacity"));
+  if (admission_capacity > 0) {
+    AdmissionOptions aopts;
+    aopts.capacity = static_cast<size_t>(admission_capacity);
+    aopts.window_requests =
+        static_cast<uint64_t>(flags.GetInt("admission-window"));
+    aopts.min_admit = flags.GetDouble("admission-min");
+    admission.emplace(aopts);
+    sopts.admission = &*admission;
   }
   HttpServer server(&router, sopts);
   server.Start();
@@ -267,10 +300,13 @@ int RunServe(const Flags& flags) {
   const HttpServerStats stats = server.stats();
   std::fprintf(stderr,
                "serve: %llu requests, %llu connections (%llu rejected), "
+               "%llu admission rejects, %llu deadline expiries, "
                "%llu parse errors, %llu tuples ingested\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.connections_rejected),
+               static_cast<unsigned long long>(stats.admission_rejected),
+               static_cast<unsigned long long>(stats.deadline_exceeded),
                static_cast<unsigned long long>(stats.parse_errors),
                static_cast<unsigned long long>(service.pushed()));
   const std::string error = service.ingest_error();
@@ -291,6 +327,20 @@ int CmdServe(int argc, char** argv) {
                "write the bound port here (for scripts using --port=0)");
   flags.Define("max-connections", "64", "live connection cap");
   flags.Define("recv-timeout-ms", "10000", "idle connection timeout");
+  flags.Define("deadline-ms", "5000",
+               "per-request wall-clock budget across read/compute/write "
+               "(0 = no deadlines)");
+  flags.Define("max-deadline-ms", "30000",
+               "cap for the client X-Deadline-Ms header");
+  flags.Define("admission-capacity", "0",
+               "AIMD admission controller inflight budget (0 = disabled)");
+  flags.Define("admission-window", "128",
+               "admission controller window in offered requests");
+  flags.Define("admission-min", "0.05", "admission rate floor");
+  flags.Define("chaos-profile", "none",
+               "server-socket fault injection: none | mild | harsh");
+  flags.Define("chaos-seed", "0",
+               "chaos seed (0: SKETCHSAMPLE_CHAOS_SEED env or 77)");
   flags.Define("ingest-rate", "0",
                "file/zipf feed pacing in tuples/sec (0 = full speed)");
   flags.Define("close-after-feed", "true",
@@ -351,8 +401,15 @@ int CmdOffline(int argc, char** argv) {
     return 1;
   }
   const double level = setup.options.default_level;
+  // Same freshness context as the sealed online service: all pushed tuples
+  // are covered by the final snapshot, so staleness is 0 and degraded is
+  // false — matching bytes with online answers on the same state.
+  QueryFreshness fresh;
+  fresh.pushed = service.pushed();
+  fresh.freshness_lag = setup.options.freshness_lag;
   std::printf("selfjoin %s\n",
-              SelfJoinResponseJson(*guard, setup.options.moments_f, level)
+              SelfJoinResponseJson(*guard, setup.options.moments_f, level,
+                                   fresh)
                   .Dump()
                   .c_str());
   if (!setup.options.join_sketch.empty()) {
@@ -360,20 +417,20 @@ int CmdOffline(int argc, char** argv) {
         DeserializeFagms(setup.options.join_sketch);
     std::printf("join %s\n",
                 JoinResponseJson(*guard, reference, setup.options.moments_f,
-                                 setup.options.moments_g, level)
+                                 setup.options.moments_g, level, fresh)
                     .Dump()
                     .c_str());
   }
   for (const int64_t key : flags.GetIntList("keys")) {
     std::printf("point:%llu %s\n", static_cast<unsigned long long>(key),
                 PointResponseJson(*guard, static_cast<uint64_t>(key),
-                                  setup.options.moments_f, level)
+                                  setup.options.moments_f, level, fresh)
                     .Dump()
                     .c_str());
   }
   if (guard->distinct.has_value()) {
     std::printf("distinct %s\n",
-                DistinctResponseJson(*guard, level).Dump().c_str());
+                DistinctResponseJson(*guard, level, fresh).Dump().c_str());
   }
   return 0;
 }
