@@ -235,6 +235,88 @@ JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level,
   return body;
 }
 
+JsonValue QuantileResponseJson(const ServiceSnapshot& snapshot, double q,
+                               double level, const QueryFreshness& fresh) {
+  const KllSketch& kll = *snapshot.quantile;
+  JsonValue body = JsonValue::Object();
+  SetCommonFields(body, "quantile", snapshot, fresh);
+  body.Set("q", JsonValue::Number(q));
+  double estimate = 0.0;
+  double eps_sketch = 0.0;
+  double eps_sampling = 0.0;
+  ConfidenceInterval ci{0.0, 0.0, level};
+  if (kll.n() > 0) {
+    // Two rank-error sources stack: the KLL compaction error (variance
+    // accumulated per compaction, src/sketch/kll.h) and the Bernoulli
+    // shedding upstream of the sketch — the kept stream's q-quantile
+    // estimates the full stream's with CLT rank noise
+    // sqrt(q(1−q)(1−p̂)/(p̂·N)) at realized rate p̂ over N positions.
+    const double z = NormalQuantile(0.5 * (1.0 + level));
+    eps_sketch = z * kll.RankErrorStddev();
+    const double p = snapshot.realized_p();
+    if (p > 0.0 && p < 1.0 && snapshot.position > 0) {
+      eps_sampling =
+          z * std::sqrt(q * (1.0 - q) * (1.0 - p) /
+                        (p * static_cast<double>(snapshot.position)));
+    }
+    const double eps_total = eps_sketch + eps_sampling;
+    estimate = static_cast<double>(kll.EstimateQuantile(q));
+    // Value-space interval: re-query the sketch at the rank bounds.
+    ci.low = static_cast<double>(
+        kll.EstimateQuantile(std::max(0.0, q - eps_total)));
+    ci.high = static_cast<double>(
+        kll.EstimateQuantile(std::min(1.0, q + eps_total)));
+  }
+  body.Set("estimate", JsonValue::Number(estimate));
+  JsonValue rank_error = JsonValue::Object();
+  rank_error.Set("sketch", JsonValue::Number(eps_sketch));
+  rank_error.Set("sampling", JsonValue::Number(eps_sampling));
+  rank_error.Set("total", JsonValue::Number(eps_sketch + eps_sampling));
+  body.Set("rank_error", std::move(rank_error));
+  SetInterval(body, ci);
+  body.Set("k", JsonValue::Number(static_cast<double>(kll.k())));
+  body.Set("retained", JsonValue::Number(static_cast<double>(kll.retained())));
+  body.Set("compactions",
+           JsonValue::Number(static_cast<double>(kll.compactions())));
+  // Unlike /query/distinct, this answers about the *pre-shed* stream:
+  // positional shedding preserves ranks in expectation, and the sampling
+  // term above accounts for the residual rank noise.
+  body.Set("scope", JsonValue::String("stream"));
+  return body;
+}
+
+JsonValue SubpopResponseJson(const ServiceSnapshot& snapshot,
+                             const SubpopPredicate& pred, double level,
+                             const QueryFreshness& fresh) {
+  const KeyedKmvSketch& kmv = *snapshot.subpop;
+  JsonValue body = JsonValue::Object();
+  SetCommonFields(body, "subpop", snapshot, fresh);
+  body.Set("filter", JsonValue::String(pred.ToString()));
+  const double p = snapshot.realized_p();
+  SubpopEstimate est;
+  if (snapshot.kept > 0 && p > 0.0) {
+    est = EstimateSubpopulation(kmv, pred, p);
+  } else {
+    est.exact = true;  // empty sketch: the weight is exactly zero
+  }
+  body.Set("estimate", JsonValue::Number(est.estimate));
+  body.Set("kept_estimate", JsonValue::Number(est.kept_estimate));
+  JsonValue variance = JsonValue::Object();
+  variance.Set("sketch", JsonValue::Number(est.sketch_variance));
+  variance.Set("sampling", JsonValue::Number(est.sampling_variance));
+  variance.Set("total", JsonValue::Number(est.variance));
+  body.Set("variance", std::move(variance));
+  SetInterval(body, SubpopInterval(est, level));
+  body.Set("matched", JsonValue::Number(static_cast<double>(est.matched)));
+  body.Set("sample_size",
+           JsonValue::Number(static_cast<double>(est.sample_size)));
+  body.Set("exact", JsonValue::Bool(est.exact));
+  body.Set("k", JsonValue::Number(static_cast<double>(kmv.k())));
+  body.Set("retained", JsonValue::Number(static_cast<double>(kmv.retained())));
+  body.Set("scope", JsonValue::String("stream"));
+  return body;
+}
+
 // ---------------------------------------------------------------------------
 // SketchService
 // ---------------------------------------------------------------------------
@@ -244,6 +326,8 @@ enum class SketchService::Endpoint {
   kJoin,
   kPoint,
   kDistinct,
+  kQuantile,
+  kSubpop,
   kStats,
   kIngest,
   kIngestClose,
@@ -271,6 +355,7 @@ class SketchService::Publisher final : public ShardSnapshotHook<FagmsSketch> {
   void Publish(ShardEngineSnapshot<FagmsSketch> snapshot) override {
     auto view = std::make_unique<ServiceSnapshot>(ServiceSnapshot{
         std::move(snapshot.sketch), std::move(snapshot.distinct),
+        std::move(snapshot.quantile), std::move(snapshot.subpop),
         snapshot.position, snapshot.kept, snapshot.sequence, snapshot.p});
     registry_->Publish(std::move(view));
     SKETCHSAMPLE_METRIC_INC("service.snapshots.published");
@@ -306,8 +391,9 @@ SketchService::~SketchService() { Stop(); }
 
 void SketchService::PublishEngineState() {
   auto view = std::make_unique<ServiceSnapshot>(ServiceSnapshot{
-      engine_->merged(), engine_->distinct(), engine_->total_seen(),
-      engine_->total_kept(), 0, engine_->p()});
+      engine_->merged(), engine_->distinct(), engine_->quantile(),
+      engine_->subpop(), engine_->total_seen(), engine_->total_kept(), 0,
+      engine_->p()});
   registry_.Publish(std::move(view));
 }
 
@@ -321,6 +407,8 @@ void SketchService::Register(Router& router) {
   add("GET", "/query/join", Endpoint::kJoin);
   add("GET", "/query/point", Endpoint::kPoint);
   add("GET", "/query/distinct", Endpoint::kDistinct);
+  add("GET", "/query/quantile", Endpoint::kQuantile);
+  add("GET", "/query/subpop", Endpoint::kSubpop);
   add("GET", "/stats", Endpoint::kStats);
   add("GET", "/healthz", Endpoint::kHealth);
   add("POST", "/ingest", Endpoint::kIngest);
@@ -484,6 +572,11 @@ HttpResponse SketchService::HandleStats(const RequestContext& context) {
   queries.Set("distinct",
               JsonValue::Number(static_cast<double>(
                   queries_distinct_.load(MemOrder::kRelaxed))));
+  queries.Set("quantile",
+              JsonValue::Number(static_cast<double>(
+                  queries_quantile_.load(MemOrder::kRelaxed))));
+  queries.Set("subpop", JsonValue::Number(static_cast<double>(
+                            queries_subpop_.load(MemOrder::kRelaxed))));
   body.Set("queries", std::move(queries));
   body.Set("degraded_answers",
            JsonValue::Number(static_cast<double>(
@@ -537,6 +630,9 @@ HttpResponse SketchService::HandleStats(const RequestContext& context) {
     snapshot.Set("p", JsonValue::Number(guard->p));
     snapshot.Set("realized_p", JsonValue::Number(guard->realized_p()));
     snapshot.Set("distinct_enabled", JsonValue::Bool(guard->distinct.has_value()));
+    snapshot.Set("quantile_enabled",
+                 JsonValue::Bool(guard->quantile.has_value()));
+    snapshot.Set("subpop_enabled", JsonValue::Bool(guard->subpop.has_value()));
     snapshot.Set("staleness",
                  JsonValue::Number(static_cast<double>(
                      SnapshotStaleness(*guard, CurrentFreshness(context)))));
@@ -654,6 +750,47 @@ HttpResponse SketchService::Handle(Endpoint endpoint,
       queries_distinct_.fetch_add(1, MemOrder::kRelaxed);
       SKETCHSAMPLE_METRIC_INC("service.query.distinct");
       return JsonResponse(200, DistinctResponseJson(*guard, level, fresh));
+    }
+    case Endpoint::kQuantile: {
+      if (!guard->quantile.has_value()) {
+        return ErrorResponse(
+            400, "quantile queries disabled (serve --quantile-k > 0)");
+      }
+      const std::string* q_text = request.QueryParam("q");
+      if (q_text == nullptr) {
+        return ErrorResponse(400,
+                             "quantile query requires ?q=<number in [0, 1]>");
+      }
+      char* end = nullptr;
+      const double q = std::strtod(q_text->c_str(), &end);
+      if (end == nullptr || *end != '\0' || q_text->empty() ||
+          !std::isfinite(q) || q < 0.0 || q > 1.0) {
+        return ErrorResponse(400,
+                             "quantile query requires ?q=<number in [0, 1]>");
+      }
+      queries_quantile_.fetch_add(1, MemOrder::kRelaxed);
+      SKETCHSAMPLE_METRIC_INC("service.query.quantile");
+      return JsonResponse(200, QuantileResponseJson(*guard, q, level, fresh));
+    }
+    case Endpoint::kSubpop: {
+      if (!guard->subpop.has_value()) {
+        return ErrorResponse(
+            400, "subpopulation queries disabled (serve --subpop-k > 0)");
+      }
+      const std::string* filter_text = request.QueryParam("filter");
+      if (filter_text == nullptr) {
+        return ErrorResponse(
+            400, "subpop query requires ?filter=<range|mod|mask:a-b>");
+      }
+      SubpopPredicate pred;
+      try {
+        pred = ParseSubpopFilter(*filter_text);
+      } catch (const std::invalid_argument& error) {
+        return ErrorResponse(400, error.what());
+      }
+      queries_subpop_.fetch_add(1, MemOrder::kRelaxed);
+      SKETCHSAMPLE_METRIC_INC("service.query.subpop");
+      return JsonResponse(200, SubpopResponseJson(*guard, pred, level, fresh));
     }
     default:
       return ErrorResponse(500, "unroutable endpoint");

@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/subpop_estimators.h"
 #include "src/service/push_source.h"
 #include "src/service/router.h"
 #include "src/service/snapshot.h"
@@ -60,6 +61,8 @@ struct StreamMoments {
 struct ServiceSnapshot {
   FagmsSketch sketch;
   std::optional<KmvSketch> distinct;
+  std::optional<KllSketch> quantile;
+  std::optional<KeyedKmvSketch> subpop;
   uint64_t position = 0;
   uint64_t kept = 0;
   uint64_t sequence = 0;
@@ -225,6 +228,8 @@ class SketchService {
   StdAtomics::Atomic<uint64_t> queries_join_{0};
   StdAtomics::Atomic<uint64_t> queries_point_{0};
   StdAtomics::Atomic<uint64_t> queries_distinct_{0};
+  StdAtomics::Atomic<uint64_t> queries_quantile_{0};
+  StdAtomics::Atomic<uint64_t> queries_subpop_{0};
   StdAtomics::Atomic<uint64_t> degraded_answers_{0};
   StdAtomics::Atomic<uint64_t> deadline_rejected_{0};
   StdAtomics::Atomic<uint64_t> ingest_duplicates_{0};
@@ -252,6 +257,17 @@ JsonValue PointResponseJson(const ServiceSnapshot& snapshot, uint64_t key,
                             const QueryFreshness& fresh = QueryFreshness());
 JsonValue DistinctResponseJson(const ServiceSnapshot& snapshot, double level,
                                const QueryFreshness& fresh = QueryFreshness());
+/// Quantile answer at rank q in [0, 1]. Requires snapshot.quantile; the
+/// rank-error report splits the KLL compaction term from the
+/// Bernoulli-sampling CLT term at the realized p̂, and the value-space
+/// interval re-queries the sketch at q ∓ ε_total.
+JsonValue QuantileResponseJson(const ServiceSnapshot& snapshot, double q,
+                               double level,
+                               const QueryFreshness& fresh = QueryFreshness());
+/// Subpopulation-weight answer for `pred`. Requires snapshot.subpop.
+JsonValue SubpopResponseJson(const ServiceSnapshot& snapshot,
+                             const SubpopPredicate& pred, double level,
+                             const QueryFreshness& fresh = QueryFreshness());
 
 /// Strict decimal uint64 parse (no sign, no whitespace, no overflow).
 bool ParseUint64(const std::string& text, uint64_t* out);

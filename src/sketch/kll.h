@@ -1,0 +1,105 @@
+// KLL quantile sketch (Karnin–Lang–Liberty, FOCS'16) over 64-bit values.
+//
+// The sampled-stream pipeline answers rank/quantile queries on the *kept*
+// tuples; the estimators in src/core then widen the rank error by the
+// Bernoulli-sampling CLT term at the realized rate p̂ (an analysis the
+// source paper does not provide — see docs/DESIGN.md). The sketch itself
+// is the standard compactor hierarchy: level l holds items of weight 2^l;
+// when the total retained count exceeds the capacity budget, the lowest
+// over-capacity level is sorted and every other item (chosen by a seeded
+// deterministic coin) is promoted to level l+1.
+//
+// Determinism contract (load-bearing for the engine's bit-exactness
+// guarantee): the full sketch state is a pure function of (k, seed) and
+// the *sequence* of Update() calls. Compaction triggers depend only on
+// counts and the coin flips only on (seed, level, compaction ordinal), so
+// two sketches fed the same value sequence — regardless of where the
+// feeder paused, checkpointed, or resumed — are bit-identical. The shard
+// engine exploits this by folding kept tuples in ascending stream-position
+// order (src/stream/shard_engine.cc), which makes quantile answers
+// independent of the shard count.
+#ifndef SKETCHSAMPLE_SKETCH_KLL_H_
+#define SKETCHSAMPLE_SKETCH_KLL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sketchsample {
+
+/// KLL quantile sketch over uint64 stream values.
+class KllSketch {
+ public:
+  /// `k` >= 8 controls accuracy (rank error ~ O(1/k)); `seed` fixes the
+  /// compaction coin. Throws std::invalid_argument for k < 8.
+  KllSketch(size_t k, uint64_t seed);
+
+  /// Observes one stream value.
+  void Update(uint64_t value);
+
+  /// Merges another sketch built with the same (k, seed). Note: merge is
+  /// order-dependent (as in every KLL implementation); the engine's
+  /// bit-exactness guarantee comes from position-ordered *updates*, not
+  /// from merging per-shard partials.
+  void Merge(const KllSketch& other);
+
+  bool CompatibleWith(const KllSketch& other) const {
+    return k_ == other.k_ && seed_ == other.seed_;
+  }
+
+  /// Value whose rank is approximately q·n, for q in [0, 1]. q = 0 returns
+  /// the exact minimum, q = 1 the exact maximum. Throws
+  /// std::invalid_argument if q is outside [0, 1] or the sketch is empty.
+  uint64_t EstimateQuantile(double q) const;
+
+  /// Approximate normalized rank of `value`: fraction of observed items
+  /// strictly below it. Returns 0 for an empty sketch.
+  double EstimateRank(uint64_t value) const;
+
+  /// Standard deviation of the normalized rank error, from the per-level
+  /// compaction variance accounting (each compaction at level l perturbs
+  /// any rank by a zero-mean error of magnitude <= 2^l). Zero while no
+  /// compaction has happened (ranks are exact).
+  double RankErrorStddev() const;
+
+  size_t k() const { return k_; }
+  uint64_t seed() const { return seed_; }
+  uint64_t n() const { return n_; }
+  /// Total items currently retained across all levels.
+  size_t retained() const;
+  uint64_t min_item() const { return min_item_; }
+  uint64_t max_item() const { return max_item_; }
+  uint64_t compactions() const { return compactions_; }
+  double rank_error_variance() const { return rank_error_var_; }
+  /// Compactor buffers, level 0 first (weight 2^l). Unsorted within a
+  /// level; exposed for serialization.
+  const std::vector<std::vector<uint64_t>>& levels() const { return levels_; }
+
+  /// Replaces the full state (deserialization support). Validates weight
+  /// conservation (sum of level counts times 2^l equals n), level-count
+  /// bounds, and moment sanity; throws std::invalid_argument otherwise.
+  void LoadState(uint64_t n, uint64_t min_item, uint64_t max_item,
+                 uint64_t compactions, double rank_error_var,
+                 std::vector<std::vector<uint64_t>> levels);
+
+ private:
+  /// Capacity of `level` when `num_levels` levels exist: the top level gets
+  /// k slots, each level below 2/3 of the one above, floored at 8.
+  size_t LevelCapacity(size_t level, size_t num_levels) const;
+  size_t CapacityBudget() const;
+  void CompactIfNeeded();
+  void CompactLevel(size_t level);
+
+  size_t k_;
+  uint64_t seed_;
+  uint64_t n_ = 0;
+  uint64_t min_item_ = 0;
+  uint64_t max_item_ = 0;
+  uint64_t compactions_ = 0;       // total compaction operations (coin stream)
+  double rank_error_var_ = 0;      // sum over compactions of 4^level
+  std::vector<std::vector<uint64_t>> levels_;
+};
+
+}  // namespace sketchsample
+
+#endif  // SKETCHSAMPLE_SKETCH_KLL_H_

@@ -71,4 +71,91 @@ void KmvSketch::Merge(const KmvSketch& other) {
   }
 }
 
+KeyedKmvSketch::KeyedKmvSketch(size_t k, uint64_t seed)
+    : k_(k), seed_(seed) {
+  if (k < 2) {
+    throw std::invalid_argument("keyed KMV needs k >= 2");
+  }
+}
+
+void KeyedKmvSketch::Update(uint64_t key) {
+  SKETCHSAMPLE_METRIC_INC("sketch.kmv.keyed_updates");
+  const uint64_t h = MixSeed(seed_, key);
+  const auto it = entries_.find(h);
+  if (it != entries_.end()) {
+    // Same hash implies same key (collisions are 2^-64 events, negligible
+    // against the estimator's own error); the key has been retained since
+    // its first occurrence, so counting keeps the weight exact.
+    ++it->second.weight;
+    return;
+  }
+  if (entries_.size() < k_) {
+    entries_.emplace(h, Entry{h, key, 1});
+    return;
+  }
+  const auto largest = std::prev(entries_.end());
+  if (h < largest->first) {
+    entries_.erase(largest);
+    entries_.emplace(h, Entry{h, key, 1});
+  }
+  // An evicted key can never re-enter: its hash is above the threshold and
+  // the threshold only shrinks — which is what keeps retained weights exact.
+}
+
+double KeyedKmvSketch::EstimateDistinct() const {
+  if (entries_.size() < k_) {
+    return static_cast<double>(entries_.size());
+  }
+  return static_cast<double>(k_ - 1) / Threshold01();
+}
+
+double KeyedKmvSketch::Threshold01() const {
+  if (entries_.size() < k_) return 1.0;
+  const double kth = static_cast<double>(std::prev(entries_.end())->first);
+  return (kth + 1.0) / 18446744073709551616.0;  // / 2^64
+}
+
+std::vector<KeyedKmvSketch::Entry> KeyedKmvSketch::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+void KeyedKmvSketch::LoadEntries(const std::vector<Entry>& entries) {
+  if (entries.size() > k_) {
+    throw std::invalid_argument("keyed KMV load exceeds k retained entries");
+  }
+  std::map<uint64_t, Entry> loaded;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0 && entries[i].hash <= entries[i - 1].hash) {
+      throw std::invalid_argument(
+          "keyed KMV load requires strictly ascending hashes");
+    }
+    if (entries[i].weight == 0) {
+      throw std::invalid_argument("keyed KMV load with zero weight");
+    }
+    loaded.emplace_hint(loaded.end(), entries[i].hash, entries[i]);
+  }
+  entries_ = std::move(loaded);
+}
+
+void KeyedKmvSketch::Merge(const KeyedKmvSketch& other) {
+  if (!CompatibleWith(other)) {
+    throw std::invalid_argument("merge of incompatible keyed KMV sketches");
+  }
+  SKETCHSAMPLE_METRIC_INC("sketch.kmv.keyed_merges");
+  for (const auto& [hash, entry] : other.entries_) {
+    const auto it = entries_.find(hash);
+    if (it != entries_.end()) {
+      it->second.weight += entry.weight;
+    } else {
+      entries_.emplace(hash, entry);
+    }
+  }
+  while (entries_.size() > k_) {
+    entries_.erase(std::prev(entries_.end()));
+  }
+}
+
 }  // namespace sketchsample

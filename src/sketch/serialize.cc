@@ -244,6 +244,46 @@ std::vector<uint8_t> SerializeSketch(const KmvSketch& sketch) {
   return writer.Finish();
 }
 
+std::vector<uint8_t> SerializeSketch(const KllSketch& sketch) {
+  Writer writer;
+  SketchParams params;
+  params.rows = sketch.k();
+  params.buckets = 0;
+  params.scheme = static_cast<XiScheme>(0);
+  params.seed = sketch.seed();
+  WriteHeader(writer, SketchKind::kKll, params, sketch.retained());
+  writer.Put(sketch.n());
+  writer.Put(sketch.min_item());
+  writer.Put(sketch.max_item());
+  writer.Put(sketch.compactions());
+  writer.Put(sketch.rank_error_variance());
+  writer.Put(static_cast<uint64_t>(sketch.levels().size()));
+  for (const std::vector<uint64_t>& level : sketch.levels()) {
+    writer.Put(static_cast<uint64_t>(level.size()));
+    writer.PutU64s(level);
+  }
+  return writer.Finish();
+}
+
+std::vector<uint8_t> SerializeSketch(const KeyedKmvSketch& sketch) {
+  Writer writer;
+  SketchParams params;
+  params.rows = sketch.k();
+  params.buckets = 0;
+  params.scheme = static_cast<XiScheme>(0);
+  params.seed = sketch.seed();
+  WriteHeader(writer, SketchKind::kKmvKeyed, params, sketch.retained());
+  std::vector<uint64_t> triples;
+  triples.reserve(sketch.retained() * 3);
+  for (const KeyedKmvSketch::Entry& entry : sketch.Entries()) {
+    triples.push_back(entry.hash);
+    triples.push_back(entry.key);
+    triples.push_back(entry.weight);
+  }
+  writer.PutU64s(triples);
+  return writer.Finish();
+}
+
 SketchKind PeekSketchKind(const std::vector<uint8_t>& buffer) {
   Reader reader(buffer);
   return ReadHeader(reader).kind;
@@ -284,6 +324,83 @@ KmvSketch DeserializeKmv(const std::vector<uint8_t>& buffer) {
   reader.ExpectConsumed();
   KmvSketch sketch(h.params.rows, h.params.seed);
   sketch.LoadMinima(minima);  // rejects unsorted/duplicate payloads
+  return sketch;
+}
+
+KllSketch DeserializeKll(const std::vector<uint8_t>& buffer) {
+  Reader reader(buffer);
+  const Header h = ReadHeader(reader);
+  if (h.kind != SketchKind::kKll) {
+    throw std::invalid_argument("sketch buffer holds a different kind");
+  }
+  if (h.params.rows < 8) {
+    throw std::invalid_argument("KLL buffer declares k < 8");
+  }
+  if (h.params.buckets != 0) {
+    throw std::invalid_argument("KLL buffer declares nonzero buckets");
+  }
+  const uint64_t n = reader.Get<uint64_t>();
+  const uint64_t min_item = reader.Get<uint64_t>();
+  const uint64_t max_item = reader.Get<uint64_t>();
+  const uint64_t compactions = reader.Get<uint64_t>();
+  const double rank_error_var = reader.Get<double>();
+  const uint64_t num_levels = reader.Get<uint64_t>();
+  if (num_levels == 0 || num_levels > 64) {
+    throw std::invalid_argument("KLL buffer declares invalid level count");
+  }
+  std::vector<std::vector<uint64_t>> levels;
+  levels.reserve(num_levels);
+  uint64_t total = 0;
+  for (uint64_t l = 0; l < num_levels; ++l) {
+    const uint64_t count = reader.Get<uint64_t>();
+    // Divide, never multiply: a hostile count must not wrap past the bound
+    // into a huge allocation.
+    if (count > reader.RemainingBytes() / sizeof(uint64_t)) {
+      throw std::invalid_argument("sketch buffer truncated");
+    }
+    levels.push_back(reader.GetU64s(count));
+    total += count;
+  }
+  if (total != h.counter_count) {
+    throw std::invalid_argument("KLL buffer counter count mismatch");
+  }
+  reader.ExpectConsumed();
+  KllSketch sketch(h.params.rows, h.params.seed);
+  // LoadState enforces weight conservation (level counts × 2^l sum to n)
+  // and moment sanity, rejecting structurally forged payloads.
+  sketch.LoadState(n, min_item, max_item, compactions, rank_error_var,
+                   std::move(levels));
+  return sketch;
+}
+
+KeyedKmvSketch DeserializeKmvKeyed(const std::vector<uint8_t>& buffer) {
+  Reader reader(buffer);
+  const Header h = ReadHeader(reader);
+  if (h.kind != SketchKind::kKmvKeyed) {
+    throw std::invalid_argument("sketch buffer holds a different kind");
+  }
+  if (h.params.rows < 2) {
+    throw std::invalid_argument("keyed KMV buffer declares k < 2");
+  }
+  if (h.params.buckets != 0) {
+    throw std::invalid_argument("keyed KMV buffer declares nonzero buckets");
+  }
+  if (h.counter_count > h.params.rows) {
+    throw std::invalid_argument("keyed KMV buffer retains more than k");
+  }
+  if (h.counter_count > reader.RemainingBytes() / (3 * sizeof(uint64_t))) {
+    throw std::invalid_argument("sketch buffer truncated");
+  }
+  const std::vector<uint64_t> triples = reader.GetU64s(h.counter_count * 3);
+  reader.ExpectConsumed();
+  std::vector<KeyedKmvSketch::Entry> entries;
+  entries.reserve(h.counter_count);
+  for (uint64_t i = 0; i < h.counter_count; ++i) {
+    entries.push_back(KeyedKmvSketch::Entry{
+        triples[3 * i], triples[3 * i + 1], triples[3 * i + 2]});
+  }
+  KeyedKmvSketch sketch(h.params.rows, h.params.seed);
+  sketch.LoadEntries(entries);  // rejects unsorted hashes / zero weights
   return sketch;
 }
 

@@ -24,6 +24,7 @@
 #include "src/sketch/countmin.h"
 #include "src/sketch/fagms.h"
 #include "src/sketch/fastcount.h"
+#include "src/sketch/kll.h"
 #include "src/sketch/kmv.h"
 
 namespace sketchsample {
@@ -35,6 +36,8 @@ enum class SketchKind : uint32_t {
   kCountMin = 3,
   kFastCount = 4,
   kKmv = 5,
+  kKll = 6,
+  kKmvKeyed = 7,
 };
 
 /// Serializes a sketch into a self-describing byte buffer.
@@ -45,6 +48,16 @@ std::vector<uint8_t> SerializeSketch(const FastCountSketch& sketch);
 /// KMV reuses the header with rows = k, buckets/scheme = 0, and a u64
 /// minima payload in place of the f64 counters.
 std::vector<uint8_t> SerializeSketch(const KmvSketch& sketch);
+/// KLL reuses the header with rows = k, buckets/scheme = 0 and
+/// counter_count = total retained items; the payload is
+///   n (u64) | min (u64) | max (u64) | compactions (u64) |
+///   rank_error_var (f64) | num_levels (u64) |
+///   per level: count (u64) + items (u64 × count)
+std::vector<uint8_t> SerializeSketch(const KllSketch& sketch);
+/// Keyed KMV reuses the header with rows = k, buckets/scheme = 0 and
+/// counter_count = retained entries; the payload is (hash, key, weight)
+/// u64 triples in ascending hash order.
+std::vector<uint8_t> SerializeSketch(const KeyedKmvSketch& sketch);
 
 /// Reads the kind tag without deserializing the full sketch.
 /// Throws std::invalid_argument if the buffer is not a sketch.
@@ -58,6 +71,8 @@ FagmsSketch DeserializeFagms(const std::vector<uint8_t>& buffer);
 CountMinSketch DeserializeCountMin(const std::vector<uint8_t>& buffer);
 FastCountSketch DeserializeFastCount(const std::vector<uint8_t>& buffer);
 KmvSketch DeserializeKmv(const std::vector<uint8_t>& buffer);
+KllSketch DeserializeKll(const std::vector<uint8_t>& buffer);
+KeyedKmvSketch DeserializeKmvKeyed(const std::vector<uint8_t>& buffer);
 
 }  // namespace sketchsample
 

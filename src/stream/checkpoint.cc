@@ -19,6 +19,7 @@ constexpr uint8_t kFlagShed = 1u << 0;
 constexpr uint8_t kFlagController = 1u << 1;
 constexpr uint8_t kFlagShards = 1u << 2;
 constexpr uint8_t kFlagShardDistinct = 1u << 3;
+constexpr uint8_t kFlagQuantileSubpop = 1u << 4;
 
 // Sanity bound on the declared shard count: far above any real engine
 // (worker threads), low enough that a hostile count cannot drive a huge
@@ -134,6 +135,13 @@ std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp) {
     }
     flags |= kFlagShardDistinct;
   }
+  if (cp.has_quantile_subpop) {
+    if (!cp.has_shards) {
+      throw CheckpointError(
+          "checkpoint quantile/subpop section requires a shard section");
+    }
+    flags |= kFlagQuantileSubpop;
+  }
   writer.Put(flags);
   if (cp.has_shed) {
     writer.Put(cp.shed.p);
@@ -165,6 +173,19 @@ std::vector<uint8_t> SerializeCheckpoint(const PipelineCheckpoint& cp) {
       }
     }
   }
+  if (cp.has_quantile_subpop) {
+    writer.Put(static_cast<uint64_t>(cp.quantile.size()));
+    writer.PutBytes(cp.quantile);
+    const uint64_t subpop_count =
+        cp.has_shard_subpop ? static_cast<uint64_t>(cp.shards.size()) : 0;
+    writer.Put(subpop_count);
+    if (cp.has_shard_subpop) {
+      for (const ShardCheckpointState& shard : cp.shards) {
+        writer.Put(static_cast<uint64_t>(shard.subpop.size()));
+        writer.PutBytes(shard.subpop);
+      }
+    }
+  }
   writer.Put(static_cast<uint64_t>(cp.sketch.size()));
   writer.PutBytes(cp.sketch);
   std::vector<uint8_t> bytes = writer.Finish();
@@ -187,14 +208,17 @@ PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
   PipelineCheckpoint cp;
   cp.source_tuples = reader.Get<uint64_t>();
   const uint8_t flags = reader.Get<uint8_t>();
-  if ((flags &
-       ~(kFlagShed | kFlagController | kFlagShards | kFlagShardDistinct)) !=
-      0) {
+  if ((flags & ~(kFlagShed | kFlagController | kFlagShards |
+                 kFlagShardDistinct | kFlagQuantileSubpop)) != 0) {
     throw CheckpointError("checkpoint has unknown flag bits");
   }
   if ((flags & kFlagShardDistinct) != 0 && (flags & kFlagShards) == 0) {
     throw CheckpointError(
         "checkpoint distinct flag set without a shard section");
+  }
+  if ((flags & kFlagQuantileSubpop) != 0 && (flags & kFlagShards) == 0) {
+    throw CheckpointError(
+        "checkpoint quantile/subpop flag set without a shard section");
   }
   if ((flags & kFlagShed) != 0) {
     cp.has_shed = true;
@@ -253,6 +277,23 @@ PipelineCheckpoint DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
         shard.distinct = reader.GetBytes(distinct_len);
       }
       cp.shards.push_back(std::move(shard));
+    }
+  }
+  if ((flags & kFlagQuantileSubpop) != 0) {
+    cp.has_quantile_subpop = true;
+    const uint64_t kll_len = reader.Get<uint64_t>();
+    cp.quantile = reader.GetBytes(kll_len);
+    const uint64_t subpop_count = reader.Get<uint64_t>();
+    if (subpop_count != 0 && subpop_count != cp.shards.size()) {
+      throw CheckpointError(
+          "checkpoint subpop blob count does not match shard count");
+    }
+    if (subpop_count != 0) {
+      cp.has_shard_subpop = true;
+      for (uint64_t i = 0; i < subpop_count; ++i) {
+        const uint64_t subpop_len = reader.Get<uint64_t>();
+        cp.shards[static_cast<size_t>(i)].subpop = reader.GetBytes(subpop_len);
+      }
     }
   }
   const uint64_t sketch_len = reader.Get<uint64_t>();

@@ -21,6 +21,9 @@
 //   [shard section: shard_p f64, shard_count u64, then per shard:
 //    seen u64, kept u64, sketch_len u64, sketch bytes,
 //    (distinct_len u64, distinct bytes — iff flags bit 3)]  — iff flags bit 2
+//   [quantile/subpop section: kll_len u64, kll bytes (0 = quantile
+//    disabled), subpop_count u64 (0 or == shard_count), then per shard:
+//    subpop_len u64, subpop bytes]                — iff flags bit 4
 //   sketch_len u64 | sketch bytes (inner format: src/sketch/serialize.h) |
 //   crc32 u32 over every preceding byte
 //
@@ -28,6 +31,13 @@
 // worker's auxiliary KMV distinct counter and is only valid together with
 // bit 2; checkpoints written before the service PR simply lack the bit and
 // still load.
+//
+// Flag bit 4 (quantile/subpop section) carries the engine-level KLL
+// quantile sketch — a single blob, not per-shard, because the engine folds
+// kept tuples into it in stream-position order (src/stream/shard_engine.cc)
+// — and the per-worker keyed-KMV subpopulation sketches. Only valid
+// together with bit 2; older checkpoints simply lack the bit and still
+// load.
 //
 // Deserialization validates magic, version, flags, lengths, value ranges,
 // and the CRC32 footer, throwing CheckpointError on any mismatch — a
@@ -66,6 +76,8 @@ struct ShardCheckpointState {
   /// next to the primary sketch so a resumed engine keeps answering
   /// distinct-count queries over exactly the positionally-kept prefix.
   std::vector<uint8_t> distinct;
+  /// Keyed-KMV subpopulation sketch blob (flag bit 4; may be empty).
+  std::vector<uint8_t> subpop;
 };
 
 /// One recoverable pipeline snapshot.
@@ -88,6 +100,13 @@ struct PipelineCheckpoint {
   /// Set when the shard entries carry auxiliary distinct blobs (flag bit 3,
   /// requires has_shards).
   bool has_shard_distinct = false;
+  /// Quantile/subpop section (flag bit 4, requires has_shards). `quantile`
+  /// is the engine-level KLL blob (empty when quantile queries are
+  /// disabled); `has_shard_subpop` marks per-shard keyed-KMV blobs in the
+  /// shard entries' `subpop` fields.
+  bool has_quantile_subpop = false;
+  std::vector<uint8_t> quantile;
+  bool has_shard_subpop = false;
   /// Serialized sketch (src/sketch/serialize.h format); empty when the
   /// pipeline has no checkpointable sketch registered. Restore with the
   /// matching Deserialize* (PeekSketchKind identifies the type).

@@ -88,6 +88,16 @@ uint64_t ShardDistinctSeed(uint64_t root_seed) {
   return MixSeed(root_seed, 0x4b4d56415558'3030ULL);
 }
 
+uint64_t ShardQuantileSeed(uint64_t root_seed) {
+  // Fixed salt ("KLLQNT00").
+  return MixSeed(root_seed, 0x4b4c4c514e54'3030ULL);
+}
+
+uint64_t ShardSubpopSeed(uint64_t root_seed) {
+  // Fixed salt ("SUBPOP00").
+  return MixSeed(root_seed, 0x535542504f50'3030ULL);
+}
+
 // One worker lane. The router owns `routed` and only reads the worker-side
 // fields (`seen`, `kept`, `partial`) after a quiesce: it spins until
 // `processed` (release-incremented by the worker after each chunk) catches
@@ -124,9 +134,25 @@ struct ShardEngine<SketchT>::Lane {
       if (chunk->stop) break;
       seen += chunk->count;
       const PositionalBernoulliSampler sampler(chunk->p, root_seed);
-      const size_t survivors = sampler.KeepBatch(
-          chunk->base, chunk->values.data(), chunk->count,
-          chunk->values.data());
+      size_t survivors;
+      if (collect_positions) {
+        // The quantile fold needs (position, value) pairs, which the
+        // compacting KeepBatch discards; judge each position with the same
+        // stateless coin so the survivor set is identical. In-place
+        // compaction stays safe: survivors <= i always.
+        survivors = 0;
+        for (size_t i = 0; i < chunk->count; ++i) {
+          const uint64_t position = chunk->base + i;
+          if (sampler.Keep(position)) {
+            const uint64_t value = chunk->values[i];
+            qpending.emplace_back(position, value);
+            chunk->values[survivors++] = value;
+          }
+        }
+      } else {
+        survivors = sampler.KeepBatch(chunk->base, chunk->values.data(),
+                                      chunk->count, chunk->values.data());
+      }
       kept += survivors;
       if (kmv.has_value()) {
         // Distinct counting observes the sampled stream itself, before any
@@ -134,6 +160,13 @@ struct ShardEngine<SketchT>::Lane {
         // distinct values survived the shed", not "what did the faulty sink
         // see".
         for (size_t i = 0; i < survivors; ++i) kmv->Update(chunk->values[i]);
+      }
+      if (subpop.has_value()) {
+        // Same pre-fault placement as the distinct counter: subpopulation
+        // weights describe the sampled stream.
+        for (size_t i = 0; i < survivors; ++i) {
+          subpop->Update(chunk->values[i]);
+        }
       }
       if (survivors > 0) {
         if (head != nullptr) {
@@ -156,6 +189,13 @@ struct ShardEngine<SketchT>::Lane {
   // Auxiliary distinct partial (engaged iff options.distinct_k > 0); same
   // ownership discipline as `partial`.
   std::optional<KmvSketch> kmv;
+  // Keyed-KMV subpopulation partial (engaged iff options.subpop_k > 0).
+  std::optional<KeyedKmvSketch> subpop;
+  // Quantile support: kept (position, value) pairs awaiting the router's
+  // position-ordered fold into the engine-level KLL. Worker-owned between
+  // quiesces; the router drains it in FoldQuantile.
+  bool collect_positions = false;
+  std::vector<std::pair<uint64_t, uint64_t>> qpending;
   uint64_t seen = 0;  // worker-owned; router reads only after a quiesce
   uint64_t kept = 0;
   // Chunks fully processed; the release increment publishes seen/kept/
@@ -196,6 +236,15 @@ ShardEngine<SketchT>::ShardEngine(const SketchT& prototype,
     // a pure function of (root seed, kept prefix) like everything else.
     distinct_.emplace(options_.distinct_k, ShardDistinctSeed(options_.seed));
   }
+  if (options_.quantile_k > 0) {
+    if (options_.quantile_fold_every == 0) {
+      options_.quantile_fold_every = 65536;
+    }
+    quantile_.emplace(options_.quantile_k, ShardQuantileSeed(options_.seed));
+  }
+  if (options_.subpop_k > 0) {
+    subpop_.emplace(options_.subpop_k, ShardSubpopSeed(options_.seed));
+  }
 }
 
 template <typename SketchT>
@@ -228,6 +277,38 @@ void ShardEngine<SketchT>::Restore(const PipelineCheckpoint& cp,
     distinct_base.emplace(options_.distinct_k,
                           ShardDistinctSeed(options_.seed));
   }
+  std::optional<KllSketch> quantile_base;
+  if (quantile_.has_value()) {
+    if (!cp.has_quantile_subpop || cp.quantile.empty()) {
+      throw CheckpointError(
+          "checkpoint has no quantile sketch but the engine has quantile "
+          "queries enabled; resume would silently drop rank state");
+    }
+    quantile_base = [&] {
+      try {
+        return DeserializeKll(cp.quantile);
+      } catch (const std::invalid_argument& error) {
+        throw CheckpointError(
+            std::string("checkpoint quantile sketch invalid: ") +
+            error.what());
+      }
+    }();
+    if (!quantile_->CompatibleWith(*quantile_base)) {
+      throw CheckpointError(
+          "checkpoint quantile sketch incompatible with engine "
+          "configuration (quantile_k/seed mismatch)");
+    }
+  }
+  std::optional<KeyedKmvSketch> subpop_base;
+  if (subpop_.has_value()) {
+    if (!cp.has_shard_subpop) {
+      throw CheckpointError(
+          "checkpoint has no subpop section but the engine has "
+          "subpopulation queries enabled; resume would silently drop the "
+          "sketch");
+    }
+    subpop_base.emplace(options_.subpop_k, ShardSubpopSeed(options_.seed));
+  }
   uint64_t seen = 0;
   uint64_t kept = 0;
   for (const ShardCheckpointState& shard : cp.shards) {
@@ -250,6 +331,23 @@ void ShardEngine<SketchT>::Restore(const PipelineCheckpoint& cp,
       }
       distinct_base->Merge(partial);
     }
+    if (subpop_base.has_value() && !shard.subpop.empty()) {
+      KeyedKmvSketch partial = [&] {
+        try {
+          return DeserializeKmvKeyed(shard.subpop);
+        } catch (const std::invalid_argument& error) {
+          throw CheckpointError(
+              std::string("checkpoint shard subpop blob invalid: ") +
+              error.what());
+        }
+      }();
+      if (!subpop_base->CompatibleWith(partial)) {
+        throw CheckpointError(
+            "checkpoint shard subpop sketch incompatible with engine "
+            "configuration (subpop_k/seed mismatch)");
+      }
+      subpop_base->Merge(partial);
+    }
     if (shard.sketch.empty()) continue;
     SketchT partial = [&] {
       try {
@@ -271,6 +369,8 @@ void ShardEngine<SketchT>::Restore(const PipelineCheckpoint& cp,
   }
   merged_ = std::move(base);
   if (distinct_base.has_value()) distinct_ = std::move(distinct_base);
+  if (quantile_base.has_value()) quantile_ = std::move(quantile_base);
+  if (subpop_base.has_value()) subpop_ = std::move(subpop_base);
   total_seen_ = seen;
   total_kept_ = kept;
   p_ = cp.shard_p;
@@ -296,6 +396,13 @@ void ShardEngine<SketchT>::WriteCheckpoint(
   cp.has_shards = true;
   cp.shard_p = p_;
   cp.has_shard_distinct = distinct_.has_value();
+  cp.has_quantile_subpop = quantile_.has_value() || subpop_.has_value();
+  if (quantile_.has_value()) {
+    // The engine-level KLL already covers the whole kept prefix — the Run
+    // loop folds every lane's pending pairs before checkpointing.
+    cp.quantile = SerializeSketch(*quantile_);
+  }
+  cp.has_shard_subpop = subpop_.has_value();
   cp.shards.reserve(lanes.size());
   for (size_t s = 0; s < lanes.size(); ++s) {
     const Lane& lane = *lanes[s];
@@ -316,10 +423,18 @@ void ShardEngine<SketchT>::WriteCheckpoint(
         if (lane.kmv.has_value()) kmv_base.Merge(*lane.kmv);
         shard.distinct = SerializeSketch(kmv_base);
       }
+      if (subpop_.has_value()) {
+        KeyedKmvSketch subpop_base = *subpop_;
+        if (lane.subpop.has_value()) subpop_base.Merge(*lane.subpop);
+        shard.subpop = SerializeSketch(subpop_base);
+      }
     } else {
       shard.sketch = SerializeSketch(lane.partial);
       if (lane.kmv.has_value()) {
         shard.distinct = SerializeSketch(*lane.kmv);
+      }
+      if (lane.subpop.has_value()) {
+        shard.subpop = SerializeSketch(*lane.subpop);
       }
     }
     cp.shards.push_back(std::move(shard));
@@ -340,7 +455,7 @@ void ShardEngine<SketchT>::PublishSnapshot(
   // Called with every lane quiesced (or joined), so lane partials and
   // counts are safe to read. The snapshot is fully materialized by value —
   // copying the merged sketch here is what lets readers drop every lock.
-  ShardEngineSnapshot<SketchT> snap{merged_, {}, 0, 0, 1.0, 0};
+  ShardEngineSnapshot<SketchT> snap{merged_, {}, {}, {}, 0, 0, 1.0, 0};
   uint64_t kept = total_kept_;
   for (const auto& lane : lanes) {
     snap.sketch.Merge(lane->partial);
@@ -352,6 +467,17 @@ void ShardEngine<SketchT>::PublishSnapshot(
       if (lane->kmv.has_value()) snap.distinct->Merge(*lane->kmv);
     }
   }
+  if (quantile_.has_value()) {
+    // Folded through FoldQuantile before every publication, so the copy
+    // already covers the kept prefix up to `total` in position order.
+    snap.quantile = *quantile_;
+  }
+  if (subpop_.has_value()) {
+    snap.subpop = *subpop_;
+    for (const auto& lane : lanes) {
+      if (lane->subpop.has_value()) snap.subpop->Merge(*lane->subpop);
+    }
+  }
   snap.position = total;
   snap.kept = kept;
   snap.p = p_;
@@ -359,6 +485,32 @@ void ShardEngine<SketchT>::PublishSnapshot(
   ++stats.snapshots;
   SKETCHSAMPLE_METRIC_INC("engine.shard.snapshots");
   snapshot_hook_->Publish(std::move(snap));
+}
+
+template <typename SketchT>
+void ShardEngine<SketchT>::FoldQuantile(
+    const std::vector<std::unique_ptr<Lane>>& lanes,
+    ShardEngineStats& stats) {
+  if (!quantile_.has_value()) return;
+  size_t pending = 0;
+  for (const auto& lane : lanes) pending += lane->qpending.size();
+  if (pending == 0) return;
+  // Drain every lane's buffered pairs and replay them in ascending stream
+  // position. The KLL state is a pure function of its update sequence, and
+  // this keeps that sequence "kept stream in position order" no matter how
+  // the stream was partitioned — which is the whole bit-exactness argument
+  // for quantiles (the fold boundary itself is irrelevant to the result).
+  std::vector<std::pair<uint64_t, uint64_t>> ordered;
+  ordered.reserve(pending);
+  for (const auto& lane : lanes) {
+    ordered.insert(ordered.end(), lane->qpending.begin(),
+                   lane->qpending.end());
+    lane->qpending.clear();
+  }
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& pair : ordered) quantile_->Update(pair.second);
+  ++stats.quantile_folds;
+  SKETCHSAMPLE_METRIC_INC("engine.shard.quantile_folds");
 }
 
 template <typename SketchT>
@@ -386,6 +538,10 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
     if (distinct_.has_value()) {
       lane.kmv.emplace(options_.distinct_k, ShardDistinctSeed(options_.seed));
     }
+    if (subpop_.has_value()) {
+      lane.subpop.emplace(options_.subpop_k, ShardSubpopSeed(options_.seed));
+    }
+    lane.collect_positions = quantile_.has_value();
     if (faulty) {
       lane.sink = std::make_unique<SketchSinkOp<SketchT>>(&lane.partial);
       lane.faults = std::make_unique<FaultInjectingOperator>(
@@ -445,6 +601,14 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
   uint64_t next_snapshot =
       snapshotting ? (total / snapshot_every_ + 1) * snapshot_every_
                    : UINT64_MAX;
+  // Quantile folds get their own phase-locked boundary to bound per-lane
+  // buffer memory; checkpoint/snapshot boundaries fold opportunistically
+  // on top (the fold point never changes the sketch state).
+  const bool qfolding = quantile_.has_value();
+  uint64_t next_qfold =
+      qfolding ? (total / options_.quantile_fold_every + 1) *
+                     options_.quantile_fold_every
+               : UINT64_MAX;
   // Window deltas measure against the totals at the last tick: controller
   // totals on a resume (checkpoints need not align with windows), realized
   // totals otherwise (mirrors RunPipeline's shed-count bases).
@@ -473,6 +637,7 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
       uint64_t want = std::min<uint64_t>(chunk_size, next_window - total);
       want = std::min(want, next_checkpoint - total);
       want = std::min(want, next_snapshot - total);
+      want = std::min(want, next_qfold - total);
       if (options_.max_tuples > 0) {
         want = std::min(want, options_.max_tuples - stats.tuples);
       }
@@ -552,13 +717,20 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
         next_window += window;
         window_timer.Start();
       }
+      if (qfolding && total >= next_qfold) {
+        quiesce();
+        FoldQuantile(lanes, stats);
+        next_qfold += options_.quantile_fold_every;
+      }
       if (checkpointing && total >= next_checkpoint) {
         quiesce();
+        FoldQuantile(lanes, stats);  // checkpoint covers the whole prefix
         WriteCheckpoint(lanes, total, stats);
         next_checkpoint += options_.checkpoint_every;
       }
       if (snapshotting && total >= next_snapshot) {
         quiesce();
+        FoldQuantile(lanes, stats);  // snapshot covers the whole prefix
         PublishSnapshot(lanes, total, stats);
         next_snapshot += snapshot_every_;
       }
@@ -569,6 +741,10 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
   }
 
   stop_workers();
+
+  // Workers are joined (a full barrier), so the remaining quantile pairs
+  // are safe to drain without a quiesce.
+  FoldQuantile(lanes, stats);
 
   // Merge stage: fold every partial into the restored base, in shard order
   // (order does not matter for the result — counter merges are exact sums
@@ -587,6 +763,9 @@ ShardEngineStats ShardEngine<SketchT>::Run(StreamSource& source) {
     merged_.Merge(lane->partial);
     if (distinct_.has_value() && lane->kmv.has_value()) {
       distinct_->Merge(*lane->kmv);
+    }
+    if (subpop_.has_value() && lane->subpop.has_value()) {
+      subpop_->Merge(*lane->subpop);
     }
     ++stats.merges;
   }

@@ -95,12 +95,37 @@ struct ShardEngineOptions {
   /// like the primary sketch — same seed at any shard count gives the same
   /// union — and ride in checkpoint flag-bit-3 blobs.
   size_t distinct_k = 0;
+  /// Quantile queries: when > 0 the engine maintains one KllSketch
+  /// (quantile_k, ShardQuantileSeed(seed)) over the kept stream. KLL
+  /// compaction is order-dependent, so per-lane partials would NOT be
+  /// bit-exact across shard counts; instead each lane buffers its kept
+  /// (position, value) pairs and the router folds them into the single
+  /// engine-level sketch in ascending position order at quiesced
+  /// boundaries. The KLL state is then a pure function of the kept prefix
+  /// in stream order — identical at any shard count, chunking, or resume.
+  size_t quantile_k = 0;
+  /// Fold cadence for the quantile buffers (tuples; phase-locked to
+  /// absolute stream offsets like windows). Bounds per-lane buffer memory;
+  /// the fold boundary itself has no effect on the final sketch state.
+  uint64_t quantile_fold_every = 65536;
+  /// Subpopulation queries: when > 0 every worker lane keeps a
+  /// KeyedKmvSketch(subpop_k, ShardSubpopSeed(seed)) over the tuples
+  /// surviving the positional shed (before fault injection, like
+  /// distinct_k). Keyed bottom-k merges are exact (see src/sketch/kmv.h),
+  /// so partials union bit-exactly at any shard count and ride in
+  /// checkpoint flag-bit-4 blobs.
+  size_t subpop_k = 0;
 };
 
 /// Hash seed of the auxiliary distinct counter, derived deterministically
 /// from the engine's root seed so an offline run reproduces the service's
 /// KMV bit-for-bit from configuration alone.
 uint64_t ShardDistinctSeed(uint64_t root_seed);
+/// Compaction-coin seed of the engine-level KLL quantile sketch (same
+/// derivation discipline as ShardDistinctSeed).
+uint64_t ShardQuantileSeed(uint64_t root_seed);
+/// Hash seed of the per-lane keyed-KMV subpopulation sketches.
+uint64_t ShardSubpopSeed(uint64_t root_seed);
 
 /// One consistent engine snapshot, published at a quiesced chunk boundary:
 /// everything a query needs — the merged sketch over the kept prefix, the
@@ -111,6 +136,8 @@ template <typename SketchT>
 struct ShardEngineSnapshot {
   SketchT sketch;                      ///< base + every lane partial, merged
   std::optional<KmvSketch> distinct;   ///< set iff options.distinct_k > 0
+  std::optional<KllSketch> quantile;   ///< set iff options.quantile_k > 0
+  std::optional<KeyedKmvSketch> subpop;  ///< set iff options.subpop_k > 0
   uint64_t position = 0;  ///< absolute stream offset the snapshot covers
   uint64_t kept = 0;      ///< tuples surviving the shed up to `position`
   double p = 1.0;         ///< shed rate in force when the snapshot was cut
@@ -144,6 +171,7 @@ struct ShardEngineStats {
   uint64_t ring_full_retries = 0;  ///< router spins waiting for a buffer
   uint64_t quiesces = 0;     ///< router drain barriers (windows/checkpoints)
   uint64_t merges = 0;       ///< partials folded by the merge stage
+  uint64_t quantile_folds = 0;  ///< position-ordered folds into the KLL
   std::vector<uint64_t> shard_tuples;  ///< per-shard tuples received
   std::vector<uint64_t> shard_kept;    ///< per-shard tuples kept
   std::vector<uint64_t> shard_faults;  ///< per-shard injected faults
@@ -197,6 +225,15 @@ class ShardEngine {
   /// same validity window as merged().
   const std::optional<KmvSketch>& distinct() const { return distinct_; }
 
+  /// The engine-level KLL quantile sketch (set iff options.quantile_k > 0),
+  /// fed with the kept stream in position order; same validity window as
+  /// merged().
+  const std::optional<KllSketch>& quantile() const { return quantile_; }
+
+  /// The merged keyed-KMV subpopulation sketch (set iff
+  /// options.subpop_k > 0); same validity window as merged().
+  const std::optional<KeyedKmvSketch>& subpop() const { return subpop_; }
+
   /// Registers a snapshot consumer: every `every_tuples` routed tuples (at
   /// the next quiesced chunk boundary, phase-locked to absolute stream
   /// offsets exactly like windows and checkpoints) plus once when Run
@@ -218,6 +255,12 @@ class ShardEngine {
   void PublishSnapshot(const std::vector<std::unique_ptr<Lane>>& lanes,
                        uint64_t total, ShardEngineStats& stats);
 
+  // Drains every lane's buffered (position, value) pairs into the
+  // engine-level KLL in ascending position order. Lanes must be quiesced
+  // (or joined). No-op when quantile queries are disabled.
+  void FoldQuantile(const std::vector<std::unique_ptr<Lane>>& lanes,
+                    ShardEngineStats& stats);
+
   ShardEngineOptions options_;
   SketchT proto_;    // clean prototype for worker partials
   SketchT merged_;   // restored base, then the final merged result
@@ -228,6 +271,12 @@ class ShardEngine {
   // Auxiliary distinct counter: restored base + folded lane partials
   // (mirrors merged_). Engaged iff options.distinct_k > 0.
   std::optional<KmvSketch> distinct_;
+  // Engine-level quantile sketch, fed in position order by FoldQuantile.
+  // Engaged iff options.quantile_k > 0.
+  std::optional<KllSketch> quantile_;
+  // Keyed-KMV subpopulation sketch: restored base + folded lane partials
+  // (mirrors distinct_). Engaged iff options.subpop_k > 0.
+  std::optional<KeyedKmvSketch> subpop_;
   ShardSnapshotHook<SketchT>* snapshot_hook_ = nullptr;
   uint64_t snapshot_every_ = 0;
   uint64_t snapshot_sequence_ = 0;

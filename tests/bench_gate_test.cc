@@ -532,6 +532,66 @@ TEST(RatioRuleTest, ValidatesSchema) {
                             "\"denominator\":{\"benchmark\":\"b\"}}]}"))
                   .has_value());
   EXPECT_EQ(ValidateRules(MustParse(RuleText(2.0, "avx2"))), std::nullopt);
+  // The optional report stamp must be a string when present.
+  EXPECT_TRUE(ValidateRules(
+                  MustParse("{\"schema_version\":1,\"report\":7,"
+                            "\"rules\":[]}"))
+                  .has_value());
+  EXPECT_EQ(ValidateRules(MustParse("{\"schema_version\":1,"
+                                    "\"report\":\"bench_x\",\"rules\":[]}")),
+            std::nullopt);
+}
+
+TEST(RatioRuleTest, LoadRulesSurfacesTheDeclaredReportName) {
+  TempFile stamped("{\"schema_version\":1,\"report\":\"bench_x\","
+                   "\"rules\":[]}");
+  std::string error;
+  std::string declared = "sentinel";
+  EXPECT_TRUE(LoadRules(stamped.path(), &error, &declared).has_value())
+      << error;
+  EXPECT_EQ(declared, "bench_x");
+
+  TempFile unstamped("{\"schema_version\":1,\"rules\":[]}");
+  declared = "sentinel";
+  EXPECT_TRUE(LoadRules(unstamped.path(), &error, &declared).has_value())
+      << error;
+  EXPECT_EQ(declared, "");
+}
+
+// A rules file written for a different benchmark series must be a usage
+// error (exit 2) with its own diagnostic, not a pile of per-rule coverage
+// regressions (exit 1): the fix is passing the right file, not the bench.
+TEST(BenchGateMainTest, RulesForAnAbsentSeriesExitTwo) {
+  TempFile report(ReportText("hostA", "\"updates_per_sec\":1.0e6"));
+  TempFile wrong_series(
+      "{\"schema_version\":1,\"report\":\"bench_other\",\"rules\":[{"
+      "\"min_ratio\":2,\"metric\":\"updates_per_sec\","
+      "\"numerator\":{\"benchmark\":\"a\"},"
+      "\"denominator\":{\"benchmark\":\"b\"}}]}");
+  EXPECT_EQ(RunBenchGateMain({"--rules=" + wrong_series.path(), report.path(),
+                              report.path()}),
+            2);
+
+  // The same rule under the right series stamp proceeds to evaluation and
+  // fails as a genuine coverage regression (exit 1), as before.
+  TempFile right_series(
+      "{\"schema_version\":1,\"report\":\"fig3\",\"rules\":[{"
+      "\"min_ratio\":2,\"metric\":\"updates_per_sec\","
+      "\"numerator\":{\"benchmark\":\"a\"},"
+      "\"denominator\":{\"benchmark\":\"b\"}}]}");
+  EXPECT_EQ(RunBenchGateMain({"--rules=" + right_series.path(), report.path(),
+                              report.path()}),
+            1);
+
+  // An unstamped rules file keeps the old behavior: evaluated as-is.
+  TempFile unstamped(
+      "{\"schema_version\":1,\"rules\":[{"
+      "\"min_ratio\":2,\"metric\":\"updates_per_sec\","
+      "\"numerator\":{\"benchmark\":\"a\"},"
+      "\"denominator\":{\"benchmark\":\"b\"}}]}");
+  EXPECT_EQ(RunBenchGateMain({"--rules=" + unstamped.path(), report.path(),
+                              report.path()}),
+            1);
 }
 
 TEST(RatioRuleTest, PassesWhenRatioMet) {

@@ -59,6 +59,8 @@ SketchServiceOptions SmallServiceOptions() {
   options.engine.seed = 42;
   options.engine.chunk_tuples = 512;
   options.engine.distinct_k = 64;
+  options.engine.quantile_k = 64;
+  options.engine.subpop_k = 32;
   options.snapshot_every = 2048;
   options.max_readers = 8;
   return options;
@@ -369,6 +371,57 @@ TEST(RouterDeadlineTest, ExpiredDeadlineAnswers503BeforeSnapshotWork) {
   EXPECT_EQ(degraded_body->GetNumber("estimate"), body->GetNumber("estimate"));
 }
 
+// The quantile and subpop endpoints carry the same freshness contract as
+// the PR-9 endpoints: admission saturation stamps `degraded` without
+// perturbing a single estimate field, and a fresh answer stamps zero
+// staleness.
+TEST(RouterDeadlineTest, QuantileAndSubpopStampFreshnessUnderAdmissionShed) {
+  SketchService service(SmallServiceOptions());
+  Router router;
+  service.Register(router);
+
+  const struct {
+    const char* path;
+    const char* query;
+  } endpoints[] = {
+      {"/query/quantile", "q=0.5"},
+      {"/query/subpop", "filter=mod:7-3"},
+  };
+  for (const auto& endpoint : endpoints) {
+    HttpRequest request;
+    request.method = "GET";
+    request.path = endpoint.path;
+    const std::string query(endpoint.query);
+    const size_t eq = query.find('=');
+    request.query.emplace_back(query.substr(0, eq), query.substr(eq + 1));
+
+    RequestContext normal;
+    const HttpResponse clean = router.Dispatch(request, normal);
+    ASSERT_EQ(clean.status, 200) << endpoint.path << ": " << clean.body;
+    const std::optional<JsonValue> clean_body = JsonValue::Parse(clean.body);
+    ASSERT_TRUE(clean_body.has_value());
+    EXPECT_EQ(clean_body->GetNumber("staleness"), 0.0) << endpoint.path;
+    EXPECT_FALSE(clean_body->Get("degraded")->AsBool()) << endpoint.path;
+
+    RequestContext saturated;
+    saturated.admission_saturated = true;
+    const HttpResponse degraded = router.Dispatch(request, saturated);
+    ASSERT_EQ(degraded.status, 200) << endpoint.path;
+    const std::optional<JsonValue> degraded_body =
+        JsonValue::Parse(degraded.body);
+    ASSERT_TRUE(degraded_body.has_value());
+    EXPECT_TRUE(degraded_body->Get("degraded")->AsBool()) << endpoint.path;
+    EXPECT_EQ(degraded_body->GetNumber("estimate"),
+              clean_body->GetNumber("estimate"))
+        << endpoint.path;
+
+    RequestContext expired;
+    expired.deadline =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    EXPECT_EQ(router.Dispatch(request, expired).status, 503) << endpoint.path;
+  }
+}
+
 // Partial reads and writes on both sides of a live connection must never
 // change a single response byte — the length-prefixed write loops reassemble
 // exactly the same stream, just in more pieces.
@@ -384,11 +437,17 @@ TEST(ChaosHttpTest, PartialReadsAndWritesPreserveByteIdentity) {
 
   std::string clean_selfjoin;
   std::string clean_point;
+  std::string clean_quantile;
+  std::string clean_subpop;
   {
     HttpClient client("127.0.0.1", live.port());
     clean_selfjoin = client.Get("/query/selfjoin").body;
     clean_point = client.Get("/query/point?key=7").body;
+    clean_quantile = client.Get("/query/quantile?q=0.9").body;
+    clean_subpop = client.Get("/query/subpop?filter=mod:7-3").body;
     ASSERT_FALSE(clean_selfjoin.empty());
+    ASSERT_FALSE(clean_quantile.empty());
+    ASSERT_FALSE(clean_subpop.empty());
   }
 
   ChaosProfile profile;
@@ -404,6 +463,13 @@ TEST(ChaosHttpTest, PartialReadsAndWritesPreserveByteIdentity) {
     const HttpClient::Response point = client.Get("/query/point?key=7");
     ASSERT_TRUE(point.ok) << point.error;
     EXPECT_EQ(point.body, clean_point);
+    const HttpClient::Response quantile = client.Get("/query/quantile?q=0.9");
+    ASSERT_TRUE(quantile.ok) << quantile.error;
+    EXPECT_EQ(quantile.body, clean_quantile);
+    const HttpClient::Response subpop =
+        client.Get("/query/subpop?filter=mod:7-3");
+    ASSERT_TRUE(subpop.ok) << subpop.error;
+    EXPECT_EQ(subpop.body, clean_subpop);
   }
   EXPECT_GT(chaos.injector()->injected(), 0u);
 }

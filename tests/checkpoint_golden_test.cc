@@ -1,0 +1,371 @@
+// Golden-file compatibility for the SKCP checkpoint wire format.
+//
+// One committed blob per flag combination the format has grown through:
+//
+//   v1_base.skcp             flags 0          (source position + sketch)
+//   v1_shed_controller.skcp  bits 0|1         (shed + controller state)
+//   v1_shards.skcp           bit 2            (shard section)
+//   v1_shard_distinct.skcp   bits 2|3         (per-shard KMV distinct blobs)
+//   v1_quantile_subpop.skcp  bits 2|3|4       (KLL + keyed-KMV subpop)
+//
+// Each golden is regenerated in-process from a deterministic recipe and
+// must match the committed file byte for byte; deserializing the file and
+// re-serializing the result must also reproduce the exact bytes. Together
+// those two checks pin the wire format: any serializer change that would
+// silently orphan deployed checkpoints fails here first, and the nightly
+// forward-compat job replays the previous release's committed blobs
+// against HEAD's deserializer using this same test binary.
+//
+// Regeneration (after an INTENTIONAL format change):
+//   SKETCHSAMPLE_WRITE_GOLDEN=1 ./checkpoint_golden_test
+// then commit the rewritten tests/golden/*.skcp alongside the format bump.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sketch/fagms.h"
+#include "src/sketch/kll.h"
+#include "src/sketch/kmv.h"
+#include "src/sketch/serialize.h"
+#include "src/stream/checkpoint.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+
+namespace sketchsample {
+namespace {
+
+#ifndef SKETCHSAMPLE_GOLDEN_DIR
+#error "SKETCHSAMPLE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+// The nightly forward-compat job points this binary at a golden directory
+// extracted from the previous release instead of the working tree's.
+std::string GoldenDir() {
+  const char* override_dir = std::getenv("SKETCHSAMPLE_GOLDEN_DIR_OVERRIDE");
+  if (override_dir != nullptr && override_dir[0] != '\0') {
+    return override_dir;
+  }
+  return SKETCHSAMPLE_GOLDEN_DIR;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return GoldenDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ADD_FAILURE() << "cannot open golden file " << path;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic golden recipes. Every value below is a pure function of
+// fixed seeds — no clocks, no platform-dependent state — so regeneration on
+// any machine reproduces the committed bytes exactly.
+// ---------------------------------------------------------------------------
+
+FagmsSketch MakeFagms(uint64_t salt, size_t updates) {
+  SketchParams params;
+  params.rows = 3;
+  params.buckets = 16;
+  params.scheme = XiScheme::kEh3;
+  params.seed = 42;
+  FagmsSketch sketch(params);
+  for (uint64_t i = 0; i < updates; ++i) {
+    sketch.Update(MixSeed(salt, i) % 97);
+  }
+  return sketch;
+}
+
+KmvSketch MakeKmv(uint64_t salt, size_t updates) {
+  KmvSketch kmv(8, 7);
+  for (uint64_t i = 0; i < updates; ++i) kmv.Update(MixSeed(salt, i) % 211);
+  return kmv;
+}
+
+KeyedKmvSketch MakeKeyedKmv(uint64_t salt, size_t updates) {
+  KeyedKmvSketch kmv(8, 11);
+  for (uint64_t i = 0; i < updates; ++i) {
+    kmv.Update(MixSeed(salt, i) % 211);
+  }
+  return kmv;
+}
+
+KllSketch MakeKll(uint64_t salt, size_t updates) {
+  KllSketch kll(16, 13);
+  for (uint64_t i = 0; i < updates; ++i) kll.Update(MixSeed(salt, i) % 1009);
+  return kll;
+}
+
+PipelineCheckpoint BaseCheckpoint() {
+  PipelineCheckpoint cp;
+  cp.source_tuples = 12345;
+  cp.sketch = SerializeSketch(MakeFagms(1, 200));
+  return cp;
+}
+
+PipelineCheckpoint ShedControllerCheckpoint() {
+  PipelineCheckpoint cp = BaseCheckpoint();
+  cp.has_shed = true;
+  cp.shed.p = 0.25;
+  cp.shed.skip = 3;
+  cp.shed.seen = 12345;
+  cp.shed.forwarded = 3099;
+  cp.shed.has_skipper = true;
+  cp.shed.coin_rng = {11, 22, 33, 44};
+  cp.shed.skip_rng = {55, 66, 77, 88};
+  cp.has_controller = true;
+  cp.controller.p = 0.25;
+  cp.controller.backlog = 17.5;
+  cp.controller.windows = 4;
+  cp.controller.offered = 12345;
+  cp.controller.kept = 3099;
+  return cp;
+}
+
+PipelineCheckpoint ShardCheckpoint() {
+  PipelineCheckpoint cp;
+  cp.source_tuples = 8192;
+  cp.has_shards = true;
+  cp.shard_p = 0.5;
+  for (uint64_t s = 0; s < 2; ++s) {
+    ShardCheckpointState shard;
+    shard.seen = 4096;
+    shard.kept = 2048 + s;
+    shard.sketch = SerializeSketch(MakeFagms(100 + s, 64));
+    cp.shards.push_back(std::move(shard));
+  }
+  cp.sketch = SerializeSketch(MakeFagms(2, 128));
+  return cp;
+}
+
+PipelineCheckpoint ShardDistinctCheckpoint() {
+  PipelineCheckpoint cp = ShardCheckpoint();
+  cp.has_shard_distinct = true;
+  for (uint64_t s = 0; s < cp.shards.size(); ++s) {
+    cp.shards[s].distinct = SerializeSketch(MakeKmv(200 + s, 96));
+  }
+  return cp;
+}
+
+PipelineCheckpoint QuantileSubpopCheckpoint() {
+  PipelineCheckpoint cp = ShardDistinctCheckpoint();
+  cp.has_quantile_subpop = true;
+  cp.quantile = SerializeSketch(MakeKll(3, 300));
+  cp.has_shard_subpop = true;
+  for (uint64_t s = 0; s < cp.shards.size(); ++s) {
+    cp.shards[s].subpop = SerializeSketch(MakeKeyedKmv(300 + s, 96));
+  }
+  return cp;
+}
+
+struct GoldenCase {
+  const char* file;
+  PipelineCheckpoint (*make)();
+};
+
+const GoldenCase kGoldens[] = {
+    {"v1_base.skcp", BaseCheckpoint},
+    {"v1_shed_controller.skcp", ShedControllerCheckpoint},
+    {"v1_shards.skcp", ShardCheckpoint},
+    {"v1_shard_distinct.skcp", ShardDistinctCheckpoint},
+    {"v1_quantile_subpop.skcp", QuantileSubpopCheckpoint},
+};
+
+bool WriteGoldenMode() {
+  const char* env = std::getenv("SKETCHSAMPLE_WRITE_GOLDEN");
+  return env != nullptr && env[0] == '1';
+}
+
+TEST(CheckpointGoldenTest, RegenerateWhenRequested) {
+  if (!WriteGoldenMode()) GTEST_SKIP() << "SKETCHSAMPLE_WRITE_GOLDEN not set";
+  for (const GoldenCase& golden : kGoldens) {
+    WriteFileBytes(GoldenPath(golden.file),
+                   SerializeCheckpoint(golden.make()));
+  }
+}
+
+// The committed blob is exactly what today's serializer produces from the
+// deterministic recipe — the write path has not drifted.
+TEST(CheckpointGoldenTest, CommittedBytesMatchRegeneration) {
+  if (WriteGoldenMode()) GTEST_SKIP();
+  for (const GoldenCase& golden : kGoldens) {
+    SCOPED_TRACE(golden.file);
+    const std::vector<uint8_t> committed = ReadFileBytes(GoldenPath(golden.file));
+    const std::vector<uint8_t> regenerated =
+        SerializeCheckpoint(golden.make());
+    EXPECT_EQ(committed, regenerated);
+  }
+}
+
+// Deserialize → re-serialize is the identity on every golden: the read path
+// loses nothing and the write path adds nothing.
+TEST(CheckpointGoldenTest, RoundTripIsByteIdentity) {
+  for (const GoldenCase& golden : kGoldens) {
+    SCOPED_TRACE(golden.file);
+    const std::vector<uint8_t> committed = ReadFileBytes(GoldenPath(golden.file));
+    ASSERT_FALSE(committed.empty());
+    const PipelineCheckpoint cp = DeserializeCheckpoint(committed);
+    EXPECT_EQ(SerializeCheckpoint(cp), committed);
+  }
+}
+
+// Forward compatibility: every .skcp blob present in the golden directory
+// round-trips through HEAD's codec, whatever recipe list wrote it. Unlike
+// the recipe-driven tests above, this scans the directory, so the nightly
+// forward-compat job can point SKETCHSAMPLE_GOLDEN_DIR_OVERRIDE at the
+// previous release's tests/golden/ — which may lack blobs for flag combos
+// added since — and still exercise every blob that release shipped.
+TEST(CheckpointGoldenTest, EveryBlobInDirectoryRoundTrips) {
+  size_t blobs = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GoldenDir())) {
+    if (entry.path().extension() != ".skcp") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    const std::vector<uint8_t> committed =
+        ReadFileBytes(entry.path().string());
+    ASSERT_FALSE(committed.empty());
+    const PipelineCheckpoint cp = DeserializeCheckpoint(committed);
+    EXPECT_EQ(SerializeCheckpoint(cp), committed);
+    ++blobs;
+  }
+  EXPECT_GT(blobs, 0u) << "golden directory " << GoldenDir()
+                       << " holds no .skcp blobs";
+}
+
+// The embedded sketch blobs in the newest golden load through their typed
+// deserializers — the golden pins semantic compatibility, not just framing.
+TEST(CheckpointGoldenTest, EmbeddedBlobsLoadThroughTypedDeserializers) {
+  const PipelineCheckpoint cp =
+      DeserializeCheckpoint(ReadFileBytes(GoldenPath("v1_quantile_subpop.skcp")));
+  ASSERT_TRUE(cp.has_quantile_subpop);
+  ASSERT_TRUE(cp.has_shard_subpop);
+  ASSERT_EQ(cp.shards.size(), 2u);
+
+  const KllSketch kll = DeserializeKll(cp.quantile);
+  const KllSketch expected_kll = MakeKll(3, 300);
+  EXPECT_EQ(kll.n(), expected_kll.n());
+  EXPECT_EQ(kll.compactions(), expected_kll.compactions());
+  EXPECT_EQ(kll.EstimateQuantile(0.5), expected_kll.EstimateQuantile(0.5));
+
+  for (uint64_t s = 0; s < cp.shards.size(); ++s) {
+    const FagmsSketch partial = DeserializeFagms(cp.shards[s].sketch);
+    EXPECT_TRUE(partial.CompatibleWith(MakeFagms(0, 0)));
+    const KmvSketch distinct = DeserializeKmv(cp.shards[s].distinct);
+    EXPECT_EQ(distinct.retained(), MakeKmv(200 + s, 96).retained());
+    const KeyedKmvSketch subpop = DeserializeKmvKeyed(cp.shards[s].subpop);
+    const KeyedKmvSketch expected = MakeKeyedKmv(300 + s, 96);
+    ASSERT_EQ(subpop.retained(), expected.retained());
+    const auto got_entries = subpop.Entries();
+    const auto want_entries = expected.Entries();
+    for (size_t i = 0; i < got_entries.size(); ++i) {
+      EXPECT_EQ(got_entries[i].hash, want_entries[i].hash);
+      EXPECT_EQ(got_entries[i].key, want_entries[i].key);
+      EXPECT_EQ(got_entries[i].weight, want_entries[i].weight);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile variants of the committed blobs. Every mutation must surface as a
+// typed CheckpointError (or std::invalid_argument from a typed sketch
+// deserializer) — never a crash, never a silent partial load.
+// ---------------------------------------------------------------------------
+
+void RefitCrc(std::vector<uint8_t>& bytes) {
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint32_t), &crc,
+              sizeof(crc));
+}
+
+TEST(CheckpointGoldenTest, TruncatedGoldensRejected) {
+  const std::vector<uint8_t> committed =
+      ReadFileBytes(GoldenPath("v1_quantile_subpop.skcp"));
+  // Every prefix must fail: the CRC footer catches most, the length checks
+  // catch the rest. Step 7 keeps the loop cheap while hitting every
+  // section boundary modulo alignment.
+  for (size_t len = 0; len < committed.size(); len += 7) {
+    std::vector<uint8_t> truncated(committed.begin(),
+                                   committed.begin() + len);
+    EXPECT_THROW(DeserializeCheckpoint(truncated), CheckpointError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CheckpointGoldenTest, FlagForgeryWithoutShardSectionRejected) {
+  // Bit 4 requires bit 2; forging it onto the shardless golden must fail
+  // before any quantile state is read.
+  std::vector<uint8_t> bytes = ReadFileBytes(GoldenPath("v1_base.skcp"));
+  bytes[16] |= 0x10;
+  RefitCrc(bytes);
+  EXPECT_THROW(DeserializeCheckpoint(bytes), CheckpointError);
+}
+
+// Inner-format (SKSA) footer: FNV-1a over every preceding byte, refitted
+// so a mutation tests the structural validation behind the checksum.
+void RefitSketchChecksum(std::vector<uint8_t>& blob) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i + sizeof(uint64_t) < blob.size(); ++i) {
+    hash ^= blob[i];
+    hash *= 0x100000001b3ULL;
+  }
+  std::memcpy(blob.data() + blob.size() - sizeof(uint64_t), &hash,
+              sizeof(hash));
+}
+
+TEST(CheckpointGoldenTest, CorruptedEmbeddedKllBlobRejectedByTypedLoad) {
+  // Framing stays valid (checksums refitted), but the KLL payload no longer
+  // conserves weight — the typed deserializer must throw when the engine
+  // restores it.
+  PipelineCheckpoint cp =
+      DeserializeCheckpoint(ReadFileBytes(GoldenPath("v1_quantile_subpop.skcp")));
+  // SKSA header: magic(4) version(4) kind(4) rows(8) buckets(8) scheme(4)
+  // seed(8) counter_count(8) = 48 bytes; the KLL payload leads with n.
+  const size_t n_offset = 48;
+  ASSERT_GE(cp.quantile.size(), n_offset + 2 * sizeof(uint64_t));
+  uint64_t n = 0;
+  std::memcpy(&n, cp.quantile.data() + n_offset, sizeof(n));
+  n *= 2;  // breaks weight conservation without touching level structure
+  std::memcpy(cp.quantile.data() + n_offset, &n, sizeof(n));
+  RefitSketchChecksum(cp.quantile);
+  EXPECT_THROW(DeserializeKll(cp.quantile), std::invalid_argument);
+}
+
+TEST(CheckpointGoldenTest, SubpopCountMismatchRejected) {
+  // Forge the subpop blob count on the newest golden: the u64 sits
+  // directly after the embedded KLL blob, located by scanning for those
+  // exact bytes. A count that disagrees with the shard count must be
+  // rejected before any blob is attributed to a shard.
+  std::vector<uint8_t> bytes =
+      ReadFileBytes(GoldenPath("v1_quantile_subpop.skcp"));
+  const std::vector<uint8_t> kll_blob = SerializeSketch(MakeKll(3, 300));
+  auto it = std::search(bytes.begin(), bytes.end(), kll_blob.begin(),
+                        kll_blob.end());
+  ASSERT_NE(it, bytes.end());
+  const size_t count_offset =
+      static_cast<size_t>(it - bytes.begin()) + kll_blob.size();
+  ASSERT_LE(count_offset + sizeof(uint64_t), bytes.size());
+  const uint64_t forged = 5;
+  std::memcpy(bytes.data() + count_offset, &forged, sizeof(forged));
+  RefitCrc(bytes);
+  EXPECT_THROW(DeserializeCheckpoint(bytes), CheckpointError);
+}
+
+}  // namespace
+}  // namespace sketchsample

@@ -50,6 +50,8 @@ SketchServiceOptions SmallOptions() {
   options.engine.seed = kRootSeed;
   options.engine.chunk_tuples = 512;
   options.engine.distinct_k = 64;
+  options.engine.quantile_k = 64;
+  options.engine.subpop_k = 32;
   options.snapshot_every = 2048;
   options.max_readers = 8;
   return options;
@@ -88,11 +90,13 @@ void RunToCompletion(SketchService& service, const std::vector<uint64_t>& stream
   ASSERT_EQ(service.ingest_error(), "");
 }
 
-// The four query-endpoint bodies as served, for byte comparison.
+// The query-endpoint bodies as served, for byte comparison.
 struct QueryBodies {
   std::string selfjoin;
   std::string point;
   std::string distinct;
+  std::string quantile;
+  std::string subpop;
   std::string stats_snapshot;
 };
 
@@ -107,6 +111,13 @@ QueryBodies CollectBodies(const Router& router, const RequestContext& context) {
   response = router.Dispatch(Get("/query/distinct"), context);
   EXPECT_EQ(response.status, 200);
   bodies.distinct = response.body;
+  response = router.Dispatch(Get("/query/quantile", {{"q", "0.9"}}), context);
+  EXPECT_EQ(response.status, 200);
+  bodies.quantile = response.body;
+  response =
+      router.Dispatch(Get("/query/subpop", {{"filter", "mod:7-3"}}), context);
+  EXPECT_EQ(response.status, 200);
+  bodies.subpop = response.body;
   response = router.Dispatch(Get("/stats"), context);
   EXPECT_EQ(response.status, 200);
   bodies.stats_snapshot = response.body;
@@ -168,7 +179,9 @@ TEST(ServiceIngestTest, ParsesBodyStrictlyAndAtomically) {
 
 TEST(ServiceQueryTest, ErrorPathsAnswerTypedStatuses) {
   SketchServiceOptions options = SmallOptions();
-  options.engine.distinct_k = 0;  // distinct endpoint disabled
+  options.engine.distinct_k = 0;   // distinct endpoint disabled
+  options.engine.quantile_k = 0;   // quantile endpoint disabled
+  options.engine.subpop_k = 0;     // subpop endpoint disabled
   SketchService service(options);
   Router router;
   service.Register(router);
@@ -191,8 +204,66 @@ TEST(ServiceQueryTest, ErrorPathsAnswerTypedStatuses) {
   }
   // No reference sketch configured.
   EXPECT_EQ(router.Dispatch(Get("/query/join"), context).status, 400);
-  // Distinct counting disabled.
+  // Distinct counting, quantiles, subpopulations all disabled.
   EXPECT_EQ(router.Dispatch(Get("/query/distinct"), context).status, 400);
+  const HttpResponse quantile =
+      router.Dispatch(Get("/query/quantile", {{"q", "0.5"}}), context);
+  EXPECT_EQ(quantile.status, 400);
+  EXPECT_NE(quantile.body.find("quantile queries disabled"),
+            std::string::npos);
+  const HttpResponse subpop =
+      router.Dispatch(Get("/query/subpop", {{"filter", "mod:2-1"}}), context);
+  EXPECT_EQ(subpop.status, 400);
+  EXPECT_NE(subpop.body.find("subpopulation queries disabled"),
+            std::string::npos);
+}
+
+// Every malformed quantile/subpop parameter is a typed 400 from the
+// parameter validators — never a 500, never a crash, never a partial
+// answer. The predicate grammar failures come out of ParseSubpopFilter
+// with its message passed through verbatim.
+TEST(ServiceQueryTest, HostileQuantileAndSubpopParamsAnswer400) {
+  SketchService service(SmallOptions());
+  Router router;
+  service.Register(router);
+  RequestContext context;
+
+  // Missing and malformed ranks.
+  EXPECT_EQ(router.Dispatch(Get("/query/quantile"), context).status, 400);
+  for (const char* q :
+       {"1.5", "-0.1", "abc", "nan", "inf", "", "0.5x", "0..5"}) {
+    EXPECT_EQ(
+        router.Dispatch(Get("/query/quantile", {{"q", q}}), context).status,
+        400)
+        << "q=" << q;
+  }
+  // Boundary ranks are legal.
+  EXPECT_EQ(router.Dispatch(Get("/query/quantile", {{"q", "0"}}), context)
+                .status,
+            200);
+  EXPECT_EQ(router.Dispatch(Get("/query/quantile", {{"q", "1"}}), context)
+                .status,
+            200);
+
+  // Missing and malformed filters.
+  EXPECT_EQ(router.Dispatch(Get("/query/subpop"), context).status, 400);
+  for (const char* filter :
+       {"garbage", "mod:0-0", "mod:5-5", "range:9-2", "mask:3-4", "mod:5",
+        "between:1-2", "range:a-b", "mod:-1-0", "range:1-2-3x", ""}) {
+    EXPECT_EQ(router.Dispatch(Get("/query/subpop", {{"filter", filter}}),
+                              context)
+                  .status,
+              400)
+        << "filter=" << filter;
+  }
+  // All three predicate kinds parse and answer.
+  for (const char* filter : {"range:10-20", "mod:7-3", "mask:255-129"}) {
+    EXPECT_EQ(router.Dispatch(Get("/query/subpop", {{"filter", filter}}),
+                              context)
+                  .status,
+              200)
+        << "filter=" << filter;
+  }
 }
 
 TEST(ServiceQueryTest, ResponsesComeFromTheSharedBuilders) {
@@ -218,6 +289,16 @@ TEST(ServiceQueryTest, ResponsesComeFromTheSharedBuilders) {
             PointResponseJson(*guard, 123, std::nullopt, level).Dump() + "\n");
   HttpResponse distinct = router.Dispatch(Get("/query/distinct"), context);
   EXPECT_EQ(distinct.body, DistinctResponseJson(*guard, level).Dump() + "\n");
+  HttpResponse quantile =
+      router.Dispatch(Get("/query/quantile", {{"q", "0.5"}}), context);
+  EXPECT_EQ(quantile.body,
+            QuantileResponseJson(*guard, 0.5, level).Dump() + "\n");
+  HttpResponse subpop =
+      router.Dispatch(Get("/query/subpop", {{"filter", "mod:7-3"}}), context);
+  EXPECT_EQ(subpop.body,
+            SubpopResponseJson(*guard, ParseSubpopFilter("mod:7-3"), level)
+                    .Dump() +
+                "\n");
 
   // ?level= flows through to the interval.
   HttpResponse wide =
@@ -271,6 +352,8 @@ TEST(ServiceDeterminismTest, ResponsesAreBitExactAcrossPushChunkings) {
   EXPECT_EQ(bodies[0].selfjoin, bodies[1].selfjoin);
   EXPECT_EQ(bodies[0].point, bodies[1].point);
   EXPECT_EQ(bodies[0].distinct, bodies[1].distinct);
+  EXPECT_EQ(bodies[0].quantile, bodies[1].quantile);
+  EXPECT_EQ(bodies[0].subpop, bodies[1].subpop);
 }
 
 TEST(ServiceDeterminismTest, ShardCountDoesNotChangeResponses) {
@@ -290,6 +373,8 @@ TEST(ServiceDeterminismTest, ShardCountDoesNotChangeResponses) {
   EXPECT_EQ(bodies[0].selfjoin, bodies[1].selfjoin);
   EXPECT_EQ(bodies[0].point, bodies[1].point);
   EXPECT_EQ(bodies[0].distinct, bodies[1].distinct);
+  EXPECT_EQ(bodies[0].quantile, bodies[1].quantile);
+  EXPECT_EQ(bodies[0].subpop, bodies[1].subpop);
 }
 
 // Kill-and-resume: checkpoint mid-stream, build a fresh service from the
@@ -352,6 +437,13 @@ TEST(ServiceResumeTest, ResumedServiceMatchesUninterruptedRun) {
             PointResponseJson(res_view, 7, std::nullopt, 0.95).Dump());
   EXPECT_EQ(DistinctResponseJson(ref_view, 0.95).Dump(),
             DistinctResponseJson(res_view, 0.95).Dump());
+  // The checkpoint carried the KLL and keyed-KMV state (flag bit 4), so
+  // the resumed quantile/subpop answers must be byte-identical too.
+  EXPECT_EQ(QuantileResponseJson(ref_view, 0.9, 0.95).Dump(),
+            QuantileResponseJson(res_view, 0.9, 0.95).Dump());
+  const SubpopPredicate pred = ParseSubpopFilter("mod:7-3");
+  EXPECT_EQ(SubpopResponseJson(ref_view, pred, 0.95).Dump(),
+            SubpopResponseJson(res_view, pred, 0.95).Dump());
 }
 
 TEST(ServiceStatsTest, StatsTrackIngestAndQueryCounters) {
@@ -365,6 +457,13 @@ TEST(ServiceStatsTest, StatsTrackIngestAndQueryCounters) {
   router.Dispatch(Get("/query/selfjoin"), context);
   router.Dispatch(Get("/query/selfjoin"), context);
   router.Dispatch(Get("/query/distinct"), context);
+  for (const char* q : {"0.1", "0.5", "0.9"}) {
+    router.Dispatch(Get("/query/quantile", {{"q", q}}), context);
+  }
+  router.Dispatch(Get("/query/subpop", {{"filter", "mod:4-0"}}), context);
+  // Rejected queries must not bump the served counters.
+  router.Dispatch(Get("/query/quantile", {{"q", "2"}}), context);
+  router.Dispatch(Get("/query/subpop", {{"filter", "bogus"}}), context);
 
   HttpResponse stats = router.Dispatch(Get("/stats"), context);
   ASSERT_EQ(stats.status, 200);
@@ -375,10 +474,14 @@ TEST(ServiceStatsTest, StatsTrackIngestAndQueryCounters) {
   EXPECT_TRUE(body->Get("ingest_done")->AsBool());
   EXPECT_EQ(body->Get("queries")->GetNumber("selfjoin"), 2.0);
   EXPECT_EQ(body->Get("queries")->GetNumber("distinct"), 1.0);
+  EXPECT_EQ(body->Get("queries")->GetNumber("quantile"), 3.0);
+  EXPECT_EQ(body->Get("queries")->GetNumber("subpop"), 1.0);
   const JsonValue* snapshot = body->Get("snapshot");
   ASSERT_NE(snapshot, nullptr);
   EXPECT_EQ(snapshot->GetNumber("position"), 10000.0);
   EXPECT_TRUE(snapshot->Get("distinct_enabled")->AsBool());
+  EXPECT_TRUE(snapshot->Get("quantile_enabled")->AsBool());
+  EXPECT_TRUE(snapshot->Get("subpop_enabled")->AsBool());
 }
 
 // Queries racing live ingest: every response must be internally consistent

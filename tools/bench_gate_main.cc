@@ -82,9 +82,25 @@ int BenchGateMain(int argc, char** argv) {
 
   if (const std::string rules_path = flags.GetString("rules");
       !rules_path.empty()) {
-    const auto rules = LoadRules(rules_path, &error);
+    std::string declared_report;
+    const auto rules = LoadRules(rules_path, &error, &declared_report);
     if (!rules.has_value()) {
       std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
+      return 2;
+    }
+    // A rules file written against a different benchmark series would miss
+    // on every selector and misreport each rule as a coverage regression
+    // (exit 1). The actual problem is a mismatched file pairing — a usage
+    // error, so it gets its own diagnostic and exit 2.
+    const std::string current_name =
+        current->GetString("name").value_or("");
+    if (!declared_report.empty() && declared_report != current_name) {
+      std::fprintf(stderr,
+                   "bench_gate: %s targets benchmark series '%s', which is "
+                   "absent from the current report (named '%s'); pass the "
+                   "matching BENCH_%s.json or the right rules file\n",
+                   rules_path.c_str(), declared_report.c_str(),
+                   current_name.c_str(), declared_report.c_str());
       return 2;
     }
     Result rule_result = CheckRules(*current, *rules);

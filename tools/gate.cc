@@ -415,6 +415,10 @@ std::optional<std::string> ValidateRules(const JsonValue& rules) {
   if (*version != 1) {
     return "unsupported schema_version " + std::to_string(*version);
   }
+  if (const JsonValue* report = rules.Get("report");
+      report != nullptr && !report->is_string()) {
+    return "report field is not a string";
+  }
   const JsonValue* list = rules.Get("rules");
   if (list == nullptr || !list->is_array()) return "missing rules array";
   for (size_t i = 0; i < list->AsArray().size(); ++i) {
@@ -438,7 +442,8 @@ std::optional<std::string> ValidateRules(const JsonValue& rules) {
 }
 
 std::optional<std::vector<RatioRule>> LoadRules(const std::string& path,
-                                                std::string* error) {
+                                                std::string* error,
+                                                std::string* declared_report) {
   std::ifstream in(path);
   if (!in) {
     if (error != nullptr) *error = path + ": cannot open";
@@ -454,6 +459,9 @@ std::optional<std::vector<RatioRule>> LoadRules(const std::string& path,
   if (auto problem = ValidateRules(*parsed); problem.has_value()) {
     if (error != nullptr) *error = path + ": " + *problem;
     return std::nullopt;
+  }
+  if (declared_report != nullptr) {
+    *declared_report = parsed->GetString("report").value_or("");
   }
   std::vector<RatioRule> rules;
   for (const JsonValue& rule : parsed->Get("rules")->AsArray()) {

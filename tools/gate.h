@@ -120,13 +120,20 @@ struct RatioRule {
 };
 
 /// Returns an error message when `rules` does not conform to the rules
-/// schema above, std::nullopt when valid.
+/// schema above, std::nullopt when valid. The optional top-level "report"
+/// field, when present, must be a string.
 std::optional<std::string> ValidateRules(const JsonValue& rules);
 
 /// Reads and parses a rules file; on any I/O, JSON, or schema error returns
-/// std::nullopt and fills `*error`.
-std::optional<std::vector<RatioRule>> LoadRules(const std::string& path,
-                                                std::string* error);
+/// std::nullopt and fills `*error`. When `declared_report` is non-null it
+/// receives the file's top-level "report" field (empty when absent) — the
+/// benchmark series the rules were written against. Callers should refuse
+/// to evaluate rules against a report with a different "name": every
+/// selector would miss and each rule would misreport as a coverage
+/// regression, when the actual problem is a mismatched file pairing.
+std::optional<std::vector<RatioRule>> LoadRules(
+    const std::string& path, std::string* error,
+    std::string* declared_report = nullptr);
 
 /// Evaluates every rule against a single (validated) report.
 Result CheckRules(const JsonValue& report, const std::vector<RatioRule>& rules);

@@ -119,6 +119,14 @@ void QueryWorker(const std::string& host, int port, const WorkerConfig& config,
     if (endpoint == "point") {
       target += "?key=" + std::to_string(rng() % config.key_domain);
       have_param = true;
+    } else if (endpoint == "quantile") {
+      target += "?q=" + std::to_string(rng.NextDouble());
+      have_param = true;
+    } else if (endpoint == "subpop") {
+      // Rotate through the ten mod-10 residue classes — a filter family
+      // that always parses and exercises both saturated and sparse matches.
+      target += "?filter=mod:10-" + std::to_string(rng() % 10);
+      have_param = true;
     } else if (endpoint == "stats") {
       target = "/stats";
     }
@@ -196,6 +204,8 @@ int Main(int argc, char** argv) {
   flags.Define("join-weight", "0", "mix weight of /query/join");
   flags.Define("point-weight", "1", "mix weight of /query/point");
   flags.Define("distinct-weight", "0", "mix weight of /query/distinct");
+  flags.Define("quantile-weight", "0", "mix weight of /query/quantile");
+  flags.Define("subpop-weight", "0", "mix weight of /query/subpop");
   flags.Define("stats-weight", "0", "mix weight of /stats");
   flags.Define("key-domain", "100000", "point-query keys drawn from [0, N)");
   flags.Define("level", "", "explicit ?level= on every query (empty: default)");
@@ -204,6 +214,10 @@ int Main(int argc, char** argv) {
                "print one `endpoint body` line per enabled endpoint "
                "(offline-comparable) instead of running load");
   flags.Define("keys", "", "--once: comma-separated point-query keys");
+  flags.Define("quantiles", "",
+               "--once: comma-separated ranks for quantile-query lines");
+  flags.Define("subpop-filters", "",
+               "--once: semicolon-separated kind:a-b subpop filters");
   flags.Define("json_out", "",
                "write a schema-v1 BENCH report of the query phase here");
   flags.Define("deadline-ms", "0",
@@ -348,6 +362,31 @@ int Main(int argc, char** argv) {
         !fetch("/query/distinct", "distinct")) {
       return 1;
     }
+    const auto each_token = [](const std::string& list, char sep,
+                               const auto& fn) {
+      size_t start = 0;
+      while (start < list.size()) {
+        const size_t pos = list.find(sep, start);
+        const size_t end = pos == std::string::npos ? list.size() : pos;
+        if (!fn(list.substr(start, end - start))) return false;
+        if (pos == std::string::npos) break;
+        start = pos + 1;
+      }
+      return true;
+    };
+    if (!each_token(flags.GetString("quantiles"), ',',
+                    [&](const std::string& q) {
+                      return fetch("/query/quantile?q=" + q, "quantile:" + q);
+                    })) {
+      return 1;
+    }
+    if (!each_token(flags.GetString("subpop-filters"), ';',
+                    [&](const std::string& filter) {
+                      return fetch("/query/subpop?filter=" + filter,
+                                   "subpop:" + filter);
+                    })) {
+      return 1;
+    }
     return 0;
   }
 
@@ -360,6 +399,8 @@ int Main(int argc, char** argv) {
   config.mix.Add("join", flags.GetDouble("join-weight"));
   config.mix.Add("point", flags.GetDouble("point-weight"));
   config.mix.Add("distinct", flags.GetDouble("distinct-weight"));
+  config.mix.Add("quantile", flags.GetDouble("quantile-weight"));
+  config.mix.Add("subpop", flags.GetDouble("subpop-weight"));
   config.mix.Add("stats", flags.GetDouble("stats-weight"));
   if (config.mix.cumulative.empty()) {
     std::fprintf(stderr, "loadgen: all mix weights are zero\n");

@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -54,6 +56,11 @@ void DefineEngineFlags(Flags& flags) {
   flags.Define("min-p", "0.05", "adaptive floor for the shed rate");
   flags.Define("distinct-k", "0",
                "auxiliary KMV distinct counter size (0 = disabled)");
+  flags.Define("quantile-k", "0",
+               "KLL quantile sketch parameter (0 = /query/quantile disabled)");
+  flags.Define("subpop-k", "0",
+               "keyed bottom-k subpopulation sketch size "
+               "(0 = /query/subpop disabled)");
   flags.Define("snapshot-every", "8192",
                "publish a query snapshot every N routed tuples");
   flags.Define("checkpoint-every", "0",
@@ -123,6 +130,8 @@ ServiceSetup BuildServiceSetup(const Flags& flags) {
   eopts.seed = static_cast<uint64_t>(flags.GetInt("shed-seed"));
   eopts.max_tuples = static_cast<uint64_t>(flags.GetInt("max-tuples"));
   eopts.distinct_k = static_cast<size_t>(flags.GetInt("distinct-k"));
+  eopts.quantile_k = static_cast<size_t>(flags.GetInt("quantile-k"));
+  eopts.subpop_k = static_cast<size_t>(flags.GetInt("subpop-k"));
 
   const double budget = flags.GetDouble("shed-budget");
   const double target_tps = flags.GetDouble("shed-target-tps");
@@ -362,11 +371,17 @@ int CmdServe(int argc, char** argv) {
 //   join {...}            (with --join-sketch)
 //   point:<key> {...}     (per --keys entry)
 //   distinct {...}        (with --distinct-k > 0)
+//   quantile:<q> {...}    (per --quantiles entry, with --quantile-k > 0)
+//   subpop:<filter> {...} (per --subpop-filters entry, with --subpop-k > 0)
 // ---------------------------------------------------------------------------
 
 int CmdOffline(int argc, char** argv) {
   Flags flags;
   flags.Define("keys", "", "comma-separated keys for point-query lines");
+  flags.Define("quantiles", "",
+               "comma-separated ranks in [0, 1] for quantile-query lines");
+  flags.Define("subpop-filters", "",
+               "semicolon-separated kind:a-b filters for subpop-query lines");
   DefineStreamFlags(flags);
   DefineEngineFlags(flags);
   if (!flags.Parse(argc, argv)) return 1;
@@ -431,6 +446,59 @@ int CmdOffline(int argc, char** argv) {
   if (guard->distinct.has_value()) {
     std::printf("distinct %s\n",
                 DistinctResponseJson(*guard, level, fresh).Dump().c_str());
+  }
+  const std::string quantiles = flags.GetString("quantiles");
+  if (!quantiles.empty()) {
+    if (!guard->quantile.has_value()) {
+      std::fprintf(stderr, "offline: --quantiles needs --quantile-k > 0\n");
+      return 1;
+    }
+    size_t start = 0;
+    while (start < quantiles.size()) {
+      const size_t comma = quantiles.find(',', start);
+      const size_t end =
+          comma == std::string::npos ? quantiles.size() : comma;
+      const std::string token = quantiles.substr(start, end - start);
+      char* parse_end = nullptr;
+      const double q = std::strtod(token.c_str(), &parse_end);
+      if (token.empty() || parse_end == nullptr || *parse_end != '\0' ||
+          !std::isfinite(q) || q < 0.0 || q > 1.0) {
+        std::fprintf(stderr,
+                     "offline: --quantiles entry '%s' is not in [0, 1]\n",
+                     token.c_str());
+        return 1;
+      }
+      std::printf("quantile:%s %s\n", token.c_str(),
+                  QuantileResponseJson(*guard, q, level, fresh).Dump().c_str());
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  const std::string filters = flags.GetString("subpop-filters");
+  if (!filters.empty()) {
+    if (!guard->subpop.has_value()) {
+      std::fprintf(stderr, "offline: --subpop-filters needs --subpop-k > 0\n");
+      return 1;
+    }
+    size_t start = 0;
+    while (start < filters.size()) {
+      const size_t semi = filters.find(';', start);
+      const size_t end = semi == std::string::npos ? filters.size() : semi;
+      const std::string token = filters.substr(start, end - start);
+      SubpopPredicate pred;
+      try {
+        pred = ParseSubpopFilter(token);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "offline: --subpop-filters entry '%s': %s\n",
+                     token.c_str(), error.what());
+        return 1;
+      }
+      std::printf(
+          "subpop:%s %s\n", pred.ToString().c_str(),
+          SubpopResponseJson(*guard, pred, level, fresh).Dump().c_str());
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
   }
   return 0;
 }

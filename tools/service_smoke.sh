@@ -32,9 +32,11 @@ gen_seed=20090402
 engine_flags=(
   --buckets=512 --rows=3 --scheme=eh3 --seed=33
   --shards=2 --shed-p=0.5 --shed-seed=42
-  --distinct-k=256 --snapshot-every=8192
+  --distinct-k=256 --quantile-k=200 --subpop-k=256 --snapshot-every=8192
 )
 keys="17,4242,9999"
+quantiles="0.5,0.9,0.99"
+subpop_filters="mod:10-3;range:0-99"
 
 pids=()
 cleanup() {
@@ -69,6 +71,7 @@ echo "== generate dataset (${tuples} zipf tuples, seed ${gen_seed})"
 
 echo "== offline reference answers"
 "$cli" offline "${engine_flags[@]}" --in="$work/data.txt" --keys="$keys" \
+  --quantiles="$quantiles" --subpop-filters="$subpop_filters" \
   >"$work/offline.txt" 2>"$work/offline.err"
 
 echo "== scenario 1: HTTP ingest must match offline byte for byte"
@@ -76,6 +79,7 @@ start_server "$work/port.txt" serve
 port="$(cat "$work/port.txt")"
 "$loadgen" --port="$port" --ingest-file="$work/data.txt" --close=true \
   --wait-done=true --once=true --keys="$keys" --distinct-weight=1 \
+  --quantiles="$quantiles" --subpop-filters="$subpop_filters" \
   >"$work/online.txt"
 if ! diff -u "$work/offline.txt" "$work/online.txt"; then
   echo "FAIL: online answers diverge from offline" >&2
@@ -86,6 +90,7 @@ echo "   bit-exact: OK"
 echo "== scenario 2: query load (fixed seed, bounded duration)"
 "$loadgen" --port="$port" --threads=2 --seconds=2 --seed=1 \
   --selfjoin-weight=2 --point-weight=2 --distinct-weight=1 --stats-weight=1 \
+  --quantile-weight=1 --subpop-weight=1 \
   --key-domain="$domain" --json_out="$work/BENCH_loadgen.json"
 
 echo "== scenario 3: kill -9 mid-ingest, resume from checkpoint"
@@ -111,6 +116,7 @@ port3="$(cat "$work/port3.txt")"
 # fast-forwards past the checkpointed prefix bit-exactly.
 "$loadgen" --port="$port3" --ingest-file="$work/data.txt" --close=true \
   --wait-done=true --once=true --keys="$keys" --distinct-weight=1 \
+  --quantiles="$quantiles" --subpop-filters="$subpop_filters" \
   >"$work/resumed.txt"
 strip_sequence "$work/offline.txt" >"$work/offline_noseq.txt"
 strip_sequence "$work/resumed.txt" >"$work/resumed_noseq.txt"
